@@ -1,0 +1,113 @@
+//===- BenchUtil.h - Shared helpers for the bench binaries ------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common plumbing used by the per-table/figure bench binaries: the
+/// default workload scales (paper workloads scaled down to simulator
+/// budgets; see EXPERIMENTS.md) and compile/profile one-liners.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_BENCH_BENCHUTIL_H
+#define MPERF_BENCH_BENCHUTIL_H
+
+#include "miniperf/Hotspots.h"
+#include "miniperf/Session.h"
+#include "roofline/MachineModel.h"
+#include "roofline/PmuEstimator.h"
+#include "roofline/TwoPhase.h"
+#include "transform/LoopVectorizer.h"
+#include "transform/PassManager.h"
+#include "transform/RooflineInstrumenter.h"
+#include "workloads/Matmul.h"
+#include "workloads/SqliteLike.h"
+
+#include <cstdio>
+
+namespace bench {
+
+using namespace mperf;
+
+/// The sqlite workload at the scale the benches use (the paper's run
+/// retires ~3.6e9 instructions on real silicon; the simulated runs are
+/// scaled to ~2e7 retired IR ops and report the same shapes).
+inline workloads::SqliteLikeConfig sqliteScale() {
+  workloads::SqliteLikeConfig C;
+  C.NumPages = 64;
+  C.CellsPerPage = 24;
+  C.NumQueries = 40;
+  return C;
+}
+
+/// The matmul kernel at bench scale (paper: n large on real silicon).
+inline workloads::MatmulConfig matmulScale() {
+  return workloads::MatmulConfig{128, 64, 1};
+}
+
+/// Profiles the sqlite workload on \p P with sampling.
+inline miniperf::ProfileResult profileSqlite(const hw::Platform &P,
+                                             uint64_t Period = 20000) {
+  auto C = sqliteScale();
+  auto W = workloads::buildSqliteLike(C);
+  miniperf::SessionOptions Opts;
+  Opts.SamplePeriod = Period;
+  miniperf::Session S(P, Opts);
+  auto ROr = S.profile(*W.M, "main", {vm::RtValue::ofInt(C.NumQueries)});
+  if (!ROr) {
+    std::fprintf(stderr, "error: %s\n", ROr.errorMessage().c_str());
+    std::exit(1);
+  }
+  return *ROr;
+}
+
+/// Vectorizes + instruments matmul for \p P; returns workload and loops.
+struct PreparedMatmul {
+  workloads::MatmulWorkload W;
+  std::vector<transform::InstrumentedLoop> Loops;
+};
+
+inline PreparedMatmul prepareMatmul(const hw::Platform &P,
+                                    workloads::MatmulConfig MC) {
+  PreparedMatmul R;
+  R.W = workloads::buildMatmul(MC);
+  transform::PassManager PM;
+  PM.addPass(std::make_unique<transform::LoopVectorizer>(P.Target));
+  auto IP = std::make_unique<transform::RooflineInstrumenter>();
+  transform::RooflineInstrumenter *Raw = IP.get();
+  PM.addPass(std::move(IP));
+  if (Error E = PM.run(*R.W.M)) {
+    std::fprintf(stderr, "error: %s\n", E.message().c_str());
+    std::exit(1);
+  }
+  R.Loops = Raw->loops();
+  return R;
+}
+
+/// Runs the two-phase Roofline analysis of a prepared matmul on \p P.
+inline roofline::TwoPhaseResult twoPhase(const hw::Platform &P,
+                                         PreparedMatmul &R) {
+  roofline::TwoPhaseDriver Driver(P);
+  workloads::MatmulWorkload *W = &R.W;
+  Driver.setSetupHook([W](vm::Interpreter &Vm) {
+    W->initialize(Vm);
+    workloads::bindClock(Vm, [] { return 0.0; });
+  });
+  auto ROr = Driver.analyze(*R.W.M, R.Loops, "main");
+  if (!ROr) {
+    std::fprintf(stderr, "error: %s\n", ROr.errorMessage().c_str());
+    std::exit(1);
+  }
+  return *ROr;
+}
+
+inline void print(const std::string &Text) {
+  std::fputs(Text.c_str(), stdout);
+}
+
+} // namespace bench
+
+#endif // MPERF_BENCH_BENCHUTIL_H

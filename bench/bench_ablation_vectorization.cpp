@@ -1,0 +1,84 @@
+//===- bench_ablation_vectorization.cpp - Vectorization width ablation ----------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// Section 5.1 motivates instructions-retired flame graphs as a
+// vectorization detector: "if the instructions retired Flame Graph shows
+// a significantly wider frame ... it strongly suggests an inferior
+// vectorization scheme." This ablation compiles the matmul kernel
+// scalar, VLEN=128 and VLEN=256 for the X60 model and reports retired
+// instructions and throughput — the ~8x scalar-vs-vector instruction
+// ratio the paper's example quotes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+using namespace bench;
+using namespace mperf;
+
+int main() {
+  print("Ablation: vectorization width vs instructions retired "
+        "(section 5.1's detector)\n\n");
+
+  struct Config {
+    const char *Name;
+    transform::TargetInfo Target;
+  } Configs[] = {
+      {"scalar (rv64gc)", transform::TargetInfo::rv64gc()},
+      {"RVV VLEN=128", transform::TargetInfo::rv64gcv(128)},
+      {"RVV VLEN=256", transform::TargetInfo::rv64gcv(256)},
+  };
+
+  TextTable T;
+  T.addHeader({"Codegen", "retired IR ops", "kernel GFLOP/s",
+               "ops vs VLEN=256"});
+  uint64_t Baseline = 0;
+  std::vector<std::vector<std::string>> Rows;
+  double RetiredOps[3] = {};
+  double GFlops[3] = {};
+
+  for (int I = 0; I < 3; ++I) {
+    hw::Platform P = hw::spacemitX60();
+    P.Target = Configs[I].Target; // same core, different codegen
+    PreparedMatmul R = prepareMatmul(P, matmulScale());
+
+    // Count retired ops inside the kernel with a plain run.
+    vm::Interpreter Vm(*R.W.M);
+    hw::CoreModel Core(P.Core, P.Cache);
+    Vm.addConsumer(&Core);
+    Environment Env;
+    roofline::RooflineRuntime Runtime(R.Loops, Env);
+    Runtime.bind(Vm, Core);
+    R.W.initialize(Vm);
+    workloads::bindClock(Vm, [&Core] { return Core.stats().Cycles; });
+    if (!Vm.run("main")) {
+      std::fprintf(stderr, "run failed\n");
+      return 1;
+    }
+    RetiredOps[I] = static_cast<double>(Vm.stats().RetiredOps);
+
+    roofline::TwoPhaseResult TP = twoPhase(P, R);
+    GFlops[I] = TP.Loops.at(0).GFlops;
+    if (I == 2)
+      Baseline = static_cast<uint64_t>(RetiredOps[I]);
+  }
+
+  for (int I = 0; I < 3; ++I)
+    T.addRow({Configs[I].Name,
+              withCommas(static_cast<uint64_t>(RetiredOps[I])),
+              fixed(GFlops[I], 2),
+              fixed(RetiredOps[I] / static_cast<double>(Baseline), 2) + "x"});
+  print(T.render());
+
+  print("\nThe scalar build retires ~" +
+        fixed(RetiredOps[0] / RetiredOps[2], 1) +
+        "x the operations of the VLEN=256 build for identical results — "
+        "exactly the wide-frame signature the paper reads off "
+        "instructions-retired flame graphs (it quotes 8x for pure "
+        "8-lane bodies; loop overhead dilutes it here).\n");
+  return 0;
+}

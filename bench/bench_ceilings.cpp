@@ -1,0 +1,46 @@
+//===- bench_ceilings.cpp - Machine ceilings per platform -----------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// The microbenchmark-derived Roofline ceilings for every platform: the
+// memset memory roof (the paper's 3.16 bytes/cycle figure for the X60),
+// the theoretical compute roof, and the measured FMA-chain peak.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+using namespace bench;
+using namespace mperf;
+
+int main() {
+  print("Roofline ceilings per platform (memset + FMA-chain "
+        "microbenchmarks on each simulated core)\n\n");
+
+  TextTable T;
+  T.addHeader({"Platform", "memset B/cyc", "DRAM roof GB/s", "L1 roof GB/s",
+               "compute roof GFLOP/s", "measured FMA GFLOP/s"});
+  for (const hw::Platform &P : hw::allPlatforms()) {
+    auto C = roofline::measureCeilings(P);
+    if (!C) {
+      std::fprintf(stderr, "error: %s\n", C.errorMessage().c_str());
+      return 1;
+    }
+    T.addRow({P.CoreName, fixed(C->BytesPerCycle, 2),
+              fixed(C->MemBandwidthGBs, 2), fixed(C->L1BandwidthGBs, 1),
+              fixed(C->PeakGFlops, 1), fixed(C->MeasuredGFlops, 1)});
+  }
+  print(T.render());
+
+  auto X60 = roofline::measureCeilings(hw::spacemitX60());
+  print("\nPaper anchors (X60): memset ~3.16 bytes/cycle -> ~4.7 GiB/s at "
+        "1.6 GHz; compute roof 25.6 GFLOP/s.\n");
+  print("Measured here:       " + fixed(X60->BytesPerCycle, 2) +
+        " bytes/cycle -> " + fixed(X60->MemBandwidthGBs / 1.073742, 2) +
+        " GiB/s; compute roof " + fixed(X60->PeakGFlops, 1) +
+        " GFLOP/s.\n");
+  return 0;
+}

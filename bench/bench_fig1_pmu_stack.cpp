@@ -1,0 +1,90 @@
+//===- bench_fig1_pmu_stack.cpp - Reproduces the paper's Fig. 1 -----------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// Fig. 1: "Architecture of PMU counters software layer" — an
+// architecture diagram in the paper. Here the diagram is printed and
+// then demonstrated live: a profiling session runs and the actual
+// layer-interaction trace (perf_event_open -> SBI ecalls -> machine-level
+// register writes) is dumped from the firmware's operation log.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "ir/Parser.h"
+#include "kernel/PerfEvent.h"
+#include "support/Format.h"
+
+using namespace bench;
+using namespace mperf;
+using namespace mperf::hw;
+
+int main() {
+  print("Fig. 1: Architecture of the PMU software layer\n\n");
+  print("  +--------------------------------------------------+\n"
+        "  | user space:   perf / miniperf                    |\n"
+        "  |   perf_event_open(), mmap ring buffer            |\n"
+        "  +------------------------v-------------------------+\n"
+        "  | kernel (S-mode): perf_event subsystem            |\n"
+        "  |   RISC-V PMU driver, overflow IRQ handler        |\n"
+        "  +------------------------v-------------------------+\n"
+        "  | firmware (M-mode): OpenSBI PMU extension         |\n"
+        "  |   counter config/start/stop via ecall            |\n"
+        "  +------------------------v-------------------------+\n"
+        "  | hardware: mcycle minstret mhpmcounter3..31       |\n"
+        "  |   mhpmevent3..31  mcountinhibit  mcounteren      |\n"
+        "  +--------------------------------------------------+\n\n");
+
+  // Live trace on the X60: open the workaround group, run briefly.
+  Platform P = spacemitX60();
+  auto MOr = ir::parseModule(R"(module tiny
+global @OUT 8
+func @main() -> void {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  store i64 %i, @OUT
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, 20000
+  cond_br %c, loop, exit
+exit:
+  ret
+}
+)");
+  vm::Interpreter Vm(**MOr);
+  CoreModel Core(P.Core, P.Cache);
+  Pmu ThePmu(P.PmuCaps);
+  Core.setEventSink([&ThePmu](const EventDeltas &D) { ThePmu.advance(D); });
+  sbi::SbiPmu Sbi(ThePmu, Core);
+  kernel::PerfEventSubsystem Perf(P, ThePmu, Sbi, Core, Vm);
+  Vm.addConsumer(&Core);
+
+  miniperf::GroupPlan Plan = miniperf::planCyclesInstructionsGroup(P, 10000);
+  int Leader = -1;
+  for (const miniperf::PlannedEvent &E : Plan.Events) {
+    auto FdOr = Perf.open(E.Attr, Leader);
+    if (FdOr && Leader < 0)
+      Leader = *FdOr;
+  }
+  (void)Perf.enable(Leader);
+  (void)Vm.run("main");
+  (void)Perf.disable(Leader);
+
+  print("Live layer-interaction trace on " + P.CoreName + " (" +
+        std::to_string(Sbi.numEcalls()) + " ecalls, " +
+        std::to_string(Perf.numInterrupts()) + " overflow interrupts):\n");
+  unsigned Shown = 0;
+  for (const std::string &Op : Sbi.opLog()) {
+    print("  [M-mode] " + Op + "\n");
+    if (++Shown >= 14) {
+      print("  ... (" + std::to_string(Sbi.opLog().size() - Shown) +
+            " more)\n");
+      break;
+    }
+  }
+  print("\nsamples recorded: " +
+        std::to_string(Perf.ringBuffer().samples().size()) + "\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+//===- bench_fig2_workflow.cpp - Reproduces the paper's Fig. 2 ------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// Fig. 2: "Overview of instrumented workflow" — the two-phase execution
+// diagram. The workflow is printed and then executed for real on the
+// matmul kernel: compile with the instrumentation pass, run the baseline
+// phase, run the instrumented phase, and correlate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/Format.h"
+
+using namespace bench;
+using namespace mperf;
+
+int main() {
+  print("Fig. 2: the two-phase instrumented workflow\n\n");
+  print("  source --clang plugin--> IR --loop nest id / SESE check-->\n"
+        "  outline -> clone -> insert per-block counters -> dispatching\n"
+        "  call site\n\n"
+        "  run 1 (baseline):      MPERF_ROOFLINE_INSTRUMENTED unset\n"
+        "    -> outlined originals execute, wall time measured\n"
+        "  run 2 (instrumented):  MPERF_ROOFLINE_INSTRUMENTED=1\n"
+        "    -> instrumented clones execute, byte/op counters collected\n"
+        "  correlate: GFLOP/s, GB/s, arithmetic intensity per loop nest\n\n");
+
+  hw::Platform P = hw::spacemitX60();
+  PreparedMatmul R = prepareMatmul(P, matmulScale());
+  print("compiled matmul for " + P.CoreName + ": " +
+        std::to_string(R.Loops.size()) + " loop nest(s) instrumented\n");
+  for (const transform::InstrumentedLoop &L : R.Loops)
+    print("  loop " + std::to_string(L.Id) + " at " + L.Loc.str() +
+          " -> " + L.OutlinedName + " / " + L.InstrumentedName + "\n");
+
+  roofline::TwoPhaseResult TP = twoPhase(P, R);
+  print("\nphase 1 (baseline):      " +
+        withCommas(static_cast<uint64_t>(TP.BaselineProgramCycles)) +
+        " cycles\n");
+  print("phase 2 (instrumented):  " +
+        withCommas(static_cast<uint64_t>(TP.InstrumentedProgramCycles)) +
+        " cycles\n");
+  for (const roofline::LoopMetrics &L : TP.Loops) {
+    print("\nloop " + L.Info.Loc.str() + ":\n");
+    print("  region time (baseline):  " + fixed(L.Seconds * 1e3, 3) +
+          " ms\n");
+    print("  bytes loaded/stored:     " + withCommas(L.BytesLoaded) + " / " +
+          withCommas(L.BytesStored) + "\n");
+    print("  int ops / fp ops:        " + withCommas(L.IntOps) + " / " +
+          withCommas(L.FpOps) + "\n");
+    print("  throughput:              " + fixed(L.GFlops, 2) + " GFLOP/s, " +
+          fixed(L.GBytesPerSec, 2) + " GB/s\n");
+    print("  arithmetic intensity:    " + fixed(L.ArithmeticIntensity, 3) +
+          " FLOP/byte\n");
+    print("  instrumentation overhead (why two phases exist): " +
+          fixed(L.OverheadRatio, 2) + "x\n");
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+//===- bench_fig4_roofline.cpp - Reproduces the paper's Fig. 4 ------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// Fig. 4: Roofline models for the tiled matmul kernel:
+//  (a/b) counter-based "Intel Advisor"-style estimate on x86,
+//  (c)   miniperf's IR-derived model on x86,
+//  (d)   miniperf on the SpacemiT X60 with the memset-derived memory
+//        roof and the theoretical 25.6 GFLOP/s compute roof.
+// Also prints the section 5.2 headline numbers: miniperf vs self-reported
+// vs Advisor-style GFLOP/s.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "roofline/Plot.h"
+#include "support/Format.h"
+
+#include <fstream>
+
+using namespace bench;
+using namespace mperf;
+
+namespace {
+
+struct PanelResult {
+  roofline::LoopMetrics Loop;
+  double SelfReportedGFlops = 0;
+  double AdvisorGFlops = 0;
+  roofline::Ceilings Roofs;
+};
+
+PanelResult analyzeOn(const hw::Platform &P) {
+  PanelResult Out;
+  PreparedMatmul R = prepareMatmul(P, matmulScale());
+  roofline::TwoPhaseResult TP = twoPhase(P, R);
+  Out.Loop = TP.Loops.at(0);
+
+  // Self-reported: the program times its own kernel call (includes the
+  // notify overhead), baseline mode.
+  {
+    Environment Env;
+    vm::Interpreter Vm(*R.W.M);
+    hw::CoreModel Core(P.Core, P.Cache);
+    Vm.addConsumer(&Core);
+    roofline::RooflineRuntime Runtime(R.Loops, Env);
+    Runtime.bind(Vm, Core);
+    R.W.initialize(Vm);
+    workloads::bindClock(Vm, [&Core] { return Core.stats().Cycles; });
+    if (!Vm.run("main")) {
+      std::fprintf(stderr, "self-report run failed\n");
+      std::exit(1);
+    }
+    double Seconds = static_cast<double>(R.W.selfReportedCycles(Vm)) /
+                     (P.Core.FreqGHz * 1e9);
+    Out.SelfReportedGFlops =
+        static_cast<double>(R.W.flops()) / Seconds / 1e9;
+  }
+
+  // Counter-based estimate (what an Advisor-style tool reads).
+  {
+    workloads::MatmulWorkload *W = &R.W;
+    auto EstOr = roofline::estimateWithCounters(
+        P, *R.W.M, "main", {}, [W](vm::Interpreter &Vm) {
+          W->initialize(Vm);
+          workloads::bindClock(Vm, [] { return 0.0; });
+        });
+    if (!EstOr) {
+      std::fprintf(stderr, "error: %s\n", EstOr.errorMessage().c_str());
+      std::exit(1);
+    }
+    Out.AdvisorGFlops = EstOr->GFlops;
+  }
+
+  auto C = roofline::measureCeilings(P);
+  if (!C) {
+    std::fprintf(stderr, "error: %s\n", C.errorMessage().c_str());
+    std::exit(1);
+  }
+  Out.Roofs = *C;
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  print("Fig. 4: Roofline models for the tiled matmul kernel\n");
+  print("(kernel: n=96, TILE=32; intensities count L1-exposed traffic, "
+        "as in the paper)\n\n");
+
+  PanelResult X86 = analyzeOn(hw::intelI5_1135G7());
+  PanelResult X60 = analyzeOn(hw::spacemitX60());
+
+  // Panels a-c: the x86 model with all three methodology points.
+  {
+    roofline::RooflineModel Model;
+    Model.Title = "Intel Core i5-1135G7 (panels a-c)";
+    Model.Roofs = X86.Roofs;
+    Model.Points.push_back({"miniperf (IR-derived)",
+                            X86.Loop.ArithmeticIntensity, X86.Loop.GFlops});
+    Model.Points.push_back({"counter-based (Advisor-style)",
+                            X86.Loop.ArithmeticIntensity,
+                            X86.AdvisorGFlops});
+    Model.Points.push_back({"benchmark self-reported",
+                            X86.Loop.ArithmeticIntensity,
+                            X86.SelfReportedGFlops});
+    print(roofline::renderAsciiRoofline(Model));
+    std::ofstream("fig4_x86_roofline.csv") << roofline::renderCsv(Model);
+    std::ofstream("fig4_x86_roofline.json") << roofline::renderJson(Model);
+    print("\n");
+  }
+
+  // Panel d: the X60 model.
+  {
+    roofline::RooflineModel Model;
+    Model.Title = "SpacemiT X60 (panel d)";
+    Model.Roofs = X60.Roofs;
+    Model.Points.push_back({"miniperf (IR-derived)",
+                            X60.Loop.ArithmeticIntensity, X60.Loop.GFlops});
+    print(roofline::renderAsciiRoofline(Model));
+    std::ofstream("fig4_x60_roofline.csv") << roofline::renderCsv(Model);
+    std::ofstream("fig4_x60_roofline.json") << roofline::renderJson(Model);
+    print("\n");
+  }
+
+  print("Section 5.2 headline numbers (paper values in parentheses):\n");
+  print("  x86 miniperf:       " + fixed(X86.Loop.GFlops, 2) +
+        " GFLOP/s   (34.06)\n");
+  print("  x86 self-reported:  " + fixed(X86.SelfReportedGFlops, 2) +
+        " GFLOP/s   (33.0, slightly below miniperf: includes notify "
+        "overhead)\n");
+  print("  x86 Advisor-style:  " + fixed(X86.AdvisorGFlops, 2) +
+        " GFLOP/s   (47.72, ~1.4x miniperf: speculative FP counting)\n");
+  print("  X60 miniperf:       " + fixed(X60.Loop.GFlops, 2) +
+        " GFLOP/s   (1.58)\n");
+  print("  X60 memory roof:    " + fixed(X60.Roofs.MemBandwidthGBs, 2) +
+        " GB/s = " + fixed(X60.Roofs.BytesPerCycle, 2) +
+        " B/cyc x 1.6 GHz   (3.16 B/cyc -> ~4.7 GiB/s)\n");
+  print("  X60 compute roof:   " + fixed(X60.Roofs.PeakGFlops, 1) +
+        " GFLOP/s   (25.6, " + X60.Roofs.ComputeRoofSource + ")\n");
+  print("\nShape check: Advisor > miniperf > self-reported on x86; the "
+        "X60 point sits far below both of its roofs, the paper's "
+        "optimization headroom story.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+//===- bench_simulator_perf.cpp - Substrate microbenchmarks ---------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// google-benchmark timings of the simulation substrate itself: raw
+// interpreter throughput, the cost of attaching the timing model, and
+// the full PMU+perf stack. Useful when sizing workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/CoreModel.h"
+#include "hw/Platform.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "miniperf/Session.h"
+#include "transform/LoopVectorizer.h"
+#include "transform/PassManager.h"
+#include "vm/Interpreter.h"
+#include "workloads/Matmul.h"
+#include "workloads/SqliteLike.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mperf;
+
+namespace {
+
+const char *HotLoopText = R"(module m
+global @OUT 8
+func @main(i64 %n) -> void {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %a = mul i64 %i, 7
+  %b = xor i64 %a, 12345
+  %c = and i64 %b, 1023
+  store i64 %c, @OUT
+  %i.next = add i64 %i, 1
+  %cc = icmp slt i64 %i.next, %n
+  cond_br %cc, loop, exit
+exit:
+  ret
+}
+)";
+
+void BM_InterpreterRawThroughput(benchmark::State &State) {
+  auto MOr = ir::parseModule(HotLoopText);
+  vm::Interpreter Vm(**MOr);
+  uint64_t N = 100000;
+  for (auto _ : State) {
+    auto R = Vm.run("main", {vm::RtValue::ofInt(N)});
+    benchmark::DoNotOptimize(R.hasValue());
+  }
+  State.SetItemsProcessed(State.iterations() * N * 8); // ~8 ops/iter
+}
+BENCHMARK(BM_InterpreterRawThroughput);
+
+void BM_InterpreterWithCoreModel(benchmark::State &State) {
+  auto MOr = ir::parseModule(HotLoopText);
+  vm::Interpreter Vm(**MOr);
+  hw::Platform P = hw::spacemitX60();
+  hw::CoreModel Core(P.Core, P.Cache);
+  Vm.addConsumer(&Core);
+  uint64_t N = 100000;
+  for (auto _ : State) {
+    auto R = Vm.run("main", {vm::RtValue::ofInt(N)});
+    benchmark::DoNotOptimize(R.hasValue());
+  }
+  State.SetItemsProcessed(State.iterations() * N * 8);
+}
+BENCHMARK(BM_InterpreterWithCoreModel);
+
+void BM_FullProfilingSession(benchmark::State &State) {
+  workloads::SqliteLikeConfig C;
+  C.NumPages = 8;
+  C.CellsPerPage = 8;
+  C.NumQueries = 4;
+  for (auto _ : State) {
+    auto W = workloads::buildSqliteLike(C);
+    miniperf::Session S(hw::spacemitX60());
+    auto R = S.profile(*W.M, "main", {vm::RtValue::ofInt(4)});
+    benchmark::DoNotOptimize(R.hasValue());
+  }
+}
+BENCHMARK(BM_FullProfilingSession)->Unit(benchmark::kMillisecond);
+
+void BM_VectorizerOnMatmul(benchmark::State &State) {
+  for (auto _ : State) {
+    auto W = workloads::buildMatmul({64, 16, 1});
+    transform::PassManager PM;
+    PM.addPass(std::make_unique<transform::LoopVectorizer>(
+        transform::TargetInfo::rv64gcv(256)));
+    Error E = PM.run(*W.M);
+    benchmark::DoNotOptimize(E.isError());
+  }
+}
+BENCHMARK(BM_VectorizerOnMatmul)->Unit(benchmark::kMicrosecond);
+
+void BM_ModuleParse(benchmark::State &State) {
+  auto W = workloads::buildSqliteLike({4, 4, 4, 12, 1});
+  std::string Text = ir::printModule(*W.M);
+  for (auto _ : State) {
+    auto MOr = ir::parseModule(Text);
+    benchmark::DoNotOptimize(MOr.hasValue());
+  }
+  State.SetBytesProcessed(State.iterations() * Text.size());
+}
+BENCHMARK(BM_ModuleParse);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+//===- quickstart.cpp - Five-minute tour of the miniperf library ----------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// Quickstart: build a tiny program in the IR, profile it on the
+// simulated SpacemiT X60 through the full PMU stack, and print counts,
+// IPC and a couple of samples. Start here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "miniperf/Session.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace mperf;
+
+int main() {
+  // 1. Build a program: sum the bytes of a buffer, 200 passes.
+  ir::Module M("quickstart");
+  ir::Context &Ctx = M.context();
+  ir::IRBuilder B(M);
+
+  const uint64_t BufBytes = 64 * 1024;
+  ir::GlobalVariable *Buf = M.createGlobal("BUF", BufBytes);
+  ir::GlobalVariable *Out = M.createGlobal("OUT", 8);
+
+  ir::Function *Main = M.createFunction("main", Ctx.voidTy(), {});
+  ir::BasicBlock *Entry = Main->createBlock("entry");
+  ir::BasicBlock *Pass = Main->createBlock("pass");
+  ir::BasicBlock *Loop = Main->createBlock("loop");
+  ir::BasicBlock *PassLatch = Main->createBlock("pass.latch");
+  ir::BasicBlock *Exit = Main->createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  B.createBr(Pass);
+
+  B.setInsertPoint(Pass);
+  ir::Instruction *P = B.createPhi(Ctx.i64Ty(), "p");
+  B.createBr(Loop);
+
+  B.setInsertPoint(Loop);
+  ir::Instruction *I = B.createPhi(Ctx.i64Ty(), "i");
+  ir::Instruction *Acc = B.createPhi(Ctx.i64Ty(), "acc");
+  ir::Value *Ptr = B.createPtrAdd(Buf, I);
+  ir::Value *Byte = B.createLoad(Ctx.i8Ty(), Ptr, "b");
+  ir::Value *Wide = B.createZExt(Byte, Ctx.i64Ty());
+  ir::Value *Acc2 = B.createAdd(Acc, Wide, "acc.next");
+  ir::Value *I2 = B.createAdd(I, B.i64(1), "i.next");
+  ir::Value *More = B.createICmp(ir::ICmpPred::SLT, I2, B.i64(BufBytes));
+  B.createCondBr(More, Loop, PassLatch);
+  I->addIncoming(B.i64(0), Pass);
+  I->addIncoming(I2, Loop);
+  Acc->addIncoming(B.i64(0), Pass);
+  Acc->addIncoming(Acc2, Loop);
+
+  B.setInsertPoint(PassLatch);
+  B.createStore(Acc2, Out);
+  ir::Value *P2 = B.createAdd(P, B.i64(1), "p.next");
+  ir::Value *MoreP = B.createICmp(ir::ICmpPred::SLT, P2, B.i64(8));
+  B.createCondBr(MoreP, Pass, Exit);
+  P->addIncoming(B.i64(0), Entry);
+  P->addIncoming(P2, PassLatch);
+
+  B.setInsertPoint(Exit);
+  B.createRet();
+
+  // 2. Profile it on the simulated SpacemiT X60. The session detects the
+  //    platform from its id CSRs, plans the counter group (on the X60:
+  //    the u_mode_cycle leader workaround), runs, and harvests.
+  hw::Platform Platform = hw::spacemitX60();
+  miniperf::SessionOptions Opts;
+  Opts.SamplePeriod = 50000;
+  miniperf::Session Session(Platform, Opts);
+  Session.setSetupHook([BufBytes](vm::Interpreter &Vm) {
+    std::vector<uint8_t> Data(BufBytes);
+    for (uint64_t I = 0; I != BufBytes; ++I)
+      Data[I] = static_cast<uint8_t>(I * 31);
+    Vm.writeMemory(Vm.globalAddress("BUF"), Data.data(), Data.size());
+  });
+
+  auto ResultOr = Session.profile(M, "main");
+  if (!ResultOr) {
+    std::fprintf(stderr, "profile failed: %s\n",
+                 ResultOr.errorMessage().c_str());
+    return 1;
+  }
+  const miniperf::ProfileResult &R = *ResultOr;
+
+  // 3. Report.
+  std::printf("platform:       %s\n", Platform.CoreName.c_str());
+  std::printf("cycles:         %s\n", withCommas(R.Cycles).c_str());
+  std::printf("instructions:   %s\n", withCommas(R.Instructions).c_str());
+  std::printf("IPC:            %.2f\n", R.Ipc);
+  std::printf("simulated time: %.3f ms\n", R.Seconds * 1e3);
+  std::printf("samples:        %zu (leader: %s)%s\n", R.Samples.size(),
+              R.LeaderDescription.c_str(),
+              R.UsedWorkaround ? "  <- the paper's X60 workaround" : "");
+  std::printf("sbi ecalls:     %llu, overflow interrupts: %llu\n",
+              static_cast<unsigned long long>(R.SbiEcalls),
+              static_cast<unsigned long long>(R.Interrupts));
+  if (!R.Samples.empty()) {
+    const kernel::PerfSample &S = R.Samples.back();
+    std::printf("last sample:    leaf=%s, %zu group counters\n",
+                S.Leaf.c_str(), S.GroupValues.size());
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- roofline_matmul.cpp - Hardware-agnostic Roofline analysis ----------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// The compiler-driven Roofline pipeline end to end, on the paper's tiled
+// matmul: vectorize, run the instrumentation pass (loop nest id -> SESE
+// -> outline -> clone -> counters -> dispatching call site), execute the
+// two phases, and draw the model — all without reading a single PMU
+// counter, which is the point of section 4.
+//
+//===----------------------------------------------------------------------===//
+
+#include "roofline/MachineModel.h"
+#include "roofline/Plot.h"
+#include "roofline/TwoPhase.h"
+#include "support/Format.h"
+#include "transform/LoopVectorizer.h"
+#include "transform/PassManager.h"
+#include "transform/RooflineInstrumenter.h"
+#include "workloads/Matmul.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace mperf;
+
+int main() {
+  hw::Platform P = hw::spacemitX60();
+  workloads::MatmulWorkload W = workloads::buildMatmul({96, 32, 42});
+
+  // Compile: -O3-style vectorization for the platform's target, then the
+  // Roofline instrumentation pass, late, as the paper prescribes.
+  transform::PassManager PM;
+  PM.addPass(std::make_unique<transform::LoopVectorizer>(P.Target));
+  auto Pass = std::make_unique<transform::RooflineInstrumenter>();
+  transform::RooflineInstrumenter *Instr = Pass.get();
+  PM.addPass(std::move(Pass));
+  if (Error E = PM.run(*W.M)) {
+    std::fprintf(stderr, "compile failed: %s\n", E.message().c_str());
+    return 1;
+  }
+  std::printf("instrumented %zu loop nest(s); %u skipped as non-SESE\n",
+              Instr->loops().size(), Instr->numSkipped());
+
+  // Two-phase execution.
+  roofline::TwoPhaseDriver Driver(P);
+  Driver.setSetupHook([&W](vm::Interpreter &Vm) {
+    W.initialize(Vm);
+    workloads::bindClock(Vm, [] { return 0.0; });
+  });
+  auto ResultOr = Driver.analyze(*W.M, Instr->loops(), "main");
+  if (!ResultOr) {
+    std::fprintf(stderr, "analysis failed: %s\n",
+                 ResultOr.errorMessage().c_str());
+    return 1;
+  }
+  const roofline::LoopMetrics &L = ResultOr->Loops.at(0);
+
+  // Ceilings from microbenchmarks + theory, and the plot.
+  auto CeilingsOr = roofline::measureCeilings(P);
+  if (!CeilingsOr) {
+    std::fprintf(stderr, "ceilings failed: %s\n",
+                 CeilingsOr.errorMessage().c_str());
+    return 1;
+  }
+
+  roofline::RooflineModel Model;
+  Model.Title = "matmul 96x96 (tile 32) on " + P.CoreName;
+  Model.Roofs = *CeilingsOr;
+  Model.Points.push_back(
+      {"matmul kernel", L.ArithmeticIntensity, L.GFlops});
+  std::printf("\n%s\n", roofline::renderAsciiRoofline(Model).c_str());
+
+  std::printf("kernel:     %.2f GFLOP/s at %.3f FLOP/byte\n", L.GFlops,
+              L.ArithmeticIntensity);
+  std::printf("roofs:      %.1f GFLOP/s compute (%s), %.2f GB/s DRAM "
+              "(%s)\n",
+              Model.Roofs.PeakGFlops, Model.Roofs.ComputeRoofSource.c_str(),
+              Model.Roofs.MemBandwidthGBs,
+              Model.Roofs.MemoryRoofSource.c_str());
+  std::printf("headroom:   %.1fx below the attainable bound at this "
+              "intensity\n",
+              Model.Roofs.attainableL1(L.ArithmeticIntensity) / L.GFlops);
+  std::printf("overhead:   instrumented run was %.2fx the baseline "
+              "(two-phase design absorbs it)\n",
+              L.OverheadRatio);
+
+  std::ofstream("roofline_matmul.json") << roofline::renderJson(Model);
+  std::printf("\nmodel written to roofline_matmul.json\n");
+  return 0;
+}

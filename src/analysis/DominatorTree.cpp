@@ -1,0 +1,105 @@
+//===- DominatorTree.cpp - Dominator tree analysis --------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace mperf;
+using namespace mperf::analysis;
+using namespace mperf::ir;
+
+DominatorTree::DominatorTree(const Function &F) : F(F) {
+  assert(!F.isDeclaration() && "dominator tree over a declaration");
+
+  // Depth-first post order from the entry.
+  std::vector<BasicBlock *> PostOrder;
+  std::set<const BasicBlock *> Visited;
+  // Iterative DFS with explicit stack of (block, next successor index).
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  BasicBlock *Entry = F.entry();
+  Stack.push_back({Entry, 0});
+  Visited.insert(Entry);
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    auto Succs = BB->successors();
+    if (NextSucc < Succs.size()) {
+      BasicBlock *Succ = Succs[NextSucc++];
+      if (Visited.insert(Succ).second)
+        Stack.push_back({Succ, 0});
+      continue;
+    }
+    PostOrder.push_back(BB);
+    Stack.pop_back();
+  }
+
+  for (unsigned I = 0, E = PostOrder.size(); I != E; ++I)
+    PostOrderIndex[PostOrder[I]] = I;
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+
+  // Iterative dataflow from Cooper-Harvey-Kennedy.
+  auto Intersect = [this](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (PostOrderIndex.at(A) < PostOrderIndex.at(B))
+        A = IDom.at(A);
+      while (PostOrderIndex.at(B) < PostOrderIndex.at(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  IDom[Entry] = Entry;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *Pred : BB->predecessors()) {
+        if (!isReachable(Pred) || !IDom.count(Pred))
+          continue;
+        NewIDom = NewIDom ? Intersect(NewIDom, Pred) : Pred;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  if (It == IDom.end())
+    return nullptr;
+  // The entry's table entry points at itself; expose null instead.
+  return It->second == BB ? nullptr : It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  const BasicBlock *Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    auto It = IDom.find(Cur);
+    if (It == IDom.end() || It->second == Cur)
+      return false;
+    Cur = It->second;
+  }
+}
+
+bool DominatorTree::strictlyDominates(const BasicBlock *A,
+                                      const BasicBlock *B) const {
+  return A != B && dominates(A, B);
+}

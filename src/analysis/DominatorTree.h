@@ -1,0 +1,65 @@
+//===- DominatorTree.h - Dominator tree analysis ---------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate-dominator computation using the iterative algorithm of
+/// Cooper, Harvey and Kennedy ("A Simple, Fast Dominance Algorithm").
+/// Loop detection (analysis/LoopInfo.h) is built on top of it, exactly as
+/// the paper's pass uses LLVM's Loop Analysis infrastructure (§4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_ANALYSIS_DOMINATORTREE_H
+#define MPERF_ANALYSIS_DOMINATORTREE_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <vector>
+
+namespace mperf {
+namespace analysis {
+
+/// Dominator tree over one function's CFG. Blocks unreachable from the
+/// entry are not in the tree; queries involving them return false/null.
+class DominatorTree {
+public:
+  explicit DominatorTree(const ir::Function &F);
+
+  /// Immediate dominator; null for the entry block and unreachable blocks.
+  ir::BasicBlock *idom(const ir::BasicBlock *BB) const;
+
+  /// Returns true if \p A dominates \p B (reflexive).
+  bool dominates(const ir::BasicBlock *A, const ir::BasicBlock *B) const;
+
+  /// Returns true if \p A strictly dominates \p B.
+  bool strictlyDominates(const ir::BasicBlock *A,
+                         const ir::BasicBlock *B) const;
+
+  /// Returns true if \p BB is reachable from the entry block.
+  bool isReachable(const ir::BasicBlock *BB) const {
+    return PostOrderIndex.count(BB) != 0;
+  }
+
+  /// Blocks in reverse post order (entry first).
+  const std::vector<ir::BasicBlock *> &reversePostOrder() const {
+    return RPO;
+  }
+
+  const ir::Function &function() const { return F; }
+
+private:
+  const ir::Function &F;
+  std::vector<ir::BasicBlock *> RPO;
+  std::map<const ir::BasicBlock *, unsigned> PostOrderIndex;
+  std::map<const ir::BasicBlock *, ir::BasicBlock *> IDom;
+};
+
+} // namespace analysis
+} // namespace mperf
+
+#endif // MPERF_ANALYSIS_DOMINATORTREE_H

@@ -1,0 +1,167 @@
+//===- LoopInfo.cpp - Natural loop detection ---------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace mperf;
+using namespace mperf::analysis;
+using namespace mperf::ir;
+
+std::vector<BasicBlock *> Loop::latches() const {
+  std::vector<BasicBlock *> Result;
+  for (BasicBlock *Pred : Header->predecessors())
+    if (contains(Pred))
+      Result.push_back(Pred);
+  return Result;
+}
+
+BasicBlock *Loop::preheader() const {
+  BasicBlock *Candidate = nullptr;
+  for (BasicBlock *Pred : Header->predecessors()) {
+    if (contains(Pred))
+      continue;
+    if (Candidate)
+      return nullptr; // more than one outside predecessor
+    Candidate = Pred;
+  }
+  if (!Candidate)
+    return nullptr;
+  // A preheader must branch only to the header.
+  auto Succs = Candidate->successors();
+  if (Succs.size() != 1 || Succs[0] != Header)
+    return nullptr;
+  return Candidate;
+}
+
+std::vector<BasicBlock *> Loop::exitBlocks() const {
+  std::vector<BasicBlock *> Result;
+  for (BasicBlock *BB : Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      if (!contains(Succ) &&
+          std::find(Result.begin(), Result.end(), Succ) == Result.end())
+        Result.push_back(Succ);
+  return Result;
+}
+
+std::vector<BasicBlock *> Loop::exitingBlocks() const {
+  std::vector<BasicBlock *> Result;
+  for (BasicBlock *BB : Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      if (!contains(Succ)) {
+        Result.push_back(BB);
+        break;
+      }
+  return Result;
+}
+
+unsigned Loop::depth() const {
+  unsigned D = 1;
+  for (const Loop *P = Parent; P; P = P->parent())
+    ++D;
+  return D;
+}
+
+LoopInfo::LoopInfo(const Function &F, const DominatorTree &DT) {
+  (void)F; // The CFG is reached through DT, which was built over F.
+  // Find back edges (Latch -> Header where Header dominates Latch) and
+  // collect each loop's body by walking predecessors from the latch.
+  std::map<BasicBlock *, Loop *> HeaderToLoop;
+
+  for (BasicBlock *BB : DT.reversePostOrder()) {
+    for (BasicBlock *Succ : BB->successors()) {
+      if (!DT.dominates(Succ, BB))
+        continue;
+      // BB -> Succ is a back edge; Succ is a header.
+      Loop *L = nullptr;
+      auto It = HeaderToLoop.find(Succ);
+      if (It != HeaderToLoop.end()) {
+        L = It->second;
+      } else {
+        AllLoops.push_back(std::make_unique<Loop>(Succ));
+        L = AllLoops.back().get();
+        HeaderToLoop[Succ] = L;
+      }
+      // Reverse flood fill from the latch, stopping at the header.
+      L->Blocks.insert(Succ);
+      std::vector<BasicBlock *> Work;
+      if (L->Blocks.insert(BB).second)
+        Work.push_back(BB);
+      while (!Work.empty()) {
+        BasicBlock *Cur = Work.back();
+        Work.pop_back();
+        for (BasicBlock *Pred : Cur->predecessors()) {
+          if (!DT.isReachable(Pred))
+            continue;
+          if (L->Blocks.insert(Pred).second)
+            Work.push_back(Pred);
+        }
+      }
+    }
+  }
+
+  // Establish nesting: loop A is a child of the smallest loop B != A whose
+  // block set contains A's header.
+  for (auto &LPtr : AllLoops) {
+    Loop *L = LPtr.get();
+    Loop *BestParent = nullptr;
+    for (auto &CandPtr : AllLoops) {
+      Loop *Cand = CandPtr.get();
+      if (Cand == L || !Cand->contains(L->header()))
+        continue;
+      if (!BestParent || Cand->Blocks.size() < BestParent->Blocks.size())
+        BestParent = Cand;
+    }
+    L->Parent = BestParent;
+  }
+  for (auto &LPtr : AllLoops) {
+    Loop *L = LPtr.get();
+    if (L->Parent)
+      L->Parent->SubLoops.push_back(L);
+    else
+      TopLevel.push_back(L);
+  }
+
+  // Keep deterministic program order: order top-level loops and subloops
+  // by their header's position in RPO.
+  std::map<const BasicBlock *, unsigned> Order;
+  unsigned N = 0;
+  for (BasicBlock *BB : DT.reversePostOrder())
+    Order[BB] = N++;
+  auto ByHeader = [&Order](const Loop *A, const Loop *B) {
+    return Order.at(A->header()) < Order.at(B->header());
+  };
+  std::sort(TopLevel.begin(), TopLevel.end(), ByHeader);
+  for (auto &LPtr : AllLoops)
+    std::sort(LPtr->SubLoops.begin(), LPtr->SubLoops.end(), ByHeader);
+}
+
+std::vector<Loop *> LoopInfo::loopsInPreorder() const {
+  std::vector<Loop *> Result;
+  std::vector<Loop *> Work(TopLevel.rbegin(), TopLevel.rend());
+  while (!Work.empty()) {
+    Loop *L = Work.back();
+    Work.pop_back();
+    Result.push_back(L);
+    for (auto It = L->subLoops().rbegin(); It != L->subLoops().rend(); ++It)
+      Work.push_back(*It);
+  }
+  return Result;
+}
+
+Loop *LoopInfo::loopFor(const BasicBlock *BB) const {
+  Loop *Best = nullptr;
+  for (const auto &LPtr : AllLoops) {
+    if (!LPtr->contains(BB))
+      continue;
+    if (!Best || LPtr->Blocks.size() < Best->Blocks.size())
+      Best = LPtr.get();
+  }
+  return Best;
+}

@@ -1,0 +1,93 @@
+//===- LoopInfo.h - Natural loop detection ---------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection over the dominator tree. The Roofline pass
+/// walks the loop forest to find top-level loop nests ("Loop Nest
+/// Identification", §4.2), and the vectorizer uses innermost loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_ANALYSIS_LOOPINFO_H
+#define MPERF_ANALYSIS_LOOPINFO_H
+
+#include "analysis/DominatorTree.h"
+
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace mperf {
+namespace analysis {
+
+/// One natural loop: header plus body blocks, with nesting links.
+class Loop {
+public:
+  Loop(ir::BasicBlock *Header) : Header(Header) {}
+
+  ir::BasicBlock *header() const { return Header; }
+
+  /// All blocks in the loop, including the header and any subloop blocks.
+  const std::set<ir::BasicBlock *> &blocks() const { return Blocks; }
+  bool contains(const ir::BasicBlock *BB) const {
+    return Blocks.count(const_cast<ir::BasicBlock *>(BB)) != 0;
+  }
+
+  /// Latch blocks: in-loop predecessors of the header.
+  std::vector<ir::BasicBlock *> latches() const;
+
+  /// The unique out-of-loop predecessor of the header when it exists and
+  /// branches only to the header; null otherwise.
+  ir::BasicBlock *preheader() const;
+
+  /// Blocks outside the loop that have a predecessor inside.
+  std::vector<ir::BasicBlock *> exitBlocks() const;
+
+  /// Blocks inside the loop with a successor outside.
+  std::vector<ir::BasicBlock *> exitingBlocks() const;
+
+  Loop *parent() const { return Parent; }
+  const std::vector<Loop *> &subLoops() const { return SubLoops; }
+  bool isInnermost() const { return SubLoops.empty(); }
+  bool isOutermost() const { return Parent == nullptr; }
+
+  /// 1 for top-level loops, increasing inward.
+  unsigned depth() const;
+
+private:
+  friend class LoopInfo;
+  ir::BasicBlock *Header;
+  std::set<ir::BasicBlock *> Blocks;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+};
+
+/// The loop forest of one function.
+class LoopInfo {
+public:
+  LoopInfo(const ir::Function &F, const DominatorTree &DT);
+
+  /// Outermost loops in program order of their headers.
+  const std::vector<Loop *> &topLevelLoops() const { return TopLevel; }
+
+  /// All loops, outermost first within each nest.
+  std::vector<Loop *> loopsInPreorder() const;
+
+  /// The innermost loop containing \p BB, or null.
+  Loop *loopFor(const ir::BasicBlock *BB) const;
+
+  size_t numLoops() const { return AllLoops.size(); }
+
+private:
+  std::vector<std::unique_ptr<Loop>> AllLoops;
+  std::vector<Loop *> TopLevel;
+};
+
+} // namespace analysis
+} // namespace mperf
+
+#endif // MPERF_ANALYSIS_LOOPINFO_H

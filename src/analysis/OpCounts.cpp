@@ -1,0 +1,40 @@
+//===- OpCounts.cpp - Static per-block operation counting --------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/OpCounts.h"
+
+using namespace mperf;
+using namespace mperf::analysis;
+using namespace mperf::ir;
+
+BlockOpCounts mperf::analysis::countBlockOps(const BasicBlock &BB) {
+  BlockOpCounts Counts;
+  for (const Instruction *I : BB) {
+    switch (I->opcode()) {
+    case Opcode::Load:
+      Counts.BytesLoaded += I->accessedBytes();
+      break;
+    case Opcode::Store:
+      Counts.BytesStored += I->accessedBytes();
+      break;
+    default:
+      if (I->isIntArith())
+        Counts.IntOps += I->type()->numElements();
+      else
+        Counts.FloatOps += I->flopCount();
+      break;
+    }
+  }
+  return Counts;
+}
+
+BlockOpCounts mperf::analysis::countFunctionOps(const Function &F) {
+  BlockOpCounts Counts;
+  for (const BasicBlock *BB : F)
+    Counts += countBlockOps(*BB);
+  return Counts;
+}

@@ -1,0 +1,58 @@
+//===- OpCounts.h - Static per-block operation counting --------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumented function version "inserts code at the basic block
+/// level to count bytes loaded to/from memory, integer arithmetic
+/// operations, and floating-point arithmetic operations" (§4.2). Those
+/// per-block increments are compile-time constants; this analysis
+/// computes them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_ANALYSIS_OPCOUNTS_H
+#define MPERF_ANALYSIS_OPCOUNTS_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+
+namespace mperf {
+namespace analysis {
+
+/// Static operation counts for one execution of a basic block.
+struct BlockOpCounts {
+  uint64_t BytesLoaded = 0;
+  uint64_t BytesStored = 0;
+  uint64_t IntOps = 0;
+  uint64_t FloatOps = 0; // scalar FLOPs: vector lanes multiply, FMA = 2
+
+  BlockOpCounts &operator+=(const BlockOpCounts &O) {
+    BytesLoaded += O.BytesLoaded;
+    BytesStored += O.BytesStored;
+    IntOps += O.IntOps;
+    FloatOps += O.FloatOps;
+    return *this;
+  }
+
+  bool isZero() const {
+    return BytesLoaded == 0 && BytesStored == 0 && IntOps == 0 &&
+           FloatOps == 0;
+  }
+};
+
+/// Counts one block.
+BlockOpCounts countBlockOps(const ir::BasicBlock &BB);
+
+/// Sums all blocks of \p F (static counts; not an execution profile).
+BlockOpCounts countFunctionOps(const ir::Function &F);
+
+} // namespace analysis
+} // namespace mperf
+
+#endif // MPERF_ANALYSIS_OPCOUNTS_H

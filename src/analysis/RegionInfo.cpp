@@ -1,0 +1,44 @@
+//===- RegionInfo.cpp - SESE region checks -----------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RegionInfo.h"
+
+using namespace mperf;
+using namespace mperf::analysis;
+using namespace mperf::ir;
+
+std::optional<SESERegion> mperf::analysis::computeSESERegion(Loop *L) {
+  SESERegion Region;
+  Region.TheLoop = L;
+
+  Region.Entry = L->preheader();
+  if (!Region.Entry)
+    return std::nullopt;
+
+  // Every block of the loop other than the header must have all its
+  // predecessors inside the loop (no side entries).
+  for (BasicBlock *BB : L->blocks()) {
+    if (BB == L->header())
+      continue;
+    for (BasicBlock *Pred : BB->predecessors())
+      if (!L->contains(Pred))
+        return std::nullopt;
+  }
+
+  // Exactly one exit block.
+  auto Exits = L->exitBlocks();
+  if (Exits.size() != 1)
+    return std::nullopt;
+  Region.Exit = Exits.front();
+
+  // The exit block must not be reachable except through the loop or
+  // through control flow after it; for extraction it is enough that the
+  // exit is not the function entry and every in-loop exit edge targets it
+  // (already guaranteed by Exits.size()==1).
+  Region.Blocks = L->blocks();
+  return Region;
+}

@@ -1,0 +1,52 @@
+//===- RegionInfo.h - SESE region checks -----------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "For each identified loop nest, we use LLVM's RegionInfoAnalysis to
+/// ensure the region has a single entry and single exit point (SESE).
+/// This property is crucial for clean extraction" (§4.2). This analysis
+/// provides exactly that check: whether a loop (plus its preheader) forms
+/// a single-entry/single-exit region, and if so, which blocks to extract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_ANALYSIS_REGIONINFO_H
+#define MPERF_ANALYSIS_REGIONINFO_H
+
+#include "analysis/LoopInfo.h"
+
+#include <optional>
+
+namespace mperf {
+namespace analysis {
+
+/// Description of an extractable SESE loop region.
+struct SESERegion {
+  /// The loop this region wraps.
+  Loop *TheLoop = nullptr;
+  /// Single entry edge source: the loop preheader.
+  ir::BasicBlock *Entry = nullptr;
+  /// Single exit block (outside the loop).
+  ir::BasicBlock *Exit = nullptr;
+  /// The loop body blocks (the extraction set; excludes Entry and Exit).
+  std::set<ir::BasicBlock *> Blocks;
+};
+
+/// Returns the SESE region for \p L if it has one:
+///  - a preheader exists (single outside entry, branching only to the
+///    header),
+///  - there is exactly one exit block, and every edge leaving the loop
+///    lands on it,
+///  - no block outside the loop (other than the preheader path) branches
+///    into the middle of the loop.
+/// Returns std::nullopt when the loop is not cleanly extractable.
+std::optional<SESERegion> computeSESERegion(Loop *L);
+
+} // namespace analysis
+} // namespace mperf
+
+#endif // MPERF_ANALYSIS_REGIONINFO_H

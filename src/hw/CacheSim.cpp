@@ -1,0 +1,120 @@
+//===- CacheSim.cpp - Two-level cache hierarchy simulator --------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/CacheSim.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace mperf;
+using namespace mperf::hw;
+
+static unsigned log2u(uint64_t V) {
+  unsigned L = 0;
+  while ((1ull << L) < V)
+    ++L;
+  return L;
+}
+
+CacheSim::Level CacheSim::makeLevel(const CacheLevelConfig &C) {
+  Level L;
+  L.Assoc = C.Assoc;
+  L.LineShift = log2u(C.LineBytes);
+  uint64_t Lines = C.SizeBytes / C.LineBytes;
+  L.NumSets = static_cast<unsigned>(Lines / C.Assoc);
+  assert(L.NumSets > 0 && "cache too small for its associativity");
+  L.Tags.assign(static_cast<size_t>(L.NumSets) * C.Assoc, 0);
+  L.Stamps.assign(static_cast<size_t>(L.NumSets) * C.Assoc, 0);
+  return L;
+}
+
+CacheSim::CacheSim(const CacheConfig &Config) : Config(Config) {
+  L1 = makeLevel(Config.L1);
+  L2 = makeLevel(Config.L2);
+}
+
+void CacheSim::reset() {
+  L1 = makeLevel(Config.L1);
+  L2 = makeLevel(Config.L2);
+  Stats = CacheStats();
+  Clock = 0;
+}
+
+bool CacheSim::probe(Level &L, uint64_t LineAddr) {
+  uint64_t Tag = LineAddr | 1; // low bit marks valid
+  unsigned Set = static_cast<unsigned>(LineAddr % L.NumSets);
+  size_t Base = static_cast<size_t>(Set) * L.Assoc;
+  for (unsigned W = 0; W != L.Assoc; ++W) {
+    if (L.Tags[Base + W] == Tag) {
+      L.Stamps[Base + W] = ++Clock;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CacheSim::fill(Level &L, uint64_t LineAddr) {
+  uint64_t Tag = LineAddr | 1;
+  unsigned Set = static_cast<unsigned>(LineAddr % L.NumSets);
+  size_t Base = static_cast<size_t>(Set) * L.Assoc;
+  // Reuse an invalid way or evict the LRU way.
+  size_t Victim = Base;
+  uint64_t Oldest = UINT64_MAX;
+  for (unsigned W = 0; W != L.Assoc; ++W) {
+    if (L.Tags[Base + W] == 0) {
+      Victim = Base + W;
+      break;
+    }
+    if (L.Stamps[Base + W] < Oldest) {
+      Oldest = L.Stamps[Base + W];
+      Victim = Base + W;
+    }
+  }
+  L.Tags[Victim] = Tag;
+  L.Stamps[Victim] = ++Clock;
+}
+
+MemLevel CacheSim::access(uint64_t Addr, uint32_t Bytes) {
+  assert(Bytes > 0 && "zero-byte access");
+  unsigned LineBytes = 1u << L1.LineShift;
+  uint64_t FirstLine = Addr >> L1.LineShift;
+  uint64_t LastLine = (Addr + Bytes - 1) >> L1.LineShift;
+
+  MemLevel Deepest = MemLevel::L1;
+  for (uint64_t Line = FirstLine; Line <= LastLine; ++Line) {
+    if (probe(L1, Line)) {
+      ++Stats.L1Hits;
+      continue;
+    }
+    ++Stats.L1Misses;
+    if (probe(L2, Line)) {
+      ++Stats.L2Hits;
+      fill(L1, Line);
+      if (Deepest == MemLevel::L1)
+        Deepest = MemLevel::L2;
+      continue;
+    }
+    ++Stats.L2Misses;
+    Stats.DramBytes += LineBytes;
+    fill(L2, Line);
+    fill(L1, Line);
+    Deepest = MemLevel::DRAM;
+  }
+  return Deepest;
+}
+
+double CacheSim::latencyFor(MemLevel Level) const {
+  switch (Level) {
+  case MemLevel::L1:
+    return Config.L1.HitLatency;
+  case MemLevel::L2:
+    return Config.L2.HitLatency;
+  case MemLevel::DRAM:
+    return Config.DramLatency;
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- CacheSim.h - Two-level cache hierarchy simulator --------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative L1D + unified L2 + DRAM model with LRU replacement.
+/// Core models ask it where each access hits; DRAM traffic feeds the
+/// bandwidth bound that reproduces the paper's memset-derived memory roof
+/// (~3.16 bytes/cycle on the X60, §5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_HW_CACHESIM_H
+#define MPERF_HW_CACHESIM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace mperf {
+namespace hw {
+
+/// Where an access was served from.
+enum class MemLevel : uint8_t { L1, L2, DRAM };
+
+/// Geometry and latency of one cache level.
+struct CacheLevelConfig {
+  uint64_t SizeBytes = 32 * 1024;
+  unsigned Assoc = 8;
+  unsigned LineBytes = 64;
+  /// Added latency in cycles when the access is served here.
+  double HitLatency = 0;
+};
+
+/// Whole-hierarchy configuration.
+struct CacheConfig {
+  CacheLevelConfig L1{32 * 1024, 8, 64, 0};
+  CacheLevelConfig L2{512 * 1024, 8, 64, 12};
+  double DramLatency = 90;
+  /// Sustained DRAM bandwidth in bytes per core cycle; bounds streaming
+  /// throughput regardless of latency overlap.
+  double DramBytesPerCycle = 3.16;
+};
+
+/// Hit/miss counters per level.
+struct CacheStats {
+  uint64_t L1Hits = 0;
+  uint64_t L1Misses = 0;
+  uint64_t L2Hits = 0;
+  uint64_t L2Misses = 0;
+  uint64_t DramBytes = 0;
+};
+
+/// The hierarchy. Physically-indexed on the VM's flat addresses.
+class CacheSim {
+public:
+  explicit CacheSim(const CacheConfig &Config);
+
+  /// Simulates an access of \p Bytes at \p Addr. Returns the deepest
+  /// level touched by any line of the access. Write-allocate, so loads
+  /// and stores behave identically for residency.
+  MemLevel access(uint64_t Addr, uint32_t Bytes);
+
+  /// Added latency (beyond a pipelined L1 hit) for \p Level.
+  double latencyFor(MemLevel Level) const;
+
+  const CacheStats &stats() const { return Stats; }
+  const CacheConfig &config() const { return Config; }
+
+  /// Drops all cached lines and zeroes statistics.
+  void reset();
+
+private:
+  /// One level's tag array with LRU stamps.
+  struct Level {
+    unsigned NumSets = 0;
+    unsigned Assoc = 0;
+    unsigned LineShift = 6;
+    std::vector<uint64_t> Tags;   // NumSets * Assoc, 0 = invalid
+    std::vector<uint64_t> Stamps; // LRU timestamps
+  };
+
+  /// Returns true when \p LineAddr hits in \p L (and touches LRU).
+  bool probe(Level &L, uint64_t LineAddr);
+  void fill(Level &L, uint64_t LineAddr);
+  static Level makeLevel(const CacheLevelConfig &C);
+
+  CacheConfig Config;
+  Level L1, L2;
+  CacheStats Stats;
+  uint64_t Clock = 0;
+};
+
+} // namespace hw
+} // namespace mperf
+
+#endif // MPERF_HW_CACHESIM_H

@@ -1,0 +1,217 @@
+//===- CoreModel.cpp - Cycle-approximate core timing models -------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/CoreModel.h"
+
+#include <algorithm>
+
+using namespace mperf;
+using namespace mperf::hw;
+using namespace mperf::vm;
+
+std::string_view mperf::hw::eventName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::None:
+    return "none";
+  case EventKind::Cycles:
+    return "cycles";
+  case EventKind::Instret:
+    return "instructions";
+  case EventKind::L1DMiss:
+    return "l1d-miss";
+  case EventKind::L2Miss:
+    return "l2-miss";
+  case EventKind::BranchMispredict:
+    return "branch-miss";
+  case EventKind::UModeCycles:
+    return "u_mode_cycle";
+  case EventKind::MModeCycles:
+    return "m_mode_cycle";
+  case EventKind::SModeCycles:
+    return "s_mode_cycle";
+  case EventKind::FpOpsSpec:
+    return "fp-ops-spec";
+  }
+  return "unknown";
+}
+
+CoreModel::CoreModel(const CoreConfig &Core, const CacheConfig &Cache)
+    : Core(Core), Cache(Cache) {}
+
+void CoreModel::reset() {
+  Cache.reset();
+  Stats = CoreStats();
+  Predictor.clear();
+}
+
+void CoreModel::addCycles(double Cycles) {
+  Stats.Cycles += Cycles;
+  Stats.FirmwareCycles += Cycles;
+  if (EventSink) {
+    EventDeltas D;
+    D.Cycles = Cycles;
+    D.Mode = CurrentMode;
+    EventSink(D);
+  }
+}
+
+bool CoreModel::predictBranch(const vm::RetiredOp &Op) {
+  // A 2-bit saturating counter combined with a loop predictor: when a
+  // branch was last seen exiting after N consecutive taken iterations,
+  // the exit at iteration N is predicted correctly the next time around
+  // (fixed-trip inner loops are free, as on real cores). Returns true
+  // when the prediction was correct.
+  BranchState &State = Predictor.try_emplace(Op.Inst).first->second;
+
+  // The loop predictor only takes over once the trip count repeated;
+  // irregular branches stay on the 2-bit counter.
+  bool Predicted;
+  if (State.LoopConfidence >= 1 && State.LastTrip > 0)
+    Predicted = State.Streak + 1 < State.LastTrip; // exit on the last trip
+  else
+    Predicted = State.Counter >= 2;
+  bool Correct = Predicted == Op.Taken;
+
+  if (Op.Taken) {
+    ++State.Streak;
+    State.Counter = static_cast<uint8_t>(std::min<int>(State.Counter + 1, 3));
+  } else {
+    uint32_t Trip = State.Streak + 1;
+    if (Trip == State.LastTrip)
+      State.LoopConfidence =
+          static_cast<uint8_t>(std::min<int>(State.LoopConfidence + 1, 3));
+    else
+      State.LoopConfidence = 0;
+    State.LastTrip = Trip;
+    State.Streak = 0;
+    State.Counter = static_cast<uint8_t>(std::max<int>(State.Counter - 1, 0));
+  }
+  return Correct;
+}
+
+double CoreModel::costFor(const vm::RetiredOp &Op) {
+  bool IsVector = Op.Lanes > 1;
+  switch (Op.Class) {
+  case OpClass::IntAlu:
+    return IsVector ? Core.VecOpCost : Core.CostIntAlu;
+  case OpClass::IntMul:
+    return IsVector ? Core.VecOpCost : Core.CostIntMul;
+  case OpClass::IntDiv:
+    return Core.CostIntDiv * (IsVector ? Op.Lanes / 2.0 : 1.0);
+  case OpClass::FpAdd:
+    return IsVector ? Core.VecOpCost : Core.CostFpAdd;
+  case OpClass::FpMul:
+    return IsVector ? Core.VecOpCost : Core.CostFpMul;
+  case OpClass::FpFma:
+    return IsVector ? Core.VecOpCost : Core.CostFpFma;
+  case OpClass::FpDiv:
+    return Core.CostFpDiv * (IsVector ? Op.Lanes / 2.0 : 1.0);
+  case OpClass::Load:
+    if (IsVector)
+      return Op.StrideBytes != 0 ? Core.VecStridedLaneCost * Op.Lanes
+                                 : Core.VecMemCost;
+    return Core.CostLoad;
+  case OpClass::Store:
+    if (IsVector)
+      return Op.StrideBytes != 0 ? Core.VecStridedLaneCost * Op.Lanes
+                                 : Core.VecMemCost;
+    return Core.CostStore;
+  case OpClass::Branch:
+    return Core.CostBranch;
+  case OpClass::Call:
+  case OpClass::Ret:
+    return Core.CostCall;
+  case OpClass::Other:
+    return IsVector ? Core.VecOpCost : Core.CostOther;
+  }
+  return Core.CostOther;
+}
+
+void CoreModel::onRetire(const vm::RetiredOp &Op) {
+  EventDeltas D;
+  D.Mode = CurrentMode;
+  double Cycles = costFor(Op);
+  Stats.IssueCycles += Cycles;
+
+  // Memory: walk the cache. Loads stall for the added latency (in-order
+  // cores in full, OoO cores overlap it across Mlp outstanding misses);
+  // stores retire through the store buffer and only pay issue cost plus
+  // the DRAM bandwidth floor below.
+  if (Op.Class == OpClass::Load || Op.Class == OpClass::Store) {
+    uint64_t L1MissBefore = Cache.stats().L1Misses;
+    uint64_t L2MissBefore = Cache.stats().L2Misses;
+    MemLevel Deepest = MemLevel::L1;
+    if (Op.Lanes > 1 && Op.StrideBytes != 0) {
+      uint32_t ElemBytes = Op.Bytes / Op.Lanes;
+      for (unsigned Ln = 0; Ln != Op.Lanes; ++Ln) {
+        MemLevel Lv = Cache.access(
+            Op.Addr + static_cast<uint64_t>(Op.StrideBytes) * Ln, ElemBytes);
+        if (static_cast<int>(Lv) > static_cast<int>(Deepest))
+          Deepest = Lv;
+      }
+    } else {
+      Deepest = Cache.access(Op.Addr, Op.Bytes ? Op.Bytes : 1);
+    }
+    if (Op.Class == OpClass::Load) {
+      double Stall = Cache.latencyFor(Deepest) / std::max(1.0, Core.Mlp);
+      Cycles += Stall;
+      Stats.MemStallCycles += Stall;
+    }
+    D.L1DMiss = Cache.stats().L1Misses - L1MissBefore;
+    D.L2Miss = Cache.stats().L2Misses - L2MissBefore;
+  }
+
+  if (Op.Class == OpClass::Branch) {
+    if (!predictBranch(Op)) {
+      Cycles += Core.BranchMissPenalty;
+      Stats.BadSpecCycles += Core.BranchMissPenalty;
+      D.BranchMispredict = 1;
+      ++Stats.BranchMispredicts;
+    }
+  }
+
+  Stats.Cycles += Cycles;
+
+  // DRAM bandwidth floor: cycles can never run ahead of the sustained
+  // bandwidth needed for the traffic generated so far.
+  double BwFloor =
+      static_cast<double>(Cache.stats().DramBytes) / Cache.config().DramBytesPerCycle;
+  if (Stats.Cycles < BwFloor) {
+    double CatchUp = BwFloor - Stats.Cycles;
+    Stats.Cycles = BwFloor;
+    Stats.BandwidthCycles += CatchUp;
+    Cycles += CatchUp;
+  }
+
+  double InstretDelta = Core.InstretFactor;
+  Stats.Instret += InstretDelta;
+  ++Stats.RetiredIrOps;
+
+  // FLOP accounting for the counter-based (Advisor-like) estimator.
+  double Flops = 0;
+  switch (Op.Class) {
+  case OpClass::FpAdd:
+  case OpClass::FpMul:
+  case OpClass::FpDiv:
+    Flops = Op.Lanes;
+    break;
+  case OpClass::FpFma:
+    Flops = 2.0 * Op.Lanes;
+    break;
+  default:
+    break;
+  }
+  Stats.FpOpsActual += Flops;
+  Stats.FpOpsSpec += Flops * Core.FpSpecFactor;
+
+  if (EventSink) {
+    D.Cycles = Cycles;
+    D.Instret = InstretDelta;
+    D.FpOpsSpec = Flops * Core.FpSpecFactor;
+    EventSink(D);
+  }
+}

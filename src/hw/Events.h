@@ -1,0 +1,64 @@
+//===- Events.h - PMU event kinds and per-op deltas ------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The architectural events the simulated cores expose. Which of these a
+/// platform's PMU can count — and which can raise overflow interrupts —
+/// is exactly the heterogeneity Table 1 of the paper documents.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_HW_EVENTS_H
+#define MPERF_HW_EVENTS_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace mperf {
+namespace hw {
+
+/// RISC-V privilege modes (plus the x86 analogue user/kernel).
+enum class PrivMode : uint8_t { User, Supervisor, Machine };
+
+/// Events a PMU counter can be programmed to count.
+enum class EventKind : uint8_t {
+  None,
+  Cycles,
+  Instret,
+  L1DMiss,
+  L2Miss,
+  BranchMispredict,
+  /// SpacemiT X60's non-standard sampling-capable counters (§3.3):
+  /// cycles spent in User / Machine / Supervisor mode.
+  UModeCycles,
+  MModeCycles,
+  SModeCycles,
+  /// Speculatively-counted floating point operations; what a
+  /// counter-based Roofline (Intel Advisor style) would read. Includes
+  /// wasted/speculative work, so it over-reports versus IR-level
+  /// counting (Fig. 4's 47.72 vs 34.06 GFLOP/s gap).
+  FpOpsSpec,
+};
+
+/// Human-readable event name.
+std::string_view eventName(EventKind Kind);
+
+/// Per-retired-op increments the core model hands to the PMU.
+struct EventDeltas {
+  double Cycles = 0;
+  double Instret = 0;
+  uint64_t L1DMiss = 0;
+  uint64_t L2Miss = 0;
+  uint64_t BranchMispredict = 0;
+  double FpOpsSpec = 0;
+  PrivMode Mode = PrivMode::User;
+};
+
+} // namespace hw
+} // namespace mperf
+
+#endif // MPERF_HW_EVENTS_H

@@ -1,0 +1,265 @@
+//===- Platform.cpp - The evaluated platforms ---------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// Calibration notes: the per-class costs are reciprocal throughputs
+// chosen so that the paper's headline shapes reproduce —
+//  * X60 runs the database workload at IPC ~0.8-0.9 and the vectorized
+//    matmul at ~1.5-1.7 GFLOP/s (strided B-column loads pay per lane),
+//  * the x86 reference runs the same workload at IPC ~3-3.4 while
+//    retiring ~1.8x the instructions (InstretFactor models ISA lowering),
+//  * the X60 memory roof lands at ~3.16 bytes/cycle (memset benchmark).
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/Platform.h"
+
+using namespace mperf;
+using namespace mperf::hw;
+
+static std::map<uint16_t, EventKind> commonRiscvEvents() {
+  return {
+      {VE_L1D_MISS, EventKind::L1DMiss},
+      {VE_L2_MISS, EventKind::L2Miss},
+      {VE_BRANCH_MISS, EventKind::BranchMispredict},
+      {VE_FP_OPS_SPEC, EventKind::FpOpsSpec},
+  };
+}
+
+Platform mperf::hw::spacemitX60() {
+  Platform P;
+  P.CoreName = "SpacemiT X60";
+  P.BoardName = "Banana Pi F3";
+  P.Id = CpuId{0x710, 0x8000000058000001, 0x1000000049772200, "rv64gcv"};
+
+  P.Core.Name = P.CoreName;
+  P.Core.FreqGHz = 1.6;
+  P.Core.OutOfOrder = false;
+  P.Core.Mlp = 1.2; // small in-order overlap from the load queue
+  P.Core.CostIntAlu = 0.7;
+  P.Core.CostIntMul = 1.0;
+  P.Core.CostIntDiv = 12.0;
+  P.Core.CostFpAdd = 1.0;
+  P.Core.CostFpMul = 1.0;
+  P.Core.CostFpFma = 1.0;
+  P.Core.CostFpDiv = 16.0;
+  P.Core.CostBranch = 0.7;
+  P.Core.CostCall = 2.5;
+  P.Core.CostLoad = 0.7;
+  P.Core.CostStore = 0.7;
+  P.Core.CostOther = 0.7;
+  P.Core.VecOpCost = 2.0;          // half-width RVV datapath
+  P.Core.VecMemCost = 2.0;
+  P.Core.VecStridedLaneCost = 0.7; // strided/gather: per-lane
+  P.Core.BranchMissPenalty = 12.0;
+  P.Core.InstretFactor = 1.0;
+  P.Core.FpSpecFactor = 1.35;
+
+  // L1 hit latency models the in-order load-to-use stall.
+  P.Cache.L1 = {32 * 1024, 8, 64, 1.6};
+  P.Cache.L2 = {512 * 1024, 8, 64, 14};
+  P.Cache.DramLatency = 90;
+  P.Cache.DramBytesPerCycle = 3.16; // matches the memset benchmark roof
+
+  P.PmuCaps.NumHpmCounters = 29;
+  P.PmuCaps.VendorEvents = commonRiscvEvents();
+  P.PmuCaps.VendorEvents[VE_U_MODE_CYCLE] = EventKind::UModeCycles;
+  P.PmuCaps.VendorEvents[VE_M_MODE_CYCLE] = EventKind::MModeCycles;
+  P.PmuCaps.VendorEvents[VE_S_MODE_CYCLE] = EventKind::SModeCycles;
+  // The documented limitation: only the non-standard mode-cycle counters
+  // can raise overflow interrupts; mcycle/minstret cannot.
+  P.PmuCaps.SamplableEvents = {EventKind::UModeCycles, EventKind::MModeCycles,
+                               EventKind::SModeCycles};
+
+  P.Target = transform::TargetInfo::rv64gcv(256);
+
+  P.TheoreticalFlopsPerCycle = 16; // 2 inst/cycle x 8 SP FLOP/vector inst
+  P.FlopsDerivation = "2 instr/cycle x 8 SP FLOP/vector instr (RVV 1.0, "
+                      "VLEN 256)";
+
+  P.OutOfOrder = false;
+  P.RvvVersion = "1.0";
+  P.OverflowSupport = "Limited";
+  P.UpstreamLinux = "No";
+  return P;
+}
+
+Platform mperf::hw::sifiveU74() {
+  Platform P;
+  P.CoreName = "SiFive U74";
+  P.BoardName = "VisionFive II";
+  P.Id = CpuId{0x489, 0x8000000000000007, 0x4210427, "rv64gc"};
+
+  P.Core.Name = P.CoreName;
+  P.Core.FreqGHz = 1.5;
+  P.Core.OutOfOrder = false;
+  P.Core.Mlp = 1.0;
+  P.Core.CostIntAlu = 0.55;
+  P.Core.CostIntMul = 1.0;
+  P.Core.CostIntDiv = 14.0;
+  P.Core.CostFpAdd = 1.2;
+  P.Core.CostFpMul = 1.2;
+  P.Core.CostFpFma = 1.2;
+  P.Core.CostFpDiv = 18.0;
+  P.Core.CostBranch = 0.6;
+  P.Core.CostCall = 2.0;
+  P.Core.CostLoad = 0.65;
+  P.Core.CostStore = 0.65;
+  P.Core.CostOther = 0.55;
+  P.Core.VecOpCost = 0;            // no vector unit
+  P.Core.VecMemCost = 0;
+  P.Core.VecStridedLaneCost = 0;
+  P.Core.BranchMissPenalty = 6.0;
+  P.Core.InstretFactor = 1.0;
+  P.Core.FpSpecFactor = 1.3;
+
+  P.Cache.L1 = {32 * 1024, 8, 64, 0};
+  P.Cache.L2 = {2 * 1024 * 1024, 16, 64, 21};
+  P.Cache.DramLatency = 110;
+  P.Cache.DramBytesPerCycle = 2.2;
+
+  P.PmuCaps.NumHpmCounters = 2; // U74 implements few hpm counters
+  P.PmuCaps.VendorEvents = commonRiscvEvents();
+  P.PmuCaps.SamplableEvents = {}; // no overflow interrupt support at all
+
+  P.Target = transform::TargetInfo::rv64gc();
+
+  P.TheoreticalFlopsPerCycle = 2; // one scalar FMA per cycle
+  P.FlopsDerivation = "1 scalar FMA/cycle (no vector unit)";
+
+  P.OutOfOrder = false;
+  P.RvvVersion = "Not supported";
+  P.OverflowSupport = "No";
+  P.UpstreamLinux = "Yes";
+  return P;
+}
+
+Platform mperf::hw::theadC910() {
+  Platform P;
+  P.CoreName = "T-Head C910";
+  P.BoardName = "Lichee Pi 4A";
+  P.Id = CpuId{0x5b7, 0x0, 0x0, "rv64gcv0p7"};
+
+  P.Core.Name = P.CoreName;
+  P.Core.FreqGHz = 1.85;
+  P.Core.OutOfOrder = true;
+  P.Core.Mlp = 4.0;
+  P.Core.CostIntAlu = 0.34;
+  P.Core.CostIntMul = 0.5;
+  P.Core.CostIntDiv = 10.0;
+  P.Core.CostFpAdd = 0.5;
+  P.Core.CostFpMul = 0.5;
+  P.Core.CostFpFma = 0.5;
+  P.Core.CostFpDiv = 12.0;
+  P.Core.CostBranch = 0.34;
+  P.Core.CostCall = 1.0;
+  P.Core.CostLoad = 0.4;
+  P.Core.CostStore = 0.4;
+  P.Core.CostOther = 0.34;
+  P.Core.VecOpCost = 1.0;          // RVV 0.7.1, 128-bit datapath
+  P.Core.VecMemCost = 1.0;
+  P.Core.VecStridedLaneCost = 0.6;
+  P.Core.BranchMissPenalty = 10.0;
+  P.Core.InstretFactor = 1.0;
+  P.Core.FpSpecFactor = 1.35;
+
+  P.Cache.L1 = {64 * 1024, 2, 64, 0};
+  P.Cache.L2 = {1024 * 1024, 16, 64, 18};
+  P.Cache.DramLatency = 100;
+  P.Cache.DramBytesPerCycle = 4.0;
+
+  P.PmuCaps.NumHpmCounters = 29;
+  P.PmuCaps.VendorEvents = commonRiscvEvents();
+  P.PmuCaps.VendorEvents[VE_CYCLES] = EventKind::Cycles;
+  P.PmuCaps.VendorEvents[VE_INSTRET] = EventKind::Instret;
+  // Full Sscofpmf-style overflow support.
+  P.PmuCaps.SamplableEvents = {
+      EventKind::Cycles,      EventKind::Instret,
+      EventKind::L1DMiss,     EventKind::L2Miss,
+      EventKind::BranchMispredict, EventKind::FpOpsSpec};
+
+  P.Target = transform::TargetInfo::rv64gcv(128);
+
+  P.TheoreticalFlopsPerCycle = 8; // 2 inst/cycle x 4 SP FLOP (VLEN 128)
+  P.FlopsDerivation = "2 instr/cycle x 4 SP FLOP/vector instr (RVV 0.7.1, "
+                      "VLEN 128)";
+
+  P.OutOfOrder = true;
+  P.RvvVersion = "0.7.1";
+  P.OverflowSupport = "Yes";
+  P.UpstreamLinux = "Partial";
+  return P;
+}
+
+Platform mperf::hw::intelI5_1135G7() {
+  Platform P;
+  P.CoreName = "Intel Core i5-1135G7";
+  P.BoardName = "Laptop (Tiger Lake)";
+  // Synthetic id block: the x86 reference is modelled through the same
+  // simulation stack; 0x8086 marks it as non-RISC-V.
+  P.Id = CpuId{0x8086, 0x1, 0x1, "x86-64-avx2"};
+
+  P.Core.Name = P.CoreName;
+  P.Core.FreqGHz = 4.2; // single-core turbo
+  P.Core.OutOfOrder = true;
+  P.Core.Mlp = 12.0;
+  P.Core.CostIntAlu = 0.2;
+  P.Core.CostIntMul = 0.25;
+  P.Core.CostIntDiv = 6.0;
+  P.Core.CostFpAdd = 0.4;
+  P.Core.CostFpMul = 0.4;
+  P.Core.CostFpFma = 0.5;
+  P.Core.CostFpDiv = 5.0;
+  P.Core.CostBranch = 0.32;
+  P.Core.CostCall = 0.9;
+  P.Core.CostLoad = 0.55;
+  P.Core.CostStore = 0.4;
+  P.Core.CostOther = 0.2;
+  P.Core.VecOpCost = 0.5;           // two 256-bit FMA pipes
+  P.Core.VecMemCost = 0.5;
+  P.Core.VecStridedLaneCost = 0.05; // AVX2 gathers are fast-ish
+  P.Core.BranchMissPenalty = 12.0; // TAGE-class predictor recovers fast
+  P.Core.InstretFactor = 1.85; // x86 codegen retires more instructions
+  // Fig. 4's 47.72/34.06 = 1.40 methodology gap: the raw counter factor
+  // is slightly higher because the counter-based tool divides by whole-
+  // program time rather than region time.
+  P.Core.FpSpecFactor = 1.55;
+
+  P.Cache.L1 = {48 * 1024, 12, 64, 1.5}; // mostly hidden by the OoO window
+  P.Cache.L2 = {1280 * 1024, 20, 64, 13};
+  P.Cache.DramLatency = 55; // L3 + prefetchers folded in
+  P.Cache.DramBytesPerCycle = 12.0;
+
+  P.PmuCaps.NumHpmCounters = 8;
+  P.PmuCaps.VendorEvents = commonRiscvEvents();
+  P.PmuCaps.VendorEvents[VE_CYCLES] = EventKind::Cycles;
+  P.PmuCaps.VendorEvents[VE_INSTRET] = EventKind::Instret;
+  P.PmuCaps.SamplableEvents = {
+      EventKind::Cycles,      EventKind::Instret,
+      EventKind::L1DMiss,     EventKind::L2Miss,
+      EventKind::BranchMispredict, EventKind::FpOpsSpec};
+
+  P.Target = transform::TargetInfo::x86Avx2();
+
+  P.TheoreticalFlopsPerCycle = 32; // 2 FMA ports x 8 lanes x 2 FLOP
+  P.FlopsDerivation = "2 FMA ports x 8 SP lanes x 2 FLOP (AVX2)";
+
+  P.OutOfOrder = true;
+  P.RvvVersion = "n/a (AVX2)";
+  P.OverflowSupport = "Yes";
+  P.UpstreamLinux = "Yes";
+  return P;
+}
+
+std::vector<Platform> mperf::hw::allPlatforms() {
+  return {sifiveU74(), theadC910(), spacemitX60(), intelI5_1135G7()};
+}
+
+const Platform *mperf::hw::platformById(const std::vector<Platform> &Db,
+                                        const CpuId &Id) {
+  for (const Platform &P : Db)
+    if (P.Id.Mvendorid == Id.Mvendorid && P.Id.Marchid == Id.Marchid)
+      return &P;
+  return nullptr;
+}

@@ -1,0 +1,98 @@
+//===- Platform.h - The evaluated platforms --------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four platforms of the paper's evaluation, as simulation configs:
+/// SiFive U74 (VisionFive II), T-Head C910 (Lichee Pi 4A), SpacemiT X60
+/// (Banana Pi F3 / Milk-V Jupiter) and the Intel Core i5-1135G7 used as
+/// the mature-PMU contrast platform. Timing parameters are calibrated so
+/// the *shape* of the paper's results holds (Table 1's capability matrix
+/// is exact; Table 2 / Fig. 3-4 ratios approximate the paper's).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_HW_PLATFORM_H
+#define MPERF_HW_PLATFORM_H
+
+#include "hw/CoreModel.h"
+#include "hw/Pmu.h"
+#include "transform/TargetInfo.h"
+
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace hw {
+
+/// Vendor event codes shared by the simulated RISC-V parts. Real
+/// hardware defines these per implementation (§3.1); the simulated
+/// vendors happen to agree on the codes they implement.
+enum VendorEventCode : uint16_t {
+  VE_L1D_MISS = 0x01,
+  VE_L2_MISS = 0x02,
+  VE_BRANCH_MISS = 0x03,
+  VE_FP_OPS_SPEC = 0x10,
+  // SpacemiT X60 non-standard sampling-capable counters (§3.3).
+  VE_U_MODE_CYCLE = 0x20,
+  VE_M_MODE_CYCLE = 0x21,
+  VE_S_MODE_CYCLE = 0x22,
+  // Synthetic codes for standard events on cores that allow routing them
+  // through hpm counters.
+  VE_CYCLES = 0x30,
+  VE_INSTRET = 0x31,
+};
+
+/// Everything needed to simulate one platform.
+struct Platform {
+  std::string CoreName;  // "SpacemiT X60"
+  std::string BoardName; // "Banana Pi F3"
+  CpuId Id;
+  CoreConfig Core;
+  CacheConfig Cache;
+  PmuCapabilities PmuCaps;
+  transform::TargetInfo Target;
+
+  // Table 1 row.
+  bool OutOfOrder = false;
+  std::string RvvVersion;      // "Not supported" / "0.7.1" / "1.0"
+  std::string OverflowSupport; // "No" / "Yes" / "Limited"
+  std::string UpstreamLinux;   // "Yes" / "Partial" / "No"
+
+  /// Theoretical peak SP FLOPs per cycle and its derivation, used for
+  /// the Roofline compute roof the way §5.2 derives the X60's 25.6
+  /// GFLOP/s (2 instructions/cycle x 8 SP FLOP per vector instruction).
+  double TheoreticalFlopsPerCycle = 2;
+  std::string FlopsDerivation;
+};
+
+/// The SpacemiT X60: in-order, RVV 1.0, overflow interrupts only on the
+/// non-standard mode-cycle counters, no upstream Linux.
+Platform spacemitX60();
+
+/// The SiFive U74: in-order, no RVV, no overflow interrupts, upstream
+/// Linux support.
+Platform sifiveU74();
+
+/// The T-Head C910: out-of-order, RVV 0.7.1, full overflow support,
+/// partial upstream Linux (vendor kernel).
+Platform theadC910();
+
+/// The Intel Core i5-1135G7 reference platform: wide out-of-order core
+/// with a fully capable PMU.
+Platform intelI5_1135G7();
+
+/// All four, in the paper's presentation order.
+std::vector<Platform> allPlatforms();
+
+/// Looks a platform up by its identification CSRs, the way miniperf
+/// detects hardware (§3.3). Returns nullptr-like empty name on miss.
+const Platform *platformById(const std::vector<Platform> &Db, const CpuId &Id);
+
+} // namespace hw
+} // namespace mperf
+
+#endif // MPERF_HW_PLATFORM_H

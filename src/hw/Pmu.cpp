@@ -1,0 +1,129 @@
+//===- Pmu.cpp - Machine-level performance monitoring unit --------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/Pmu.h"
+
+#include <cassert>
+
+using namespace mperf;
+using namespace mperf::hw;
+
+Pmu::Pmu(PmuCapabilities Caps) : Caps(std::move(Caps)) {
+  Counters[MCycleIdx].Event = EventKind::Cycles;
+  Counters[MInstretIdx].Event = EventKind::Instret;
+  // mcycle/minstret count from reset, like real hardware.
+  Counters[MCycleIdx].Counting = true;
+  Counters[MInstretIdx].Counting = true;
+}
+
+void Pmu::reset() {
+  for (Counter &C : Counters) {
+    C.Value = 0;
+    C.Period = 0;
+    C.NextOverflow = 0;
+  }
+}
+
+bool Pmu::writeEventSelector(unsigned Idx, uint16_t VendorCode) {
+  if (Idx < FirstHpmIdx || Idx >= FirstHpmIdx + Caps.NumHpmCounters)
+    return false;
+  auto It = Caps.VendorEvents.find(VendorCode);
+  if (It == Caps.VendorEvents.end())
+    return false;
+  Counters[Idx].Event = It->second;
+  return true;
+}
+
+EventKind Pmu::counterEvent(unsigned Idx) const {
+  assert(Idx < NumCounters && "counter index out of range");
+  return Counters[Idx].Event;
+}
+
+void Pmu::setCounting(unsigned Idx, bool Enabled) {
+  assert(Idx < NumCounters && "counter index out of range");
+  Counters[Idx].Counting = Enabled;
+}
+
+bool Pmu::isCounting(unsigned Idx) const {
+  assert(Idx < NumCounters && "counter index out of range");
+  return Counters[Idx].Counting;
+}
+
+uint64_t Pmu::readCounter(unsigned Idx) const {
+  assert(Idx < NumCounters && "counter index out of range");
+  return static_cast<uint64_t>(Counters[Idx].Value);
+}
+
+void Pmu::writeCounter(unsigned Idx, uint64_t Value) {
+  assert(Idx < NumCounters && "counter index out of range");
+  Counters[Idx].Value = static_cast<double>(Value);
+  if (Counters[Idx].Period != 0)
+    Counters[Idx].NextOverflow =
+        Counters[Idx].Value + static_cast<double>(Counters[Idx].Period);
+}
+
+bool Pmu::armOverflow(unsigned Idx, uint64_t Period) {
+  assert(Idx < NumCounters && "counter index out of range");
+  Counter &C = Counters[Idx];
+  if (Period == 0) {
+    C.Period = 0;
+    return true;
+  }
+  if (!Caps.canSample(C.Event))
+    return false; // hardware limitation (X60 mcycle/minstret, all of U74)
+  C.Period = Period;
+  C.NextOverflow = C.Value + static_cast<double>(Period);
+  return true;
+}
+
+double Pmu::deltaFor(EventKind Kind, const EventDeltas &D) const {
+  switch (Kind) {
+  case EventKind::None:
+    return 0;
+  case EventKind::Cycles:
+    return D.Cycles;
+  case EventKind::Instret:
+    return D.Instret;
+  case EventKind::L1DMiss:
+    return static_cast<double>(D.L1DMiss);
+  case EventKind::L2Miss:
+    return static_cast<double>(D.L2Miss);
+  case EventKind::BranchMispredict:
+    return static_cast<double>(D.BranchMispredict);
+  case EventKind::UModeCycles:
+    return D.Mode == PrivMode::User ? D.Cycles : 0;
+  case EventKind::SModeCycles:
+    return D.Mode == PrivMode::Supervisor ? D.Cycles : 0;
+  case EventKind::MModeCycles:
+    return D.Mode == PrivMode::Machine ? D.Cycles : 0;
+  case EventKind::FpOpsSpec:
+    return D.FpOpsSpec;
+  }
+  return 0;
+}
+
+void Pmu::advance(const EventDeltas &D) {
+  for (unsigned Idx = 0; Idx != NumCounters; ++Idx) {
+    Counter &C = Counters[Idx];
+    if (!C.Counting || C.Event == EventKind::None)
+      continue;
+    double Delta = deltaFor(C.Event, D);
+    if (Delta == 0)
+      continue;
+    C.Value += Delta;
+    if (C.Period == 0 || C.Value < C.NextOverflow)
+      continue;
+    C.NextOverflow += static_cast<double>(C.Period);
+    // Overflow interrupt. Guard against re-entrant overflows while the
+    // handler itself burns cycles.
+    if (Overflow && !InOverflow) {
+      InOverflow = true;
+      Overflow(Idx);
+      InOverflow = false;
+    }
+  }
+}

@@ -1,0 +1,144 @@
+//===- Pmu.h - Machine-level performance monitoring unit -------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-level PMU of a simulated RISC-V core, following the
+/// Privileged Specification's register model (§3.1 of the paper):
+///
+///  - counter 0: mcycle (fixed: Cycles)
+///  - counter 2: minstret (fixed: Instret)
+///  - counters 3..31: mhpmcounter3..31 with mhpmevent3..31 selectors
+///    programmed with vendor-specific event codes
+///  - mcountinhibit: per-counter enable/disable
+///  - mcounteren: per-counter S/U-mode read delegation
+///
+/// Overflow-interrupt capability is per event and per platform: the
+/// SpacemiT X60 model only raises overflow interrupts for its three
+/// non-standard mode-cycle counters, the SiFive U74 for none, and the
+/// T-Head C910 / reference x86 for everything — Table 1's matrix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_HW_PMU_H
+#define MPERF_HW_PMU_H
+
+#include "hw/Events.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+namespace mperf {
+namespace hw {
+
+/// CPU identification CSRs, the basis of miniperf's platform detection
+/// (the paper's tool "relies solely on CPU identification registers",
+/// §3.3).
+struct CpuId {
+  uint64_t Mvendorid = 0;
+  uint64_t Marchid = 0;
+  uint64_t Mimpid = 0;
+  std::string Isa; // e.g. "rv64gcv"
+};
+
+/// What the platform's PMU hardware can do.
+struct PmuCapabilities {
+  /// Number of implemented mhpmcounter registers (3..3+N-1).
+  unsigned NumHpmCounters = 8;
+  /// Vendor event code -> event kind (contents of mhpmevent writes).
+  std::map<uint16_t, EventKind> VendorEvents;
+  /// Events whose counters can raise overflow interrupts (Sscofpmf-style
+  /// sampling). Empty = no sampling at all (SiFive U74).
+  std::set<EventKind> SamplableEvents;
+
+  bool canSample(EventKind Kind) const {
+    return SamplableEvents.count(Kind) != 0;
+  }
+};
+
+/// The PMU register file + overflow machinery.
+class Pmu {
+public:
+  static constexpr unsigned MCycleIdx = 0;
+  static constexpr unsigned MInstretIdx = 2;
+  static constexpr unsigned FirstHpmIdx = 3;
+  static constexpr unsigned NumCounters = 32;
+
+  using OverflowHandler = std::function<void(unsigned CounterIdx)>;
+
+  explicit Pmu(PmuCapabilities Caps);
+
+  const PmuCapabilities &capabilities() const { return Caps; }
+
+  //===--------------------------------------------------------------===//
+  // Machine-mode register interface (reached through SBI)
+  //===--------------------------------------------------------------===//
+
+  /// Writes mhpmevent<Idx> with a vendor event code. Returns false for
+  /// unknown codes or unimplemented counters.
+  bool writeEventSelector(unsigned Idx, uint16_t VendorCode);
+
+  /// The event a counter currently counts (fixed for mcycle/minstret).
+  EventKind counterEvent(unsigned Idx) const;
+
+  /// mcountinhibit bit manipulation (true = counting enabled).
+  void setCounting(unsigned Idx, bool Enabled);
+  bool isCounting(unsigned Idx) const;
+
+  /// Raw counter read/write.
+  uint64_t readCounter(unsigned Idx) const;
+  void writeCounter(unsigned Idx, uint64_t Value);
+
+  /// Arms overflow interrupts with the given period (0 disarms). Returns
+  /// false when the counter's event cannot raise interrupts on this
+  /// hardware — the X60 limitation for mcycle/minstret.
+  bool armOverflow(unsigned Idx, uint64_t Period);
+
+  /// mcounteren delegation (lets S/U mode read counters directly; the
+  /// kernel uses it to avoid SBI round trips, §3.2).
+  void setCounterEnable(uint32_t Mask) { McounterenMask = Mask; }
+  uint32_t counterEnable() const { return McounterenMask; }
+
+  /// The overflow interrupt wire; the kernel PMU driver attaches here.
+  void setOverflowHandler(OverflowHandler Handler) {
+    Overflow = std::move(Handler);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Hardware side
+  //===--------------------------------------------------------------===//
+
+  /// Accumulates one op's event deltas into all enabled counters and
+  /// fires overflow interrupts. Called by the core model's event sink.
+  void advance(const EventDeltas &Deltas);
+
+  /// Zeroes all counters and disarms overflow.
+  void reset();
+
+private:
+  double deltaFor(EventKind Kind, const EventDeltas &D) const;
+
+  struct Counter {
+    EventKind Event = EventKind::None;
+    double Value = 0;
+    bool Counting = false;
+    uint64_t Period = 0; // 0 = not sampling
+    double NextOverflow = 0;
+  };
+
+  PmuCapabilities Caps;
+  Counter Counters[NumCounters];
+  uint32_t McounterenMask = 0;
+  OverflowHandler Overflow;
+  bool InOverflow = false;
+};
+
+} // namespace hw
+} // namespace mperf
+
+#endif // MPERF_HW_PMU_H

@@ -1,0 +1,82 @@
+//===- BasicBlock.cpp - IR basic blocks ------------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+using namespace mperf;
+using namespace mperf::ir;
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  I->setParent(this);
+  Instructions.push_back(std::move(I));
+  return Instructions.back().get();
+}
+
+Instruction *BasicBlock::insertAt(size_t Index, std::unique_ptr<Instruction> I) {
+  assert(Index <= Instructions.size() && "insert position out of range");
+  I->setParent(this);
+  auto It = Instructions.insert(Instructions.begin() + Index, std::move(I));
+  return It->get();
+}
+
+std::unique_ptr<Instruction> BasicBlock::remove(size_t Index) {
+  assert(Index < Instructions.size() && "remove position out of range");
+  std::unique_ptr<Instruction> I = std::move(Instructions[Index]);
+  Instructions.erase(Instructions.begin() + Index);
+  I->setParent(nullptr);
+  return I;
+}
+
+size_t BasicBlock::indexOf(const Instruction *I) const {
+  for (size_t Index = 0, E = Instructions.size(); Index != E; ++Index)
+    if (Instructions[Index].get() == I)
+      return Index;
+  return SIZE_MAX;
+}
+
+Instruction *BasicBlock::terminator() const {
+  if (Instructions.empty())
+    return nullptr;
+  Instruction *Last = Instructions.back().get();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  Instruction *Term = terminator();
+  if (!Term)
+    return {};
+  std::vector<BasicBlock *> Succs;
+  for (unsigned I = 0, E = Term->numSuccessors(); I != E; ++I)
+    Succs.push_back(Term->successor(I));
+  return Succs;
+}
+
+std::vector<BasicBlock *> BasicBlock::predecessors() const {
+  std::vector<BasicBlock *> Preds;
+  if (!Parent)
+    return Preds;
+  for (BasicBlock *BB : *Parent) {
+    for (BasicBlock *Succ : BB->successors()) {
+      if (Succ != this)
+        continue;
+      Preds.push_back(BB);
+      break;
+    }
+  }
+  return Preds;
+}
+
+std::vector<Instruction *> BasicBlock::phis() const {
+  std::vector<Instruction *> Result;
+  for (const auto &I : Instructions) {
+    if (I->opcode() != Opcode::Phi)
+      break;
+    Result.push_back(I.get());
+  }
+  return Result;
+}

@@ -1,0 +1,107 @@
+//===- BasicBlock.h - IR basic blocks --------------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A basic block: an ordered list of instructions ending in exactly one
+/// terminator. Blocks own their instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_IR_BASICBLOCK_H
+#define MPERF_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <vector>
+
+namespace mperf {
+namespace ir {
+
+class Function;
+
+/// An ordered, owning sequence of instructions with a single terminator.
+class BasicBlock {
+public:
+  explicit BasicBlock(std::string Name) : Name(std::move(Name)) {}
+  BasicBlock(const BasicBlock &) = delete;
+  BasicBlock &operator=(const BasicBlock &) = delete;
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+  Function *parent() const { return Parent; }
+  void setParent(Function *F) { Parent = F; }
+
+  //===--------------------------------------------------------------===//
+  // Instruction list
+  //===--------------------------------------------------------------===//
+
+  /// Appends \p I to the block and takes ownership.
+  Instruction *append(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I before position \p Index.
+  Instruction *insertAt(size_t Index, std::unique_ptr<Instruction> I);
+
+  /// Removes the instruction at \p Index and returns ownership of it.
+  std::unique_ptr<Instruction> remove(size_t Index);
+
+  /// Returns the index of \p I, or SIZE_MAX when absent.
+  size_t indexOf(const Instruction *I) const;
+
+  size_t size() const { return Instructions.size(); }
+  bool empty() const { return Instructions.empty(); }
+  Instruction *at(size_t Index) const {
+    assert(Index < Instructions.size() && "instruction index out of range");
+    return Instructions[Index].get();
+  }
+
+  /// Iteration yields Instruction* in order.
+  class iterator {
+  public:
+    using Inner = std::vector<std::unique_ptr<Instruction>>::const_iterator;
+    explicit iterator(Inner It) : It(It) {}
+    Instruction *operator*() const { return It->get(); }
+    iterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return It != O.It; }
+    bool operator==(const iterator &O) const { return It == O.It; }
+
+  private:
+    Inner It;
+  };
+  iterator begin() const { return iterator(Instructions.begin()); }
+  iterator end() const { return iterator(Instructions.end()); }
+
+  //===--------------------------------------------------------------===//
+  // CFG queries
+  //===--------------------------------------------------------------===//
+
+  /// Returns the terminator, or null when the block is still open.
+  Instruction *terminator() const;
+
+  /// Successor blocks from the terminator (empty for ret).
+  std::vector<BasicBlock *> successors() const;
+
+  /// Predecessor blocks, computed by scanning the parent function.
+  std::vector<BasicBlock *> predecessors() const;
+
+  /// Returns all phi instructions (which must be a prefix of the block).
+  std::vector<Instruction *> phis() const;
+
+private:
+  std::string Name;
+  Function *Parent = nullptr;
+  std::vector<std::unique_ptr<Instruction>> Instructions;
+};
+
+} // namespace ir
+} // namespace mperf
+
+#endif // MPERF_IR_BASICBLOCK_H

@@ -1,0 +1,100 @@
+//===- Context.cpp - Type and constant interning ----------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Context.h"
+#include "ir/Module.h"
+
+using namespace mperf;
+using namespace mperf::ir;
+
+Context::Context()
+    : VoidTy(makeType(TypeKind::Void)), I1Ty(makeType(TypeKind::I1)),
+      I8Ty(makeType(TypeKind::I8)), I32Ty(makeType(TypeKind::I32)), I64Ty(makeType(TypeKind::I64)),
+      F32Ty(makeType(TypeKind::F32)), F64Ty(makeType(TypeKind::F64)),
+      PtrTy(makeType(TypeKind::Ptr)) {}
+
+Type *Context::vectorTy(Type *Element, unsigned NumElements) {
+  assert((Element->isInteger() || Element->isFloat()) &&
+         "vector elements must be scalar int or float");
+  assert(NumElements >= 2 && "vector must have at least two lanes");
+  auto Key = std::make_pair(Element, NumElements);
+  auto It = VectorTys.find(Key);
+  if (It != VectorTys.end())
+    return It->second.get();
+  auto New = makeType(TypeKind::Vector, Element, NumElements);
+  Type *Result = New.get();
+  VectorTys.emplace(Key, std::move(New));
+  return Result;
+}
+
+ConstantInt *Context::constInt(Type *Ty, uint64_t Bits) {
+  assert(Ty->isInteger() && "constInt requires integer type");
+  auto Key = std::make_pair(Ty, Bits);
+  auto It = IntConsts.find(Key);
+  if (It != IntConsts.end())
+    return It->second.get();
+  auto New = std::make_unique<ConstantInt>(Ty, Bits);
+  ConstantInt *Result = New.get();
+  IntConsts.emplace(Key, std::move(New));
+  return Result;
+}
+
+ConstantFP *Context::constFP(Type *Ty, double Val) {
+  assert(Ty->isFloat() && "constFP requires float type");
+  auto Key = std::make_pair(Ty, Val);
+  auto It = FPConsts.find(Key);
+  if (It != FPConsts.end())
+    return It->second.get();
+  auto New = std::make_unique<ConstantFP>(Ty, Val);
+  ConstantFP *Result = New.get();
+  FPConsts.emplace(Key, std::move(New));
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Module methods (defined here to keep Module.cpp from being a stub).
+//===----------------------------------------------------------------------===//
+
+Function *Module::createFunction(std::string FnName, Type *RetTy,
+                                 std::vector<Type *> ParamTys) {
+  assert(!function(FnName) && "function with this name already exists");
+  auto Fn = std::make_unique<Function>(Ctx.ptrTy(), std::move(FnName), RetTy,
+                                       std::move(ParamTys));
+  Fn->setParentModule(this);
+  Functions.push_back(std::move(Fn));
+  return Functions.back().get();
+}
+
+Function *Module::function(std::string_view FnName) const {
+  for (const auto &Fn : Functions)
+    if (Fn->name() == FnName)
+      return Fn.get();
+  return nullptr;
+}
+
+GlobalVariable *Module::createGlobal(std::string GlobalName,
+                                     uint64_t SizeBytes) {
+  assert(!global(GlobalName) && "global with this name already exists");
+  auto GV = std::make_unique<GlobalVariable>(Ctx.ptrTy(),
+                                             std::move(GlobalName), SizeBytes);
+  Globals.push_back(std::move(GV));
+  return Globals.back().get();
+}
+
+GlobalVariable *Module::global(std::string_view GlobalName) const {
+  for (const auto &GV : Globals)
+    if (GV->name() == GlobalName)
+      return GV.get();
+  return nullptr;
+}
+
+uint64_t Module::instructionCount() const {
+  uint64_t Count = 0;
+  for (const auto &Fn : Functions)
+    Count += Fn->instructionCount();
+  return Count;
+}

@@ -1,0 +1,84 @@
+//===- Context.h - Type and constant interning -----------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Context owns and interns all Types and Constants of a Module, so that
+/// pointer equality is semantic equality for both.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_IR_CONTEXT_H
+#define MPERF_IR_CONTEXT_H
+
+#include "ir/Type.h"
+#include "ir/Value.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace mperf {
+namespace ir {
+
+/// Owns interned types and constants.
+class Context {
+public:
+  Context();
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  //===--------------------------------------------------------------===//
+  // Types
+  //===--------------------------------------------------------------===//
+
+  Type *voidTy() { return VoidTy.get(); }
+  Type *i1Ty() { return I1Ty.get(); }
+  Type *i8Ty() { return I8Ty.get(); }
+  Type *i32Ty() { return I32Ty.get(); }
+  Type *i64Ty() { return I64Ty.get(); }
+  Type *f32Ty() { return F32Ty.get(); }
+  Type *f64Ty() { return F64Ty.get(); }
+  Type *ptrTy() { return PtrTy.get(); }
+
+  /// Returns the unique vector type <NumElements x Element>.
+  Type *vectorTy(Type *Element, unsigned NumElements);
+
+  //===--------------------------------------------------------------===//
+  // Constants
+  //===--------------------------------------------------------------===//
+
+  /// Returns the unique integer constant of \p Ty with raw \p Bits.
+  ConstantInt *constInt(Type *Ty, uint64_t Bits);
+
+  /// Shorthand for 64-bit integer constants.
+  ConstantInt *constI64(uint64_t Bits) { return constInt(i64Ty(), Bits); }
+  ConstantInt *constI32(uint32_t Bits) { return constInt(i32Ty(), Bits); }
+  ConstantInt *constBool(bool Value) { return constInt(i1Ty(), Value ? 1 : 0); }
+
+  /// Returns the unique FP constant of \p Ty with value \p Val.
+  ConstantFP *constFP(Type *Ty, double Val);
+  ConstantFP *constF32(double Val) { return constFP(f32Ty(), Val); }
+  ConstantFP *constF64(double Val) { return constFP(f64Ty(), Val); }
+
+private:
+  /// Constructs a type through Type's private constructor (Context is a
+  /// friend of Type).
+  static std::unique_ptr<Type> makeType(TypeKind Kind, Type *Element = nullptr,
+                                        unsigned NumElements = 0) {
+    return std::unique_ptr<Type>(new Type(Kind, Element, NumElements));
+  }
+
+  std::unique_ptr<Type> VoidTy, I1Ty, I8Ty, I32Ty, I64Ty, F32Ty, F64Ty, PtrTy;
+  std::map<std::pair<Type *, unsigned>, std::unique_ptr<Type>> VectorTys;
+  std::map<std::pair<Type *, uint64_t>, std::unique_ptr<ConstantInt>> IntConsts;
+  std::map<std::pair<Type *, double>, std::unique_ptr<ConstantFP>> FPConsts;
+};
+
+} // namespace ir
+} // namespace mperf
+
+#endif // MPERF_IR_CONTEXT_H

@@ -1,0 +1,61 @@
+//===- Function.cpp - IR functions -----------------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Function.h"
+
+using namespace mperf;
+using namespace mperf::ir;
+
+Function::Function(Type *FnPtrTy, std::string Name, Type *RetTy,
+                   std::vector<Type *> ParamTys)
+    : Value(ValueKind::Function, FnPtrTy), RetTy(RetTy),
+      ParamTys(std::move(ParamTys)) {
+  setName(std::move(Name));
+  for (unsigned I = 0, E = this->ParamTys.size(); I != E; ++I)
+    Args.push_back(std::make_unique<Argument>(
+        this->ParamTys[I], "arg" + std::to_string(I), I));
+}
+
+BasicBlock *Function::createBlock(std::string Name) {
+  auto BB = std::make_unique<BasicBlock>(std::move(Name));
+  BB->setParent(this);
+  Blocks.push_back(std::move(BB));
+  return Blocks.back().get();
+}
+
+BasicBlock *Function::appendBlock(std::unique_ptr<BasicBlock> BB) {
+  BB->setParent(this);
+  Blocks.push_back(std::move(BB));
+  return Blocks.back().get();
+}
+
+std::unique_ptr<BasicBlock> Function::removeBlock(BasicBlock *BB) {
+  for (auto It = Blocks.begin(), E = Blocks.end(); It != E; ++It) {
+    if (It->get() != BB)
+      continue;
+    std::unique_ptr<BasicBlock> Owned = std::move(*It);
+    Blocks.erase(It);
+    Owned->setParent(nullptr);
+    return Owned;
+  }
+  MPERF_UNREACHABLE("removeBlock: block not in function");
+}
+
+unsigned Function::replaceAllUsesWith(Value *From, Value *To) {
+  unsigned Count = 0;
+  for (BasicBlock *BB : *this)
+    for (Instruction *I : *BB)
+      Count += I->replaceUsesOf(From, To);
+  return Count;
+}
+
+uint64_t Function::instructionCount() const {
+  uint64_t Count = 0;
+  for (BasicBlock *BB : *this)
+    Count += BB->size();
+  return Count;
+}

@@ -1,0 +1,118 @@
+//===- Function.h - IR functions -------------------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functions own their arguments and basic blocks. Declarations (no body)
+/// model external/native routines such as the Roofline runtime's
+/// mperf_roofline_internal_* entry points, which the VM dispatches to
+/// registered native handlers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_IR_FUNCTION_H
+#define MPERF_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace ir {
+
+class Module;
+
+/// A function: signature, arguments and (unless a declaration) a CFG.
+class Function : public Value {
+public:
+  Function(Type *FnPtrTy, std::string Name, Type *RetTy,
+           std::vector<Type *> ParamTys);
+
+  Module *parentModule() const { return Parent; }
+  void setParentModule(Module *M) { Parent = M; }
+
+  Type *returnType() const { return RetTy; }
+  const std::vector<Type *> &paramTypes() const { return ParamTys; }
+
+  unsigned numArgs() const { return Args.size(); }
+  Argument *arg(unsigned I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I].get();
+  }
+
+  /// True when the function has no body (external/native).
+  bool isDeclaration() const { return Blocks.empty(); }
+
+  //===--------------------------------------------------------------===//
+  // Block list
+  //===--------------------------------------------------------------===//
+
+  /// Creates and appends a new block.
+  BasicBlock *createBlock(std::string Name);
+
+  /// Appends an existing block, taking ownership.
+  BasicBlock *appendBlock(std::unique_ptr<BasicBlock> BB);
+
+  /// Removes \p BB from the function and returns ownership of it. The
+  /// caller is responsible for fixing dangling references.
+  std::unique_ptr<BasicBlock> removeBlock(BasicBlock *BB);
+
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "entry() on a declaration");
+    return Blocks.front().get();
+  }
+
+  size_t numBlocks() const { return Blocks.size(); }
+
+  class iterator {
+  public:
+    using Inner = std::vector<std::unique_ptr<BasicBlock>>::const_iterator;
+    explicit iterator(Inner It) : It(It) {}
+    BasicBlock *operator*() const { return It->get(); }
+    iterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator!=(const iterator &O) const { return It != O.It; }
+    bool operator==(const iterator &O) const { return It == O.It; }
+
+  private:
+    Inner It;
+  };
+  iterator begin() const { return iterator(Blocks.begin()); }
+  iterator end() const { return iterator(Blocks.end()); }
+
+  /// Replaces every use of \p From with \p To across all instructions.
+  /// Returns the number of replaced uses.
+  unsigned replaceAllUsesWith(Value *From, Value *To);
+
+  /// Total instruction count across all blocks.
+  uint64_t instructionCount() const;
+
+  /// Optional source location used in reports and flame graphs.
+  const SourceLoc &loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = std::move(L); }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Function;
+  }
+
+private:
+  Module *Parent = nullptr;
+  Type *RetTy;
+  std::vector<Type *> ParamTys;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  SourceLoc Loc;
+};
+
+} // namespace ir
+} // namespace mperf
+
+#endif // MPERF_IR_FUNCTION_H

@@ -1,0 +1,273 @@
+//===- IRBuilder.cpp - Convenience IR construction --------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+
+using namespace mperf;
+using namespace mperf::ir;
+
+Instruction *IRBuilder::append(std::unique_ptr<Instruction> I,
+                               std::string Name) {
+  assert(Insert && "no insertion point set");
+  assert(!Insert->terminator() && "appending after a terminator");
+  if (!Name.empty())
+    I->setName(std::move(Name));
+  return Insert->append(std::move(I));
+}
+
+Value *IRBuilder::createBinary(Opcode Op, Value *L, Value *R,
+                               std::string Name) {
+  assert(L->type() == R->type() && "binary operand types differ");
+  auto I = std::make_unique<Instruction>(Op, L->type());
+  I->addOperand(L);
+  I->addOperand(R);
+  return append(std::move(I), std::move(Name));
+}
+
+#define BINARY_IMPL(FN, OP, CHECK)                                            \
+  Value *IRBuilder::FN(Value *L, Value *R, std::string Name) {                \
+    assert(CHECK && "operand type invalid for " #OP);                         \
+    return createBinary(Opcode::OP, L, R, std::move(Name));                   \
+  }
+
+BINARY_IMPL(createAdd, Add, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createSub, Sub, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createMul, Mul, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createSDiv, SDiv, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createUDiv, UDiv, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createSRem, SRem, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createURem, URem, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createAnd, And, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createOr, Or, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createXor, Xor, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createShl, Shl, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createLShr, LShr, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createAShr, AShr, L->type()->scalarType()->isInteger())
+BINARY_IMPL(createFAdd, FAdd, L->type()->scalarType()->isFloat())
+BINARY_IMPL(createFSub, FSub, L->type()->scalarType()->isFloat())
+BINARY_IMPL(createFMul, FMul, L->type()->scalarType()->isFloat())
+BINARY_IMPL(createFDiv, FDiv, L->type()->scalarType()->isFloat())
+
+#undef BINARY_IMPL
+
+Value *IRBuilder::createFNeg(Value *V, std::string Name) {
+  assert(V->type()->scalarType()->isFloat() && "fneg requires float");
+  auto I = std::make_unique<Instruction>(Opcode::FNeg, V->type());
+  I->addOperand(V);
+  return append(std::move(I), std::move(Name));
+}
+
+Value *IRBuilder::createFma(Value *A, Value *B, Value *C, std::string Name) {
+  assert(A->type() == B->type() && B->type() == C->type() &&
+         "fma operand types differ");
+  assert(A->type()->scalarType()->isFloat() && "fma requires float");
+  auto I = std::make_unique<Instruction>(Opcode::Fma, A->type());
+  I->addOperand(A);
+  I->addOperand(B);
+  I->addOperand(C);
+  return append(std::move(I), std::move(Name));
+}
+
+Value *IRBuilder::createICmp(ICmpPred Pred, Value *L, Value *R,
+                             std::string Name) {
+  assert(L->type() == R->type() && "icmp operand types differ");
+  assert((L->type()->scalarType()->isInteger() || L->type()->isPointer()) &&
+         "icmp requires int or ptr operands");
+  auto I = std::make_unique<Instruction>(Opcode::ICmp, Ctx.i1Ty());
+  I->setICmpPred(Pred);
+  I->addOperand(L);
+  I->addOperand(R);
+  return append(std::move(I), std::move(Name));
+}
+
+Value *IRBuilder::createFCmp(FCmpPred Pred, Value *L, Value *R,
+                             std::string Name) {
+  assert(L->type() == R->type() && "fcmp operand types differ");
+  assert(L->type()->scalarType()->isFloat() && "fcmp requires float operands");
+  auto I = std::make_unique<Instruction>(Opcode::FCmp, Ctx.i1Ty());
+  I->setFCmpPred(Pred);
+  I->addOperand(L);
+  I->addOperand(R);
+  return append(std::move(I), std::move(Name));
+}
+
+Value *IRBuilder::createCast(Opcode Op, Value *V, Type *To, std::string Name) {
+  auto I = std::make_unique<Instruction>(Op, To);
+  I->addOperand(V);
+  return append(std::move(I), std::move(Name));
+}
+
+Value *IRBuilder::createTrunc(Value *V, Type *To, std::string Name) {
+  assert(V->type()->isInteger() && To->isInteger() &&
+         V->type()->integerBits() > To->integerBits() && "bad trunc");
+  return createCast(Opcode::Trunc, V, To, std::move(Name));
+}
+
+Value *IRBuilder::createZExt(Value *V, Type *To, std::string Name) {
+  assert(V->type()->isInteger() && To->isInteger() &&
+         V->type()->integerBits() < To->integerBits() && "bad zext");
+  return createCast(Opcode::ZExt, V, To, std::move(Name));
+}
+
+Value *IRBuilder::createSExt(Value *V, Type *To, std::string Name) {
+  assert(V->type()->isInteger() && To->isInteger() &&
+         V->type()->integerBits() < To->integerBits() && "bad sext");
+  return createCast(Opcode::SExt, V, To, std::move(Name));
+}
+
+Value *IRBuilder::createFPToSI(Value *V, Type *To, std::string Name) {
+  assert(V->type()->isFloat() && To->isInteger() && "bad fptosi");
+  return createCast(Opcode::FPToSI, V, To, std::move(Name));
+}
+
+Value *IRBuilder::createSIToFP(Value *V, Type *To, std::string Name) {
+  assert(V->type()->isInteger() && To->isFloat() && "bad sitofp");
+  return createCast(Opcode::SIToFP, V, To, std::move(Name));
+}
+
+Value *IRBuilder::createFPTrunc(Value *V, Type *To, std::string Name) {
+  assert(V->type()->isFloat() && To->isFloat() && "bad fptrunc");
+  return createCast(Opcode::FPTrunc, V, To, std::move(Name));
+}
+
+Value *IRBuilder::createFPExt(Value *V, Type *To, std::string Name) {
+  assert(V->type()->isFloat() && To->isFloat() && "bad fpext");
+  return createCast(Opcode::FPExt, V, To, std::move(Name));
+}
+
+Value *IRBuilder::createSplat(Value *Scalar, unsigned Lanes,
+                              std::string Name) {
+  Type *VecTy = Ctx.vectorTy(Scalar->type(), Lanes);
+  auto I = std::make_unique<Instruction>(Opcode::Splat, VecTy);
+  I->addOperand(Scalar);
+  return append(std::move(I), std::move(Name));
+}
+
+Value *IRBuilder::createExtractElement(Value *Vec, Value *Lane,
+                                       std::string Name) {
+  assert(Vec->type()->isVector() && "extractelement requires a vector");
+  auto I = std::make_unique<Instruction>(Opcode::ExtractElement,
+                                         Vec->type()->elementType());
+  I->addOperand(Vec);
+  I->addOperand(Lane);
+  return append(std::move(I), std::move(Name));
+}
+
+Value *IRBuilder::createReduceFAdd(Value *Vec, std::string Name) {
+  assert(Vec->type()->isVector() && Vec->type()->elementType()->isFloat() &&
+         "reduce_fadd requires a float vector");
+  auto I = std::make_unique<Instruction>(Opcode::ReduceFAdd,
+                                         Vec->type()->elementType());
+  I->addOperand(Vec);
+  return append(std::move(I), std::move(Name));
+}
+
+Value *IRBuilder::createReduceAdd(Value *Vec, std::string Name) {
+  assert(Vec->type()->isVector() && Vec->type()->elementType()->isInteger() &&
+         "reduce_add requires an integer vector");
+  auto I = std::make_unique<Instruction>(Opcode::ReduceAdd,
+                                         Vec->type()->elementType());
+  I->addOperand(Vec);
+  return append(std::move(I), std::move(Name));
+}
+
+Value *IRBuilder::createAlloca(uint64_t Bytes, std::string Name) {
+  auto I = std::make_unique<Instruction>(Opcode::Alloca, Ctx.ptrTy());
+  I->setAllocaBytes(Bytes);
+  return append(std::move(I), std::move(Name));
+}
+
+Value *IRBuilder::createLoad(Type *Ty, Value *Ptr, std::string Name) {
+  assert(Ptr->type()->isPointer() && "load requires a pointer operand");
+  auto I = std::make_unique<Instruction>(Opcode::Load, Ty);
+  I->addOperand(Ptr);
+  return append(std::move(I), std::move(Name));
+}
+
+void IRBuilder::createStore(Value *V, Value *Ptr) {
+  assert(Ptr->type()->isPointer() && "store requires a pointer operand");
+  auto I = std::make_unique<Instruction>(Opcode::Store, Ctx.voidTy());
+  I->addOperand(V);
+  I->addOperand(Ptr);
+  append(std::move(I), "");
+}
+
+Value *IRBuilder::createPtrAdd(Value *Ptr, Value *OffsetBytes,
+                               std::string Name) {
+  assert(Ptr->type()->isPointer() && "ptradd requires a pointer");
+  assert(OffsetBytes->type()->isInteger() &&
+         OffsetBytes->type()->integerBits() == 64 &&
+         "ptradd offset must be i64");
+  auto I = std::make_unique<Instruction>(Opcode::PtrAdd, Ctx.ptrTy());
+  I->addOperand(Ptr);
+  I->addOperand(OffsetBytes);
+  return append(std::move(I), std::move(Name));
+}
+
+void IRBuilder::createBr(BasicBlock *Dest) {
+  auto I = std::make_unique<Instruction>(Opcode::Br, Ctx.voidTy());
+  I->addSuccessor(Dest);
+  append(std::move(I), "");
+}
+
+void IRBuilder::createCondBr(Value *Cond, BasicBlock *IfTrue,
+                             BasicBlock *IfFalse) {
+  assert(Cond->type()->isI1() && "cond_br condition must be i1");
+  auto I = std::make_unique<Instruction>(Opcode::CondBr, Ctx.voidTy());
+  I->addOperand(Cond);
+  I->addSuccessor(IfTrue);
+  I->addSuccessor(IfFalse);
+  append(std::move(I), "");
+}
+
+void IRBuilder::createRet(Value *V) {
+  auto I = std::make_unique<Instruction>(Opcode::Ret, Ctx.voidTy());
+  if (V)
+    I->addOperand(V);
+  append(std::move(I), "");
+}
+
+Value *IRBuilder::createCall(Function *Callee, std::vector<Value *> Args,
+                             std::string Name) {
+  assert(Callee && "call requires a callee");
+  assert(Args.size() == Callee->paramTypes().size() &&
+         "call argument count mismatch");
+  for (size_t I = 0; I < Args.size(); ++I) {
+    (void)I;
+    assert(Args[I]->type() == Callee->paramTypes()[I] &&
+           "call argument type mismatch");
+  }
+  auto I = std::make_unique<Instruction>(Opcode::Call, Callee->returnType());
+  I->setCallee(Callee);
+  for (Value *A : Args)
+    I->addOperand(A);
+  return append(std::move(I), std::move(Name));
+}
+
+Instruction *IRBuilder::createPhi(Type *Ty, std::string Name) {
+  assert(Insert && "no insertion point set");
+  assert(!Insert->terminator() && "appending after a terminator");
+  auto I = std::make_unique<Instruction>(Opcode::Phi, Ty);
+  if (!Name.empty())
+    I->setName(std::move(Name));
+  // Phis must form a prefix of the block: insert after existing phis.
+  size_t Pos = 0;
+  while (Pos < Insert->size() && Insert->at(Pos)->opcode() == Opcode::Phi)
+    ++Pos;
+  return Insert->insertAt(Pos, std::move(I));
+}
+
+Value *IRBuilder::createSelect(Value *Cond, Value *IfTrue, Value *IfFalse,
+                               std::string Name) {
+  assert(Cond->type()->isI1() && "select condition must be i1");
+  assert(IfTrue->type() == IfFalse->type() && "select arm types differ");
+  auto I = std::make_unique<Instruction>(Opcode::Select, IfTrue->type());
+  I->addOperand(Cond);
+  I->addOperand(IfTrue);
+  I->addOperand(IfFalse);
+  return append(std::move(I), std::move(Name));
+}

@@ -1,0 +1,130 @@
+//===- IRBuilder.h - Convenience IR construction ---------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder appends instructions to an insertion block with full type
+/// checking, mirroring llvm::IRBuilder. All workload builders
+/// (src/workloads) construct their programs through this interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_IR_IRBUILDER_H
+#define MPERF_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+namespace mperf {
+namespace ir {
+
+/// Appends type-checked instructions at the end of an insertion block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M), Ctx(M.context()) {}
+
+  Module &module() { return M; }
+  Context &context() { return Ctx; }
+
+  /// Sets the block new instructions are appended to.
+  void setInsertPoint(BasicBlock *BB) { Insert = BB; }
+  BasicBlock *insertBlock() const { return Insert; }
+
+  //===--------------------------------------------------------------===//
+  // Integer arithmetic
+  //===--------------------------------------------------------------===//
+
+  Value *createAdd(Value *L, Value *R, std::string Name = "");
+  Value *createSub(Value *L, Value *R, std::string Name = "");
+  Value *createMul(Value *L, Value *R, std::string Name = "");
+  Value *createSDiv(Value *L, Value *R, std::string Name = "");
+  Value *createUDiv(Value *L, Value *R, std::string Name = "");
+  Value *createSRem(Value *L, Value *R, std::string Name = "");
+  Value *createURem(Value *L, Value *R, std::string Name = "");
+  Value *createAnd(Value *L, Value *R, std::string Name = "");
+  Value *createOr(Value *L, Value *R, std::string Name = "");
+  Value *createXor(Value *L, Value *R, std::string Name = "");
+  Value *createShl(Value *L, Value *R, std::string Name = "");
+  Value *createLShr(Value *L, Value *R, std::string Name = "");
+  Value *createAShr(Value *L, Value *R, std::string Name = "");
+
+  //===--------------------------------------------------------------===//
+  // Floating point arithmetic
+  //===--------------------------------------------------------------===//
+
+  Value *createFAdd(Value *L, Value *R, std::string Name = "");
+  Value *createFSub(Value *L, Value *R, std::string Name = "");
+  Value *createFMul(Value *L, Value *R, std::string Name = "");
+  Value *createFDiv(Value *L, Value *R, std::string Name = "");
+  Value *createFNeg(Value *V, std::string Name = "");
+  /// fma(A, B, C) = A * B + C.
+  Value *createFma(Value *A, Value *B, Value *C, std::string Name = "");
+
+  //===--------------------------------------------------------------===//
+  // Comparisons, casts, vectors
+  //===--------------------------------------------------------------===//
+
+  Value *createICmp(ICmpPred Pred, Value *L, Value *R, std::string Name = "");
+  Value *createFCmp(FCmpPred Pred, Value *L, Value *R, std::string Name = "");
+
+  Value *createTrunc(Value *V, Type *To, std::string Name = "");
+  Value *createZExt(Value *V, Type *To, std::string Name = "");
+  Value *createSExt(Value *V, Type *To, std::string Name = "");
+  Value *createFPToSI(Value *V, Type *To, std::string Name = "");
+  Value *createSIToFP(Value *V, Type *To, std::string Name = "");
+  Value *createFPTrunc(Value *V, Type *To, std::string Name = "");
+  Value *createFPExt(Value *V, Type *To, std::string Name = "");
+
+  Value *createSplat(Value *Scalar, unsigned Lanes, std::string Name = "");
+  Value *createExtractElement(Value *Vec, Value *Lane, std::string Name = "");
+  Value *createReduceFAdd(Value *Vec, std::string Name = "");
+  Value *createReduceAdd(Value *Vec, std::string Name = "");
+
+  //===--------------------------------------------------------------===//
+  // Memory
+  //===--------------------------------------------------------------===//
+
+  Value *createAlloca(uint64_t Bytes, std::string Name = "");
+  Value *createLoad(Type *Ty, Value *Ptr, std::string Name = "");
+  void createStore(Value *V, Value *Ptr);
+  Value *createPtrAdd(Value *Ptr, Value *OffsetBytes, std::string Name = "");
+
+  //===--------------------------------------------------------------===//
+  // Control flow
+  //===--------------------------------------------------------------===//
+
+  void createBr(BasicBlock *Dest);
+  void createCondBr(Value *Cond, BasicBlock *IfTrue, BasicBlock *IfFalse);
+  void createRet(Value *V = nullptr);
+  Value *createCall(Function *Callee, std::vector<Value *> Args,
+                    std::string Name = "");
+  /// Creates an empty phi; callers add incomings.
+  Instruction *createPhi(Type *Ty, std::string Name = "");
+  Value *createSelect(Value *Cond, Value *IfTrue, Value *IfFalse,
+                      std::string Name = "");
+
+  //===--------------------------------------------------------------===//
+  // Constant shorthands
+  //===--------------------------------------------------------------===//
+
+  ConstantInt *i64(uint64_t V) { return Ctx.constI64(V); }
+  ConstantInt *i32(uint32_t V) { return Ctx.constI32(V); }
+  ConstantFP *f32(double V) { return Ctx.constF32(V); }
+  ConstantFP *f64(double V) { return Ctx.constF64(V); }
+
+private:
+  Instruction *append(std::unique_ptr<Instruction> I, std::string Name);
+  Value *createBinary(Opcode Op, Value *L, Value *R, std::string Name);
+  Value *createCast(Opcode Op, Value *V, Type *To, std::string Name);
+
+  Module &M;
+  Context &Ctx;
+  BasicBlock *Insert = nullptr;
+};
+
+} // namespace ir
+} // namespace mperf
+
+#endif // MPERF_IR_IRBUILDER_H

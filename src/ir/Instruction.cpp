@@ -1,0 +1,184 @@
+//===- Instruction.cpp - IR instructions -----------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+#include "ir/BasicBlock.h"
+
+using namespace mperf;
+using namespace mperf::ir;
+
+std::string_view mperf::ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::SDiv:
+    return "sdiv";
+  case Opcode::UDiv:
+    return "udiv";
+  case Opcode::SRem:
+    return "srem";
+  case Opcode::URem:
+    return "urem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::LShr:
+    return "lshr";
+  case Opcode::AShr:
+    return "ashr";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::FNeg:
+    return "fneg";
+  case Opcode::Fma:
+    return "fma";
+  case Opcode::ICmp:
+    return "icmp";
+  case Opcode::FCmp:
+    return "fcmp";
+  case Opcode::Trunc:
+    return "trunc";
+  case Opcode::ZExt:
+    return "zext";
+  case Opcode::SExt:
+    return "sext";
+  case Opcode::FPToSI:
+    return "fptosi";
+  case Opcode::SIToFP:
+    return "sitofp";
+  case Opcode::FPTrunc:
+    return "fptrunc";
+  case Opcode::FPExt:
+    return "fpext";
+  case Opcode::Splat:
+    return "splat";
+  case Opcode::ExtractElement:
+    return "extractelement";
+  case Opcode::ReduceFAdd:
+    return "reduce_fadd";
+  case Opcode::ReduceAdd:
+    return "reduce_add";
+  case Opcode::Alloca:
+    return "alloca";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::PtrAdd:
+    return "ptradd";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "cond_br";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Select:
+    return "select";
+  }
+  MPERF_UNREACHABLE("unknown opcode");
+}
+
+std::string_view mperf::ir::predName(ICmpPred Pred) {
+  switch (Pred) {
+  case ICmpPred::EQ:
+    return "eq";
+  case ICmpPred::NE:
+    return "ne";
+  case ICmpPred::SLT:
+    return "slt";
+  case ICmpPred::SLE:
+    return "sle";
+  case ICmpPred::SGT:
+    return "sgt";
+  case ICmpPred::SGE:
+    return "sge";
+  case ICmpPred::ULT:
+    return "ult";
+  case ICmpPred::ULE:
+    return "ule";
+  case ICmpPred::UGT:
+    return "ugt";
+  case ICmpPred::UGE:
+    return "uge";
+  }
+  MPERF_UNREACHABLE("unknown icmp predicate");
+}
+
+std::string_view mperf::ir::predName(FCmpPred Pred) {
+  switch (Pred) {
+  case FCmpPred::OEQ:
+    return "oeq";
+  case FCmpPred::ONE:
+    return "one";
+  case FCmpPred::OLT:
+    return "olt";
+  case FCmpPred::OLE:
+    return "ole";
+  case FCmpPred::OGT:
+    return "ogt";
+  case FCmpPred::OGE:
+    return "oge";
+  }
+  MPERF_UNREACHABLE("unknown fcmp predicate");
+}
+
+unsigned Instruction::replaceUsesOf(Value *From, Value *To) {
+  unsigned Count = 0;
+  for (Value *&Op : Operands) {
+    if (Op != From)
+      continue;
+    Op = To;
+    ++Count;
+  }
+  return Count;
+}
+
+Value *Instruction::incomingValueFor(const BasicBlock *BB) const {
+  assert(Op == Opcode::Phi && "incomingValueFor on non-phi");
+  for (unsigned I = 0, E = IncomingBlocks.size(); I != E; ++I)
+    if (IncomingBlocks[I] == BB)
+      return Operands[I];
+  return nullptr;
+}
+
+uint64_t Instruction::flopCount() const {
+  // Horizontal FP reduction over N lanes performs N-1 adds.
+  if (Op == Opcode::ReduceFAdd)
+    return operand(0)->type()->numElements() - 1;
+  if (!isFloatArith())
+    return 0;
+  uint64_t Lanes = type()->numElements();
+  uint64_t PerLane = (Op == Opcode::Fma) ? 2 : 1;
+  return Lanes * PerLane;
+}
+
+uint64_t Instruction::accessedBytes() const {
+  if (Op == Opcode::Load)
+    return type()->sizeInBytes();
+  if (Op == Opcode::Store)
+    return operand(0)->type()->sizeInBytes();
+  return 0;
+}

@@ -1,0 +1,287 @@
+//===- Instruction.h - IR instructions -------------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instructions of the miniperf IR. The set mirrors the fragment of LLVM
+/// IR the paper's analysis needs: integer/FP arithmetic (including fused
+/// multiply-add), comparisons, casts, memory operations with explicit
+/// byte sizes, vector widening ops for the loop vectorizer, and SSA
+/// control flow (phi, br, cond_br, call, ret).
+///
+/// Instructions are a single concrete class discriminated by Opcode, with
+/// typed accessors asserting the opcode; this keeps the interpreter and
+/// the passes compact while preserving LLVM-style isa<>/cast<> queries at
+/// the Value level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_IR_INSTRUCTION_H
+#define MPERF_IR_INSTRUCTION_H
+
+#include "ir/Value.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mperf {
+namespace ir {
+
+class BasicBlock;
+class Function;
+
+/// Every operation the IR can express.
+enum class Opcode : uint8_t {
+  // Integer binary arithmetic.
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  UDiv,
+  SRem,
+  URem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  // Floating point arithmetic.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FNeg,
+  /// Fused multiply-add: fma(a, b, c) = a * b + c. Counts as two FLOPs.
+  Fma,
+  // Comparisons; produce i1 (or vector of i1 untyped as i1 vector).
+  ICmp,
+  FCmp,
+  // Casts.
+  Trunc,
+  ZExt,
+  SExt,
+  FPToSI,
+  SIToFP,
+  FPTrunc,
+  FPExt,
+  // Vector support.
+  /// Broadcasts a scalar into every lane of a vector.
+  Splat,
+  /// Extracts lane i (constant operand) of a vector.
+  ExtractElement,
+  /// Horizontal floating point reduction (sum of lanes).
+  ReduceFAdd,
+  /// Horizontal integer reduction (sum of lanes).
+  ReduceAdd,
+  // Memory.
+  /// Reserves a fixed-size stack slot; yields a ptr.
+  Alloca,
+  /// Loads a value of the result type from the pointer operand.
+  Load,
+  /// Stores operand 0 to pointer operand 1.
+  Store,
+  /// Pointer plus byte offset (i64); yields ptr.
+  PtrAdd,
+  // Control flow and SSA.
+  Br,
+  CondBr,
+  Ret,
+  Call,
+  Phi,
+  Select,
+};
+
+/// Integer comparison predicates (subset of LLVM's).
+enum class ICmpPred : uint8_t { EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE, UGT, UGE };
+
+/// Ordered floating point comparison predicates.
+enum class FCmpPred : uint8_t { OEQ, ONE, OLT, OLE, OGT, OGE };
+
+/// Returns the assembly mnemonic for \p Op, e.g. "fadd".
+std::string_view opcodeName(Opcode Op);
+
+/// Returns the assembly name for \p Pred, e.g. "slt".
+std::string_view predName(ICmpPred Pred);
+std::string_view predName(FCmpPred Pred);
+
+/// A single IR instruction.
+class Instruction : public Value {
+public:
+  Instruction(Opcode Op, Type *Ty) : Value(ValueKind::Instruction, Ty), Op(Op) {}
+
+  Opcode opcode() const { return Op; }
+
+  //===--------------------------------------------------------------===//
+  // Operands
+  //===--------------------------------------------------------------===//
+
+  unsigned numOperands() const { return Operands.size(); }
+  Value *operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I] = V;
+  }
+  void addOperand(Value *V) { Operands.push_back(V); }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// Replaces every use of \p From in this instruction's operand list
+  /// with \p To. Returns the number of replacements.
+  unsigned replaceUsesOf(Value *From, Value *To);
+
+  //===--------------------------------------------------------------===//
+  // Classification
+  //===--------------------------------------------------------------===//
+
+  bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+  }
+  bool isIntArith() const {
+    return Op >= Opcode::Add && Op <= Opcode::AShr;
+  }
+  bool isFloatArith() const {
+    return Op >= Opcode::FAdd && Op <= Opcode::Fma;
+  }
+  bool isCast() const { return Op >= Opcode::Trunc && Op <= Opcode::FPExt; }
+  bool isMemoryAccess() const {
+    return Op == Opcode::Load || Op == Opcode::Store;
+  }
+  /// True when removing the instruction cannot change observable
+  /// behaviour (no side effects and no control flow).
+  bool isPure() const {
+    return !isTerminator() && Op != Opcode::Store && Op != Opcode::Call &&
+           Op != Opcode::Alloca && Op != Opcode::Load;
+  }
+
+  /// Number of scalar floating point operations this instruction retires
+  /// (vector lanes multiply; FMA counts as two).
+  uint64_t flopCount() const;
+
+  /// Bytes moved by this Load/Store; 0 otherwise.
+  uint64_t accessedBytes() const;
+
+  //===--------------------------------------------------------------===//
+  // Opcode-specific state
+  //===--------------------------------------------------------------===//
+
+  ICmpPred icmpPred() const {
+    assert(Op == Opcode::ICmp && "not an icmp");
+    return IPred;
+  }
+  void setICmpPred(ICmpPred P) { IPred = P; }
+
+  FCmpPred fcmpPred() const {
+    assert(Op == Opcode::FCmp && "not an fcmp");
+    return FPred;
+  }
+  void setFCmpPred(FCmpPred P) { FPred = P; }
+
+  /// Alloca: size of the stack slot in bytes.
+  uint64_t allocaBytes() const {
+    assert(Op == Opcode::Alloca && "not an alloca");
+    return AllocaSize;
+  }
+  void setAllocaBytes(uint64_t Bytes) { AllocaSize = Bytes; }
+
+  /// Call: the callee function.
+  Function *callee() const {
+    assert(Op == Opcode::Call && "not a call");
+    return Callee;
+  }
+  void setCallee(Function *F) { Callee = F; }
+
+  /// Br: the single successor. CondBr: successor(0)=true, successor(1)=false.
+  BasicBlock *successor(unsigned I) const {
+    assert(I < Successors.size() && "successor index out of range");
+    return Successors[I];
+  }
+  unsigned numSuccessors() const { return Successors.size(); }
+  void addSuccessor(BasicBlock *BB) { Successors.push_back(BB); }
+  void setSuccessor(unsigned I, BasicBlock *BB) {
+    assert(I < Successors.size() && "successor index out of range");
+    Successors[I] = BB;
+  }
+
+  /// Phi: incoming block for operand \p I.
+  BasicBlock *incomingBlock(unsigned I) const {
+    assert(Op == Opcode::Phi && I < IncomingBlocks.size() &&
+           "bad phi incoming index");
+    return IncomingBlocks[I];
+  }
+  void addIncoming(Value *V, BasicBlock *BB) {
+    assert(Op == Opcode::Phi && "addIncoming on non-phi");
+    addOperand(V);
+    IncomingBlocks.push_back(BB);
+  }
+  /// Appends only an incoming block, for callers (e.g. the parser) that
+  /// added the parallel operand separately. Keeps Operands and
+  /// IncomingBlocks aligned.
+  void appendIncomingBlock(BasicBlock *BB) {
+    assert(Op == Opcode::Phi && "appendIncomingBlock on non-phi");
+    assert(IncomingBlocks.size() < Operands.size() &&
+           "incoming block without a matching operand");
+    IncomingBlocks.push_back(BB);
+  }
+  void setIncomingBlock(unsigned I, BasicBlock *BB) {
+    assert(Op == Opcode::Phi && I < IncomingBlocks.size() &&
+           "bad phi incoming index");
+    IncomingBlocks[I] = BB;
+  }
+  /// Returns the incoming value for \p BB, or null when absent.
+  Value *incomingValueFor(const BasicBlock *BB) const;
+
+  /// Vector Load/Store may carry an optional trailing i64 operand: the
+  /// byte stride between lanes (lane i at addr + i * stride). Without it
+  /// the access is contiguous. Strided accesses model the gathers the
+  /// vectorizer emits for non-unit-stride loops; core models charge them
+  /// per lane.
+  bool hasVectorStrideOperand() const {
+    if (Op == Opcode::Load)
+      return numOperands() == 2;
+    if (Op == Opcode::Store)
+      return numOperands() == 3;
+    return false;
+  }
+  Value *vectorStrideOperand() const {
+    assert(hasVectorStrideOperand() && "no stride operand");
+    return operand(numOperands() - 1);
+  }
+
+  /// Parent block, set by BasicBlock insertion.
+  BasicBlock *parent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  /// Optional source location (used by the Roofline pass's LoopInfo
+  /// descriptors).
+  const SourceLoc &loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = std::move(L); }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Instruction;
+  }
+
+private:
+  Opcode Op;
+  std::vector<Value *> Operands;
+  std::vector<BasicBlock *> Successors;
+  std::vector<BasicBlock *> IncomingBlocks;
+  ICmpPred IPred = ICmpPred::EQ;
+  FCmpPred FPred = FCmpPred::OEQ;
+  uint64_t AllocaSize = 0;
+  Function *Callee = nullptr;
+  BasicBlock *Parent = nullptr;
+  SourceLoc Loc;
+};
+
+} // namespace ir
+} // namespace mperf
+
+#endif // MPERF_IR_INSTRUCTION_H

@@ -1,0 +1,126 @@
+//===- Module.h - IR modules and globals -----------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns functions and global variables and holds the Context
+/// that interns types and constants. One module corresponds to one
+/// simulated program image.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_IR_MODULE_H
+#define MPERF_IR_MODULE_H
+
+#include "ir/Context.h"
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace ir {
+
+/// A global variable: a named chunk of simulated memory. Its Value is the
+/// address (type ptr). Optional initial bytes; otherwise zero-filled.
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(Type *PtrTy, std::string Name, uint64_t SizeBytes)
+      : Value(ValueKind::GlobalVariable, PtrTy), SizeBytes(SizeBytes) {
+    setName(std::move(Name));
+  }
+
+  uint64_t sizeInBytes() const { return SizeBytes; }
+
+  const std::vector<uint8_t> &initializer() const { return Init; }
+  void setInitializer(std::vector<uint8_t> Bytes) {
+    assert(Bytes.size() <= SizeBytes && "initializer larger than global");
+    Init = std::move(Bytes);
+  }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::GlobalVariable;
+  }
+
+private:
+  uint64_t SizeBytes;
+  std::vector<uint8_t> Init;
+};
+
+/// A translation unit / program image: functions + globals + context.
+class Module {
+public:
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  const std::string &name() const { return Name; }
+  Context &context() { return Ctx; }
+
+  //===--------------------------------------------------------------===//
+  // Functions
+  //===--------------------------------------------------------------===//
+
+  /// Creates a function with a body to be filled in.
+  Function *createFunction(std::string FnName, Type *RetTy,
+                           std::vector<Type *> ParamTys);
+
+  /// Creates a body-less declaration (external/native function).
+  Function *createDeclaration(std::string FnName, Type *RetTy,
+                              std::vector<Type *> ParamTys) {
+    return createFunction(std::move(FnName), RetTy, std::move(ParamTys));
+  }
+
+  /// Looks a function up by name; null when absent.
+  Function *function(std::string_view FnName) const;
+
+  size_t numFunctions() const { return Functions.size(); }
+
+  class fn_iterator {
+  public:
+    using Inner = std::vector<std::unique_ptr<Function>>::const_iterator;
+    explicit fn_iterator(Inner It) : It(It) {}
+    Function *operator*() const { return It->get(); }
+    fn_iterator &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator!=(const fn_iterator &O) const { return It != O.It; }
+
+  private:
+    Inner It;
+  };
+  fn_iterator begin() const { return fn_iterator(Functions.begin()); }
+  fn_iterator end() const { return fn_iterator(Functions.end()); }
+
+  //===--------------------------------------------------------------===//
+  // Globals
+  //===--------------------------------------------------------------===//
+
+  /// Creates a zero-initialized global of \p SizeBytes bytes.
+  GlobalVariable *createGlobal(std::string GlobalName, uint64_t SizeBytes);
+
+  /// Looks a global up by name; null when absent.
+  GlobalVariable *global(std::string_view GlobalName) const;
+
+  size_t numGlobals() const { return Globals.size(); }
+  GlobalVariable *globalAt(size_t I) const { return Globals[I].get(); }
+
+  /// Total instruction count across all functions.
+  uint64_t instructionCount() const;
+
+private:
+  std::string Name;
+  Context Ctx;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+};
+
+} // namespace ir
+} // namespace mperf
+
+#endif // MPERF_IR_MODULE_H

@@ -1,0 +1,1012 @@
+//===- Parser.cpp - Textual IR parsing ---------------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+using namespace mperf;
+using namespace mperf::ir;
+
+namespace {
+
+/// Token kinds produced by the lexer.
+enum class Tok : uint8_t {
+  Ident,   // add, i64, entry, to, ...
+  Local,   // %name
+  Global,  // @name
+  Integer, // -?[0-9]+
+  Float,   // contains '.' or exponent
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Less,
+  Greater,
+  Comma,
+  Colon,
+  Equals,
+  Arrow, // ->
+  End,
+};
+
+struct Token {
+  Tok Kind = Tok::End;
+  std::string Text;
+  unsigned Line = 0;
+};
+
+/// Single-pass lexer; copyable so the parser can pre-scan block labels.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Text) : Text(Text) {}
+
+  Token next() {
+    skipWhitespaceAndComments();
+    Token T;
+    T.Line = Line;
+    if (Pos >= Text.size()) {
+      T.Kind = Tok::End;
+      return T;
+    }
+    char C = Text[Pos];
+    auto Single = [&](Tok Kind) {
+      T.Kind = Kind;
+      T.Text = std::string(1, C);
+      ++Pos;
+      return T;
+    };
+    switch (C) {
+    case '(':
+      return Single(Tok::LParen);
+    case ')':
+      return Single(Tok::RParen);
+    case '{':
+      return Single(Tok::LBrace);
+    case '}':
+      return Single(Tok::RBrace);
+    case '[':
+      return Single(Tok::LBracket);
+    case ']':
+      return Single(Tok::RBracket);
+    case '<':
+      return Single(Tok::Less);
+    case '>':
+      return Single(Tok::Greater);
+    case ',':
+      return Single(Tok::Comma);
+    case ':':
+      return Single(Tok::Colon);
+    case '=':
+      return Single(Tok::Equals);
+    default:
+      break;
+    }
+    if (C == '-' && Pos + 1 < Text.size() && Text[Pos + 1] == '>') {
+      Pos += 2;
+      T.Kind = Tok::Arrow;
+      T.Text = "->";
+      return T;
+    }
+    if (C == '%' || C == '@') {
+      ++Pos;
+      T.Kind = C == '%' ? Tok::Local : Tok::Global;
+      T.Text = takeName();
+      return T;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) || C == '-' || C == '+') {
+      T.Text = takeNumber();
+      bool IsFloat = T.Text.find('.') != std::string::npos ||
+                     T.Text.find('e') != std::string::npos ||
+                     T.Text.find("inf") != std::string::npos ||
+                     T.Text.find("nan") != std::string::npos;
+      T.Kind = IsFloat ? Tok::Float : Tok::Integer;
+      return T;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      T.Kind = Tok::Ident;
+      T.Text = takeName();
+      return T;
+    }
+    T.Kind = Tok::End;
+    T.Text = std::string(1, C);
+    return T;
+  }
+
+private:
+  void skipWhitespaceAndComments() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+        continue;
+      }
+      if (C == ' ' || C == '\t' || C == '\r') {
+        ++Pos;
+        continue;
+      }
+      if (C == ';') { // comment to end of line
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string takeName() {
+    size_t Start = Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+  std::string takeNumber() {
+    size_t Start = Pos;
+    if (Text[Pos] == '-' || Text[Pos] == '+')
+      ++Pos;
+    bool SeenExp = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C)) || C == '.') {
+        ++Pos;
+        continue;
+      }
+      if ((C == 'e' || C == 'E') && !SeenExp) {
+        SeenExp = true;
+        ++Pos;
+        if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+          ++Pos;
+        continue;
+      }
+      break;
+    }
+    return std::string(Text.substr(Start, Pos - Start));
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+/// A pending %name operand awaiting resolution at the end of a function.
+struct Fixup {
+  Instruction *Inst;
+  unsigned OperandIndex;
+  std::string LocalName;
+  unsigned Line;
+};
+
+/// Recursive-descent parser for the printed syntax.
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Lex(Text) { advance(); }
+
+  Expected<std::unique_ptr<Module>> parse();
+
+private:
+  void advance() { Cur = Lex.next(); }
+  bool is(Tok Kind) const { return Cur.Kind == Kind; }
+  bool isIdent(std::string_view Text) const {
+    return Cur.Kind == Tok::Ident && Cur.Text == Text;
+  }
+  bool accept(Tok Kind) {
+    if (!is(Kind))
+      return false;
+    advance();
+    return true;
+  }
+
+  std::string err(std::string Why) const {
+    return "parse error at line " + std::to_string(Cur.Line) + ": " +
+           std::move(Why) + " (got '" + Cur.Text + "')";
+  }
+
+  Type *parseType(std::string &ErrorOut);
+  Value *parseTypedOperand(Type *Ty, Instruction *Inst, unsigned Index,
+                           std::string &ErrorOut);
+  Error parseGlobal();
+  Error parseFunction(bool IsDeclaration);
+  Error parseFunctionBody(Function *F);
+  Error parseInstructionTail(Function *F, BasicBlock *BB, std::string OpName,
+                             std::string ResultName);
+
+  /// Appends a fresh instruction and registers its result name.
+  Instruction *emit(BasicBlock *BB, Opcode Op, Type *Ty,
+                    const std::string &ResultName) {
+    auto I = std::make_unique<Instruction>(Op, Ty);
+    Instruction *Raw = BB->append(std::move(I));
+    if (!ResultName.empty()) {
+      Raw->setName(ResultName);
+      Locals[ResultName] = Raw;
+    }
+    return Raw;
+  }
+
+  /// Parses one typed operand and appends it to \p I.
+  bool addOperand(Instruction *I, Type *Ty, std::string &ErrorOut) {
+    unsigned Index = I->numOperands();
+    I->addOperand(nullptr);
+    Value *V = parseTypedOperand(Ty, I, Index, ErrorOut);
+    if (!V)
+      return false;
+    I->setOperand(Index, V);
+    return true;
+  }
+
+  BasicBlock *blockByName(const std::string &Name, std::string &ErrorOut) {
+    auto It = Blocks.find(Name);
+    if (It == Blocks.end()) {
+      ErrorOut = err("reference to unknown block '" + Name + "'");
+      return nullptr;
+    }
+    return It->second;
+  }
+
+  Lexer Lex;
+  Token Cur;
+  std::unique_ptr<Module> M;
+  // Per-function parsing state.
+  std::map<std::string, Value *> Locals;
+  std::map<std::string, BasicBlock *> Blocks;
+  std::vector<Fixup> Fixups;
+};
+
+} // namespace
+
+Type *Parser::parseType(std::string &ErrorOut) {
+  Context &Ctx = M->context();
+  if (is(Tok::Less)) {
+    advance();
+    if (!is(Tok::Integer)) {
+      ErrorOut = err("expected vector lane count");
+      return nullptr;
+    }
+    unsigned Lanes = std::strtoul(Cur.Text.c_str(), nullptr, 10);
+    advance();
+    if (!isIdent("x")) {
+      ErrorOut = err("expected 'x' in vector type");
+      return nullptr;
+    }
+    advance();
+    Type *Elem = parseType(ErrorOut);
+    if (!Elem)
+      return nullptr;
+    if (!accept(Tok::Greater)) {
+      ErrorOut = err("expected '>' closing vector type");
+      return nullptr;
+    }
+    return Ctx.vectorTy(Elem, Lanes);
+  }
+  if (!is(Tok::Ident)) {
+    ErrorOut = err("expected a type");
+    return nullptr;
+  }
+  Type *Ty = nullptr;
+  if (Cur.Text == "void")
+    Ty = Ctx.voidTy();
+  else if (Cur.Text == "i1")
+    Ty = Ctx.i1Ty();
+  else if (Cur.Text == "i8")
+    Ty = Ctx.i8Ty();
+  else if (Cur.Text == "i32")
+    Ty = Ctx.i32Ty();
+  else if (Cur.Text == "i64")
+    Ty = Ctx.i64Ty();
+  else if (Cur.Text == "f32")
+    Ty = Ctx.f32Ty();
+  else if (Cur.Text == "f64")
+    Ty = Ctx.f64Ty();
+  else if (Cur.Text == "ptr")
+    Ty = Ctx.ptrTy();
+  if (!Ty) {
+    ErrorOut = err("unknown type '" + Cur.Text + "'");
+    return nullptr;
+  }
+  advance();
+  return Ty;
+}
+
+Value *Parser::parseTypedOperand(Type *Ty, Instruction *Inst, unsigned Index,
+                                 std::string &ErrorOut) {
+  Context &Ctx = M->context();
+  if (is(Tok::Integer)) {
+    int64_t V = std::strtoll(Cur.Text.c_str(), nullptr, 10);
+    advance();
+    Type *ScalarTy = Ty->scalarType();
+    if (ScalarTy->isFloat())
+      return Ctx.constFP(ScalarTy, static_cast<double>(V));
+    if (!ScalarTy->isInteger()) {
+      ErrorOut = err("integer constant where " + Ty->str() + " expected");
+      return nullptr;
+    }
+    return Ctx.constInt(ScalarTy, static_cast<uint64_t>(V));
+  }
+  if (is(Tok::Float)) {
+    double V = std::strtod(Cur.Text.c_str(), nullptr);
+    advance();
+    Type *ScalarTy = Ty->scalarType();
+    if (!ScalarTy->isFloat()) {
+      ErrorOut = err("float constant where " + Ty->str() + " expected");
+      return nullptr;
+    }
+    return Ctx.constFP(ScalarTy, V);
+  }
+  if (is(Tok::Global)) {
+    std::string Name = Cur.Text;
+    advance();
+    if (GlobalVariable *GV = M->global(Name))
+      return GV;
+    if (Function *F = M->function(Name))
+      return F;
+    ErrorOut = err("reference to unknown global '@" + Name + "'");
+    return nullptr;
+  }
+  if (is(Tok::Local)) {
+    std::string Name = Cur.Text;
+    unsigned Line = Cur.Line;
+    advance();
+    auto It = Locals.find(Name);
+    if (It != Locals.end())
+      return It->second;
+    // Forward reference: record a fixup and return a typed placeholder.
+    assert(Inst && "forward reference in a context without an instruction");
+    Fixups.push_back(Fixup{Inst, Index, Name, Line});
+    Type *ScalarTy = Ty->scalarType();
+    if (ScalarTy->isFloat())
+      return Ctx.constFP(ScalarTy, 0.0);
+    return Ctx.constI64(0);
+  }
+  ErrorOut = err("expected an operand");
+  return nullptr;
+}
+
+Error Parser::parseGlobal() {
+  // global @name <sizeBytes>
+  advance(); // 'global'
+  if (!is(Tok::Global))
+    return Error(err("expected global name"));
+  std::string Name = Cur.Text;
+  advance();
+  if (!is(Tok::Integer))
+    return Error(err("expected global size in bytes"));
+  uint64_t Size = std::strtoull(Cur.Text.c_str(), nullptr, 10);
+  advance();
+  M->createGlobal(Name, Size);
+  return Error::success();
+}
+
+static Expected<Opcode> opcodeByName(const std::string &Name) {
+  static const std::map<std::string, Opcode> Table = {
+      {"add", Opcode::Add},
+      {"sub", Opcode::Sub},
+      {"mul", Opcode::Mul},
+      {"sdiv", Opcode::SDiv},
+      {"udiv", Opcode::UDiv},
+      {"srem", Opcode::SRem},
+      {"urem", Opcode::URem},
+      {"and", Opcode::And},
+      {"or", Opcode::Or},
+      {"xor", Opcode::Xor},
+      {"shl", Opcode::Shl},
+      {"lshr", Opcode::LShr},
+      {"ashr", Opcode::AShr},
+      {"fadd", Opcode::FAdd},
+      {"fsub", Opcode::FSub},
+      {"fmul", Opcode::FMul},
+      {"fdiv", Opcode::FDiv},
+      {"fneg", Opcode::FNeg},
+      {"fma", Opcode::Fma},
+      {"icmp", Opcode::ICmp},
+      {"fcmp", Opcode::FCmp},
+      {"trunc", Opcode::Trunc},
+      {"zext", Opcode::ZExt},
+      {"sext", Opcode::SExt},
+      {"fptosi", Opcode::FPToSI},
+      {"sitofp", Opcode::SIToFP},
+      {"fptrunc", Opcode::FPTrunc},
+      {"fpext", Opcode::FPExt},
+      {"splat", Opcode::Splat},
+      {"extractelement", Opcode::ExtractElement},
+      {"reduce_fadd", Opcode::ReduceFAdd},
+      {"reduce_add", Opcode::ReduceAdd},
+      {"alloca", Opcode::Alloca},
+      {"load", Opcode::Load},
+      {"store", Opcode::Store},
+      {"ptradd", Opcode::PtrAdd},
+      {"br", Opcode::Br},
+      {"cond_br", Opcode::CondBr},
+      {"ret", Opcode::Ret},
+      {"call", Opcode::Call},
+      {"phi", Opcode::Phi},
+      {"select", Opcode::Select},
+  };
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return makeError<Opcode>("unknown opcode '" + Name + "'");
+  return It->second;
+}
+
+static bool icmpPredByName(const std::string &Name, ICmpPred &Out) {
+  static const std::map<std::string, ICmpPred> Table = {
+      {"eq", ICmpPred::EQ},   {"ne", ICmpPred::NE},   {"slt", ICmpPred::SLT},
+      {"sle", ICmpPred::SLE}, {"sgt", ICmpPred::SGT}, {"sge", ICmpPred::SGE},
+      {"ult", ICmpPred::ULT}, {"ule", ICmpPred::ULE}, {"ugt", ICmpPred::UGT},
+      {"uge", ICmpPred::UGE}};
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+static bool fcmpPredByName(const std::string &Name, FCmpPred &Out) {
+  static const std::map<std::string, FCmpPred> Table = {
+      {"oeq", FCmpPred::OEQ}, {"one", FCmpPred::ONE}, {"olt", FCmpPred::OLT},
+      {"ole", FCmpPred::OLE}, {"ogt", FCmpPred::OGT}, {"oge", FCmpPred::OGE}};
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+Error Parser::parseInstructionTail(Function *F, BasicBlock *BB,
+                                   std::string OpName,
+                                   std::string ResultName) {
+  Context &Ctx = M->context();
+  Expected<Opcode> OpOr = opcodeByName(OpName);
+  if (!OpOr)
+    return Error(err(OpOr.errorMessage()));
+  Opcode Op = *OpOr;
+  std::string ErrorOut;
+
+  // Binary arithmetic: "<op> <type> a, b".
+  auto ParseBinary = [&]() -> Error {
+    Type *Ty = parseType(ErrorOut);
+    if (!Ty)
+      return Error(std::move(ErrorOut));
+    Instruction *I = emit(BB, Op, Ty, ResultName);
+    if (!addOperand(I, Ty, ErrorOut))
+      return Error(std::move(ErrorOut));
+    if (!accept(Tok::Comma))
+      return Error(err("expected ',' between operands"));
+    if (!addOperand(I, Ty, ErrorOut))
+      return Error(std::move(ErrorOut));
+    return Error::success();
+  };
+
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::URem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+    return ParseBinary();
+
+  case Opcode::FNeg: {
+    Type *Ty = parseType(ErrorOut);
+    if (!Ty)
+      return Error(std::move(ErrorOut));
+    Instruction *I = emit(BB, Op, Ty, ResultName);
+    if (!addOperand(I, Ty, ErrorOut))
+      return Error(std::move(ErrorOut));
+    return Error::success();
+  }
+
+  case Opcode::Fma: {
+    Type *Ty = parseType(ErrorOut);
+    if (!Ty)
+      return Error(std::move(ErrorOut));
+    Instruction *I = emit(BB, Op, Ty, ResultName);
+    for (unsigned N = 0; N != 3; ++N) {
+      if (N != 0 && !accept(Tok::Comma))
+        return Error(err("expected ',' between fma operands"));
+      if (!addOperand(I, Ty, ErrorOut))
+        return Error(std::move(ErrorOut));
+    }
+    return Error::success();
+  }
+
+  case Opcode::ICmp:
+  case Opcode::FCmp: {
+    if (!is(Tok::Ident))
+      return Error(err("expected comparison predicate"));
+    std::string PredText = Cur.Text;
+    advance();
+    Type *Ty = parseType(ErrorOut);
+    if (!Ty)
+      return Error(std::move(ErrorOut));
+    Instruction *I = emit(BB, Op, Ctx.i1Ty(), ResultName);
+    if (Op == Opcode::ICmp) {
+      ICmpPred Pred;
+      if (!icmpPredByName(PredText, Pred))
+        return Error(err("unknown icmp predicate '" + PredText + "'"));
+      I->setICmpPred(Pred);
+    } else {
+      FCmpPred Pred;
+      if (!fcmpPredByName(PredText, Pred))
+        return Error(err("unknown fcmp predicate '" + PredText + "'"));
+      I->setFCmpPred(Pred);
+    }
+    if (!addOperand(I, Ty, ErrorOut))
+      return Error(std::move(ErrorOut));
+    if (!accept(Tok::Comma))
+      return Error(err("expected ',' between comparison operands"));
+    if (!addOperand(I, Ty, ErrorOut))
+      return Error(std::move(ErrorOut));
+    return Error::success();
+  }
+
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::FPToSI:
+  case Opcode::SIToFP:
+  case Opcode::FPTrunc:
+  case Opcode::FPExt:
+  case Opcode::Splat: {
+    // "<op> <srcTy> v to <dstTy>"
+    Type *SrcTy = parseType(ErrorOut);
+    if (!SrcTy)
+      return Error(std::move(ErrorOut));
+    // The result type is only known after 'to', but operands need an
+    // owning instruction for fixups: emit with a provisional type and
+    // rebuild with the final type below.
+    Instruction *I = emit(BB, Op, SrcTy, ResultName);
+    if (!addOperand(I, SrcTy, ErrorOut))
+      return Error(std::move(ErrorOut));
+    if (!isIdent("to"))
+      return Error(err("expected 'to' in cast"));
+    advance();
+    Type *DstTy = parseType(ErrorOut);
+    if (!DstTy)
+      return Error(std::move(ErrorOut));
+    // Rebuild with the correct result type (Instruction type is fixed at
+    // construction). Swap by replacing the just-appended instruction.
+    size_t Index = BB->indexOf(I);
+    std::unique_ptr<Instruction> Old = BB->remove(Index);
+    auto Fresh = std::make_unique<Instruction>(Op, DstTy);
+    Fresh->addOperand(Old->operand(0));
+    Instruction *Raw = BB->insertAt(Index, std::move(Fresh));
+    if (!ResultName.empty()) {
+      Raw->setName(ResultName);
+      Locals[ResultName] = Raw;
+    }
+    // Re-target any fixups that referenced the replaced instruction.
+    for (Fixup &Fix : Fixups)
+      if (Fix.Inst == Old.get())
+        Fix.Inst = Raw;
+    return Error::success();
+  }
+
+  case Opcode::ExtractElement: {
+    Type *VecTy = parseType(ErrorOut);
+    if (!VecTy)
+      return Error(std::move(ErrorOut));
+    if (!VecTy->isVector())
+      return Error(err("extractelement requires a vector type"));
+    Instruction *I = emit(BB, Op, VecTy->elementType(), ResultName);
+    if (!addOperand(I, VecTy, ErrorOut))
+      return Error(std::move(ErrorOut));
+    if (!accept(Tok::Comma))
+      return Error(err("expected ',' before lane index"));
+    if (!addOperand(I, Ctx.i64Ty(), ErrorOut))
+      return Error(std::move(ErrorOut));
+    return Error::success();
+  }
+
+  case Opcode::ReduceFAdd:
+  case Opcode::ReduceAdd: {
+    Type *VecTy = parseType(ErrorOut);
+    if (!VecTy)
+      return Error(std::move(ErrorOut));
+    if (!VecTy->isVector())
+      return Error(err("reduction requires a vector type"));
+    Instruction *I = emit(BB, Op, VecTy->elementType(), ResultName);
+    if (!addOperand(I, VecTy, ErrorOut))
+      return Error(std::move(ErrorOut));
+    return Error::success();
+  }
+
+  case Opcode::Alloca: {
+    if (!is(Tok::Integer))
+      return Error(err("expected alloca size in bytes"));
+    uint64_t Bytes = std::strtoull(Cur.Text.c_str(), nullptr, 10);
+    advance();
+    Instruction *I = emit(BB, Op, Ctx.ptrTy(), ResultName);
+    I->setAllocaBytes(Bytes);
+    return Error::success();
+  }
+
+  case Opcode::Load: {
+    Type *Ty = parseType(ErrorOut);
+    if (!Ty)
+      return Error(std::move(ErrorOut));
+    if (!accept(Tok::Comma))
+      return Error(err("expected ',' after load type"));
+    Instruction *I = emit(BB, Op, Ty, ResultName);
+    if (!addOperand(I, Ctx.ptrTy(), ErrorOut))
+      return Error(std::move(ErrorOut));
+    if (isIdent("stride")) {
+      advance();
+      if (!addOperand(I, Ctx.i64Ty(), ErrorOut))
+        return Error(std::move(ErrorOut));
+    }
+    return Error::success();
+  }
+
+  case Opcode::Store: {
+    Type *Ty = parseType(ErrorOut);
+    if (!Ty)
+      return Error(std::move(ErrorOut));
+    Instruction *I = emit(BB, Op, Ctx.voidTy(), ResultName);
+    if (!addOperand(I, Ty, ErrorOut))
+      return Error(std::move(ErrorOut));
+    if (!accept(Tok::Comma))
+      return Error(err("expected ',' after stored value"));
+    if (!addOperand(I, Ctx.ptrTy(), ErrorOut))
+      return Error(std::move(ErrorOut));
+    if (isIdent("stride")) {
+      advance();
+      if (!addOperand(I, Ctx.i64Ty(), ErrorOut))
+        return Error(std::move(ErrorOut));
+    }
+    return Error::success();
+  }
+
+  case Opcode::PtrAdd: {
+    Type *Ty = parseType(ErrorOut); // always "ptr"
+    if (!Ty)
+      return Error(std::move(ErrorOut));
+    Instruction *I = emit(BB, Op, Ctx.ptrTy(), ResultName);
+    if (!addOperand(I, Ctx.ptrTy(), ErrorOut))
+      return Error(std::move(ErrorOut));
+    if (!accept(Tok::Comma))
+      return Error(err("expected ',' after ptradd base"));
+    if (!addOperand(I, Ctx.i64Ty(), ErrorOut))
+      return Error(std::move(ErrorOut));
+    return Error::success();
+  }
+
+  case Opcode::Br: {
+    if (!is(Tok::Ident))
+      return Error(err("expected branch target label"));
+    BasicBlock *Dest = blockByName(Cur.Text, ErrorOut);
+    if (!Dest)
+      return Error(std::move(ErrorOut));
+    advance();
+    Instruction *I = emit(BB, Op, Ctx.voidTy(), "");
+    I->addSuccessor(Dest);
+    return Error::success();
+  }
+
+  case Opcode::CondBr: {
+    Instruction *I = emit(BB, Op, Ctx.voidTy(), "");
+    if (!addOperand(I, Ctx.i1Ty(), ErrorOut))
+      return Error(std::move(ErrorOut));
+    if (!accept(Tok::Comma))
+      return Error(err("expected ',' after condition"));
+    if (!is(Tok::Ident))
+      return Error(err("expected true target label"));
+    BasicBlock *TrueBB = blockByName(Cur.Text, ErrorOut);
+    if (!TrueBB)
+      return Error(std::move(ErrorOut));
+    advance();
+    if (!accept(Tok::Comma))
+      return Error(err("expected ',' between targets"));
+    if (!is(Tok::Ident))
+      return Error(err("expected false target label"));
+    BasicBlock *FalseBB = blockByName(Cur.Text, ErrorOut);
+    if (!FalseBB)
+      return Error(std::move(ErrorOut));
+    advance();
+    I->addSuccessor(TrueBB);
+    I->addSuccessor(FalseBB);
+    return Error::success();
+  }
+
+  case Opcode::Ret: {
+    Instruction *I = emit(BB, Op, Ctx.voidTy(), "");
+    if (F->returnType()->isVoid())
+      return Error::success();
+    Type *Ty = parseType(ErrorOut);
+    if (!Ty)
+      return Error(std::move(ErrorOut));
+    if (!addOperand(I, Ty, ErrorOut))
+      return Error(std::move(ErrorOut));
+    return Error::success();
+  }
+
+  case Opcode::Call: {
+    Type *RetTy = parseType(ErrorOut);
+    if (!RetTy)
+      return Error(std::move(ErrorOut));
+    if (!is(Tok::Global))
+      return Error(err("expected callee name"));
+    Function *Callee = M->function(Cur.Text);
+    if (!Callee)
+      return Error(err("call to unknown function '@" + Cur.Text + "'"));
+    advance();
+    if (!accept(Tok::LParen))
+      return Error(err("expected '(' after callee"));
+    Instruction *I = emit(BB, Op, RetTy, ResultName);
+    I->setCallee(Callee);
+    if (!is(Tok::RParen)) {
+      while (true) {
+        Type *ArgTy = parseType(ErrorOut);
+        if (!ArgTy)
+          return Error(std::move(ErrorOut));
+        if (!addOperand(I, ArgTy, ErrorOut))
+          return Error(std::move(ErrorOut));
+        if (accept(Tok::Comma))
+          continue;
+        break;
+      }
+    }
+    if (!accept(Tok::RParen))
+      return Error(err("expected ')' closing call arguments"));
+    return Error::success();
+  }
+
+  case Opcode::Phi: {
+    Type *Ty = parseType(ErrorOut);
+    if (!Ty)
+      return Error(std::move(ErrorOut));
+    Instruction *I = emit(BB, Op, Ty, ResultName);
+    while (true) {
+      if (!accept(Tok::LBracket))
+        return Error(err("expected '[' opening phi incoming"));
+      if (!addOperand(I, Ty, ErrorOut))
+        return Error(std::move(ErrorOut));
+      if (!accept(Tok::Comma))
+        return Error(err("expected ',' inside phi incoming"));
+      if (!is(Tok::Ident))
+        return Error(err("expected phi incoming block label"));
+      BasicBlock *Incoming = blockByName(Cur.Text, ErrorOut);
+      if (!Incoming)
+        return Error(std::move(ErrorOut));
+      advance();
+      I->appendIncomingBlock(Incoming);
+      if (!accept(Tok::RBracket))
+        return Error(err("expected ']' closing phi incoming"));
+      if (accept(Tok::Comma))
+        continue;
+      break;
+    }
+    return Error::success();
+  }
+
+  case Opcode::Select: {
+    Instruction *I = emit(BB, Op, Ctx.voidTy(), "");
+    // Parse condition first; the result type follows.
+    if (!addOperand(I, Ctx.i1Ty(), ErrorOut))
+      return Error(std::move(ErrorOut));
+    if (!accept(Tok::Comma))
+      return Error(err("expected ',' after select condition"));
+    Type *Ty = parseType(ErrorOut);
+    if (!Ty)
+      return Error(std::move(ErrorOut));
+    // Rebuild with the correct type.
+    size_t Index = BB->indexOf(I);
+    std::unique_ptr<Instruction> Old = BB->remove(Index);
+    auto Fresh = std::make_unique<Instruction>(Op, Ty);
+    Fresh->addOperand(Old->operand(0));
+    Instruction *Raw = BB->insertAt(Index, std::move(Fresh));
+    if (!ResultName.empty()) {
+      Raw->setName(ResultName);
+      Locals[ResultName] = Raw;
+    }
+    for (Fixup &Fix : Fixups)
+      if (Fix.Inst == Old.get())
+        Fix.Inst = Raw;
+    if (!addOperand(Raw, Ty, ErrorOut))
+      return Error(std::move(ErrorOut));
+    if (!accept(Tok::Comma))
+      return Error(err("expected ',' between select arms"));
+    if (!addOperand(Raw, Ty, ErrorOut))
+      return Error(std::move(ErrorOut));
+    return Error::success();
+  }
+  }
+  MPERF_UNREACHABLE("unhandled opcode in parser");
+}
+
+Error Parser::parseFunction(bool IsDeclaration) {
+  advance(); // 'func'
+  if (!is(Tok::Global))
+    return Error(err("expected function name"));
+  std::string Name = Cur.Text;
+  advance();
+  if (!accept(Tok::LParen))
+    return Error(err("expected '(' after function name"));
+
+  std::vector<Type *> ParamTys;
+  std::vector<std::string> ParamNames;
+  if (!is(Tok::RParen)) {
+    while (true) {
+      std::string ErrorOut;
+      Type *Ty = parseType(ErrorOut);
+      if (!Ty)
+        return Error(std::move(ErrorOut));
+      ParamTys.push_back(Ty);
+      if (is(Tok::Local)) {
+        ParamNames.push_back(Cur.Text);
+        advance();
+      } else {
+        ParamNames.push_back("");
+      }
+      if (accept(Tok::Comma))
+        continue;
+      break;
+    }
+  }
+  if (!accept(Tok::RParen))
+    return Error(err("expected ')' after parameters"));
+  if (!accept(Tok::Arrow))
+    return Error(err("expected '->' before return type"));
+  std::string ErrorOut;
+  Type *RetTy = parseType(ErrorOut);
+  if (!RetTy)
+    return Error(std::move(ErrorOut));
+
+  Function *F = M->function(Name);
+  if (F) {
+    if (!F->isDeclaration() || IsDeclaration)
+      return Error(err("redefinition of function '@" + Name + "'"));
+  } else {
+    F = M->createFunction(Name, RetTy, ParamTys);
+    for (unsigned I = 0, E = F->numArgs(); I != E; ++I)
+      if (!ParamNames[I].empty())
+        F->arg(I)->setName(ParamNames[I]);
+  }
+
+  if (IsDeclaration || !is(Tok::LBrace))
+    return Error::success();
+  return parseFunctionBody(F);
+}
+
+Error Parser::parseFunctionBody(Function *F) {
+  advance(); // '{'
+  Locals.clear();
+  Blocks.clear();
+  Fixups.clear();
+  for (unsigned I = 0, E = F->numArgs(); I != E; ++I)
+    Locals[F->arg(I)->name()] = F->arg(I);
+
+  // Pre-scan for block labels so branches and phis can reference any
+  // block, and so block order matches label order in the text.
+  {
+    Lexer ScanLex = Lex;
+    Token ScanCur = Cur;
+    Token Prev;
+    while (ScanCur.Kind != Tok::End && ScanCur.Kind != Tok::RBrace) {
+      Token Next = ScanLex.next();
+      if (ScanCur.Kind == Tok::Ident && Next.Kind == Tok::Colon) {
+        if (Blocks.find(ScanCur.Text) == Blocks.end())
+          Blocks.emplace(ScanCur.Text, F->createBlock(ScanCur.Text));
+      }
+      Prev = ScanCur;
+      ScanCur = Next;
+    }
+    (void)Prev;
+  }
+
+  BasicBlock *CurBB = nullptr;
+  while (!is(Tok::RBrace)) {
+    if (is(Tok::End))
+      return Error(err("unexpected end of input inside function body"));
+    if (is(Tok::Ident)) {
+      std::string First = Cur.Text;
+      advance();
+      if (accept(Tok::Colon)) {
+        std::string ErrorOut;
+        CurBB = blockByName(First, ErrorOut);
+        if (!CurBB)
+          return Error(std::move(ErrorOut));
+        continue;
+      }
+      if (!CurBB)
+        return Error(err("instruction before any block label"));
+      if (Error E = parseInstructionTail(F, CurBB, First, ""))
+        return E;
+      continue;
+    }
+    if (is(Tok::Local)) {
+      std::string ResultName = Cur.Text;
+      advance();
+      if (!accept(Tok::Equals))
+        return Error(err("expected '=' after result name"));
+      if (!is(Tok::Ident))
+        return Error(err("expected opcode"));
+      std::string OpName = Cur.Text;
+      advance();
+      if (!CurBB)
+        return Error(err("instruction before any block label"));
+      if (Error E = parseInstructionTail(F, CurBB, OpName, ResultName))
+        return E;
+      continue;
+    }
+    return Error(err("expected block label or instruction"));
+  }
+  advance(); // '}'
+
+  for (const Fixup &Fix : Fixups) {
+    auto It = Locals.find(Fix.LocalName);
+    if (It == Locals.end())
+      return Error("parse error at line " + std::to_string(Fix.Line) +
+                   ": use of undefined value '%" + Fix.LocalName + "'");
+    Fix.Inst->setOperand(Fix.OperandIndex, It->second);
+  }
+  return Error::success();
+}
+
+Expected<std::unique_ptr<Module>> Parser::parse() {
+  if (!isIdent("module"))
+    return makeError<std::unique_ptr<Module>>(err("expected 'module'"));
+  advance();
+  if (!is(Tok::Ident))
+    return makeError<std::unique_ptr<Module>>(err("expected module name"));
+  M = std::make_unique<Module>(Cur.Text);
+  advance();
+
+  while (!is(Tok::End)) {
+    if (isIdent("global")) {
+      if (Error E = parseGlobal())
+        return makeError<std::unique_ptr<Module>>(E.message());
+      continue;
+    }
+    if (isIdent("declare")) {
+      advance();
+      if (!isIdent("func"))
+        return makeError<std::unique_ptr<Module>>(
+            err("expected 'func' after 'declare'"));
+      if (Error E = parseFunction(/*IsDeclaration=*/true))
+        return makeError<std::unique_ptr<Module>>(E.message());
+      continue;
+    }
+    if (isIdent("func")) {
+      if (Error E = parseFunction(/*IsDeclaration=*/false))
+        return makeError<std::unique_ptr<Module>>(E.message());
+      continue;
+    }
+    return makeError<std::unique_ptr<Module>>(
+        err("expected 'global', 'declare' or 'func'"));
+  }
+  return std::move(M);
+}
+
+Expected<std::unique_ptr<Module>>
+mperf::ir::parseModule(std::string_view Text) {
+  Parser P(Text);
+  return P.parse();
+}

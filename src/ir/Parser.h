@@ -1,0 +1,33 @@
+//===- Parser.h - Textual IR parsing ---------------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual IR emitted by ir/Printer.h back into a Module.
+/// printModule(parseModule(Text)) round-trips; tests rely on this to
+/// write IR fixtures as text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_IR_PARSER_H
+#define MPERF_IR_PARSER_H
+
+#include "ir/Module.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string_view>
+
+namespace mperf {
+namespace ir {
+
+/// Parses a full module. On failure the message names the offending line.
+Expected<std::unique_ptr<Module>> parseModule(std::string_view Text);
+
+} // namespace ir
+} // namespace mperf
+
+#endif // MPERF_IR_PARSER_H

@@ -1,0 +1,225 @@
+//===- Printer.cpp - Textual IR emission ------------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace mperf;
+using namespace mperf::ir;
+
+namespace {
+
+/// Prints one function, assigning %N names to unnamed values.
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) { assignNames(); }
+
+  std::string run();
+
+private:
+  void assignNames();
+  std::string valueRef(const Value *V) const;
+  std::string instLine(const Instruction *I) const;
+
+  const Function &F;
+  std::map<const Value *, std::string> Names;
+  unsigned NextId = 0;
+};
+
+} // namespace
+
+void FunctionPrinter::assignNames() {
+  auto Assign = [this](const Value *V) {
+    if (V->hasName())
+      Names[V] = V->name();
+    else
+      Names[V] = std::to_string(NextId++);
+  };
+  for (unsigned I = 0, E = F.numArgs(); I != E; ++I)
+    Assign(F.arg(I));
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      if (!I->type()->isVoid())
+        Assign(I);
+}
+
+std::string FunctionPrinter::valueRef(const Value *V) const {
+  switch (V->kind()) {
+  case ValueKind::ConstantInt: {
+    const auto *C = cast<ConstantInt>(V);
+    return std::to_string(C->sext());
+  }
+  case ValueKind::ConstantFP: {
+    const auto *C = cast<ConstantFP>(V);
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%g", C->value());
+    std::string Text = Buffer;
+    // Make FP constants lexically distinct from integers.
+    if (Text.find('.') == std::string::npos &&
+        Text.find('e') == std::string::npos &&
+        Text.find("inf") == std::string::npos &&
+        Text.find("nan") == std::string::npos)
+      Text += ".0";
+    return Text;
+  }
+  case ValueKind::GlobalVariable:
+    return "@" + V->name();
+  case ValueKind::Function:
+    return "@" + V->name();
+  case ValueKind::Argument:
+  case ValueKind::Instruction: {
+    auto It = Names.find(V);
+    assert(It != Names.end() && "reference to value with no assigned name");
+    return "%" + It->second;
+  }
+  }
+  MPERF_UNREACHABLE("unknown value kind");
+}
+
+std::string FunctionPrinter::instLine(const Instruction *I) const {
+  std::string Line = "  ";
+  if (!I->type()->isVoid())
+    Line += valueRef(I) + " = ";
+  Opcode Op = I->opcode();
+  Line += std::string(opcodeName(Op));
+
+  switch (Op) {
+  case Opcode::ICmp:
+    Line += " " + std::string(predName(I->icmpPred()));
+    break;
+  case Opcode::FCmp:
+    Line += " " + std::string(predName(I->fcmpPred()));
+    break;
+  default:
+    break;
+  }
+
+  if (Op == Opcode::Phi) {
+    Line += " " + I->type()->str();
+    for (unsigned V = 0, E = I->numOperands(); V != E; ++V) {
+      Line += V == 0 ? " " : ", ";
+      Line += "[ " + valueRef(I->operand(V)) + ", " +
+              I->incomingBlock(V)->name() + " ]";
+    }
+    return Line;
+  }
+
+  if (Op == Opcode::Br) {
+    Line += " " + I->successor(0)->name();
+    return Line;
+  }
+  if (Op == Opcode::CondBr) {
+    Line += " " + valueRef(I->operand(0)) + ", " + I->successor(0)->name() +
+            ", " + I->successor(1)->name();
+    return Line;
+  }
+  if (Op == Opcode::Ret) {
+    if (I->numOperands() == 1)
+      Line += " " + I->operand(0)->type()->str() + " " +
+              valueRef(I->operand(0));
+    return Line;
+  }
+  if (Op == Opcode::Call) {
+    Line += " " + I->type()->str() + " @" + I->callee()->name() + "(";
+    for (unsigned A = 0, E = I->numOperands(); A != E; ++A) {
+      if (A != 0)
+        Line += ", ";
+      Line += I->operand(A)->type()->str() + " " + valueRef(I->operand(A));
+    }
+    Line += ")";
+    return Line;
+  }
+  if (Op == Opcode::Alloca) {
+    Line += " " + std::to_string(I->allocaBytes());
+    return Line;
+  }
+  if (Op == Opcode::Load) {
+    Line += " " + I->type()->str() + ", " + valueRef(I->operand(0));
+    if (I->hasVectorStrideOperand())
+      Line += " stride " + valueRef(I->vectorStrideOperand());
+    return Line;
+  }
+  if (Op == Opcode::Store) {
+    Line += " " + I->operand(0)->type()->str() + " " +
+            valueRef(I->operand(0)) + ", " + valueRef(I->operand(1));
+    if (I->hasVectorStrideOperand())
+      Line += " stride " + valueRef(I->vectorStrideOperand());
+    return Line;
+  }
+  if (Op == Opcode::Select) {
+    // Arm types are spelled explicitly so constant arms stay parseable.
+    Line += " " + valueRef(I->operand(0)) + ", " + I->type()->str() + " " +
+            valueRef(I->operand(1)) + ", " + valueRef(I->operand(2));
+    return Line;
+  }
+  if (I->isCast() || Op == Opcode::Splat) {
+    Line += " " + I->operand(0)->type()->str() + " " +
+            valueRef(I->operand(0)) + " to " + I->type()->str();
+    return Line;
+  }
+
+  // Generic form: opcode type op0, op1, ...
+  Type *OperandTy =
+      I->numOperands() > 0 ? I->operand(0)->type() : I->type();
+  Line += " " + OperandTy->str();
+  for (unsigned V = 0, E = I->numOperands(); V != E; ++V) {
+    Line += V == 0 ? " " : ", ";
+    Line += valueRef(I->operand(V));
+  }
+  return Line;
+}
+
+std::string FunctionPrinter::run() {
+  std::string Out = "func @" + F.name() + "(";
+  for (unsigned I = 0, E = F.numArgs(); I != E; ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += F.paramTypes()[I]->str() + " " + valueRef(F.arg(I));
+  }
+  Out += ") -> " + F.returnType()->str();
+  if (F.isDeclaration()) {
+    Out += "\n";
+    return Out;
+  }
+  Out += " {\n";
+  for (const BasicBlock *BB : F) {
+    Out += BB->name() + ":\n";
+    for (const Instruction *I : *BB)
+      Out += instLine(I) + "\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string mperf::ir::printFunction(const Function &F) {
+  return FunctionPrinter(F).run();
+}
+
+std::string mperf::ir::printModule(const Module &M) {
+  std::string Out = "module " + M.name() + "\n\n";
+  for (size_t I = 0, E = M.numGlobals(); I != E; ++I) {
+    const GlobalVariable *GV = M.globalAt(I);
+    Out += "global @" + GV->name() + " " +
+           std::to_string(GV->sizeInBytes()) + "\n";
+  }
+  if (M.numGlobals() != 0)
+    Out += "\n";
+  for (const Function *F : M) {
+    if (!F->isDeclaration())
+      continue;
+    Out += "declare " + printFunction(*F);
+  }
+  for (const Function *F : M) {
+    if (F->isDeclaration())
+      continue;
+    Out += printFunction(*F) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===- Printer.h - Textual IR emission -------------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders modules and functions in the textual IR syntax accepted by
+/// ir/Parser.h. Unnamed values are numbered %0, %1, ... in program order
+/// within each function; printing is deterministic.
+///
+/// Example:
+/// \code
+///   func @axpy(ptr %x, ptr %y, i64 %n) -> void {
+///   entry:
+///     br loop
+///   loop:
+///     %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+///     ...
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_IR_PRINTER_H
+#define MPERF_IR_PRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace mperf {
+namespace ir {
+
+/// Renders one function.
+std::string printFunction(const Function &F);
+
+/// Renders a whole module: globals, declarations, then definitions.
+std::string printModule(const Module &M);
+
+} // namespace ir
+} // namespace mperf
+
+#endif // MPERF_IR_PRINTER_H

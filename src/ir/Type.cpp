@@ -1,0 +1,70 @@
+//===- Type.cpp - IR type system ------------------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Type.h"
+
+using namespace mperf;
+using namespace mperf::ir;
+
+uint64_t Type::sizeInBytes() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return 0;
+  case TypeKind::I1:
+  case TypeKind::I8:
+    return 1;
+  case TypeKind::I32:
+  case TypeKind::F32:
+    return 4;
+  case TypeKind::I64:
+  case TypeKind::F64:
+  case TypeKind::Ptr:
+    return 8;
+  case TypeKind::Vector:
+    return Element->sizeInBytes() * NumElements;
+  }
+  MPERF_UNREACHABLE("unknown type kind");
+}
+
+unsigned Type::integerBits() const {
+  switch (Kind) {
+  case TypeKind::I1:
+    return 1;
+  case TypeKind::I8:
+    return 8;
+  case TypeKind::I32:
+    return 32;
+  case TypeKind::I64:
+    return 64;
+  default:
+    MPERF_UNREACHABLE("integerBits on non-integer type");
+  }
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::I1:
+    return "i1";
+  case TypeKind::I8:
+    return "i8";
+  case TypeKind::I32:
+    return "i32";
+  case TypeKind::I64:
+    return "i64";
+  case TypeKind::F32:
+    return "f32";
+  case TypeKind::F64:
+    return "f64";
+  case TypeKind::Ptr:
+    return "ptr";
+  case TypeKind::Vector:
+    return "<" + std::to_string(NumElements) + " x " + Element->str() + ">";
+  }
+  MPERF_UNREACHABLE("unknown type kind");
+}

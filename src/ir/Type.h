@@ -1,0 +1,100 @@
+//===- Type.h - IR type system ---------------------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types for the miniperf IR. The paper's instrumentation derives byte
+/// counts for loads/stores and classifies arithmetic as integer or
+/// floating point directly from IR types (§4.2), so the type system keeps
+/// exactly that much structure: scalar ints, scalar floats, pointers, and
+/// fixed-width vectors of scalars.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_IR_TYPE_H
+#define MPERF_IR_TYPE_H
+
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <string>
+
+namespace mperf {
+namespace ir {
+
+class Context;
+
+/// Discriminator for Type. Vector types carry an element type and count.
+enum class TypeKind : uint8_t {
+  Void,
+  I1,
+  I8,
+  I32,
+  I64,
+  F32,
+  F64,
+  Ptr,
+  Vector,
+};
+
+/// A type in the IR. Types are interned: pointer equality is type
+/// equality. Created only by Context.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isI1() const { return Kind == TypeKind::I1; }
+  bool isInteger() const {
+    return Kind == TypeKind::I1 || Kind == TypeKind::I8 ||
+           Kind == TypeKind::I32 || Kind == TypeKind::I64;
+  }
+  bool isFloat() const {
+    return Kind == TypeKind::F32 || Kind == TypeKind::F64;
+  }
+  bool isPointer() const { return Kind == TypeKind::Ptr; }
+  bool isVector() const { return Kind == TypeKind::Vector; }
+
+  /// Returns the scalar type: itself for scalars, the element type for
+  /// vectors.
+  Type *scalarType() {
+    return isVector() ? Element : this;
+  }
+  const Type *scalarType() const { return isVector() ? Element : this; }
+
+  /// For vectors, the element type. Invalid otherwise.
+  Type *elementType() const {
+    assert(isVector() && "elementType on non-vector type");
+    return Element;
+  }
+
+  /// For vectors, the lane count. 1 for scalars.
+  unsigned numElements() const { return isVector() ? NumElements : 1; }
+
+  /// Size of a value of this type in bytes as stored in simulated memory.
+  /// Void has size 0; i1 is stored as one byte; pointers are 8 bytes.
+  uint64_t sizeInBytes() const;
+
+  /// Number of bits in the scalar integer type (1, 32 or 64).
+  unsigned integerBits() const;
+
+  /// Renders the type in assembly syntax, e.g. "i64" or "<8 x f32>".
+  std::string str() const;
+
+private:
+  friend class Context;
+  Type(TypeKind Kind, Type *Element, unsigned NumElements)
+      : Kind(Kind), Element(Element), NumElements(NumElements) {}
+
+  TypeKind Kind;
+  Type *Element = nullptr;
+  unsigned NumElements = 0;
+};
+
+} // namespace ir
+} // namespace mperf
+
+#endif // MPERF_IR_TYPE_H

@@ -1,0 +1,168 @@
+//===- Value.h - Base class of all IR values -------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is the root of the IR value hierarchy: constants, function
+/// arguments, instructions, globals and functions. A hand-rolled kind()
+/// discriminator supports isa<>/cast<>-style queries without RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_IR_VALUE_H
+#define MPERF_IR_VALUE_H
+
+#include "ir/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace mperf {
+namespace ir {
+
+/// Discriminator for the Value hierarchy.
+enum class ValueKind : uint8_t {
+  Argument,
+  ConstantInt,
+  ConstantFP,
+  GlobalVariable,
+  Function,
+  Instruction,
+};
+
+/// Base class of everything that can appear as an instruction operand.
+class Value {
+public:
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value() = default;
+
+  ValueKind kind() const { return Kind; }
+  Type *type() const { return Ty; }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+  bool hasName() const { return !Name.empty(); }
+
+protected:
+  Value(ValueKind Kind, Type *Ty) : Kind(Kind), Ty(Ty) {
+    assert(Ty && "value must have a type");
+  }
+
+private:
+  ValueKind Kind;
+  Type *Ty;
+  std::string Name;
+};
+
+/// isa<> for the Value hierarchy, e.g. isa<ConstantInt>(V).
+template <typename To> bool isa(const Value *V) {
+  assert(V && "isa on null value");
+  return To::classof(V);
+}
+
+/// cast<> for the Value hierarchy; asserts on kind mismatch.
+template <typename To> To *cast(Value *V) {
+  assert(isa<To>(V) && "cast to incompatible value kind");
+  return static_cast<To *>(V);
+}
+
+template <typename To> const To *cast(const Value *V) {
+  assert(isa<To>(V) && "cast to incompatible value kind");
+  return static_cast<const To *>(V);
+}
+
+/// dyn_cast<>: returns null when the kind does not match.
+template <typename To> To *dyn_cast(Value *V) {
+  return V && isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To> const To *dyn_cast(const Value *V) {
+  return V && isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type *Ty, std::string ArgName, unsigned Index)
+      : Value(ValueKind::Argument, Ty), Index(Index) {
+    setName(std::move(ArgName));
+  }
+
+  unsigned index() const { return Index; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::Argument;
+  }
+
+private:
+  unsigned Index;
+};
+
+/// An integer constant. Stored sign-agnostically as 64 raw bits,
+/// truncated to the type's width.
+class ConstantInt : public Value {
+public:
+  ConstantInt(Type *Ty, uint64_t Bits)
+      : Value(ValueKind::ConstantInt, Ty), Bits(Bits) {
+    assert(Ty->isInteger() && "ConstantInt requires an integer type");
+  }
+
+  /// Raw (zero-extended) bits.
+  uint64_t zext() const { return Bits; }
+
+  /// Sign-extended value.
+  int64_t sext() const {
+    unsigned NumBits = type()->integerBits();
+    if (NumBits == 64)
+      return static_cast<int64_t>(Bits);
+    uint64_t SignBit = 1ULL << (NumBits - 1);
+    uint64_t Mask = (NumBits == 64) ? ~0ULL : ((1ULL << NumBits) - 1);
+    uint64_t Truncated = Bits & Mask;
+    return (Truncated & SignBit) ? static_cast<int64_t>(Truncated | ~Mask)
+                                 : static_cast<int64_t>(Truncated);
+  }
+
+  bool isZero() const { return (Bits & maskForType()) == 0; }
+  bool isOne() const { return (Bits & maskForType()) == 1; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::ConstantInt;
+  }
+
+private:
+  uint64_t maskForType() const {
+    unsigned NumBits = type()->integerBits();
+    return NumBits == 64 ? ~0ULL : ((1ULL << NumBits) - 1);
+  }
+
+  uint64_t Bits;
+};
+
+/// A floating point constant (f32 or f64), stored as double.
+class ConstantFP : public Value {
+public:
+  ConstantFP(Type *Ty, double Val)
+      : Value(ValueKind::ConstantFP, Ty), Val(Val) {
+    assert(Ty->isFloat() && "ConstantFP requires a float type");
+  }
+
+  double value() const { return Val; }
+  bool isZero() const { return Val == 0.0; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == ValueKind::ConstantFP;
+  }
+
+private:
+  double Val;
+};
+
+} // namespace ir
+} // namespace mperf
+
+#endif // MPERF_IR_VALUE_H

@@ -1,0 +1,340 @@
+//===- Verifier.cpp - IR structural validation ------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include <set>
+#include <string>
+
+using namespace mperf;
+using namespace mperf::ir;
+
+namespace {
+
+/// Collects problems while walking one function.
+class FunctionVerifier {
+public:
+  explicit FunctionVerifier(const Function &F) : F(F) {}
+
+  Error run();
+
+private:
+  Error fail(const BasicBlock *BB, const Instruction *I, std::string Why) {
+    std::string Msg = "verifier: in function '" + F.name() + "'";
+    if (BB)
+      Msg += ", block '" + BB->name() + "'";
+    if (I && I->hasName())
+      Msg += ", instruction '%" + I->name() + "'";
+    else if (I)
+      Msg += ", instruction '" + std::string(opcodeName(I->opcode())) + "'";
+    Msg += ": " + Why;
+    return Error(std::move(Msg));
+  }
+
+  Error checkBlockShape(const BasicBlock *BB);
+  Error checkInstruction(const BasicBlock *BB, const Instruction *I);
+  Error checkOperandsVisible(const BasicBlock *BB, const Instruction *I);
+
+  const Function &F;
+  std::set<const Value *> Defined;
+};
+
+} // namespace
+
+Error FunctionVerifier::checkBlockShape(const BasicBlock *BB) {
+  if (BB->empty())
+    return fail(BB, nullptr, "block is empty (missing terminator)");
+  for (size_t I = 0, E = BB->size(); I != E; ++I) {
+    const Instruction *Inst = BB->at(I);
+    bool IsLast = I + 1 == E;
+    if (Inst->isTerminator() != IsLast)
+      return fail(BB, Inst,
+                  IsLast ? "last instruction is not a terminator"
+                         : "terminator in the middle of a block");
+  }
+  // Phis must form a prefix.
+  bool SeenNonPhi = false;
+  for (const Instruction *Inst : *BB) {
+    if (Inst->opcode() != Opcode::Phi) {
+      SeenNonPhi = true;
+      continue;
+    }
+    if (SeenNonPhi)
+      return fail(BB, Inst, "phi after a non-phi instruction");
+  }
+  return Error::success();
+}
+
+Error FunctionVerifier::checkOperandsVisible(const BasicBlock *BB,
+                                             const Instruction *I) {
+  for (const Value *Op : I->operands()) {
+    if (!Op)
+      return fail(BB, I, "null operand");
+    switch (Op->kind()) {
+    case ValueKind::ConstantInt:
+    case ValueKind::ConstantFP:
+    case ValueKind::GlobalVariable:
+    case ValueKind::Function:
+      continue;
+    case ValueKind::Argument:
+      // Must be an argument of this function.
+      {
+        bool Found = false;
+        for (unsigned A = 0, E = F.numArgs(); A != E; ++A)
+          if (F.arg(A) == Op) {
+            Found = true;
+            break;
+          }
+        if (!Found)
+          return fail(BB, I, "operand is an argument of another function");
+      }
+      continue;
+    case ValueKind::Instruction: {
+      const auto *OpInst = static_cast<const Instruction *>(Op);
+      if (!OpInst->parent() || OpInst->parent()->parent() != &F)
+        return fail(BB, I, "operand instruction not in this function");
+      continue;
+    }
+    }
+  }
+  return Error::success();
+}
+
+Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
+                                         const Instruction *I) {
+  if (Error E = checkOperandsVisible(BB, I))
+    return E;
+
+  auto WantOperands = [&](unsigned N) -> Error {
+    if (I->numOperands() != N)
+      return fail(BB, I,
+                  "expected " + std::to_string(N) + " operands, found " +
+                      std::to_string(I->numOperands()));
+    return Error::success();
+  };
+
+  Opcode Op = I->opcode();
+  if (I->isIntArith()) {
+    if (Error E = WantOperands(2))
+      return E;
+    if (I->operand(0)->type() != I->operand(1)->type() ||
+        I->operand(0)->type() != I->type())
+      return fail(BB, I, "integer arithmetic type mismatch");
+    if (!I->type()->scalarType()->isInteger())
+      return fail(BB, I, "integer arithmetic on non-integer type");
+    return Error::success();
+  }
+  if (Op == Opcode::FNeg) {
+    if (Error E = WantOperands(1))
+      return E;
+    if (!I->type()->scalarType()->isFloat())
+      return fail(BB, I, "fneg on non-float type");
+    return Error::success();
+  }
+  if (Op == Opcode::Fma) {
+    if (Error E = WantOperands(3))
+      return E;
+    if (!I->type()->scalarType()->isFloat())
+      return fail(BB, I, "fma on non-float type");
+    return Error::success();
+  }
+  if (I->isFloatArith()) {
+    if (Error E = WantOperands(2))
+      return E;
+    if (I->operand(0)->type() != I->operand(1)->type() ||
+        I->operand(0)->type() != I->type())
+      return fail(BB, I, "float arithmetic type mismatch");
+    if (!I->type()->scalarType()->isFloat())
+      return fail(BB, I, "float arithmetic on non-float type");
+    return Error::success();
+  }
+
+  switch (Op) {
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+    if (Error E = WantOperands(2))
+      return E;
+    if (I->operand(0)->type() != I->operand(1)->type())
+      return fail(BB, I, "comparison operand types differ");
+    if (!I->type()->isI1())
+      return fail(BB, I, "comparison must produce i1");
+    return Error::success();
+
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::FPToSI:
+  case Opcode::SIToFP:
+  case Opcode::FPTrunc:
+  case Opcode::FPExt:
+    return WantOperands(1);
+
+  case Opcode::Splat:
+    if (Error E = WantOperands(1))
+      return E;
+    if (!I->type()->isVector() ||
+        I->type()->elementType() != I->operand(0)->type())
+      return fail(BB, I, "splat type mismatch");
+    return Error::success();
+
+  case Opcode::ExtractElement:
+    if (Error E = WantOperands(2))
+      return E;
+    if (!I->operand(0)->type()->isVector())
+      return fail(BB, I, "extractelement on non-vector");
+    return Error::success();
+
+  case Opcode::ReduceFAdd:
+  case Opcode::ReduceAdd:
+    if (Error E = WantOperands(1))
+      return E;
+    if (!I->operand(0)->type()->isVector())
+      return fail(BB, I, "reduction on non-vector");
+    if (I->operand(0)->type()->elementType() != I->type())
+      return fail(BB, I, "reduction result type mismatch");
+    return Error::success();
+
+  case Opcode::Alloca:
+    if (Error E = WantOperands(0))
+      return E;
+    if (I->allocaBytes() == 0)
+      return fail(BB, I, "alloca of zero bytes");
+    return Error::success();
+
+  case Opcode::Load:
+    if (I->numOperands() != 1 && I->numOperands() != 2)
+      return fail(BB, I, "load takes a pointer and an optional stride");
+    if (!I->operand(0)->type()->isPointer())
+      return fail(BB, I, "load address is not a pointer");
+    if (I->numOperands() == 2) {
+      if (!I->type()->isVector())
+        return fail(BB, I, "strided load must produce a vector");
+      if (!I->operand(1)->type()->isInteger() ||
+          I->operand(1)->type()->integerBits() != 64)
+        return fail(BB, I, "load stride must be i64");
+    }
+    return Error::success();
+
+  case Opcode::Store:
+    if (I->numOperands() != 2 && I->numOperands() != 3)
+      return fail(BB, I, "store takes value, pointer, optional stride");
+    if (!I->operand(1)->type()->isPointer())
+      return fail(BB, I, "store address is not a pointer");
+    if (I->numOperands() == 3) {
+      if (!I->operand(0)->type()->isVector())
+        return fail(BB, I, "strided store must store a vector");
+      if (!I->operand(2)->type()->isInteger() ||
+          I->operand(2)->type()->integerBits() != 64)
+        return fail(BB, I, "store stride must be i64");
+    }
+    return Error::success();
+
+  case Opcode::PtrAdd:
+    if (Error E = WantOperands(2))
+      return E;
+    if (!I->operand(0)->type()->isPointer() ||
+        !I->operand(1)->type()->isInteger())
+      return fail(BB, I, "ptradd requires (ptr, integer)");
+    return Error::success();
+
+  case Opcode::Br:
+    if (I->numSuccessors() != 1)
+      return fail(BB, I, "br must have one successor");
+    return Error::success();
+
+  case Opcode::CondBr:
+    if (Error E = WantOperands(1))
+      return E;
+    if (!I->operand(0)->type()->isI1())
+      return fail(BB, I, "cond_br condition must be i1");
+    if (I->numSuccessors() != 2)
+      return fail(BB, I, "cond_br must have two successors");
+    return Error::success();
+
+  case Opcode::Ret: {
+    bool WantsValue = !F.returnType()->isVoid();
+    if (WantsValue && I->numOperands() != 1)
+      return fail(BB, I, "ret must carry a value in a non-void function");
+    if (!WantsValue && I->numOperands() != 0)
+      return fail(BB, I, "ret with value in a void function");
+    if (WantsValue && I->operand(0)->type() != F.returnType())
+      return fail(BB, I, "ret value type mismatch");
+    return Error::success();
+  }
+
+  case Opcode::Call: {
+    const Function *Callee = I->callee();
+    if (!Callee)
+      return fail(BB, I, "call without callee");
+    if (I->numOperands() != Callee->paramTypes().size())
+      return fail(BB, I, "call argument count mismatch");
+    for (unsigned A = 0, E = I->numOperands(); A != E; ++A)
+      if (I->operand(A)->type() != Callee->paramTypes()[A])
+        return fail(BB, I, "call argument " + std::to_string(A) +
+                               " type mismatch");
+    if (I->type() != Callee->returnType())
+      return fail(BB, I, "call result type mismatch");
+    return Error::success();
+  }
+
+  case Opcode::Phi: {
+    auto Preds = BB->predecessors();
+    if (I->numOperands() != Preds.size())
+      return fail(BB, I,
+                  "phi has " + std::to_string(I->numOperands()) +
+                      " incoming values but block has " +
+                      std::to_string(Preds.size()) + " predecessors");
+    for (const BasicBlock *Pred : Preds) {
+      if (!I->incomingValueFor(Pred))
+        return fail(BB, I,
+                    "phi missing incoming value for predecessor '" +
+                        Pred->name() + "'");
+    }
+    for (unsigned V = 0, E = I->numOperands(); V != E; ++V)
+      if (I->operand(V)->type() != I->type())
+        return fail(BB, I, "phi incoming value type mismatch");
+    return Error::success();
+  }
+
+  case Opcode::Select:
+    if (Error E = WantOperands(3))
+      return E;
+    if (!I->operand(0)->type()->isI1())
+      return fail(BB, I, "select condition must be i1");
+    if (I->operand(1)->type() != I->operand(2)->type() ||
+        I->operand(1)->type() != I->type())
+      return fail(BB, I, "select arm type mismatch");
+    return Error::success();
+
+  default:
+    return Error::success();
+  }
+}
+
+Error FunctionVerifier::run() {
+  if (F.isDeclaration())
+    return Error::success();
+  for (const BasicBlock *BB : F) {
+    if (Error E = checkBlockShape(BB))
+      return E;
+    for (const Instruction *I : *BB)
+      if (Error E = checkInstruction(BB, I))
+        return E;
+  }
+  return Error::success();
+}
+
+Error mperf::ir::verifyFunction(const Function &F) {
+  return FunctionVerifier(F).run();
+}
+
+Error mperf::ir::verifyModule(const Module &M) {
+  for (Function *F : M)
+    if (Error E = verifyFunction(*F))
+      return E;
+  return Error::success();
+}

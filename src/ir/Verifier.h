@@ -1,0 +1,36 @@
+//===- Verifier.h - IR structural validation -------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural checks over functions and modules: every block has exactly
+/// one terminator at its end, phis form a block prefix with one incoming
+/// value per predecessor, operand types obey opcode rules, calls match
+/// their callee's signature, and every used value is defined in the
+/// function (arguments, constants, globals or instructions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_IR_VERIFIER_H
+#define MPERF_IR_VERIFIER_H
+
+#include "ir/Module.h"
+#include "support/Error.h"
+
+namespace mperf {
+namespace ir {
+
+/// Verifies one function. Returns a success Error, or the first problem
+/// found with a message naming the function/block/instruction.
+Error verifyFunction(const Function &F);
+
+/// Verifies every function in \p M.
+Error verifyModule(const Module &M);
+
+} // namespace ir
+} // namespace mperf
+
+#endif // MPERF_IR_VERIFIER_H

@@ -1,0 +1,234 @@
+//===- PerfEvent.cpp - perf_event subsystem model ------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kernel/PerfEvent.h"
+
+using namespace mperf;
+using namespace mperf::kernel;
+using namespace mperf::hw;
+
+PerfEventSubsystem::PerfEventSubsystem(const Platform &ThePlatform, Pmu &ThePmu,
+                                       sbi::SbiPmu &Sbi, CoreModel &Core,
+                                       vm::Interpreter &Vm)
+    : ThePlatform(ThePlatform), ThePmu(ThePmu), Sbi(Sbi), Core(Core), Vm(Vm) {
+  ThePmu.setOverflowHandler([this](unsigned Idx) { onOverflow(Idx); });
+  // The kernel configures mcounteren once at boot so it can read hot
+  // counters directly from S-mode (§3.2).
+  Sbi.delegateCounters(0xFFFFFFFF);
+}
+
+Expected<EventKind> PerfEventSubsystem::resolveKind(
+    const PerfEventAttr &Attr) const {
+  if (Attr.EventType == PerfEventAttr::Type::Hardware) {
+    switch (Attr.Hw) {
+    case HwEventId::CpuCycles:
+      return EventKind::Cycles;
+    case HwEventId::Instructions:
+      return EventKind::Instret;
+    case HwEventId::CacheMisses:
+      return EventKind::L1DMiss;
+    case HwEventId::BranchMisses:
+      return EventKind::BranchMispredict;
+    }
+    return makeError<EventKind>("perf: unknown hardware event id");
+  }
+  auto It = ThePlatform.PmuCaps.VendorEvents.find(Attr.RawCode);
+  if (It == ThePlatform.PmuCaps.VendorEvents.end())
+    return makeError<EventKind>("perf: raw event 0x" +
+                                std::to_string(Attr.RawCode) +
+                                " not implemented by this hardware");
+  return It->second;
+}
+
+Expected<unsigned> PerfEventSubsystem::allocateCounter(EventKind Kind,
+                                                       uint16_t RawCode) {
+  // Fixed-function counters for the architectural events.
+  if (Kind == EventKind::Cycles && !CounterToFd.count(Pmu::MCycleIdx))
+    return Pmu::MCycleIdx;
+  if (Kind == EventKind::Instret && !CounterToFd.count(Pmu::MInstretIdx))
+    return Pmu::MInstretIdx;
+
+  // Everything else goes through an SBI-allocated hpm counter. Cycles /
+  // Instret overflow onto hpm counters only if the vendor exposes codes.
+  uint16_t Code = RawCode;
+  if (RawCode == 0) {
+    for (const auto &[VendorCode, MappedKind] : ThePlatform.PmuCaps.VendorEvents)
+      if (MappedKind == Kind) {
+        Code = VendorCode;
+        break;
+      }
+    if (Code == 0)
+      return makeError<unsigned>("perf: no vendor event code for '" +
+                                 std::string(eventName(Kind)) + "'");
+  }
+  return Sbi.counterConfigMatching(Code);
+}
+
+Expected<int> PerfEventSubsystem::open(const PerfEventAttr &Attr,
+                                       int GroupFd) {
+  Expected<EventKind> KindOr = resolveKind(Attr);
+  if (!KindOr)
+    return makeError<int>(KindOr.errorMessage());
+  EventKind Kind = *KindOr;
+
+  // The driver refuses sampling on events whose counters cannot raise
+  // overflow interrupts — the documented X60/U74 limitation.
+  if (Attr.SamplePeriod > 0 && !ThePlatform.PmuCaps.canSample(Kind))
+    return makeError<int>(
+        "perf_event_open: EOPNOTSUPP: sampling not supported for event '" +
+        std::string(eventName(Kind)) + "' on " + ThePlatform.CoreName);
+
+  Event Ev;
+  Ev.Attr = Attr;
+  Ev.Kind = Kind;
+
+  Expected<unsigned> CounterOr =
+      allocateCounter(Kind, Attr.EventType == PerfEventAttr::Type::Raw
+                                ? Attr.RawCode
+                                : 0);
+  if (!CounterOr)
+    return makeError<int>(CounterOr.errorMessage());
+  Ev.CounterIdx = *CounterOr;
+
+  int Fd = NextFd++;
+  if (GroupFd < 0) {
+    Ev.LeaderFd = Fd;
+    Ev.Members.push_back(Fd);
+  } else {
+    auto It = Events.find(GroupFd);
+    if (It == Events.end() || It->second.LeaderFd != GroupFd)
+      return makeError<int>("perf_event_open: group fd is not a leader");
+    Ev.LeaderFd = GroupFd;
+    It->second.Members.push_back(Fd);
+  }
+  CounterToFd[Ev.CounterIdx] = Fd;
+  Events.emplace(Fd, std::move(Ev));
+  return Fd;
+}
+
+Error PerfEventSubsystem::enable(int Fd) {
+  auto It = Events.find(Fd);
+  if (It == Events.end())
+    return Error("perf: bad fd");
+  Event &Ev = It->second;
+
+  std::vector<int> ToEnable;
+  if (Ev.LeaderFd == Fd)
+    ToEnable = Ev.Members; // leader enables the whole group
+  else
+    ToEnable.push_back(Fd);
+
+  for (int MemberFd : ToEnable) {
+    Event &Member = Events.at(MemberFd);
+    if (Member.Enabled)
+      continue;
+    if (Error E = Sbi.counterStart(Member.CounterIdx, 0))
+      return E;
+    if (Member.Attr.SamplePeriod > 0)
+      if (Error E = Sbi.counterArmOverflow(Member.CounterIdx,
+                                           Member.Attr.SamplePeriod))
+        return E;
+    Member.Enabled = true;
+  }
+  return Error::success();
+}
+
+Error PerfEventSubsystem::disable(int Fd) {
+  auto It = Events.find(Fd);
+  if (It == Events.end())
+    return Error("perf: bad fd");
+  Event &Ev = It->second;
+  std::vector<int> ToDisable;
+  if (Ev.LeaderFd == Fd)
+    ToDisable = Ev.Members;
+  else
+    ToDisable.push_back(Fd);
+  for (int MemberFd : ToDisable) {
+    Event &Member = Events.at(MemberFd);
+    if (!Member.Enabled)
+      continue;
+    if (Error E = Sbi.counterStop(Member.CounterIdx))
+      return E;
+    Member.Enabled = false;
+  }
+  return Error::success();
+}
+
+Expected<uint64_t> PerfEventSubsystem::read(int Fd) {
+  auto It = Events.find(Fd);
+  if (It == Events.end())
+    return makeError<uint64_t>("perf: bad fd");
+  // mcounteren was delegated at boot, so the kernel reads the counter
+  // directly instead of through an SBI round trip.
+  return ThePmu.readCounter(It->second.CounterIdx);
+}
+
+Expected<std::vector<std::pair<int, uint64_t>>>
+PerfEventSubsystem::readGroup(int LeaderFd) {
+  auto It = Events.find(LeaderFd);
+  if (It == Events.end() || It->second.LeaderFd != LeaderFd)
+    return makeError<std::vector<std::pair<int, uint64_t>>>(
+        "perf: fd is not a group leader");
+  std::vector<std::pair<int, uint64_t>> Values;
+  for (int MemberFd : It->second.Members)
+    Values.push_back(
+        {MemberFd, ThePmu.readCounter(Events.at(MemberFd).CounterIdx)});
+  return Values;
+}
+
+Error PerfEventSubsystem::close(int Fd) {
+  auto It = Events.find(Fd);
+  if (It == Events.end())
+    return Error("perf: bad fd");
+  Event &Ev = It->second;
+  if (Ev.Enabled)
+    (void)disable(Fd);
+  if (Ev.CounterIdx >= Pmu::FirstHpmIdx)
+    (void)Sbi.counterRelease(Ev.CounterIdx);
+  CounterToFd.erase(Ev.CounterIdx);
+  Events.erase(It);
+  return Error::success();
+}
+
+void PerfEventSubsystem::onOverflow(unsigned CounterIdx) {
+  auto FdIt = CounterToFd.find(CounterIdx);
+  if (FdIt == CounterToFd.end())
+    return;
+  Event &Ev = Events.at(FdIt->second);
+  if (!Ev.Enabled || Ev.Attr.SamplePeriod == 0)
+    return;
+
+  ++NumInterrupts;
+
+  // The handler runs in Supervisor mode and costs cycles; profiles on
+  // slow cores visibly include this (one reason perf overhead matters).
+  PrivMode Saved = Core.mode();
+  Core.setMode(PrivMode::Supervisor);
+  Core.addCycles(HandlerCycles);
+
+  PerfSample Sample;
+  Sample.TimeCycles = ThePmu.readCounter(Pmu::MCycleIdx);
+  if (const ir::Instruction *Inst = Vm.currentInstruction()) {
+    if (const ir::BasicBlock *BB = Inst->parent())
+      if (const ir::Function *F = BB->parent())
+        Sample.Leaf = F->name();
+    if (Inst->loc().isValid())
+      Sample.LeafLoc = Inst->loc().str();
+  }
+  if (Ev.Attr.CollectCallchain)
+    for (const ir::Function *F : Vm.callStack())
+      Sample.Callchain.push_back(F->name());
+
+  // PERF_SAMPLE_READ group semantics: the sample carries every group
+  // member's count — the mechanism behind the X60 workaround.
+  for (int MemberFd : Events.at(Ev.LeaderFd).Members)
+    Sample.GroupValues.push_back(
+        {MemberFd, ThePmu.readCounter(Events.at(MemberFd).CounterIdx)});
+
+  Buffer.push(std::move(Sample));
+  Core.setMode(Saved);
+}

@@ -1,0 +1,169 @@
+//===- PerfEvent.h - perf_event subsystem model ----------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Supervisor-mode half of Fig. 1: a perf_event-style subsystem with
+/// event groups, leaders, counting and sampling, backed by the RISC-V
+/// PMU driver that talks SBI. Reproduces the behaviours the paper's
+/// workaround depends on (§3.3):
+///
+///  - opening a sampling event whose counter cannot raise overflow
+///    interrupts fails with EOPNOTSUPP (standard mcycle/minstret
+///    sampling on the X60, everything on the U74);
+///  - counting events can join any group;
+///  - when a group *leader* overflows, the kernel handler records a
+///    sample carrying the values of every counter in the group
+///    (PERF_SAMPLE_READ group semantics) plus the callchain — which is
+///    exactly the interaction miniperf exploits to sample mcycle and
+///    minstret through a sampling-capable leader.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_KERNEL_PERFEVENT_H
+#define MPERF_KERNEL_PERFEVENT_H
+
+#include "hw/Platform.h"
+#include "sbi/SbiPmu.h"
+#include "support/Error.h"
+#include "vm/Interpreter.h"
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace kernel {
+
+/// Generalized (portable) hardware event ids, like PERF_COUNT_HW_*.
+enum class HwEventId : uint8_t {
+  CpuCycles,
+  Instructions,
+  CacheMisses,     // mapped to L1D misses
+  BranchMisses,
+};
+
+/// perf_event_open attribute block (the subset the paper exercises).
+struct PerfEventAttr {
+  enum class Type : uint8_t { Hardware, Raw } EventType = Type::Hardware;
+  HwEventId Hw = HwEventId::CpuCycles;
+  uint16_t RawCode = 0; ///< vendor event code for Type::Raw
+  uint64_t SamplePeriod = 0;
+  bool Disabled = true;
+  bool CollectCallchain = true;
+};
+
+/// One recorded sample (the ring-buffer entry).
+struct PerfSample {
+  uint64_t TimeCycles = 0;
+  /// Leaf function name at the interrupted instruction.
+  std::string Leaf;
+  /// Source location of the interrupted instruction, when known.
+  std::string LeafLoc;
+  /// Call stack, outermost first, leaf last.
+  std::vector<std::string> Callchain;
+  /// (fd, counter value) for every event of the leader's group.
+  std::vector<std::pair<int, uint64_t>> GroupValues;
+};
+
+/// mmap-style sample buffer with a drop counter.
+class RingBuffer {
+public:
+  explicit RingBuffer(size_t Capacity = 1 << 16) : Capacity(Capacity) {}
+
+  void push(PerfSample Sample) {
+    if (Samples.size() >= Capacity) {
+      ++Dropped;
+      return;
+    }
+    Samples.push_back(std::move(Sample));
+  }
+
+  const std::deque<PerfSample> &samples() const { return Samples; }
+  uint64_t dropped() const { return Dropped; }
+  void clear() {
+    Samples.clear();
+    Dropped = 0;
+  }
+
+private:
+  size_t Capacity;
+  std::deque<PerfSample> Samples;
+  uint64_t Dropped = 0;
+};
+
+/// The subsystem, bound to one simulated hart.
+class PerfEventSubsystem {
+public:
+  PerfEventSubsystem(const hw::Platform &Platform, hw::Pmu &Pmu,
+                     sbi::SbiPmu &Sbi, hw::CoreModel &Core,
+                     vm::Interpreter &Vm);
+
+  //===--------------------------------------------------------------===//
+  // Syscall surface
+  //===--------------------------------------------------------------===//
+
+  /// perf_event_open. \p GroupFd = -1 creates a new group with this
+  /// event as leader. Returns the fd.
+  Expected<int> open(const PerfEventAttr &Attr, int GroupFd = -1);
+
+  /// Enables an event (and, for a leader, its whole group).
+  Error enable(int Fd);
+
+  /// Disables an event (leader: whole group).
+  Error disable(int Fd);
+
+  /// Reads one event's current count.
+  Expected<uint64_t> read(int Fd);
+
+  /// Reads every event of \p LeaderFd's group: (fd, value) pairs.
+  Expected<std::vector<std::pair<int, uint64_t>>> readGroup(int LeaderFd);
+
+  /// Closes an event and releases its counter.
+  Error close(int Fd);
+
+  const RingBuffer &ringBuffer() const { return Buffer; }
+  RingBuffer &ringBuffer() { return Buffer; }
+
+  /// Cycles charged per overflow interrupt (handler runs in S-mode).
+  void setHandlerCycles(double Cycles) { HandlerCycles = Cycles; }
+
+  /// Number of overflow interrupts serviced.
+  uint64_t numInterrupts() const { return NumInterrupts; }
+
+private:
+  struct Event {
+    PerfEventAttr Attr;
+    hw::EventKind Kind = hw::EventKind::None;
+    unsigned CounterIdx = 0;
+    int LeaderFd = -1; ///< own fd when leader
+    std::vector<int> Members; ///< leader only; includes own fd
+    bool Enabled = false;
+    bool Open = true;
+  };
+
+  Expected<hw::EventKind> resolveKind(const PerfEventAttr &Attr) const;
+  Expected<unsigned> allocateCounter(hw::EventKind Kind, uint16_t RawCode);
+  void onOverflow(unsigned CounterIdx);
+
+  const hw::Platform &ThePlatform;
+  hw::Pmu &ThePmu;
+  sbi::SbiPmu &Sbi;
+  hw::CoreModel &Core;
+  vm::Interpreter &Vm;
+  RingBuffer Buffer;
+  std::map<int, Event> Events;
+  std::map<unsigned, int> CounterToFd;
+  int NextFd = 3;
+  double HandlerCycles = 280;
+  uint64_t NumInterrupts = 0;
+};
+
+} // namespace kernel
+} // namespace mperf
+
+#endif // MPERF_KERNEL_PERFEVENT_H

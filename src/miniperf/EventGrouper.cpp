@@ -1,0 +1,74 @@
+//===- EventGrouper.cpp - Automatic counter grouping ---------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniperf/EventGrouper.h"
+
+using namespace mperf;
+using namespace mperf::miniperf;
+using namespace mperf::hw;
+using namespace mperf::kernel;
+
+const Platform *miniperf::detectPlatform(const std::vector<Platform> &Db,
+                                         const CpuId &Id) {
+  return platformById(Db, Id);
+}
+
+GroupPlan miniperf::planCyclesInstructionsGroup(const Platform &P,
+                                                uint64_t SamplePeriod) {
+  GroupPlan Plan;
+
+  auto Counting = [](HwEventId Hw, std::string Role) {
+    PlannedEvent E;
+    E.Attr.EventType = PerfEventAttr::Type::Hardware;
+    E.Attr.Hw = Hw;
+    E.Attr.SamplePeriod = 0;
+    E.Role = std::move(Role);
+    return E;
+  };
+
+  // Preferred: sample cycles directly (mature platforms).
+  if (P.PmuCaps.canSample(EventKind::Cycles)) {
+    PlannedEvent Leader = Counting(HwEventId::CpuCycles, "leader");
+    Leader.Attr.SamplePeriod = SamplePeriod;
+    Plan.Events.push_back(Leader);
+    Plan.Events.push_back(Counting(HwEventId::Instructions, "instructions"));
+    Plan.LeaderDescription = "cycles (direct sampling)";
+    return Plan;
+  }
+
+  // The X60 path: find any sampling-capable vendor event and lead the
+  // group with it; mcycle/minstret ride along as counting members and
+  // get read out on every leader overflow.
+  for (const auto &[Code, Kind] : P.PmuCaps.VendorEvents) {
+    if (!P.PmuCaps.canSample(Kind))
+      continue;
+    // Prefer u_mode_cycle: the workload runs in U-mode, so its overflow
+    // rate tracks wall time most closely.
+    if (Kind != EventKind::UModeCycles &&
+        P.PmuCaps.canSample(EventKind::UModeCycles))
+      continue;
+    PlannedEvent Leader;
+    Leader.Attr.EventType = PerfEventAttr::Type::Raw;
+    Leader.Attr.RawCode = Code;
+    Leader.Attr.SamplePeriod = SamplePeriod;
+    Leader.Role = "leader";
+    Plan.Events.push_back(Leader);
+    Plan.Events.push_back(Counting(HwEventId::CpuCycles, "cycles"));
+    Plan.Events.push_back(Counting(HwEventId::Instructions, "instructions"));
+    Plan.UsesWorkaround = true;
+    Plan.LeaderDescription =
+        std::string(eventName(Kind)) + " (non-standard sampling leader)";
+    return Plan;
+  }
+
+  // No sampling anywhere (U74): counting only.
+  Plan.SamplingAvailable = false;
+  Plan.Events.push_back(Counting(HwEventId::CpuCycles, "cycles"));
+  Plan.Events.push_back(Counting(HwEventId::Instructions, "instructions"));
+  Plan.LeaderDescription = "none (counting only)";
+  return Plan;
+}

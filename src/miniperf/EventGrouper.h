@@ -1,0 +1,70 @@
+//===- EventGrouper.h - Automatic counter grouping -------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heart of miniperf's PMU workaround (§3.3): "unlike the standard
+/// perf utility, it automatically groups counters and selects an
+/// appropriate sampling-capable leader." Given a platform and a sampling
+/// period, the grouper plans the perf_event group:
+///
+///  - platforms with standard overflow support sample cycles directly,
+///    with instructions as a counting member;
+///  - the SpacemiT X60 gets a non-standard u_mode_cycle leader with
+///    mcycle and minstret as counting members, sampled on the leader's
+///    overflow;
+///  - platforms with no overflow support (SiFive U74) fall back to
+///    counting-only.
+///
+/// Platform identification uses CPU id CSRs, not perf event discovery,
+/// matching miniperf's "direct hardware identification" design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_MINIPERF_EVENTGROUPER_H
+#define MPERF_MINIPERF_EVENTGROUPER_H
+
+#include "hw/Platform.h"
+#include "kernel/PerfEvent.h"
+
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace miniperf {
+
+/// One planned event of the group.
+struct PlannedEvent {
+  kernel::PerfEventAttr Attr;
+  /// What this event is for: "leader", "cycles", "instructions".
+  std::string Role;
+};
+
+/// The plan for a profiling group.
+struct GroupPlan {
+  std::vector<PlannedEvent> Events; // leader first
+  /// True when sampling goes through a non-standard leader (the X60
+  /// workaround); false when cycles sample directly.
+  bool UsesWorkaround = false;
+  /// False when the platform cannot sample at all (counting only).
+  bool SamplingAvailable = true;
+  /// Human-readable description of the chosen leader.
+  std::string LeaderDescription;
+};
+
+/// Detects the platform from its CPU identification CSRs. Returns null
+/// when the id block is unknown.
+const hw::Platform *detectPlatform(const std::vector<hw::Platform> &Db,
+                                   const hw::CpuId &Id);
+
+/// Plans the cycles+instructions group for \p Platform.
+GroupPlan planCyclesInstructionsGroup(const hw::Platform &Platform,
+                                      uint64_t SamplePeriod);
+
+} // namespace miniperf
+} // namespace mperf
+
+#endif // MPERF_MINIPERF_EVENTGROUPER_H

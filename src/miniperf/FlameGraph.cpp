@@ -1,0 +1,232 @@
+//===- FlameGraph.cpp - Flame graph construction and rendering ----------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniperf/FlameGraph.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <functional>
+
+using namespace mperf;
+using namespace mperf::miniperf;
+using namespace mperf::kernel;
+
+static uint64_t groupValue(const PerfSample &S, int Fd) {
+  for (const auto &[SampleFd, Value] : S.GroupValues)
+    if (SampleFd == Fd)
+      return Value;
+  return 0;
+}
+
+size_t FlameGraph::childOf(size_t Parent, const std::string &Name) {
+  auto It = Nodes[Parent].Children.find(Name);
+  if (It != Nodes[Parent].Children.end())
+    return It->second;
+  Nodes.push_back(Node{Name, 0, 0, {}});
+  size_t Idx = Nodes.size() - 1;
+  Nodes[Parent].Children.emplace(Name, Idx);
+  return Idx;
+}
+
+FlameGraph FlameGraph::fromSamples(const std::vector<PerfSample> &Samples,
+                                   int MetricFd, std::string MetricName) {
+  FlameGraph FG;
+  FG.Metric = std::move(MetricName);
+  FG.Nodes.push_back(Node{"root", 0, 0, {}});
+
+  uint64_t Prev = 0;
+  bool HavePrev = false;
+  for (const PerfSample &S : Samples) {
+    uint64_t Weight = 1;
+    if (MetricFd >= 0) {
+      uint64_t Cur = groupValue(S, MetricFd);
+      Weight = HavePrev && Cur >= Prev ? Cur - Prev : 0;
+      Prev = Cur;
+      HavePrev = true;
+      if (Weight == 0)
+        continue; // first sample anchors the deltas
+    }
+    if (S.Callchain.empty())
+      continue;
+    size_t Cur = 0;
+    FG.Nodes[0].TotalWeight += Weight;
+    for (const std::string &Frame : S.Callchain) {
+      Cur = FG.childOf(Cur, Frame);
+      FG.Nodes[Cur].TotalWeight += Weight;
+    }
+    FG.Nodes[Cur].SelfWeight += Weight;
+    FG.Total += Weight;
+  }
+  return FG;
+}
+
+std::string FlameGraph::folded() const {
+  std::vector<std::string> Lines;
+  // DFS carrying the stack string.
+  std::function<void(size_t, const std::string &)> Walk =
+      [&](size_t Idx, const std::string &Prefix) {
+        const Node &N = Nodes[Idx];
+        std::string Path =
+            Prefix.empty() ? N.Name : Prefix + ";" + N.Name;
+        if (N.SelfWeight > 0)
+          Lines.push_back(Path + " " + std::to_string(N.SelfWeight));
+        for (const auto &[Name, Child] : N.Children)
+          Walk(Child, Path);
+      };
+  for (const auto &[Name, Child] : Nodes[0].Children)
+    Walk(Child, "");
+  std::sort(Lines.begin(), Lines.end());
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+double FlameGraph::leafShare(const std::string &Fn) const {
+  if (Total == 0)
+    return 0;
+  uint64_t Self = 0;
+  for (const Node &N : Nodes)
+    if (N.Name == Fn)
+      Self += N.SelfWeight;
+  return static_cast<double>(Self) / static_cast<double>(Total);
+}
+
+std::string FlameGraph::renderAscii(unsigned Columns) const {
+  if (Total == 0)
+    return "(no samples)\n";
+  std::string Out;
+  Out += "flame graph (" + Metric + ", total " + withCommas(Total) + ")\n";
+
+  struct Row {
+    std::string Text;
+  };
+  std::vector<std::string> Rows;
+
+  std::function<void(size_t, unsigned, unsigned, unsigned)> Place =
+      [&](size_t Idx, unsigned Depth, unsigned Col, unsigned Width) {
+        if (Width == 0)
+          return;
+        while (Rows.size() <= Depth)
+          Rows.push_back(std::string(Columns, ' '));
+        const Node &N = Nodes[Idx];
+        std::string Label = N.Name;
+        if (Label.size() > Width)
+          Label = Label.substr(0, Width);
+        std::string Cell(Width, '-');
+        Cell.replace(0, Label.size(), Label);
+        if (Width >= 1)
+          Cell[Width - 1] = Width > Label.size() ? '|' : Cell[Width - 1];
+        Rows[Depth].replace(Col, Width, Cell);
+
+        // Children get proportional sub-spans, widest first.
+        std::vector<std::pair<uint64_t, size_t>> Kids;
+        for (const auto &[Name, Child] : N.Children)
+          Kids.push_back({Nodes[Child].TotalWeight, Child});
+        std::sort(Kids.rbegin(), Kids.rend());
+        unsigned Cursor = Col;
+        for (const auto &[W, Child] : Kids) {
+          unsigned ChildWidth = static_cast<unsigned>(
+              static_cast<double>(W) / N.TotalWeight * Width + 0.5);
+          ChildWidth = std::min(ChildWidth, Col + Width - Cursor);
+          Place(Child, Depth + 1, Cursor, ChildWidth);
+          Cursor += ChildWidth;
+        }
+      };
+
+  // Roots share the full width.
+  std::vector<std::pair<uint64_t, size_t>> Roots;
+  for (const auto &[Name, Child] : Nodes[0].Children)
+    Roots.push_back({Nodes[Child].TotalWeight, Child});
+  std::sort(Roots.rbegin(), Roots.rend());
+  unsigned Cursor = 0;
+  for (const auto &[W, Child] : Roots) {
+    unsigned Width = static_cast<unsigned>(
+        static_cast<double>(W) / Total * Columns + 0.5);
+    Width = std::min(Width, Columns - Cursor);
+    Place(Child, 0, Cursor, Width);
+    Cursor += Width;
+  }
+
+  // Deepest frames on top, like flamegraph.pl.
+  for (auto It = Rows.rbegin(); It != Rows.rend(); ++It) {
+    std::string Line = *It;
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Out += Line;
+    Out.push_back('\n');
+  }
+  return Out;
+}
+
+std::string FlameGraph::renderSvg(unsigned Width) const {
+  const unsigned RowHeight = 18;
+  // Measure depth.
+  unsigned MaxDepth = 0;
+  std::function<void(size_t, unsigned)> Measure = [&](size_t Idx,
+                                                      unsigned Depth) {
+    MaxDepth = std::max(MaxDepth, Depth);
+    for (const auto &[Name, Child] : Nodes[Idx].Children)
+      Measure(Child, Depth + 1);
+  };
+  Measure(0, 0);
+  unsigned Height = (MaxDepth + 2) * RowHeight + 30;
+
+  std::string Svg;
+  Svg += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         std::to_string(Width) + "\" height=\"" + std::to_string(Height) +
+         "\" font-family=\"monospace\" font-size=\"11\">\n";
+  Svg += "<text x=\"4\" y=\"14\">flame graph (" + Metric + ", total " +
+         withCommas(Total) + ")</text>\n";
+
+  // Deterministic warm palette based on the name hash.
+  auto ColorFor = [](const std::string &Name) {
+    uint64_t H = 1469598103934665603ull;
+    for (char C : Name)
+      H = (H ^ static_cast<unsigned char>(C)) * 1099511628211ull;
+    unsigned R = 200 + H % 55;
+    unsigned G = 80 + (H >> 8) % 120;
+    unsigned B = 30 + (H >> 16) % 50;
+    return "rgb(" + std::to_string(R) + "," + std::to_string(G) + "," +
+           std::to_string(B) + ")";
+  };
+
+  std::function<void(size_t, unsigned, double, double)> Draw =
+      [&](size_t Idx, unsigned Depth, double X, double W) {
+        if (W < 0.5)
+          return;
+        const Node &N = Nodes[Idx];
+        double Y = Height - (Depth + 1) * RowHeight - 10;
+        if (Idx != 0) {
+          Svg += "<rect x=\"" + fixed(X, 1) + "\" y=\"" + fixed(Y, 1) +
+                 "\" width=\"" + fixed(W, 1) + "\" height=\"" +
+                 std::to_string(RowHeight - 1) + "\" fill=\"" +
+                 ColorFor(N.Name) + "\"><title>" + N.Name + " (" +
+                 withCommas(N.TotalWeight) + ")</title></rect>\n";
+          if (W > 40)
+            Svg += "<text x=\"" + fixed(X + 2, 1) + "\" y=\"" +
+                   fixed(Y + 12, 1) + "\">" + N.Name + "</text>\n";
+        }
+        std::vector<std::pair<uint64_t, size_t>> Kids;
+        for (const auto &[Name, Child] : N.Children)
+          Kids.push_back({Nodes[Child].TotalWeight, Child});
+        std::sort(Kids.rbegin(), Kids.rend());
+        double Cursor = X;
+        for (const auto &[KidW, Child] : Kids) {
+          double ChildWidth =
+              static_cast<double>(KidW) / N.TotalWeight * W;
+          Draw(Child, Idx == 0 ? 0 : Depth + 1, Cursor, ChildWidth);
+          Cursor += ChildWidth;
+        }
+      };
+  if (Total > 0)
+    Draw(0, 0, 0.0, static_cast<double>(Width));
+  Svg += "</svg>\n";
+  return Svg;
+}

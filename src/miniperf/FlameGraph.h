@@ -1,0 +1,76 @@
+//===- FlameGraph.h - Flame graph construction and rendering ---*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flame graphs from sampled call stacks (§5.1), buildable over either
+/// metric the paper uses: CPU cycles or instructions retired. Weights
+/// come from deltas of the corresponding group counter between
+/// consecutive samples — exactly what the X60 grouping workaround makes
+/// available. Output formats: Brendan-Gregg-style folded stacks, an
+/// ASCII rendering for terminals, and a standalone SVG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_MINIPERF_FLAMEGRAPH_H
+#define MPERF_MINIPERF_FLAMEGRAPH_H
+
+#include "kernel/PerfEvent.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace miniperf {
+
+/// A weighted call-stack profile.
+class FlameGraph {
+public:
+  /// Builds from samples, weighting each sample by the delta of the
+  /// group counter \p MetricFd between consecutive samples. A negative
+  /// \p MetricFd weights every sample equally (1).
+  static FlameGraph fromSamples(const std::vector<kernel::PerfSample> &Samples,
+                                int MetricFd, std::string MetricName);
+
+  /// Folded stacks: "main;vdbe_exec;pattern_compare 1234" per line,
+  /// sorted lexicographically (flamegraph.pl input format).
+  std::string folded() const;
+
+  /// Terminal rendering: one row per stack depth, frame width
+  /// proportional to weight, widest roots first.
+  std::string renderAscii(unsigned Columns = 100) const;
+
+  /// Standalone SVG in the style of flamegraph.pl.
+  std::string renderSvg(unsigned Width = 1200) const;
+
+  /// Total weight across all stacks.
+  uint64_t totalWeight() const { return Total; }
+
+  const std::string &metricName() const { return Metric; }
+
+  /// Share of total weight attributed to stacks whose leaf is \p Fn.
+  double leafShare(const std::string &Fn) const;
+
+private:
+  struct Node {
+    std::string Name;
+    uint64_t SelfWeight = 0;  // samples ending exactly here
+    uint64_t TotalWeight = 0; // including children
+    std::map<std::string, size_t> Children; // name -> node index
+  };
+
+  size_t childOf(size_t Parent, const std::string &Name);
+
+  std::vector<Node> Nodes; // [0] is the synthetic root
+  uint64_t Total = 0;
+  std::string Metric;
+};
+
+} // namespace miniperf
+} // namespace mperf
+
+#endif // MPERF_MINIPERF_FLAMEGRAPH_H

@@ -1,0 +1,80 @@
+//===- Hotspots.cpp - Per-function hotspot table -------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniperf/Hotspots.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace mperf;
+using namespace mperf::miniperf;
+using namespace mperf::kernel;
+
+static uint64_t groupValue(const PerfSample &S, int Fd) {
+  for (const auto &[SampleFd, Value] : S.GroupValues)
+    if (SampleFd == Fd)
+      return Value;
+  return 0;
+}
+
+std::vector<HotspotRow>
+miniperf::computeHotspots(const ProfileResult &Profile) {
+  struct Acc {
+    uint64_t Cycles = 0;
+    uint64_t Instructions = 0;
+  };
+  std::map<std::string, Acc> PerFn;
+  uint64_t TotalCycles = 0;
+
+  uint64_t PrevCycles = 0, PrevInstr = 0;
+  bool HavePrev = false;
+  for (const PerfSample &S : Profile.Samples) {
+    uint64_t CurCycles = groupValue(S, Profile.CyclesFd);
+    uint64_t CurInstr = groupValue(S, Profile.InstructionsFd);
+    if (HavePrev && CurCycles >= PrevCycles && !S.Leaf.empty()) {
+      Acc &A = PerFn[S.Leaf];
+      uint64_t DC = CurCycles - PrevCycles;
+      uint64_t DI = CurInstr >= PrevInstr ? CurInstr - PrevInstr : 0;
+      A.Cycles += DC;
+      A.Instructions += DI;
+      TotalCycles += DC;
+    }
+    PrevCycles = CurCycles;
+    PrevInstr = CurInstr;
+    HavePrev = true;
+  }
+
+  std::vector<HotspotRow> Rows;
+  for (const auto &[Fn, A] : PerFn) {
+    HotspotRow R;
+    R.Function = Fn;
+    R.TotalShare =
+        TotalCycles ? static_cast<double>(A.Cycles) / TotalCycles : 0;
+    R.Instructions = A.Instructions;
+    R.Ipc = A.Cycles ? static_cast<double>(A.Instructions) / A.Cycles : 0;
+    Rows.push_back(R);
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const HotspotRow &A, const HotspotRow &B) {
+              return A.TotalShare > B.TotalShare;
+            });
+  return Rows;
+}
+
+TextTable miniperf::hotspotTable(const std::vector<HotspotRow> &Rows,
+                                 const std::string &PlatformName,
+                                 size_t TopN) {
+  TextTable T("Top " + std::to_string(TopN) + " hotspots — " + PlatformName);
+  T.addHeader({"Function", "Total, %", "Instructions", "IPC"});
+  for (size_t I = 0; I < Rows.size() && I < TopN; ++I) {
+    const HotspotRow &R = Rows[I];
+    T.addRow({R.Function, percent(R.TotalShare), withCommas(R.Instructions),
+              fixed(R.Ipc, 2)});
+  }
+  return T;
+}

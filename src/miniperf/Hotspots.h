@@ -1,0 +1,48 @@
+//===- Hotspots.h - Per-function hotspot table -----------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Table 2: per leaf function, its share of total cycles, the
+/// instructions retired while it was on-CPU, and its IPC — all derived
+/// from group-counter deltas between consecutive samples, which is what
+/// the X60 grouping workaround makes possible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_MINIPERF_HOTSPOTS_H
+#define MPERF_MINIPERF_HOTSPOTS_H
+
+#include "miniperf/Session.h"
+#include "support/Table.h"
+
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace miniperf {
+
+/// One Table-2 row.
+struct HotspotRow {
+  std::string Function;
+  double TotalShare = 0; ///< fraction of all sampled cycles
+  uint64_t Instructions = 0;
+  double Ipc = 0;
+};
+
+/// Computes the hotspot table from a sampled profile, most-expensive
+/// first. Requires cycles and instructions fds in the samples' group
+/// values.
+std::vector<HotspotRow> computeHotspots(const ProfileResult &Profile);
+
+/// Renders rows in the paper's Table 2 format.
+TextTable hotspotTable(const std::vector<HotspotRow> &Rows,
+                       const std::string &PlatformName, size_t TopN = 3);
+
+} // namespace miniperf
+} // namespace mperf
+
+#endif // MPERF_MINIPERF_HOTSPOTS_H

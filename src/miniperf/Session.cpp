@@ -1,0 +1,106 @@
+//===- Session.cpp - One miniperf profiling run --------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniperf/Session.h"
+
+using namespace mperf;
+using namespace mperf::miniperf;
+using namespace mperf::hw;
+using namespace mperf::kernel;
+
+Expected<ProfileResult> Session::profile(ir::Module &M,
+                                         const std::string &Entry,
+                                         const std::vector<vm::RtValue> &Args) {
+  // Detect the platform from its id CSRs, the way the real tool does.
+  std::vector<Platform> Db = allPlatforms();
+  const Platform *Detected = detectPlatform(Db, ThePlatform.Id);
+  if (!Detected)
+    return makeError<ProfileResult>(
+        "miniperf: unknown platform (mvendorid=" +
+        std::to_string(ThePlatform.Id.Mvendorid) + ")");
+
+  // Build the stack bottom-up.
+  vm::Interpreter Vm(M);
+  Vm.setFuel(Opts.Fuel);
+  CoreModel Core(ThePlatform.Core, ThePlatform.Cache);
+  Pmu ThePmu(ThePlatform.PmuCaps);
+  Core.setEventSink([&ThePmu](const EventDeltas &D) { ThePmu.advance(D); });
+  sbi::SbiPmu Sbi(ThePmu, Core);
+  PerfEventSubsystem Perf(ThePlatform, ThePmu, Sbi, Core, Vm);
+  Vm.addConsumer(&Core);
+
+  // Plan and open the counter group.
+  GroupPlan Plan = planCyclesInstructionsGroup(
+      ThePlatform, Opts.Sampling ? Opts.SamplePeriod : 0);
+
+  ProfileResult Result;
+  Result.UsedWorkaround = Plan.UsesWorkaround;
+  Result.SamplingAvailable = Plan.SamplingAvailable;
+  Result.LeaderDescription = Plan.LeaderDescription;
+
+  int LeaderFd = -1;
+  for (const PlannedEvent &E : Plan.Events) {
+    PerfEventAttr Attr = E.Attr;
+    if (!Opts.Sampling)
+      Attr.SamplePeriod = 0;
+    Expected<int> FdOr = Perf.open(Attr, LeaderFd);
+    if (!FdOr)
+      return makeError<ProfileResult>(FdOr.errorMessage());
+    int Fd = *FdOr;
+    if (LeaderFd < 0)
+      LeaderFd = Fd;
+    if (E.Role == "leader") {
+      Result.LeaderFd = Fd;
+      // A directly-sampled cycles leader is also the cycles counter.
+      if (Attr.EventType == PerfEventAttr::Type::Hardware &&
+          Attr.Hw == HwEventId::CpuCycles)
+        Result.CyclesFd = Fd;
+    } else if (E.Role == "cycles") {
+      Result.CyclesFd = Fd;
+    } else if (E.Role == "instructions") {
+      Result.InstructionsFd = Fd;
+    }
+  }
+
+  if (Setup)
+    Setup(Vm);
+
+  if (Error E = Perf.enable(LeaderFd))
+    return makeError<ProfileResult>(E.message());
+
+  Expected<vm::RtValue> RunOr = Vm.run(Entry, Args);
+  if (!RunOr)
+    return makeError<ProfileResult>(RunOr.errorMessage());
+
+  if (Error E = Perf.disable(LeaderFd))
+    return makeError<ProfileResult>(E.message());
+
+  // Harvest.
+  if (Result.CyclesFd >= 0) {
+    Expected<uint64_t> V = Perf.read(Result.CyclesFd);
+    if (V)
+      Result.Cycles = *V;
+  }
+  if (Result.InstructionsFd >= 0) {
+    Expected<uint64_t> V = Perf.read(Result.InstructionsFd);
+    if (V)
+      Result.Instructions = *V;
+  }
+  Result.Ipc = Result.Cycles
+                   ? static_cast<double>(Result.Instructions) / Result.Cycles
+                   : 0;
+  Result.Seconds =
+      static_cast<double>(Result.Cycles) / (ThePlatform.Core.FreqGHz * 1e9);
+  Result.Samples.assign(Perf.ringBuffer().samples().begin(),
+                        Perf.ringBuffer().samples().end());
+  Result.Core = Core.stats();
+  Result.Cache = Core.cacheStats();
+  Result.Interrupts = Perf.numInterrupts();
+  Result.SbiEcalls = Sbi.numEcalls();
+  Result.Vm = Vm.stats();
+  return Result;
+}

@@ -1,0 +1,84 @@
+//===- Session.h - One miniperf profiling run ------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Session wires the full stack for one profiling run: interpreter ->
+/// core model -> PMU -> SBI -> perf_event, plans the counter group via
+/// the EventGrouper, runs the workload, and returns counts plus samples.
+/// This is the library equivalent of `miniperf stat` / `miniperf record`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_MINIPERF_SESSION_H
+#define MPERF_MINIPERF_SESSION_H
+
+#include "miniperf/EventGrouper.h"
+
+#include <functional>
+
+namespace mperf {
+namespace miniperf {
+
+/// Options for a profiling run.
+struct SessionOptions {
+  /// Leader overflow period (in the leader's event units).
+  uint64_t SamplePeriod = 200000;
+  /// False = `stat` mode: counting only, no samples.
+  bool Sampling = true;
+  /// Interpreter fuel (max retired IR ops).
+  uint64_t Fuel = 4ull * 1000 * 1000 * 1000;
+};
+
+/// Everything a run produces.
+struct ProfileResult {
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  double Ipc = 0;
+  double Seconds = 0;
+  std::vector<kernel::PerfSample> Samples;
+  /// Group fds inside the samples' GroupValues.
+  int CyclesFd = -1;
+  int InstructionsFd = -1;
+  int LeaderFd = -1;
+  bool UsedWorkaround = false;
+  bool SamplingAvailable = true;
+  std::string LeaderDescription;
+  hw::CoreStats Core;
+  hw::CacheStats Cache;
+  uint64_t Interrupts = 0;
+  uint64_t SbiEcalls = 0;
+  vm::RunStats Vm;
+};
+
+/// One profiling run of one module entry point on one platform.
+class Session {
+public:
+  /// The platform is stored by value so callers may pass temporaries
+  /// (e.g. `Session S(hw::spacemitX60())`).
+  explicit Session(hw::Platform P, SessionOptions Opts = {})
+      : ThePlatform(std::move(P)), Opts(Opts) {}
+
+  /// Called after the interpreter is created and before the run; use it
+  /// to initialize workload memory and register native functions.
+  void setSetupHook(std::function<void(vm::Interpreter &)> Hook) {
+    Setup = std::move(Hook);
+  }
+
+  /// Runs \p Entry in \p M and profiles it.
+  Expected<ProfileResult> profile(ir::Module &M, const std::string &Entry,
+                                  const std::vector<vm::RtValue> &Args = {});
+
+private:
+  hw::Platform ThePlatform;
+  SessionOptions Opts;
+  std::function<void(vm::Interpreter &)> Setup;
+};
+
+} // namespace miniperf
+} // namespace mperf
+
+#endif // MPERF_MINIPERF_SESSION_H

@@ -1,0 +1,53 @@
+//===- TopDown.cpp - Top-Down (TMA) approximation ------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniperf/TopDown.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace mperf;
+using namespace mperf::miniperf;
+
+TopDownBreakdown miniperf::computeTopDown(const hw::CoreStats &Stats) {
+  TopDownBreakdown B;
+  if (Stats.Cycles <= 0)
+    return B;
+
+  // Issue cycles split: up to one issue-cost cycle per retired op counts
+  // as retiring; issue cost beyond that (divisions, half-width vector
+  // ops, FP latency) is core-bound execution.
+  double RetiringIssue =
+      std::min(Stats.IssueCycles, static_cast<double>(Stats.RetiredIrOps));
+  double CoreBound = Stats.IssueCycles - RetiringIssue;
+
+  B.Retiring = RetiringIssue / Stats.Cycles;
+  B.BadSpeculation = Stats.BadSpecCycles / Stats.Cycles;
+  B.BackendMemory =
+      (Stats.MemStallCycles + Stats.BandwidthCycles) / Stats.Cycles;
+  B.BackendCore = CoreBound / Stats.Cycles;
+  B.System = Stats.FirmwareCycles / Stats.Cycles;
+  return B;
+}
+
+TextTable miniperf::topDownTable(const TopDownBreakdown &B,
+                                 const std::string &PlatformName) {
+  TextTable T("Top-Down level 1 — " + PlatformName);
+  T.addHeader({"Category", "Share", ""});
+  auto Bar = [](double Share) {
+    unsigned Width = static_cast<unsigned>(Share * 40 + 0.5);
+    return std::string(Width, '#');
+  };
+  T.addRow({"retiring", percent(B.Retiring), Bar(B.Retiring)});
+  T.addRow({"bad speculation", percent(B.BadSpeculation),
+            Bar(B.BadSpeculation)});
+  T.addRow({"backend: memory", percent(B.BackendMemory),
+            Bar(B.BackendMemory)});
+  T.addRow({"backend: core", percent(B.BackendCore), Bar(B.BackendCore)});
+  T.addRow({"system (fw/irq)", percent(B.System), Bar(B.System)});
+  return T;
+}

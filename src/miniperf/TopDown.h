@@ -1,0 +1,60 @@
+//===- TopDown.h - Top-Down (TMA) approximation ----------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's stated future work (§6): "a key direction is the
+/// integration of ... the Top-Down Microarchitecture Analysis (TMA)
+/// method. Adapting TMA to RISC-V requires careful mapping of its
+/// hierarchical bottleneck categories onto the available PMU events."
+/// This module implements that mapping for the simulated cores' event
+/// set, Yasin-style level-1 buckets:
+///
+///   retiring        — cycles issuing useful work
+///   bad speculation — branch misprediction recovery
+///   backend: memory — load latency stalls + DRAM bandwidth stalls
+///   backend: core   — long-latency execution (div/fp) captured in the
+///                     issue costs beyond the 1-op/cycle baseline
+///   system          — firmware/kernel time (ecalls, IRQ handlers)
+///
+/// The split is approximate, exactly as the SiFive study the paper cites
+/// approximates TMA for hardware without Intel's event set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_MINIPERF_TOPDOWN_H
+#define MPERF_MINIPERF_TOPDOWN_H
+
+#include "hw/CoreModel.h"
+#include "support/Table.h"
+
+namespace mperf {
+namespace miniperf {
+
+/// Level-1 Top-Down shares; they sum to ~1.
+struct TopDownBreakdown {
+  double Retiring = 0;
+  double BadSpeculation = 0;
+  double BackendMemory = 0;
+  double BackendCore = 0;
+  double System = 0;
+
+  double total() const {
+    return Retiring + BadSpeculation + BackendMemory + BackendCore + System;
+  }
+};
+
+/// Computes the level-1 breakdown from one run's core statistics.
+TopDownBreakdown computeTopDown(const hw::CoreStats &Stats);
+
+/// Renders the breakdown as a one-platform table with a bar column.
+TextTable topDownTable(const TopDownBreakdown &B,
+                       const std::string &PlatformName);
+
+} // namespace miniperf
+} // namespace mperf
+
+#endif // MPERF_MINIPERF_TOPDOWN_H

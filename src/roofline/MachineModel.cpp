@@ -1,0 +1,84 @@
+//===- MachineModel.cpp - Roofline ceilings per platform ----------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "roofline/MachineModel.h"
+#include "support/Format.h"
+#include "transform/LoopVectorizer.h"
+#include "transform/PassManager.h"
+#include "workloads/Microbench.h"
+
+using namespace mperf;
+using namespace mperf::roofline;
+using namespace mperf::hw;
+
+/// Runs one microbenchmark's `main` on \p P's core model; returns cycles.
+static Expected<double> runOnPlatform(const Platform &P,
+                                      workloads::Microbench &Bench) {
+  // Compile for the platform's target (vectorize when it can).
+  transform::PassManager PM;
+  PM.addPass(std::make_unique<transform::LoopVectorizer>(P.Target));
+  if (Error E = PM.run(*Bench.M))
+    return makeError<double>(E.message());
+
+  vm::Interpreter Vm(*Bench.M);
+  CoreModel Core(P.Core, P.Cache);
+  Vm.addConsumer(&Core);
+  Expected<vm::RtValue> RunOr = Vm.run("main");
+  if (!RunOr)
+    return makeError<double>(RunOr.errorMessage());
+  return Core.stats().Cycles;
+}
+
+Expected<Ceilings> mperf::roofline::measureCeilings(const Platform &P) {
+  Ceilings C;
+  double Freq = P.Core.FreqGHz * 1e9;
+
+  // Memory roof: streaming stores over a DRAM-sized buffer, several
+  // passes so cold-cache effects wash out.
+  {
+    workloads::Microbench Memset =
+        workloads::buildMemset(/*Bytes=*/4 << 20, /*Passes=*/3);
+    Expected<double> CyclesOr = runOnPlatform(P, Memset);
+    if (!CyclesOr)
+      return makeError<Ceilings>("memset microbenchmark: " +
+                                 CyclesOr.takeError());
+    C.BytesPerCycle = static_cast<double>(Memset.totalBytes()) / *CyclesOr;
+    C.MemBandwidthGBs = C.BytesPerCycle * Freq / 1e9;
+    C.MemoryRoofSource = "memset microbenchmark (" +
+                         fixed(C.BytesPerCycle, 2) + " bytes/cycle)";
+  }
+
+  // Compute roof: the paper's theoretical derivation, recorded per
+  // platform (e.g. the X60's 2 IPC x 8 SP FLOP x 1.6 GHz = 25.6).
+  C.PeakGFlops = P.TheoreticalFlopsPerCycle * P.Core.FreqGHz;
+  C.ComputeRoofSource = "theoretical: " + P.FlopsDerivation + " x " +
+                        fixed(P.Core.FreqGHz, 2) + " GHz";
+
+  // L1 bandwidth roof: issue-limited vector (or scalar) access rate.
+  {
+    double BytesPerAccess =
+        P.Target.HasVector ? P.Target.VectorBits / 8.0 : 8.0;
+    double CyclesPerAccess =
+        P.Target.HasVector ? P.Core.VecMemCost : P.Core.CostLoad;
+    double L1BytesPerCycle = BytesPerAccess / CyclesPerAccess;
+    C.L1BandwidthGBs = L1BytesPerCycle * P.Core.FreqGHz;
+  }
+
+  // Measured compute peak for reference: independent FMA chains.
+  {
+    unsigned Lanes = P.Target.HasVector ? P.Target.lanesFor(4) : 1;
+    workloads::Microbench Peak =
+        workloads::buildPeakFlops(/*Chains=*/4, /*Iters=*/200000, Lanes);
+    Expected<double> CyclesOr = runOnPlatform(P, Peak);
+    if (!CyclesOr)
+      return makeError<Ceilings>("peak-flops microbenchmark: " +
+                                 CyclesOr.takeError());
+    C.MeasuredGFlops =
+        static_cast<double>(Peak.totalFlops()) / (*CyclesOr / Freq) / 1e9;
+  }
+  return C;
+}

@@ -1,0 +1,73 @@
+//===- MachineModel.h - Roofline ceilings per platform ---------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Establishes the two Roofline ceilings the way §5.2 does:
+///  - the memory roof from a memset microbenchmark (the paper cites Olaf
+///    Bernstein's rvv memset: ~3.16 bytes/cycle on the X60, i.e. ~4.7
+///    GB/s at 1.6 GHz);
+///  - the compute roof from the theoretical formula "2 instructions per
+///    cycle x 8 SP FLOP per vector instruction x frequency" (25.6
+///    GFLOP/s for the X60), with a measured FMA-chain value reported
+///    alongside for reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_ROOFLINE_MACHINEMODEL_H
+#define MPERF_ROOFLINE_MACHINEMODEL_H
+
+#include "hw/Platform.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace mperf {
+namespace roofline {
+
+/// The two roofs plus provenance.
+struct Ceilings {
+  /// Compute roof in GFLOP/s (theoretical, as in the paper).
+  double PeakGFlops = 0;
+  /// Measured peak from the FMA-chain microbenchmark.
+  double MeasuredGFlops = 0;
+  /// Memory roof in GB/s, derived from the measured bytes/cycle.
+  double MemBandwidthGBs = 0;
+  /// Measured streaming-store bandwidth in bytes per cycle.
+  double BytesPerCycle = 0;
+  /// Cache-level (L1) bandwidth roof in GB/s. The paper's intensities
+  /// "focus on operations exposed to the L1 cache" (§5.2), so points are
+  /// bounded by this roof, CARM-style, not by DRAM alone.
+  double L1BandwidthGBs = 0;
+  std::string ComputeRoofSource;
+  std::string MemoryRoofSource;
+
+  /// The arithmetic intensity where the two roofs meet (FLOP/byte).
+  double ridgePoint() const {
+    return MemBandwidthGBs > 0 ? PeakGFlops / MemBandwidthGBs : 0;
+  }
+
+  /// Attainable GFLOP/s at intensity \p Ai against the DRAM roof.
+  double attainable(double Ai) const {
+    double MemBound = MemBandwidthGBs * Ai;
+    return MemBound < PeakGFlops ? MemBound : PeakGFlops;
+  }
+
+  /// Attainable GFLOP/s at L1-counted intensity \p Ai (CARM-style).
+  double attainableL1(double Ai) const {
+    double MemBound = L1BandwidthGBs * Ai;
+    return MemBound < PeakGFlops ? MemBound : PeakGFlops;
+  }
+};
+
+/// Measures/derives the ceilings for \p P by running the memset and
+/// FMA-chain microbenchmarks on its simulated core.
+Expected<Ceilings> measureCeilings(const hw::Platform &P);
+
+} // namespace roofline
+} // namespace mperf
+
+#endif // MPERF_ROOFLINE_MACHINEMODEL_H

@@ -1,0 +1,141 @@
+//===- Plot.cpp - Roofline plot rendering --------------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "roofline/Plot.h"
+#include "support/Format.h"
+#include "support/JSON.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace mperf;
+using namespace mperf::roofline;
+
+std::string mperf::roofline::renderAsciiRoofline(const RooflineModel &Model,
+                                                 unsigned Columns,
+                                                 unsigned Rows) {
+  const Ceilings &Roofs = Model.Roofs;
+
+  // Log ranges padded around the data.
+  double MinAi = 1.0 / 64, MaxAi = 64;
+  double MinGf = Roofs.PeakGFlops / 4096, MaxGf = Roofs.PeakGFlops * 2;
+  for (const RooflinePoint &Pt : Model.Points) {
+    MinAi = std::min(MinAi, Pt.ArithmeticIntensity / 2);
+    MaxAi = std::max(MaxAi, Pt.ArithmeticIntensity * 2);
+    MinGf = std::min(MinGf, Pt.GFlops / 2);
+    MaxGf = std::max(MaxGf, Pt.GFlops * 2);
+  }
+
+  double LogAiLo = std::log2(MinAi), LogAiHi = std::log2(MaxAi);
+  double LogGfLo = std::log2(MinGf), LogGfHi = std::log2(MaxGf);
+
+  auto ColOf = [&](double Ai) {
+    double T = (std::log2(Ai) - LogAiLo) / (LogAiHi - LogAiLo);
+    return static_cast<int>(T * (Columns - 1) + 0.5);
+  };
+  auto RowOf = [&](double Gf) {
+    double T = (std::log2(Gf) - LogGfLo) / (LogGfHi - LogGfLo);
+    int R = static_cast<int>(T * (Rows - 1) + 0.5);
+    return static_cast<int>(Rows - 1) - R; // row 0 on top
+  };
+
+  std::vector<std::string> Grid(Rows, std::string(Columns, ' '));
+  auto Put = [&](int Row, int Col, char C) {
+    if (Row < 0 || Row >= static_cast<int>(Rows) || Col < 0 ||
+        Col >= static_cast<int>(Columns))
+      return;
+    Grid[Row][Col] = C;
+  };
+
+  // Roofs: DRAM slope ('/'), L1 slope ('.') and the flat compute roof
+  // ('='), CARM-style.
+  for (unsigned Col = 0; Col != Columns; ++Col) {
+    double Ai = std::exp2(LogAiLo + (LogAiHi - LogAiLo) * Col / (Columns - 1));
+    if (Roofs.L1BandwidthGBs > 0) {
+      double L1 = Roofs.attainableL1(Ai);
+      Put(RowOf(L1), Col, L1 < Roofs.PeakGFlops ? '.' : '=');
+    }
+    double Attainable = Roofs.attainable(Ai);
+    Put(RowOf(Attainable), Col, Ai < Roofs.ridgePoint() ? '/' : '=');
+  }
+
+  // Points.
+  char Marker = 'A';
+  for (const RooflinePoint &Pt : Model.Points) {
+    Put(RowOf(Pt.GFlops), ColOf(Pt.ArithmeticIntensity), Marker);
+    ++Marker;
+  }
+
+  std::string Out = Model.Title + "\n";
+  Out += "GFLOP/s (log scale): '/' DRAM roof " +
+         fixed(Roofs.MemBandwidthGBs, 2) + " GB/s, '.' L1 roof " +
+         fixed(Roofs.L1BandwidthGBs, 2) + " GB/s, '=' compute roof " +
+         fixed(Roofs.PeakGFlops, 2) + " GFLOP/s\n";
+  for (unsigned Row = 0; Row != Rows; ++Row) {
+    // Left axis label: the GFLOP/s value at this row.
+    double T = static_cast<double>(Rows - 1 - Row) / (Rows - 1);
+    double Gf = std::exp2(LogGfLo + (LogGfHi - LogGfLo) * T);
+    Out += padLeft(fixed(Gf, Gf < 10 ? 2 : 1), 9) + " |" + Grid[Row] + "\n";
+  }
+  Out += std::string(11, ' ') + std::string(Columns, '-') + "\n";
+  Out += std::string(11, ' ') + "arithmetic intensity " +
+         fixed(std::exp2(LogAiLo), 3) + " .. " + fixed(std::exp2(LogAiHi), 1) +
+         " FLOP/byte (log scale)\n";
+  Marker = 'A';
+  for (const RooflinePoint &Pt : Model.Points) {
+    Out += "  " + std::string(1, Marker) + ": " + Pt.Label + " — " +
+           fixed(Pt.GFlops, 2) + " GFLOP/s @ " +
+           fixed(Pt.ArithmeticIntensity, 3) + " FLOP/byte\n";
+    ++Marker;
+  }
+  return Out;
+}
+
+std::string mperf::roofline::renderCsv(const RooflineModel &Model) {
+  std::string Out;
+  Out += "# " + Model.Title + "\n";
+  Out += "# memory_roof_gbs," + fixed(Model.Roofs.MemBandwidthGBs, 3) + "\n";
+  Out += "# compute_roof_gflops," + fixed(Model.Roofs.PeakGFlops, 3) + "\n";
+  Out += "# l1_roof_gbs," + fixed(Model.Roofs.L1BandwidthGBs, 3) + "\n";
+  Out += "label,arithmetic_intensity,gflops\n";
+  for (const RooflinePoint &Pt : Model.Points)
+    Out += Pt.Label + "," + fixed(Pt.ArithmeticIntensity, 6) + "," +
+           fixed(Pt.GFlops, 4) + "\n";
+  return Out;
+}
+
+std::string mperf::roofline::renderJson(const RooflineModel &Model) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("title");
+  W.string(Model.Title);
+  W.key("memory_roof_gbs");
+  W.number(Model.Roofs.MemBandwidthGBs);
+  W.key("l1_roof_gbs");
+  W.number(Model.Roofs.L1BandwidthGBs);
+  W.key("compute_roof_gflops");
+  W.number(Model.Roofs.PeakGFlops);
+  W.key("measured_peak_gflops");
+  W.number(Model.Roofs.MeasuredGFlops);
+  W.key("bytes_per_cycle");
+  W.number(Model.Roofs.BytesPerCycle);
+  W.key("points");
+  W.beginArray();
+  for (const RooflinePoint &Pt : Model.Points) {
+    W.beginObject();
+    W.key("label");
+    W.string(Pt.Label);
+    W.key("arithmetic_intensity");
+    W.number(Pt.ArithmeticIntensity);
+    W.key("gflops");
+    W.number(Pt.GFlops);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}

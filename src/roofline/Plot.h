@@ -1,0 +1,54 @@
+//===- Plot.h - Roofline plot rendering ------------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders Roofline models (Fig. 4) as ASCII log-log plots for the
+/// terminal, plus CSV/JSON series for external plotting. A point sits
+/// at (arithmetic intensity, achieved GFLOP/s) under the memory-bandwidth
+/// and peak-compute roofs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_ROOFLINE_PLOT_H
+#define MPERF_ROOFLINE_PLOT_H
+
+#include "roofline/MachineModel.h"
+
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace roofline {
+
+/// One measured kernel on the plot.
+struct RooflinePoint {
+  std::string Label;
+  double ArithmeticIntensity = 0; // FLOP/byte
+  double GFlops = 0;
+};
+
+/// A complete Roofline model: ceilings plus measured points.
+struct RooflineModel {
+  std::string Title;
+  Ceilings Roofs;
+  std::vector<RooflinePoint> Points;
+};
+
+/// ASCII log-log rendering (Columns x Rows characters of plot area).
+std::string renderAsciiRoofline(const RooflineModel &Model,
+                                unsigned Columns = 72, unsigned Rows = 20);
+
+/// "label,intensity,gflops" rows plus roof metadata as comments.
+std::string renderCsv(const RooflineModel &Model);
+
+/// JSON document with roofs and points.
+std::string renderJson(const RooflineModel &Model);
+
+} // namespace roofline
+} // namespace mperf
+
+#endif // MPERF_ROOFLINE_PLOT_H

@@ -1,0 +1,85 @@
+//===- PmuEstimator.cpp - Counter-based Roofline estimate ----------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "roofline/PmuEstimator.h"
+#include "kernel/PerfEvent.h"
+#include "transform/RooflineInstrumenter.h"
+
+using namespace mperf;
+using namespace mperf::roofline;
+using namespace mperf::hw;
+using namespace mperf::kernel;
+
+Expected<PmuEstimate> mperf::roofline::estimateWithCounters(
+    const Platform &P, ir::Module &M, const std::string &Entry,
+    const std::vector<vm::RtValue> &Args,
+    std::function<void(vm::Interpreter &)> Setup) {
+  vm::Interpreter Vm(M);
+  CoreModel Core(P.Core, P.Cache);
+  Pmu ThePmu(P.PmuCaps);
+  Core.setEventSink([&ThePmu](const EventDeltas &D) { ThePmu.advance(D); });
+  sbi::SbiPmu Sbi(ThePmu, Core);
+  PerfEventSubsystem Perf(P, ThePmu, Sbi, Core, Vm);
+  Vm.addConsumer(&Core);
+
+  PerfEventAttr CyclesAttr;
+  CyclesAttr.EventType = PerfEventAttr::Type::Hardware;
+  CyclesAttr.Hw = HwEventId::CpuCycles;
+  Expected<int> CyclesFdOr = Perf.open(CyclesAttr);
+  if (!CyclesFdOr)
+    return makeError<PmuEstimate>(CyclesFdOr.errorMessage());
+
+  PerfEventAttr FpAttr;
+  FpAttr.EventType = PerfEventAttr::Type::Raw;
+  FpAttr.RawCode = VE_FP_OPS_SPEC;
+  Expected<int> FpFdOr = Perf.open(FpAttr, *CyclesFdOr);
+  if (!FpFdOr)
+    return makeError<PmuEstimate>(FpFdOr.errorMessage());
+
+  // A counter-based tool profiles the *baseline* program: if the module
+  // was Roofline-instrumented, bind the runtime entry points as cheap
+  // no-ops with instrumentation off. Callers may override in Setup.
+  using transform::RooflineRuntimeNames;
+  Vm.registerNative(RooflineRuntimeNames::LoopBegin,
+                    [](vm::Interpreter &In, const std::vector<vm::RtValue> &) {
+                      In.emitSyntheticOps(vm::OpClass::IntAlu, 25);
+                      return vm::RtValue::ofInt(0);
+                    });
+  Vm.registerNative(RooflineRuntimeNames::LoopEnd,
+                    [](vm::Interpreter &In, const std::vector<vm::RtValue> &) {
+                      In.emitSyntheticOps(vm::OpClass::IntAlu, 25);
+                      return vm::RtValue();
+                    });
+  Vm.registerNative(RooflineRuntimeNames::IsInstrumented,
+                    [](vm::Interpreter &In, const std::vector<vm::RtValue> &) {
+                      In.emitSyntheticOps(vm::OpClass::IntAlu, 6);
+                      return vm::RtValue::ofInt(0);
+                    });
+  Vm.registerNative(RooflineRuntimeNames::Count,
+                    [](vm::Interpreter &, const std::vector<vm::RtValue> &) {
+                      return vm::RtValue();
+                    });
+
+  if (Setup)
+    Setup(Vm);
+  if (Error E = Perf.enable(*CyclesFdOr))
+    return makeError<PmuEstimate>(E.message());
+
+  Expected<vm::RtValue> RunOr = Vm.run(Entry, Args);
+  if (!RunOr)
+    return makeError<PmuEstimate>(RunOr.errorMessage());
+
+  PmuEstimate Est;
+  if (Expected<uint64_t> V = Perf.read(*CyclesFdOr))
+    Est.Cycles = *V;
+  if (Expected<uint64_t> V = Perf.read(*FpFdOr))
+    Est.SpecFlops = *V;
+  Est.Seconds = static_cast<double>(Est.Cycles) / (P.Core.FreqGHz * 1e9);
+  if (Est.Seconds > 0)
+    Est.GFlops = static_cast<double>(Est.SpecFlops) / Est.Seconds / 1e9;
+  return Est;
+}

@@ -1,0 +1,51 @@
+//===- PmuEstimator.h - Counter-based Roofline estimate --------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What a PMU-counter-driven Roofline tool (Intel Advisor style) reports
+/// for the same kernel: FLOPs come from a speculative FP-operations
+/// counter, which includes wasted/speculative work, so the estimate runs
+/// high — Fig. 4's 47.72 GFLOP/s versus miniperf's IR-derived 34.06.
+/// This estimator exists to reproduce and explain that methodological
+/// gap; it reads the FpOpsSpec raw event through the same perf_event
+/// stack miniperf uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_ROOFLINE_PMUESTIMATOR_H
+#define MPERF_ROOFLINE_PMUESTIMATOR_H
+
+#include "hw/Platform.h"
+#include "support/Error.h"
+#include "vm/Interpreter.h"
+
+#include <functional>
+#include <string>
+
+namespace mperf {
+namespace roofline {
+
+/// The counter-derived numbers.
+struct PmuEstimate {
+  double GFlops = 0;        ///< from the speculative FP-ops counter
+  uint64_t SpecFlops = 0;   ///< raw counter value
+  uint64_t Cycles = 0;
+  double Seconds = 0;
+};
+
+/// Runs \p Entry of \p M on \p P with an FpOpsSpec counter open and
+/// derives GFLOP/s the way a counter-based tool would.
+Expected<PmuEstimate>
+estimateWithCounters(const hw::Platform &P, ir::Module &M,
+                     const std::string &Entry,
+                     const std::vector<vm::RtValue> &Args = {},
+                     std::function<void(vm::Interpreter &)> Setup = {});
+
+} // namespace roofline
+} // namespace mperf
+
+#endif // MPERF_ROOFLINE_PMUESTIMATOR_H

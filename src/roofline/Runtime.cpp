@@ -1,0 +1,89 @@
+//===- Runtime.cpp - Roofline instrumentation runtime --------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "roofline/Runtime.h"
+
+using namespace mperf;
+using namespace mperf::roofline;
+using namespace mperf::transform;
+using namespace mperf::vm;
+
+RooflineRuntime::RooflineRuntime(std::vector<InstrumentedLoop> Loops,
+                                 const Environment &Env) {
+  Records.reserve(Loops.size());
+  for (InstrumentedLoop &L : Loops) {
+    LoopRecord R;
+    R.Info = std::move(L);
+    Records.push_back(std::move(R));
+  }
+  Instrumented = Env.getFlag("MPERF_ROOFLINE_INSTRUMENTED");
+}
+
+void RooflineRuntime::bind(vm::Interpreter &Vm, hw::CoreModel &CoreModel) {
+  Core = &CoreModel;
+
+  Vm.registerNative(
+      RooflineRuntimeNames::LoopBegin,
+      [this](Interpreter &In, const std::vector<RtValue> &Args) {
+        assert(Args.size() == 1 && "loop_begin takes the loop id");
+        uint64_t LoopId = Args[0].asInt();
+        assert(LoopId < Records.size() && "unregistered loop id");
+        // ~25 scalar ops: stack push, timestamp read, bookkeeping.
+        In.emitSyntheticOps(OpClass::IntAlu, 25);
+        Stack.push_back(ActiveLoop{LoopId, Core->stats().Cycles});
+        return RtValue::ofInt(Stack.size() - 1);
+      });
+
+  Vm.registerNative(
+      RooflineRuntimeNames::LoopEnd,
+      [this](Interpreter &In, const std::vector<RtValue> &Args) {
+        assert(Args.size() == 1 && "loop_end takes the handle");
+        In.emitSyntheticOps(OpClass::IntAlu, 25);
+        uint64_t Handle = Args[0].asInt();
+        assert(Handle + 1 == Stack.size() &&
+               "loop_end out of order with loop_begin");
+        (void)Handle;
+        ActiveLoop Active = Stack.back();
+        Stack.pop_back();
+        LoopRecord &R = Records[Active.LoopId];
+        double Elapsed = Core->stats().Cycles - Active.StartCycles;
+        if (Instrumented) {
+          R.InstrumentedCycles += Elapsed;
+          ++R.InstrumentedInvocations;
+        } else {
+          R.BaselineCycles += Elapsed;
+          ++R.BaselineInvocations;
+        }
+        return RtValue();
+      });
+
+  Vm.registerNative(
+      RooflineRuntimeNames::IsInstrumented,
+      [this](Interpreter &In, const std::vector<RtValue> &Args) {
+        assert(Args.empty() && "is_instrumented takes no arguments");
+        (void)Args;
+        // An environment lookup: a handful of ops.
+        In.emitSyntheticOps(OpClass::IntAlu, 6);
+        return RtValue::ofInt(Instrumented ? 1 : 0);
+      });
+
+  Vm.registerNative(
+      RooflineRuntimeNames::Count,
+      [this](Interpreter &In, const std::vector<RtValue> &Args) {
+        assert(Args.size() == 4 && "count takes four counters");
+        // Four counter adds in memory.
+        In.emitSyntheticOps(OpClass::IntAlu, 6);
+        if (Stack.empty())
+          return RtValue(); // counts outside any region are discarded
+        LoopRecord &R = Records[Stack.back().LoopId];
+        R.BytesLoaded += Args[0].asInt();
+        R.BytesStored += Args[1].asInt();
+        R.IntOps += Args[2].asInt();
+        R.FpOps += Args[3].asInt();
+        return RtValue();
+      });
+}

@@ -1,0 +1,84 @@
+//===- Runtime.h - Roofline instrumentation runtime ------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime half of §4.2-4.3: the mperf_roofline_internal_* functions
+/// the instrumented call sites invoke. It keeps a stack of active loop
+/// handles, accumulates per-loop byte/op counters reported by the
+/// instrumented clones, measures each region's cycles in both phases, and
+/// answers the "is instrumentation enabled" query from the simulated
+/// process environment (MPERF_ROOFLINE_INSTRUMENTED), mirroring the
+/// paper's environment-variable dispatch.
+///
+/// Each runtime entry burns a few synthetic ops through the interpreter,
+/// so the timing models observe the instrumentation overhead the paper
+/// discusses (§4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_ROOFLINE_RUNTIME_H
+#define MPERF_ROOFLINE_RUNTIME_H
+
+#include "hw/CoreModel.h"
+#include "support/Env.h"
+#include "transform/RooflineInstrumenter.h"
+#include "vm/Interpreter.h"
+
+#include <vector>
+
+namespace mperf {
+namespace roofline {
+
+/// Accumulated measurements for one instrumented loop nest.
+struct LoopRecord {
+  transform::InstrumentedLoop Info;
+  uint64_t BaselineInvocations = 0;
+  uint64_t InstrumentedInvocations = 0;
+  /// Cycles spent inside the region per phase.
+  double BaselineCycles = 0;
+  double InstrumentedCycles = 0;
+  /// IR-derived operation counters (instrumented phase only).
+  uint64_t BytesLoaded = 0;
+  uint64_t BytesStored = 0;
+  uint64_t IntOps = 0;
+  uint64_t FpOps = 0;
+
+  uint64_t totalBytes() const { return BytesLoaded + BytesStored; }
+};
+
+/// The runtime; bind() registers its native functions with a VM.
+class RooflineRuntime {
+public:
+  RooflineRuntime(std::vector<transform::InstrumentedLoop> Loops,
+                  const Environment &Env);
+
+  /// Registers mperf_rt_* native handlers with \p Vm; cycle timestamps
+  /// come from \p Core.
+  void bind(vm::Interpreter &Vm, hw::CoreModel &Core);
+
+  const std::vector<LoopRecord> &records() const { return Records; }
+
+  /// True when MPERF_ROOFLINE_INSTRUMENTED is set in the simulated
+  /// environment.
+  bool instrumentationEnabled() const { return Instrumented; }
+
+private:
+  struct ActiveLoop {
+    uint64_t LoopId;
+    double StartCycles;
+  };
+
+  std::vector<LoopRecord> Records;
+  bool Instrumented = false;
+  std::vector<ActiveLoop> Stack;
+  hw::CoreModel *Core = nullptr;
+};
+
+} // namespace roofline
+} // namespace mperf
+
+#endif // MPERF_ROOFLINE_RUNTIME_H

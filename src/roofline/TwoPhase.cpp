@@ -1,0 +1,101 @@
+//===- TwoPhase.cpp - Two-phase Roofline execution driver ----------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "roofline/TwoPhase.h"
+
+using namespace mperf;
+using namespace mperf::roofline;
+using namespace mperf::hw;
+
+namespace {
+
+/// One phase's outcome.
+struct PhaseOutcome {
+  std::vector<LoopRecord> Records;
+  double ProgramCycles = 0;
+};
+
+} // namespace
+
+static Expected<PhaseOutcome>
+runPhase(const Platform &P, ir::Module &M,
+         const std::vector<transform::InstrumentedLoop> &Loops,
+         const std::string &Entry, const std::vector<vm::RtValue> &Args,
+         const std::function<void(vm::Interpreter &)> &Setup,
+         bool Instrumented) {
+  Environment Env;
+  if (Instrumented)
+    Env.set("MPERF_ROOFLINE_INSTRUMENTED", "1");
+
+  vm::Interpreter Vm(M);
+  CoreModel Core(P.Core, P.Cache);
+  Vm.addConsumer(&Core);
+  RooflineRuntime Runtime(Loops, Env);
+  Runtime.bind(Vm, Core);
+
+  if (Setup)
+    Setup(Vm);
+
+  Expected<vm::RtValue> RunOr = Vm.run(Entry, Args);
+  if (!RunOr)
+    return makeError<PhaseOutcome>(RunOr.errorMessage());
+
+  PhaseOutcome Out;
+  Out.Records = Runtime.records();
+  Out.ProgramCycles = Core.stats().Cycles;
+  return Out;
+}
+
+Expected<TwoPhaseResult> TwoPhaseDriver::analyze(
+    ir::Module &M, const std::vector<transform::InstrumentedLoop> &Loops,
+    const std::string &Entry, const std::vector<vm::RtValue> &Args) {
+  // Phase 1: baseline (instrumentation disabled).
+  Expected<PhaseOutcome> BaselineOr =
+      runPhase(ThePlatform, M, Loops, Entry, Args, Setup,
+               /*Instrumented=*/false);
+  if (!BaselineOr)
+    return makeError<TwoPhaseResult>("baseline phase: " +
+                                     BaselineOr.takeError());
+
+  // Phase 2: instrumented (counters collected).
+  Expected<PhaseOutcome> InstrOr =
+      runPhase(ThePlatform, M, Loops, Entry, Args, Setup,
+               /*Instrumented=*/true);
+  if (!InstrOr)
+    return makeError<TwoPhaseResult>("instrumented phase: " +
+                                     InstrOr.takeError());
+
+  TwoPhaseResult Result;
+  Result.BaselineProgramCycles = BaselineOr->ProgramCycles;
+  Result.InstrumentedProgramCycles = InstrOr->ProgramCycles;
+
+  double Freq = ThePlatform.Core.FreqGHz * 1e9;
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    const LoopRecord &Base = BaselineOr->Records[I];
+    const LoopRecord &Instr = InstrOr->Records[I];
+
+    LoopMetrics Metric;
+    Metric.Info = Base.Info;
+    Metric.Seconds = Base.BaselineCycles / Freq;
+    Metric.FpOps = Instr.FpOps;
+    Metric.IntOps = Instr.IntOps;
+    Metric.BytesLoaded = Instr.BytesLoaded;
+    Metric.BytesStored = Instr.BytesStored;
+    if (Metric.Seconds > 0) {
+      Metric.GFlops = static_cast<double>(Metric.FpOps) / Metric.Seconds / 1e9;
+      Metric.GBytesPerSec =
+          static_cast<double>(Instr.totalBytes()) / Metric.Seconds / 1e9;
+    }
+    if (Instr.totalBytes() > 0)
+      Metric.ArithmeticIntensity = static_cast<double>(Metric.FpOps) /
+                                   static_cast<double>(Instr.totalBytes());
+    if (Base.BaselineCycles > 0)
+      Metric.OverheadRatio = Instr.InstrumentedCycles / Base.BaselineCycles;
+    Result.Loops.push_back(Metric);
+  }
+  return Result;
+}

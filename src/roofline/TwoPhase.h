@@ -1,0 +1,88 @@
+//===- TwoPhase.h - Two-phase Roofline execution driver --------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §4.3's driver: "the program runs with instrumentation disabled to
+/// establish baseline performance; the program runs again with
+/// instrumentation enabled for targeted regions." The driver coordinates
+/// both executions on one simulated platform and correlates the results
+/// into per-loop Roofline metrics:
+///
+///   time       = baseline region cycles / core frequency
+///   GFLOP/s    = FP ops (IR counts)   / time
+///   GB/s       = bytes loaded+stored  / time
+///   intensity  = FP ops / bytes        (operations per byte)
+///
+/// Determinism of the workload across runs is assumed, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_ROOFLINE_TWOPHASE_H
+#define MPERF_ROOFLINE_TWOPHASE_H
+
+#include "hw/Platform.h"
+#include "roofline/Runtime.h"
+#include "support/Error.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace roofline {
+
+/// Final metrics for one instrumented loop nest.
+struct LoopMetrics {
+  transform::InstrumentedLoop Info;
+  double Seconds = 0; ///< baseline-phase region time
+  uint64_t FpOps = 0;
+  uint64_t IntOps = 0;
+  uint64_t BytesLoaded = 0;
+  uint64_t BytesStored = 0;
+  double GFlops = 0;
+  double GBytesPerSec = 0;
+  double ArithmeticIntensity = 0; ///< FLOP per byte
+  /// Instrumented/baseline region cycle ratio — the overhead the
+  /// two-phase design exists to exclude (§4.4).
+  double OverheadRatio = 1.0;
+};
+
+/// Result of a full two-phase analysis.
+struct TwoPhaseResult {
+  std::vector<LoopMetrics> Loops;
+  /// Whole-program cycles of the baseline phase.
+  double BaselineProgramCycles = 0;
+  double InstrumentedProgramCycles = 0;
+};
+
+/// Runs both phases of one workload on one platform.
+class TwoPhaseDriver {
+public:
+  /// The platform is stored by value so callers may pass temporaries.
+  explicit TwoPhaseDriver(hw::Platform P) : ThePlatform(std::move(P)) {}
+
+  /// Hook to initialize workload memory; runs before each phase.
+  void setSetupHook(std::function<void(vm::Interpreter &)> Hook) {
+    Setup = std::move(Hook);
+  }
+
+  /// Analyzes \p Entry of the already-instrumented module \p M. \p Loops
+  /// comes from the RooflineInstrumenter that produced M.
+  Expected<TwoPhaseResult>
+  analyze(ir::Module &M, const std::vector<transform::InstrumentedLoop> &Loops,
+          const std::string &Entry,
+          const std::vector<vm::RtValue> &Args = {});
+
+private:
+  hw::Platform ThePlatform;
+  std::function<void(vm::Interpreter &)> Setup;
+};
+
+} // namespace roofline
+} // namespace mperf
+
+#endif // MPERF_ROOFLINE_TWOPHASE_H

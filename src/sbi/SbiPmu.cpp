@@ -1,0 +1,96 @@
+//===- SbiPmu.cpp - OpenSBI PMU extension model --------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sbi/SbiPmu.h"
+
+using namespace mperf;
+using namespace mperf::sbi;
+using namespace mperf::hw;
+
+SbiPmu::SbiPmu(Pmu &ThePmu, CoreModel &Core, SbiConfig Config)
+    : ThePmu(ThePmu), Core(Core), Config(Config) {
+  HpmInUse.assign(ThePmu.capabilities().NumHpmCounters, false);
+}
+
+void SbiPmu::ecall(const std::string &What) {
+  ++NumEcalls;
+  OpLog.push_back(What);
+  PrivMode Saved = Core.mode();
+  Core.setMode(PrivMode::Machine);
+  Core.addCycles(Config.EcallCycles);
+  Core.setMode(Saved);
+}
+
+Expected<unsigned> SbiPmu::counterConfigMatching(uint16_t VendorCode) {
+  ecall("sbi_pmu_counter_config_matching(event=0x" +
+        std::to_string(VendorCode) + ")");
+  for (unsigned I = 0, E = HpmInUse.size(); I != E; ++I) {
+    if (HpmInUse[I])
+      continue;
+    unsigned Idx = Pmu::FirstHpmIdx + I;
+    if (!ThePmu.writeEventSelector(Idx, VendorCode))
+      return makeError<unsigned>(
+          "sbi: hardware does not implement event code " +
+          std::to_string(VendorCode));
+    HpmInUse[I] = true;
+    return Idx;
+  }
+  return makeError<unsigned>("sbi: no free hpm counter");
+}
+
+Error SbiPmu::counterStart(unsigned Idx, uint64_t InitialValue) {
+  ecall("sbi_pmu_counter_start(counter=" + std::to_string(Idx) + ")");
+  if (Idx >= Pmu::NumCounters)
+    return Error("sbi: counter index out of range");
+  ThePmu.writeCounter(Idx, InitialValue);
+  ThePmu.setCounting(Idx, true);
+  return Error::success();
+}
+
+Error SbiPmu::counterStop(unsigned Idx) {
+  ecall("sbi_pmu_counter_stop(counter=" + std::to_string(Idx) + ")");
+  if (Idx >= Pmu::NumCounters)
+    return Error("sbi: counter index out of range");
+  ThePmu.setCounting(Idx, false);
+  return Error::success();
+}
+
+Expected<uint64_t> SbiPmu::counterRead(unsigned Idx) {
+  ecall("sbi_pmu_counter_fw_read(counter=" + std::to_string(Idx) + ")");
+  if (Idx >= Pmu::NumCounters)
+    return makeError<uint64_t>("sbi: counter index out of range");
+  return ThePmu.readCounter(Idx);
+}
+
+Error SbiPmu::counterArmOverflow(unsigned Idx, uint64_t Period) {
+  ecall("sbi_pmu_counter_arm_overflow(counter=" + std::to_string(Idx) +
+        ", period=" + std::to_string(Period) + ")");
+  if (Idx >= Pmu::NumCounters)
+    return Error("sbi: counter index out of range");
+  if (!ThePmu.armOverflow(Idx, Period))
+    return Error("sbi: counter " + std::to_string(Idx) +
+                 " (event '" +
+                 std::string(eventName(ThePmu.counterEvent(Idx))) +
+                 "') does not support overflow interrupts on this hardware");
+  return Error::success();
+}
+
+Error SbiPmu::counterRelease(unsigned Idx) {
+  ecall("sbi_pmu_counter_release(counter=" + std::to_string(Idx) + ")");
+  if (Idx < Pmu::FirstHpmIdx ||
+      Idx >= Pmu::FirstHpmIdx + HpmInUse.size())
+    return Error("sbi: not a releasable hpm counter");
+  HpmInUse[Idx - Pmu::FirstHpmIdx] = false;
+  ThePmu.setCounting(Idx, false);
+  ThePmu.armOverflow(Idx, 0);
+  return Error::success();
+}
+
+void SbiPmu::delegateCounters(uint32_t Mask) {
+  ecall("sbi_set_mcounteren(mask=0x" + std::to_string(Mask) + ")");
+  ThePmu.setCounterEnable(Mask);
+}

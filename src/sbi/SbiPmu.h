@@ -1,0 +1,100 @@
+//===- SbiPmu.h - OpenSBI PMU extension model ------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Machine-mode firmware side of Fig. 1's software stack: "the kernel
+/// driver can request OpenSBI to perform privileged read and write
+/// operations on its behalf, targeting machine-level PMU registers"
+/// (§3.2). Every operation models an `ecall`: the core switches to
+/// Machine mode and burns trap + firmware cycles, so profilers see the
+/// cost of the SBI path — and see it disappear after mcounteren
+/// delegation enables direct Supervisor-mode counter reads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_SBI_SBIPMU_H
+#define MPERF_SBI_SBIPMU_H
+
+#include "hw/CoreModel.h"
+#include "hw/Pmu.h"
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace sbi {
+
+/// Firmware configuration knobs.
+struct SbiConfig {
+  /// Cycles for one ecall round trip (trap entry, firmware dispatch,
+  /// sret). OpenSBI on small cores lands in the hundreds.
+  double EcallCycles = 400;
+};
+
+/// The SBI PMU extension, bound to one hart's PMU and core model.
+class SbiPmu {
+public:
+  SbiPmu(hw::Pmu &Pmu, hw::CoreModel &Core, SbiConfig Config = SbiConfig());
+
+  //===--------------------------------------------------------------===//
+  // SBI PMU extension calls (each is one simulated ecall)
+  //===--------------------------------------------------------------===//
+
+  /// sbi_pmu_counter_config_matching: finds a free hpm counter and
+  /// programs its event selector with \p VendorCode.
+  Expected<unsigned> counterConfigMatching(uint16_t VendorCode);
+
+  /// sbi_pmu_counter_start: clears the counter to \p InitialValue and
+  /// enables counting (clears its mcountinhibit bit).
+  Error counterStart(unsigned Idx, uint64_t InitialValue);
+
+  /// sbi_pmu_counter_stop: sets the mcountinhibit bit.
+  Error counterStop(unsigned Idx);
+
+  /// sbi_pmu_counter_fw_read: privileged read through firmware.
+  Expected<uint64_t> counterRead(unsigned Idx);
+
+  /// Arms overflow interrupts (Sscofpmf path). Fails when the hardware
+  /// cannot raise overflow interrupts for the counter's event — the X60
+  /// limitation miniperf works around.
+  Error counterArmOverflow(unsigned Idx, uint64_t Period);
+
+  /// Releases a counter previously handed out by counterConfigMatching.
+  Error counterRelease(unsigned Idx);
+
+  /// Writes mcounteren so Supervisor mode can read counters directly,
+  /// "avoiding repeated SBI calls for counter reads" (§3.2).
+  void delegateCounters(uint32_t Mask);
+
+  //===--------------------------------------------------------------===//
+  // Introspection
+  //===--------------------------------------------------------------===//
+
+  /// Number of ecalls served (each cost EcallCycles in M-mode).
+  uint64_t numEcalls() const { return NumEcalls; }
+
+  /// Human-readable log of every firmware operation, used by the Fig. 1
+  /// bench to print the layer-interaction trace.
+  const std::vector<std::string> &opLog() const { return OpLog; }
+
+private:
+  /// Models the ecall: M-mode switch + firmware cycles, and logs it.
+  void ecall(const std::string &What);
+
+  hw::Pmu &ThePmu;
+  hw::CoreModel &Core;
+  SbiConfig Config;
+  uint64_t NumEcalls = 0;
+  std::vector<bool> HpmInUse;
+  std::vector<std::string> OpLog;
+};
+
+} // namespace sbi
+} // namespace mperf
+
+#endif // MPERF_SBI_SBIPMU_H

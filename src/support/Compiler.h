@@ -1,0 +1,36 @@
+//===- Compiler.h - Compiler portability macros ---------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability and diagnostics helpers shared by every library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_SUPPORT_COMPILER_H
+#define MPERF_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mperf {
+
+/// Marks a point in code that must never be reached. Prints \p Msg and
+/// aborts; unlike assert it fires in release builds too, because reaching
+/// it means the in-memory IR or simulator state is corrupt.
+[[noreturn]] inline void unreachableInternal(const char *Msg, const char *File,
+                                             unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace mperf
+
+#define MPERF_UNREACHABLE(msg)                                                 \
+  ::mperf::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // MPERF_SUPPORT_COMPILER_H

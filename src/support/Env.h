@@ -1,0 +1,60 @@
+//===- Env.h - Simulated process environment -------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's instrumented call sites "select between the two function
+/// versions based on environment variables" (§4.2). Simulated programs do
+/// not run in a real process, so this class models the environment block
+/// the Roofline runtime consults (e.g. MPERF_INSTRUMENTED=1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_SUPPORT_ENV_H
+#define MPERF_SUPPORT_ENV_H
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace mperf {
+
+/// A simulated set of environment variables for one simulated process run.
+class Environment {
+public:
+  /// Sets \p Name to \p Value, overwriting any previous value.
+  void set(const std::string &Name, std::string Value) {
+    Vars[Name] = std::move(Value);
+  }
+
+  /// Removes \p Name if present.
+  void unset(const std::string &Name) { Vars.erase(Name); }
+
+  /// Returns the value of \p Name, or std::nullopt when unset.
+  std::optional<std::string> get(const std::string &Name) const {
+    auto It = Vars.find(Name);
+    if (It == Vars.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// Returns true when \p Name is set to a truthy value ("1", "true",
+  /// "on", "yes").
+  bool getFlag(const std::string &Name) const {
+    auto Value = get(Name);
+    if (!Value)
+      return false;
+    return *Value == "1" || *Value == "true" || *Value == "on" ||
+           *Value == "yes";
+  }
+
+private:
+  std::map<std::string, std::string> Vars;
+};
+
+} // namespace mperf
+
+#endif // MPERF_SUPPORT_ENV_H

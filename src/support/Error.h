@@ -1,0 +1,119 @@
+//===- Error.h - Lightweight recoverable error handling -------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recoverable error handling without exceptions, in the spirit of
+/// llvm::Expected. An Expected<T> holds either a value or an error message;
+/// callers must check before dereferencing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_SUPPORT_ERROR_H
+#define MPERF_SUPPORT_ERROR_H
+
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mperf {
+
+/// A recoverable error carrying a human-readable message.
+///
+/// Error messages follow the LLVM diagnostic style: they start with a
+/// lowercase letter and carry enough context to act on.
+class Error {
+public:
+  Error() = default;
+  explicit Error(std::string Message) : Message(std::move(Message)) {}
+
+  /// Returns true if this represents an actual error.
+  bool isError() const { return !Message.empty(); }
+  explicit operator bool() const { return isError(); }
+
+  const std::string &message() const { return Message; }
+
+  /// Constructs a success value.
+  static Error success() { return Error(); }
+
+private:
+  std::string Message;
+};
+
+/// Tag type used to construct an errored Expected<T> unambiguously.
+struct ErrorTag {};
+
+/// Holds either a value of type \p T or an Error.
+///
+/// Typical usage:
+/// \code
+///   Expected<Function *> FnOr = parseFunction(Text);
+///   if (!FnOr)
+///     return Error(FnOr.takeError());
+///   Function *Fn = *FnOr;
+/// \endcode
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs an error value from an Error.
+  Expected(Error E) : Err(std::move(E)) {
+    assert(Err.isError() && "constructing Expected from a success Error");
+  }
+
+  /// Constructs an error value from a message.
+  Expected(ErrorTag, std::string Message) : Err(std::move(Message)) {}
+
+  /// Returns true if a value is present.
+  bool hasValue() const { return Value.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &operator*() {
+    assert(hasValue() && "dereferencing errored Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(hasValue() && "dereferencing errored Expected");
+    return *Value;
+  }
+  T *operator->() {
+    assert(hasValue() && "dereferencing errored Expected");
+    return &*Value;
+  }
+  const T *operator->() const {
+    assert(hasValue() && "dereferencing errored Expected");
+    return &*Value;
+  }
+
+  /// Returns the error message. Only valid when !hasValue().
+  const std::string &errorMessage() const {
+    assert(!hasValue() && "asking for the error of a success value");
+    return Err.message();
+  }
+
+  /// Moves the error out of this Expected.
+  std::string takeError() {
+    assert(!hasValue() && "taking the error of a success value");
+    return std::move(const_cast<std::string &>(Err.message()));
+  }
+
+private:
+  std::optional<T> Value;
+  Error Err;
+};
+
+/// Convenience factory for an errored Expected<T>.
+template <typename T> Expected<T> makeError(std::string Message) {
+  return Expected<T>(ErrorTag{}, std::move(Message));
+}
+
+} // namespace mperf
+
+#endif // MPERF_SUPPORT_ERROR_H

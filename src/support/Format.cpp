@@ -1,0 +1,99 @@
+//===- Format.cpp - Number and string formatting helpers -----------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace mperf;
+
+std::string mperf::fixed(double Value, unsigned Precision) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", static_cast<int>(Precision),
+                Value);
+  return Buffer;
+}
+
+std::string mperf::withCommas(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  Result.reserve(Digits.size() + Digits.size() / 3);
+  size_t Remaining = Digits.size();
+  for (char C : Digits) {
+    Result.push_back(C);
+    --Remaining;
+    if (Remaining != 0 && Remaining % 3 == 0)
+      Result.push_back(',');
+  }
+  return Result;
+}
+
+std::string mperf::percent(double Ratio) { return fixed(Ratio * 100.0, 2) + "%"; }
+
+std::string mperf::formatBytes(uint64_t Bytes) {
+  static const char *Units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double Value = static_cast<double>(Bytes);
+  unsigned Unit = 0;
+  while (Value >= 1024.0 && Unit < 4) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  if (Unit == 0)
+    return std::to_string(Bytes) + " B";
+  return fixed(Value, Value < 10 ? 1 : 0) + " " + Units[Unit];
+}
+
+std::string mperf::formatRate(double PerSecond, std::string_view Unit) {
+  return fixed(PerSecond / 1e9, 2) + " G" + std::string(Unit) + "/s";
+}
+
+bool mperf::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+bool mperf::endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.substr(Text.size() - Suffix.size()) == Suffix;
+}
+
+std::vector<std::string_view> mperf::split(std::string_view Text,
+                                           char Separator) {
+  std::vector<std::string_view> Fields;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Separator, Start);
+    if (Pos == std::string_view::npos) {
+      Fields.push_back(Text.substr(Start));
+      return Fields;
+    }
+    Fields.push_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::string_view mperf::trim(std::string_view Text) {
+  while (!Text.empty() && (Text.front() == ' ' || Text.front() == '\t' ||
+                           Text.front() == '\n' || Text.front() == '\r'))
+    Text.remove_prefix(1);
+  while (!Text.empty() && (Text.back() == ' ' || Text.back() == '\t' ||
+                           Text.back() == '\n' || Text.back() == '\r'))
+    Text.remove_suffix(1);
+  return Text;
+}
+
+std::string mperf::padLeft(std::string_view Text, size_t Width) {
+  if (Text.size() >= Width)
+    return std::string(Text);
+  return std::string(Width - Text.size(), ' ') + std::string(Text);
+}
+
+std::string mperf::padRight(std::string_view Text, size_t Width) {
+  if (Text.size() >= Width)
+    return std::string(Text);
+  return std::string(Text) + std::string(Width - Text.size(), ' ');
+}

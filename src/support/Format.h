@@ -1,0 +1,63 @@
+//===- Format.h - Number and string formatting helpers --------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formatting helpers used by reports, tables and plots. All functions
+/// return std::string so that library code never touches iostreams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_SUPPORT_FORMAT_H
+#define MPERF_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mperf {
+
+/// Formats \p Value with printf-style fixed precision, e.g. fixed(3.14159, 2)
+/// == "3.14".
+std::string fixed(double Value, unsigned Precision);
+
+/// Formats an integer with thousands separators, e.g. "3,634,478,335",
+/// matching the paper's Table 2 style.
+std::string withCommas(uint64_t Value);
+
+/// Formats a ratio in [0, 1] as a percentage with two decimals, e.g.
+/// "18.44%".
+std::string percent(double Ratio);
+
+/// Formats a byte count with a binary-prefix unit, e.g. "32 KiB".
+std::string formatBytes(uint64_t Bytes);
+
+/// Formats an operation rate as GFLOP/s or GB/s style text with two
+/// decimals, e.g. "34.06 GFLOP/s".
+std::string formatRate(double PerSecond, std::string_view Unit);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Returns true if \p Text ends with \p Suffix.
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// Splits \p Text on \p Separator, keeping empty fields.
+std::vector<std::string_view> split(std::string_view Text, char Separator);
+
+/// Strips leading and trailing whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Left-pads \p Text with spaces to \p Width columns.
+std::string padLeft(std::string_view Text, size_t Width);
+
+/// Right-pads \p Text with spaces to \p Width columns.
+std::string padRight(std::string_view Text, size_t Width);
+
+} // namespace mperf
+
+#endif // MPERF_SUPPORT_FORMAT_H

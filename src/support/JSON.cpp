@@ -1,0 +1,131 @@
+//===- JSON.cpp - Minimal JSON writer --------------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+using namespace mperf;
+
+void JsonWriter::beforeValue() {
+  if (PendingKey) {
+    PendingKey = false;
+    return;
+  }
+  if (!SawElement.empty()) {
+    if (SawElement.back())
+      Out.push_back(',');
+    SawElement.back() = true;
+  }
+}
+
+void JsonWriter::escapeInto(std::string_view Value) {
+  Out.push_back('"');
+  for (char C : Value) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+        Out += Buffer;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+void JsonWriter::beginObject() {
+  beforeValue();
+  Out.push_back('{');
+  SawElement.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  assert(!SawElement.empty() && "endObject without beginObject");
+  SawElement.pop_back();
+  Out.push_back('}');
+}
+
+void JsonWriter::beginArray() {
+  beforeValue();
+  Out.push_back('[');
+  SawElement.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  assert(!SawElement.empty() && "endArray without beginArray");
+  SawElement.pop_back();
+  Out.push_back(']');
+}
+
+void JsonWriter::key(std::string_view Name) {
+  assert(!PendingKey && "two keys in a row");
+  if (!SawElement.empty()) {
+    if (SawElement.back())
+      Out.push_back(',');
+    SawElement.back() = true;
+  }
+  escapeInto(Name);
+  Out.push_back(':');
+  PendingKey = true;
+}
+
+void JsonWriter::string(std::string_view Value) {
+  beforeValue();
+  escapeInto(Value);
+}
+
+void JsonWriter::number(double Value) {
+  beforeValue();
+  if (std::isfinite(Value)) {
+    char Buffer[64];
+    std::snprintf(Buffer, sizeof(Buffer), "%.6g", Value);
+    Out += Buffer;
+  } else {
+    Out += "null";
+  }
+}
+
+void JsonWriter::number(uint64_t Value) {
+  beforeValue();
+  Out += std::to_string(Value);
+}
+
+void JsonWriter::number(int64_t Value) {
+  beforeValue();
+  Out += std::to_string(Value);
+}
+
+void JsonWriter::boolean(bool Value) {
+  beforeValue();
+  Out += Value ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  beforeValue();
+  Out += "null";
+}

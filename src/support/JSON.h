@@ -1,0 +1,66 @@
+//===- JSON.h - Minimal JSON writer ----------------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny streaming JSON writer used to export profiles, roofline points
+/// and flame graph data for external tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_SUPPORT_JSON_H
+#define MPERF_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mperf {
+
+/// Streaming JSON writer with automatic comma placement.
+///
+/// \code
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("name"); W.string("matmul");
+///   W.key("gflops"); W.number(34.06);
+///   W.endObject();
+///   std::string Text = W.str();
+/// \endcode
+class JsonWriter {
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits an object key. Must be followed by exactly one value.
+  void key(std::string_view Name);
+
+  void string(std::string_view Value);
+  void number(double Value);
+  void number(uint64_t Value);
+  void number(int64_t Value);
+  void boolean(bool Value);
+  void null();
+
+  /// Returns the accumulated JSON text.
+  const std::string &str() const { return Out; }
+
+private:
+  void beforeValue();
+  void escapeInto(std::string_view Value);
+
+  std::string Out;
+  /// One entry per open container: true once the first element was written.
+  std::vector<bool> SawElement;
+  bool PendingKey = false;
+};
+
+} // namespace mperf
+
+#endif // MPERF_SUPPORT_JSON_H

@@ -1,0 +1,54 @@
+//===- RNG.h - Deterministic pseudo-random number generator ---*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic SplitMix64 generator. Workload builders use it so that
+/// every run of an experiment executes exactly the same instruction
+/// stream, which the paper's two-phase Roofline methodology assumes
+/// (deterministic execution, §4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_SUPPORT_RNG_H
+#define MPERF_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace mperf {
+
+/// SplitMix64: tiny, fast, and statistically adequate for workload data
+/// generation. Not for cryptographic use.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    return Bound == 0 ? 0 : next() % Bound;
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace mperf
+
+#endif // MPERF_SUPPORT_RNG_H

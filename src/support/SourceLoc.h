@@ -1,0 +1,47 @@
+//===- SourceLoc.h - Source locations for IR entities ----------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Roofline instrumentation pass emits LoopInfo{line, filename,
+/// func_name} descriptors at every instrumented call site (§4.2). This is
+/// the shared representation of such a location.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_SUPPORT_SOURCELOC_H
+#define MPERF_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace mperf {
+
+/// A (file, line, function) triple attached to IR functions and loops.
+struct SourceLoc {
+  std::string File;
+  unsigned Line = 0;
+  std::string FuncName;
+
+  bool isValid() const { return !File.empty() || Line != 0; }
+
+  /// Renders as "file.c:42 (bar)".
+  std::string str() const {
+    std::string Out = File.empty() ? "<unknown>" : File;
+    Out += ":" + std::to_string(Line);
+    if (!FuncName.empty())
+      Out += " (" + FuncName + ")";
+    return Out;
+  }
+
+  bool operator==(const SourceLoc &Other) const {
+    return File == Other.File && Line == Other.Line &&
+           FuncName == Other.FuncName;
+  }
+};
+
+} // namespace mperf
+
+#endif // MPERF_SUPPORT_SOURCELOC_H

@@ -1,0 +1,120 @@
+//===- Table.cpp - Aligned text table rendering ---------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace mperf;
+
+void TextTable::addHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+/// Returns true if the cell looks like a number (digits, separators, signs,
+/// units); such cells are right-aligned.
+static bool looksNumeric(std::string_view Cell) {
+  if (Cell.empty())
+    return false;
+  unsigned Digits = 0;
+  for (char C : Cell) {
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      ++Digits;
+    else if (C != '.' && C != ',' && C != '%' && C != '-' && C != '+' &&
+             C != ' ' && C != 'x')
+      return false;
+  }
+  return Digits > 0;
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Widths.size() < Cells.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  if (!Header.empty())
+    Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  auto RenderRow = [&Widths](const std::vector<std::string> &Cells,
+                             bool ForceLeft) {
+    std::string Line;
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      if (I != 0)
+        Line += "  ";
+      bool Right = !ForceLeft && looksNumeric(Cells[I]);
+      Line += Right ? padLeft(Cells[I], Widths[I]) : padRight(Cells[I], Widths[I]);
+    }
+    // Trim trailing padding.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line.push_back('\n');
+    return Line;
+  };
+
+  std::string Out;
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 2;
+  if (TotalWidth >= 2)
+    TotalWidth -= 2;
+
+  if (!Title.empty()) {
+    Out += Title;
+    Out.push_back('\n');
+  }
+  if (!Header.empty()) {
+    Out += RenderRow(Header, /*ForceLeft=*/true);
+    Out += std::string(TotalWidth, '-');
+    Out.push_back('\n');
+  }
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row, /*ForceLeft=*/false);
+  return Out;
+}
+
+/// Escapes a CSV cell if it contains separators or quotes.
+static std::string csvEscape(const std::string &Cell) {
+  if (Cell.find_first_of(",\"\n") == std::string::npos)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += "\"\"";
+    else
+      Out.push_back(C);
+  }
+  Out.push_back('"');
+  return Out;
+}
+
+std::string TextTable::renderCsv() const {
+  std::string Out;
+  auto RenderRow = [&Out](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      if (I != 0)
+        Out.push_back(',');
+      Out += csvEscape(Cells[I]);
+    }
+    Out.push_back('\n');
+  };
+  if (!Header.empty())
+    RenderRow(Header);
+  for (const auto &Row : Rows)
+    RenderRow(Row);
+  return Out;
+}

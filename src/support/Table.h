@@ -1,0 +1,54 @@
+//===- Table.h - Aligned text table rendering -----------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned table renderer used by every report and bench
+/// binary to print the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_SUPPORT_TABLE_H
+#define MPERF_SUPPORT_TABLE_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mperf {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+///
+/// The first row added with addHeader() is separated from the body by a
+/// rule. Numeric-looking cells are right-aligned; everything else is
+/// left-aligned.
+class TextTable {
+public:
+  explicit TextTable(std::string Title = "") : Title(std::move(Title)) {}
+
+  /// Adds the header row.
+  void addHeader(std::vector<std::string> Cells);
+
+  /// Adds a body row.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table to a string, one trailing newline included.
+  std::string render() const;
+
+  /// Writes the rows as CSV (header first if present).
+  std::string renderCsv() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace mperf
+
+#endif // MPERF_SUPPORT_TABLE_H

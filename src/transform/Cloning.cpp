@@ -1,0 +1,90 @@
+//===- Cloning.cpp - Function cloning ----------------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Cloning.h"
+
+using namespace mperf;
+using namespace mperf::transform;
+using namespace mperf::ir;
+
+std::unique_ptr<Instruction>
+mperf::transform::cloneInstruction(const Instruction &I) {
+  auto New = std::make_unique<Instruction>(I.opcode(), I.type());
+  New->setName(I.name());
+  for (Value *Op : I.operands())
+    New->addOperand(Op);
+  for (unsigned S = 0, E = I.numSuccessors(); S != E; ++S)
+    New->addSuccessor(I.successor(S));
+  if (I.opcode() == Opcode::Phi)
+    for (unsigned V = 0, E = I.numOperands(); V != E; ++V)
+      New->appendIncomingBlock(I.incomingBlock(V));
+  if (I.opcode() == Opcode::ICmp)
+    New->setICmpPred(I.icmpPred());
+  if (I.opcode() == Opcode::FCmp)
+    New->setFCmpPred(I.fcmpPred());
+  if (I.opcode() == Opcode::Alloca)
+    New->setAllocaBytes(I.allocaBytes());
+  if (I.opcode() == Opcode::Call)
+    New->setCallee(I.callee());
+  New->setLoc(I.loc());
+  return New;
+}
+
+Function *mperf::transform::cloneFunction(const Function &Src,
+                                          const std::string &NewName,
+                                          CloneMap *OutMap) {
+  Module *M = Src.parentModule();
+  assert(M && "cloning a function without a module");
+  assert(!Src.isDeclaration() && "cloning a declaration");
+
+  Function *New = M->createFunction(NewName, Src.returnType(),
+                                    Src.paramTypes());
+  New->setLoc(Src.loc());
+
+  CloneMap LocalMap;
+  CloneMap &Map = OutMap ? *OutMap : LocalMap;
+
+  for (unsigned I = 0, E = Src.numArgs(); I != E; ++I) {
+    New->arg(I)->setName(Src.arg(I)->name());
+    Map.Values[Src.arg(I)] = New->arg(I);
+  }
+  for (const BasicBlock *BB : Src)
+    Map.Blocks[BB] = New->createBlock(BB->name());
+
+  for (const BasicBlock *BB : Src) {
+    BasicBlock *NewBB = Map.Blocks[BB];
+    for (const Instruction *I : *BB) {
+      Instruction *NewI = NewBB->append(cloneInstruction(*I));
+      Map.Values[I] = NewI;
+    }
+  }
+
+  // Remap operands, successors and phi incoming blocks.
+  for (const BasicBlock *BB : Src) {
+    BasicBlock *NewBB = Map.Blocks[BB];
+    for (Instruction *I : *NewBB) {
+      for (unsigned OpI = 0, E = I->numOperands(); OpI != E; ++OpI) {
+        auto It = Map.Values.find(I->operand(OpI));
+        if (It != Map.Values.end())
+          I->setOperand(OpI, It->second);
+      }
+      for (unsigned S = 0, E = I->numSuccessors(); S != E; ++S) {
+        auto It = Map.Blocks.find(I->successor(S));
+        assert(It != Map.Blocks.end() && "branch to a block outside function");
+        I->setSuccessor(S, It->second);
+      }
+      if (I->opcode() == Opcode::Phi) {
+        for (unsigned V = 0, E = I->numOperands(); V != E; ++V) {
+          auto It = Map.Blocks.find(I->incomingBlock(V));
+          assert(It != Map.Blocks.end() && "phi incoming outside function");
+          I->setIncomingBlock(V, It->second);
+        }
+      }
+    }
+  }
+  return New;
+}

@@ -1,0 +1,44 @@
+//===- Cloning.h - Function cloning ----------------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep function cloning with a value map, used by the Roofline pass's
+/// "Function Duplication" step (§4.2): "the extracted function is cloned
+/// to create two versions: the original (unmodified) function and an
+/// instrumented version".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_TRANSFORM_CLONING_H
+#define MPERF_TRANSFORM_CLONING_H
+
+#include "ir/Module.h"
+
+#include <map>
+
+namespace mperf {
+namespace transform {
+
+/// Maps original values/blocks to their clones.
+struct CloneMap {
+  std::map<const ir::Value *, ir::Value *> Values;
+  std::map<const ir::BasicBlock *, ir::BasicBlock *> Blocks;
+};
+
+/// Clones one instruction without remapping operands (they still point to
+/// the originals; remap afterwards via CloneMap).
+std::unique_ptr<ir::Instruction> cloneInstruction(const ir::Instruction &I);
+
+/// Clones \p Src into a new function named \p NewName in the same module.
+/// Returns the clone. Asserts that \p NewName is free.
+ir::Function *cloneFunction(const ir::Function &Src, const std::string &NewName,
+                            CloneMap *OutMap = nullptr);
+
+} // namespace transform
+} // namespace mperf
+
+#endif // MPERF_TRANSFORM_CLONING_H

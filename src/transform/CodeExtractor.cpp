@@ -1,0 +1,159 @@
+//===- CodeExtractor.cpp - Loop-nest outlining --------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/CodeExtractor.h"
+#include "transform/Cloning.h"
+
+#include <algorithm>
+
+using namespace mperf;
+using namespace mperf::transform;
+using namespace mperf::ir;
+
+/// Returns true when \p V is defined outside \p Region but must be passed
+/// in as an argument (i.e. it is not a constant/global/function).
+static bool isRegionInput(const Value *V,
+                          const std::set<BasicBlock *> &Region) {
+  switch (V->kind()) {
+  case ValueKind::ConstantInt:
+  case ValueKind::ConstantFP:
+  case ValueKind::GlobalVariable:
+  case ValueKind::Function:
+    return false;
+  case ValueKind::Argument:
+    return true;
+  case ValueKind::Instruction: {
+    const auto *I = static_cast<const Instruction *>(V);
+    return Region.count(I->parent()) == 0;
+  }
+  }
+  MPERF_UNREACHABLE("unknown value kind");
+}
+
+Expected<ExtractedLoop>
+mperf::transform::extractLoopRegion(Function &F,
+                                    const analysis::SESERegion &Region,
+                                    const std::string &NewFnName) {
+  Module *M = F.parentModule();
+  assert(M && "extracting from a function without a module");
+  const std::set<BasicBlock *> &Blocks = Region.Blocks;
+
+  // Restriction: no SSA value defined inside is used outside.
+  for (BasicBlock *BB : F) {
+    if (Blocks.count(BB))
+      continue;
+    for (Instruction *I : *BB)
+      for (Value *Op : I->operands())
+        if (auto *OpInst = dyn_cast<Instruction>(Op))
+          if (Blocks.count(OpInst->parent()))
+            return makeError<ExtractedLoop>(
+                "extract: value '%" + OpInst->name() +
+                "' defined in the loop is used outside it");
+  }
+
+  // Restriction: the exit block must not have phis (they would need
+  // incoming values from region blocks).
+  if (!Region.Exit->phis().empty())
+    return makeError<ExtractedLoop>("extract: exit block has phi nodes");
+
+  // Collect ordered inputs: values used inside, defined outside.
+  std::vector<Value *> Inputs;
+  for (BasicBlock *BB : F) { // deterministic function order
+    if (!Blocks.count(BB))
+      continue;
+    for (Instruction *I : *BB)
+      for (Value *Op : I->operands()) {
+        if (!isRegionInput(Op, Blocks))
+          continue;
+        if (std::find(Inputs.begin(), Inputs.end(), Op) == Inputs.end())
+          Inputs.push_back(Op);
+      }
+  }
+
+  std::vector<Type *> ParamTys;
+  ParamTys.reserve(Inputs.size());
+  for (Value *V : Inputs)
+    ParamTys.push_back(V->type());
+
+  Context &Ctx = M->context();
+  Function *Outlined =
+      M->createFunction(NewFnName, Ctx.voidTy(), ParamTys);
+  Outlined->setLoc(F.loc());
+
+  // Give parameters the source value names where available.
+  for (unsigned I = 0, E = Inputs.size(); I != E; ++I)
+    if (Inputs[I]->hasName())
+      Outlined->arg(I)->setName(Inputs[I]->name());
+
+  // New entry and return blocks.
+  BasicBlock *NewEntry = Outlined->createBlock("entry");
+  // Move region blocks into the outlined function, preserving order.
+  std::vector<BasicBlock *> Ordered;
+  for (BasicBlock *BB : F)
+    if (Blocks.count(BB))
+      Ordered.push_back(BB);
+  for (BasicBlock *BB : Ordered)
+    Outlined->appendBlock(F.removeBlock(BB));
+  BasicBlock *RetBB = Outlined->createBlock("region.exit");
+  {
+    auto RetI = std::make_unique<Instruction>(Opcode::Ret, Ctx.voidTy());
+    RetBB->append(std::move(RetI));
+  }
+
+  BasicBlock *Header = Region.TheLoop->header();
+  {
+    auto BrI = std::make_unique<Instruction>(Opcode::Br, Ctx.voidTy());
+    BrI->addSuccessor(Header);
+    NewEntry->append(std::move(BrI));
+  }
+
+  // Rewrite moved instructions: inputs -> arguments, exits -> RetBB, phi
+  // incomings from the preheader -> NewEntry.
+  std::map<Value *, Value *> InputMap;
+  for (unsigned I = 0, E = Inputs.size(); I != E; ++I)
+    InputMap[Inputs[I]] = Outlined->arg(I);
+
+  for (BasicBlock *BB : Ordered) {
+    for (Instruction *I : *BB) {
+      for (unsigned OpI = 0, E = I->numOperands(); OpI != E; ++OpI) {
+        auto It = InputMap.find(I->operand(OpI));
+        if (It != InputMap.end())
+          I->setOperand(OpI, It->second);
+      }
+      for (unsigned S = 0, E = I->numSuccessors(); S != E; ++S)
+        if (I->successor(S) == Region.Exit)
+          I->setSuccessor(S, RetBB);
+      if (I->opcode() == Opcode::Phi)
+        for (unsigned V = 0, E = I->numOperands(); V != E; ++V)
+          if (I->incomingBlock(V) == Region.Entry)
+            I->setIncomingBlock(V, NewEntry);
+    }
+  }
+
+  // Replace the preheader's terminator (br header) with call + br exit.
+  BasicBlock *Preheader = Region.Entry;
+  Instruction *OldTerm = Preheader->terminator();
+  assert(OldTerm && OldTerm->opcode() == Opcode::Br &&
+         "preheader must end in an unconditional branch");
+  Preheader->remove(Preheader->indexOf(OldTerm));
+
+  auto CallI = std::make_unique<Instruction>(Opcode::Call, Ctx.voidTy());
+  CallI->setCallee(Outlined);
+  for (Value *V : Inputs)
+    CallI->addOperand(V);
+  Instruction *CallSite = Preheader->append(std::move(CallI));
+
+  auto BrExit = std::make_unique<Instruction>(Opcode::Br, Ctx.voidTy());
+  BrExit->addSuccessor(Region.Exit);
+  Preheader->append(std::move(BrExit));
+
+  ExtractedLoop Result;
+  Result.Outlined = Outlined;
+  Result.CallSite = CallSite;
+  Result.Inputs = Inputs;
+  return Result;
+}

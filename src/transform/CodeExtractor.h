@@ -1,0 +1,53 @@
+//===- CodeExtractor.h - Loop-nest outlining -------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "The CodeExtractor utility then outlines this region into a separate
+/// function" (§4.2). Given a SESE loop region, this utility creates
+/// `<fn>_loop<N>_outlined(inputs...)`, moves the loop body into it and
+/// replaces the region in the original function with a call.
+///
+/// Restrictions (the Roofline pass skips loops that violate them, just as
+/// the paper skips non-SESE regions):
+///  - the region must be SESE (analysis/RegionInfo.h),
+///  - no SSA value defined inside may be used outside (loop results must
+///    flow through memory),
+///  - the exit block must not have phis fed from region blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_TRANSFORM_CODEEXTRACTOR_H
+#define MPERF_TRANSFORM_CODEEXTRACTOR_H
+
+#include "analysis/RegionInfo.h"
+#include "ir/Module.h"
+#include "support/Error.h"
+
+namespace mperf {
+namespace transform {
+
+/// Result of a successful extraction.
+struct ExtractedLoop {
+  /// The new function holding the loop body.
+  ir::Function *Outlined = nullptr;
+  /// The call to \c Outlined left in the original function.
+  ir::Instruction *CallSite = nullptr;
+  /// The values passed as arguments, in parameter order.
+  std::vector<ir::Value *> Inputs;
+};
+
+/// Outlines \p Region (in \p F) into a new function named \p NewFnName.
+/// On failure, returns an error explaining which restriction failed; the
+/// function is left unchanged in that case.
+Expected<ExtractedLoop> extractLoopRegion(ir::Function &F,
+                                          const analysis::SESERegion &Region,
+                                          const std::string &NewFnName);
+
+} // namespace transform
+} // namespace mperf
+
+#endif // MPERF_TRANSFORM_CODEEXTRACTOR_H

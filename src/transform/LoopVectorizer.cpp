@@ -1,0 +1,679 @@
+//===- LoopVectorizer.cpp - Innermost loop vectorization ---------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/LoopVectorizer.h"
+#include "transform/Cloning.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+using namespace mperf;
+using namespace mperf::transform;
+using namespace mperf::ir;
+
+namespace {
+
+/// Affine stride of an address expression with respect to the loop IV:
+/// stride = Const * (Scale ? value(Scale) : 1) bytes per IV step.
+struct StrideInfo {
+  bool Valid = false;
+  int64_t Const = 0;
+  Value *Scale = nullptr; // loop-invariant runtime factor, may be null
+
+  bool isInvariant() const { return Valid && Const == 0 && !Scale; }
+  bool isConstant() const { return Valid && !Scale; }
+};
+
+/// All facts gathered about one vectorizable loop candidate.
+struct LoopCandidate {
+  BasicBlock *Preheader = nullptr;
+  BasicBlock *Body = nullptr; // single block: header == latch
+  BasicBlock *Exit = nullptr;
+  Instruction *IndVar = nullptr;     // phi i64
+  Instruction *IndNext = nullptr;    // add(iv, 1)
+  Instruction *LatchCmp = nullptr;   // icmp slt/ult iv.next, bound
+  Value *Start = nullptr;            // iv preheader incoming
+  Value *Bound = nullptr;            // loop-invariant trip bound
+  std::vector<Instruction *> Reductions; // FP reduction phis
+  unsigned Lanes = 0;
+};
+
+/// Performs the analysis and transformation for one function.
+class VectorizerImpl {
+public:
+  VectorizerImpl(Function &F, const TargetInfo &Target, AnalysisManager &AM)
+      : F(F), Target(Target), AM(AM), Ctx(F.parentModule()->context()) {}
+
+  bool run();
+
+private:
+  bool analyzeLoop(analysis::Loop *L, LoopCandidate &C);
+  bool analyzeBody(LoopCandidate &C);
+  StrideInfo strideOf(Value *V, const LoopCandidate &C);
+  bool isInvariant(const Value *V, const LoopCandidate &C) const;
+  void transform(const LoopCandidate &C);
+
+  Function &F;
+  const TargetInfo &Target;
+  AnalysisManager &AM;
+  Context &Ctx;
+  unsigned LoopCounter = 0;
+
+public:
+  unsigned NumVectorized = 0;
+};
+
+} // namespace
+
+bool VectorizerImpl::isInvariant(const Value *V, const LoopCandidate &C) const {
+  switch (V->kind()) {
+  case ValueKind::ConstantInt:
+  case ValueKind::ConstantFP:
+  case ValueKind::GlobalVariable:
+  case ValueKind::Function:
+  case ValueKind::Argument:
+    return true;
+  case ValueKind::Instruction:
+    return static_cast<const Instruction *>(V)->parent() != C.Body;
+  }
+  MPERF_UNREACHABLE("unknown value kind");
+}
+
+StrideInfo VectorizerImpl::strideOf(Value *V, const LoopCandidate &C) {
+  StrideInfo Result;
+  if (V == C.IndVar) {
+    Result.Valid = true;
+    Result.Const = 1;
+    return Result;
+  }
+  if (isInvariant(V, C)) {
+    Result.Valid = true;
+    Result.Const = 0;
+    return Result;
+  }
+  auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return Result;
+
+  switch (I->opcode()) {
+  case Opcode::Add: {
+    StrideInfo L = strideOf(I->operand(0), C);
+    StrideInfo R = strideOf(I->operand(1), C);
+    if (!L.Valid || !R.Valid)
+      return Result;
+    if (L.Const == 0 && !L.Scale)
+      return R;
+    if (R.Const == 0 && !R.Scale)
+      return L;
+    return Result; // both sides IV-dependent: give up
+  }
+  case Opcode::Sub: {
+    StrideInfo L = strideOf(I->operand(0), C);
+    StrideInfo R = strideOf(I->operand(1), C);
+    if (!L.Valid || !R.Valid)
+      return Result;
+    if (R.Const == 0 && !R.Scale)
+      return L;
+    return Result;
+  }
+  case Opcode::Mul: {
+    StrideInfo L = strideOf(I->operand(0), C);
+    if (L.Valid && (L.Const != 0 || L.Scale)) {
+      Value *Other = I->operand(1);
+      if (!isInvariant(Other, C))
+        return Result;
+      if (auto *CI = dyn_cast<ConstantInt>(Other)) {
+        L.Const *= CI->sext();
+        return L;
+      }
+      if (L.Scale)
+        return Result; // at most one runtime factor
+      L.Scale = Other;
+      return L;
+    }
+    StrideInfo R = strideOf(I->operand(1), C);
+    if (R.Valid && (R.Const != 0 || R.Scale)) {
+      Value *Other = I->operand(0);
+      if (!isInvariant(Other, C))
+        return Result;
+      if (auto *CI = dyn_cast<ConstantInt>(Other)) {
+        R.Const *= CI->sext();
+        return R;
+      }
+      if (R.Scale)
+        return Result;
+      R.Scale = Other;
+      return R;
+    }
+    // invariant * invariant
+    if (isInvariant(I->operand(0), C) && isInvariant(I->operand(1), C)) {
+      Result.Valid = true;
+      return Result;
+    }
+    return Result;
+  }
+  case Opcode::Shl: {
+    StrideInfo L = strideOf(I->operand(0), C);
+    auto *CI = dyn_cast<ConstantInt>(I->operand(1));
+    if (!L.Valid || !CI)
+      return Result;
+    L.Const <<= CI->zext();
+    return L;
+  }
+  case Opcode::SExt:
+  case Opcode::ZExt:
+  case Opcode::Trunc:
+    return strideOf(I->operand(0), C);
+  case Opcode::PtrAdd: {
+    StrideInfo Base = strideOf(I->operand(0), C);
+    StrideInfo Off = strideOf(I->operand(1), C);
+    if (!Base.Valid || !Off.Valid)
+      return Result;
+    if (Base.Const == 0 && !Base.Scale)
+      return Off;
+    if (Off.Const == 0 && !Off.Scale)
+      return Base;
+    return Result;
+  }
+  default:
+    return Result;
+  }
+}
+
+bool VectorizerImpl::analyzeLoop(analysis::Loop *L, LoopCandidate &C) {
+  // Shape: single-block loop with preheader and a single exit block whose
+  // only predecessor is the loop.
+  if (L->blocks().size() != 1)
+    return false;
+  C.Body = L->header();
+  C.Preheader = L->preheader();
+  if (!C.Preheader)
+    return false;
+  auto Exits = L->exitBlocks();
+  if (Exits.size() != 1)
+    return false;
+  C.Exit = Exits.front();
+  auto ExitPreds = C.Exit->predecessors();
+  if (ExitPreds.size() != 1 || ExitPreds.front() != C.Body)
+    return false;
+  if (!C.Exit->phis().empty())
+    return false;
+
+  // Terminator: cond_br(cmp, Body, Exit).
+  Instruction *Term = C.Body->terminator();
+  if (!Term || Term->opcode() != Opcode::CondBr)
+    return false;
+  if (Term->successor(0) != C.Body || Term->successor(1) != C.Exit)
+    return false;
+  auto *Cmp = dyn_cast<Instruction>(Term->operand(0));
+  if (!Cmp || Cmp->opcode() != Opcode::ICmp || Cmp->parent() != C.Body)
+    return false;
+  if (Cmp->icmpPred() != ICmpPred::SLT && Cmp->icmpPred() != ICmpPred::ULT)
+    return false;
+  C.LatchCmp = Cmp;
+  C.Bound = Cmp->operand(1);
+  if (!isInvariant(C.Bound, C))
+    return false;
+
+  // Induction variable: phi i64 with latch incoming add(phi, 1), and the
+  // compare uses iv.next.
+  auto *IvNext = dyn_cast<Instruction>(Cmp->operand(0));
+  if (!IvNext || IvNext->opcode() != Opcode::Add || IvNext->parent() != C.Body)
+    return false;
+  auto *Step = dyn_cast<ConstantInt>(IvNext->operand(1));
+  auto *IvPhi = dyn_cast<Instruction>(IvNext->operand(0));
+  if (!Step || !Step->isOne() || !IvPhi || IvPhi->opcode() != Opcode::Phi ||
+      IvPhi->parent() != C.Body)
+    return false;
+  if (IvPhi->incomingValueFor(C.Body) != IvNext)
+    return false;
+  if (!IvPhi->type()->isInteger() || IvPhi->type()->integerBits() != 64)
+    return false;
+  C.IndVar = IvPhi;
+  C.IndNext = IvNext;
+  C.Start = IvPhi->incomingValueFor(C.Preheader);
+  if (!C.Start)
+    return false;
+
+  // iv.next may only feed the compare and the phi.
+  for (Instruction *I : *C.Body)
+    for (Value *Op : I->operands())
+      if (Op == C.IndNext && I != Cmp && I != IvPhi)
+        return false;
+
+  // Remaining phis must be FP reductions over fadd/fma chains.
+  for (Instruction *Phi : C.Body->phis()) {
+    if (Phi == IvPhi)
+      continue;
+    if (!Phi->type()->isFloat())
+      return false;
+    auto *Latch = dyn_cast<Instruction>(Phi->incomingValueFor(C.Body));
+    if (!Latch || Latch->parent() != C.Body)
+      return false;
+    // Only genuine sum reductions are legal to reassociate across lanes:
+    // acc + x (x independent of acc) or fma(a, b, acc). Recurrences like
+    // fma(acc, c1, c2) must stay scalar.
+    if (Latch->opcode() == Opcode::FAdd) {
+      bool LhsIsPhi = Latch->operand(0) == Phi;
+      bool RhsIsPhi = Latch->operand(1) == Phi;
+      if (LhsIsPhi == RhsIsPhi)
+        return false; // zero or both operands are the accumulator
+    } else if (Latch->opcode() == Opcode::Fma) {
+      if (Latch->operand(2) != Phi || Latch->operand(0) == Phi ||
+          Latch->operand(1) == Phi)
+        return false;
+    } else {
+      return false;
+    }
+    C.Reductions.push_back(Phi);
+  }
+  return analyzeBody(C);
+}
+
+bool VectorizerImpl::analyzeBody(LoopCandidate &C) {
+  unsigned MaxElemBytes = 0;
+  for (Instruction *I : *C.Body) {
+    switch (I->opcode()) {
+    case Opcode::Phi:
+      if (I != C.IndVar &&
+          std::find(C.Reductions.begin(), C.Reductions.end(), I) ==
+              C.Reductions.end())
+        return false;
+      continue;
+    case Opcode::Load: {
+      if (I->type()->isVector())
+        return false; // already vectorized
+      StrideInfo S = strideOf(I->operand(0), C);
+      if (!S.Valid)
+        return false;
+      MaxElemBytes = std::max<unsigned>(MaxElemBytes, I->type()->sizeInBytes());
+      continue;
+    }
+    case Opcode::Store: {
+      if (I->operand(0)->type()->isVector())
+        return false;
+      StrideInfo S = strideOf(I->operand(1), C);
+      // Stores must be unit-stride: per-element bytes match the stride.
+      if (!S.isConstant() || S.Const == 0)
+        return false;
+      if (static_cast<uint64_t>(S.Const) != I->operand(0)->type()->sizeInBytes())
+        return false;
+      // Stored value must be loop-invariant or an FP value we widen.
+      if (!isInvariant(I->operand(0), C) &&
+          !I->operand(0)->type()->isFloat())
+        return false;
+      MaxElemBytes = std::max<unsigned>(
+          MaxElemBytes, I->operand(0)->type()->sizeInBytes());
+      continue;
+    }
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+    case Opcode::FNeg:
+    case Opcode::Fma:
+      MaxElemBytes = std::max<unsigned>(MaxElemBytes, I->type()->sizeInBytes());
+      continue;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Shl:
+    case Opcode::SExt:
+    case Opcode::ZExt:
+    case Opcode::Trunc:
+    case Opcode::PtrAdd:
+      continue; // scalar address arithmetic stays scalar
+    case Opcode::ICmp:
+      if (I != C.LatchCmp)
+        return false;
+      continue;
+    case Opcode::CondBr:
+      continue;
+    default:
+      return false; // calls, selects, divisions of ints, ...
+    }
+  }
+  if (MaxElemBytes == 0 || !Target.HasVector)
+    return false;
+  C.Lanes = Target.lanesFor(MaxElemBytes);
+  if (C.Lanes < 2)
+    return false;
+
+  // Live-outs: only iv.next and reduction latch values may be used
+  // outside the loop.
+  for (BasicBlock *BB : F) {
+    if (BB == C.Body)
+      continue;
+    for (Instruction *I : *BB)
+      for (Value *Op : I->operands()) {
+        auto *OpI = dyn_cast<Instruction>(Op);
+        if (!OpI || OpI->parent() != C.Body)
+          continue;
+        bool IsRedLatch = false;
+        for (Instruction *Phi : C.Reductions)
+          if (Phi->incomingValueFor(C.Body) == OpI)
+            IsRedLatch = true;
+        if (OpI != C.IndNext && !IsRedLatch)
+          return false;
+      }
+  }
+  return true;
+}
+
+void VectorizerImpl::transform(const LoopCandidate &C) {
+  unsigned VF = C.Lanes;
+  std::string Tag = "v" + std::to_string(LoopCounter++);
+  BasicBlock *VecPH = F.createBlock(C.Body->name() + "." + Tag + ".ph");
+  BasicBlock *VecBody = F.createBlock(C.Body->name() + "." + Tag + ".body");
+  BasicBlock *VecExit = F.createBlock(C.Body->name() + "." + Tag + ".exit");
+
+  auto NewInst = [&](Opcode Op, Type *Ty) {
+    return std::make_unique<Instruction>(Op, Ty);
+  };
+
+  // --- Preheader guard: cond_br ((bound - start) % VF == 0), VecPH, Body.
+  {
+    Instruction *OldTerm = C.Preheader->terminator();
+    assert(OldTerm && OldTerm->opcode() == Opcode::Br &&
+           "preheader must end in br");
+    C.Preheader->remove(C.Preheader->indexOf(OldTerm));
+
+    auto Sub = NewInst(Opcode::Sub, Ctx.i64Ty());
+    Sub->addOperand(C.Bound);
+    Sub->addOperand(C.Start);
+    Instruction *Trip = C.Preheader->append(std::move(Sub));
+
+    auto Rem = NewInst(Opcode::URem, Ctx.i64Ty());
+    Rem->addOperand(Trip);
+    Rem->addOperand(Ctx.constI64(VF));
+    Instruction *RemI = C.Preheader->append(std::move(Rem));
+
+    auto CmpI = NewInst(Opcode::ICmp, Ctx.i1Ty());
+    CmpI->setICmpPred(ICmpPred::EQ);
+    CmpI->addOperand(RemI);
+    CmpI->addOperand(Ctx.constI64(0));
+    Instruction *IsVec = C.Preheader->append(std::move(CmpI));
+
+    auto Br = NewInst(Opcode::CondBr, Ctx.voidTy());
+    Br->addOperand(IsVec);
+    Br->addSuccessor(VecPH);
+    Br->addSuccessor(C.Body);
+    C.Preheader->append(std::move(Br));
+  }
+
+  // --- Splat cache in VecPH.
+  std::map<Value *, Value *> SplatCache;
+  auto SplatOf = [&](Value *Scalar) -> Value * {
+    auto It = SplatCache.find(Scalar);
+    if (It != SplatCache.end())
+      return It->second;
+    Type *VecTy = Ctx.vectorTy(Scalar->type(), VF);
+    auto S = NewInst(Opcode::Splat, VecTy);
+    S->addOperand(Scalar);
+    Instruction *Raw = VecPH->append(std::move(S));
+    SplatCache[Scalar] = Raw;
+    return Raw;
+  };
+
+  std::map<Value *, Value *> ScalarMap; // original -> scalar clone in VecBody
+  std::map<Value *, Value *> VecMap;    // original -> vector value in VecBody
+
+  auto ScalarOf = [&](Value *V) -> Value * {
+    auto It = ScalarMap.find(V);
+    return It != ScalarMap.end() ? It->second : V;
+  };
+  auto VecOf = [&](Value *V) -> Value * {
+    auto It = VecMap.find(V);
+    if (It != VecMap.end())
+      return It->second;
+    assert(isInvariant(V, C) && "in-loop scalar needs a vector version");
+    return SplatOf(V);
+  };
+
+  Instruction *VecIvPhi = nullptr;
+  std::map<Instruction *, Instruction *> RedPhiMap; // scalar phi -> vec phi
+  Instruction *VecIvNext = nullptr;
+  Instruction *VecCmp = nullptr;
+
+  for (Instruction *I : *C.Body) {
+    switch (I->opcode()) {
+    case Opcode::Phi: {
+      if (I == C.IndVar) {
+        auto Phi = NewInst(Opcode::Phi, Ctx.i64Ty());
+        Phi->setName(I->name() + "." + Tag);
+        VecIvPhi = VecBody->append(std::move(Phi));
+        ScalarMap[I] = VecIvPhi;
+        continue;
+      }
+      // Reduction: vector accumulator starting at zero-splat.
+      Type *VecTy = Ctx.vectorTy(I->type(), VF);
+      auto Phi = NewInst(Opcode::Phi, VecTy);
+      Phi->setName(I->name() + "." + Tag);
+      Instruction *VecPhi = VecBody->append(std::move(Phi));
+      VecMap[I] = VecPhi;
+      RedPhiMap[I] = VecPhi;
+      continue;
+    }
+    case Opcode::Add: {
+      if (I == C.IndNext) {
+        auto AddI = NewInst(Opcode::Add, Ctx.i64Ty());
+        AddI->addOperand(VecIvPhi);
+        AddI->addOperand(Ctx.constI64(VF));
+        AddI->setName(I->name() + "." + Tag);
+        VecIvNext = VecBody->append(std::move(AddI));
+        ScalarMap[I] = VecIvNext;
+        continue;
+      }
+      [[fallthrough]];
+    }
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Shl:
+    case Opcode::SExt:
+    case Opcode::ZExt:
+    case Opcode::Trunc:
+    case Opcode::PtrAdd: {
+      // Scalar clone computing the lane-0 value.
+      auto Clone = cloneInstruction(*I);
+      for (unsigned OpI = 0, E = Clone->numOperands(); OpI != E; ++OpI)
+        Clone->setOperand(OpI, ScalarOf(Clone->operand(OpI)));
+      Instruction *Raw = VecBody->append(std::move(Clone));
+      ScalarMap[I] = Raw;
+      continue;
+    }
+    case Opcode::Load: {
+      StrideInfo S = strideOf(I->operand(0), C);
+      assert(S.Valid && "legality checked earlier");
+      Value *Addr = ScalarOf(I->operand(0));
+      if (S.isInvariant()) {
+        // Scalar load + splat.
+        auto LoadI = NewInst(Opcode::Load, I->type());
+        LoadI->addOperand(Addr);
+        LoadI->setName(I->name() + "." + Tag);
+        Instruction *Raw = VecBody->append(std::move(LoadI));
+        ScalarMap[I] = Raw;
+        Type *VecTy = Ctx.vectorTy(I->type(), VF);
+        auto SplatI = NewInst(Opcode::Splat, VecTy);
+        SplatI->addOperand(Raw);
+        VecMap[I] = VecBody->append(std::move(SplatI));
+        continue;
+      }
+      Type *VecTy = Ctx.vectorTy(I->type(), VF);
+      auto LoadI = NewInst(Opcode::Load, VecTy);
+      LoadI->addOperand(Addr);
+      LoadI->setName(I->name() + "." + Tag);
+      bool Unit = S.isConstant() &&
+                  static_cast<uint64_t>(S.Const) == I->type()->sizeInBytes();
+      if (!Unit) {
+        // Strided access: materialize the byte stride as an operand.
+        Value *Stride = nullptr;
+        if (S.isConstant()) {
+          Stride = Ctx.constI64(static_cast<uint64_t>(S.Const));
+        } else {
+          // Const * Scale, materialized in the vector preheader.
+          auto MulI = NewInst(Opcode::Mul, Ctx.i64Ty());
+          MulI->addOperand(Ctx.constI64(static_cast<uint64_t>(S.Const)));
+          MulI->addOperand(S.Scale);
+          Stride = VecPH->append(std::move(MulI));
+        }
+        LoadI->addOperand(Stride);
+      }
+      VecMap[I] = VecBody->append(std::move(LoadI));
+      continue;
+    }
+    case Opcode::Store: {
+      Value *Stored = I->operand(0);
+      Value *VecVal =
+          Stored->type()->isFloat() && !isInvariant(Stored, C)
+              ? VecOf(Stored)
+              : SplatOf(Stored);
+      auto StoreI = NewInst(Opcode::Store, Ctx.voidTy());
+      StoreI->addOperand(VecVal);
+      StoreI->addOperand(ScalarOf(I->operand(1)));
+      VecBody->append(std::move(StoreI));
+      continue;
+    }
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+    case Opcode::FNeg:
+    case Opcode::Fma: {
+      Type *VecTy = Ctx.vectorTy(I->type(), VF);
+      auto NewI = NewInst(I->opcode(), VecTy);
+      NewI->setName(I->name() + "." + Tag);
+      for (Value *Op : I->operands())
+        NewI->addOperand(VecOf(Op));
+      VecMap[I] = VecBody->append(std::move(NewI));
+      continue;
+    }
+    case Opcode::ICmp: {
+      assert(I == C.LatchCmp && "unexpected compare in vector body");
+      auto CmpI = NewInst(Opcode::ICmp, Ctx.i1Ty());
+      CmpI->setICmpPred(I->icmpPred());
+      CmpI->addOperand(VecIvNext);
+      CmpI->addOperand(C.Bound);
+      VecCmp = VecBody->append(std::move(CmpI));
+      continue;
+    }
+    case Opcode::CondBr: {
+      auto Br = NewInst(Opcode::CondBr, Ctx.voidTy());
+      Br->addOperand(VecCmp);
+      Br->addSuccessor(VecBody);
+      Br->addSuccessor(VecExit);
+      VecBody->append(std::move(Br));
+      continue;
+    }
+    default:
+      MPERF_UNREACHABLE("instruction class rejected by legality");
+    }
+  }
+
+  // Wire the vector IV and reduction phis.
+  VecIvPhi->addIncoming(C.Start, VecPH);
+  VecIvPhi->addIncoming(VecIvNext, VecBody);
+  for (auto &[ScalarPhi, VecPhi] : RedPhiMap) {
+    Type *ElemTy = ScalarPhi->type();
+    Value *Zero = Ctx.constFP(ElemTy, 0.0);
+    VecPhi->addIncoming(SplatOf(Zero), VecPH);
+    VecPhi->addIncoming(VecMap.at(ScalarPhi->incomingValueFor(C.Body)),
+                        VecBody);
+  }
+
+  // Finish VecPH with its branch (after all splats were appended).
+  {
+    auto Br = NewInst(Opcode::Br, Ctx.voidTy());
+    Br->addSuccessor(VecBody);
+    VecPH->append(std::move(Br));
+  }
+
+  // VecExit: horizontal reductions plus the final merge into Exit.
+  std::map<Instruction *, Value *> RedFinal; // scalar latch -> merged value
+  for (Instruction *ScalarPhi : C.Reductions) {
+    Instruction *VecPhi = RedPhiMap.at(ScalarPhi);
+    auto *LatchVal =
+        cast<Instruction>(ScalarPhi->incomingValueFor(C.Body));
+    auto Red = NewInst(Opcode::ReduceFAdd, ScalarPhi->type());
+    Red->addOperand(VecMap.at(LatchVal));
+    (void)VecPhi;
+    Instruction *RedI = VecExit->append(std::move(Red));
+    // Fold the scalar init value back in: acc = init + sum(lanes).
+    Value *Init = ScalarPhi->incomingValueFor(C.Preheader);
+    auto AddI = NewInst(Opcode::FAdd, ScalarPhi->type());
+    AddI->addOperand(RedI);
+    AddI->addOperand(Init);
+    RedFinal[LatchVal] = VecExit->append(std::move(AddI));
+  }
+  {
+    auto Br = NewInst(Opcode::Br, Ctx.voidTy());
+    Br->addSuccessor(C.Exit);
+    VecExit->append(std::move(Br));
+  }
+
+  // Merge live-outs in the exit block with phis.
+  // iv.next merges with the vector iv (both equal Bound on exit).
+  std::vector<std::pair<Instruction *, Value *>> Merges;
+  Merges.push_back({C.IndNext, VecIvNext});
+  for (auto &[LatchVal, Final] : RedFinal)
+    Merges.push_back({LatchVal, Final});
+
+  for (auto &[ScalarVal, VecVal] : Merges) {
+    // Find outside uses first.
+    bool UsedOutside = false;
+    for (BasicBlock *BB : F) {
+      if (BB == C.Body)
+        continue;
+      for (Instruction *I : *BB)
+        for (Value *Op : I->operands())
+          if (Op == ScalarVal)
+            UsedOutside = true;
+    }
+    if (!UsedOutside)
+      continue;
+    auto Phi = NewInst(Opcode::Phi, ScalarVal->type());
+    Phi->setName(ScalarVal->name() + ".merge");
+    Instruction *PhiRaw = C.Exit->insertAt(0, std::move(Phi));
+    // Replace uses outside the loop (and outside the new phi itself).
+    for (BasicBlock *BB : F) {
+      if (BB == C.Body)
+        continue;
+      for (Instruction *I : *BB) {
+        if (I == PhiRaw)
+          continue;
+        I->replaceUsesOf(ScalarVal, PhiRaw);
+      }
+    }
+    PhiRaw->addIncoming(ScalarVal, C.Body);
+    PhiRaw->addIncoming(VecVal, VecExit);
+  }
+  ++NumVectorized;
+}
+
+bool VectorizerImpl::run() {
+  if (!Target.HasVector)
+    return false;
+  analysis::LoopInfo &LI = AM.loopInfo(F);
+  std::vector<LoopCandidate> Candidates;
+  for (analysis::Loop *L : LI.loopsInPreorder()) {
+    if (!L->isInnermost())
+      continue;
+    LoopCandidate C;
+    if (analyzeLoop(L, C))
+      Candidates.push_back(C);
+  }
+  for (const LoopCandidate &C : Candidates)
+    transform(C);
+  return !Candidates.empty();
+}
+
+bool LoopVectorizer::runOn(Function &F, AnalysisManager &AM) {
+  VectorizerImpl Impl(F, Target, AM);
+  bool Changed = Impl.run();
+  NumVectorized += Impl.NumVectorized;
+  return Changed;
+}

@@ -1,0 +1,64 @@
+//===- LoopVectorizer.h - Innermost loop vectorization ---------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately simple innermost-loop vectorizer standing in for the
+/// -O3 vectorization the paper relies on (§5.2's matmul is compiled with
+/// AVX2 / RVV enabled). It recognizes single-block counted loops:
+///
+/// \code
+///   loop:
+///     %iv  = phi i64 [ start, pre ], [ %iv.next, loop ]
+///     %acc = phi f32 [ init, pre ], [ %acc.next, loop ]   ; optional
+///     ... straight-line body ...
+///     %iv.next = add i64 %iv, 1
+///     %c = icmp slt i64 %iv.next, %n
+///     cond_br %c, loop, exit
+/// \endcode
+///
+/// and emits a runtime-versioned vector loop (chosen when the trip count
+/// divides the vector factor) next to the original scalar loop:
+///  - unit-stride loads/stores widen to vector memory ops,
+///  - loop-invariant addresses become scalar load + splat,
+///  - other affine strides become strided vector loads (the core models
+///    charge these per lane, which is where the X60's poor matmul
+///    performance comes from),
+///  - FP reduction phis widen to a vector accumulator with a horizontal
+///    reduce at the exit,
+///  - when the target has no vector unit, the pass is a no-op.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_TRANSFORM_LOOPVECTORIZER_H
+#define MPERF_TRANSFORM_LOOPVECTORIZER_H
+
+#include "transform/PassManager.h"
+#include "transform/TargetInfo.h"
+
+namespace mperf {
+namespace transform {
+
+/// Vectorizes eligible innermost loops for \p Target.
+class LoopVectorizer : public FunctionPass {
+public:
+  explicit LoopVectorizer(TargetInfo Target) : Target(std::move(Target)) {}
+
+  std::string_view name() const override { return "loop-vectorize"; }
+  bool runOn(ir::Function &F, AnalysisManager &AM) override;
+
+  /// Number of loops vectorized by this pass instance so far.
+  unsigned numVectorized() const { return NumVectorized; }
+
+private:
+  TargetInfo Target;
+  unsigned NumVectorized = 0;
+};
+
+} // namespace transform
+} // namespace mperf
+
+#endif // MPERF_TRANSFORM_LOOPVECTORIZER_H

@@ -1,0 +1,66 @@
+//===- PassManager.cpp - Pass and analysis management ------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/PassManager.h"
+#include "ir/Verifier.h"
+
+using namespace mperf;
+using namespace mperf::transform;
+using namespace mperf::ir;
+
+const analysis::DominatorTree &AnalysisManager::domTree(const Function &F) {
+  Entry &E = Cache[&F];
+  if (!E.DT)
+    E.DT = std::make_unique<analysis::DominatorTree>(F);
+  return *E.DT;
+}
+
+analysis::LoopInfo &AnalysisManager::loopInfo(const Function &F) {
+  Entry &E = Cache[&F];
+  if (!E.LI)
+    E.LI = std::make_unique<analysis::LoopInfo>(F, domTree(F));
+  return *E.LI;
+}
+
+void AnalysisManager::invalidate(const Function &F) { Cache.erase(&F); }
+
+void AnalysisManager::invalidateAll() { Cache.clear(); }
+
+Error PassManager::run(Module &M) {
+  AnalysisManager AM;
+  for (Item &I : Pipeline) {
+    bool Changed = false;
+    std::string_view PassName;
+    if (I.FP) {
+      PassName = I.FP->name();
+      // Snapshot the function list: passes may add functions (e.g. the
+      // extractor), and new functions must not be re-processed mid-walk.
+      std::vector<Function *> Fns;
+      for (Function *F : M)
+        if (!F->isDeclaration())
+          Fns.push_back(F);
+      for (Function *F : Fns) {
+        bool FnChanged = I.FP->runOn(*F, AM);
+        if (FnChanged)
+          AM.invalidate(*F);
+        Changed |= FnChanged;
+      }
+    } else {
+      PassName = I.MP->name();
+      Changed = I.MP->runOn(M, AM);
+      if (Changed)
+        AM.invalidateAll();
+    }
+    Log.push_back(std::string(PassName) +
+                  (Changed ? ": changed" : ": no change"));
+    if (Changed)
+      if (Error E = verifyModule(M))
+        return Error("after pass '" + std::string(PassName) +
+                     "': " + E.message());
+  }
+  return Error::success();
+}

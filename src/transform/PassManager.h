@@ -1,0 +1,104 @@
+//===- PassManager.h - Pass and analysis management ------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small pass manager in the spirit of LLVM's: function passes run over
+/// every function, module passes over the module; dominator-tree and
+/// loop analyses are cached per function and invalidated when a pass
+/// reports a change. The paper applies its instrumentation pass "late in
+/// the optimization pipeline" (§4.4); the pipeline order here is the
+/// caller's list order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_TRANSFORM_PASSMANAGER_H
+#define MPERF_TRANSFORM_PASSMANAGER_H
+
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Module.h"
+#include "support/Error.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace transform {
+
+/// Caches DominatorTree and LoopInfo per function.
+class AnalysisManager {
+public:
+  /// Returns the cached dominator tree for \p F, computing it on demand.
+  const analysis::DominatorTree &domTree(const ir::Function &F);
+
+  /// Returns the cached loop forest for \p F, computing it on demand.
+  analysis::LoopInfo &loopInfo(const ir::Function &F);
+
+  /// Drops cached analyses for \p F.
+  void invalidate(const ir::Function &F);
+
+  /// Drops all cached analyses.
+  void invalidateAll();
+
+private:
+  struct Entry {
+    std::unique_ptr<analysis::DominatorTree> DT;
+    std::unique_ptr<analysis::LoopInfo> LI;
+  };
+  std::map<const ir::Function *, Entry> Cache;
+};
+
+/// A transformation over one function.
+class FunctionPass {
+public:
+  virtual ~FunctionPass() = default;
+  virtual std::string_view name() const = 0;
+  /// Returns true when the function was modified.
+  virtual bool runOn(ir::Function &F, AnalysisManager &AM) = 0;
+};
+
+/// A transformation over the whole module.
+class ModulePass {
+public:
+  virtual ~ModulePass() = default;
+  virtual std::string_view name() const = 0;
+  /// Returns true when the module was modified.
+  virtual bool runOn(ir::Module &M, AnalysisManager &AM) = 0;
+};
+
+/// Runs a fixed pipeline of passes over a module, verifying after each
+/// modifying pass.
+class PassManager {
+public:
+  void addPass(std::unique_ptr<FunctionPass> P) {
+    Pipeline.push_back(Item{std::move(P), nullptr});
+  }
+  void addPass(std::unique_ptr<ModulePass> P) {
+    Pipeline.push_back(Item{nullptr, std::move(P)});
+  }
+
+  /// Runs the pipeline. Returns the first verifier failure, if any.
+  Error run(ir::Module &M);
+
+  /// Human-readable log of what ran and what changed.
+  const std::vector<std::string> &log() const { return Log; }
+
+private:
+  struct Item {
+    std::unique_ptr<FunctionPass> FP;
+    std::unique_ptr<ModulePass> MP;
+  };
+  std::vector<Item> Pipeline;
+  std::vector<std::string> Log;
+};
+
+} // namespace transform
+} // namespace mperf
+
+#endif // MPERF_TRANSFORM_PASSMANAGER_H

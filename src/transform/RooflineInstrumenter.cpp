@@ -1,0 +1,198 @@
+//===- RooflineInstrumenter.cpp - The paper's instrumentation pass -----------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/RooflineInstrumenter.h"
+#include "analysis/OpCounts.h"
+#include "analysis/RegionInfo.h"
+#include "transform/CodeExtractor.h"
+#include "transform/Cloning.h"
+#include "support/Format.h"
+
+#include <set>
+
+using namespace mperf;
+using namespace mperf::transform;
+using namespace mperf::ir;
+
+/// Finds or creates the runtime declarations in \p M.
+static Function *runtimeDecl(Module &M, const char *Name, Type *RetTy,
+                             std::vector<Type *> Params) {
+  if (Function *F = M.function(Name))
+    return F;
+  return M.createDeclaration(Name, RetTy, std::move(Params));
+}
+
+/// Returns a representative source location for a loop: the first located
+/// instruction of its header, else the function's location.
+static SourceLoc locForLoop(const analysis::Loop &L, const Function &F) {
+  for (const Instruction *I : *L.header())
+    if (I->loc().isValid())
+      return I->loc();
+  SourceLoc Loc = F.loc();
+  Loc.FuncName = F.name();
+  return Loc;
+}
+
+/// Inserts the per-block counter calls into \p F (the instrumented clone).
+static void insertBlockCounters(Function &F, Function *CountFn, Context &Ctx) {
+  for (BasicBlock *BB : F) {
+    analysis::BlockOpCounts Counts = analysis::countBlockOps(*BB);
+    if (Counts.isZero())
+      continue;
+    auto Call = std::make_unique<Instruction>(Opcode::Call, Ctx.voidTy());
+    Call->setCallee(CountFn);
+    Call->addOperand(Ctx.constI64(Counts.BytesLoaded));
+    Call->addOperand(Ctx.constI64(Counts.BytesStored));
+    Call->addOperand(Ctx.constI64(Counts.IntOps));
+    Call->addOperand(Ctx.constI64(Counts.FloatOps));
+    // Before the terminator: the block's ops all retire before the call.
+    assert(BB->size() > 0 && "empty block in instrumented clone");
+    BB->insertAt(BB->size() - 1, std::move(Call));
+  }
+}
+
+bool RooflineInstrumenter::runOn(Module &M, AnalysisManager &AM) {
+  Context &Ctx = M.context();
+  Function *LoopBeginFn =
+      runtimeDecl(M, RooflineRuntimeNames::LoopBegin, Ctx.i64Ty(),
+                  {Ctx.i64Ty()});
+  Function *LoopEndFn = runtimeDecl(M, RooflineRuntimeNames::LoopEnd,
+                                    Ctx.voidTy(), {Ctx.i64Ty()});
+  Function *IsInstrFn = runtimeDecl(M, RooflineRuntimeNames::IsInstrumented,
+                                    Ctx.i1Ty(), {});
+  Function *CountFn =
+      runtimeDecl(M, RooflineRuntimeNames::Count, Ctx.voidTy(),
+                  {Ctx.i64Ty(), Ctx.i64Ty(), Ctx.i64Ty(), Ctx.i64Ty()});
+
+  // Snapshot the functions to process; the pass adds new ones.
+  std::vector<Function *> Worklist;
+  for (Function *F : M) {
+    if (F->isDeclaration())
+      continue;
+    const std::string &Name = F->name();
+    if (Name.find(".outlined") != std::string::npos ||
+        Name.find(".instr") != std::string::npos ||
+        Name.rfind("mperf_rt_", 0) == 0)
+      continue;
+    Worklist.push_back(F);
+  }
+
+  bool Changed = false;
+  for (Function *F : Worklist) {
+    unsigned LoopIndex = 0;
+    // Headers of nests we decided to skip, so the retry loop terminates.
+    std::set<const BasicBlock *> Skipped;
+    while (true) {
+      AM.invalidate(*F);
+      analysis::LoopInfo &LI = AM.loopInfo(*F);
+      analysis::Loop *Candidate = nullptr;
+      for (analysis::Loop *L : LI.topLevelLoops()) {
+        if (Skipped.count(L->header()))
+          continue;
+        Candidate = L;
+        break;
+      }
+      if (!Candidate)
+        break;
+
+      SourceLoc Loc = locForLoop(*Candidate, *F);
+      if (Loc.FuncName.empty())
+        Loc.FuncName = F->name();
+
+      auto Region = analysis::computeSESERegion(Candidate);
+      if (!Region) {
+        ++NumSkipped;
+        Skipped.insert(Candidate->header());
+        continue;
+      }
+
+      std::string BaseName =
+          F->name() + ".loop" + std::to_string(LoopIndex);
+      Expected<ExtractedLoop> ExtractedOr =
+          extractLoopRegion(*F, *Region, BaseName + ".outlined");
+      if (!ExtractedOr) {
+        ++NumSkipped;
+        Skipped.insert(Candidate->header());
+        continue;
+      }
+      ExtractedLoop Extracted = *ExtractedOr;
+      ++LoopIndex;
+      Changed = true;
+
+      // Function Duplication: the instrumented clone.
+      Function *Instr =
+          cloneFunction(*Extracted.Outlined, BaseName + ".instr");
+      insertBlockCounters(*Instr, CountFn, Ctx);
+
+      // Call Site Modification. The extractor left the preheader as
+      // [..., call outlined, br exit]; rebuild it as the dispatching
+      // pattern from §4.2.
+      Instruction *CallSite = Extracted.CallSite;
+      BasicBlock *Pre = CallSite->parent();
+      Instruction *BrExit = Pre->terminator();
+      assert(BrExit && BrExit->opcode() == Opcode::Br &&
+             "extractor must leave 'br exit' after the call");
+      BasicBlock *ExitBB = BrExit->successor(0);
+
+      uint64_t LoopId = Loops.size();
+      Loops.push_back(InstrumentedLoop{LoopId, F->name(),
+                                       Extracted.Outlined->name(),
+                                       Instr->name(), Loc});
+
+      // Remove the call and the branch; rebuild.
+      Pre->remove(Pre->indexOf(BrExit));
+      Pre->remove(Pre->indexOf(CallSite));
+
+      BasicBlock *RunInstr = F->createBlock(BaseName + ".run.instr");
+      BasicBlock *RunOrig = F->createBlock(BaseName + ".run.orig");
+      BasicBlock *Join = F->createBlock(BaseName + ".join");
+
+      auto Begin = std::make_unique<Instruction>(Opcode::Call, Ctx.i64Ty());
+      Begin->setCallee(LoopBeginFn);
+      Begin->addOperand(Ctx.constI64(LoopId));
+      Begin->setName(BaseName + ".lh");
+      Begin->setLoc(Loc);
+      Instruction *Handle = Pre->append(std::move(Begin));
+
+      auto IsOn = std::make_unique<Instruction>(Opcode::Call, Ctx.i1Ty());
+      IsOn->setCallee(IsInstrFn);
+      IsOn->setName(BaseName + ".on");
+      Instruction *OnFlag = Pre->append(std::move(IsOn));
+
+      auto Dispatch = std::make_unique<Instruction>(Opcode::CondBr,
+                                                    Ctx.voidTy());
+      Dispatch->addOperand(OnFlag);
+      Dispatch->addSuccessor(RunInstr);
+      Dispatch->addSuccessor(RunOrig);
+      Pre->append(std::move(Dispatch));
+
+      auto MakeRun = [&](BasicBlock *BB, Function *Callee) {
+        auto Call = std::make_unique<Instruction>(Opcode::Call, Ctx.voidTy());
+        Call->setCallee(Callee);
+        for (Value *V : Extracted.Inputs)
+          Call->addOperand(V);
+        BB->append(std::move(Call));
+        auto Br = std::make_unique<Instruction>(Opcode::Br, Ctx.voidTy());
+        Br->addSuccessor(Join);
+        BB->append(std::move(Br));
+      };
+      MakeRun(RunInstr, Instr);
+      MakeRun(RunOrig, Extracted.Outlined);
+
+      auto End = std::make_unique<Instruction>(Opcode::Call, Ctx.voidTy());
+      End->setCallee(LoopEndFn);
+      End->addOperand(Handle);
+      Join->append(std::move(End));
+      auto BrOut = std::make_unique<Instruction>(Opcode::Br, Ctx.voidTy());
+      BrOut->addSuccessor(ExitBB);
+      Join->append(std::move(BrOut));
+
+      AM.invalidate(*F);
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,92 @@
+//===- RooflineInstrumenter.h - The paper's instrumentation pass -*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler side of the paper's hardware-agnostic Roofline analysis
+/// (§4.2), implemented step by step:
+///
+///  1. Loop Nest Identification — walk each function's loop forest and
+///     take the top-level (outermost) loop nests.
+///  2. Region Extraction — require SESE and outline the nest into
+///     `<fn>.loop<N>.outlined` via the CodeExtractor.
+///  3. Function Duplication — clone the outlined body into
+///     `<fn>.loop<N>.instr` and insert, per basic block, a call to
+///     `mperf_rt_count(bytesLoaded, bytesStored, intOps, fpOps)` with the
+///     block's compile-time constant operation counts.
+///  4. Call Site Modification — replace the outlined call with:
+/// \code
+///       %lh = call i64 @mperf_rt_loop_begin(i64 <loopId>)
+///       %on = call i1 @mperf_rt_is_instrumented()
+///       cond_br %on, run.instr, run.orig
+///     run.instr:  call @<fn>.loop<N>.instr(args...)   ; br join
+///     run.orig:   call @<fn>.loop<N>.outlined(args...); br join
+///     join:       call void @mperf_rt_loop_end(i64 %lh); br exit
+/// \endcode
+///
+/// The `mperf_rt_*` functions are declarations dispatched by the VM to
+/// the Roofline runtime (roofline/Runtime.h); the environment-variable
+/// check the paper describes lives behind `mperf_rt_is_instrumented`.
+/// The inserted counter calls are real IR, so instrumented runs execute
+/// measurably more instructions — the overhead §4.4 discusses, and the
+/// reason for the two-phase execution design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_TRANSFORM_ROOFLINEINSTRUMENTER_H
+#define MPERF_TRANSFORM_ROOFLINEINSTRUMENTER_H
+
+#include "transform/PassManager.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mperf {
+namespace transform {
+
+/// Names of the runtime entry points the instrumented code calls.
+struct RooflineRuntimeNames {
+  static constexpr const char *LoopBegin = "mperf_rt_loop_begin";
+  static constexpr const char *LoopEnd = "mperf_rt_loop_end";
+  static constexpr const char *IsInstrumented = "mperf_rt_is_instrumented";
+  static constexpr const char *Count = "mperf_rt_count";
+};
+
+/// One loop nest the pass instrumented.
+struct InstrumentedLoop {
+  uint64_t Id = 0;
+  std::string ParentFunction;
+  std::string OutlinedName;
+  std::string InstrumentedName;
+  SourceLoc Loc;
+};
+
+/// The instrumentation pass. Run it last in the pipeline, mirroring the
+/// paper's "we address this by applying our pass late in the optimization
+/// pipeline" (§4.4).
+class RooflineInstrumenter : public ModulePass {
+public:
+  std::string_view name() const override { return "roofline-instrument"; }
+  bool runOn(ir::Module &M, AnalysisManager &AM) override;
+
+  /// Loops instrumented across all runs of this pass instance, in id
+  /// order. Ids start at FirstLoopId.
+  const std::vector<InstrumentedLoop> &loops() const { return Loops; }
+
+  /// Number of loop nests that were candidates but failed the SESE or
+  /// extraction restrictions.
+  unsigned numSkipped() const { return NumSkipped; }
+
+private:
+  std::vector<InstrumentedLoop> Loops;
+  unsigned NumSkipped = 0;
+};
+
+} // namespace transform
+} // namespace mperf
+
+#endif // MPERF_TRANSFORM_ROOFLINEINSTRUMENTER_H

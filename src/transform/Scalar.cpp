@@ -1,0 +1,245 @@
+//===- Scalar.cpp - Scalar cleanup passes -------------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Scalar.h"
+
+#include <map>
+
+using namespace mperf;
+using namespace mperf::transform;
+using namespace mperf::ir;
+
+//===----------------------------------------------------------------------===//
+// DeadCodeElimination
+//===----------------------------------------------------------------------===//
+
+bool DeadCodeElimination::runOn(Function &F, AnalysisManager &AM) {
+  (void)AM;
+  bool EverChanged = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Count uses in one scan.
+    std::map<const Value *, unsigned> Uses;
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB)
+        for (Value *Op : I->operands())
+          ++Uses[Op];
+    for (BasicBlock *BB : F) {
+      for (size_t Index = BB->size(); Index-- > 0;) {
+        Instruction *I = BB->at(Index);
+        if (!I->isPure())
+          continue;
+        if (Uses[I] != 0)
+          continue;
+        BB->remove(Index);
+        Changed = true;
+        EverChanged = true;
+      }
+    }
+  }
+  return EverChanged;
+}
+
+//===----------------------------------------------------------------------===//
+// ConstantFolding
+//===----------------------------------------------------------------------===//
+
+/// Applies the binary integer operation on raw 64-bit values, truncated
+/// to the type width. Returns false when the operation traps (division
+/// by zero) and must be left alone.
+static bool foldIntBinary(Opcode Op, unsigned Bits, uint64_t L, uint64_t R,
+                          uint64_t &Out) {
+  uint64_t Mask = Bits == 64 ? ~0ULL : ((1ULL << Bits) - 1);
+  L &= Mask;
+  R &= Mask;
+  auto SignExtend = [&](uint64_t V) -> int64_t {
+    if (Bits == 64)
+      return static_cast<int64_t>(V);
+    uint64_t SignBit = 1ULL << (Bits - 1);
+    return (V & SignBit) ? static_cast<int64_t>(V | ~Mask)
+                         : static_cast<int64_t>(V);
+  };
+  switch (Op) {
+  case Opcode::Add:
+    Out = L + R;
+    break;
+  case Opcode::Sub:
+    Out = L - R;
+    break;
+  case Opcode::Mul:
+    Out = L * R;
+    break;
+  case Opcode::SDiv:
+    if (R == 0)
+      return false;
+    Out = static_cast<uint64_t>(SignExtend(L) / SignExtend(R));
+    break;
+  case Opcode::UDiv:
+    if (R == 0)
+      return false;
+    Out = L / R;
+    break;
+  case Opcode::SRem:
+    if (R == 0)
+      return false;
+    Out = static_cast<uint64_t>(SignExtend(L) % SignExtend(R));
+    break;
+  case Opcode::URem:
+    if (R == 0)
+      return false;
+    Out = L % R;
+    break;
+  case Opcode::And:
+    Out = L & R;
+    break;
+  case Opcode::Or:
+    Out = L | R;
+    break;
+  case Opcode::Xor:
+    Out = L ^ R;
+    break;
+  case Opcode::Shl:
+    Out = R >= Bits ? 0 : (L << R);
+    break;
+  case Opcode::LShr:
+    Out = R >= Bits ? 0 : (L >> R);
+    break;
+  case Opcode::AShr:
+    Out = R >= Bits ? static_cast<uint64_t>(SignExtend(L) < 0 ? -1 : 0)
+                    : static_cast<uint64_t>(SignExtend(L) >> R);
+    break;
+  default:
+    return false;
+  }
+  Out &= Mask;
+  return true;
+}
+
+static bool foldICmp(ICmpPred Pred, const ConstantInt *L,
+                     const ConstantInt *R) {
+  int64_t SL = L->sext(), SR = R->sext();
+  uint64_t UL = L->zext(), UR = R->zext();
+  switch (Pred) {
+  case ICmpPred::EQ:
+    return UL == UR;
+  case ICmpPred::NE:
+    return UL != UR;
+  case ICmpPred::SLT:
+    return SL < SR;
+  case ICmpPred::SLE:
+    return SL <= SR;
+  case ICmpPred::SGT:
+    return SL > SR;
+  case ICmpPred::SGE:
+    return SL >= SR;
+  case ICmpPred::ULT:
+    return UL < UR;
+  case ICmpPred::ULE:
+    return UL <= UR;
+  case ICmpPred::UGT:
+    return UL > UR;
+  case ICmpPred::UGE:
+    return UL >= UR;
+  }
+  MPERF_UNREACHABLE("unknown icmp predicate");
+}
+
+bool ConstantFolding::runOn(Function &F, AnalysisManager &AM) {
+  (void)AM;
+  Module *M = F.parentModule();
+  Context &Ctx = M->context();
+  bool EverChanged = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      for (size_t Index = 0; Index < BB->size(); ++Index) {
+        Instruction *I = BB->at(Index);
+        Value *Replacement = nullptr;
+
+        if (I->isIntArith() && !I->type()->isVector()) {
+          auto *L = dyn_cast<ConstantInt>(I->operand(0));
+          auto *R = dyn_cast<ConstantInt>(I->operand(1));
+          if (L && R) {
+            uint64_t Out;
+            if (foldIntBinary(I->opcode(), I->type()->integerBits(),
+                              L->zext(), R->zext(), Out))
+              Replacement = Ctx.constInt(I->type(), Out);
+          } else if (R && R->isZero() &&
+                     (I->opcode() == Opcode::Add ||
+                      I->opcode() == Opcode::Sub ||
+                      I->opcode() == Opcode::Or ||
+                      I->opcode() == Opcode::Xor ||
+                      I->opcode() == Opcode::Shl ||
+                      I->opcode() == Opcode::LShr ||
+                      I->opcode() == Opcode::AShr)) {
+            Replacement = I->operand(0); // x op 0 == x
+          } else if (R && R->isOne() &&
+                     (I->opcode() == Opcode::Mul ||
+                      I->opcode() == Opcode::SDiv ||
+                      I->opcode() == Opcode::UDiv)) {
+            Replacement = I->operand(0); // x * 1, x / 1 == x
+          } else if (R && R->isZero() && I->opcode() == Opcode::Mul) {
+            Replacement = Ctx.constInt(I->type(), 0);
+          }
+        } else if (I->opcode() == Opcode::ICmp) {
+          auto *L = dyn_cast<ConstantInt>(I->operand(0));
+          auto *R = dyn_cast<ConstantInt>(I->operand(1));
+          if (L && R)
+            Replacement = Ctx.constBool(foldICmp(I->icmpPred(), L, R));
+        } else if (I->isCast() && !I->type()->isVector()) {
+          if (auto *C = dyn_cast<ConstantInt>(I->operand(0))) {
+            switch (I->opcode()) {
+            case Opcode::Trunc:
+            case Opcode::ZExt:
+              Replacement = Ctx.constInt(I->type(), C->zext());
+              break;
+            case Opcode::SExt:
+              Replacement = Ctx.constInt(
+                  I->type(), static_cast<uint64_t>(C->sext()));
+              break;
+            case Opcode::SIToFP:
+              Replacement =
+                  Ctx.constFP(I->type(), static_cast<double>(C->sext()));
+              break;
+            default:
+              break;
+            }
+          }
+        } else if (I->opcode() == Opcode::Select) {
+          if (auto *C = dyn_cast<ConstantInt>(I->operand(0)))
+            Replacement = C->isOne() ? I->operand(1) : I->operand(2);
+        }
+
+        if (!Replacement || Replacement == I)
+          continue;
+        F.replaceAllUsesWith(I, Replacement);
+        Changed = true;
+        EverChanged = true;
+      }
+    }
+    // Let DCE-style cleanup happen implicitly: fully folded instructions
+    // become unused and are removed here to keep the pass self-contained.
+    std::map<const Value *, unsigned> Uses;
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB)
+        for (Value *Op : I->operands())
+          ++Uses[Op];
+    for (BasicBlock *BB : F) {
+      for (size_t Index = BB->size(); Index-- > 0;) {
+        Instruction *I = BB->at(Index);
+        if (I->isPure() && Uses[I] == 0) {
+          BB->remove(Index);
+          Changed = true;
+          EverChanged = true;
+        }
+      }
+    }
+  }
+  return EverChanged;
+}

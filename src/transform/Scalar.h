@@ -1,0 +1,43 @@
+//===- Scalar.h - Scalar cleanup passes ------------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simple scalar cleanups: dead code elimination and integer constant
+/// folding. They stand in for the "-O3" pipeline the paper compiles with,
+/// and let tests demonstrate that the Roofline pass runs late, after
+/// optimizations have settled (§4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_TRANSFORM_SCALAR_H
+#define MPERF_TRANSFORM_SCALAR_H
+
+#include "transform/PassManager.h"
+
+namespace mperf {
+namespace transform {
+
+/// Deletes pure instructions whose results are unused, iterating to a
+/// fixed point.
+class DeadCodeElimination : public FunctionPass {
+public:
+  std::string_view name() const override { return "dce"; }
+  bool runOn(ir::Function &F, AnalysisManager &AM) override;
+};
+
+/// Folds integer arithmetic/comparisons/casts over constants and
+/// simplifies trivial identities (x+0, x*1, x*0).
+class ConstantFolding : public FunctionPass {
+public:
+  std::string_view name() const override { return "constfold"; }
+  bool runOn(ir::Function &F, AnalysisManager &AM) override;
+};
+
+} // namespace transform
+} // namespace mperf
+
+#endif // MPERF_TRANSFORM_SCALAR_H

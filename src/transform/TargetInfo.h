@@ -1,0 +1,50 @@
+//===- TargetInfo.h - Compilation target description ------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper compiles with -march=rv64gcv for RISC-V and -mavx2 for x86
+/// (§5.2). TargetInfo carries the corresponding codegen-visible facts:
+/// whether vectors are available and how wide they are.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_TRANSFORM_TARGETINFO_H
+#define MPERF_TRANSFORM_TARGETINFO_H
+
+#include <string>
+
+namespace mperf {
+namespace transform {
+
+/// Facts about the compilation target that affect code generation.
+struct TargetInfo {
+  std::string Name = "generic";
+  /// Vector extension available (RVV / AVX2).
+  bool HasVector = false;
+  /// Vector register width in bits (VLEN 256 for the X60's RVV 1.0,
+  /// 256 for AVX2).
+  unsigned VectorBits = 256;
+  /// Fused multiply-add available.
+  bool HasFma = true;
+
+  /// Lanes for a scalar element of \p ElemBytes bytes.
+  unsigned lanesFor(unsigned ElemBytes) const {
+    return VectorBits / (8 * ElemBytes);
+  }
+
+  static TargetInfo rv64gc() { return {"rv64gc", false, 0, true}; }
+  static TargetInfo rv64gcv(unsigned Vlen = 256) {
+    return {"rv64gcv", true, Vlen, true};
+  }
+  static TargetInfo x86Avx2() { return {"x86-avx2", true, 256, true}; }
+  static TargetInfo scalar() { return {"scalar", false, 0, false}; }
+};
+
+} // namespace transform
+} // namespace mperf
+
+#endif // MPERF_TRANSFORM_TARGETINFO_H

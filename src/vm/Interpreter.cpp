@@ -1,0 +1,885 @@
+//===- Interpreter.cpp - IR interpreter with retirement trace ----------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+using namespace mperf;
+using namespace mperf::vm;
+using namespace mperf::ir;
+
+namespace {
+
+/// An operand resolved at compile time: register slot or immediate.
+struct OperandRef {
+  int32_t Slot = -1; // >= 0: register slot; -1: immediate
+  RtValue Imm;
+};
+
+/// A phi-resolving move performed when traversing one CFG edge.
+struct EdgeMove {
+  int32_t Dest;
+  OperandRef Src;
+};
+
+/// One compiled instruction.
+struct CInst {
+  const Instruction *I = nullptr;
+  Opcode Op = Opcode::Ret;
+  int32_t Dest = -1;
+  std::vector<OperandRef> Ops;
+  // Cached type facts.
+  uint16_t Lanes = 1;
+  uint32_t ElemBytes = 0; // memory element size / scalar size
+  unsigned IntBits = 64;  // result integer width
+  unsigned SrcBits = 64;  // cast source integer width
+  bool F32 = false;       // result fp is f32 (else f64) for fp ops
+  bool IsFp = false;      // memory ops: element is floating point
+  ICmpPred IPred = ICmpPred::EQ;
+  FCmpPred FPred = FCmpPred::OEQ;
+  int32_t Succ0 = -1, Succ1 = -1;
+  const Function *Callee = nullptr;
+  uint64_t AllocaBytes = 0;
+  OpClass Class = OpClass::Other;
+  bool HasStrideOperand = false;
+};
+
+struct CBlock {
+  std::vector<CInst> Insts; // phis excluded
+  /// Edge moves for each successor of the terminator (parallel copies).
+  std::vector<std::vector<EdgeMove>> Moves;
+};
+
+} // namespace
+
+struct Interpreter::CompiledFunction {
+  const Function *F = nullptr;
+  unsigned NumSlots = 0;
+  std::vector<CBlock> Blocks;
+  std::vector<int32_t> ArgSlots;
+};
+
+struct Interpreter::Impl {
+  std::map<const Function *, std::unique_ptr<CompiledFunction>> Cache;
+};
+
+//===----------------------------------------------------------------------===//
+// Construction and memory layout
+//===----------------------------------------------------------------------===//
+
+static constexpr uint64_t StackSize = 8ull << 20; // 8 MiB
+
+Interpreter::Interpreter(Module &M) : M(M), P(std::make_unique<Impl>()) {
+  uint64_t Addr = 64; // keep 0 invalid
+  for (size_t I = 0, E = M.numGlobals(); I != E; ++I) {
+    GlobalVariable *GV = M.globalAt(I);
+    Addr = (Addr + 63) & ~63ull;
+    GlobalAddrs[GV->name()] = Addr;
+    Addr += GV->sizeInBytes();
+  }
+  Addr = (Addr + 4095) & ~4095ull;
+  StackPointer = Addr;
+  Memory.assign(Addr + StackSize, 0);
+  // Copy initializers.
+  for (size_t I = 0, E = M.numGlobals(); I != E; ++I) {
+    GlobalVariable *GV = M.globalAt(I);
+    const auto &Init = GV->initializer();
+    if (!Init.empty())
+      std::memcpy(Memory.data() + GlobalAddrs[GV->name()], Init.data(),
+                  Init.size());
+  }
+}
+
+Interpreter::~Interpreter() = default;
+
+void Interpreter::registerNative(const std::string &Name, NativeFn Fn) {
+  Natives[Name] = std::move(Fn);
+}
+
+void Interpreter::emitSyntheticOps(OpClass Class, unsigned Count) {
+  RetiredOp Op;
+  Op.Class = Class;
+  Op.Inst = CurrentInst;
+  for (unsigned I = 0; I != Count; ++I) {
+    ++Stats.RetiredOps;
+    for (TraceConsumer *C : Consumers)
+      C->onRetire(Op);
+  }
+}
+
+uint64_t Interpreter::globalAddress(const std::string &Name) const {
+  auto It = GlobalAddrs.find(Name);
+  assert(It != GlobalAddrs.end() && "unknown global");
+  return It->second;
+}
+
+void Interpreter::writeMemory(uint64_t Addr, const void *Src, uint64_t Bytes) {
+  assert(Addr + Bytes <= Memory.size() && "write out of bounds");
+  std::memcpy(Memory.data() + Addr, Src, Bytes);
+}
+
+void Interpreter::readMemory(uint64_t Addr, void *Dst, uint64_t Bytes) const {
+  assert(Addr + Bytes <= Memory.size() && "read out of bounds");
+  std::memcpy(Dst, Memory.data() + Addr, Bytes);
+}
+
+double Interpreter::readF32(uint64_t Addr) const {
+  float V;
+  readMemory(Addr, &V, 4);
+  return V;
+}
+double Interpreter::readF64(uint64_t Addr) const {
+  double V;
+  readMemory(Addr, &V, 8);
+  return V;
+}
+uint64_t Interpreter::readI64(uint64_t Addr) const {
+  uint64_t V;
+  readMemory(Addr, &V, 8);
+  return V;
+}
+void Interpreter::writeF32(uint64_t Addr, double V) {
+  float F = static_cast<float>(V);
+  writeMemory(Addr, &F, 4);
+}
+void Interpreter::writeF64(uint64_t Addr, double V) {
+  writeMemory(Addr, &V, 8);
+}
+void Interpreter::writeI64(uint64_t Addr, uint64_t V) {
+  writeMemory(Addr, &V, 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation to slot form
+//===----------------------------------------------------------------------===//
+
+static OpClass classify(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::Mul:
+    return OpClass::IntMul;
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::URem:
+    return OpClass::IntDiv;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FNeg:
+  case Opcode::FCmp:
+  case Opcode::FPToSI:
+  case Opcode::SIToFP:
+  case Opcode::FPTrunc:
+  case Opcode::FPExt:
+    return OpClass::FpAdd;
+  case Opcode::FMul:
+    return OpClass::FpMul;
+  case Opcode::Fma:
+    return OpClass::FpFma;
+  case Opcode::FDiv:
+    return OpClass::FpDiv;
+  case Opcode::Load:
+    return OpClass::Load;
+  case Opcode::Store:
+    return OpClass::Store;
+  case Opcode::Br:
+  case Opcode::CondBr:
+    return OpClass::Branch;
+  case Opcode::Call:
+    return OpClass::Call;
+  case Opcode::Ret:
+    return OpClass::Ret;
+  case Opcode::ReduceFAdd:
+    // Horizontal FP reduction: FP work proportional to the lane count;
+    // classified as FP so counter-based FLOP events see it.
+    return OpClass::FpAdd;
+  case Opcode::Splat:
+  case Opcode::ExtractElement:
+  case Opcode::ReduceAdd:
+  case Opcode::Select:
+  case Opcode::Phi:
+    return OpClass::Other;
+  default:
+    return OpClass::IntAlu;
+  }
+}
+
+Expected<RtValue> Interpreter::run(const std::string &FnName,
+                                   const std::vector<RtValue> &Args) {
+  const Function *F = M.function(FnName);
+  if (!F)
+    return makeError<RtValue>("run: no function named '" + FnName + "'");
+  TrapMessage.clear();
+  return callFunction(*F, Args);
+}
+
+/// Helper with access to Interpreter privates for the execution loop.
+struct mperf::vm::InterpreterAccess {
+  static Interpreter::CompiledFunction *compile(Interpreter &In,
+                                                const Function &F);
+  static Expected<RtValue> exec(Interpreter &In,
+                                Interpreter::CompiledFunction &CF,
+                                const std::vector<RtValue> &Args);
+};
+
+Interpreter::CompiledFunction *
+InterpreterAccess::compile(Interpreter &In, const Function &F) {
+  auto It = In.P->Cache.find(&F);
+  if (It != In.P->Cache.end())
+    return It->second.get();
+
+  auto CF = std::make_unique<Interpreter::CompiledFunction>();
+  CF->F = &F;
+
+  std::map<const Value *, int32_t> Slots;
+  int32_t NextSlot = 0;
+  for (unsigned I = 0, E = F.numArgs(); I != E; ++I) {
+    Slots[F.arg(I)] = NextSlot;
+    CF->ArgSlots.push_back(NextSlot++);
+  }
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      if (!I->type()->isVoid())
+        Slots[I] = NextSlot++;
+  CF->NumSlots = NextSlot;
+
+  std::map<const BasicBlock *, int32_t> BlockIndex;
+  int32_t BI = 0;
+  for (const BasicBlock *BB : F)
+    BlockIndex[BB] = BI++;
+
+  auto MakeOperand = [&](const Value *V) -> OperandRef {
+    OperandRef Ref;
+    switch (V->kind()) {
+    case ValueKind::ConstantInt:
+      Ref.Imm = RtValue::ofInt(cast<ConstantInt>(V)->zext());
+      return Ref;
+    case ValueKind::ConstantFP:
+      Ref.Imm = RtValue::ofFp(cast<ConstantFP>(V)->value());
+      return Ref;
+    case ValueKind::GlobalVariable:
+      Ref.Imm = RtValue::ofInt(In.globalAddress(V->name()));
+      return Ref;
+    case ValueKind::Function:
+      MPERF_UNREACHABLE("function-typed operands are not supported");
+    case ValueKind::Argument:
+    case ValueKind::Instruction: {
+      auto SlotIt = Slots.find(V);
+      assert(SlotIt != Slots.end() && "operand has no slot");
+      Ref.Slot = SlotIt->second;
+      return Ref;
+    }
+    }
+    MPERF_UNREACHABLE("unknown value kind");
+  };
+
+  CF->Blocks.resize(F.numBlocks());
+  for (const BasicBlock *BB : F) {
+    CBlock &CB = CF->Blocks[BlockIndex[BB]];
+    for (const Instruction *I : *BB) {
+      if (I->opcode() == Opcode::Phi)
+        continue; // handled by edge moves
+      CInst CI;
+      CI.I = I;
+      CI.Op = I->opcode();
+      CI.Class = classify(*I);
+      if (!I->type()->isVoid())
+        CI.Dest = Slots.at(I);
+      for (const Value *Op : I->operands())
+        CI.Ops.push_back(MakeOperand(Op));
+
+      Type *Ty = I->type();
+      CI.Lanes = static_cast<uint16_t>(Ty->numElements());
+      if (I->opcode() == Opcode::Load) {
+        CI.ElemBytes = Ty->scalarType()->sizeInBytes();
+        CI.HasStrideOperand = I->hasVectorStrideOperand();
+        CI.F32 = Ty->scalarType()->kind() == TypeKind::F32;
+        CI.IsFp = Ty->scalarType()->isFloat();
+        CI.IntBits =
+            Ty->scalarType()->isInteger() ? Ty->scalarType()->integerBits()
+                                          : 64;
+      } else if (I->opcode() == Opcode::Store) {
+        Type *VTy = I->operand(0)->type();
+        CI.Lanes = static_cast<uint16_t>(VTy->numElements());
+        CI.ElemBytes = VTy->scalarType()->sizeInBytes();
+        CI.HasStrideOperand = I->hasVectorStrideOperand();
+        CI.F32 = VTy->scalarType()->kind() == TypeKind::F32;
+        CI.IsFp = VTy->scalarType()->isFloat();
+        CI.IntBits = VTy->scalarType()->isInteger()
+                         ? VTy->scalarType()->integerBits()
+                         : 64;
+      } else if (Ty->scalarType()->isInteger()) {
+        CI.IntBits = Ty->scalarType()->integerBits();
+      } else if (Ty->scalarType()->isFloat()) {
+        CI.F32 = Ty->scalarType()->kind() == TypeKind::F32;
+      }
+      if (I->isCast() && I->operand(0)->type()->scalarType()->isInteger())
+        CI.SrcBits = I->operand(0)->type()->scalarType()->integerBits();
+      if (I->opcode() == Opcode::ICmp)
+        CI.IPred = I->icmpPred();
+      if (I->opcode() == Opcode::FCmp)
+        CI.FPred = I->fcmpPred();
+      if (I->opcode() == Opcode::Alloca)
+        CI.AllocaBytes = I->allocaBytes();
+      if (I->opcode() == Opcode::Call)
+        CI.Callee = I->callee();
+      if (I->numSuccessors() > 0)
+        CI.Succ0 = BlockIndex.at(I->successor(0));
+      if (I->numSuccessors() > 1)
+        CI.Succ1 = BlockIndex.at(I->successor(1));
+      // Vector ops over operands (reductions, extracts) report operand
+      // lanes for the trace.
+      if (I->opcode() == Opcode::ReduceFAdd ||
+          I->opcode() == Opcode::ReduceAdd ||
+          I->opcode() == Opcode::ExtractElement)
+        CI.Lanes =
+            static_cast<uint16_t>(I->operand(0)->type()->numElements());
+      CB.Insts.push_back(std::move(CI));
+    }
+
+    // Edge moves for each successor's phis.
+    const Instruction *Term = BB->terminator();
+    assert(Term && "block without terminator reached compilation");
+    CB.Moves.resize(Term->numSuccessors());
+    for (unsigned S = 0, E = Term->numSuccessors(); S != E; ++S) {
+      const BasicBlock *Succ = Term->successor(S);
+      for (const Instruction *Phi : Succ->phis()) {
+        const Value *Incoming = Phi->incomingValueFor(BB);
+        assert(Incoming && "phi missing incoming for predecessor");
+        CB.Moves[S].push_back(EdgeMove{Slots.at(Phi), MakeOperand(Incoming)});
+      }
+    }
+  }
+
+  Interpreter::CompiledFunction *Raw = CF.get();
+  In.P->Cache[&F] = std::move(CF);
+  return Raw;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Masks \p V to \p Bits.
+inline uint64_t maskTo(uint64_t V, unsigned Bits) {
+  return Bits >= 64 ? V : (V & ((1ULL << Bits) - 1));
+}
+
+/// Sign-extends \p V from \p Bits.
+inline int64_t signExt(uint64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return static_cast<int64_t>(V);
+  uint64_t SignBit = 1ULL << (Bits - 1);
+  uint64_t Mask = (1ULL << Bits) - 1;
+  V &= Mask;
+  return (V & SignBit) ? static_cast<int64_t>(V | ~Mask)
+                       : static_cast<int64_t>(V);
+}
+
+} // namespace
+
+Expected<RtValue>
+Interpreter::callFunction(const Function &F, const std::vector<RtValue> &Args) {
+  ++Stats.Calls;
+  if (F.isDeclaration()) {
+    auto It = Natives.find(F.name());
+    if (It == Natives.end())
+      return makeError<RtValue>("call to unregistered native function '" +
+                                F.name() + "'");
+    for (TraceConsumer *C : Consumers)
+      C->onCallEnter(F);
+    RtValue Result = It->second(*this, Args);
+    for (TraceConsumer *C : Consumers)
+      C->onCallExit(F);
+    return Result;
+  }
+  CompiledFunction *CF = InterpreterAccess::compile(*this, F);
+  return InterpreterAccess::exec(*this, *CF, Args);
+}
+
+Expected<RtValue> InterpreterAccess::exec(Interpreter &In,
+                                          Interpreter::CompiledFunction &CF,
+                                          const std::vector<RtValue> &Args) {
+  const Function &F = *CF.F;
+  assert(Args.size() == F.numArgs() && "argument count mismatch");
+
+  std::vector<RtValue> Regs(CF.NumSlots);
+  for (unsigned I = 0, E = Args.size(); I != E; ++I)
+    Regs[CF.ArgSlots[I]] = Args[I];
+
+  uint64_t SavedSP = In.StackPointer;
+  In.CallStack.push_back(&F);
+  for (TraceConsumer *C : In.Consumers)
+    C->onCallEnter(F);
+
+  auto Leave = [&]() {
+    for (TraceConsumer *C : In.Consumers)
+      C->onCallExit(F);
+    In.CallStack.pop_back();
+    In.StackPointer = SavedSP;
+  };
+
+  auto Val = [&Regs](const OperandRef &Ref) -> const RtValue & {
+    return Ref.Slot >= 0 ? Regs[Ref.Slot] : Ref.Imm;
+  };
+
+  // Scratch for parallel phi moves.
+  std::vector<RtValue> MoveScratch;
+
+  int32_t Block = 0;
+  size_t Index = 0;
+  while (true) {
+    CBlock &CB = CF.Blocks[Block];
+    if (Index >= CB.Insts.size())
+      return makeError<RtValue>("interpreter: fell off the end of a block");
+    CInst &CI = CB.Insts[Index];
+
+    if (++In.Stats.RetiredOps > In.Fuel) {
+      Leave();
+      return makeError<RtValue>("interpreter: fuel exhausted (possible "
+                                "infinite loop) in '" +
+                                F.name() + "'");
+    }
+
+    // The trace record; filled per op and emitted at the bottom.
+    RetiredOp Op;
+    Op.Class = CI.Class;
+    Op.Inst = CI.I;
+    Op.Lanes = CI.Lanes;
+    In.CurrentInst = CI.I;
+
+    int32_t NextBlock = -1;
+    unsigned TakenEdge = 0;
+
+    switch (CI.Op) {
+    //===---------------- integer binary ----------------===//
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+    case Opcode::SDiv:
+    case Opcode::UDiv:
+    case Opcode::SRem:
+    case Opcode::URem: {
+      const RtValue &L = Val(CI.Ops[0]);
+      const RtValue &R = Val(CI.Ops[1]);
+      RtValue &D = Regs[CI.Dest];
+      for (unsigned Ln = 0; Ln != CI.Lanes; ++Ln) {
+        uint64_t A = L.I[Ln], B = R.I[Ln], Out = 0;
+        switch (CI.Op) {
+        case Opcode::Add:
+          Out = A + B;
+          break;
+        case Opcode::Sub:
+          Out = A - B;
+          break;
+        case Opcode::Mul:
+          Out = A * B;
+          break;
+        case Opcode::And:
+          Out = A & B;
+          break;
+        case Opcode::Or:
+          Out = A | B;
+          break;
+        case Opcode::Xor:
+          Out = A ^ B;
+          break;
+        case Opcode::Shl:
+          Out = (B & 63) >= CI.IntBits ? 0 : A << (B & 63);
+          break;
+        case Opcode::LShr:
+          Out = (B & 63) >= CI.IntBits ? 0 : maskTo(A, CI.IntBits) >> (B & 63);
+          break;
+        case Opcode::AShr:
+          Out = static_cast<uint64_t>(signExt(A, CI.IntBits) >>
+                                      std::min<uint64_t>(B & 63, 63));
+          break;
+        case Opcode::SDiv:
+        case Opcode::UDiv:
+        case Opcode::SRem:
+        case Opcode::URem: {
+          if (maskTo(B, CI.IntBits) == 0) {
+            Leave();
+            return makeError<RtValue>("interpreter: division by zero in '" +
+                                      F.name() + "'");
+          }
+          int64_t SA = signExt(A, CI.IntBits), SB = signExt(B, CI.IntBits);
+          uint64_t UA = maskTo(A, CI.IntBits), UB = maskTo(B, CI.IntBits);
+          switch (CI.Op) {
+          case Opcode::SDiv:
+            Out = static_cast<uint64_t>(SA / SB);
+            break;
+          case Opcode::UDiv:
+            Out = UA / UB;
+            break;
+          case Opcode::SRem:
+            Out = static_cast<uint64_t>(SA % SB);
+            break;
+          default:
+            Out = UA % UB;
+            break;
+          }
+          break;
+        }
+        default:
+          MPERF_UNREACHABLE("non-integer opcode in integer case");
+        }
+        D.I[Ln] = maskTo(Out, CI.IntBits);
+      }
+      break;
+    }
+
+    //===---------------- fp arithmetic ----------------===//
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv: {
+      const RtValue &L = Val(CI.Ops[0]);
+      const RtValue &R = Val(CI.Ops[1]);
+      RtValue &D = Regs[CI.Dest];
+      for (unsigned Ln = 0; Ln != CI.Lanes; ++Ln) {
+        double A = L.F[Ln], B = R.F[Ln], Out;
+        switch (CI.Op) {
+        case Opcode::FAdd:
+          Out = A + B;
+          break;
+        case Opcode::FSub:
+          Out = A - B;
+          break;
+        case Opcode::FMul:
+          Out = A * B;
+          break;
+        default:
+          Out = A / B;
+          break;
+        }
+        D.F[Ln] = CI.F32 ? static_cast<double>(static_cast<float>(Out)) : Out;
+      }
+      break;
+    }
+    case Opcode::FNeg: {
+      const RtValue &V = Val(CI.Ops[0]);
+      RtValue &D = Regs[CI.Dest];
+      for (unsigned Ln = 0; Ln != CI.Lanes; ++Ln)
+        D.F[Ln] = -V.F[Ln];
+      break;
+    }
+    case Opcode::Fma: {
+      const RtValue &A = Val(CI.Ops[0]);
+      const RtValue &B = Val(CI.Ops[1]);
+      const RtValue &Cc = Val(CI.Ops[2]);
+      RtValue &D = Regs[CI.Dest];
+      for (unsigned Ln = 0; Ln != CI.Lanes; ++Ln) {
+        if (CI.F32)
+          D.F[Ln] = std::fmaf(static_cast<float>(A.F[Ln]),
+                              static_cast<float>(B.F[Ln]),
+                              static_cast<float>(Cc.F[Ln]));
+        else
+          D.F[Ln] = std::fma(A.F[Ln], B.F[Ln], Cc.F[Ln]);
+      }
+      break;
+    }
+
+    //===---------------- comparisons ----------------===//
+    case Opcode::ICmp: {
+      uint64_t A = Val(CI.Ops[0]).I[0], B = Val(CI.Ops[1]).I[0];
+      // Compare at the operand width; recover it from the source values'
+      // instruction type via SrcBits-like caching is not available here,
+      // so compare as both signed64-of-masked and unsigned64: operands
+      // were stored masked to their width already.
+      bool R = false;
+      int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
+      switch (CI.IPred) {
+      case ICmpPred::EQ:
+        R = A == B;
+        break;
+      case ICmpPred::NE:
+        R = A != B;
+        break;
+      case ICmpPred::SLT:
+        R = SA < SB;
+        break;
+      case ICmpPred::SLE:
+        R = SA <= SB;
+        break;
+      case ICmpPred::SGT:
+        R = SA > SB;
+        break;
+      case ICmpPred::SGE:
+        R = SA >= SB;
+        break;
+      case ICmpPred::ULT:
+        R = A < B;
+        break;
+      case ICmpPred::ULE:
+        R = A <= B;
+        break;
+      case ICmpPred::UGT:
+        R = A > B;
+        break;
+      case ICmpPred::UGE:
+        R = A >= B;
+        break;
+      }
+      Regs[CI.Dest].I[0] = R ? 1 : 0;
+      break;
+    }
+    case Opcode::FCmp: {
+      double A = Val(CI.Ops[0]).F[0], B = Val(CI.Ops[1]).F[0];
+      bool R = false;
+      switch (CI.FPred) {
+      case FCmpPred::OEQ:
+        R = A == B;
+        break;
+      case FCmpPred::ONE:
+        R = A != B;
+        break;
+      case FCmpPred::OLT:
+        R = A < B;
+        break;
+      case FCmpPred::OLE:
+        R = A <= B;
+        break;
+      case FCmpPred::OGT:
+        R = A > B;
+        break;
+      case FCmpPred::OGE:
+        R = A >= B;
+        break;
+      }
+      Regs[CI.Dest].I[0] = R ? 1 : 0;
+      break;
+    }
+
+    //===---------------- casts ----------------===//
+    case Opcode::Trunc:
+    case Opcode::ZExt:
+      Regs[CI.Dest].I[0] = maskTo(Val(CI.Ops[0]).I[0], CI.IntBits);
+      break;
+    case Opcode::SExt:
+      Regs[CI.Dest].I[0] = maskTo(
+          static_cast<uint64_t>(signExt(Val(CI.Ops[0]).I[0], CI.SrcBits)),
+          CI.IntBits);
+      break;
+    case Opcode::FPToSI:
+      Regs[CI.Dest].I[0] = maskTo(
+          static_cast<uint64_t>(static_cast<int64_t>(Val(CI.Ops[0]).F[0])),
+          CI.IntBits);
+      break;
+    case Opcode::SIToFP: {
+      double V = static_cast<double>(signExt(Val(CI.Ops[0]).I[0], CI.SrcBits));
+      Regs[CI.Dest].F[0] =
+          CI.F32 ? static_cast<double>(static_cast<float>(V)) : V;
+      break;
+    }
+    case Opcode::FPTrunc:
+      Regs[CI.Dest].F[0] =
+          static_cast<double>(static_cast<float>(Val(CI.Ops[0]).F[0]));
+      break;
+    case Opcode::FPExt:
+      Regs[CI.Dest].F[0] = Val(CI.Ops[0]).F[0];
+      break;
+
+    //===---------------- vector support ----------------===//
+    case Opcode::Splat: {
+      const RtValue &V = Val(CI.Ops[0]);
+      RtValue &D = Regs[CI.Dest];
+      for (unsigned Ln = 0; Ln != CI.Lanes; ++Ln) {
+        D.I[Ln] = V.I[0];
+        D.F[Ln] = V.F[0];
+      }
+      break;
+    }
+    case Opcode::ExtractElement: {
+      const RtValue &V = Val(CI.Ops[0]);
+      uint64_t Lane = Val(CI.Ops[1]).I[0];
+      if (Lane >= CI.Lanes) {
+        Leave();
+        return makeError<RtValue>("interpreter: extractelement lane out of "
+                                  "range in '" +
+                                  F.name() + "'");
+      }
+      Regs[CI.Dest].I[0] = V.I[Lane];
+      Regs[CI.Dest].F[0] = V.F[Lane];
+      break;
+    }
+    case Opcode::ReduceFAdd: {
+      const RtValue &V = Val(CI.Ops[0]);
+      double Sum = 0.0;
+      for (unsigned Ln = 0; Ln != CI.Lanes; ++Ln) {
+        Sum += V.F[Ln];
+        if (CI.F32)
+          Sum = static_cast<double>(static_cast<float>(Sum));
+      }
+      Regs[CI.Dest].F[0] = Sum;
+      break;
+    }
+    case Opcode::ReduceAdd: {
+      const RtValue &V = Val(CI.Ops[0]);
+      uint64_t Sum = 0;
+      for (unsigned Ln = 0; Ln != CI.Lanes; ++Ln)
+        Sum += V.I[Ln];
+      Regs[CI.Dest].I[0] = maskTo(Sum, CI.IntBits);
+      break;
+    }
+
+    //===---------------- memory ----------------===//
+    case Opcode::Alloca: {
+      uint64_t Aligned = (In.StackPointer + 15) & ~15ull;
+      if (Aligned + CI.AllocaBytes > In.Memory.size()) {
+        Leave();
+        return makeError<RtValue>("interpreter: stack overflow in '" +
+                                  F.name() + "'");
+      }
+      Regs[CI.Dest].I[0] = Aligned;
+      In.StackPointer = Aligned + CI.AllocaBytes;
+      break;
+    }
+    case Opcode::Load: {
+      uint64_t Base = Val(CI.Ops[0]).I[0];
+      int64_t Stride = CI.HasStrideOperand
+                           ? static_cast<int64_t>(Val(CI.Ops[1]).I[0])
+                           : static_cast<int64_t>(CI.ElemBytes);
+      RtValue &D = Regs[CI.Dest];
+      for (unsigned Ln = 0; Ln != CI.Lanes; ++Ln) {
+        uint64_t Addr = Base + static_cast<uint64_t>(Stride) * Ln;
+        if (Addr + CI.ElemBytes > In.Memory.size() || Addr < 64) {
+          Leave();
+          return makeError<RtValue>("interpreter: load out of bounds in '" +
+                                    F.name() + "'");
+        }
+        if (CI.IsFp && CI.F32)
+          D.F[Ln] = In.readF32(Addr);
+        else if (CI.IsFp)
+          D.F[Ln] = In.readF64(Addr);
+        else {
+          uint64_t Raw = 0;
+          In.readMemory(Addr, &Raw, CI.ElemBytes);
+          D.I[Ln] = maskTo(Raw, CI.IntBits);
+        }
+      }
+      In.Stats.LoadedBytes += CI.ElemBytes * CI.Lanes;
+      Op.Bytes = CI.ElemBytes * CI.Lanes;
+      Op.Addr = Base;
+      Op.StrideBytes =
+          (Stride == static_cast<int64_t>(CI.ElemBytes)) ? 0 : Stride;
+      break;
+    }
+    case Opcode::Store: {
+      const RtValue &V = Val(CI.Ops[0]);
+      uint64_t Base = Val(CI.Ops[1]).I[0];
+      int64_t Stride = CI.HasStrideOperand
+                           ? static_cast<int64_t>(Val(CI.Ops[2]).I[0])
+                           : static_cast<int64_t>(CI.ElemBytes);
+      for (unsigned Ln = 0; Ln != CI.Lanes; ++Ln) {
+        uint64_t Addr = Base + static_cast<uint64_t>(Stride) * Ln;
+        if (Addr + CI.ElemBytes > In.Memory.size() || Addr < 64) {
+          Leave();
+          return makeError<RtValue>("interpreter: store out of bounds in '" +
+                                    F.name() + "'");
+        }
+        if (CI.IsFp && CI.F32)
+          In.writeF32(Addr, V.F[Ln]);
+        else if (CI.IsFp)
+          In.writeF64(Addr, V.F[Ln]);
+        else {
+          uint64_t Raw = maskTo(V.I[Ln], CI.IntBits);
+          In.writeMemory(Addr, &Raw, CI.ElemBytes);
+        }
+      }
+      In.Stats.StoredBytes += CI.ElemBytes * CI.Lanes;
+      Op.Bytes = CI.ElemBytes * CI.Lanes;
+      Op.Addr = Base;
+      Op.StrideBytes =
+          (Stride == static_cast<int64_t>(CI.ElemBytes)) ? 0 : Stride;
+      break;
+    }
+    case Opcode::PtrAdd:
+      Regs[CI.Dest].I[0] =
+          Val(CI.Ops[0]).I[0] + Val(CI.Ops[1]).I[0];
+      break;
+
+    //===---------------- control flow ----------------===//
+    case Opcode::Br:
+      NextBlock = CI.Succ0;
+      TakenEdge = 0;
+      Op.Taken = true;
+      break;
+    case Opcode::CondBr: {
+      bool Cond = Val(CI.Ops[0]).I[0] != 0;
+      NextBlock = Cond ? CI.Succ0 : CI.Succ1;
+      TakenEdge = Cond ? 0 : 1;
+      Op.Taken = Cond;
+      break;
+    }
+    case Opcode::Ret: {
+      RtValue Result;
+      if (!CI.Ops.empty())
+        Result = Val(CI.Ops[0]);
+      for (TraceConsumer *C : In.Consumers)
+        C->onRetire(Op);
+      Leave();
+      return Result;
+    }
+    case Opcode::Call: {
+      std::vector<RtValue> CallArgs;
+      CallArgs.reserve(CI.Ops.size());
+      for (const OperandRef &Ref : CI.Ops)
+        CallArgs.push_back(Val(Ref));
+      // Emit the call op before transferring control, so consumers see
+      // program order.
+      for (TraceConsumer *C : In.Consumers)
+        C->onRetire(Op);
+      Expected<RtValue> ResultOr = In.callFunction(*CI.Callee, CallArgs);
+      if (!ResultOr) {
+        Leave();
+        return ResultOr;
+      }
+      if (CI.Dest >= 0)
+        Regs[CI.Dest] = *ResultOr;
+      ++Index;
+      continue; // already emitted the trace record
+    }
+    case Opcode::Select: {
+      bool Cond = Val(CI.Ops[0]).I[0] != 0;
+      Regs[CI.Dest] = Cond ? Val(CI.Ops[1]) : Val(CI.Ops[2]);
+      break;
+    }
+    case Opcode::Phi:
+      MPERF_UNREACHABLE("phi reached execution (should be edge moves)");
+    }
+
+    for (TraceConsumer *C : In.Consumers)
+      C->onRetire(Op);
+
+    if (NextBlock >= 0) {
+      // Parallel phi moves for the taken edge.
+      auto &Moves = CB.Moves[TakenEdge];
+      if (!Moves.empty()) {
+        MoveScratch.resize(Moves.size());
+        for (size_t MI = 0; MI != Moves.size(); ++MI)
+          MoveScratch[MI] = Val(Moves[MI].Src);
+        for (size_t MI = 0; MI != Moves.size(); ++MI)
+          Regs[Moves[MI].Dest] = MoveScratch[MI];
+      }
+      Block = NextBlock;
+      Index = 0;
+      continue;
+    }
+    ++Index;
+  }
+}

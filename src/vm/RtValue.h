@@ -1,0 +1,49 @@
+//===- RtValue.h - Runtime values of the interpreter -----------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter's register file entry: a scalar integer/pointer,
+/// a scalar double, or up to MaxLanes vector lanes of either.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_VM_RTVALUE_H
+#define MPERF_VM_RTVALUE_H
+
+#include <array>
+#include <cstdint>
+
+namespace mperf {
+namespace vm {
+
+/// Widest supported vector: 512-bit of f32 (ablation configs use it).
+constexpr unsigned MaxLanes = 16;
+
+/// One runtime value. Scalars live in lane 0.
+struct RtValue {
+  std::array<uint64_t, MaxLanes> I{};
+  std::array<double, MaxLanes> F{};
+
+  static RtValue ofInt(uint64_t V) {
+    RtValue R;
+    R.I[0] = V;
+    return R;
+  }
+  static RtValue ofFp(double V) {
+    RtValue R;
+    R.F[0] = V;
+    return R;
+  }
+
+  uint64_t asInt() const { return I[0]; }
+  double asFp() const { return F[0]; }
+};
+
+} // namespace vm
+} // namespace mperf
+
+#endif // MPERF_VM_RTVALUE_H

@@ -1,0 +1,82 @@
+//===- Trace.h - Retired-operation trace stream ----------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter (vm/Interpreter.h) is purely functional; it emits one
+/// RetiredOp per executed IR instruction into a TraceConsumer. Core
+/// timing models (hw/CoreModel.h) fold this stream into cycles and PMU
+/// events. Keeping execution and timing separate lets one workload run
+/// drive any simulated platform and keeps PMU counters exactly consistent
+/// with what the profiler samples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_VM_TRACE_H
+#define MPERF_VM_TRACE_H
+
+#include <cstdint>
+
+namespace mperf {
+namespace ir {
+class Function;
+class Instruction;
+} // namespace ir
+
+namespace vm {
+
+/// Coarse operation classes; core models map these to issue costs.
+enum class OpClass : uint8_t {
+  IntAlu,  // add/sub/logic/shift/cmp/casts/ptr arithmetic
+  IntMul,
+  IntDiv,
+  FpAdd,   // fadd/fsub/fneg/fcmp
+  FpMul,
+  FpFma,
+  FpDiv,
+  Load,
+  Store,
+  Branch,  // br/cond_br
+  Call,
+  Ret,
+  Other,   // phi-resolution moves, splat, select, reductions
+};
+
+/// One retired IR instruction.
+struct RetiredOp {
+  OpClass Class = OpClass::Other;
+  /// The IR instruction, for PC/function attribution in samples.
+  const ir::Instruction *Inst = nullptr;
+  /// Vector lanes (1 for scalar ops).
+  uint16_t Lanes = 1;
+  /// Memory ops: total bytes moved and the lane-0 simulated address.
+  uint32_t Bytes = 0;
+  uint64_t Addr = 0;
+  /// Memory ops: non-unit lane stride in bytes (0 = contiguous).
+  int64_t StrideBytes = 0;
+  /// Branches: whether the branch was taken (for cond_br, the true edge).
+  bool Taken = false;
+};
+
+/// Receives every retired operation plus call-stack events.
+class TraceConsumer {
+public:
+  virtual ~TraceConsumer() = default;
+
+  /// Called once per retired IR instruction, in program order.
+  virtual void onRetire(const RetiredOp &Op) = 0;
+
+  /// Called when control enters \p F (before its first instruction).
+  virtual void onCallEnter(const ir::Function &F) { (void)F; }
+
+  /// Called when control leaves the current function.
+  virtual void onCallExit(const ir::Function &F) { (void)F; }
+};
+
+} // namespace vm
+} // namespace mperf
+
+#endif // MPERF_VM_TRACE_H

@@ -1,0 +1,74 @@
+//===- LoopBuilder.cpp - Structured loop construction helper -------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/LoopBuilder.h"
+
+using namespace mperf;
+using namespace mperf::workloads;
+using namespace mperf::ir;
+
+CountedLoop mperf::workloads::beginLoop(IRBuilder &B, Value *Start,
+                                        Value *Bound,
+                                        const std::string &Name) {
+  CountedLoop L;
+  L.Start = Start;
+  L.Bound = Bound;
+  Function *F = B.insertBlock()->parent();
+
+  // A dedicated preheader keeps the entry edge unique even when the
+  // caller's current block has other successors later.
+  L.Preheader = F->createBlock(Name + ".ph");
+  L.Header = F->createBlock(Name + ".loop");
+  L.Exit = F->createBlock(Name + ".exit");
+
+  B.createBr(L.Preheader);
+  B.setInsertPoint(L.Preheader);
+  B.createBr(L.Header);
+
+  B.setInsertPoint(L.Header);
+  L.IV = B.createPhi(B.context().i64Ty(), Name);
+  L.IV->addIncoming(Start, L.Preheader);
+  // The back-edge incoming is patched in endLoop.
+  return L;
+}
+
+Instruction *mperf::workloads::addLoopPhi(IRBuilder &B, CountedLoop &L,
+                                          Value *Init,
+                                          const std::string &Name) {
+  BasicBlock *Saved = B.insertBlock();
+  B.setInsertPoint(L.Header);
+  Instruction *Phi = B.createPhi(Init->type(), Name);
+  Phi->addIncoming(Init, L.Preheader);
+  B.setInsertPoint(Saved);
+  L.PendingLatch.push_back({Phi, nullptr});
+  return Phi;
+}
+
+void mperf::workloads::setLatchValue(CountedLoop &L, Instruction *Phi,
+                                     Value *Latch) {
+  for (auto &[PendingPhi, Value] : L.PendingLatch) {
+    if (PendingPhi != Phi)
+      continue;
+    Value = Latch;
+    return;
+  }
+  MPERF_UNREACHABLE("setLatchValue: phi was not created by addLoopPhi");
+}
+
+void mperf::workloads::endLoop(IRBuilder &B, CountedLoop &L) {
+  BasicBlock *Latch = B.insertBlock();
+  Value *Next = B.createAdd(L.IV, B.i64(1), L.IV->name() + ".next");
+  Value *Cond = B.createICmp(ICmpPred::SLT, Next, L.Bound);
+  B.createCondBr(Cond, L.Header, L.Exit);
+
+  L.IV->addIncoming(Next, Latch);
+  for (auto &[Phi, LatchValue] : L.PendingLatch) {
+    assert(LatchValue && "loop phi without a latch value");
+    Phi->addIncoming(LatchValue, Latch);
+  }
+  B.setInsertPoint(L.Exit);
+}

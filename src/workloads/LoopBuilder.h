@@ -1,0 +1,72 @@
+//===- LoopBuilder.h - Structured loop construction helper -----*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds canonical counted loops in the shape every analysis in this
+/// project expects: a dedicated preheader that branches only to the
+/// header, an i64 induction variable phi stepping by one, a latch
+/// compare `iv.next < bound`, and a dedicated exit block. Innermost
+/// loops built this way are single-block and eligible for the
+/// vectorizer; whole nests are SESE and eligible for extraction.
+///
+/// \code
+///   CountedLoop L = beginLoop(B, Start, Bound, "k");
+///   // insertion point is now the loop body; add code, e.g. reductions:
+///   Instruction *Acc = addLoopPhi(B, L, Init, "sum");
+///   Value *Next = ...;
+///   setLatchValue(L, Acc, Next);
+///   endLoop(B, L);
+///   // insertion point is now the exit block
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_WORKLOADS_LOOPBUILDER_H
+#define MPERF_WORKLOADS_LOOPBUILDER_H
+
+#include "ir/IRBuilder.h"
+
+#include <vector>
+
+namespace mperf {
+namespace workloads {
+
+/// State of one loop under construction.
+struct CountedLoop {
+  ir::BasicBlock *Preheader = nullptr;
+  ir::BasicBlock *Header = nullptr;
+  ir::BasicBlock *Exit = nullptr;
+  ir::Instruction *IV = nullptr; ///< i64 phi, valid inside the loop
+  ir::Value *Start = nullptr;
+  ir::Value *Bound = nullptr;
+  /// Reduction phis awaiting their latch value.
+  std::vector<std::pair<ir::Instruction *, ir::Value *>> PendingLatch;
+};
+
+/// Opens a loop running \p IV from \p Start while `IV < Bound` (executes
+/// at least once; callers guarantee Start < Bound). Leaves the insertion
+/// point in the loop header.
+CountedLoop beginLoop(ir::IRBuilder &B, ir::Value *Start, ir::Value *Bound,
+                      const std::string &Name);
+
+/// Adds a loop-carried phi initialized to \p Init; pair it with
+/// setLatchValue before endLoop.
+ir::Instruction *addLoopPhi(ir::IRBuilder &B, CountedLoop &L, ir::Value *Init,
+                            const std::string &Name);
+
+/// Sets the value \p Phi takes on the back edge.
+void setLatchValue(CountedLoop &L, ir::Instruction *Phi, ir::Value *Latch);
+
+/// Closes the loop: emits `iv.next = iv + 1; if (iv.next < bound) goto
+/// header` in the current insertion block (the latch) and moves the
+/// insertion point to the exit block.
+void endLoop(ir::IRBuilder &B, CountedLoop &L);
+
+} // namespace workloads
+} // namespace mperf
+
+#endif // MPERF_WORKLOADS_LOOPBUILDER_H

@@ -1,0 +1,192 @@
+//===- Matmul.cpp - The paper's tiled matmul kernel ----------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Matmul.h"
+#include "workloads/LoopBuilder.h"
+#include "support/RNG.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+using namespace mperf;
+using namespace mperf::workloads;
+using namespace mperf::ir;
+
+/// Emits `base + index*4` as a pointer to element \p Index of an f32
+/// array.
+static Value *f32ElemPtr(IRBuilder &B, Value *Base, Value *Index) {
+  Value *Off = B.createShl(Index, B.i64(2));
+  return B.createPtrAdd(Base, Off);
+}
+
+MatmulWorkload mperf::workloads::buildMatmul(const MatmulConfig &Config) {
+  assert(Config.N % Config.Tile == 0 &&
+         "matmul N must be a multiple of the tile size");
+  MatmulWorkload W;
+  W.Config = Config;
+  W.M = std::make_unique<Module>("matmul");
+  Module &M = *W.M;
+  Context &Ctx = M.context();
+  IRBuilder B(M);
+
+  uint64_t Elems = static_cast<uint64_t>(Config.N) * Config.N;
+  M.createGlobal("A", Elems * 4);
+  M.createGlobal("B", Elems * 4);
+  M.createGlobal("C", Elems * 4);
+  M.createGlobal("SELF_CYCLES", 8);
+
+  Function *Clock = M.createDeclaration(ClockFnName, Ctx.i64Ty(), {});
+
+  //===------------------------------------------------------------===//
+  // matmul_kernel(ptr A, ptr B, ptr C, i64 n) — §5.2's loop nest.
+  //===------------------------------------------------------------===//
+  Function *Kernel = M.createFunction(
+      "matmul_kernel", Ctx.voidTy(),
+      {Ctx.ptrTy(), Ctx.ptrTy(), Ctx.ptrTy(), Ctx.i64Ty()});
+  Kernel->setLoc(SourceLoc{"matmul.c", 7, "matmul_kernel"});
+  Argument *ArgA = Kernel->arg(0);
+  Argument *ArgB = Kernel->arg(1);
+  Argument *ArgC = Kernel->arg(2);
+  Argument *ArgN = Kernel->arg(3);
+  ArgA->setName("A");
+  ArgB->setName("B");
+  ArgC->setName("C");
+  ArgN->setName("n");
+
+  BasicBlock *Entry = Kernel->createBlock("entry");
+  B.setInsertPoint(Entry);
+  ConstantInt *TileC = B.i64(Config.Tile);
+
+  // for (ii = 0; ii < n; ii += TILE)  — expressed as a tile-index loop
+  // (tile count = n / TILE) so every IV steps by one.
+  Value *NumTiles = B.createSDiv(ArgN, TileC, "ntiles");
+
+  CountedLoop LoopII = beginLoop(B, B.i64(0), NumTiles, "ii");
+  Value *II = B.createMul(LoopII.IV, TileC, "ii.base");
+  CountedLoop LoopJJ = beginLoop(B, B.i64(0), NumTiles, "jj");
+  Value *JJ = B.createMul(LoopJJ.IV, TileC, "jj.base");
+  CountedLoop LoopKK = beginLoop(B, B.i64(0), NumTiles, "kk");
+  Value *KK = B.createMul(LoopKK.IV, TileC, "kk.base");
+
+  // for (i = ii; i < ii + TILE; i++)
+  Value *IEnd = B.createAdd(II, TileC, "i.end");
+  CountedLoop LoopI = beginLoop(B, II, IEnd, "i");
+  Value *IRow = B.createMul(LoopI.IV, ArgN, "i.row");
+
+  // for (j = jj; j < jj + TILE; j++)
+  Value *JEnd = B.createAdd(JJ, TileC, "j.end");
+  CountedLoop LoopJ = beginLoop(B, JJ, JEnd, "j");
+
+  // sum = C[i*n + j]
+  Value *CIdx = B.createAdd(IRow, LoopJ.IV, "c.idx");
+  Value *CPtr = f32ElemPtr(B, ArgC, CIdx);
+  Value *Sum0 = B.createLoad(Ctx.f32Ty(), CPtr, "sum0");
+
+  // for (k = kk; k < kk + TILE; k++) sum = fma(A[i*n+k], B[k*n+j], sum)
+  Value *KEnd = B.createAdd(KK, TileC, "k.end");
+  CountedLoop LoopK = beginLoop(B, KK, KEnd, "k");
+  Instruction *SumPhi = addLoopPhi(B, LoopK, Sum0, "sum");
+
+  Value *AIdx = B.createAdd(IRow, LoopK.IV, "a.idx");
+  Value *APtr = f32ElemPtr(B, ArgA, AIdx);
+  Instruction *ALoad =
+      cast<Instruction>(B.createLoad(Ctx.f32Ty(), APtr, "a.val"));
+  ALoad->setLoc(SourceLoc{"matmul.c", 14, "matmul_kernel"});
+  Value *KRow = B.createMul(LoopK.IV, ArgN, "k.row");
+  Value *BIdx = B.createAdd(KRow, LoopJ.IV, "b.idx");
+  Value *BPtr = f32ElemPtr(B, ArgB, BIdx);
+  Value *BLoad = B.createLoad(Ctx.f32Ty(), BPtr, "b.val");
+  Value *SumNext = B.createFma(ALoad, BLoad, SumPhi, "sum.next");
+  setLatchValue(LoopK, SumPhi, SumNext);
+  endLoop(B, LoopK);
+
+  // C[i*n + j] = sum  (the loop-closed value of sum.next)
+  B.createStore(SumNext, CPtr);
+
+  endLoop(B, LoopJ);
+  endLoop(B, LoopI);
+  endLoop(B, LoopKK);
+  endLoop(B, LoopJJ);
+  endLoop(B, LoopII);
+  B.createRet();
+
+  //===------------------------------------------------------------===//
+  // main() — self-timing wrapper.
+  //===------------------------------------------------------------===//
+  Function *Main = M.createFunction("main", Ctx.voidTy(), {});
+  Main->setLoc(SourceLoc{"matmul.c", 30, "main"});
+  BasicBlock *MainEntry = Main->createBlock("entry");
+  B.setInsertPoint(MainEntry);
+  Value *T0 = B.createCall(Clock, {}, "t0");
+  B.createCall(Kernel, {M.global("A"), M.global("B"), M.global("C"),
+                        B.i64(Config.N)});
+  Value *T1 = B.createCall(Clock, {}, "t1");
+  Value *Elapsed = B.createSub(T1, T0, "elapsed");
+  B.createStore(Elapsed, M.global("SELF_CYCLES"));
+  B.createRet();
+
+  return W;
+}
+
+void MatmulWorkload::initialize(vm::Interpreter &Vm) const {
+  SplitMix64 Rng(Config.Seed);
+  uint64_t Elems = static_cast<uint64_t>(Config.N) * Config.N;
+  std::vector<float> Data(Elems);
+
+  for (uint64_t I = 0; I != Elems; ++I)
+    Data[I] = static_cast<float>(Rng.nextDouble() * 2.0 - 1.0);
+  Vm.writeMemory(Vm.globalAddress("A"), Data.data(), Elems * 4);
+
+  for (uint64_t I = 0; I != Elems; ++I)
+    Data[I] = static_cast<float>(Rng.nextDouble() * 2.0 - 1.0);
+  Vm.writeMemory(Vm.globalAddress("B"), Data.data(), Elems * 4);
+
+  std::memset(Data.data(), 0, Elems * 4);
+  Vm.writeMemory(Vm.globalAddress("C"), Data.data(), Elems * 4);
+}
+
+double MatmulWorkload::verify(vm::Interpreter &Vm) const {
+  unsigned N = Config.N;
+  uint64_t Elems = static_cast<uint64_t>(N) * N;
+  std::vector<float> A(Elems), Bv(Elems), C(Elems);
+  Vm.readMemory(Vm.globalAddress("A"), A.data(), Elems * 4);
+  Vm.readMemory(Vm.globalAddress("B"), Bv.data(), Elems * 4);
+  Vm.readMemory(Vm.globalAddress("C"), C.data(), Elems * 4);
+
+  double MaxError = 0;
+  for (unsigned I = 0; I != N; ++I) {
+    for (unsigned J = 0; J != N; ++J) {
+      // Mirror the kernel's tiled accumulation order closely enough:
+      // float accumulation over k.
+      float Sum = 0.0f;
+      for (unsigned K = 0; K != N; ++K)
+        Sum = std::fmaf(A[I * N + K], Bv[K * N + J], Sum);
+      double Err = std::fabs(static_cast<double>(Sum) - C[I * N + J]);
+      // Different accumulation orders (tiling, vector lanes) make small
+      // divergences expected; the caller thresholds the result.
+      MaxError = std::max(MaxError, Err);
+    }
+  }
+  return MaxError;
+}
+
+uint64_t MatmulWorkload::selfReportedCycles(vm::Interpreter &Vm) const {
+  return Vm.readI64(Vm.globalAddress("SELF_CYCLES"));
+}
+
+void mperf::workloads::bindClock(vm::Interpreter &Vm,
+                                 std::function<double()> ReadCycles) {
+  Vm.registerNative(ClockFnName,
+                    [ReadCycles](vm::Interpreter &In,
+                                 const std::vector<vm::RtValue> &Args) {
+                      (void)Args;
+                      In.emitSyntheticOps(vm::OpClass::IntAlu, 4);
+                      return vm::RtValue::ofInt(
+                          static_cast<uint64_t>(ReadCycles()));
+                    });
+}

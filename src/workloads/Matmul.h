@@ -1,0 +1,69 @@
+//===- Matmul.h - The paper's tiled matmul kernel --------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exact kernel of §5.2, as IR: the six-deep tiled SGEMM loop nest
+/// with a scalar FMA reduction in the innermost k loop. `main` wraps the
+/// kernel call with cycle reads so the program "self-reports" its
+/// GFLOP/s, reproducing the 33.0-vs-34.06 comparison of Fig. 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_WORKLOADS_MATMUL_H
+#define MPERF_WORKLOADS_MATMUL_H
+
+#include "ir/Module.h"
+#include "vm/Interpreter.h"
+
+#include <memory>
+
+namespace mperf {
+namespace workloads {
+
+/// Kernel parameters. N must be a multiple of Tile.
+struct MatmulConfig {
+  unsigned N = 128;
+  unsigned Tile = 32;
+  uint64_t Seed = 0x5eed;
+};
+
+/// Name of the native cycle-clock function `main` calls.
+constexpr const char *ClockFnName = "mperf_clock_cycles";
+
+/// A built matmul program.
+struct MatmulWorkload {
+  std::unique_ptr<ir::Module> M;
+  MatmulConfig Config;
+
+  /// Fills A and B with deterministic pseudo-random values and zeroes C.
+  void initialize(vm::Interpreter &Vm) const;
+
+  /// Recomputes C on the host and compares against simulated memory.
+  /// Returns the maximum absolute element error.
+  double verify(vm::Interpreter &Vm) const;
+
+  /// The kernel's self-reported cycles (read from the SELF_CYCLES
+  /// global after a run).
+  uint64_t selfReportedCycles(vm::Interpreter &Vm) const;
+
+  /// FLOPs the kernel performs: 2 * N^3.
+  uint64_t flops() const {
+    return 2ull * Config.N * Config.N * Config.N;
+  }
+};
+
+/// Builds the module: globals A, B, C, SELF_CYCLES; functions
+/// `matmul_kernel(ptr, ptr, ptr, i64)` and `main()`.
+MatmulWorkload buildMatmul(const MatmulConfig &Config);
+
+/// Registers the cycle-clock native backed by \p ReadCycles.
+void bindClock(vm::Interpreter &Vm, std::function<double()> ReadCycles);
+
+} // namespace workloads
+} // namespace mperf
+
+#endif // MPERF_WORKLOADS_MATMUL_H

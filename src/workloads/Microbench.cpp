@@ -1,0 +1,126 @@
+//===- Microbench.cpp - Ceiling-probing microbenchmarks ------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Microbench.h"
+#include "workloads/LoopBuilder.h"
+
+using namespace mperf;
+using namespace mperf::workloads;
+using namespace mperf::ir;
+
+Microbench mperf::workloads::buildMemset(uint64_t Bytes, uint64_t Passes) {
+  assert(Bytes % 8 == 0 && "memset size must be 8-byte aligned");
+  Microbench W;
+  W.M = std::make_unique<Module>("memset_bench");
+  W.BytesPerPass = Bytes;
+  W.Passes = Passes;
+  Module &M = *W.M;
+  Context &Ctx = M.context();
+  IRBuilder B(M);
+
+  GlobalVariable *Buf = M.createGlobal("BUF", Bytes);
+
+  Function *Main = M.createFunction("main", Ctx.voidTy(), {});
+  Main->setLoc(SourceLoc{"memset.c", 3, "main"});
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  uint64_t Words = Bytes / 8;
+  CountedLoop Pass = beginLoop(B, B.i64(0), B.i64(Passes), "pass");
+  CountedLoop Inner = beginLoop(B, B.i64(0), B.i64(Words), "w");
+  Value *Off = B.createShl(Inner.IV, B.i64(3));
+  Value *Ptr = B.createPtrAdd(Buf, Off);
+  B.createStore(B.i64(0), Ptr);
+  endLoop(B, Inner);
+  endLoop(B, Pass);
+  B.createRet();
+  return W;
+}
+
+Microbench mperf::workloads::buildTriad(uint64_t Elems, uint64_t Passes) {
+  Microbench W;
+  W.M = std::make_unique<Module>("triad_bench");
+  W.BytesPerPass = Elems * 4 * 3; // load b, load c, store a
+  W.FlopsPerPass = Elems * 2;     // mul + add per element
+  W.Passes = Passes;
+  Module &M = *W.M;
+  Context &Ctx = M.context();
+  IRBuilder B(M);
+
+  GlobalVariable *Av = M.createGlobal("a", Elems * 4);
+  GlobalVariable *Bv = M.createGlobal("b", Elems * 4);
+  GlobalVariable *Cv = M.createGlobal("c", Elems * 4);
+
+  Function *Main = M.createFunction("main", Ctx.voidTy(), {});
+  Main->setLoc(SourceLoc{"triad.c", 3, "main"});
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  CountedLoop Pass = beginLoop(B, B.i64(0), B.i64(Passes), "pass");
+  CountedLoop Inner = beginLoop(B, B.i64(0), B.i64(Elems), "i");
+  Value *Off = B.createShl(Inner.IV, B.i64(2));
+  Value *BPtr = B.createPtrAdd(Bv, Off);
+  Value *CPtr = B.createPtrAdd(Cv, Off);
+  Value *APtr = B.createPtrAdd(Av, Off);
+  Value *BVal = B.createLoad(Ctx.f32Ty(), BPtr, "b.val");
+  Value *CVal = B.createLoad(Ctx.f32Ty(), CPtr, "c.val");
+  Value *Scaled = B.createFma(CVal, B.f32(3.0), BVal, "triad");
+  B.createStore(Scaled, APtr);
+  endLoop(B, Inner);
+  endLoop(B, Pass);
+  B.createRet();
+  return W;
+}
+
+Microbench mperf::workloads::buildPeakFlops(unsigned Chains, uint64_t Iters,
+                                            unsigned Lanes) {
+  assert(Chains >= 1 && Chains <= 8 && "1..8 FMA chains supported");
+  assert(Lanes >= 1 && Lanes <= 16 && "1..16 lanes supported");
+  Microbench W;
+  W.M = std::make_unique<Module>("peakflops_bench");
+  W.FlopsPerPass = 2ull * Chains * Lanes * Iters;
+  W.Passes = 1;
+  Module &M = *W.M;
+  Context &Ctx = M.context();
+  IRBuilder B(M);
+
+  GlobalVariable *Out = M.createGlobal("OUT", Chains * Lanes * 4);
+
+  Function *Main = M.createFunction("main", Ctx.voidTy(), {});
+  Main->setLoc(SourceLoc{"peakflops.c", 3, "main"});
+  B.setInsertPoint(Main->createBlock("entry"));
+
+  // Loop-invariant multiplier/addend (splatted up front for vectors).
+  Value *Mul = B.f32(1.0000001);
+  Value *Add = B.f32(0.0000003);
+  std::vector<Value *> Inits;
+  for (unsigned Ch = 0; Ch != Chains; ++Ch)
+    Inits.push_back(B.f32(0.5 + Ch));
+  if (Lanes > 1) {
+    Mul = B.createSplat(Mul, Lanes);
+    Add = B.createSplat(Add, Lanes);
+    for (Value *&Init : Inits)
+      Init = B.createSplat(Init, Lanes);
+  }
+
+  CountedLoop Loop = beginLoop(B, B.i64(0), B.i64(Iters), "it");
+  std::vector<Instruction *> Accs;
+  std::vector<Value *> Nexts;
+  for (unsigned Ch = 0; Ch != Chains; ++Ch)
+    Accs.push_back(addLoopPhi(B, Loop, Inits[Ch], "acc" + std::to_string(Ch)));
+  for (unsigned Ch = 0; Ch != Chains; ++Ch) {
+    Value *Next =
+        B.createFma(Accs[Ch], Mul, Add, "acc.next" + std::to_string(Ch));
+    Nexts.push_back(Next);
+    setLatchValue(Loop, Accs[Ch], Next);
+  }
+  endLoop(B, Loop);
+  for (unsigned Ch = 0; Ch != Chains; ++Ch) {
+    Value *Ptr = B.createPtrAdd(Out, B.i64(Ch * Lanes * 4));
+    B.createStore(Nexts[Ch], Ptr);
+  }
+  B.createRet();
+  return W;
+}

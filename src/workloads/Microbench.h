@@ -1,0 +1,58 @@
+//===- Microbench.h - Ceiling-probing microbenchmarks ----------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The microbenchmarks used to establish Roofline ceilings (§5.2):
+///  - memset: streaming stores, measures sustainable bytes/cycle (the
+///    paper uses Olaf Bernstein's rvv memset results, ~3.16 B/cyc on the
+///    X60);
+///  - STREAM triad: a[i] = b[i] + s * c[i], the classic bandwidth probe;
+///  - peak FLOPs: an unrolled chain of independent FMAs on registers,
+///    measuring the achievable compute roof.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_WORKLOADS_MICROBENCH_H
+#define MPERF_WORKLOADS_MICROBENCH_H
+
+#include "ir/Module.h"
+#include "vm/Interpreter.h"
+
+#include <memory>
+
+namespace mperf {
+namespace workloads {
+
+/// A built microbenchmark: `main()` runs the kernel over the buffers.
+struct Microbench {
+  std::unique_ptr<ir::Module> M;
+  /// Bytes the kernel touches per full pass.
+  uint64_t BytesPerPass = 0;
+  /// FLOPs per full pass.
+  uint64_t FlopsPerPass = 0;
+  uint64_t Passes = 1;
+
+  uint64_t totalBytes() const { return BytesPerPass * Passes; }
+  uint64_t totalFlops() const { return FlopsPerPass * Passes; }
+};
+
+/// memset of \p Bytes bytes (as i64 stores), repeated \p Passes times.
+Microbench buildMemset(uint64_t Bytes, uint64_t Passes);
+
+/// STREAM triad over three f32 arrays of \p Elems elements.
+Microbench buildTriad(uint64_t Elems, uint64_t Passes);
+
+/// \p Chains independent f32 FMA chains of \p Lanes lanes each (1 =
+/// scalar), \p Iters iterations. Built with explicit vector IR — it
+/// probes the machine's FMA throughput, so it must not depend on the
+/// vectorizer. Results are stored so nothing folds away.
+Microbench buildPeakFlops(unsigned Chains, uint64_t Iters, unsigned Lanes = 1);
+
+} // namespace workloads
+} // namespace mperf
+
+#endif // MPERF_WORKLOADS_MICROBENCH_H

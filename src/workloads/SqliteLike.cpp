@@ -1,0 +1,737 @@
+//===- SqliteLike.cpp - Synthetic database engine workload ---------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SqliteLike.h"
+#include "support/RNG.h"
+#include "ir/IRBuilder.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace mperf;
+using namespace mperf::workloads;
+using namespace mperf::ir;
+
+namespace {
+
+constexpr uint64_t PageSize = 4096;
+constexpr uint64_t RegCount = 8;
+
+// VDBE opcodes.
+enum : uint64_t {
+  OP_Halt = 0,
+  OP_Rewind = 1,
+  OP_Column = 2,
+  OP_Like = 3,
+  OP_ResultRow = 4,
+  OP_Next = 5,
+};
+
+/// Host-side generated database image.
+struct Database {
+  std::vector<uint8_t> Pages;           // NumPages * PageSize
+  std::vector<std::string> Keys;        // all row keys in scan order
+  std::vector<uint8_t> Patterns;        // concatenated NUL-terminated
+  std::vector<uint64_t> PatternOffsets; // per query
+  std::vector<std::string> PatternText; // per query
+};
+
+/// sqlite-style varint append (7-bit groups, high bit = continuation;
+/// most-significant group first).
+void appendVarint(std::vector<uint8_t> &Out, uint64_t V) {
+  uint8_t Groups[10];
+  int N = 0;
+  do {
+    Groups[N++] = V & 0x7f;
+    V >>= 7;
+  } while (V != 0);
+  for (int I = N - 1; I > 0; --I)
+    Out.push_back(Groups[I] | 0x80);
+  Out.push_back(Groups[0]);
+}
+
+/// Mirrors the IR engine's case-insensitive LIKE semantics ('%', '_');
+/// used as the host-side reference for ExpectedMatches.
+bool likeMatch(const std::string &Pattern, const std::string &Str, size_t P = 0,
+               size_t S = 0, size_t StarP = std::string::npos,
+               size_t StarS = 0) {
+  while (true) {
+    if (P == Pattern.size()) {
+      if (S == Str.size())
+        return true;
+      if (StarP == std::string::npos)
+        return false;
+      P = StarP;
+      S = ++StarS;
+      continue;
+    }
+    char Pc = Pattern[P];
+    if (Pc == '%') {
+      StarP = P + 1;
+      StarS = S;
+      ++P;
+      continue;
+    }
+    if (S == Str.size())
+      return false;
+    char Sc = Str[S];
+    if (Pc == '_' || (Pc | 0x20) == (Sc | 0x20)) {
+      ++P;
+      ++S;
+      continue;
+    }
+    if (StarP != std::string::npos) {
+      P = StarP;
+      S = ++StarS;
+      continue;
+    }
+    return false;
+  }
+}
+
+Database generateDatabase(const SqliteLikeConfig &C) {
+  Database Db;
+  SplitMix64 Rng(C.Seed);
+
+  Db.Pages.assign(static_cast<size_t>(C.NumPages) * PageSize, 0);
+  for (unsigned Page = 0; Page != C.NumPages; ++Page) {
+    uint8_t *Base = Db.Pages.data() + static_cast<size_t>(Page) * PageSize;
+    uint64_t NumCells = C.CellsPerPage;
+    std::memcpy(Base, &NumCells, 8);
+    uint64_t CellDataStart = 8 + 8 * C.CellsPerPage;
+    uint64_t Cursor = CellDataStart;
+    for (unsigned Cell = 0; Cell != C.CellsPerPage; ++Cell) {
+      // Key: random lowercase, KeyLen +/- 6 chars.
+      unsigned Len = C.KeyLen - 6 + Rng.nextBelow(13);
+      std::string Key;
+      for (unsigned I = 0; I != Len; ++I)
+        Key.push_back('a' + static_cast<char>(Rng.nextBelow(26)));
+      Db.Keys.push_back(Key);
+
+      uint64_t ExtraLen = 100 + Rng.nextBelow(400); // 1-2 byte varint
+      std::vector<uint8_t> CellBytes;
+      appendVarint(CellBytes, Key.size());
+      appendVarint(CellBytes, ExtraLen);
+      for (char Ch : Key)
+        CellBytes.push_back(static_cast<uint8_t>(Ch));
+      CellBytes.push_back(0); // NUL terminator after the key
+      // The extra payload is not materialized (overflow pages, in sqlite
+      // terms); the parser only decodes its length.
+
+      assert(Cursor + CellBytes.size() <= PageSize && "page overflow");
+      uint64_t Offset = Cursor;
+      std::memcpy(Base + 8 + 8 * Cell, &Offset, 8);
+      std::memcpy(Base + Cursor, CellBytes.data(), CellBytes.size());
+      Cursor += CellBytes.size();
+    }
+  }
+
+  // Patterns: a mix of fast-fail prefix patterns and full-scan
+  // substring patterns, seeded from real keys so matches occur.
+  for (unsigned Q = 0; Q != C.NumQueries; ++Q) {
+    const std::string &Key = Db.Keys[Rng.nextBelow(Db.Keys.size())];
+    std::string Pat;
+    switch (Rng.nextBelow(4)) {
+    case 0: // prefix: "abc%"
+      Pat = Key.substr(0, 3) + "%";
+      break;
+    case 1: // substring: "%abc%"
+      Pat = "%" + Key.substr(Key.size() / 2, 3) + "%";
+      break;
+    case 2: // single-char wildcard prefix: "a_c%"
+      Pat = Key.substr(0, 3) + "%";
+      Pat[1] = '_';
+      break;
+    default: // rare prefix, fails on the first character most rows
+      Pat = "q" + Key.substr(0, 2) + "%";
+      break;
+    }
+    Db.PatternText.push_back(Pat);
+    Db.PatternOffsets.push_back(Db.Patterns.size());
+    for (char Ch : Pat)
+      Db.Patterns.push_back(static_cast<uint8_t>(Ch));
+    Db.Patterns.push_back(0);
+  }
+  return Db;
+}
+
+} // namespace
+
+SqliteLikeWorkload mperf::workloads::buildSqliteLike(
+    const SqliteLikeConfig &Config) {
+  SqliteLikeWorkload W;
+  W.Config = Config;
+  W.M = std::make_unique<Module>("sqlite_like");
+  Module &M = *W.M;
+  Context &Ctx = M.context();
+  IRBuilder B(M);
+  Type *I8 = Ctx.i8Ty();
+  Type *I64 = Ctx.i64Ty();
+  Type *Ptr = Ctx.ptrTy();
+
+  Database Db = generateDatabase(Config);
+
+  // Expected result (host reference).
+  {
+    uint64_t Total = 0;
+    for (unsigned Q = 0; Q != Config.NumQueries; ++Q)
+      for (const std::string &Key : Db.Keys)
+        if (likeMatch(Db.PatternText[Q], Key))
+          ++Total;
+    W.ExpectedMatches = Total;
+  }
+
+  //===------------------------------------------------------------===//
+  // Globals
+  //===------------------------------------------------------------===//
+  GlobalVariable *Pages = M.createGlobal("PAGES", Db.Pages.size());
+  Pages->setInitializer(Db.Pages);
+  GlobalVariable *Patterns = M.createGlobal("PATTERNS", Db.Patterns.size());
+  Patterns->setInitializer(Db.Patterns);
+
+  std::vector<uint8_t> QueryBytes(Config.NumQueries * 8);
+  for (unsigned Q = 0; Q != Config.NumQueries; ++Q)
+    std::memcpy(QueryBytes.data() + Q * 8, &Db.PatternOffsets[Q], 8);
+  GlobalVariable *Queries = M.createGlobal("QUERY_PATTERNS", QueryBytes.size());
+  Queries->setInitializer(QueryBytes);
+
+  // The scan-and-match VDBE program (4 x i64 per instruction). Both the
+  // match and no-match paths converge on the single OP_Next at pc 4, so
+  // the cursor advances exactly once per row.
+  std::vector<uint64_t> Prog = {
+      OP_Rewind,    0, 5, 0, // 0: empty table -> halt
+      OP_Column,    1, 0, 0, // 1: parse current cell into regs
+      OP_Like,      0, 4, 0, // 2: no match -> pc 4
+      OP_ResultRow, 3, 0, 0, // 3: ++matches, fall through
+      OP_Next,      0, 1, 0, // 4: more rows -> pc 1, else fall through
+      OP_Halt,      0, 0, 0, // 5: done
+  };
+  std::vector<uint8_t> ProgBytes(Prog.size() * 8);
+  std::memcpy(ProgBytes.data(), Prog.data(), ProgBytes.size());
+  GlobalVariable *ProgG = M.createGlobal("VDBE_PROG", ProgBytes.size());
+  ProgG->setInitializer(ProgBytes);
+
+  GlobalVariable *Regs = M.createGlobal("REGS", RegCount * 8);
+  GlobalVariable *CursorG = M.createGlobal("CURSOR", 2 * 8);
+  GlobalVariable *Scratch = M.createGlobal("SCRATCH", 2 * 8);
+  GlobalVariable *KeyBuf = M.createGlobal("KEYBUF", 64);
+  GlobalVariable *ResultG = M.createGlobal("RESULT", 8);
+
+  auto RegPtr = [&](unsigned Reg) {
+    return B.createPtrAdd(Regs, B.i64(Reg * 8));
+  };
+
+  //===------------------------------------------------------------===//
+  // sqlite3GetVarint(ptr p, ptr out) -> i64 consumed
+  //===------------------------------------------------------------===//
+  Function *GetVarint =
+      M.createFunction("sqlite3GetVarint", I64, {Ptr, Ptr});
+  GetVarint->setLoc(SourceLoc{"util.c", 112, "sqlite3GetVarint"});
+  {
+    Argument *P = GetVarint->arg(0);
+    Argument *Out = GetVarint->arg(1);
+    BasicBlock *Entry = GetVarint->createBlock("entry");
+    BasicBlock *Loop = GetVarint->createBlock("loop");
+    BasicBlock *Exit = GetVarint->createBlock("exit");
+
+    B.setInsertPoint(Entry);
+    B.createBr(Loop);
+
+    B.setInsertPoint(Loop);
+    Instruction *IPhi = B.createPhi(I64, "i");
+    Instruction *ValPhi = B.createPhi(I64, "val");
+    Value *BytePtr = B.createPtrAdd(P, IPhi);
+    Value *Byte8 = B.createLoad(I8, BytePtr, "b");
+    Value *Byte = B.createZExt(Byte8, I64, "b.w");
+    Value *Low = B.createAnd(Byte, B.i64(0x7f));
+    Value *Shifted = B.createShl(ValPhi, B.i64(7));
+    Value *Val2 = B.createOr(Shifted, Low, "val.next");
+    Value *I2 = B.createAdd(IPhi, B.i64(1), "i.next");
+    Value *HighBit = B.createAnd(Byte, B.i64(0x80));
+    Value *More = B.createICmp(ICmpPred::NE, HighBit, B.i64(0));
+    Value *InRange = B.createICmp(ICmpPred::SLT, I2, B.i64(9));
+    Value *Continue = B.createAnd(More, InRange);
+    B.createCondBr(Continue, Loop, Exit);
+    IPhi->addIncoming(B.i64(0), Entry);
+    IPhi->addIncoming(I2, Loop);
+    ValPhi->addIncoming(B.i64(0), Entry);
+    ValPhi->addIncoming(Val2, Loop);
+
+    B.setInsertPoint(Exit);
+    B.createStore(Val2, Out);
+    B.createRet(I2);
+  }
+
+  //===------------------------------------------------------------===//
+  // sqlite3BtreeParseCellPtr(i64 cellOff) -> i64 cell size.
+  // Writes REGS[1] = key offset (from PAGES), REGS[2] = key length.
+  //===------------------------------------------------------------===//
+  Function *ParseCell =
+      M.createFunction("sqlite3BtreeParseCellPtr", I64, {I64});
+  ParseCell->setLoc(SourceLoc{"btree.c", 4210, "sqlite3BtreeParseCellPtr"});
+  {
+    Argument *CellOff = ParseCell->arg(0);
+    BasicBlock *Entry = ParseCell->createBlock("entry");
+    B.setInsertPoint(Entry);
+    Value *CellPtr = B.createPtrAdd(Pages, CellOff, "cell");
+
+    // Single-byte varint fast path, inlined the way sqlite's
+    // getVarint32 macro is; multi-byte values take the out-of-line call.
+    auto InlineVarint = [&](Value *Ptr, Value *ScratchSlot,
+                            const std::string &Tag) {
+      BasicBlock *Fast = ParseCell->createBlock(Tag + ".fast");
+      BasicBlock *Slow = ParseCell->createBlock(Tag + ".slow");
+      BasicBlock *Join = ParseCell->createBlock(Tag + ".join");
+      Value *B0 = B.createLoad(I8, Ptr, Tag + ".b0");
+      Value *W0 = B.createZExt(B0, I64);
+      Value *IsFast = B.createICmp(ICmpPred::ULT, W0, B.i64(128));
+      B.createCondBr(IsFast, Fast, Slow);
+      B.setInsertPoint(Fast);
+      B.createBr(Join);
+      B.setInsertPoint(Slow);
+      Value *NSlow = B.createCall(GetVarint, {Ptr, ScratchSlot}, Tag + ".n");
+      Value *VSlow = B.createLoad(I64, ScratchSlot, Tag + ".v");
+      B.createBr(Join);
+      B.setInsertPoint(Join);
+      Instruction *ValPhi = B.createPhi(I64, Tag + ".val");
+      ValPhi->addIncoming(W0, Fast);
+      ValPhi->addIncoming(VSlow, Slow);
+      Instruction *LenPhi = B.createPhi(I64, Tag + ".len");
+      LenPhi->addIncoming(B.i64(1), Fast);
+      LenPhi->addIncoming(NSlow, Slow);
+      return std::make_pair(static_cast<Value *>(ValPhi),
+                            static_cast<Value *>(LenPhi));
+    };
+
+    auto [KeyLen, N1] = InlineVarint(CellPtr, Scratch, "v1");
+    Value *P1 = B.createPtrAdd(CellPtr, N1);
+    Value *Scratch2 = B.createPtrAdd(Scratch, B.i64(8));
+    auto [ExtraLen, N2] = InlineVarint(P1, Scratch2, "v2");
+
+    Value *HdrLen = B.createAdd(N1, N2, "hdr");
+    Value *KeyOff = B.createAdd(CellOff, HdrLen, "keyoff");
+    B.createStore(KeyOff, RegPtr(1));
+    B.createStore(KeyLen, RegPtr(2));
+
+    // Header validation: checksum the first four key bytes, the way
+    // sqlite sanity-checks cell payloads.
+    Value *KeyPtr = B.createPtrAdd(Pages, KeyOff, "keyptr");
+    Value *Sum = B.i64(0xcbf29ce4);
+    for (unsigned I = 0; I != 4; ++I) {
+      Value *Ch8 = B.createLoad(I8, B.createPtrAdd(KeyPtr, B.i64(I)));
+      Value *Ch = B.createZExt(Ch8, I64);
+      Value *Mixed = B.createMul(Sum, B.i64(0x100000001b3));
+      Sum = B.createXor(Mixed, Ch, "csum");
+    }
+    // Fold the checksum into the total so it cannot be eliminated.
+    Value *Total0 = B.createAdd(HdrLen, KeyLen);
+    Value *Total1 = B.createAdd(Total0, B.i64(1)); // NUL
+    Value *Total2 = B.createAdd(Total1, ExtraLen);
+    Value *Garble = B.createAnd(Sum, B.i64(0)); // contributes zero
+    Value *Total = B.createAdd(Total2, Garble, "total");
+    B.createRet(Total);
+  }
+
+  //===------------------------------------------------------------===//
+  // patternCompare(ptr pat, ptr str) -> i64 (1 = match)
+  //===------------------------------------------------------------===//
+  Function *PatternCompare =
+      M.createFunction("patternCompare", I64, {Ptr, Ptr});
+  PatternCompare->setLoc(SourceLoc{"func.c", 718, "patternCompare"});
+  {
+    Argument *Pat = PatternCompare->arg(0);
+    Argument *Str = PatternCompare->arg(1);
+    BasicBlock *Entry = PatternCompare->createBlock("entry");
+    BasicBlock *Loop = PatternCompare->createBlock("loop");
+    BasicBlock *AtPatEnd = PatternCompare->createBlock("pat.end");
+    BasicBlock *MatchEnd = PatternCompare->createBlock("match.end");
+    BasicBlock *MaybeBack = PatternCompare->createBlock("maybe.back");
+    BasicBlock *HaveP = PatternCompare->createBlock("have.p");
+    BasicBlock *Star = PatternCompare->createBlock("star");
+    BasicBlock *NotStar = PatternCompare->createBlock("not.star");
+    BasicBlock *HaveS = PatternCompare->createBlock("have.s");
+    BasicBlock *Step = PatternCompare->createBlock("step");
+    BasicBlock *NoMatch = PatternCompare->createBlock("nomatch");
+    BasicBlock *Backtrack = PatternCompare->createBlock("backtrack");
+    BasicBlock *Cont = PatternCompare->createBlock("cont");
+    BasicBlock *Fail = PatternCompare->createBlock("fail");
+
+    B.setInsertPoint(Entry);
+    B.createBr(Loop);
+
+    B.setInsertPoint(Loop);
+    Instruction *PPhi = B.createPhi(Ptr, "p");
+    Instruction *SPhi = B.createPhi(Ptr, "s");
+    Instruction *HasStar = B.createPhi(I64, "has.star");
+    Instruction *StarP = B.createPhi(Ptr, "star.p");
+    Instruction *StarS = B.createPhi(Ptr, "star.s");
+    Value *Pc8 = B.createLoad(I8, PPhi, "pc");
+    Value *Pc = B.createZExt(Pc8, I64);
+    Value *PatEnd = B.createICmp(ICmpPred::EQ, Pc, B.i64(0));
+    B.createCondBr(PatEnd, AtPatEnd, HaveP);
+
+    // Pattern exhausted: match if the string is exhausted too; otherwise
+    // retry from the last '%' (backtracking), like sqlite3's matcher.
+    B.setInsertPoint(AtPatEnd);
+    Value *Se8 = B.createLoad(I8, SPhi, "se");
+    Value *Se = B.createZExt(Se8, I64);
+    Value *StrEnd = B.createICmp(ICmpPred::EQ, Se, B.i64(0));
+    B.createCondBr(StrEnd, MatchEnd, MaybeBack);
+
+    B.setInsertPoint(MatchEnd);
+    B.createRet(B.i64(1));
+
+    B.setInsertPoint(MaybeBack);
+    Value *CanBackAtEnd = B.createICmp(ICmpPred::NE, HasStar, B.i64(0));
+    B.createCondBr(CanBackAtEnd, Backtrack, Fail);
+
+    B.setInsertPoint(HaveP);
+    Value *IsStar = B.createICmp(ICmpPred::EQ, Pc, B.i64('%'));
+    B.createCondBr(IsStar, Star, NotStar);
+
+    B.setInsertPoint(Star);
+    Value *StarP2 = B.createPtrAdd(PPhi, B.i64(1), "star.p2");
+    B.createBr(Cont);
+
+    B.setInsertPoint(NotStar);
+    Value *Sc8 = B.createLoad(I8, SPhi, "sc");
+    Value *Sc = B.createZExt(Sc8, I64);
+    Value *SEnd = B.createICmp(ICmpPred::EQ, Sc, B.i64(0));
+    B.createCondBr(SEnd, Fail, HaveS);
+
+    B.setInsertPoint(HaveS);
+    Value *IsUnder = B.createICmp(ICmpPred::EQ, Pc, B.i64('_'));
+    Value *PcLower = B.createOr(Pc, B.i64(0x20));
+    Value *ScLower = B.createOr(Sc, B.i64(0x20));
+    Value *CharEq = B.createICmp(ICmpPred::EQ, PcLower, ScLower);
+    Value *Matches = B.createOr(IsUnder, CharEq);
+    B.createCondBr(Matches, Step, NoMatch);
+
+    B.setInsertPoint(Step);
+    Value *PNextStep = B.createPtrAdd(PPhi, B.i64(1));
+    Value *SNextStep = B.createPtrAdd(SPhi, B.i64(1));
+    B.createBr(Cont);
+
+    B.setInsertPoint(NoMatch);
+    Value *CanBacktrack = B.createICmp(ICmpPred::NE, HasStar, B.i64(0));
+    B.createCondBr(CanBacktrack, Backtrack, Fail);
+
+    B.setInsertPoint(Backtrack);
+    Value *SS2 = B.createPtrAdd(StarS, B.i64(1), "ss2");
+    B.createBr(Cont);
+
+    // Merge point: phis pick the next (p, s, star state) per source.
+    B.setInsertPoint(Cont);
+    Instruction *PNext = B.createPhi(Ptr, "p.next");
+    PNext->addIncoming(StarP2, Star);
+    PNext->addIncoming(PNextStep, Step);
+    PNext->addIncoming(StarP, Backtrack);
+    Instruction *SNext = B.createPhi(Ptr, "s.next");
+    SNext->addIncoming(SPhi, Star);
+    SNext->addIncoming(SNextStep, Step);
+    SNext->addIncoming(SS2, Backtrack);
+    Instruction *HasStarNext = B.createPhi(I64, "has.star.next");
+    HasStarNext->addIncoming(B.i64(1), Star);
+    HasStarNext->addIncoming(HasStar, Step);
+    HasStarNext->addIncoming(HasStar, Backtrack);
+    Instruction *StarPNext = B.createPhi(Ptr, "star.p.next");
+    StarPNext->addIncoming(StarP2, Star);
+    StarPNext->addIncoming(StarP, Step);
+    StarPNext->addIncoming(StarP, Backtrack);
+    Instruction *StarSNext = B.createPhi(Ptr, "star.s.next");
+    StarSNext->addIncoming(SPhi, Star);
+    StarSNext->addIncoming(StarS, Step);
+    StarSNext->addIncoming(SS2, Backtrack);
+    B.createBr(Loop);
+
+    PPhi->addIncoming(Pat, Entry);
+    PPhi->addIncoming(PNext, Cont);
+    SPhi->addIncoming(Str, Entry);
+    SPhi->addIncoming(SNext, Cont);
+    HasStar->addIncoming(B.i64(0), Entry);
+    HasStar->addIncoming(HasStarNext, Cont);
+    StarP->addIncoming(Pat, Entry);
+    StarP->addIncoming(StarPNext, Cont);
+    StarS->addIncoming(Str, Entry);
+    StarS->addIncoming(StarSNext, Cont);
+
+    B.setInsertPoint(Fail);
+    B.createRet(B.i64(0));
+  }
+
+  //===------------------------------------------------------------===//
+  // sqlite3BtreeNext() -> i64 (1 = positioned on a row)
+  //===------------------------------------------------------------===//
+  Function *BtreeNext = M.createFunction("sqlite3BtreeNext", I64, {});
+  BtreeNext->setLoc(SourceLoc{"btree.c", 5030, "sqlite3BtreeNext"});
+  {
+    BasicBlock *Entry = BtreeNext->createBlock("entry");
+    BasicBlock *SamePage = BtreeNext->createBlock("same.page");
+    BasicBlock *NextPage = BtreeNext->createBlock("next.page");
+    BasicBlock *Done = BtreeNext->createBlock("done");
+    BasicBlock *NoMore = BtreeNext->createBlock("no.more");
+
+    B.setInsertPoint(Entry);
+    Value *CellPtrSlot = B.createPtrAdd(CursorG, B.i64(8));
+    Value *Cell = B.createLoad(I64, CellPtrSlot, "cell");
+    Value *Cell2 = B.createAdd(Cell, B.i64(1), "cell.next");
+    Value *Page = B.createLoad(I64, CursorG, "page");
+    Value *PageOff = B.createMul(Page, B.i64(PageSize));
+    Value *PageBase = B.createPtrAdd(Pages, PageOff, "page.base");
+    Value *NumCells = B.createLoad(I64, PageBase, "ncells");
+    Value *InPage = B.createICmp(ICmpPred::SLT, Cell2, NumCells);
+    B.createCondBr(InPage, SamePage, NextPage);
+
+    B.setInsertPoint(SamePage);
+    B.createStore(Cell2, CellPtrSlot);
+    B.createBr(Done);
+
+    B.setInsertPoint(NextPage);
+    Value *Page2 = B.createAdd(Page, B.i64(1), "page.next");
+    Value *HasPage =
+        B.createICmp(ICmpPred::SLT, Page2, B.i64(Config.NumPages));
+    B.createStore(Page2, CursorG);
+    B.createStore(B.i64(0), CellPtrSlot);
+    B.createCondBr(HasPage, Done, NoMore);
+
+    B.setInsertPoint(Done);
+    B.createRet(B.i64(1));
+    B.setInsertPoint(NoMore);
+    B.createRet(B.i64(0));
+  }
+
+  //===------------------------------------------------------------===//
+  // btreeCursorCellOffset() -> i64 offset of the current cell in PAGES
+  //===------------------------------------------------------------===//
+  Function *CursorCell = M.createFunction("btreeCursorCellOffset", I64, {});
+  CursorCell->setLoc(SourceLoc{"btree.c", 4444, "btreeCursorCellOffset"});
+  {
+    BasicBlock *Entry = CursorCell->createBlock("entry");
+    B.setInsertPoint(Entry);
+    Value *Page = B.createLoad(I64, CursorG, "page");
+    Value *Cell = B.createLoad(I64, B.createPtrAdd(CursorG, B.i64(8)), "cell");
+    Value *PageOff = B.createMul(Page, B.i64(PageSize), "page.off");
+    Value *SlotOff = B.createShl(Cell, B.i64(3));
+    Value *Slot0 = B.createAdd(PageOff, B.i64(8));
+    Value *SlotAddr = B.createAdd(Slot0, SlotOff);
+    Value *SlotPtr = B.createPtrAdd(Pages, SlotAddr);
+    Value *CellOff = B.createLoad(I64, SlotPtr, "cell.off");
+    Value *Result = B.createAdd(PageOff, CellOff, "abs.off");
+    B.createRet(Result);
+  }
+
+  //===------------------------------------------------------------===//
+  // sqlite3VdbeMemSetStr(i64 keyOff, i64 keyLen): copy key to KEYBUF
+  //===------------------------------------------------------------===//
+  Function *MemSetStr =
+      M.createFunction("sqlite3VdbeMemSetStr", Ctx.voidTy(), {I64, I64});
+  MemSetStr->setLoc(SourceLoc{"vdbemem.c", 990, "sqlite3VdbeMemSetStr"});
+  {
+    Argument *KeyOff = MemSetStr->arg(0);
+    Argument *KeyLen = MemSetStr->arg(1);
+    BasicBlock *Entry = MemSetStr->createBlock("entry");
+    BasicBlock *Loop = MemSetStr->createBlock("loop");
+    BasicBlock *Exit = MemSetStr->createBlock("exit");
+
+    B.setInsertPoint(Entry);
+    // Clamp to the buffer (keys are always shorter than 64).
+    Value *Cap = B.createICmp(ICmpPred::SLT, KeyLen, B.i64(63));
+    Value *Len = B.createSelect(Cap, KeyLen, B.i64(63), "len");
+    Value *Src = B.createPtrAdd(Pages, KeyOff, "src");
+    B.createBr(Loop);
+
+    B.setInsertPoint(Loop);
+    Instruction *IPhi = B.createPhi(I64, "i");
+    Value *Word = B.createLoad(I64, B.createPtrAdd(Src, IPhi), "w");
+    B.createStore(Word, B.createPtrAdd(KeyBuf, IPhi));
+    Value *I2 = B.createAdd(IPhi, B.i64(8), "i.next");
+    Value *More = B.createICmp(ICmpPred::SLT, I2, Len);
+    B.createCondBr(More, Loop, Exit);
+    IPhi->addIncoming(B.i64(0), Entry);
+    IPhi->addIncoming(I2, Loop);
+
+    B.setInsertPoint(Exit);
+    B.createStore(B.i64(0), B.createPtrAdd(KeyBuf, B.i64(0)));
+    B.createRet();
+  }
+
+  //===------------------------------------------------------------===//
+  // sqlite3VdbeExec(i64 patternOff) -> i64 matches
+  //===------------------------------------------------------------===//
+  Function *VdbeExec = M.createFunction("sqlite3VdbeExec", I64, {I64});
+  VdbeExec->setLoc(SourceLoc{"vdbe.c", 1540, "sqlite3VdbeExec"});
+  {
+    Argument *PatOff = VdbeExec->arg(0);
+    BasicBlock *Entry = VdbeExec->createBlock("entry");
+    BasicBlock *Loop = VdbeExec->createBlock("dispatch");
+    BasicBlock *CaseRewind = VdbeExec->createBlock("op.rewind");
+    BasicBlock *CaseColumn = VdbeExec->createBlock("op.column");
+    BasicBlock *CaseLike = VdbeExec->createBlock("op.like");
+    BasicBlock *CaseResult = VdbeExec->createBlock("op.resultrow");
+    BasicBlock *CaseNext = VdbeExec->createBlock("op.next");
+    BasicBlock *ChkColumn = VdbeExec->createBlock("chk.column");
+    BasicBlock *ChkLike = VdbeExec->createBlock("chk.like");
+    BasicBlock *ChkResult = VdbeExec->createBlock("chk.resultrow");
+    BasicBlock *ChkNext = VdbeExec->createBlock("chk.next");
+    BasicBlock *Advance = VdbeExec->createBlock("advance");
+    BasicBlock *Halt = VdbeExec->createBlock("halt");
+
+    B.setInsertPoint(Entry);
+    B.createStore(PatOff, RegPtr(0));
+    B.createStore(B.i64(0), RegPtr(3));
+    B.createBr(Loop);
+
+    B.setInsertPoint(Loop);
+    Instruction *Pc = B.createPhi(I64, "pc");
+    Value *InstOff = B.createShl(Pc, B.i64(5)); // 4 x i64 per instruction
+    Value *InstPtr = B.createPtrAdd(ProgG, InstOff, "inst");
+    Value *Op = B.createLoad(I64, InstPtr, "op");
+    Value *P2 = B.createLoad(I64, B.createPtrAdd(InstPtr, B.i64(16)), "p2");
+    // Decode overhead: flag computation the way the real VDBE inspects
+    // opcode properties.
+    Value *P1 = B.createLoad(I64, B.createPtrAdd(InstPtr, B.i64(8)), "p1");
+    Value *P3 = B.createLoad(I64, B.createPtrAdd(InstPtr, B.i64(24)), "p3");
+    Value *F0 = B.createMul(Op, B.i64(0x9E3779B1), "f0");
+    Value *F1 = B.createLShr(F0, B.i64(13));
+    Value *F2 = B.createXor(F1, P2);
+    Value *F3 = B.createAnd(F2, B.i64(0xff), "flags");
+    Value *G0 = B.createMul(P1, B.i64(0x85EBCA77), "g0");
+    Value *G1 = B.createLShr(G0, B.i64(17));
+    Value *G2 = B.createXor(G1, P3);
+    Value *G3 = B.createOr(G2, F3);
+    Value *H0 = B.createShl(G3, B.i64(3));
+    Value *H1 = B.createXor(H0, F1);
+    Value *H2 = B.createAnd(H1, B.i64(0x3f), "props");
+    Value *H3 = B.createLShr(H2, B.i64(2));
+    Value *FDead = B.createAnd(H3, B.i64(0));
+    Value *PcBase = B.createAdd(Pc, B.i64(1));
+    Value *PcPlus1 = B.createAdd(PcBase, FDead, "pc.plus1");
+
+    Value *IsHalt = B.createICmp(ICmpPred::EQ, Op, B.i64(OP_Halt));
+    B.createCondBr(IsHalt, Halt, ChkColumn);
+
+    B.setInsertPoint(ChkColumn);
+    Value *IsColumn = B.createICmp(ICmpPred::EQ, Op, B.i64(OP_Column));
+    B.createCondBr(IsColumn, CaseColumn, ChkLike);
+    B.setInsertPoint(ChkLike);
+    Value *IsLike = B.createICmp(ICmpPred::EQ, Op, B.i64(OP_Like));
+    B.createCondBr(IsLike, CaseLike, ChkNext);
+    B.setInsertPoint(ChkNext);
+    Value *IsNext = B.createICmp(ICmpPred::EQ, Op, B.i64(OP_Next));
+    B.createCondBr(IsNext, CaseNext, ChkResult);
+    B.setInsertPoint(ChkResult);
+    Value *IsResult = B.createICmp(ICmpPred::EQ, Op, B.i64(OP_ResultRow));
+    B.createCondBr(IsResult, CaseResult, CaseRewind);
+
+    // OP_Rewind: reset the cursor to the first row.
+    B.setInsertPoint(CaseRewind);
+    B.createStore(B.i64(0), CursorG);
+    B.createStore(B.i64(0), B.createPtrAdd(CursorG, B.i64(8)));
+    B.createBr(Advance);
+
+    // OP_Column: locate + parse the current cell, copy the key out.
+    B.setInsertPoint(CaseColumn);
+    Value *CellOff = B.createCall(CursorCell, {}, "cell.off");
+    B.createCall(ParseCell, {CellOff}, "cell.size");
+    Value *KeyOffR = B.createLoad(I64, RegPtr(1), "key.off");
+    Value *KeyLenR = B.createLoad(I64, RegPtr(2), "key.len");
+    B.createCall(MemSetStr, {KeyOffR, KeyLenR});
+    B.createBr(Advance);
+
+    // OP_Like: run patternCompare on the current key.
+    B.setInsertPoint(CaseLike);
+    Value *PatOffR = B.createLoad(I64, RegPtr(0), "pat.off");
+    Value *KeyOff2 = B.createLoad(I64, RegPtr(1));
+    Value *PatPtr = B.createPtrAdd(Patterns, PatOffR, "pat");
+    Value *KeyPtr = B.createPtrAdd(Pages, KeyOff2, "key");
+    Value *Match = B.createCall(PatternCompare, {PatPtr, KeyPtr}, "match");
+    Value *Matched = B.createICmp(ICmpPred::NE, Match, B.i64(0));
+    Value *LikeNext = B.createSelect(Matched, PcPlus1, P2, "like.next");
+    B.createBr(Advance);
+
+    // OP_ResultRow: ++matches.
+    B.setInsertPoint(CaseResult);
+    Value *MatchesNow = B.createLoad(I64, RegPtr(3));
+    Value *MatchesInc = B.createAdd(MatchesNow, B.i64(1));
+    B.createStore(MatchesInc, RegPtr(3));
+    B.createBr(Advance);
+
+    // OP_Next: advance the cursor; loop back while rows remain.
+    B.setInsertPoint(CaseNext);
+    Value *More = B.createCall(BtreeNext, {}, "more");
+    Value *HasMore = B.createICmp(ICmpPred::NE, More, B.i64(0));
+    Value *NextPc = B.createSelect(HasMore, P2, PcPlus1, "next.pc");
+    B.createBr(Advance);
+
+    // Merge: choose the next pc.
+    B.setInsertPoint(Advance);
+    Instruction *PcNext = B.createPhi(I64, "pc.next");
+    PcNext->addIncoming(PcPlus1, CaseRewind);
+    PcNext->addIncoming(PcPlus1, CaseColumn);
+    PcNext->addIncoming(LikeNext, CaseLike);
+    PcNext->addIncoming(PcPlus1, CaseResult);
+    PcNext->addIncoming(NextPc, CaseNext);
+    B.createBr(Loop);
+    Pc->addIncoming(B.i64(0), Entry);
+    Pc->addIncoming(PcNext, Advance);
+
+    B.setInsertPoint(Halt);
+    Value *FinalMatches = B.createLoad(I64, RegPtr(3), "final");
+    B.createRet(FinalMatches);
+  }
+
+  //===------------------------------------------------------------===//
+  // sqlite3_exec(i64 queryIdx) -> i64
+  //===------------------------------------------------------------===//
+  Function *Exec = M.createFunction("sqlite3_exec", I64, {I64});
+  Exec->setLoc(SourceLoc{"main.c", 120, "sqlite3_exec"});
+  {
+    Argument *QueryIdx = Exec->arg(0);
+    BasicBlock *Entry = Exec->createBlock("entry");
+    B.setInsertPoint(Entry);
+    Value *SlotOff = B.createShl(QueryIdx, B.i64(3));
+    Value *Slot = B.createPtrAdd(Queries, SlotOff);
+    Value *PatOff = B.createLoad(I64, Slot, "pat.off");
+    Value *Matches = B.createCall(VdbeExec, {PatOff}, "matches");
+    B.createRet(Matches);
+  }
+
+  //===------------------------------------------------------------===//
+  // main(i64 numQueries)
+  //===------------------------------------------------------------===//
+  Function *Main = M.createFunction("main", Ctx.voidTy(), {I64});
+  Main->setLoc(SourceLoc{"main.c", 200, "main"});
+  {
+    Argument *NumQueries = Main->arg(0);
+    BasicBlock *Entry = Main->createBlock("entry");
+    BasicBlock *Loop = Main->createBlock("loop");
+    BasicBlock *Exit = Main->createBlock("exit");
+
+    B.setInsertPoint(Entry);
+    B.createStore(B.i64(0), ResultG);
+    B.createBr(Loop);
+
+    B.setInsertPoint(Loop);
+    Instruction *Q = B.createPhi(I64, "q");
+    Value *QueryIdx = B.createURem(Q, B.i64(Config.NumQueries), "q.idx");
+    Value *Matches = B.createCall(Exec, {QueryIdx}, "m");
+    Value *Acc = B.createLoad(I64, ResultG);
+    Value *Acc2 = B.createAdd(Acc, Matches);
+    B.createStore(Acc2, ResultG);
+    Value *Q2 = B.createAdd(Q, B.i64(1), "q.next");
+    Value *MoreQ = B.createICmp(ICmpPred::SLT, Q2, NumQueries);
+    B.createCondBr(MoreQ, Loop, Exit);
+    Q->addIncoming(B.i64(0), Entry);
+    Q->addIncoming(Q2, Loop);
+
+    B.setInsertPoint(Exit);
+    B.createRet();
+  }
+
+  return W;
+}

@@ -1,0 +1,73 @@
+//===- SqliteLike.h - Synthetic database engine workload -------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper profiles the sqlite3 benchmark from the LLVM test suite
+/// (Fig. 3, Table 2). That exact program is not available to the
+/// simulator, so this workload is a faithful *behavioural* stand-in: a
+/// little database engine whose hot functions carry the same names and
+/// the same kinds of work as sqlite3's —
+///
+///  - `sqlite3VdbeExec`: a bytecode (VDBE) interpreter dispatch loop
+///    executing a table-scan query program;
+///  - `patternCompare`: LIKE-style '%'/'_' pattern matching with
+///    backtracking over row keys (sqlite3's patternCompare);
+///  - `sqlite3BtreeParseCellPtr`: varint-decoding B-tree cell parser;
+///  - supporting cast: `sqlite3BtreeNext`, `sqlite3GetVarint`,
+///    `sqlite3_exec`, `main`.
+///
+/// Rows live in synthetic B-tree pages generated deterministically at
+/// build time, so every run executes the same instruction stream. The
+/// function mix is tuned so the hotspot distribution approximates the
+/// paper's Table 2 (VdbeExec > patternCompare > ParseCellPtr).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_WORKLOADS_SQLITELIKE_H
+#define MPERF_WORKLOADS_SQLITELIKE_H
+
+#include "ir/Module.h"
+#include "vm/Interpreter.h"
+
+#include <memory>
+
+namespace mperf {
+namespace workloads {
+
+/// Scale parameters.
+struct SqliteLikeConfig {
+  unsigned NumPages = 64;
+  unsigned CellsPerPage = 24;
+  unsigned NumQueries = 40;
+  /// Average key length in bytes (pattern-match work per row).
+  unsigned KeyLen = 12;
+  uint64_t Seed = 0xdb5eed;
+};
+
+/// The built program. Entry point: `main(i64 numQueries)`.
+struct SqliteLikeWorkload {
+  std::unique_ptr<ir::Module> M;
+  SqliteLikeConfig Config;
+  /// Expected total number of LIKE matches across all queries, computed
+  /// by a host-side reference implementation at build time; compare with
+  /// the RESULT global after a run.
+  uint64_t ExpectedMatches = 0;
+
+  /// Reads the engine's match accumulator after a run.
+  uint64_t result(vm::Interpreter &Vm) const {
+    return Vm.readI64(Vm.globalAddress("RESULT"));
+  }
+};
+
+/// Builds the engine with deterministic page/pattern data baked into
+/// global initializers.
+SqliteLikeWorkload buildSqliteLike(const SqliteLikeConfig &Config);
+
+} // namespace workloads
+} // namespace mperf
+
+#endif // MPERF_WORKLOADS_SQLITELIKE_H

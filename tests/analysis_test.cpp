@@ -1,0 +1,323 @@
+//===- analysis_test.cpp - Dominator/loop/region analysis tests ----------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/OpCounts.h"
+#include "analysis/RegionInfo.h"
+#include "ir/Parser.h"
+#include "workloads/Matmul.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+using namespace mperf::ir;
+using namespace mperf::analysis;
+
+namespace {
+
+std::unique_ptr<Module> parse(std::string_view Text) {
+  auto MOr = parseModule(Text);
+  EXPECT_TRUE(MOr.hasValue()) << (MOr ? "" : MOr.errorMessage());
+  return std::move(*MOr);
+}
+
+BasicBlock *blockNamed(Function *F, std::string_view Name) {
+  for (BasicBlock *BB : *F)
+    if (BB->name() == Name)
+      return BB;
+  return nullptr;
+}
+
+/// Diamond CFG: entry -> (left|right) -> join.
+const char *DiamondText = R"(module m
+func @diamond(i1 %c) -> i64 {
+entry:
+  cond_br %c, left, right
+left:
+  %a = add i64 1, 2
+  br join
+right:
+  %b = add i64 3, 4
+  br join
+join:
+  %v = phi i64 [ %a, left ], [ %b, right ]
+  ret i64 %v
+}
+)";
+
+/// Two-level nest: outer loop containing an inner loop.
+const char *NestText = R"(module m
+func @nest(i64 %n) -> void {
+entry:
+  br outer.ph
+outer.ph:
+  br outer
+outer:
+  %i = phi i64 [ 0, outer.ph ], [ %i.next, inner.exit ]
+  br inner.ph
+inner.ph:
+  br inner
+inner:
+  %j = phi i64 [ 0, inner.ph ], [ %j.next, inner ]
+  %j.next = add i64 %j, 1
+  %jc = icmp slt i64 %j.next, %n
+  cond_br %jc, inner, inner.exit
+inner.exit:
+  %i.next = add i64 %i, 1
+  %ic = icmp slt i64 %i.next, %n
+  cond_br %ic, outer, outer.exit
+outer.exit:
+  ret
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// DominatorTree
+//===----------------------------------------------------------------------===//
+
+TEST(Dominators, Diamond) {
+  auto M = parse(DiamondText);
+  Function *F = M->function("diamond");
+  DominatorTree DT(*F);
+
+  BasicBlock *Entry = blockNamed(F, "entry");
+  BasicBlock *Left = blockNamed(F, "left");
+  BasicBlock *Right = blockNamed(F, "right");
+  BasicBlock *Join = blockNamed(F, "join");
+
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_TRUE(DT.dominates(Entry, Left));
+  EXPECT_FALSE(DT.dominates(Left, Join));
+  EXPECT_FALSE(DT.dominates(Right, Join));
+  EXPECT_TRUE(DT.dominates(Join, Join)); // reflexive
+  EXPECT_FALSE(DT.strictlyDominates(Join, Join));
+  EXPECT_EQ(DT.idom(Join), Entry);
+  EXPECT_EQ(DT.idom(Left), Entry);
+  EXPECT_EQ(DT.idom(Entry), nullptr);
+}
+
+TEST(Dominators, RpoStartsAtEntry) {
+  auto M = parse(DiamondText);
+  Function *F = M->function("diamond");
+  DominatorTree DT(*F);
+  ASSERT_FALSE(DT.reversePostOrder().empty());
+  EXPECT_EQ(DT.reversePostOrder().front(), F->entry());
+  EXPECT_EQ(DT.reversePostOrder().size(), 4u);
+}
+
+TEST(Dominators, UnreachableBlockExcluded) {
+  auto M = parse(R"(module m
+func @f() -> void {
+entry:
+  ret
+island:
+  br island
+}
+)");
+  Function *F = M->function("f");
+  DominatorTree DT(*F);
+  BasicBlock *Island = blockNamed(F, "island");
+  EXPECT_FALSE(DT.isReachable(Island));
+  EXPECT_FALSE(DT.dominates(F->entry(), Island));
+}
+
+TEST(Dominators, LoopHeaderDominatesLatch) {
+  auto M = parse(NestText);
+  Function *F = M->function("nest");
+  DominatorTree DT(*F);
+  EXPECT_TRUE(
+      DT.dominates(blockNamed(F, "outer"), blockNamed(F, "inner.exit")));
+  EXPECT_TRUE(DT.dominates(blockNamed(F, "inner"), blockNamed(F, "inner")));
+  EXPECT_FALSE(DT.dominates(blockNamed(F, "inner"), blockNamed(F, "outer")));
+}
+
+//===----------------------------------------------------------------------===//
+// LoopInfo
+//===----------------------------------------------------------------------===//
+
+TEST(Loops, DetectsNest) {
+  auto M = parse(NestText);
+  Function *F = M->function("nest");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+
+  ASSERT_EQ(LI.numLoops(), 2u);
+  ASSERT_EQ(LI.topLevelLoops().size(), 1u);
+  Loop *Outer = LI.topLevelLoops()[0];
+  EXPECT_EQ(Outer->header(), blockNamed(F, "outer"));
+  ASSERT_EQ(Outer->subLoops().size(), 1u);
+  Loop *Inner = Outer->subLoops()[0];
+  EXPECT_EQ(Inner->header(), blockNamed(F, "inner"));
+  EXPECT_TRUE(Inner->isInnermost());
+  EXPECT_FALSE(Outer->isInnermost());
+  EXPECT_EQ(Outer->depth(), 1u);
+  EXPECT_EQ(Inner->depth(), 2u);
+  EXPECT_EQ(Inner->parent(), Outer);
+
+  EXPECT_TRUE(Outer->contains(blockNamed(F, "inner")));
+  EXPECT_TRUE(Outer->contains(blockNamed(F, "inner.exit")));
+  EXPECT_FALSE(Inner->contains(blockNamed(F, "inner.exit")));
+  EXPECT_FALSE(Outer->contains(blockNamed(F, "entry")));
+}
+
+TEST(Loops, StructuralQueries) {
+  auto M = parse(NestText);
+  Function *F = M->function("nest");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  Loop *Outer = LI.topLevelLoops()[0];
+  Loop *Inner = Outer->subLoops()[0];
+
+  EXPECT_EQ(Outer->preheader(), blockNamed(F, "outer.ph"));
+  EXPECT_EQ(Inner->preheader(), blockNamed(F, "inner.ph"));
+  auto OuterExits = Outer->exitBlocks();
+  ASSERT_EQ(OuterExits.size(), 1u);
+  EXPECT_EQ(OuterExits[0], blockNamed(F, "outer.exit"));
+  auto InnerLatches = Inner->latches();
+  ASSERT_EQ(InnerLatches.size(), 1u);
+  EXPECT_EQ(InnerLatches[0], blockNamed(F, "inner"));
+  EXPECT_EQ(LI.loopFor(blockNamed(F, "inner")), Inner);
+  EXPECT_EQ(LI.loopFor(blockNamed(F, "inner.exit")), Outer);
+  EXPECT_EQ(LI.loopFor(blockNamed(F, "entry")), nullptr);
+}
+
+TEST(Loops, PreorderOutermostFirst) {
+  auto M = parse(NestText);
+  Function *F = M->function("nest");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  auto Loops = LI.loopsInPreorder();
+  ASSERT_EQ(Loops.size(), 2u);
+  EXPECT_EQ(Loops[0]->depth(), 1u);
+  EXPECT_EQ(Loops[1]->depth(), 2u);
+}
+
+TEST(Loops, MatmulNestDepthSix) {
+  auto W = workloads::buildMatmul({64, 16, 1});
+  Function *F = W.M->function("matmul_kernel");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  EXPECT_EQ(LI.numLoops(), 6u);
+  ASSERT_EQ(LI.topLevelLoops().size(), 1u);
+  unsigned MaxDepth = 0;
+  for (Loop *L : LI.loopsInPreorder())
+    MaxDepth = std::max(MaxDepth, L->depth());
+  EXPECT_EQ(MaxDepth, 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// SESE regions
+//===----------------------------------------------------------------------===//
+
+TEST(Regions, AcceptsCanonicalNest) {
+  auto M = parse(NestText);
+  Function *F = M->function("nest");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  auto Region = computeSESERegion(LI.topLevelLoops()[0]);
+  ASSERT_TRUE(Region.has_value());
+  EXPECT_EQ(Region->Entry, blockNamed(F, "outer.ph"));
+  EXPECT_EQ(Region->Exit, blockNamed(F, "outer.exit"));
+  EXPECT_EQ(Region->Blocks.size(), 4u);
+}
+
+TEST(Regions, RejectsMissingPreheader) {
+  auto M = parse(R"(module m
+func @f(i64 %n, i1 %c) -> void {
+entry:
+  cond_br %c, a, b
+a:
+  br loop
+b:
+  br loop
+loop:
+  %i = phi i64 [ 0, a ], [ 0, b ], [ %i.next, loop ]
+  %i.next = add i64 %i, 1
+  %lc = icmp slt i64 %i.next, %n
+  cond_br %lc, loop, exit
+exit:
+  ret
+}
+)");
+  Function *F = M->function("f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.topLevelLoops().size(), 1u);
+  EXPECT_FALSE(computeSESERegion(LI.topLevelLoops()[0]).has_value());
+}
+
+TEST(Regions, RejectsMultipleExits) {
+  auto M = parse(R"(module m
+func @f(i64 %n, i1 %c) -> void {
+entry:
+  br ph
+ph:
+  br loop
+loop:
+  %i = phi i64 [ 0, ph ], [ %i.next, latch ]
+  cond_br %c, early, latch
+early:
+  ret
+latch:
+  %i.next = add i64 %i, 1
+  %lc = icmp slt i64 %i.next, %n
+  cond_br %lc, loop, exit
+exit:
+  ret
+}
+)");
+  Function *F = M->function("f");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.topLevelLoops().size(), 1u);
+  EXPECT_FALSE(computeSESERegion(LI.topLevelLoops()[0]).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// OpCounts
+//===----------------------------------------------------------------------===//
+
+TEST(OpCounts, CountsPerBlock) {
+  auto M = parse(R"(module m
+func @f(ptr %p) -> void {
+entry:
+  %x = load f32, %p
+  %y = fadd f32 %x, 1.0
+  %z = fma f32 %x, %y, %y
+  %i = add i64 1, 2
+  store f32 %z, %p
+  ret
+}
+)");
+  Function *F = M->function("f");
+  BlockOpCounts Counts = countBlockOps(*F->entry());
+  EXPECT_EQ(Counts.BytesLoaded, 4u);
+  EXPECT_EQ(Counts.BytesStored, 4u);
+  EXPECT_EQ(Counts.FloatOps, 3u); // fadd(1) + fma(2)
+  EXPECT_EQ(Counts.IntOps, 1u);
+  EXPECT_FALSE(Counts.isZero());
+}
+
+TEST(OpCounts, VectorLanesMultiply) {
+  auto M = parse(R"(module m
+func @f(ptr %p) -> void {
+entry:
+  %v = load <8 x f32>, %p
+  %w = fma <8 x f32> %v, %v, %v
+  store <8 x f32> %w, %p
+  ret
+}
+)");
+  Function *F = M->function("f");
+  BlockOpCounts Counts = countFunctionOps(*F);
+  EXPECT_EQ(Counts.BytesLoaded, 32u);
+  EXPECT_EQ(Counts.BytesStored, 32u);
+  EXPECT_EQ(Counts.FloatOps, 16u);
+}

@@ -1,0 +1,305 @@
+//===- hw_test.cpp - Cache and core model tests --------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/CacheSim.h"
+#include "hw/CoreModel.h"
+#include "hw/Platform.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+using namespace mperf::hw;
+using namespace mperf::vm;
+
+namespace {
+
+RetiredOp scalarOp(OpClass Class) {
+  RetiredOp Op;
+  Op.Class = Class;
+  Op.Lanes = 1;
+  return Op;
+}
+
+RetiredOp loadAt(uint64_t Addr, uint32_t Bytes = 8) {
+  RetiredOp Op;
+  Op.Class = OpClass::Load;
+  Op.Addr = Addr;
+  Op.Bytes = Bytes;
+  Op.Lanes = 1;
+  return Op;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CacheSim
+//===----------------------------------------------------------------------===//
+
+TEST(CacheSimTest, ColdMissThenHit) {
+  CacheConfig Config;
+  CacheSim Cache(Config);
+  EXPECT_EQ(Cache.access(0x1000, 8), MemLevel::DRAM);
+  EXPECT_EQ(Cache.access(0x1000, 8), MemLevel::L1);
+  EXPECT_EQ(Cache.access(0x1008, 8), MemLevel::L1); // same line
+  EXPECT_EQ(Cache.stats().L1Hits, 2u);
+  EXPECT_EQ(Cache.stats().L1Misses, 1u);
+  EXPECT_EQ(Cache.stats().DramBytes, 64u);
+}
+
+TEST(CacheSimTest, SpansMultipleLines) {
+  CacheConfig Config;
+  CacheSim Cache(Config);
+  // A 32-byte access at the very end of a line touches two lines.
+  EXPECT_EQ(Cache.access(0x1000 + 48, 32), MemLevel::DRAM);
+  EXPECT_EQ(Cache.stats().L1Misses, 2u);
+}
+
+TEST(CacheSimTest, L1EvictionFallsBackToL2) {
+  CacheConfig Config;
+  Config.L1 = {1024, 2, 64, 0}; // 8 sets x 2 ways, tiny
+  Config.L2 = {64 * 1024, 8, 64, 10};
+  CacheSim Cache(Config);
+  // Fill one set with 3 conflicting lines (stride = sets * linesize).
+  uint64_t Stride = (1024 / 64 / 2) * 64;
+  Cache.access(0 * Stride, 8);
+  Cache.access(1 * Stride, 8);
+  Cache.access(2 * Stride, 8); // evicts the LRU line
+  EXPECT_EQ(Cache.access(0 * Stride, 8), MemLevel::L2); // L1 miss, L2 hit
+  EXPECT_GT(Cache.stats().L2Hits, 0u);
+}
+
+TEST(CacheSimTest, LruKeepsHotLine) {
+  CacheConfig Config;
+  Config.L1 = {1024, 2, 64, 0};
+  CacheSim Cache(Config);
+  uint64_t Stride = (1024 / 64 / 2) * 64;
+  Cache.access(0 * Stride, 8);
+  Cache.access(1 * Stride, 8);
+  Cache.access(0 * Stride, 8); // touch line 0: line 1 becomes LRU
+  Cache.access(2 * Stride, 8); // evicts line 1
+  EXPECT_EQ(Cache.access(0 * Stride, 8), MemLevel::L1);
+}
+
+TEST(CacheSimTest, ResetClearsState) {
+  CacheSim Cache(CacheConfig{});
+  Cache.access(0x2000, 8);
+  Cache.reset();
+  EXPECT_EQ(Cache.stats().L1Misses, 0u);
+  EXPECT_EQ(Cache.access(0x2000, 8), MemLevel::DRAM);
+}
+
+TEST(CacheSimTest, LatencyOrdering) {
+  CacheSim Cache(CacheConfig{});
+  EXPECT_LT(Cache.latencyFor(MemLevel::L1), Cache.latencyFor(MemLevel::L2));
+  EXPECT_LT(Cache.latencyFor(MemLevel::L2), Cache.latencyFor(MemLevel::DRAM));
+}
+
+//===----------------------------------------------------------------------===//
+// CoreModel
+//===----------------------------------------------------------------------===//
+
+TEST(CoreModelTest, CyclesAccumulatePerClassCost) {
+  CoreConfig Core;
+  Core.CostIntAlu = 0.5;
+  Core.CostIntDiv = 12;
+  CoreModel Model(Core, CacheConfig{});
+  Model.onRetire(scalarOp(OpClass::IntAlu));
+  Model.onRetire(scalarOp(OpClass::IntAlu));
+  EXPECT_DOUBLE_EQ(Model.stats().Cycles, 1.0);
+  Model.onRetire(scalarOp(OpClass::IntDiv));
+  EXPECT_DOUBLE_EQ(Model.stats().Cycles, 13.0);
+  EXPECT_EQ(Model.stats().RetiredIrOps, 3u);
+}
+
+TEST(CoreModelTest, InstretFactorScalesInstructionCount) {
+  CoreConfig Core;
+  Core.InstretFactor = 1.85;
+  CoreModel Model(Core, CacheConfig{});
+  for (int I = 0; I < 100; ++I)
+    Model.onRetire(scalarOp(OpClass::IntAlu));
+  EXPECT_NEAR(Model.stats().Instret, 185.0, 1e-9);
+}
+
+TEST(CoreModelTest, MemoryStallsDividedByMlp) {
+  CoreConfig InOrder;
+  InOrder.Mlp = 1.0;
+  InOrder.CostLoad = 0.5;
+  CoreConfig OoO = InOrder;
+  OoO.Mlp = 4.0;
+  CacheConfig Cache;
+  Cache.DramLatency = 100;
+  Cache.DramBytesPerCycle = 1e9; // disable the bandwidth floor
+
+  CoreModel A(InOrder, Cache), B(OoO, Cache);
+  A.onRetire(loadAt(0x10000));
+  B.onRetire(loadAt(0x10000));
+  // Same cold DRAM miss: the OoO core hides 3/4 of the latency.
+  EXPECT_GT(A.stats().Cycles, B.stats().Cycles * 3);
+}
+
+TEST(CoreModelTest, BandwidthFloorBoundsStreaming) {
+  CoreConfig Core;
+  Core.CostStore = 0.0001; // absurdly fast issue
+  CacheConfig Cache;
+  Cache.DramBytesPerCycle = 2.0;
+  Cache.L1 = {1024, 2, 64, 0}; // tiny cache: everything streams
+  Cache.L2 = {2048, 2, 64, 1};
+  Cache.DramLatency = 0; // isolate the bandwidth term
+  CoreModel Model(Core, Cache);
+  // Stream 1 MiB of stores.
+  for (uint64_t Addr = 0; Addr < (1 << 20); Addr += 64) {
+    RetiredOp Op;
+    Op.Class = OpClass::Store;
+    Op.Addr = Addr;
+    Op.Bytes = 64;
+    Model.onRetire(Op);
+  }
+  double MinCycles = static_cast<double>(1 << 20) / 2.0;
+  EXPECT_GE(Model.stats().Cycles, MinCycles * 0.95);
+}
+
+TEST(CoreModelTest, BranchPredictorLearnsLoops) {
+  CoreConfig Core;
+  Core.CostBranch = 0.5;
+  Core.BranchMissPenalty = 10;
+  CoreModel Model(Core, CacheConfig{});
+  // A loop-back branch taken 100x in a row: at most the first couple
+  // mispredict.
+  ir::Module M("t");
+  ir::Instruction Branch(ir::Opcode::CondBr, M.context().voidTy());
+  RetiredOp Op;
+  Op.Class = OpClass::Branch;
+  Op.Inst = &Branch;
+  Op.Taken = true;
+  for (int I = 0; I < 100; ++I)
+    Model.onRetire(Op);
+  EXPECT_LE(Model.stats().BranchMispredicts, 2u);
+
+  // Alternating branch: the trip-count predictor learns period-2
+  // patterns quickly, like a real local-history predictor.
+  CoreModel Model2(Core, CacheConfig{});
+  for (int I = 0; I < 100; ++I) {
+    Op.Taken = (I % 2) == 0;
+    Model2.onRetire(Op);
+  }
+  EXPECT_LE(Model2.stats().BranchMispredicts, 5u);
+
+  // Data-dependent (pseudo-random) branch: stays hard to predict.
+  CoreModel Model3(Core, CacheConfig{});
+  uint64_t Lcg = 12345;
+  for (int I = 0; I < 200; ++I) {
+    Lcg = Lcg * 6364136223846793005ull + 1442695040888963407ull;
+    Op.Taken = (Lcg >> 62) & 1;
+    Model3.onRetire(Op);
+  }
+  EXPECT_GT(Model3.stats().BranchMispredicts, 40u);
+}
+
+TEST(CoreModelTest, StridedVectorAccessPaysPerLane) {
+  CoreConfig Core;
+  Core.VecMemCost = 2.0;
+  Core.VecStridedLaneCost = 1.0;
+  CacheConfig Cache;
+  Cache.L1 = {1 << 20, 8, 64, 0}; // everything hits after warmup
+  CoreModel Model(Core, Cache);
+
+  RetiredOp Contig;
+  Contig.Class = OpClass::Load;
+  Contig.Addr = 0;
+  Contig.Bytes = 32;
+  Contig.Lanes = 8;
+  Contig.StrideBytes = 0;
+
+  RetiredOp Strided = Contig;
+  Strided.StrideBytes = 256;
+
+  Model.onRetire(Contig); // warm up + 2 cycles
+  double After1 = Model.stats().Cycles;
+  Model.onRetire(Contig);
+  double ContigCost = Model.stats().Cycles - After1;
+  Model.onRetire(Strided); // warms its lanes
+  double After3 = Model.stats().Cycles;
+  Model.onRetire(Strided);
+  double StridedCost = Model.stats().Cycles - After3;
+  EXPECT_GT(StridedCost, ContigCost * 2.5);
+}
+
+TEST(CoreModelTest, FpSpecCountsExceedActual) {
+  CoreConfig Core;
+  Core.FpSpecFactor = 1.4;
+  CoreModel Model(Core, CacheConfig{});
+  RetiredOp Fma = scalarOp(OpClass::FpFma);
+  Fma.Lanes = 8;
+  Model.onRetire(Fma);
+  EXPECT_DOUBLE_EQ(Model.stats().FpOpsActual, 16.0);
+  EXPECT_NEAR(Model.stats().FpOpsSpec, 22.4, 1e-9);
+}
+
+TEST(CoreModelTest, ModeAttributionViaEventSink) {
+  CoreModel Model(CoreConfig{}, CacheConfig{});
+  double UCycles = 0, SCycles = 0;
+  Model.setEventSink([&](const EventDeltas &D) {
+    if (D.Mode == PrivMode::User)
+      UCycles += D.Cycles;
+    else if (D.Mode == PrivMode::Supervisor)
+      SCycles += D.Cycles;
+  });
+  Model.onRetire(scalarOp(OpClass::IntAlu));
+  Model.setMode(PrivMode::Supervisor);
+  Model.addCycles(100);
+  Model.setMode(PrivMode::User);
+  Model.onRetire(scalarOp(OpClass::IntAlu));
+  EXPECT_GT(UCycles, 0);
+  EXPECT_DOUBLE_EQ(SCycles, 100);
+}
+
+//===----------------------------------------------------------------------===//
+// Platform database
+//===----------------------------------------------------------------------===//
+
+TEST(PlatformTest, Table1CapabilityMatrix) {
+  Platform X60 = spacemitX60();
+  EXPECT_FALSE(X60.OutOfOrder);
+  EXPECT_EQ(X60.RvvVersion, "1.0");
+  EXPECT_EQ(X60.OverflowSupport, "Limited");
+  EXPECT_EQ(X60.UpstreamLinux, "No");
+  EXPECT_FALSE(X60.PmuCaps.canSample(EventKind::Cycles));
+  EXPECT_FALSE(X60.PmuCaps.canSample(EventKind::Instret));
+  EXPECT_TRUE(X60.PmuCaps.canSample(EventKind::UModeCycles));
+
+  Platform U74 = sifiveU74();
+  EXPECT_FALSE(U74.OutOfOrder);
+  EXPECT_EQ(U74.RvvVersion, "Not supported");
+  EXPECT_EQ(U74.OverflowSupport, "No");
+  EXPECT_EQ(U74.UpstreamLinux, "Yes");
+  EXPECT_TRUE(U74.PmuCaps.SamplableEvents.empty());
+
+  Platform C910 = theadC910();
+  EXPECT_TRUE(C910.OutOfOrder);
+  EXPECT_EQ(C910.RvvVersion, "0.7.1");
+  EXPECT_EQ(C910.OverflowSupport, "Yes");
+  EXPECT_EQ(C910.UpstreamLinux, "Partial");
+  EXPECT_TRUE(C910.PmuCaps.canSample(EventKind::Cycles));
+}
+
+TEST(PlatformTest, IdentificationByCsrs) {
+  auto Db = allPlatforms();
+  EXPECT_EQ(Db.size(), 4u);
+  const Platform *P = platformById(Db, spacemitX60().Id);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->CoreName, "SpacemiT X60");
+  CpuId Unknown{0xdead, 0xbeef, 0, ""};
+  EXPECT_EQ(platformById(Db, Unknown), nullptr);
+}
+
+TEST(PlatformTest, X60MemoryRoofConfig) {
+  Platform X60 = spacemitX60();
+  // The paper's memset-derived roof: ~3.16 bytes/cycle at 1.6 GHz.
+  EXPECT_NEAR(X60.Cache.DramBytesPerCycle, 3.16, 0.01);
+  EXPECT_NEAR(X60.Core.FreqGHz, 1.6, 0.01);
+}

@@ -1,0 +1,251 @@
+//===- integration_test.cpp - Paper-shape end-to-end assertions ----------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// These tests assert the *shapes* of the paper's evaluation (section 5):
+// who wins, by roughly what factor, and which mechanisms engage. The
+// tolerances are documented in EXPERIMENTS.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniperf/FlameGraph.h"
+#include "miniperf/Hotspots.h"
+#include "miniperf/Session.h"
+#include "roofline/MachineModel.h"
+#include "roofline/PmuEstimator.h"
+#include "roofline/TwoPhase.h"
+#include "transform/LoopVectorizer.h"
+#include "transform/PassManager.h"
+#include "transform/RooflineInstrumenter.h"
+#include "workloads/Matmul.h"
+#include "workloads/SqliteLike.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+using namespace mperf::miniperf;
+
+namespace {
+
+/// One shared sqlite profile per platform (expensive to produce).
+ProfileResult profileSqlite(const hw::Platform &P) {
+  workloads::SqliteLikeConfig C; // default paper-scale-down config
+  auto W = workloads::buildSqliteLike(C);
+  SessionOptions Opts;
+  Opts.SamplePeriod = 20000;
+  Session S(P, Opts);
+  auto ROr = S.profile(*W.M, "main", {vm::RtValue::ofInt(C.NumQueries)});
+  EXPECT_TRUE(ROr.hasValue()) << (ROr ? "" : ROr.errorMessage());
+  return *ROr;
+}
+
+struct MatmulAnalysis {
+  roofline::LoopMetrics Loop;
+  double SelfReportedGFlops = 0;
+  double AdvisorGFlops = 0;
+  roofline::Ceilings Roofs;
+};
+
+MatmulAnalysis analyzeMatmulOn(const hw::Platform &P) {
+  MatmulAnalysis Out;
+  workloads::MatmulWorkload W = workloads::buildMatmul({128, 64, 1});
+  transform::PassManager PM;
+  PM.addPass(std::make_unique<transform::LoopVectorizer>(P.Target));
+  auto IP = std::make_unique<transform::RooflineInstrumenter>();
+  transform::RooflineInstrumenter *Instr = IP.get();
+  PM.addPass(std::move(IP));
+  EXPECT_FALSE(PM.run(*W.M).isError());
+
+  // Two-phase miniperf analysis: the IR-derived metrics.
+  {
+    roofline::TwoPhaseDriver Driver(P);
+    Driver.setSetupHook([&W](vm::Interpreter &Vm) {
+      W.initialize(Vm);
+      workloads::bindClock(Vm, [] { return 0.0; });
+    });
+    auto ROr = Driver.analyze(*W.M, Instr->loops(), "main");
+    EXPECT_TRUE(ROr.hasValue()) << (ROr ? "" : ROr.errorMessage());
+    if (!ROr || ROr->Loops.size() != 1)
+      return Out;
+    Out.Loop = ROr->Loops[0];
+  }
+
+  // Self-reported run: baseline mode with a real cycle clock, so the
+  // program's own measurement includes the begin/end notify overhead.
+  {
+    Environment Env; // instrumentation off
+    vm::Interpreter Vm(*W.M);
+    hw::CoreModel Core(P.Core, P.Cache);
+    Vm.addConsumer(&Core);
+    roofline::RooflineRuntime Runtime(Instr->loops(), Env);
+    Runtime.bind(Vm, Core);
+    W.initialize(Vm);
+    workloads::bindClock(Vm, [&Core] { return Core.stats().Cycles; });
+    auto R = Vm.run("main");
+    EXPECT_TRUE(R.hasValue()) << (R ? "" : R.errorMessage());
+    double SelfCycles = static_cast<double>(W.selfReportedCycles(Vm));
+    double Seconds = SelfCycles / (P.Core.FreqGHz * 1e9);
+    if (Seconds > 0)
+      Out.SelfReportedGFlops =
+          static_cast<double>(W.flops()) / Seconds / 1e9;
+  }
+
+  // Advisor-style counter-based estimate.
+  {
+    auto EstOr = roofline::estimateWithCounters(
+        P, *W.M, "main", {}, [&W](vm::Interpreter &Vm) {
+          W.initialize(Vm);
+          workloads::bindClock(Vm, [] { return 0.0; });
+        });
+    EXPECT_TRUE(EstOr.hasValue()) << (EstOr ? "" : EstOr.errorMessage());
+    if (EstOr)
+      Out.AdvisorGFlops = EstOr->GFlops;
+  }
+
+  auto C = roofline::measureCeilings(P);
+  EXPECT_TRUE(C.hasValue());
+  if (C)
+    Out.Roofs = *C;
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Table 2 shapes: IPC and instruction counts.
+//===----------------------------------------------------------------------===//
+
+TEST(PaperShapes, Table2IpcContrast) {
+  ProfileResult X60 = profileSqlite(hw::spacemitX60());
+  ProfileResult X86 = profileSqlite(hw::intelI5_1135G7());
+
+  // X60 IPC ~0.86 in the paper; accept 0.75..0.95.
+  EXPECT_GT(X60.Ipc, 0.75);
+  EXPECT_LT(X60.Ipc, 0.95);
+  // x86 IPC ~3.38; accept 3.0..3.8.
+  EXPECT_GT(X86.Ipc, 3.0);
+  EXPECT_LT(X86.Ipc, 3.8);
+  // x86 retires 1.5-2x the instructions for the same work (Table 2).
+  double Ratio = static_cast<double>(X86.Instructions) / X60.Instructions;
+  EXPECT_GT(Ratio, 1.5);
+  EXPECT_LT(Ratio, 2.1);
+  // The X60 needed the workaround; the x86 did not.
+  EXPECT_TRUE(X60.UsedWorkaround);
+  EXPECT_FALSE(X86.UsedWorkaround);
+}
+
+TEST(PaperShapes, Table2HotspotOrderOnX60) {
+  ProfileResult R = profileSqlite(hw::spacemitX60());
+  auto Rows = computeHotspots(R);
+  ASSERT_GE(Rows.size(), 3u);
+
+  auto ShareOf = [&Rows](const std::string &Fn) {
+    for (const HotspotRow &Row : Rows)
+      if (Row.Function == Fn)
+        return Row.TotalShare;
+    return 0.0;
+  };
+  double Vdbe = ShareOf("sqlite3VdbeExec");
+  double Pattern = ShareOf("patternCompare");
+  double Parse = ShareOf("sqlite3BtreeParseCellPtr");
+  // Paper order: VdbeExec > patternCompare > ParseCellPtr, all > 5%.
+  EXPECT_GT(Vdbe, Pattern);
+  EXPECT_GT(Pattern, Parse);
+  EXPECT_GT(Parse, 0.05);
+  // Per-function IPC tracks the whole-program IPC (paper: 0.82-0.86).
+  for (const HotspotRow &Row : Rows) {
+    if (Row.TotalShare < 0.05)
+      continue;
+    EXPECT_GT(Row.Ipc, 0.6) << Row.Function;
+    EXPECT_LT(Row.Ipc, 1.1) << Row.Function;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fig. 3 shapes: flame graphs.
+//===----------------------------------------------------------------------===//
+
+TEST(PaperShapes, Fig3FlameGraphsShareHotspots) {
+  ProfileResult X60 = profileSqlite(hw::spacemitX60());
+  ProfileResult X86 = profileSqlite(hw::intelI5_1135G7());
+
+  FlameGraph CyclesX60 =
+      FlameGraph::fromSamples(X60.Samples, X60.CyclesFd, "cycles");
+  FlameGraph InstrX60 =
+      FlameGraph::fromSamples(X60.Samples, X60.InstructionsFd, "instructions");
+  FlameGraph CyclesX86 =
+      FlameGraph::fromSamples(X86.Samples, X86.CyclesFd, "cycles");
+
+  // Both platforms' graphs are dominated by the same database engine
+  // functions (the paper's visual comparison).
+  for (FlameGraph *FG : {&CyclesX60, &CyclesX86}) {
+    EXPECT_GT(FG->leafShare("sqlite3VdbeExec"), 0.1);
+    EXPECT_GT(FG->leafShare("patternCompare"), 0.05);
+  }
+  // The instructions-retired graph exists and has weight (the metric the
+  // paper recommends for cross-platform comparisons).
+  EXPECT_GT(InstrX60.totalWeight(), 0u);
+  // Folded output is well-formed: every line is "stack count".
+  std::string Folded = CyclesX60.folded();
+  EXPECT_NE(Folded.find("main;"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Fig. 4 shapes: Roofline numbers.
+//===----------------------------------------------------------------------===//
+
+TEST(PaperShapes, Fig4X60Roofline) {
+  MatmulAnalysis A = analyzeMatmulOn(hw::spacemitX60());
+
+  // Ceilings: 25.6 GFLOP/s theoretical, ~3.16 B/cyc memory roof.
+  EXPECT_NEAR(A.Roofs.PeakGFlops, 25.6, 0.1);
+  EXPECT_NEAR(A.Roofs.BytesPerCycle, 3.16, 0.25);
+
+  // Achieved performance far below both roofs (paper: 1.58 GFLOP/s).
+  EXPECT_GT(A.Loop.GFlops, 0.6);
+  EXPECT_LT(A.Loop.GFlops, 2.2);
+  EXPECT_LT(A.Loop.GFlops, A.Roofs.PeakGFlops / 8);
+  EXPECT_LT(A.Loop.GFlops,
+            A.Roofs.attainableL1(A.Loop.ArithmeticIntensity));
+}
+
+TEST(PaperShapes, Fig4X86MethodologyGap) {
+  MatmulAnalysis A = analyzeMatmulOn(hw::intelI5_1135G7());
+
+  // Ordering: Advisor-style counter estimate > miniperf IR-derived >
+  // self-reported (paper: 47.72 > 34.06 > 33.0).
+  EXPECT_GT(A.AdvisorGFlops, A.Loop.GFlops * 1.2);
+  EXPECT_LT(A.AdvisorGFlops, A.Loop.GFlops * 1.7);
+  EXPECT_GT(A.Loop.GFlops, A.SelfReportedGFlops);
+  // ... but miniperf stays close to the program's own measurement
+  // (paper: within ~3%; we allow 12% for the simulated clock natives).
+  EXPECT_LT(A.Loop.GFlops, A.SelfReportedGFlops * 1.12);
+}
+
+TEST(PaperShapes, Fig4PlatformContrast) {
+  MatmulAnalysis X60 = analyzeMatmulOn(hw::spacemitX60());
+  MatmulAnalysis X86 = analyzeMatmulOn(hw::intelI5_1135G7());
+  // Same kernel, same IR-derived intensity; x86 is many times faster
+  // (paper: 34.06 vs 1.58, i.e. ~21x; we assert >6x).
+  EXPECT_NEAR(X60.Loop.ArithmeticIntensity, X86.Loop.ArithmeticIntensity,
+              1e-9);
+  EXPECT_GT(X86.Loop.GFlops, X60.Loop.GFlops * 6);
+}
+
+//===----------------------------------------------------------------------===//
+// Section 3.3: the sampling gate itself.
+//===----------------------------------------------------------------------===//
+
+TEST(PaperShapes, SamplingCapabilityMatrix) {
+  // U74: no sampling anywhere. X60: only via workaround. C910/x86: direct.
+  ProfileResult U74 = profileSqlite(hw::sifiveU74());
+  EXPECT_FALSE(U74.SamplingAvailable);
+  EXPECT_TRUE(U74.Samples.empty());
+  EXPECT_GT(U74.Cycles, 0u); // counting still works
+
+  ProfileResult C910 = profileSqlite(hw::theadC910());
+  EXPECT_TRUE(C910.SamplingAvailable);
+  EXPECT_FALSE(C910.UsedWorkaround);
+  EXPECT_GT(C910.Samples.size(), 5u);
+}

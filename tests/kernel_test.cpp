@@ -1,0 +1,254 @@
+//===- kernel_test.cpp - perf_event subsystem tests ----------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "kernel/PerfEvent.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+using namespace mperf::hw;
+using namespace mperf::kernel;
+
+namespace {
+
+/// A busy-loop workload with a call so samples have a callchain.
+const char *BusyText = R"(module m
+global @OUT 8
+func @inner(i64 %x) -> i64 {
+entry:
+  %a = mul i64 %x, 3
+  %b = add i64 %a, 1
+  ret i64 %b
+}
+func @main(i64 %n) -> void {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %v = call i64 @inner(i64 %i)
+  store i64 %v, @OUT
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  ret
+}
+)";
+
+/// Everything a test run needs, wired together.
+struct Stack {
+  Platform P;
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<vm::Interpreter> Vm;
+  std::unique_ptr<CoreModel> Core;
+  std::unique_ptr<Pmu> ThePmu;
+  std::unique_ptr<sbi::SbiPmu> Sbi;
+  std::unique_ptr<PerfEventSubsystem> Perf;
+
+  explicit Stack(Platform Platform) : P(std::move(Platform)) {
+    auto MOr = ir::parseModule(BusyText);
+    EXPECT_TRUE(MOr.hasValue()) << (MOr ? "" : MOr.errorMessage());
+    M = std::move(*MOr);
+    Vm = std::make_unique<vm::Interpreter>(*M);
+    Core = std::make_unique<CoreModel>(P.Core, P.Cache);
+    ThePmu = std::make_unique<Pmu>(P.PmuCaps);
+    Core->setEventSink(
+        [this](const EventDeltas &D) { ThePmu->advance(D); });
+    Sbi = std::make_unique<sbi::SbiPmu>(*ThePmu, *Core);
+    Perf = std::make_unique<PerfEventSubsystem>(P, *ThePmu, *Sbi, *Core, *Vm);
+    Vm->addConsumer(Core.get());
+  }
+
+  void run(uint64_t N) {
+    auto R = Vm->run("main", {vm::RtValue::ofInt(N)});
+    EXPECT_TRUE(R.hasValue()) << (R ? "" : R.errorMessage());
+  }
+};
+
+PerfEventAttr hwEvent(HwEventId Hw, uint64_t Period = 0) {
+  PerfEventAttr Attr;
+  Attr.EventType = PerfEventAttr::Type::Hardware;
+  Attr.Hw = Hw;
+  Attr.SamplePeriod = Period;
+  return Attr;
+}
+
+PerfEventAttr rawEvent(uint16_t Code, uint64_t Period = 0) {
+  PerfEventAttr Attr;
+  Attr.EventType = PerfEventAttr::Type::Raw;
+  Attr.RawCode = Code;
+  Attr.SamplePeriod = Period;
+  return Attr;
+}
+
+} // namespace
+
+TEST(PerfEvent, CountingCyclesAndInstructions) {
+  Stack S(theadC910());
+  auto CyclesFd = S.Perf->open(hwEvent(HwEventId::CpuCycles));
+  ASSERT_TRUE(CyclesFd.hasValue()) << CyclesFd.errorMessage();
+  auto InstrFd = S.Perf->open(hwEvent(HwEventId::Instructions), *CyclesFd);
+  ASSERT_TRUE(InstrFd.hasValue());
+  ASSERT_FALSE(S.Perf->enable(*CyclesFd).isError());
+  S.run(1000);
+  ASSERT_FALSE(S.Perf->disable(*CyclesFd).isError());
+
+  auto Cycles = S.Perf->read(*CyclesFd);
+  auto Instr = S.Perf->read(*InstrFd);
+  ASSERT_TRUE(Cycles.hasValue());
+  ASSERT_TRUE(Instr.hasValue());
+  EXPECT_GT(*Cycles, 1000u);
+  EXPECT_GT(*Instr, 1000u);
+
+  // Disabled counters stay put.
+  S.run(1000);
+  EXPECT_EQ(*S.Perf->read(*CyclesFd), *Cycles);
+}
+
+TEST(PerfEvent, SamplingCyclesDirectlyOnMaturePlatform) {
+  Stack S(theadC910());
+  auto Leader = S.Perf->open(hwEvent(HwEventId::CpuCycles, 5000));
+  ASSERT_TRUE(Leader.hasValue()) << Leader.errorMessage();
+  ASSERT_FALSE(S.Perf->enable(*Leader).isError());
+  S.run(10000);
+  ASSERT_FALSE(S.Perf->disable(*Leader).isError());
+  EXPECT_GT(S.Perf->ringBuffer().samples().size(), 3u);
+  EXPECT_EQ(S.Perf->numInterrupts(),
+            S.Perf->ringBuffer().samples().size());
+}
+
+TEST(PerfEvent, X60RefusesStandardSampling) {
+  // The exact failure the paper documents: sampling mcycle/minstret is
+  // EOPNOTSUPP on the X60.
+  Stack S(spacemitX60());
+  auto Fd = S.Perf->open(hwEvent(HwEventId::CpuCycles, 5000));
+  ASSERT_FALSE(Fd.hasValue());
+  EXPECT_NE(Fd.errorMessage().find("EOPNOTSUPP"), std::string::npos);
+  auto Fd2 = S.Perf->open(hwEvent(HwEventId::Instructions, 5000));
+  ASSERT_FALSE(Fd2.hasValue());
+}
+
+TEST(PerfEvent, U74RefusesAllSampling) {
+  Stack S(sifiveU74());
+  auto Fd = S.Perf->open(hwEvent(HwEventId::CpuCycles, 5000));
+  ASSERT_FALSE(Fd.hasValue());
+  auto Raw = S.Perf->open(rawEvent(VE_L1D_MISS, 5000));
+  ASSERT_FALSE(Raw.hasValue());
+  // Counting still works.
+  auto Counting = S.Perf->open(hwEvent(HwEventId::CpuCycles));
+  EXPECT_TRUE(Counting.hasValue());
+}
+
+TEST(PerfEvent, X60WorkaroundGroupSamplesStandardCounters) {
+  // The paper's key observation (§3.3): lead with u_mode_cycle, and the
+  // group's mcycle/minstret get read out on every leader overflow.
+  Stack S(spacemitX60());
+  auto Leader = S.Perf->open(rawEvent(VE_U_MODE_CYCLE, 5000));
+  ASSERT_TRUE(Leader.hasValue()) << Leader.errorMessage();
+  auto CyclesFd = S.Perf->open(hwEvent(HwEventId::CpuCycles), *Leader);
+  ASSERT_TRUE(CyclesFd.hasValue());
+  auto InstrFd = S.Perf->open(hwEvent(HwEventId::Instructions), *Leader);
+  ASSERT_TRUE(InstrFd.hasValue());
+
+  ASSERT_FALSE(S.Perf->enable(*Leader).isError());
+  S.run(10000);
+  ASSERT_FALSE(S.Perf->disable(*Leader).isError());
+
+  const auto &Samples = S.Perf->ringBuffer().samples();
+  ASSERT_GT(Samples.size(), 3u);
+  // Every sample carries all three counters, monotonically increasing.
+  uint64_t PrevCycles = 0, PrevInstr = 0;
+  for (const PerfSample &Sample : Samples) {
+    ASSERT_EQ(Sample.GroupValues.size(), 3u);
+    uint64_t C = 0, I = 0;
+    for (auto &[Fd, V] : Sample.GroupValues) {
+      if (Fd == *CyclesFd)
+        C = V;
+      if (Fd == *InstrFd)
+        I = V;
+    }
+    EXPECT_GE(C, PrevCycles);
+    EXPECT_GE(I, PrevInstr);
+    PrevCycles = C;
+    PrevInstr = I;
+  }
+  EXPECT_GT(PrevCycles, 0u);
+  EXPECT_GT(PrevInstr, 0u);
+}
+
+TEST(PerfEvent, SamplesCarryCallchains) {
+  Stack S(theadC910());
+  auto Leader = S.Perf->open(hwEvent(HwEventId::CpuCycles, 2000));
+  ASSERT_TRUE(Leader.hasValue());
+  ASSERT_FALSE(S.Perf->enable(*Leader).isError());
+  S.run(3000);
+  ASSERT_FALSE(S.Perf->disable(*Leader).isError());
+
+  bool SawInner = false;
+  for (const PerfSample &Sample : S.Perf->ringBuffer().samples()) {
+    ASSERT_FALSE(Sample.Callchain.empty());
+    EXPECT_EQ(Sample.Callchain.front(), "main");
+    if (Sample.Leaf == "inner") {
+      SawInner = true;
+      ASSERT_EQ(Sample.Callchain.size(), 2u);
+      EXPECT_EQ(Sample.Callchain.back(), "inner");
+    }
+  }
+  EXPECT_TRUE(SawInner);
+}
+
+TEST(PerfEvent, GroupReadReturnsAllMembers) {
+  Stack S(theadC910());
+  auto Leader = S.Perf->open(hwEvent(HwEventId::CpuCycles));
+  auto Member = S.Perf->open(hwEvent(HwEventId::Instructions), *Leader);
+  ASSERT_TRUE(Member.hasValue());
+  ASSERT_FALSE(S.Perf->enable(*Leader).isError());
+  S.run(500);
+  auto GroupOr = S.Perf->readGroup(*Leader);
+  ASSERT_TRUE(GroupOr.hasValue());
+  EXPECT_EQ(GroupOr->size(), 2u);
+  // Non-leader fds are rejected.
+  EXPECT_FALSE(S.Perf->readGroup(*Member).hasValue());
+}
+
+TEST(PerfEvent, BadFdsAndGroups) {
+  Stack S(theadC910());
+  EXPECT_TRUE(S.Perf->enable(999).isError());
+  EXPECT_FALSE(S.Perf->read(999).hasValue());
+  auto Leader = S.Perf->open(hwEvent(HwEventId::CpuCycles));
+  auto Member = S.Perf->open(hwEvent(HwEventId::Instructions), *Leader);
+  ASSERT_TRUE(Member.hasValue());
+  // Grouping under a non-leader fails.
+  auto Bad = S.Perf->open(hwEvent(HwEventId::CacheMisses), *Member);
+  EXPECT_FALSE(Bad.hasValue());
+}
+
+TEST(PerfEvent, CloseReleasesCounters) {
+  Stack S(sifiveU74()); // only two hpm counters: exhaustion is observable
+  auto A = S.Perf->open(rawEvent(VE_L1D_MISS));
+  auto B = S.Perf->open(rawEvent(VE_L2_MISS));
+  ASSERT_TRUE(A.hasValue());
+  ASSERT_TRUE(B.hasValue());
+  EXPECT_FALSE(S.Perf->open(rawEvent(VE_BRANCH_MISS)).hasValue());
+  ASSERT_FALSE(S.Perf->close(*A).isError());
+  EXPECT_TRUE(S.Perf->open(rawEvent(VE_BRANCH_MISS)).hasValue());
+}
+
+TEST(PerfEvent, HandlerCostsAppearAsSupervisorCycles) {
+  Stack S(spacemitX60());
+  // Count S-mode cycles alongside the sampling workaround group.
+  auto Leader = S.Perf->open(rawEvent(VE_U_MODE_CYCLE, 3000));
+  ASSERT_TRUE(Leader.hasValue());
+  auto SModeFd = S.Perf->open(rawEvent(VE_S_MODE_CYCLE), *Leader);
+  ASSERT_TRUE(SModeFd.hasValue());
+  ASSERT_FALSE(S.Perf->enable(*Leader).isError());
+  S.run(2000);
+  auto SMode = S.Perf->read(*SModeFd);
+  ASSERT_TRUE(SMode.hasValue());
+  EXPECT_GT(*SMode, 0u); // the overflow handler ran in S-mode
+}

@@ -1,0 +1,190 @@
+//===- parser_test.cpp - Textual IR parser tests -------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "workloads/Matmul.h"
+#include "workloads/SqliteLike.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+using namespace mperf::ir;
+
+namespace {
+
+/// Parses, expecting success.
+std::unique_ptr<Module> parseOk(std::string_view Text) {
+  auto MOr = parseModule(Text);
+  EXPECT_TRUE(MOr.hasValue()) << (MOr ? "" : MOr.errorMessage());
+  return MOr ? std::move(*MOr) : nullptr;
+}
+
+} // namespace
+
+TEST(Parser, MinimalModule) {
+  auto M = parseOk("module m\n");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->name(), "m");
+  EXPECT_EQ(M->numFunctions(), 0u);
+}
+
+TEST(Parser, GlobalsAndDeclarations) {
+  auto M = parseOk("module m\n"
+                   "global @BUF 4096\n"
+                   "declare func @ext(i64 %x) -> i64\n");
+  ASSERT_NE(M, nullptr);
+  ASSERT_NE(M->global("BUF"), nullptr);
+  EXPECT_EQ(M->global("BUF")->sizeInBytes(), 4096u);
+  Function *Ext = M->function("ext");
+  ASSERT_NE(Ext, nullptr);
+  EXPECT_TRUE(Ext->isDeclaration());
+  EXPECT_EQ(Ext->returnType(), M->context().i64Ty());
+}
+
+TEST(Parser, SimpleFunctionBody) {
+  auto M = parseOk("module m\n"
+                   "func @add3(i64 %a) -> i64 {\n"
+                   "entry:\n"
+                   "  %r = add i64 %a, 3\n"
+                   "  ret i64 %r\n"
+                   "}\n");
+  ASSERT_NE(M, nullptr);
+  Function *F = M->function("add3");
+  ASSERT_NE(F, nullptr);
+  EXPECT_FALSE(verifyFunction(*F).isError());
+  EXPECT_EQ(F->entry()->size(), 2u);
+}
+
+TEST(Parser, LoopWithPhiAndForwardRefs) {
+  auto M = parseOk("module m\n"
+                   "func @count(i64 %n) -> i64 {\n"
+                   "entry:\n"
+                   "  br loop\n"
+                   "loop:\n"
+                   "  %i = phi i64 [ 0, entry ], [ %i.next, loop ]\n"
+                   "  %acc = phi i64 [ 0, entry ], [ %acc.next, loop ]\n"
+                   "  %acc.next = add i64 %acc, %i\n"
+                   "  %i.next = add i64 %i, 1\n"
+                   "  %c = icmp slt i64 %i.next, %n\n"
+                   "  cond_br %c, loop, exit\n"
+                   "exit:\n"
+                   "  ret i64 %acc.next\n"
+                   "}\n");
+  ASSERT_NE(M, nullptr);
+  EXPECT_FALSE(verifyModule(*M).isError());
+}
+
+TEST(Parser, VectorTypesAndStride) {
+  auto M = parseOk("module m\n"
+                   "func @v(ptr %p, i64 %s) -> f32 {\n"
+                   "entry:\n"
+                   "  %a = load <8 x f32>, %p\n"
+                   "  %b = load <8 x f32>, %p stride %s\n"
+                   "  %c = fadd <8 x f32> %a, %b\n"
+                   "  %r = reduce_fadd <8 x f32> %c\n"
+                   "  store <8 x f32> %c, %p stride 16\n"
+                   "  ret f32 %r\n"
+                   "}\n");
+  ASSERT_NE(M, nullptr);
+  EXPECT_FALSE(verifyModule(*M).isError());
+  Function *F = M->function("v");
+  Instruction *StridedLoad = F->entry()->at(1);
+  EXPECT_TRUE(StridedLoad->hasVectorStrideOperand());
+}
+
+TEST(Parser, CastsAndSelect) {
+  auto M = parseOk("module m\n"
+                   "func @c(i32 %x, i1 %f) -> f64 {\n"
+                   "entry:\n"
+                   "  %w = sext i32 %x to i64\n"
+                   "  %d = sitofp i64 %w to f64\n"
+                   "  %sel = select %f, f64 %d, 1.5\n"
+                   "  ret f64 %sel\n"
+                   "}\n");
+  ASSERT_NE(M, nullptr);
+  EXPECT_FALSE(verifyModule(*M).isError());
+}
+
+TEST(Parser, CallsAndGlobalOperands) {
+  auto M = parseOk("module m\n"
+                   "global @G 8\n"
+                   "declare func @sink(ptr %p, i64 %v) -> void\n"
+                   "func @f() -> void {\n"
+                   "entry:\n"
+                   "  %v = load i64, @G\n"
+                   "  call void @sink(ptr @G, i64 %v)\n"
+                   "  ret\n"
+                   "}\n");
+  ASSERT_NE(M, nullptr);
+  EXPECT_FALSE(verifyModule(*M).isError());
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(parseModule("not_a_module").hasValue());
+  EXPECT_FALSE(parseModule("module m\nfunc @f() -> void {\nentry:\n"
+                           "  br missing_label_block\n}\n")
+                   .hasValue());
+  EXPECT_FALSE(parseModule("module m\nfunc @f() -> void {\nentry:\n"
+                           "  %x = add i64 %undefined, 1\n  ret\n}\n")
+                   .hasValue());
+  EXPECT_FALSE(parseModule("module m\nfunc @f() -> void {\nentry:\n"
+                           "  %x = frobnicate i64 1, 2\n  ret\n}\n")
+                   .hasValue());
+  EXPECT_FALSE(
+      parseModule("module m\nfunc @f() -> void {\nentry:\n"
+                  "  call void @nonexistent()\n  ret\n}\n")
+          .hasValue());
+}
+
+TEST(Parser, UndefinedForwardRefReported) {
+  auto MOr = parseModule("module m\n"
+                         "func @f(i64 %n) -> void {\n"
+                         "entry:\n"
+                         "  br loop\n"
+                         "loop:\n"
+                         "  %i = phi i64 [ 0, entry ], [ %ghost, loop ]\n"
+                         "  %c = icmp slt i64 %i, %n\n"
+                         "  cond_br %c, loop, exit\n"
+                         "exit:\n"
+                         "  ret\n"
+                         "}\n");
+  ASSERT_FALSE(MOr.hasValue());
+  EXPECT_NE(MOr.errorMessage().find("ghost"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips: print(parse(print(M))) == print(M) for real programs.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectRoundTrip(Module &M) {
+  std::string First = printModule(M);
+  auto ReparsedOr = parseModule(First);
+  ASSERT_TRUE(ReparsedOr.hasValue()) << ReparsedOr.errorMessage();
+  EXPECT_FALSE(verifyModule(**ReparsedOr).isError());
+  std::string Second = printModule(**ReparsedOr);
+  EXPECT_EQ(First, Second);
+}
+
+} // namespace
+
+TEST(ParserRoundTrip, Matmul) {
+  auto W = workloads::buildMatmul({64, 16, 1});
+  expectRoundTrip(*W.M);
+}
+
+TEST(ParserRoundTrip, SqliteLike) {
+  workloads::SqliteLikeConfig C;
+  C.NumPages = 2;
+  C.CellsPerPage = 4;
+  C.NumQueries = 3;
+  auto W = workloads::buildSqliteLike(C);
+  expectRoundTrip(*W.M);
+}

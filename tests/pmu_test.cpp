@@ -1,0 +1,214 @@
+//===- pmu_test.cpp - PMU register model and SBI layer tests -------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/Platform.h"
+#include "hw/Pmu.h"
+#include "sbi/SbiPmu.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+using namespace mperf::hw;
+
+namespace {
+
+EventDeltas cycles(double N, PrivMode Mode = PrivMode::User) {
+  EventDeltas D;
+  D.Cycles = N;
+  D.Instret = N / 2;
+  D.Mode = Mode;
+  return D;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pmu register model
+//===----------------------------------------------------------------------===//
+
+TEST(PmuTest, FixedCountersCountFromReset) {
+  Pmu P(spacemitX60().PmuCaps);
+  P.advance(cycles(100));
+  EXPECT_EQ(P.readCounter(Pmu::MCycleIdx), 100u);
+  EXPECT_EQ(P.readCounter(Pmu::MInstretIdx), 50u);
+}
+
+TEST(PmuTest, McountinhibitStopsCounting) {
+  Pmu P(spacemitX60().PmuCaps);
+  P.setCounting(Pmu::MCycleIdx, false);
+  P.advance(cycles(100));
+  EXPECT_EQ(P.readCounter(Pmu::MCycleIdx), 0u);
+  P.setCounting(Pmu::MCycleIdx, true);
+  P.advance(cycles(10));
+  EXPECT_EQ(P.readCounter(Pmu::MCycleIdx), 10u);
+}
+
+TEST(PmuTest, EventSelectorProgramsHpmCounter) {
+  Pmu P(spacemitX60().PmuCaps);
+  ASSERT_TRUE(P.writeEventSelector(3, VE_U_MODE_CYCLE));
+  EXPECT_EQ(P.counterEvent(3), EventKind::UModeCycles);
+  P.setCounting(3, true);
+  P.advance(cycles(40, PrivMode::User));
+  P.advance(cycles(60, PrivMode::Supervisor));
+  EXPECT_EQ(P.readCounter(3), 40u); // only U-mode cycles
+}
+
+TEST(PmuTest, UnknownEventCodeRejected) {
+  Pmu P(spacemitX60().PmuCaps);
+  EXPECT_FALSE(P.writeEventSelector(3, 0x7777));
+  EXPECT_FALSE(P.writeEventSelector(0, VE_U_MODE_CYCLE)); // mcycle is fixed
+}
+
+TEST(PmuTest, ModeCycleCountersPartitionCycles) {
+  Pmu P(spacemitX60().PmuCaps);
+  P.writeEventSelector(3, VE_U_MODE_CYCLE);
+  P.writeEventSelector(4, VE_S_MODE_CYCLE);
+  P.writeEventSelector(5, VE_M_MODE_CYCLE);
+  for (unsigned I = 3; I <= 5; ++I)
+    P.setCounting(I, true);
+  P.advance(cycles(10, PrivMode::User));
+  P.advance(cycles(20, PrivMode::Supervisor));
+  P.advance(cycles(30, PrivMode::Machine));
+  EXPECT_EQ(P.readCounter(3), 10u);
+  EXPECT_EQ(P.readCounter(4), 20u);
+  EXPECT_EQ(P.readCounter(5), 30u);
+  // Their sum equals mcycle.
+  EXPECT_EQ(P.readCounter(Pmu::MCycleIdx), 60u);
+}
+
+TEST(PmuTest, X60CannotArmOverflowOnStandardCounters) {
+  // The documented hardware limitation (§3.3).
+  Pmu P(spacemitX60().PmuCaps);
+  EXPECT_FALSE(P.armOverflow(Pmu::MCycleIdx, 1000));
+  EXPECT_FALSE(P.armOverflow(Pmu::MInstretIdx, 1000));
+  P.writeEventSelector(3, VE_U_MODE_CYCLE);
+  EXPECT_TRUE(P.armOverflow(3, 1000));
+}
+
+TEST(PmuTest, C910ArmsOverflowOnStandardCounters) {
+  Pmu P(theadC910().PmuCaps);
+  EXPECT_TRUE(P.armOverflow(Pmu::MCycleIdx, 1000));
+  EXPECT_TRUE(P.armOverflow(Pmu::MInstretIdx, 1000));
+}
+
+TEST(PmuTest, U74HasNoOverflowAtAll) {
+  Pmu P(sifiveU74().PmuCaps);
+  EXPECT_FALSE(P.armOverflow(Pmu::MCycleIdx, 1000));
+  P.writeEventSelector(3, VE_L1D_MISS);
+  EXPECT_FALSE(P.armOverflow(3, 1000));
+}
+
+TEST(PmuTest, OverflowFiresAtEachPeriod) {
+  Pmu P(theadC910().PmuCaps);
+  unsigned Fired = 0;
+  P.setOverflowHandler([&](unsigned Idx) {
+    EXPECT_EQ(Idx, Pmu::MCycleIdx);
+    ++Fired;
+  });
+  ASSERT_TRUE(P.armOverflow(Pmu::MCycleIdx, 100));
+  for (int I = 0; I < 10; ++I)
+    P.advance(cycles(50));
+  // 500 cycles with period 100 -> 5 overflows.
+  EXPECT_EQ(Fired, 5u);
+}
+
+TEST(PmuTest, OverflowDisarmAndRewrite) {
+  Pmu P(theadC910().PmuCaps);
+  unsigned Fired = 0;
+  P.setOverflowHandler([&](unsigned) { ++Fired; });
+  ASSERT_TRUE(P.armOverflow(Pmu::MCycleIdx, 100));
+  P.advance(cycles(150));
+  EXPECT_EQ(Fired, 1u);
+  ASSERT_TRUE(P.armOverflow(Pmu::MCycleIdx, 0)); // disarm
+  P.advance(cycles(1000));
+  EXPECT_EQ(Fired, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// SBI PMU extension
+//===----------------------------------------------------------------------===//
+
+TEST(SbiTest, EcallsCostMachineModeCycles) {
+  Platform P = spacemitX60();
+  Pmu ThePmu(P.PmuCaps);
+  CoreModel Core(P.Core, P.Cache);
+  Core.setEventSink([&ThePmu](const EventDeltas &D) { ThePmu.advance(D); });
+  // Route a counter at m_mode cycles to observe firmware time.
+  ThePmu.writeEventSelector(10, VE_M_MODE_CYCLE);
+  ThePmu.setCounting(10, true);
+
+  sbi::SbiPmu Sbi(ThePmu, Core, sbi::SbiConfig{400});
+  auto CounterOr = Sbi.counterConfigMatching(VE_U_MODE_CYCLE);
+  ASSERT_TRUE(CounterOr.hasValue()) << CounterOr.errorMessage();
+  EXPECT_EQ(Sbi.numEcalls(), 1u);
+  EXPECT_EQ(ThePmu.readCounter(10), 400u); // one ecall of M-mode work
+  EXPECT_EQ(Core.mode(), PrivMode::User);  // restored afterwards
+}
+
+TEST(SbiTest, CounterLifecycle) {
+  Platform P = spacemitX60();
+  Pmu ThePmu(P.PmuCaps);
+  CoreModel Core(P.Core, P.Cache);
+  sbi::SbiPmu Sbi(ThePmu, Core);
+
+  auto IdxOr = Sbi.counterConfigMatching(VE_U_MODE_CYCLE);
+  ASSERT_TRUE(IdxOr.hasValue());
+  unsigned Idx = *IdxOr;
+  EXPECT_GE(Idx, Pmu::FirstHpmIdx);
+
+  EXPECT_FALSE(Sbi.counterStart(Idx, 0).isError());
+  EXPECT_TRUE(ThePmu.isCounting(Idx));
+  EXPECT_FALSE(Sbi.counterStop(Idx).isError());
+  EXPECT_FALSE(ThePmu.isCounting(Idx));
+
+  auto ReadOr = Sbi.counterRead(Idx);
+  ASSERT_TRUE(ReadOr.hasValue());
+
+  EXPECT_FALSE(Sbi.counterRelease(Idx).isError());
+  // Released counters can be handed out again.
+  auto Again = Sbi.counterConfigMatching(VE_L1D_MISS);
+  ASSERT_TRUE(Again.hasValue());
+  EXPECT_EQ(*Again, Idx);
+}
+
+TEST(SbiTest, ArmOverflowPropagatesHardwareLimitation) {
+  Platform P = spacemitX60();
+  Pmu ThePmu(P.PmuCaps);
+  CoreModel Core(P.Core, P.Cache);
+  sbi::SbiPmu Sbi(ThePmu, Core);
+  // L1D miss counters exist but cannot sample on the X60.
+  auto IdxOr = Sbi.counterConfigMatching(VE_L1D_MISS);
+  ASSERT_TRUE(IdxOr.hasValue());
+  Error E = Sbi.counterArmOverflow(*IdxOr, 1000);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("overflow"), std::string::npos);
+}
+
+TEST(SbiTest, CounterExhaustion) {
+  Platform P = sifiveU74(); // only 2 hpm counters
+  Pmu ThePmu(P.PmuCaps);
+  CoreModel Core(P.Core, P.Cache);
+  sbi::SbiPmu Sbi(ThePmu, Core);
+  EXPECT_TRUE(Sbi.counterConfigMatching(VE_L1D_MISS).hasValue());
+  EXPECT_TRUE(Sbi.counterConfigMatching(VE_L2_MISS).hasValue());
+  auto Third = Sbi.counterConfigMatching(VE_BRANCH_MISS);
+  ASSERT_FALSE(Third.hasValue());
+  EXPECT_NE(Third.errorMessage().find("no free hpm counter"),
+            std::string::npos);
+}
+
+TEST(SbiTest, DelegationWritesMcounteren) {
+  Platform P = spacemitX60();
+  Pmu ThePmu(P.PmuCaps);
+  CoreModel Core(P.Core, P.Cache);
+  sbi::SbiPmu Sbi(ThePmu, Core);
+  Sbi.delegateCounters(0x7);
+  EXPECT_EQ(ThePmu.counterEnable(), 0x7u);
+  // The op log records the interaction for the Fig. 1 trace.
+  ASSERT_FALSE(Sbi.opLog().empty());
+  EXPECT_NE(Sbi.opLog().back().find("mcounteren"), std::string::npos);
+}

@@ -1,0 +1,252 @@
+//===- roofline_test.cpp - Runtime, two-phase, ceilings, estimator tests -------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "roofline/MachineModel.h"
+#include "roofline/Plot.h"
+#include "roofline/PmuEstimator.h"
+#include "roofline/Runtime.h"
+#include "roofline/TwoPhase.h"
+#include "transform/LoopVectorizer.h"
+#include "transform/PassManager.h"
+#include "transform/RooflineInstrumenter.h"
+#include "workloads/Matmul.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+using namespace mperf::roofline;
+using namespace mperf::transform;
+
+namespace {
+
+/// Compiles matmul for \p P (vectorize + instrument) and returns the
+/// workload plus the instrumented loop table.
+struct Prepared {
+  workloads::MatmulWorkload W;
+  std::vector<InstrumentedLoop> Loops;
+};
+
+Prepared prepareMatmul(const hw::Platform &P, unsigned N, unsigned Tile) {
+  Prepared R;
+  R.W = workloads::buildMatmul({N, Tile, 1});
+  PassManager PM;
+  PM.addPass(std::make_unique<LoopVectorizer>(P.Target));
+  auto IP = std::make_unique<RooflineInstrumenter>();
+  RooflineInstrumenter *Raw = IP.get();
+  PM.addPass(std::move(IP));
+  Error E = PM.run(*R.W.M);
+  EXPECT_FALSE(E.isError()) << E.message();
+  R.Loops = Raw->loops();
+  return R;
+}
+
+TwoPhaseResult analyzeMatmul(const hw::Platform &P, Prepared &R) {
+  TwoPhaseDriver Driver(P);
+  workloads::MatmulWorkload *W = &R.W;
+  Driver.setSetupHook([W](vm::Interpreter &Vm) {
+    W->initialize(Vm);
+    workloads::bindClock(Vm, [] { return 0.0; });
+  });
+  auto ROr = Driver.analyze(*R.W.M, R.Loops, "main");
+  EXPECT_TRUE(ROr.hasValue()) << (ROr ? "" : ROr.errorMessage());
+  return *ROr;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Runtime
+//===----------------------------------------------------------------------===//
+
+TEST(RooflineRuntime, InstrumentationFlagFromEnvironment) {
+  Environment Env;
+  RooflineRuntime Off({}, Env);
+  EXPECT_FALSE(Off.instrumentationEnabled());
+  Env.set("MPERF_ROOFLINE_INSTRUMENTED", "1");
+  RooflineRuntime On({}, Env);
+  EXPECT_TRUE(On.instrumentationEnabled());
+}
+
+//===----------------------------------------------------------------------===//
+// Two-phase analysis on the paper's kernel
+//===----------------------------------------------------------------------===//
+
+TEST(TwoPhase, MatmulMetricsAreExact) {
+  // Scalar build: vectorization adds horizontal-reduction FLOPs, so the
+  // exact-count identities only hold for scalar code.
+  hw::Platform P = hw::sifiveU74();
+  Prepared R = prepareMatmul(P, 32, 8);
+  TwoPhaseResult Result = analyzeMatmul(P, R);
+  ASSERT_EQ(Result.Loops.size(), 1u);
+  const LoopMetrics &L = Result.Loops[0];
+
+  // IR-derived FLOPs are exact: 2 * N^3 (FMA = 2 FLOPs).
+  EXPECT_EQ(L.FpOps, R.W.flops());
+
+  // Bytes: every k iteration loads A and B (8 bytes); every (i,j) loads
+  // and stores C (8 bytes). Total = N^3 * 8 + N^2 * (kk tiles) * 8.
+  uint64_t N = 32, Tile = 8;
+  uint64_t Inner = N * N * N * 8;
+  uint64_t CTraffic = N * N * (N / Tile) * 8;
+  EXPECT_EQ(L.BytesLoaded + L.BytesStored, Inner + CTraffic);
+
+  // Intensity follows from the two.
+  EXPECT_NEAR(L.ArithmeticIntensity,
+              static_cast<double>(L.FpOps) / (Inner + CTraffic), 1e-9);
+
+  EXPECT_GT(L.Seconds, 0);
+  EXPECT_GT(L.GFlops, 0);
+}
+
+TEST(TwoPhase, InstrumentedPhaseIsSlower) {
+  // The overhead the two-phase design exists to exclude (section 4.4).
+  hw::Platform P = hw::spacemitX60();
+  Prepared R = prepareMatmul(P, 32, 8);
+  TwoPhaseResult Result = analyzeMatmul(P, R);
+  ASSERT_EQ(Result.Loops.size(), 1u);
+  EXPECT_GT(Result.Loops[0].OverheadRatio, 1.1);
+  EXPECT_GT(Result.InstrumentedProgramCycles,
+            Result.BaselineProgramCycles);
+}
+
+TEST(TwoPhase, MetricsAreHardwareAgnostic) {
+  // The defining property: IR-derived counters must not depend on the
+  // platform the program runs on (only time does).
+  hw::Platform X60 = hw::spacemitX60();
+  hw::Platform X86 = hw::intelI5_1135G7();
+  // Same target so the compiled module is identical.
+  Prepared A = prepareMatmul(X60, 32, 8);
+  Prepared B = prepareMatmul(X60, 32, 8);
+  TwoPhaseResult RA = analyzeMatmul(X60, A);
+  TwoPhaseResult RB = analyzeMatmul(X86, B);
+  ASSERT_EQ(RA.Loops.size(), 1u);
+  ASSERT_EQ(RB.Loops.size(), 1u);
+  EXPECT_EQ(RA.Loops[0].FpOps, RB.Loops[0].FpOps);
+  EXPECT_EQ(RA.Loops[0].BytesLoaded, RB.Loops[0].BytesLoaded);
+  EXPECT_EQ(RA.Loops[0].BytesStored, RB.Loops[0].BytesStored);
+  EXPECT_NEAR(RA.Loops[0].ArithmeticIntensity,
+              RB.Loops[0].ArithmeticIntensity, 1e-12);
+  // Times differ: the x86 model is much faster.
+  EXPECT_LT(RB.Loops[0].Seconds, RA.Loops[0].Seconds);
+}
+
+TEST(TwoPhase, ScalarVsVectorChangesTimeNotCounts) {
+  hw::Platform X60 = hw::spacemitX60();
+  // Scalar build (no vector target).
+  Prepared Scalar;
+  Scalar.W = workloads::buildMatmul({32, 8, 1});
+  PassManager PM;
+  auto IP = std::make_unique<RooflineInstrumenter>();
+  RooflineInstrumenter *Raw = IP.get();
+  PM.addPass(std::move(IP));
+  ASSERT_FALSE(PM.run(*Scalar.W.M).isError());
+  Scalar.Loops = Raw->loops();
+  TwoPhaseResult ScalarResult = analyzeMatmul(X60, Scalar);
+
+  Prepared Vector = prepareMatmul(X60, 32, 8);
+  TwoPhaseResult VectorResult = analyzeMatmul(X60, Vector);
+
+  ASSERT_EQ(ScalarResult.Loops.size(), 1u);
+  ASSERT_EQ(VectorResult.Loops.size(), 1u);
+  // Vector FLOPs exceed scalar only by the horizontal reductions (one
+  // reduce per (i,j,kk) tile); time drops.
+  EXPECT_GE(VectorResult.Loops[0].FpOps, ScalarResult.Loops[0].FpOps);
+  EXPECT_LT(VectorResult.Loops[0].FpOps,
+            ScalarResult.Loops[0].FpOps * 3 / 2 + 1);
+  EXPECT_LT(VectorResult.Loops[0].Seconds, ScalarResult.Loops[0].Seconds);
+}
+
+//===----------------------------------------------------------------------===//
+// Ceilings
+//===----------------------------------------------------------------------===//
+
+TEST(Ceilings, X60MatchesPaperDerivation) {
+  auto C = measureCeilings(hw::spacemitX60());
+  ASSERT_TRUE(C.hasValue()) << C.errorMessage();
+  // 2 IPC x 8 SP FLOP x 1.6 GHz = 25.6 GFLOP/s.
+  EXPECT_NEAR(C->PeakGFlops, 25.6, 0.01);
+  // Memset lands on the configured DRAM bandwidth: ~3.16 bytes/cycle.
+  EXPECT_NEAR(C->BytesPerCycle, 3.16, 0.2);
+  EXPECT_NEAR(C->MemBandwidthGBs, 5.06, 0.35); // = 4.7 GiB/s
+  EXPECT_GT(C->L1BandwidthGBs, C->MemBandwidthGBs);
+  EXPECT_GT(C->MeasuredGFlops, 0);
+  EXPECT_NE(C->ComputeRoofSource.find("8 SP FLOP"), std::string::npos);
+}
+
+TEST(Ceilings, RidgePointAndAttainable) {
+  Ceilings C;
+  C.PeakGFlops = 25.6;
+  C.MemBandwidthGBs = 5.0;
+  C.L1BandwidthGBs = 25.0;
+  EXPECT_NEAR(C.ridgePoint(), 5.12, 1e-9);
+  EXPECT_NEAR(C.attainable(1.0), 5.0, 1e-9);
+  EXPECT_NEAR(C.attainable(100.0), 25.6, 1e-9);
+  EXPECT_NEAR(C.attainableL1(1.0), 25.0, 1e-9);
+}
+
+TEST(Ceilings, OrderAcrossPlatforms) {
+  auto X60 = measureCeilings(hw::spacemitX60());
+  auto X86 = measureCeilings(hw::intelI5_1135G7());
+  auto U74 = measureCeilings(hw::sifiveU74());
+  ASSERT_TRUE(X60.hasValue());
+  ASSERT_TRUE(X86.hasValue());
+  ASSERT_TRUE(U74.hasValue());
+  EXPECT_GT(X86->PeakGFlops, X60->PeakGFlops);
+  EXPECT_GT(X86->MemBandwidthGBs, X60->MemBandwidthGBs);
+  EXPECT_LT(U74->PeakGFlops, X60->PeakGFlops); // no vector unit
+}
+
+//===----------------------------------------------------------------------===//
+// Counter-based (Advisor-like) estimator
+//===----------------------------------------------------------------------===//
+
+TEST(PmuEstimatorTest, OvercountsVersusIrDerived) {
+  hw::Platform P = hw::intelI5_1135G7();
+  Prepared R = prepareMatmul(P, 32, 16);
+  TwoPhaseResult TP = analyzeMatmul(P, R);
+  ASSERT_EQ(TP.Loops.size(), 1u);
+
+  workloads::MatmulWorkload *W = &R.W;
+  auto EstOr = estimateWithCounters(
+      P, *R.W.M, "main", {}, [W](vm::Interpreter &Vm) {
+        W->initialize(Vm);
+        workloads::bindClock(Vm, [] { return 0.0; });
+      });
+  ASSERT_TRUE(EstOr.hasValue()) << EstOr.errorMessage();
+
+  // The counter-derived FLOP count embeds the speculation factor; the
+  // estimate must exceed the IR-derived number by roughly that factor.
+  double Ratio = static_cast<double>(EstOr->SpecFlops) /
+                 static_cast<double>(TP.Loops[0].FpOps);
+  EXPECT_GT(Ratio, 1.2);
+  EXPECT_LT(Ratio, 1.7);
+}
+
+//===----------------------------------------------------------------------===//
+// Plot rendering
+//===----------------------------------------------------------------------===//
+
+TEST(PlotTest, AsciiContainsRoofsAndPoints) {
+  RooflineModel Model;
+  Model.Title = "test roofline";
+  Model.Roofs.PeakGFlops = 25.6;
+  Model.Roofs.MemBandwidthGBs = 5.0;
+  Model.Roofs.L1BandwidthGBs = 25.0;
+  Model.Points.push_back({"matmul", 0.25, 1.58});
+  std::string Ascii = renderAsciiRoofline(Model);
+  EXPECT_NE(Ascii.find("test roofline"), std::string::npos);
+  EXPECT_NE(Ascii.find("25.60 GFLOP/s"), std::string::npos);
+  EXPECT_NE(Ascii.find('A'), std::string::npos);
+  EXPECT_NE(Ascii.find("1.58 GFLOP/s @ 0.250"), std::string::npos);
+
+  std::string Csv = renderCsv(Model);
+  EXPECT_NE(Csv.find("matmul,0.250000,1.5800"), std::string::npos);
+
+  std::string Json = renderJson(Model);
+  EXPECT_NE(Json.find("\"memory_roof_gbs\":5"), std::string::npos);
+  EXPECT_NE(Json.find("\"label\":\"matmul\""), std::string::npos);
+}

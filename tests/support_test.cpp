@@ -1,0 +1,174 @@
+//===- support_test.cpp - Unit tests for the support library ------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Env.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/JSON.h"
+#include "support/RNG.h"
+#include "support/SourceLoc.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+
+TEST(Format, FixedPrecision) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(1.0, 0), "1");
+  EXPECT_EQ(fixed(-2.5, 1), "-2.5");
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(withCommas(0), "0");
+  EXPECT_EQ(withCommas(999), "999");
+  EXPECT_EQ(withCommas(1000), "1,000");
+  EXPECT_EQ(withCommas(3634478335ull), "3,634,478,335");
+  EXPECT_EQ(withCommas(1234567890123ull), "1,234,567,890,123");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(percent(0.1844), "18.44%");
+  EXPECT_EQ(percent(1.0), "100.00%");
+  EXPECT_EQ(percent(0.0), "0.00%");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(32 * 1024), "32 KiB");
+  EXPECT_EQ(formatBytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(Format, Rate) { EXPECT_EQ(formatRate(34.06e9, "FLOP"), "34.06 GFLOP/s"); }
+
+TEST(Format, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("matmul_kernel", "matmul"));
+  EXPECT_FALSE(startsWith("mat", "matmul"));
+  EXPECT_TRUE(endsWith("loop0.outlined", ".outlined"));
+  EXPECT_FALSE(endsWith("outlined.x", ".outlined"));
+}
+
+TEST(Format, SplitAndTrim) {
+  auto Fields = split("a,b,,c", ',');
+  ASSERT_EQ(Fields.size(), 4u);
+  EXPECT_EQ(Fields[0], "a");
+  EXPECT_EQ(Fields[2], "");
+  EXPECT_EQ(trim("  x \t\n"), "x");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcdef", 4), "abcdef");
+}
+
+TEST(ErrorHandling, SuccessAndFailure) {
+  Error Ok = Error::success();
+  EXPECT_FALSE(Ok.isError());
+  Error Bad("something failed");
+  EXPECT_TRUE(Bad.isError());
+  EXPECT_EQ(Bad.message(), "something failed");
+}
+
+TEST(ErrorHandling, ExpectedValue) {
+  Expected<int> V(42);
+  ASSERT_TRUE(V.hasValue());
+  EXPECT_EQ(*V, 42);
+}
+
+TEST(ErrorHandling, ExpectedError) {
+  Expected<int> E = makeError<int>("no counter available");
+  ASSERT_FALSE(E.hasValue());
+  EXPECT_EQ(E.errorMessage(), "no counter available");
+}
+
+TEST(Json, ObjectWithNesting) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("name");
+  W.string("matmul");
+  W.key("gflops");
+  W.number(34.06);
+  W.key("tags");
+  W.beginArray();
+  W.string("a\"b");
+  W.number(uint64_t(7));
+  W.boolean(true);
+  W.null();
+  W.endArray();
+  W.endObject();
+  EXPECT_EQ(W.str(),
+            "{\"name\":\"matmul\",\"gflops\":34.06,"
+            "\"tags\":[\"a\\\"b\",7,true,null]}");
+}
+
+TEST(Json, EscapesControlCharacters) {
+  JsonWriter W;
+  W.string("a\nb\tc");
+  EXPECT_EQ(W.str(), "\"a\\nb\\tc\"");
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable T;
+  T.addHeader({"Function", "IPC"});
+  T.addRow({"sqlite3VdbeExec", "0.86"});
+  T.addRow({"x", "3.38"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("Function"), std::string::npos);
+  EXPECT_NE(Out.find("sqlite3VdbeExec"), std::string::npos);
+  // Numeric column right-aligned: "0.86" and "3.38" end at same column.
+  auto PosA = Out.find("0.86");
+  auto PosB = Out.find("3.38");
+  ASSERT_NE(PosA, std::string::npos);
+  ASSERT_NE(PosB, std::string::npos);
+}
+
+TEST(Table, Csv) {
+  TextTable T;
+  T.addHeader({"a", "b"});
+  T.addRow({"x,y", "1"});
+  EXPECT_EQ(T.renderCsv(), "a,b\n\"x,y\",1\n");
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  SplitMix64 R(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(R.nextBelow(10), 10u);
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Environment, FlagSemantics) {
+  Environment Env;
+  EXPECT_FALSE(Env.getFlag("MPERF_ROOFLINE_INSTRUMENTED"));
+  Env.set("MPERF_ROOFLINE_INSTRUMENTED", "1");
+  EXPECT_TRUE(Env.getFlag("MPERF_ROOFLINE_INSTRUMENTED"));
+  Env.set("MPERF_ROOFLINE_INSTRUMENTED", "0");
+  EXPECT_FALSE(Env.getFlag("MPERF_ROOFLINE_INSTRUMENTED"));
+  Env.set("X", "true");
+  EXPECT_TRUE(Env.getFlag("X"));
+  Env.unset("X");
+  EXPECT_FALSE(Env.getFlag("X"));
+  EXPECT_FALSE(Env.get("X").has_value());
+}
+
+TEST(SourceLocTest, Rendering) {
+  SourceLoc Loc{"matmul.c", 14, "matmul_kernel"};
+  EXPECT_TRUE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "matmul.c:14 (matmul_kernel)");
+  SourceLoc Empty;
+  EXPECT_FALSE(Empty.isValid());
+}

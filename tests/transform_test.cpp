@@ -1,0 +1,397 @@
+//===- transform_test.cpp - Pass, cloning, extractor, instrumenter tests -------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RegionInfo.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "transform/Cloning.h"
+#include "transform/CodeExtractor.h"
+#include "transform/PassManager.h"
+#include "transform/RooflineInstrumenter.h"
+#include "transform/Scalar.h"
+#include "support/Env.h"
+#include "vm/Interpreter.h"
+#include "workloads/Matmul.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+using namespace mperf::ir;
+using namespace mperf::transform;
+
+namespace {
+
+std::unique_ptr<Module> parse(std::string_view Text) {
+  auto MOr = parseModule(Text);
+  EXPECT_TRUE(MOr.hasValue()) << (MOr ? "" : MOr.errorMessage());
+  return std::move(*MOr);
+}
+
+const char *SumLoopText = R"(module m
+global @OUT 8
+func @sum(i64 %n) -> void {
+entry:
+  br ph
+ph:
+  br loop
+loop:
+  %i = phi i64 [ 0, ph ], [ %i.next, loop ]
+  %acc = load i64, @OUT
+  %acc2 = add i64 %acc, %i
+  store i64 %acc2, @OUT
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  ret
+}
+)";
+
+uint64_t runAndReadOut(Module &M, uint64_t N,
+                       mperf::Environment *Env = nullptr) {
+  vm::Interpreter Vm(M);
+  // Bind roofline natives as no-ops driven by Env when present.
+  bool Instrumented = Env && Env->getFlag("MPERF_ROOFLINE_INSTRUMENTED");
+  Vm.registerNative(RooflineRuntimeNames::LoopBegin,
+                    [](vm::Interpreter &, const std::vector<vm::RtValue> &) {
+                      return vm::RtValue::ofInt(0);
+                    });
+  Vm.registerNative(RooflineRuntimeNames::LoopEnd,
+                    [](vm::Interpreter &, const std::vector<vm::RtValue> &) {
+                      return vm::RtValue();
+                    });
+  Vm.registerNative(RooflineRuntimeNames::IsInstrumented,
+                    [Instrumented](vm::Interpreter &,
+                                   const std::vector<vm::RtValue> &) {
+                      return vm::RtValue::ofInt(Instrumented ? 1 : 0);
+                    });
+  Vm.registerNative(RooflineRuntimeNames::Count,
+                    [](vm::Interpreter &, const std::vector<vm::RtValue> &) {
+                      return vm::RtValue();
+                    });
+  auto R = Vm.run("sum", {vm::RtValue::ofInt(N)});
+  EXPECT_TRUE(R.hasValue()) << (R ? "" : R.errorMessage());
+  return Vm.readI64(Vm.globalAddress("OUT"));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Cloning
+//===----------------------------------------------------------------------===//
+
+TEST(Cloning, ClonePreservesSemanticsAndIndependence) {
+  auto M = parse(SumLoopText);
+  Function *F = M->function("sum");
+  Function *Clone = cloneFunction(*F, "sum_clone");
+  EXPECT_FALSE(verifyModule(*M).isError());
+  EXPECT_EQ(Clone->numBlocks(), F->numBlocks());
+  EXPECT_EQ(Clone->instructionCount(), F->instructionCount());
+
+  // The clone must not reference any instruction of the original.
+  for (BasicBlock *BB : *Clone)
+    for (Instruction *I : *BB)
+      for (Value *Op : I->operands()) {
+        if (auto *OpI = dyn_cast<Instruction>(Op)) {
+          EXPECT_EQ(OpI->parent()->parent(), Clone);
+        }
+      }
+
+  // And it computes the same thing.
+  vm::Interpreter Vm(*M);
+  auto R1 = Vm.run("sum", {vm::RtValue::ofInt(10)});
+  ASSERT_TRUE(R1.hasValue());
+  uint64_t After1 = Vm.readI64(Vm.globalAddress("OUT"));
+  auto R2 = Vm.run("sum_clone", {vm::RtValue::ofInt(10)});
+  ASSERT_TRUE(R2.hasValue());
+  uint64_t After2 = Vm.readI64(Vm.globalAddress("OUT"));
+  EXPECT_EQ(After1, 45u);
+  EXPECT_EQ(After2 - After1, 45u);
+}
+
+//===----------------------------------------------------------------------===//
+// DCE / constant folding
+//===----------------------------------------------------------------------===//
+
+TEST(Scalar, DceRemovesUnusedPureOps) {
+  auto M = parse(R"(module m
+func @f(i64 %a) -> i64 {
+entry:
+  %dead1 = add i64 %a, 1
+  %dead2 = mul i64 %dead1, 2
+  %live = add i64 %a, 5
+  ret i64 %live
+}
+)");
+  Function *F = M->function("f");
+  ASSERT_EQ(F->entry()->size(), 4u);
+  PassManager PM;
+  PM.addPass(std::make_unique<DeadCodeElimination>());
+  ASSERT_FALSE(PM.run(*M).isError());
+  EXPECT_EQ(F->entry()->size(), 2u);
+}
+
+TEST(Scalar, DceKeepsSideEffects) {
+  auto M = parse(R"(module m
+global @G 8
+func @f() -> void {
+entry:
+  %v = load i64, @G
+  store i64 7, @G
+  ret
+}
+)");
+  Function *F = M->function("f");
+  PassManager PM;
+  PM.addPass(std::make_unique<DeadCodeElimination>());
+  ASSERT_FALSE(PM.run(*M).isError());
+  // The unused load is pure-ish but loads are conservatively kept.
+  EXPECT_EQ(F->entry()->size(), 3u);
+}
+
+TEST(Scalar, ConstantFoldsArithmeticChains) {
+  auto M = parse(R"(module m
+func @f() -> i64 {
+entry:
+  %a = add i64 2, 3
+  %b = mul i64 %a, 4
+  %c = sub i64 %b, 6
+  ret i64 %c
+}
+)");
+  Function *F = M->function("f");
+  PassManager PM;
+  PM.addPass(std::make_unique<ConstantFolding>());
+  ASSERT_FALSE(PM.run(*M).isError());
+  // Everything folds to ret 14.
+  ASSERT_EQ(F->entry()->size(), 1u);
+  Instruction *Ret = F->entry()->at(0);
+  auto *C = dyn_cast<ConstantInt>(Ret->operand(0));
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->zext(), 14u);
+}
+
+TEST(Scalar, FoldsIdentitiesAndSelects) {
+  auto M = parse(R"(module m
+func @f(i64 %x) -> i64 {
+entry:
+  %a = add i64 %x, 0
+  %b = mul i64 %a, 1
+  %s = select 1, i64 %b, 99
+  ret i64 %s
+}
+)");
+  Function *F = M->function("f");
+  PassManager PM;
+  PM.addPass(std::make_unique<ConstantFolding>());
+  ASSERT_FALSE(PM.run(*M).isError());
+  ASSERT_EQ(F->entry()->size(), 1u);
+  EXPECT_EQ(F->entry()->at(0)->operand(0), F->arg(0));
+}
+
+TEST(Scalar, DivisionByZeroNotFolded) {
+  auto M = parse(R"(module m
+func @f() -> i64 {
+entry:
+  %a = udiv i64 10, 0
+  ret i64 %a
+}
+)");
+  Function *F = M->function("f");
+  PassManager PM;
+  PM.addPass(std::make_unique<ConstantFolding>());
+  ASSERT_FALSE(PM.run(*M).isError());
+  EXPECT_EQ(F->entry()->size(), 2u); // udiv survives
+}
+
+//===----------------------------------------------------------------------===//
+// PassManager
+//===----------------------------------------------------------------------===//
+
+TEST(PassManagerTest, LogsAndVerifies) {
+  auto M = parse(SumLoopText);
+  PassManager PM;
+  PM.addPass(std::make_unique<DeadCodeElimination>());
+  PM.addPass(std::make_unique<ConstantFolding>());
+  ASSERT_FALSE(PM.run(*M).isError());
+  ASSERT_EQ(PM.log().size(), 2u);
+  EXPECT_NE(PM.log()[0].find("dce"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// CodeExtractor
+//===----------------------------------------------------------------------===//
+
+TEST(Extractor, OutlinesLoopAndPreservesSemantics) {
+  auto M = parse(SumLoopText);
+  Function *F = M->function("sum");
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  ASSERT_EQ(LI.topLevelLoops().size(), 1u);
+  auto Region = analysis::computeSESERegion(LI.topLevelLoops()[0]);
+  ASSERT_TRUE(Region.has_value());
+
+  auto ExtractedOr = extractLoopRegion(*F, *Region, "sum.loop0.outlined");
+  ASSERT_TRUE(ExtractedOr.hasValue()) << ExtractedOr.errorMessage();
+  EXPECT_FALSE(verifyModule(*M).isError()) << printModule(*M);
+
+  // The inputs are the values the loop consumed from outside: %n.
+  ASSERT_EQ(ExtractedOr->Inputs.size(), 1u);
+  EXPECT_EQ(ExtractedOr->Inputs[0], F->arg(0));
+  EXPECT_EQ(ExtractedOr->Outlined->name(), "sum.loop0.outlined");
+  EXPECT_EQ(ExtractedOr->CallSite->callee(), ExtractedOr->Outlined);
+
+  // The original function no longer contains a loop.
+  analysis::DominatorTree DT2(*F);
+  analysis::LoopInfo LI2(*F, DT2);
+  EXPECT_EQ(LI2.numLoops(), 0u);
+
+  EXPECT_EQ(runAndReadOut(*M, 10), 45u);
+}
+
+TEST(Extractor, RejectsSsaLiveOuts) {
+  auto M = parse(R"(module m
+func @f(i64 %n) -> i64 {
+entry:
+  br ph
+ph:
+  br loop
+loop:
+  %i = phi i64 [ 0, ph ], [ %i.next, loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  ret i64 %i.next
+}
+)");
+  Function *F = M->function("f");
+  analysis::DominatorTree DT(*F);
+  analysis::LoopInfo LI(*F, DT);
+  auto Region = analysis::computeSESERegion(LI.topLevelLoops()[0]);
+  ASSERT_TRUE(Region.has_value());
+  auto ExtractedOr = extractLoopRegion(*F, *Region, "f.loop0.outlined");
+  ASSERT_FALSE(ExtractedOr.hasValue());
+  EXPECT_NE(ExtractedOr.errorMessage().find("used outside"),
+            std::string::npos);
+  // Failure must leave the function untouched and valid.
+  EXPECT_FALSE(verifyFunction(*F).isError());
+  EXPECT_EQ(M->numFunctions(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// RooflineInstrumenter — the paper's §4.2 pipeline.
+//===----------------------------------------------------------------------===//
+
+TEST(Instrumenter, CreatesOutlinedAndInstrumentedPairs) {
+  auto M = parse(SumLoopText);
+  PassManager PM;
+  auto InstrumenterPass = std::make_unique<RooflineInstrumenter>();
+  RooflineInstrumenter *Instrumenter = InstrumenterPass.get();
+  PM.addPass(std::move(InstrumenterPass));
+  ASSERT_FALSE(PM.run(*M).isError());
+
+  ASSERT_EQ(Instrumenter->loops().size(), 1u);
+  const InstrumentedLoop &L = Instrumenter->loops()[0];
+  EXPECT_EQ(L.ParentFunction, "sum");
+  ASSERT_NE(M->function(L.OutlinedName), nullptr);
+  ASSERT_NE(M->function(L.InstrumentedName), nullptr);
+  // Runtime declarations exist.
+  EXPECT_NE(M->function(RooflineRuntimeNames::LoopBegin), nullptr);
+  EXPECT_NE(M->function(RooflineRuntimeNames::Count), nullptr);
+
+  // The instrumented clone has counter calls; the outlined one does not.
+  auto CountCalls = [&](Function *F) {
+    unsigned N = 0;
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (I->opcode() == Opcode::Call &&
+            I->callee()->name() == RooflineRuntimeNames::Count)
+          ++N;
+    return N;
+  };
+  EXPECT_GT(CountCalls(M->function(L.InstrumentedName)), 0u);
+  EXPECT_EQ(CountCalls(M->function(L.OutlinedName)), 0u);
+}
+
+TEST(Instrumenter, BothPathsComputeTheSameResult) {
+  auto M = parse(SumLoopText);
+  PassManager PM;
+  PM.addPass(std::make_unique<RooflineInstrumenter>());
+  ASSERT_FALSE(PM.run(*M).isError());
+
+  mperf::Environment Baseline;
+  EXPECT_EQ(runAndReadOut(*M, 10, &Baseline), 45u);
+  mperf::Environment Instrumented;
+  Instrumented.set("MPERF_ROOFLINE_INSTRUMENTED", "1");
+  EXPECT_EQ(runAndReadOut(*M, 10, &Instrumented), 45u);
+}
+
+TEST(Instrumenter, SkipsNonSeseLoops) {
+  // A loop with two exits is not SESE; the pass must skip it cleanly.
+  auto M = parse(R"(module m
+global @OUT 8
+func @f(i64 %n, i1 %c) -> void {
+entry:
+  br ph
+ph:
+  br loop
+loop:
+  %i = phi i64 [ 0, ph ], [ %i.next, latch ]
+  cond_br %c, early, latch
+early:
+  ret
+latch:
+  %i.next = add i64 %i, 1
+  %lc = icmp slt i64 %i.next, %n
+  cond_br %lc, loop, exit
+exit:
+  ret
+}
+)");
+  PassManager PM;
+  auto InstrumenterPass = std::make_unique<RooflineInstrumenter>();
+  RooflineInstrumenter *Instrumenter = InstrumenterPass.get();
+  PM.addPass(std::move(InstrumenterPass));
+  ASSERT_FALSE(PM.run(*M).isError());
+  EXPECT_EQ(Instrumenter->loops().size(), 0u);
+  EXPECT_EQ(Instrumenter->numSkipped(), 1u);
+}
+
+TEST(Instrumenter, MatmulNestExtractedOnce) {
+  auto W = workloads::buildMatmul({32, 8, 1});
+  PassManager PM;
+  auto InstrumenterPass = std::make_unique<RooflineInstrumenter>();
+  RooflineInstrumenter *Instrumenter = InstrumenterPass.get();
+  PM.addPass(std::move(InstrumenterPass));
+  ASSERT_FALSE(PM.run(*W.M).isError());
+  // One top-level nest in matmul_kernel; main has no loops.
+  ASSERT_EQ(Instrumenter->loops().size(), 1u);
+  EXPECT_EQ(Instrumenter->loops()[0].ParentFunction, "matmul_kernel");
+  EXPECT_FALSE(verifyModule(*W.M).isError());
+}
+
+TEST(Instrumenter, IdempotentOnSecondRun) {
+  auto M = parse(SumLoopText);
+  PassManager PM;
+  auto P1 = std::make_unique<RooflineInstrumenter>();
+  RooflineInstrumenter *Instrumenter = P1.get();
+  PM.addPass(std::move(P1));
+  ASSERT_FALSE(PM.run(*M).isError());
+  size_t FunctionsAfterFirst = M->numFunctions();
+  ASSERT_EQ(Instrumenter->loops().size(), 1u);
+
+  // Running the pass again must not re-instrument outlined/instr clones.
+  PassManager PM2;
+  auto P2 = std::make_unique<RooflineInstrumenter>();
+  RooflineInstrumenter *Second = P2.get();
+  PM2.addPass(std::move(P2));
+  ASSERT_FALSE(PM2.run(*M).isError());
+  EXPECT_EQ(Second->loops().size(), 0u);
+  EXPECT_EQ(M->numFunctions(), FunctionsAfterFirst);
+}

@@ -1,0 +1,358 @@
+//===- vectorizer_test.cpp - Loop vectorizer tests -----------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "transform/LoopVectorizer.h"
+#include "transform/PassManager.h"
+#include "vm/Interpreter.h"
+#include "workloads/Matmul.h"
+#include "workloads/Microbench.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+using namespace mperf::ir;
+using namespace mperf::transform;
+
+namespace {
+
+std::unique_ptr<Module> parse(std::string_view Text) {
+  auto MOr = parseModule(Text);
+  EXPECT_TRUE(MOr.hasValue()) << (MOr ? "" : MOr.errorMessage());
+  return std::move(*MOr);
+}
+
+/// Applies the vectorizer for \p Target; returns loops vectorized.
+unsigned vectorize(Module &M, const TargetInfo &Target) {
+  PassManager PM;
+  auto Pass = std::make_unique<LoopVectorizer>(Target);
+  LoopVectorizer *Raw = Pass.get();
+  PM.addPass(std::move(Pass));
+  Error E = PM.run(M);
+  EXPECT_FALSE(E.isError()) << E.message();
+  return Raw->numVectorized();
+}
+
+/// True if any instruction in \p M has a vector type.
+bool hasVectorOps(Module &M) {
+  for (Function *F : M)
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (I->type()->isVector())
+          return true;
+  return false;
+}
+
+const char *SaxpyText = R"(module m
+global @X 4096
+global @Y 4096
+func @saxpy(i64 %n, f32 %a) -> void {
+entry:
+  br ph
+ph:
+  br loop
+loop:
+  %i = phi i64 [ 0, ph ], [ %i.next, loop ]
+  %off = shl i64 %i, 2
+  %xp = ptradd ptr @X, %off
+  %yp = ptradd ptr @Y, %off
+  %x = load f32, %xp
+  %y = load f32, %yp
+  %r = fma f32 %x, %a, %y
+  store f32 %r, %yp
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  ret
+}
+)";
+
+/// Dot product with an FMA reduction.
+const char *DotText = R"(module m
+global @X 4096
+global @Y 4096
+global @OUT 8
+func @dot(i64 %n) -> void {
+entry:
+  br ph
+ph:
+  br loop
+loop:
+  %i = phi i64 [ 0, ph ], [ %i.next, loop ]
+  %acc = phi f32 [ 0.0, ph ], [ %acc.next, loop ]
+  %off = shl i64 %i, 2
+  %xp = ptradd ptr @X, %off
+  %yp = ptradd ptr @Y, %off
+  %x = load f32, %xp
+  %y = load f32, %yp
+  %acc.next = fma f32 %x, %y, %acc
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  store f32 %acc.next, @OUT
+  ret
+}
+)";
+
+void fillF32(vm::Interpreter &Vm, const std::string &Global, unsigned Count,
+             float Base) {
+  std::vector<float> Data(Count);
+  for (unsigned I = 0; I != Count; ++I)
+    Data[I] = Base + 0.25f * static_cast<float>(I % 17);
+  Vm.writeMemory(Vm.globalAddress(Global), Data.data(), Count * 4);
+}
+
+} // namespace
+
+TEST(Vectorizer, NoOpWithoutVectorTarget) {
+  auto M = parse(SaxpyText);
+  EXPECT_EQ(vectorize(*M, TargetInfo::rv64gc()), 0u);
+  EXPECT_FALSE(hasVectorOps(*M));
+}
+
+TEST(Vectorizer, WidensUnitStrideLoop) {
+  auto M = parse(SaxpyText);
+  EXPECT_EQ(vectorize(*M, TargetInfo::rv64gcv(256)), 1u);
+  EXPECT_TRUE(hasVectorOps(*M));
+  EXPECT_FALSE(verifyModule(*M).isError()) << printModule(*M);
+}
+
+TEST(Vectorizer, VectorPathMatchesScalarResults) {
+  auto Scalar = parse(SaxpyText);
+  auto Vector = parse(SaxpyText);
+  ASSERT_EQ(vectorize(*Vector, TargetInfo::x86Avx2()), 1u);
+
+  const unsigned N = 256; // divisible by VF=8 -> vector path taken
+  auto RunOne = [&](Module &M) {
+    vm::Interpreter Vm(M);
+    fillF32(Vm, "X", N, 1.0f);
+    fillF32(Vm, "Y", N, 2.0f);
+    auto R = Vm.run("saxpy",
+                    {vm::RtValue::ofInt(N), vm::RtValue::ofFp(1.5)});
+    EXPECT_TRUE(R.hasValue()) << (R ? "" : R.errorMessage());
+    std::vector<float> Y(N);
+    Vm.readMemory(Vm.globalAddress("Y"), Y.data(), N * 4);
+    return Y;
+  };
+  auto YS = RunOne(*Scalar);
+  auto YV = RunOne(*Vector);
+  for (unsigned I = 0; I != N; ++I)
+    EXPECT_FLOAT_EQ(YS[I], YV[I]) << "element " << I;
+}
+
+TEST(Vectorizer, ScalarFallbackWhenTripCountIndivisible) {
+  auto Scalar = parse(SaxpyText);
+  auto Vector = parse(SaxpyText);
+  ASSERT_EQ(vectorize(*Vector, TargetInfo::x86Avx2()), 1u);
+
+  const unsigned N = 253; // not divisible by 8 -> versioned scalar path
+  auto RunOne = [&](Module &M) {
+    vm::Interpreter Vm(M);
+    fillF32(Vm, "X", 256, 3.0f);
+    fillF32(Vm, "Y", 256, -1.0f);
+    auto R = Vm.run("saxpy",
+                    {vm::RtValue::ofInt(N), vm::RtValue::ofFp(0.5)});
+    EXPECT_TRUE(R.hasValue()) << (R ? "" : R.errorMessage());
+    std::vector<float> Y(256);
+    Vm.readMemory(Vm.globalAddress("Y"), Y.data(), 256 * 4);
+    return Y;
+  };
+  auto YS = RunOne(*Scalar);
+  auto YV = RunOne(*Vector);
+  for (unsigned I = 0; I != 256; ++I)
+    EXPECT_FLOAT_EQ(YS[I], YV[I]) << "element " << I;
+}
+
+TEST(Vectorizer, ReductionLoopVectorizesAndMatches) {
+  auto Scalar = parse(DotText);
+  auto Vector = parse(DotText);
+  ASSERT_EQ(vectorize(*Vector, TargetInfo::rv64gcv(256)), 1u);
+  EXPECT_FALSE(verifyModule(*Vector).isError()) << printModule(*Vector);
+
+  const unsigned N = 128;
+  auto RunOne = [&](Module &M) {
+    vm::Interpreter Vm(M);
+    fillF32(Vm, "X", N, 0.5f);
+    fillF32(Vm, "Y", N, 1.25f);
+    auto R = Vm.run("dot", {vm::RtValue::ofInt(N)});
+    EXPECT_TRUE(R.hasValue()) << (R ? "" : R.errorMessage());
+    return Vm.readF32(Vm.globalAddress("OUT"));
+  };
+  double S = RunOne(*Scalar);
+  double V = RunOne(*Vector);
+  // Different accumulation order: allow small relative error.
+  EXPECT_NEAR(V, S, std::abs(S) * 1e-4);
+}
+
+TEST(Vectorizer, RejectsRecurrences) {
+  // acc = fma(acc, c1, c2) is a recurrence, not a reduction.
+  auto M = parse(R"(module m
+global @OUT 8
+func @rec(i64 %n) -> void {
+entry:
+  br ph
+ph:
+  br loop
+loop:
+  %i = phi i64 [ 0, ph ], [ %i.next, loop ]
+  %acc = phi f32 [ 1.0, ph ], [ %acc.next, loop ]
+  %acc.next = fma f32 %acc, 1.5, 0.25
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  store f32 %acc.next, @OUT
+  ret
+}
+)");
+  EXPECT_EQ(vectorize(*M, TargetInfo::x86Avx2()), 0u);
+}
+
+TEST(Vectorizer, RejectsCallsInBody) {
+  auto M = parse(R"(module m
+declare func @ext(f32 %x) -> f32
+global @X 4096
+func @f(i64 %n) -> void {
+entry:
+  br ph
+ph:
+  br loop
+loop:
+  %i = phi i64 [ 0, ph ], [ %i.next, loop ]
+  %off = shl i64 %i, 2
+  %p = ptradd ptr @X, %off
+  %x = load f32, %p
+  %y = call f32 @ext(f32 %x)
+  store f32 %y, %p
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  ret
+}
+)");
+  EXPECT_EQ(vectorize(*M, TargetInfo::x86Avx2()), 0u);
+}
+
+TEST(Vectorizer, StridedLoadGetsStrideOperand) {
+  // B[k*n + j] style column access: stride is 4*n, known only at run
+  // time; the vectorizer must emit a strided load.
+  auto M = parse(R"(module m
+global @B 65536
+global @OUT 8
+func @col(i64 %n, i64 %j) -> void {
+entry:
+  br ph
+ph:
+  br loop
+loop:
+  %k = phi i64 [ 0, ph ], [ %k.next, loop ]
+  %acc = phi f32 [ 0.0, ph ], [ %acc.next, loop ]
+  %row = mul i64 %k, %n
+  %idx = add i64 %row, %j
+  %off = shl i64 %idx, 2
+  %p = ptradd ptr @B, %off
+  %b = load f32, %p
+  %acc.next = fadd f32 %acc, %b
+  %k.next = add i64 %k, 1
+  %c = icmp slt i64 %k.next, %n
+  cond_br %c, loop, exit
+exit:
+  store f32 %acc.next, @OUT
+  ret
+}
+)");
+  ASSERT_EQ(vectorize(*M, TargetInfo::rv64gcv(256)), 1u);
+  bool FoundStrided = false;
+  for (Function *F : *M)
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (I->opcode() == Opcode::Load && I->hasVectorStrideOperand())
+          FoundStrided = true;
+  EXPECT_TRUE(FoundStrided) << printModule(*M);
+
+  // Semantics: sum of column j over k=0..n-1.
+  vm::Interpreter Vm(*M);
+  const unsigned N = 32;
+  std::vector<float> B(N * N);
+  for (unsigned K = 0; K != N; ++K)
+    for (unsigned J = 0; J != N; ++J)
+      B[K * N + J] = static_cast<float>(K) + 0.5f;
+  Vm.writeMemory(Vm.globalAddress("B"), B.data(), B.size() * 4);
+  auto R = Vm.run("col", {vm::RtValue::ofInt(N), vm::RtValue::ofInt(3)});
+  ASSERT_TRUE(R.hasValue()) << R.errorMessage();
+  double Expected = 0;
+  for (unsigned K = 0; K != N; ++K)
+    Expected += K + 0.5;
+  EXPECT_NEAR(Vm.readF32(Vm.globalAddress("OUT")), Expected, 1e-3);
+}
+
+TEST(Vectorizer, MemsetStoreOfInvariantWidens) {
+  auto Bench = workloads::buildMemset(4096, 1);
+  EXPECT_EQ(vectorize(*Bench.M, TargetInfo::rv64gcv(256)), 1u);
+  EXPECT_TRUE(hasVectorOps(*Bench.M));
+  vm::Interpreter Vm(*Bench.M);
+  auto R = Vm.run("main");
+  EXPECT_TRUE(R.hasValue()) << (R ? "" : R.errorMessage());
+}
+
+TEST(Vectorizer, MatmulInnerLoopVectorizes) {
+  auto W = workloads::buildMatmul({32, 8, 1});
+  EXPECT_EQ(vectorize(*W.M, TargetInfo::rv64gcv(256)), 1u);
+  EXPECT_FALSE(verifyModule(*W.M).isError());
+
+  // Numerics still match the host reference.
+  vm::Interpreter Vm(*W.M);
+  W.initialize(Vm);
+  auto R = Vm.run("matmul_kernel",
+                  {vm::RtValue::ofInt(Vm.globalAddress("A")),
+                   vm::RtValue::ofInt(Vm.globalAddress("B")),
+                   vm::RtValue::ofInt(Vm.globalAddress("C")),
+                   vm::RtValue::ofInt(32)});
+  ASSERT_TRUE(R.hasValue()) << R.errorMessage();
+  EXPECT_LT(W.verify(Vm), 1e-3);
+}
+
+//===----------------------------------------------------------------------===//
+// Property sweep: saxpy correctness across lane widths and sizes.
+//===----------------------------------------------------------------------===//
+
+class VectorizerSweep
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(VectorizerSweep, SaxpyMatchesScalar) {
+  auto [VectorBits, N] = GetParam();
+  auto Scalar = parse(SaxpyText);
+  auto Vector = parse(SaxpyText);
+  TargetInfo Target = TargetInfo::rv64gcv(VectorBits);
+  ASSERT_EQ(vectorize(*Vector, Target), 1u);
+
+  auto RunOne = [&](Module &M) {
+    vm::Interpreter Vm(M);
+    fillF32(Vm, "X", 1024, 0.75f);
+    fillF32(Vm, "Y", 1024, -0.5f);
+    auto R = Vm.run("saxpy",
+                    {vm::RtValue::ofInt(N), vm::RtValue::ofFp(2.25)});
+    EXPECT_TRUE(R.hasValue()) << (R ? "" : R.errorMessage());
+    std::vector<float> Y(1024);
+    Vm.readMemory(Vm.globalAddress("Y"), Y.data(), 1024 * 4);
+    return Y;
+  };
+  auto YS = RunOne(*Scalar);
+  auto YV = RunOne(*Vector);
+  for (unsigned I = 0; I != 1024; ++I)
+    ASSERT_FLOAT_EQ(YS[I], YV[I]) << "element " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LaneAndSizeSweep, VectorizerSweep,
+    ::testing::Combine(::testing::Values(128u, 256u, 512u),
+                       ::testing::Values(64u, 96u, 100u, 1000u, 1024u)));

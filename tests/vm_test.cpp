@@ -1,0 +1,372 @@
+//===- vm_test.cpp - Interpreter semantics tests -------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+using namespace mperf::ir;
+using namespace mperf::vm;
+
+namespace {
+
+std::unique_ptr<Module> parse(std::string_view Text) {
+  auto MOr = parseModule(Text);
+  EXPECT_TRUE(MOr.hasValue()) << (MOr ? "" : MOr.errorMessage());
+  return std::move(*MOr);
+}
+
+/// Runs @main-like entry \p Fn with i64 args and returns the i64 result.
+uint64_t runInt(Module &M, const std::string &Fn,
+                std::vector<uint64_t> Args = {}) {
+  Interpreter Vm(M);
+  std::vector<RtValue> RtArgs;
+  for (uint64_t A : Args)
+    RtArgs.push_back(RtValue::ofInt(A));
+  auto R = Vm.run(Fn, RtArgs);
+  EXPECT_TRUE(R.hasValue()) << (R ? "" : R.errorMessage());
+  return R ? R->asInt() : ~0ull;
+}
+
+/// A consumer that tallies retired op classes.
+struct ClassCounter : TraceConsumer {
+  uint64_t Counts[16] = {};
+  uint64_t CallsSeen = 0;
+  void onRetire(const RetiredOp &Op) override {
+    ++Counts[static_cast<unsigned>(Op.Class)];
+  }
+  void onCallEnter(const ir::Function &) override { ++CallsSeen; }
+  uint64_t of(OpClass C) const { return Counts[static_cast<unsigned>(C)]; }
+};
+
+} // namespace
+
+TEST(Vm, IntegerArithmetic) {
+  auto M = parse(R"(module m
+func @f(i64 %a, i64 %b) -> i64 {
+entry:
+  %s = add i64 %a, %b
+  %d = sub i64 %s, 5
+  %m = mul i64 %d, 3
+  %q = sdiv i64 %m, 2
+  %r = srem i64 %q, 7
+  ret i64 %r
+}
+)");
+  // ((10+20-5)*3)/2 = 37, 37%7 = 2
+  EXPECT_EQ(runInt(*M, "f", {10, 20}), 2u);
+}
+
+TEST(Vm, SignedOperationsOnNarrowTypes) {
+  auto M = parse(R"(module m
+func @f(i32 %a) -> i32 {
+entry:
+  %neg = sub i32 0, %a
+  %sh = ashr i32 %neg, 1
+  ret i32 %sh
+}
+)");
+  // -10 >> 1 (arithmetic) = -5; returned as 32-bit two's complement.
+  EXPECT_EQ(runInt(*M, "f", {10}), 0xFFFFFFFBu);
+}
+
+TEST(Vm, DivisionByZeroTraps) {
+  auto M = parse(R"(module m
+func @f(i64 %a) -> i64 {
+entry:
+  %q = udiv i64 10, %a
+  ret i64 %q
+}
+)");
+  Interpreter Vm(*M);
+  auto R = Vm.run("f", {RtValue::ofInt(0)});
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.errorMessage().find("division by zero"), std::string::npos);
+}
+
+TEST(Vm, FloatSemantics) {
+  auto M = parse(R"(module m
+func @f(f64 %x) -> f64 {
+entry:
+  %a = fadd f64 %x, 1.5
+  %b = fmul f64 %a, 2.0
+  %c = fdiv f64 %b, 4.0
+  %d = fneg f64 %c
+  %e = fma f64 %d, %d, 0.25
+  ret f64 %e
+}
+)");
+  Interpreter Vm(*M);
+  auto R = Vm.run("f", {RtValue::ofFp(2.0)});
+  ASSERT_TRUE(R.hasValue());
+  // a=3.5 b=7 c=1.75 d=-1.75 e=3.0625+0.25=3.3125
+  EXPECT_DOUBLE_EQ(R->asFp(), 3.3125);
+}
+
+TEST(Vm, F32RoundsToSinglePrecision) {
+  auto M = parse(R"(module m
+func @f() -> f32 {
+entry:
+  %a = fadd f32 0.1, 0.2
+  ret f32 %a
+}
+)");
+  Interpreter Vm(*M);
+  auto R = Vm.run("f");
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(static_cast<float>(R->asFp()), 0.1f + 0.2f);
+}
+
+TEST(Vm, MemoryGlobalsAndByteLoads) {
+  auto M = parse(R"(module m
+global @G 16
+func @f() -> i64 {
+entry:
+  store i64 258, @G
+  %b0 = load i8, @G
+  %w0 = zext i8 %b0 to i64
+  %p1 = ptradd ptr @G, 1
+  %b1 = load i8, %p1
+  %w1 = zext i8 %b1 to i64
+  %hi = shl i64 %w1, 8
+  %r = or i64 %hi, %w0
+  ret i64 %r
+}
+)");
+  // Little-endian: 258 = 0x0102 -> byte0=2, byte1=1 -> reassembled 258.
+  EXPECT_EQ(runInt(*M, "f"), 258u);
+}
+
+TEST(Vm, AllocaStackDiscipline) {
+  auto M = parse(R"(module m
+func @callee() -> i64 {
+entry:
+  %slot = alloca 8
+  store i64 7, %slot
+  %v = load i64, %slot
+  ret i64 %v
+}
+func @f() -> i64 {
+entry:
+  %a = call i64 @callee()
+  %b = call i64 @callee()
+  %s = add i64 %a, %b
+  ret i64 %s
+}
+)");
+  EXPECT_EQ(runInt(*M, "f"), 14u);
+}
+
+TEST(Vm, OutOfBoundsLoadTraps) {
+  auto M = parse(R"(module m
+global @G 8
+func @f() -> i64 {
+entry:
+  %p = ptradd ptr @G, 123456789
+  %v = load i64, %p
+  ret i64 %v
+}
+)");
+  Interpreter Vm(*M);
+  auto R = Vm.run("f");
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.errorMessage().find("out of bounds"), std::string::npos);
+}
+
+TEST(Vm, LoopAndPhiSemantics) {
+  auto M = parse(R"(module m
+func @sum(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %acc = phi i64 [ 0, entry ], [ %acc.next, loop ]
+  %acc.next = add i64 %acc, %i
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  ret i64 %acc.next
+}
+)");
+  // sum 0..9 = 45
+  EXPECT_EQ(runInt(*M, "sum", {10}), 45u);
+}
+
+TEST(Vm, ParallelPhiMoves) {
+  // Swapping phis on the back edge requires parallel-copy semantics.
+  auto M = parse(R"(module m
+func @swap(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %a = phi i64 [ 1, entry ], [ %b, loop ]
+  %b = phi i64 [ 2, entry ], [ %a, loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  %r = shl i64 %a, 8
+  %r2 = or i64 %r, %b
+  ret i64 %r2
+}
+)");
+  // After 3 iterations (odd swaps beyond the first): a,b swap each
+  // back-edge crossing; 2 crossings for n=3 -> a=1, b=2.
+  EXPECT_EQ(runInt(*M, "swap", {3}), (1u << 8) | 2u);
+}
+
+TEST(Vm, VectorOpsAndStridedLoad) {
+  auto M = parse(R"(module m
+global @A 64
+func @f() -> f32 {
+entry:
+  br init
+init:
+  %i = phi i64 [ 0, entry ], [ %i.next, init ]
+  %off = shl i64 %i, 2
+  %p = ptradd ptr @A, %off
+  %fi = sitofp i64 %i to f32
+  store f32 %fi, %p
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, 16
+  cond_br %c, init, done
+done:
+  %v = load <4 x f32>, @A stride 8
+  %r = reduce_fadd <4 x f32> %v
+  ret f32 %r
+}
+)");
+  Interpreter Vm(*M);
+  auto R = Vm.run("f");
+  ASSERT_TRUE(R.hasValue()) << R.errorMessage();
+  // Lanes at byte strides 0,8,16,24 -> elements 0,2,4,6 -> sum 12.
+  EXPECT_FLOAT_EQ(static_cast<float>(R->asFp()), 12.0f);
+}
+
+TEST(Vm, SplatExtractSelect) {
+  auto M = parse(R"(module m
+func @f(i64 %lane, i1 %flag) -> f32 {
+entry:
+  %s = splat f32 2.5 to <8 x f32>
+  %e = extractelement <8 x f32> %s, %lane
+  %r = select %flag, f32 %e, 0.0
+  ret f32 %r
+}
+)");
+  Interpreter Vm(*M);
+  auto R = Vm.run("f", {RtValue::ofInt(3), RtValue::ofInt(1)});
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_FLOAT_EQ(static_cast<float>(R->asFp()), 2.5f);
+}
+
+TEST(Vm, NativeFunctionDispatch) {
+  auto M = parse(R"(module m
+declare func @host_add(i64 %a, i64 %b) -> i64
+func @f() -> i64 {
+entry:
+  %r = call i64 @host_add(i64 40, i64 2)
+  ret i64 %r
+}
+)");
+  Interpreter Vm(*M);
+  Vm.registerNative("host_add",
+                    [](Interpreter &, const std::vector<RtValue> &Args) {
+                      return RtValue::ofInt(Args[0].asInt() +
+                                            Args[1].asInt());
+                    });
+  auto R = Vm.run("f");
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(R->asInt(), 42u);
+}
+
+TEST(Vm, UnregisteredNativeIsError) {
+  auto M = parse(R"(module m
+declare func @missing() -> void
+func @f() -> void {
+entry:
+  call void @missing()
+  ret
+}
+)");
+  Interpreter Vm(*M);
+  auto R = Vm.run("f");
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.errorMessage().find("missing"), std::string::npos);
+}
+
+TEST(Vm, FuelLimitsRunawayLoops) {
+  auto M = parse(R"(module m
+func @forever() -> void {
+entry:
+  br loop
+loop:
+  br loop
+}
+)");
+  Interpreter Vm(*M);
+  Vm.setFuel(1000);
+  auto R = Vm.run("forever");
+  ASSERT_FALSE(R.hasValue());
+  EXPECT_NE(R.errorMessage().find("fuel"), std::string::npos);
+}
+
+TEST(Vm, TraceClassesAndCallEvents) {
+  auto M = parse(R"(module m
+func @leaf(f64 %x) -> f64 {
+entry:
+  %y = fma f64 %x, %x, 1.0
+  ret f64 %y
+}
+func @f() -> f64 {
+entry:
+  %a = call f64 @leaf(f64 2.0)
+  %b = fadd f64 %a, 1.0
+  ret f64 %b
+}
+)");
+  Interpreter Vm(*M);
+  ClassCounter Counter;
+  Vm.addConsumer(&Counter);
+  auto R = Vm.run("f");
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(Counter.of(OpClass::FpFma), 1u);
+  EXPECT_EQ(Counter.of(OpClass::FpAdd), 1u);
+  EXPECT_EQ(Counter.of(OpClass::Call), 1u);
+  EXPECT_EQ(Counter.of(OpClass::Ret), 2u);
+  EXPECT_EQ(Counter.CallsSeen, 2u); // f and leaf
+  EXPECT_EQ(Vm.stats().Calls, 2u);
+}
+
+TEST(Vm, StatsTrackBytes) {
+  auto M = parse(R"(module m
+global @G 64
+func @f() -> void {
+entry:
+  %v = load i64, @G
+  store i64 %v, @G
+  %w = load <4 x f32>, @G
+  ret
+}
+)");
+  Interpreter Vm(*M);
+  auto R = Vm.run("f");
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(Vm.stats().LoadedBytes, 8u + 16u);
+  EXPECT_EQ(Vm.stats().StoredBytes, 8u);
+}
+
+TEST(Vm, GlobalInitializersVisible) {
+  Module M("t");
+  GlobalVariable *G = M.createGlobal("G", 8);
+  G->setInitializer({1, 0, 0, 0, 0, 0, 0, 0});
+  Interpreter Vm(M);
+  EXPECT_EQ(Vm.readI64(Vm.globalAddress("G")), 1u);
+}

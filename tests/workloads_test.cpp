@@ -1,0 +1,190 @@
+//===- workloads_test.cpp - Workload builder correctness tests -----------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "vm/Interpreter.h"
+#include "workloads/Matmul.h"
+#include "workloads/Microbench.h"
+#include "workloads/SqliteLike.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+using namespace mperf::workloads;
+
+//===----------------------------------------------------------------------===//
+// Matmul
+//===----------------------------------------------------------------------===//
+
+TEST(MatmulTest, VerifiesAndComputesCorrectProduct) {
+  MatmulWorkload W = buildMatmul({32, 8, 7});
+  EXPECT_FALSE(ir::verifyModule(*W.M).isError());
+
+  vm::Interpreter Vm(*W.M);
+  W.initialize(Vm);
+  double Cycles = 0;
+  bindClock(Vm, [&Cycles] { return Cycles; });
+  auto R = Vm.run("main");
+  ASSERT_TRUE(R.hasValue()) << R.errorMessage();
+  EXPECT_LT(W.verify(Vm), 1e-3);
+}
+
+TEST(MatmulTest, SelfTimingWritesCycleDelta) {
+  MatmulWorkload W = buildMatmul({16, 8, 1});
+  vm::Interpreter Vm(*W.M);
+  W.initialize(Vm);
+  double FakeClock = 0;
+  bindClock(Vm, [&FakeClock] {
+    FakeClock += 1000;
+    return FakeClock;
+  });
+  auto R = Vm.run("main");
+  ASSERT_TRUE(R.hasValue());
+  // t0 = 1000, t1 = 2000 -> SELF_CYCLES = 1000.
+  EXPECT_EQ(W.selfReportedCycles(Vm), 1000u);
+}
+
+TEST(MatmulTest, FlopsFormula) {
+  MatmulWorkload W = buildMatmul({64, 16, 1});
+  EXPECT_EQ(W.flops(), 2ull * 64 * 64 * 64);
+}
+
+class MatmulSweep
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(MatmulSweep, TiledEqualsReference) {
+  auto [N, Tile] = GetParam();
+  MatmulWorkload W = buildMatmul({N, Tile, 3});
+  vm::Interpreter Vm(*W.M);
+  W.initialize(Vm);
+  auto R = Vm.run("matmul_kernel",
+                  {vm::RtValue::ofInt(Vm.globalAddress("A")),
+                   vm::RtValue::ofInt(Vm.globalAddress("B")),
+                   vm::RtValue::ofInt(Vm.globalAddress("C")),
+                   vm::RtValue::ofInt(N)});
+  ASSERT_TRUE(R.hasValue()) << R.errorMessage();
+  EXPECT_LT(W.verify(Vm), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileShapes, MatmulSweep,
+                         ::testing::Values(std::make_pair(16u, 4u),
+                                           std::make_pair(16u, 16u),
+                                           std::make_pair(24u, 8u),
+                                           std::make_pair(32u, 16u),
+                                           std::make_pair(48u, 16u)));
+
+//===----------------------------------------------------------------------===//
+// SqliteLike
+//===----------------------------------------------------------------------===//
+
+TEST(SqliteLikeTest, VerifiesAndMatchesHostReference) {
+  SqliteLikeConfig C;
+  C.NumPages = 8;
+  C.CellsPerPage = 8;
+  C.NumQueries = 10;
+  SqliteLikeWorkload W = buildSqliteLike(C);
+  EXPECT_FALSE(ir::verifyModule(*W.M).isError());
+
+  vm::Interpreter Vm(*W.M);
+  auto R = Vm.run("main", {vm::RtValue::ofInt(C.NumQueries)});
+  ASSERT_TRUE(R.hasValue()) << R.errorMessage();
+  EXPECT_EQ(W.result(Vm), W.ExpectedMatches);
+  EXPECT_GT(W.ExpectedMatches, 0u); // patterns are seeded from real keys
+}
+
+TEST(SqliteLikeTest, DeterministicAcrossRuns) {
+  SqliteLikeConfig C;
+  C.NumPages = 4;
+  C.CellsPerPage = 6;
+  C.NumQueries = 5;
+  auto W1 = buildSqliteLike(C);
+  auto W2 = buildSqliteLike(C);
+  EXPECT_EQ(W1.ExpectedMatches, W2.ExpectedMatches);
+
+  vm::Interpreter Vm1(*W1.M), Vm2(*W2.M);
+  ASSERT_TRUE(Vm1.run("main", {vm::RtValue::ofInt(5)}).hasValue());
+  ASSERT_TRUE(Vm2.run("main", {vm::RtValue::ofInt(5)}).hasValue());
+  EXPECT_EQ(Vm1.stats().RetiredOps, Vm2.stats().RetiredOps);
+  EXPECT_EQ(W1.result(Vm1), W2.result(Vm2));
+}
+
+TEST(SqliteLikeTest, QueryCountScalesWork) {
+  SqliteLikeConfig C;
+  C.NumPages = 4;
+  C.CellsPerPage = 6;
+  C.NumQueries = 4;
+  auto W = buildSqliteLike(C);
+  vm::Interpreter Vm1(*W.M);
+  ASSERT_TRUE(Vm1.run("main", {vm::RtValue::ofInt(2)}).hasValue());
+  uint64_t Ops2 = Vm1.stats().RetiredOps;
+  vm::Interpreter Vm2(*W.M);
+  ASSERT_TRUE(Vm2.run("main", {vm::RtValue::ofInt(4)}).hasValue());
+  uint64_t Ops4 = Vm2.stats().RetiredOps;
+  EXPECT_GT(Ops4, Ops2 * 3 / 2);
+}
+
+class SqliteSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SqliteSweep, ReferenceMatchAtScale) {
+  unsigned Pages = GetParam();
+  SqliteLikeConfig C;
+  C.NumPages = Pages;
+  C.CellsPerPage = 6;
+  C.NumQueries = 6;
+  C.Seed = 1000 + Pages;
+  auto W = buildSqliteLike(C);
+  vm::Interpreter Vm(*W.M);
+  auto R = Vm.run("main", {vm::RtValue::ofInt(C.NumQueries)});
+  ASSERT_TRUE(R.hasValue()) << R.errorMessage();
+  EXPECT_EQ(W.result(Vm), W.ExpectedMatches);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageCounts, SqliteSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+//===----------------------------------------------------------------------===//
+// Microbenchmarks
+//===----------------------------------------------------------------------===//
+
+TEST(MicrobenchTest, MemsetZeroesBuffer) {
+  Microbench W = buildMemset(4096, 2);
+  EXPECT_FALSE(ir::verifyModule(*W.M).isError());
+  EXPECT_EQ(W.totalBytes(), 8192u);
+  vm::Interpreter Vm(*W.M);
+  // Pre-fill with junk; the kernel must clear it.
+  std::vector<uint8_t> Junk(4096, 0xAB);
+  Vm.writeMemory(Vm.globalAddress("BUF"), Junk.data(), Junk.size());
+  ASSERT_TRUE(Vm.run("main").hasValue());
+  std::vector<uint8_t> Out(4096);
+  Vm.readMemory(Vm.globalAddress("BUF"), Out.data(), Out.size());
+  for (uint8_t Byte : Out)
+    ASSERT_EQ(Byte, 0);
+}
+
+TEST(MicrobenchTest, TriadComputesAxpy) {
+  Microbench W = buildTriad(64, 1);
+  EXPECT_FALSE(ir::verifyModule(*W.M).isError());
+  vm::Interpreter Vm(*W.M);
+  std::vector<float> Bv(64, 2.0f), Cv(64, 3.0f);
+  Vm.writeMemory(Vm.globalAddress("b"), Bv.data(), 64 * 4);
+  Vm.writeMemory(Vm.globalAddress("c"), Cv.data(), 64 * 4);
+  ASSERT_TRUE(Vm.run("main").hasValue());
+  std::vector<float> Av(64);
+  Vm.readMemory(Vm.globalAddress("a"), Av.data(), 64 * 4);
+  for (float V : Av)
+    ASSERT_FLOAT_EQ(V, 2.0f + 3.0f * 3.0f);
+}
+
+TEST(MicrobenchTest, PeakFlopsRunsScalarAndVector) {
+  for (unsigned Lanes : {1u, 4u, 8u}) {
+    Microbench W = buildPeakFlops(2, 100, Lanes);
+    EXPECT_FALSE(ir::verifyModule(*W.M).isError());
+    EXPECT_EQ(W.totalFlops(), 2ull * 2 * Lanes * 100);
+    vm::Interpreter Vm(*W.M);
+    EXPECT_TRUE(Vm.run("main").hasValue());
+  }
+}

@@ -1,0 +1,62 @@
+// Calibration scratch tool: prints the headline shapes for each platform.
+#include "miniperf/Session.h"
+#include "miniperf/Hotspots.h"
+#include "roofline/MachineModel.h"
+#include "roofline/TwoPhase.h"
+#include "roofline/PmuEstimator.h"
+#include "transform/LoopVectorizer.h"
+#include "transform/RooflineInstrumenter.h"
+#include "workloads/Matmul.h"
+#include "workloads/SqliteLike.h"
+#include <cstdio>
+
+using namespace mperf;
+
+int main() {
+  // --- sqlite IPC on X60 and x86.
+  for (auto P : {hw::spacemitX60(), hw::intelI5_1135G7()}) {
+    workloads::SqliteLikeConfig C;
+    auto W = workloads::buildSqliteLike(C);
+    miniperf::SessionOptions Opts;
+    Opts.SamplePeriod = 20000;
+    miniperf::Session S(P, Opts);
+    auto R = S.profile(*W.M, "main", {vm::RtValue::ofInt(C.NumQueries)});
+    if (!R) { std::printf("ERR %s\n", R.errorMessage().c_str()); continue; }
+    std::printf("%-22s cycles=%.3e instr=%.3e IPC=%.3f samples=%zu workaround=%d irops=%llu\n",
+                P.CoreName.c_str(), (double)R->Cycles, (double)R->Instructions,
+                R->Ipc, R->Samples.size(), (int)R->UsedWorkaround,
+                (unsigned long long)R->Vm.RetiredOps);
+    auto Rows = miniperf::computeHotspots(*R);
+    for (size_t i = 0; i < Rows.size() && i < 6; ++i)
+      std::printf("   %-28s %6.2f%%  instr=%llu ipc=%.2f\n", Rows[i].Function.c_str(),
+                  Rows[i].TotalShare*100, (unsigned long long)Rows[i].Instructions, Rows[i].Ipc);
+  }
+
+  // --- matmul roofline on x86 and X60.
+  for (auto P : {hw::intelI5_1135G7(), hw::spacemitX60()}) {
+    workloads::MatmulConfig MC{96, 32, 1};
+    auto W = workloads::buildMatmul(MC);
+    transform::PassManager PM;
+    PM.addPass(std::make_unique<transform::LoopVectorizer>(P.Target));
+    auto IP = std::make_unique<transform::RooflineInstrumenter>();
+    auto *Instr = IP.get();
+    PM.addPass(std::move(IP));
+    if (Error E = PM.run(*W.M)) { std::printf("PASS ERR %s\n", E.message().c_str()); continue; }
+    roofline::TwoPhaseDriver Driver(P);
+    Driver.setSetupHook([&W](vm::Interpreter &Vm) {
+      W.initialize(Vm);
+      workloads::bindClock(Vm, [] { return 0.0; });
+    });
+    auto ROr = Driver.analyze(*W.M, Instr->loops(), "main");
+    if (!ROr) { std::printf("TP ERR %s\n", ROr.errorMessage().c_str()); continue; }
+    for (auto &L : ROr->Loops)
+      std::printf("%-22s loop=%s GFLOPs=%.2f GB/s=%.2f AI=%.3f overhead=%.2fx\n",
+                  P.CoreName.c_str(), L.Info.Loc.str().c_str(), L.GFlops,
+                  L.GBytesPerSec, L.ArithmeticIntensity, L.OverheadRatio);
+    auto C = roofline::measureCeilings(P);
+    if (C)
+      std::printf("   roofs: mem=%.2f GB/s (%.2f B/cyc) compute=%.1f GFLOP/s measured=%.1f\n",
+                  C->MemBandwidthGBs, C->BytesPerCycle, C->PeakGFlops, C->MeasuredGFlops);
+  }
+  return 0;
+}
