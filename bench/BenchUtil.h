@@ -23,14 +23,73 @@
 #include "transform/LoopVectorizer.h"
 #include "transform/PassManager.h"
 #include "transform/RooflineInstrumenter.h"
+#include "support/Format.h"
 #include "workloads/Matmul.h"
 #include "workloads/SqliteLike.h"
 
+#include <chrono>
 #include <cstdio>
+#include <string>
 
 namespace bench {
 
 using namespace mperf;
+
+//===----------------------------------------------------------------------===//
+// Minimal timing harness
+//
+// The benches measure the simulation substrate itself in host wall-clock
+// time, so a small repeat-until-stable loop is all that is needed; no
+// external benchmark framework is used anywhere in the repo.
+//===----------------------------------------------------------------------===//
+
+/// Defeats dead-code elimination of a benchmark result.
+template <typename T> inline void doNotOptimize(const T &Value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "g"(&Value) : "memory");
+#else
+  volatile const T *Sink = &Value;
+  (void)Sink;
+#endif
+}
+
+/// What measure() reports for one benchmark case.
+struct BenchTiming {
+  uint64_t Iterations = 0;
+  double TotalSeconds = 0.0;
+  double SecondsPerIter = 0.0;
+};
+
+/// Calls \p F once untimed as a warm-up, then repeatedly until at least
+/// \p MinSeconds of wall time and \p MinIters calls have accumulated,
+/// and reports the mean time per call.
+template <typename Fn>
+inline BenchTiming measure(Fn &&F, double MinSeconds = 0.3,
+                           uint64_t MinIters = 3) {
+  using Clock = std::chrono::steady_clock;
+  F();
+  BenchTiming T;
+  const Clock::time_point Start = Clock::now();
+  do {
+    F();
+    ++T.Iterations;
+    T.TotalSeconds =
+        std::chrono::duration<double>(Clock::now() - Start).count();
+  } while (T.TotalSeconds < MinSeconds || T.Iterations < MinIters);
+  T.SecondsPerIter = T.TotalSeconds / static_cast<double>(T.Iterations);
+  return T;
+}
+
+/// Renders a per-call time with a unit fitting its magnitude.
+inline std::string formatSecondsPerIter(double Seconds) {
+  if (Seconds < 1e-6)
+    return fixed(Seconds * 1e9, 1) + " ns";
+  if (Seconds < 1e-3)
+    return fixed(Seconds * 1e6, 1) + " us";
+  if (Seconds < 1.0)
+    return fixed(Seconds * 1e3, 2) + " ms";
+  return fixed(Seconds, 3) + " s";
+}
 
 /// The sqlite workload at the scale the benches use (the paper's run
 /// retires ~3.6e9 instructions on real silicon; the simulated runs are

@@ -3,25 +3,23 @@
 // Part of the miniperf project, a reproduction of "Dissecting RISC-V
 // Performance" (PACT 2025). See README.md for details.
 //
-// google-benchmark timings of the simulation substrate itself: raw
-// interpreter throughput, the cost of attaching the timing model, and
-// the full PMU+perf stack. Useful when sizing workloads.
+// Timings of the simulation substrate itself: raw interpreter
+// throughput, the cost of attaching the timing model, and the full
+// PMU+perf stack. Useful when sizing workloads. Uses the in-repo
+// BenchUtil.h harness like every other bench.
 //
 //===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
 
 #include "hw/CoreModel.h"
 #include "hw/Platform.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
-#include "miniperf/Session.h"
-#include "transform/LoopVectorizer.h"
-#include "transform/PassManager.h"
+#include "support/Table.h"
 #include "vm/Interpreter.h"
-#include "workloads/Matmul.h"
-#include "workloads/SqliteLike.h"
 
-#include <benchmark/benchmark.h>
-
+using namespace bench;
 using namespace mperf;
 
 namespace {
@@ -45,70 +43,92 @@ exit:
 }
 )";
 
-void BM_InterpreterRawThroughput(benchmark::State &State) {
-  auto MOr = ir::parseModule(HotLoopText);
-  vm::Interpreter Vm(**MOr);
-  uint64_t N = 100000;
-  for (auto _ : State) {
-    auto R = Vm.run("main", {vm::RtValue::ofInt(N)});
-    benchmark::DoNotOptimize(R.hasValue());
-  }
-  State.SetItemsProcessed(State.iterations() * N * 8); // ~8 ops/iter
-}
-BENCHMARK(BM_InterpreterRawThroughput);
+/// Ops retired per trip of the hot loop above.
+constexpr double HotLoopOpsPerIter = 8.0;
 
-void BM_InterpreterWithCoreModel(benchmark::State &State) {
+void addRow(TextTable &T, const std::string &Name, const BenchTiming &Timing,
+            const std::string &Throughput) {
+  T.addRow({Name, withCommas(Timing.Iterations),
+            formatSecondsPerIter(Timing.SecondsPerIter), Throughput});
+}
+
+/// Times the hot loop on a fresh interpreter, optionally with the
+/// platform's core timing model attached as a trace consumer.
+BenchTiming benchHotLoop(TextTable &T, const std::string &Name,
+                         bool AttachCoreModel) {
   auto MOr = ir::parseModule(HotLoopText);
   vm::Interpreter Vm(**MOr);
   hw::Platform P = hw::spacemitX60();
   hw::CoreModel Core(P.Core, P.Cache);
-  Vm.addConsumer(&Core);
-  uint64_t N = 100000;
-  for (auto _ : State) {
+  if (AttachCoreModel)
+    Vm.addConsumer(&Core);
+  const uint64_t N = 100000;
+  BenchTiming Timing = measure([&] {
     auto R = Vm.run("main", {vm::RtValue::ofInt(N)});
-    benchmark::DoNotOptimize(R.hasValue());
-  }
-  State.SetItemsProcessed(State.iterations() * N * 8);
+    doNotOptimize(R.hasValue());
+  });
+  double OpsPerSec =
+      static_cast<double>(N) * HotLoopOpsPerIter / Timing.SecondsPerIter;
+  addRow(T, Name, Timing, formatRate(OpsPerSec, "ops"));
+  return Timing;
 }
-BENCHMARK(BM_InterpreterWithCoreModel);
 
-void BM_FullProfilingSession(benchmark::State &State) {
+void benchFullProfilingSession(TextTable &T) {
   workloads::SqliteLikeConfig C;
   C.NumPages = 8;
   C.CellsPerPage = 8;
   C.NumQueries = 4;
-  for (auto _ : State) {
+  BenchTiming Timing = measure([&] {
     auto W = workloads::buildSqliteLike(C);
     miniperf::Session S(hw::spacemitX60());
     auto R = S.profile(*W.M, "main", {vm::RtValue::ofInt(4)});
-    benchmark::DoNotOptimize(R.hasValue());
-  }
+    doNotOptimize(R.hasValue());
+  });
+  addRow(T, "full profiling session", Timing, "-");
 }
-BENCHMARK(BM_FullProfilingSession)->Unit(benchmark::kMillisecond);
 
-void BM_VectorizerOnMatmul(benchmark::State &State) {
-  for (auto _ : State) {
+void benchVectorizerOnMatmul(TextTable &T) {
+  BenchTiming Timing = measure([&] {
     auto W = workloads::buildMatmul({64, 16, 1});
     transform::PassManager PM;
     PM.addPass(std::make_unique<transform::LoopVectorizer>(
         transform::TargetInfo::rv64gcv(256)));
     Error E = PM.run(*W.M);
-    benchmark::DoNotOptimize(E.isError());
-  }
+    doNotOptimize(E.isError());
+  });
+  addRow(T, "vectorizer on matmul", Timing, "-");
 }
-BENCHMARK(BM_VectorizerOnMatmul)->Unit(benchmark::kMicrosecond);
 
-void BM_ModuleParse(benchmark::State &State) {
+void benchModuleParse(TextTable &T) {
   auto W = workloads::buildSqliteLike({4, 4, 4, 12, 1});
   std::string Text = ir::printModule(*W.M);
-  for (auto _ : State) {
+  BenchTiming Timing = measure([&] {
     auto MOr = ir::parseModule(Text);
-    benchmark::DoNotOptimize(MOr.hasValue());
-  }
-  State.SetBytesProcessed(State.iterations() * Text.size());
+    doNotOptimize(MOr.hasValue());
+  });
+  double BytesPerSec =
+      static_cast<double>(Text.size()) / Timing.SecondsPerIter;
+  addRow(T, "module parse", Timing, formatRate(BytesPerSec, "B"));
 }
-BENCHMARK(BM_ModuleParse);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  print("Substrate microbenchmarks: what the simulator itself costs\n\n");
+
+  TextTable T;
+  T.addHeader({"Benchmark", "iters", "time/iter", "throughput"});
+
+  BenchTiming Raw = benchHotLoop(T, "interpreter, raw", false);
+  BenchTiming Timed = benchHotLoop(T, "interpreter + core model", true);
+  benchFullProfilingSession(T);
+  benchVectorizerOnMatmul(T);
+  benchModuleParse(T);
+
+  print(T.render());
+  if (Raw.SecondsPerIter > 0)
+    print("\nAttaching the core model costs " +
+          fixed(Timed.SecondsPerIter / Raw.SecondsPerIter, 2) +
+          "x over the raw interpreter on the hot loop.\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+# ===- examples/QuickstartSmoke.cmake - ctest smoke-run of quickstart ----=== #
+#
+# Part of the miniperf project, a reproduction of "Dissecting RISC-V
+# Performance" (PACT 2025). See README.md for details.
+#
+# Runs the quickstart example and asserts (a) exit code 0 and (b) that
+# the profile summary actually printed an "IPC:" line.
+#
+# ===----------------------------------------------------------------------=== #
+
+execute_process(
+  COMMAND ${QUICKSTART}
+  OUTPUT_VARIABLE QS_OUT
+  ERROR_VARIABLE QS_ERR
+  RESULT_VARIABLE QS_RC
+)
+
+if(NOT QS_RC EQUAL 0)
+  message(FATAL_ERROR
+          "quickstart exited with ${QS_RC}\nstdout:\n${QS_OUT}\nstderr:\n${QS_ERR}")
+endif()
+
+if(NOT QS_OUT MATCHES "IPC:")
+  message(FATAL_ERROR
+          "quickstart output has no 'IPC:' line\nstdout:\n${QS_OUT}")
+endif()
