@@ -24,12 +24,16 @@
 #include "transform/PassManager.h"
 #include "transform/RooflineInstrumenter.h"
 #include "support/Format.h"
+#include "support/JSON.h"
+#include "support/Table.h"
 #include "workloads/Matmul.h"
 #include "workloads/SqliteLike.h"
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 namespace bench {
 
@@ -166,6 +170,116 @@ inline roofline::TwoPhaseResult twoPhase(const hw::Platform &P,
 inline void print(const std::string &Text) {
   std::fputs(Text.c_str(), stdout);
 }
+
+//===----------------------------------------------------------------------===//
+// Machine-readable bench baselines
+//
+// Every bench binary also writes `BENCH_<name>.json` next to its text
+// output, so CI can diff metric values against committed baselines (the
+// ROADMAP perf gate). Keys are stable identifiers; tables carry the same
+// cells the text report prints.
+//===----------------------------------------------------------------------===//
+
+/// Collects named metrics and tables and writes the bench JSON file.
+class BenchReport {
+public:
+  explicit BenchReport(std::string Name) : Name(std::move(Name)) {}
+
+  void metric(const std::string &Key, double Value) {
+    Metrics.push_back({Key, Entry::Double, Value, 0, ""});
+  }
+  void metric(const std::string &Key, uint64_t Value) {
+    Metrics.push_back({Key, Entry::Unsigned, 0, Value, ""});
+  }
+  void metric(const std::string &Key, int Value) {
+    metric(Key, static_cast<uint64_t>(Value));
+  }
+  void note(const std::string &Key, const std::string &Value) {
+    Metrics.push_back({Key, Entry::Text, 0, 0, Value});
+  }
+  void addTable(const std::string &Key, const TextTable &T) {
+    Tables.emplace_back(Key, T);
+  }
+
+  /// Serializes the report ("miniperf-bench-report/v1").
+  std::string toJson() const {
+    JsonWriter W;
+    W.beginObject();
+    W.key("schema");
+    W.string("miniperf-bench-report/v1");
+    W.key("bench");
+    W.string(Name);
+    W.key("metrics");
+    W.beginObject();
+    for (const Entry &E : Metrics) {
+      W.key(E.Key);
+      switch (E.Kind) {
+      case Entry::Double:
+        W.number(E.D);
+        break;
+      case Entry::Unsigned:
+        W.number(E.U);
+        break;
+      case Entry::Text:
+        W.string(E.S);
+        break;
+      }
+    }
+    W.endObject();
+    W.key("tables");
+    W.beginArray();
+    for (const auto &[Key, T] : Tables) {
+      W.beginObject();
+      W.key("name");
+      W.string(Key);
+      W.key("header");
+      W.beginArray();
+      for (const std::string &Cell : T.header())
+        W.string(Cell);
+      W.endArray();
+      W.key("rows");
+      W.beginArray();
+      for (const std::vector<std::string> &Row : T.rows()) {
+        W.beginArray();
+        for (const std::string &Cell : Row)
+          W.string(Cell);
+        W.endArray();
+      }
+      W.endArray();
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    return W.str();
+  }
+
+  /// Writes BENCH_<name>.json into the working directory and reports
+  /// the path on stdout. Returns false (with a stderr note) on I/O
+  /// failure so benches keep their text output either way.
+  bool write() const {
+    const std::string Path = "BENCH_" + Name + ".json";
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    Out << toJson() << "\n";
+    print("\n(json baseline written to " + Path + ")\n");
+    return true;
+  }
+
+private:
+  struct Entry {
+    std::string Key;
+    enum Kind { Double, Unsigned, Text } Kind;
+    double D;
+    uint64_t U;
+    std::string S;
+  };
+  std::string Name;
+  std::vector<Entry> Metrics;
+  std::vector<std::pair<std::string, TextTable>> Tables;
+};
 
 } // namespace bench
 

@@ -22,6 +22,7 @@ int main() {
   print("Ablation: PMU sampling strategies on the SpacemiT X60 "
         "(section 3.3)\n\n");
   hw::Platform P = hw::spacemitX60();
+  BenchReport Json("ablation_grouping");
 
   // Strategy 1: the standard perf approach — sample cycles directly.
   {
@@ -42,6 +43,8 @@ int main() {
           (FdOr ? std::string("unexpectedly succeeded!")
                 : FdOr.errorMessage()) +
           "\n\n");
+    Json.metric("direct_sampling_opens", static_cast<uint64_t>(
+                                             FdOr.hasValue() ? 1 : 0));
   }
 
   // Strategy 2: counting only.
@@ -57,6 +60,9 @@ int main() {
           withCommas(R->Instructions) + " IPC=" + fixed(R->Ipc, 2) +
           ", samples=" + std::to_string(R->Samples.size()) +
           " -> totals only, no hotspots\n\n");
+    Json.metric("stat_cycles", R->Cycles);
+    Json.metric("stat_instructions", R->Instructions);
+    Json.metric("stat_ipc", R->Ipc);
   }
 
   // Strategy 3: the workaround.
@@ -72,10 +78,17 @@ int main() {
       print("     " + Rows[I].Function + ": " +
             percent(Rows[I].TotalShare) + " of cycles, IPC " +
             fixed(Rows[I].Ipc, 2) + "\n");
+    Json.metric("workaround_samples",
+                static_cast<uint64_t>(R.Samples.size()));
+    Json.metric("workaround_interrupts", R.Interrupts);
+    Json.metric("workaround_cycles", R.Cycles);
+    Json.metric("workaround_hotspots", static_cast<uint64_t>(Rows.size()));
+    Json.note("workaround_leader", R.LeaderDescription);
   }
 
   print("\nSampling overhead: the workaround costs one S-mode interrupt "
         "per period; at the default period it perturbs the program by "
         "well under 2% of cycles (see bench output above vs stat mode).\n");
+  Json.write();
   return 0;
 }

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "driver/Scenario.h"
 #include "support/Format.h"
 #include "support/Table.h"
 
@@ -26,6 +27,7 @@ int main() {
   T.addHeader({"Platform", "baseline Mcycles", "instrumented Mcycles",
                "overhead", "GFLOP/s (two-phase)", "GFLOP/s (one-phase)"});
 
+  BenchReport Json("ablation_overhead");
   for (const hw::Platform &P :
        {hw::spacemitX60(), hw::theadC910(), hw::intelI5_1135G7()}) {
     PreparedMatmul R = prepareMatmul(P, matmulScale());
@@ -40,11 +42,17 @@ int main() {
               fixed(L.OverheadRatio, 2) + "x",
               fixed(L.GFlops, 2),
               fixed(OnePhaseGFlops, 2)});
+    const std::string Key = driver::platformKey(P);
+    Json.metric("overhead_ratio." + Key, L.OverheadRatio);
+    Json.metric("two_phase_gflops." + Key, L.GFlops);
+    Json.metric("one_phase_gflops." + Key, OnePhaseGFlops);
   }
   print(T.render());
   print("\nThe one-phase column under-reports throughput by the overhead "
         "factor; the two-phase design measures time without counters and "
         "counts ops without timing pressure, which is why the paper runs "
         "the program twice.\n");
+  Json.addTable("overhead", T);
+  Json.write();
   return 0;
 }

@@ -80,5 +80,16 @@ int main() {
         "exactly the wide-frame signature the paper reads off "
         "instructions-retired flame graphs (it quotes 8x for pure "
         "8-lane bodies; loop overhead dilutes it here).\n");
+
+  BenchReport Json("ablation_vectorization");
+  Json.metric("retired_ops.scalar", static_cast<uint64_t>(RetiredOps[0]));
+  Json.metric("retired_ops.vlen128", static_cast<uint64_t>(RetiredOps[1]));
+  Json.metric("retired_ops.vlen256", static_cast<uint64_t>(RetiredOps[2]));
+  Json.metric("gflops.scalar", GFlops[0]);
+  Json.metric("gflops.vlen128", GFlops[1]);
+  Json.metric("gflops.vlen256", GFlops[2]);
+  Json.metric("scalar_over_vlen256_ops", RetiredOps[0] / RetiredOps[2]);
+  Json.addTable("vectorization", T);
+  Json.write();
   return 0;
 }

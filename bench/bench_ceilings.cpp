@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "driver/Scenario.h"
 #include "support/Format.h"
 #include "support/Table.h"
 
@@ -21,6 +22,7 @@ int main() {
         "microbenchmarks on each simulated core)\n\n");
 
   TextTable T;
+  BenchReport Json("ceilings");
   T.addHeader({"Platform", "memset B/cyc", "DRAM roof GB/s", "L1 roof GB/s",
                "compute roof GFLOP/s", "measured FMA GFLOP/s"});
   for (const hw::Platform &P : hw::allPlatforms()) {
@@ -32,6 +34,11 @@ int main() {
     T.addRow({P.CoreName, fixed(C->BytesPerCycle, 2),
               fixed(C->MemBandwidthGBs, 2), fixed(C->L1BandwidthGBs, 1),
               fixed(C->PeakGFlops, 1), fixed(C->MeasuredGFlops, 1)});
+    const std::string Key = driver::platformKey(P);
+    Json.metric("bytes_per_cycle." + Key, C->BytesPerCycle);
+    Json.metric("mem_roof_gbs." + Key, C->MemBandwidthGBs);
+    Json.metric("peak_gflops." + Key, C->PeakGFlops);
+    Json.metric("measured_gflops." + Key, C->MeasuredGFlops);
   }
   print(T.render());
 
@@ -42,5 +49,7 @@ int main() {
         " bytes/cycle -> " + fixed(X60->MemBandwidthGBs / 1.073742, 2) +
         " GiB/s; compute roof " + fixed(X60->PeakGFlops, 1) +
         " GFLOP/s.\n");
+  Json.addTable("ceilings", T);
+  Json.write();
   return 0;
 }

@@ -86,5 +86,14 @@ exit:
   }
   print("\nsamples recorded: " +
         std::to_string(Perf.ringBuffer().samples().size()) + "\n");
+
+  BenchReport Json("fig1_pmu_stack");
+  Json.metric("sbi_ecalls", Sbi.numEcalls());
+  Json.metric("overflow_interrupts", Perf.numInterrupts());
+  Json.metric("samples",
+              static_cast<uint64_t>(Perf.ringBuffer().samples().size()));
+  Json.metric("oplog_entries", static_cast<uint64_t>(Sbi.opLog().size()));
+  Json.note("leader", Plan.LeaderDescription);
+  Json.write();
   return 0;
 }

@@ -36,6 +36,12 @@ int main() {
           " -> " + L.OutlinedName + " / " + L.InstrumentedName + "\n");
 
   roofline::TwoPhaseResult TP = twoPhase(P, R);
+  BenchReport Json("fig2_workflow");
+  Json.metric("instrumented_loops", static_cast<uint64_t>(R.Loops.size()));
+  Json.metric("baseline_cycles",
+              static_cast<uint64_t>(TP.BaselineProgramCycles));
+  Json.metric("instrumented_cycles",
+              static_cast<uint64_t>(TP.InstrumentedProgramCycles));
   print("\nphase 1 (baseline):      " +
         withCommas(static_cast<uint64_t>(TP.BaselineProgramCycles)) +
         " cycles\n");
@@ -56,6 +62,15 @@ int main() {
           " FLOP/byte\n");
     print("  instrumentation overhead (why two phases exist): " +
           fixed(L.OverheadRatio, 2) + "x\n");
+    const std::string Key = "loop" + std::to_string(L.Info.Id);
+    Json.metric(Key + ".gflops", L.GFlops);
+    Json.metric(Key + ".gbytes_per_sec", L.GBytesPerSec);
+    Json.metric(Key + ".arithmetic_intensity", L.ArithmeticIntensity);
+    Json.metric(Key + ".overhead_ratio", L.OverheadRatio);
+    Json.metric(Key + ".fp_ops", L.FpOps);
+    Json.metric(Key + ".bytes_loaded", L.BytesLoaded);
+    Json.metric(Key + ".bytes_stored", L.BytesStored);
   }
+  Json.write();
   return 0;
 }

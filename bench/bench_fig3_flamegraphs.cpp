@@ -31,6 +31,7 @@ static void emit(const std::string &Panel, const FlameGraph &FG,
 int main() {
   print("Fig. 3: Flame graphs for the sqlite3-like benchmark\n\n");
 
+  BenchReport Json("fig3_flamegraphs");
   for (const hw::Platform &P :
        {hw::spacemitX60(), hw::intelI5_1135G7()}) {
     ProfileResult R = profileSqlite(P, 10000);
@@ -47,11 +48,18 @@ int main() {
                                                "instructions");
     emit(P.CoreName + ", instructions retired", Instr,
          "fig3_" + Tag + "_instructions.svg");
+
+    Json.metric("samples." + Tag, static_cast<uint64_t>(R.Samples.size()));
+    Json.metric("cycles_weight." + Tag, Cycles.totalWeight());
+    Json.metric("instructions_weight." + Tag, Instr.totalWeight());
+    Json.metric("vdbe_leaf_share." + Tag,
+                Cycles.leafShare("sqlite3VdbeExec"));
   }
 
   print("Reading the panels the way the paper does: both platforms are\n"
         "dominated by the same engine functions; frame widths differ by\n"
         "the per-ISA instruction counts, and the instructions-retired\n"
         "panels allow cross-platform comparison without frequency bias.\n");
+  Json.write();
   return 0;
 }

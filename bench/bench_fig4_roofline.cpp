@@ -142,5 +142,16 @@ int main() {
   print("\nShape check: Advisor > miniperf > self-reported on x86; the "
         "X60 point sits far below both of its roofs, the paper's "
         "optimization headroom story.\n");
+
+  BenchReport Json("fig4_roofline");
+  Json.metric("x86_miniperf_gflops", X86.Loop.GFlops);
+  Json.metric("x86_self_reported_gflops", X86.SelfReportedGFlops);
+  Json.metric("x86_advisor_gflops", X86.AdvisorGFlops);
+  Json.metric("x86_arithmetic_intensity", X86.Loop.ArithmeticIntensity);
+  Json.metric("x60_miniperf_gflops", X60.Loop.GFlops);
+  Json.metric("x60_mem_roof_gbs", X60.Roofs.MemBandwidthGBs);
+  Json.metric("x60_bytes_per_cycle", X60.Roofs.BytesPerCycle);
+  Json.metric("x60_compute_roof_gflops", X60.Roofs.PeakGFlops);
+  Json.write();
   return 0;
 }

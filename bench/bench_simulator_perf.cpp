@@ -130,5 +130,14 @@ int main() {
     print("\nAttaching the core model costs " +
           fixed(Timed.SecondsPerIter / Raw.SecondsPerIter, 2) +
           "x over the raw interpreter on the hot loop.\n");
+
+  BenchReport Json("simulator_perf");
+  const double HotLoopOps = 100000 * HotLoopOpsPerIter;
+  Json.metric("raw_ops_per_sec", HotLoopOps / Raw.SecondsPerIter);
+  Json.metric("timed_ops_per_sec", HotLoopOps / Timed.SecondsPerIter);
+  Json.metric("core_model_slowdown",
+              Timed.SecondsPerIter / Raw.SecondsPerIter);
+  Json.addTable("substrate", T);
+  Json.write();
   return 0;
 }

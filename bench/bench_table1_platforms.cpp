@@ -4,62 +4,30 @@
 // Performance" (PACT 2025). See README.md for details.
 //
 // Table 1: "Comparison of available RISC-V hardware capabilities". The
-// capability matrix is printed from the platform database, then each
-// claim in the "overflow interrupt" row is *verified live* by attempting
-// to open sampling events through the simulated perf_event stack.
+// capability matrix is printed from the platform database, then the
+// "overflow interrupt" row is *verified live* by sweeping one sampling
+// workload across every platform with the scenario-sweep driver: cores
+// whose row says "No" must produce zero samples, everyone else must
+// sample (the X60 through its grouping workaround).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
-#include "ir/Parser.h"
-#include "kernel/PerfEvent.h"
+#include "driver/ScenarioMatrix.h"
+#include "driver/SweepRunner.h"
 #include "support/Table.h"
 
 using namespace bench;
 using namespace mperf;
+using namespace mperf::driver;
 using namespace mperf::hw;
-
-/// Attempts to open a sampling cycles event on \p P; returns the verdict
-/// string for the table footnote.
-static std::string probeSampling(const Platform &P) {
-  auto MOr = ir::parseModule("module probe\n"
-                             "func @main() -> void {\nentry:\n  ret\n}\n");
-  vm::Interpreter Vm(**MOr);
-  CoreModel Core(P.Core, P.Cache);
-  Pmu ThePmu(P.PmuCaps);
-  Core.setEventSink([&ThePmu](const EventDeltas &D) { ThePmu.advance(D); });
-  sbi::SbiPmu Sbi(ThePmu, Core);
-  kernel::PerfEventSubsystem Perf(P, ThePmu, Sbi, Core, Vm);
-
-  kernel::PerfEventAttr Attr;
-  Attr.Hw = kernel::HwEventId::CpuCycles;
-  Attr.SamplePeriod = 100000;
-  bool DirectOk = Perf.open(Attr).hasValue();
-  if (DirectOk)
-    return "cycles sample directly";
-
-  // Try any sampling-capable raw event (the X60 path).
-  for (const auto &[Code, Kind] : P.PmuCaps.VendorEvents) {
-    if (!P.PmuCaps.canSample(Kind))
-      continue;
-    kernel::PerfEventAttr Raw;
-    Raw.EventType = kernel::PerfEventAttr::Type::Raw;
-    Raw.RawCode = Code;
-    Raw.SamplePeriod = 100000;
-    if (Perf.open(Raw).hasValue())
-      return std::string("only non-standard ") +
-             std::string(eventName(Kind));
-  }
-  return "no sampling event opens";
-}
 
 int main() {
   print("Table 1: Comparison of available RISC-V hardware capabilities\n");
-  print("(paper: Table 1; the x86 reference column is added for "
-        "completeness)\n\n");
+  print("(paper: Table 1 columns plus the x86 reference and the C906 "
+        "sweep column)\n\n");
 
-  std::vector<Platform> Platforms = {sifiveU74(), theadC910(), spacemitX60(),
-                                     intelI5_1135G7()};
+  std::vector<Platform> Platforms = allPlatforms();
 
   TextTable T;
   std::vector<std::string> Header = {"Core"};
@@ -84,9 +52,55 @@ int main() {
   T.addRow(Linux);
   print(T.render());
 
-  print("\nLive verification of the overflow-interrupt row (attempting "
-        "perf_event_open with a sample period):\n");
-  for (const Platform &P : Platforms)
-    print("  " + P.CoreName + ": " + probeSampling(P) + "\n");
-  return 0;
+  // Live verification: the same sampling scenario on every platform,
+  // run concurrently by the sweep driver.
+  std::vector<Scenario> Scenarios = ScenarioMatrix()
+                                        .addPlatforms(Platforms)
+                                        .addWorkloads(*selectWorkloads("triad"))
+                                        .addSamplePeriod(30000)
+                                        .build();
+  SweepOptions Opts;
+  Opts.Jobs = 4;
+  SweepReport Report = SweepRunner(Opts).run(Scenarios);
+
+  print("\nLive verification of the overflow-interrupt row (one sampling "
+        "scenario per core, " + std::to_string(Report.Jobs) +
+        " concurrent jobs):\n");
+  TextTable V;
+  V.addHeader({"Core", "claimed", "observed strategy", "samples",
+               "verdict"});
+  bool AllConsistent = true;
+  for (size_t I = 0; I != Report.Results.size(); ++I) {
+    const ScenarioResult &R = Report.Results[I];
+    const Platform &P = Platforms[I];
+    std::string Strategy = R.Failed ? "run failed"
+                           : !R.Profile.SamplingAvailable
+                               ? "counting only"
+                           : R.Profile.UsedWorkaround
+                               ? "grouping workaround"
+                               : "direct sampling";
+    bool ClaimsSampling = P.OverflowSupport != "No";
+    bool Consistent =
+        !R.Failed && ClaimsSampling == (R.NumSamples > 0);
+    AllConsistent = AllConsistent && Consistent;
+    V.addRow({P.CoreName, P.OverflowSupport, Strategy,
+              std::to_string(R.NumSamples),
+              Consistent ? "consistent" : "MISMATCH"});
+  }
+  print(V.render());
+  print(AllConsistent
+            ? "\nEvery capability claim matches the simulated PMU stack.\n"
+            : "\nMISMATCH between Table 1 claims and the live sweep!\n");
+
+  BenchReport Json("table1_platforms");
+  Json.metric("num_platforms", static_cast<uint64_t>(Platforms.size()));
+  Json.metric("sweep_failures", static_cast<uint64_t>(Report.numFailures()));
+  Json.metric("claims_consistent", static_cast<uint64_t>(AllConsistent));
+  for (size_t I = 0; I != Report.Results.size(); ++I)
+    Json.metric("samples." + platformKey(Platforms[I]),
+                Report.Results[I].NumSamples);
+  Json.addTable("capabilities", T);
+  Json.addTable("live_verification", V);
+  Json.write();
+  return AllConsistent ? 0 : 1;
 }

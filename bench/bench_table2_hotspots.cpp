@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "driver/Scenario.h"
 #include "support/Format.h"
 
 using namespace bench;
@@ -22,17 +23,20 @@ int main() {
   print("Table 2: Top 3 hotspots from the sqlite3-like benchmark\n");
   print("(paper: Table 2; workload scaled to simulator budget)\n\n");
 
+  BenchReport Json("table2_hotspots");
   for (const hw::Platform &P :
        {hw::spacemitX60(), hw::intelI5_1135G7()}) {
     miniperf::ProfileResult R = profileSqlite(P);
     auto Rows = miniperf::computeHotspots(R);
-    print(miniperf::hotspotTable(Rows, P.CoreName, 3).render());
+    TextTable T = miniperf::hotspotTable(Rows, P.CoreName, 3);
+    print(T.render());
     print("  whole-program: cycles=" + withCommas(R.Cycles) +
           "  instructions=" + withCommas(R.Instructions) +
           "  IPC=" + fixed(R.Ipc, 2) + "\n");
     print(std::string("  sampling leader: ") + R.LeaderDescription +
           (R.UsedWorkaround ? "  [X60 grouping workaround engaged]" : "") +
           "\n\n");
+    Json.addTable("hotspots_" + driver::platformKey(P), T);
   }
 
   miniperf::ProfileResult X60 = profileSqlite(hw::spacemitX60());
@@ -43,5 +47,12 @@ int main() {
         "x (paper: ~1.85x)\n");
   print("IPC contrast: X60 " + fixed(X60.Ipc, 2) + " vs x86 " +
         fixed(X86.Ipc, 2) + " (paper: 0.86 vs 3.38)\n");
+
+  Json.metric("x86_over_x60_instructions", Ratio);
+  Json.metric("x60_ipc", X60.Ipc);
+  Json.metric("x86_ipc", X86.Ipc);
+  Json.metric("x60_cycles", X60.Cycles);
+  Json.metric("x86_cycles", X86.Cycles);
+  Json.write();
   return 0;
 }

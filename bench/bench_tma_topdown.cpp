@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "driver/Scenario.h"
 #include "miniperf/TopDown.h"
 
 using namespace bench;
@@ -45,6 +46,7 @@ int main() {
   print("Extension (paper section 6, future work): Top-Down analysis "
         "approximation\n\n");
 
+  BenchReport Json("tma_topdown");
   print("== database workload (sqlite-like scan) ==\n");
   for (const hw::Platform &P :
        {hw::spacemitX60(), hw::sifiveU74(), hw::intelI5_1135G7()}) {
@@ -52,9 +54,13 @@ int main() {
     auto W = workloads::buildSqliteLike(C);
     hw::CoreStats Stats =
         runWith(P, *W.M, "main", {vm::RtValue::ofInt(C.NumQueries)}, {});
-    print(miniperf::topDownTable(miniperf::computeTopDown(Stats), P.CoreName)
-              .render());
+    miniperf::TopDownBreakdown B = miniperf::computeTopDown(Stats);
+    print(miniperf::topDownTable(B, P.CoreName).render());
     print("\n");
+    const std::string Key = "sqlite." + driver::platformKey(P);
+    Json.metric(Key + ".retiring", B.Retiring);
+    Json.metric(Key + ".bad_speculation", B.BadSpeculation);
+    Json.metric(Key + ".backend_memory", B.BackendMemory);
   }
 
   print("== matmul kernel (vectorized where supported) ==\n");
@@ -75,10 +81,13 @@ int main() {
       std::fprintf(stderr, "matmul run failed\n");
       return 1;
     }
-    print(miniperf::topDownTable(miniperf::computeTopDown(Core.stats()),
-                                 P.CoreName)
-              .render());
+    miniperf::TopDownBreakdown B = miniperf::computeTopDown(Core.stats());
+    print(miniperf::topDownTable(B, P.CoreName).render());
     print("\n");
+    const std::string Key = "matmul." + driver::platformKey(P);
+    Json.metric(Key + ".retiring", B.Retiring);
+    Json.metric(Key + ".backend_core", B.BackendCore);
+    Json.metric(Key + ".backend_memory", B.BackendMemory);
   }
 
   print("Reading: on the in-order RISC-V cores the database scan loses "
@@ -86,5 +95,6 @@ int main() {
         "retires. The matmul kernel shifts the X60 toward backend-core "
         "(half-width vector unit + per-lane gathers) — the same "
         "diagnosis the Roofline model gives from outside.\n");
+  Json.write();
   return 0;
 }

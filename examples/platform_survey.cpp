@@ -3,22 +3,24 @@
 // Part of the miniperf project, a reproduction of "Dissecting RISC-V
 // Performance" (PACT 2025). See README.md for details.
 //
-// What miniperf's platform layer does at startup, for all four simulated
-// platforms: identify the core from its CPU-id CSRs (no perf event
+// What miniperf's platform layer does at startup, for every simulated
+// platform: identify the core from its CPU-id CSRs (no perf event
 // discovery, §3.3), plan the counter group, and report which sampling
-// strategy applies. Then run one tiny workload everywhere and compare.
+// strategy applies. Then hand one tiny workload to the scenario-sweep
+// driver and run it on every platform concurrently.
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/ScenarioMatrix.h"
+#include "driver/SweepRunner.h"
 #include "miniperf/EventGrouper.h"
-#include "miniperf/Session.h"
 #include "support/Format.h"
 #include "support/Table.h"
-#include "workloads/Microbench.h"
 
 #include <cstdio>
 
 using namespace mperf;
+using namespace mperf::driver;
 using namespace mperf::miniperf;
 
 int main() {
@@ -28,8 +30,9 @@ int main() {
               "miniperf does it):\n");
   for (const hw::Platform &P : Db) {
     const hw::Platform *Found = detectPlatform(Db, P.Id);
-    std::printf("  mvendorid=0x%llx -> %s (%s, isa %s)\n",
+    std::printf("  mvendorid=0x%llx marchid=0x%llx -> %s (%s, isa %s)\n",
                 static_cast<unsigned long long>(P.Id.Mvendorid),
+                static_cast<unsigned long long>(P.Id.Marchid),
                 Found ? Found->CoreName.c_str() : "unknown",
                 P.BoardName.c_str(), P.Id.Isa.c_str());
   }
@@ -47,26 +50,39 @@ int main() {
   }
   std::printf("%s", T.render().c_str());
 
-  std::printf("\nsame triad kernel on every platform:\n");
+  // The sweep driver replaces the hand-rolled per-platform loop: same
+  // triad kernel everywhere, one worker per platform.
+  std::printf("\nsame triad kernel on every platform (sweep driver, "
+              "concurrent):\n");
+  std::vector<Scenario> Scenarios =
+      ScenarioMatrix()
+          .addPlatforms(Db)
+          .addWorkloads(*selectWorkloads("triad"))
+          .addSamplePeriod(30000)
+          .build();
+  SweepOptions Opts;
+  Opts.Jobs = 0; // all cores
+  SweepReport Report = SweepRunner(Opts).run(Scenarios);
+
   TextTable R;
   R.addHeader({"Platform", "cycles", "instructions", "IPC", "samples"});
-  for (const hw::Platform &P : Db) {
-    workloads::Microbench Triad = workloads::buildTriad(4096, 40);
-    SessionOptions Opts;
-    Opts.SamplePeriod = 30000;
-    Session S(P, Opts);
-    auto ROr = S.profile(*Triad.M, "main");
-    if (!ROr) {
-      std::fprintf(stderr, "  %s: %s\n", P.CoreName.c_str(),
-                   ROr.errorMessage().c_str());
+  for (const ScenarioResult &Res : Report.Results) {
+    if (Res.Failed) {
+      std::fprintf(stderr, "  %s: %s\n", Res.PlatformName.c_str(),
+                   Res.Error.c_str());
       continue;
     }
-    R.addRow({P.CoreName, withCommas(ROr->Cycles),
-              withCommas(ROr->Instructions), fixed(ROr->Ipc, 2),
-              std::to_string(ROr->Samples.size())});
+    R.addRow({Res.PlatformName, withCommas(Res.Profile.Cycles),
+              withCommas(Res.Profile.Instructions),
+              fixed(Res.Profile.Ipc, 2), std::to_string(Res.NumSamples)});
   }
   std::printf("%s", R.render().c_str());
-  std::printf("\nnote the U74 row: zero samples — no overflow interrupts "
-              "anywhere on that core (Table 1), so only counting works.\n");
-  return 0;
+  std::printf("\nnote the U74 and C906 rows: zero samples — no overflow "
+              "interrupts on those cores (Table 1), so only counting "
+              "works.\n");
+  std::printf("(%zu scenarios in %s s with %u jobs — the sweep driver's "
+              "whole point)\n",
+              Report.Results.size(), fixed(Report.HostSeconds, 2).c_str(),
+              Report.Jobs);
+  return Report.numFailures() == 0 ? 0 : 1;
 }

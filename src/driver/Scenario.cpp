@@ -1,0 +1,251 @@
+//===- Scenario.cpp - Workload registry and platform/workload specs ------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Scenario.h"
+
+#include "support/Format.h"
+#include "transform/LoopVectorizer.h"
+#include "transform/PassManager.h"
+#include "workloads/Matmul.h"
+#include "workloads/Microbench.h"
+#include "workloads/SqliteLike.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace mperf;
+using namespace mperf::driver;
+
+std::string Scenario::tag(const std::string &Key) const {
+  const std::string Prefix = Key + "=";
+  for (const std::string &T : Tags)
+    if (startsWith(T, Prefix))
+      return T.substr(Prefix.size());
+  return "";
+}
+
+std::string mperf::driver::platformKey(const hw::Platform &P) {
+  const std::string &N = P.CoreName;
+  if (N.find("X60") != std::string::npos)
+    return "x60";
+  if (N.find("C910") != std::string::npos)
+    return "c910";
+  if (N.find("C906") != std::string::npos)
+    return "c906";
+  if (N.find("U74") != std::string::npos)
+    return "u74";
+  if (N.find("i5") != std::string::npos)
+    return "i5";
+  std::string Key;
+  for (char C : N)
+    if (std::isalnum(static_cast<unsigned char>(C)))
+      Key.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(C))));
+  return Key.empty() ? "unknown" : Key;
+}
+
+//===----------------------------------------------------------------------===//
+// Workload registry
+//
+// Each factory builds a fresh Module per call (own Context, own globals),
+// so instances never share mutable state across sweep worker threads.
+// Scales are the bench-tree scales shrunk enough that a full
+// (5 platforms x 5 workloads) matrix stays interactive.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the vectorizer for \p P over \p M when the knob asks for it.
+Error maybeVectorize(ir::Module &M, const hw::Platform &P,
+                     const ScenarioKnobs &K) {
+  if (!K.Vectorize)
+    return Error::success();
+  transform::PassManager PM;
+  PM.addPass(std::make_unique<transform::LoopVectorizer>(P.Target));
+  return PM.run(M);
+}
+
+WorkloadDesc sqliteWorkload() {
+  WorkloadDesc D;
+  D.Name = "sqlite";
+  D.Description = "sqlite3-like database engine scan (Table 2 / Fig. 3)";
+  workloads::SqliteLikeConfig C;
+  C.NumPages = 16;
+  C.CellsPerPage = 12;
+  C.NumQueries = 12;
+  D.Build = [C](const hw::Platform &P,
+                const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
+    auto W = workloads::buildSqliteLike(C);
+    if (Error E = maybeVectorize(*W.M, P, K))
+      return makeError<WorkloadInstance>(E.message());
+    WorkloadInstance I;
+    I.M = std::move(W.M);
+    I.Args = {vm::RtValue::ofInt(C.NumQueries)};
+    return I;
+  };
+  return D;
+}
+
+WorkloadDesc matmulWorkload() {
+  WorkloadDesc D;
+  D.Name = "matmul";
+  D.Description = "tiled SGEMM kernel of section 5.2 (Fig. 4)";
+  workloads::MatmulConfig C{48, 16, 0x5eed};
+  D.Build = [C](const hw::Platform &P,
+                const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
+    workloads::MatmulWorkload W = workloads::buildMatmul(C);
+    if (Error E = maybeVectorize(*W.M, P, K))
+      return makeError<WorkloadInstance>(E.message());
+    WorkloadInstance I;
+    I.M = std::move(W.M);
+    // initialize() only consults the config, so a config-only copy of
+    // the workload struct regenerates A/B/C in the session's VM.
+    I.Setup = [C](vm::Interpreter &Vm) {
+      workloads::MatmulWorkload Init;
+      Init.Config = C;
+      Init.initialize(Vm);
+      workloads::bindClock(Vm, [] { return 0.0; });
+    };
+    return I;
+  };
+  return D;
+}
+
+WorkloadDesc triadWorkload() {
+  WorkloadDesc D;
+  D.Name = "triad";
+  D.Description = "STREAM triad bandwidth probe (section 5.2 ceilings)";
+  D.Build = [](const hw::Platform &P,
+               const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
+    workloads::Microbench W = workloads::buildTriad(4096, 20);
+    if (Error E = maybeVectorize(*W.M, P, K))
+      return makeError<WorkloadInstance>(E.message());
+    WorkloadInstance I;
+    I.M = std::move(W.M);
+    return I;
+  };
+  return D;
+}
+
+WorkloadDesc memsetWorkload() {
+  WorkloadDesc D;
+  D.Name = "memset";
+  D.Description = "streaming-store memset, the memory-roof probe";
+  D.Build = [](const hw::Platform &P,
+               const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
+    workloads::Microbench W = workloads::buildMemset(64 * 1024, 8);
+    if (Error E = maybeVectorize(*W.M, P, K))
+      return makeError<WorkloadInstance>(E.message());
+    WorkloadInstance I;
+    I.M = std::move(W.M);
+    return I;
+  };
+  return D;
+}
+
+WorkloadDesc peakflopsWorkload() {
+  WorkloadDesc D;
+  D.Name = "peakflops";
+  D.Description = "independent FMA chains, the compute-roof probe "
+                  "(explicit IR; ignores the vector knob by design)";
+  // buildPeakFlops is the one workload that must not go through the
+  // vectorizer: it probes FMA throughput with hand-built chains
+  // (Microbench.h), so the Vectorize knob deliberately does nothing.
+  D.Build = [](const hw::Platform &,
+               const ScenarioKnobs &) -> Expected<WorkloadInstance> {
+    workloads::Microbench W = workloads::buildPeakFlops(4, 20000);
+    WorkloadInstance I;
+    I.M = std::move(W.M);
+    return I;
+  };
+  return D;
+}
+
+} // namespace
+
+std::vector<WorkloadDesc> mperf::driver::standardWorkloads() {
+  return {sqliteWorkload(), matmulWorkload(), triadWorkload(),
+          memsetWorkload(), peakflopsWorkload()};
+}
+
+//===----------------------------------------------------------------------===//
+// Spec resolution ("all" | comma-separated tokens)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string lowered(std::string_view Text) {
+  std::string Out(Text);
+  std::transform(Out.begin(), Out.end(), Out.begin(), [](unsigned char C) {
+    return static_cast<char>(std::tolower(C));
+  });
+  return Out;
+}
+
+} // namespace
+
+Expected<std::vector<hw::Platform>>
+mperf::driver::selectPlatforms(const std::string &Spec) {
+  std::vector<hw::Platform> Db = hw::allPlatforms();
+  if (Spec.empty() || lowered(Spec) == "all")
+    return Db;
+  std::vector<hw::Platform> Out;
+  for (std::string_view Token : split(Spec, ',')) {
+    std::string Want = lowered(trim(Token));
+    if (Want.empty())
+      continue;
+    bool Found = false;
+    for (const hw::Platform &P : Db) {
+      if (platformKey(P) == Want ||
+          lowered(P.CoreName).find(Want) != std::string::npos) {
+        Out.push_back(P);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return makeError<std::vector<hw::Platform>>(
+          "unknown platform '" + Want + "' (try: all, u74, c906, c910, "
+          "x60, i5)");
+  }
+  if (Out.empty())
+    return makeError<std::vector<hw::Platform>>(
+        "platform spec '" + Spec + "' selected nothing");
+  return Out;
+}
+
+Expected<std::vector<WorkloadDesc>>
+mperf::driver::selectWorkloads(const std::string &Spec) {
+  std::vector<WorkloadDesc> Db = standardWorkloads();
+  if (Spec.empty() || lowered(Spec) == "all")
+    return Db;
+  std::vector<WorkloadDesc> Out;
+  for (std::string_view Token : split(Spec, ',')) {
+    std::string Want = lowered(trim(Token));
+    if (Want.empty())
+      continue;
+    bool Found = false;
+    for (const WorkloadDesc &W : Db) {
+      if (W.Name == Want) {
+        Out.push_back(W);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found) {
+      std::string Known;
+      for (const WorkloadDesc &W : Db)
+        Known += (Known.empty() ? "" : ", ") + W.Name;
+      return makeError<std::vector<WorkloadDesc>>(
+          "unknown workload '" + Want + "' (known: all, " + Known + ")");
+    }
+  }
+  if (Out.empty())
+    return makeError<std::vector<WorkloadDesc>>(
+        "workload spec '" + Spec + "' selected nothing");
+  return Out;
+}

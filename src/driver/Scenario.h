@@ -1,0 +1,103 @@
+//===- Scenario.h - One cell of a profiling sweep matrix -------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Scenario is one fully-specified cell of a (platform x workload x
+/// options) sweep matrix: which simulated core to run on, a factory that
+/// builds a fresh copy of the workload program, the session knobs, and a
+/// set of key=value tags identifying the cell in reports.
+///
+/// Workload factories must be self-contained: every invocation builds a
+/// new Module (with its own Context), so scenarios can execute on
+/// concurrent worker threads without sharing any mutable state. That is
+/// the contract the SweepRunner's thread pool relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_DRIVER_SCENARIO_H
+#define MPERF_DRIVER_SCENARIO_H
+
+#include "hw/Platform.h"
+#include "ir/Module.h"
+#include "miniperf/Session.h"
+#include "vm/Interpreter.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace driver {
+
+/// The option axes of one scenario, beyond the platform and workload.
+struct ScenarioKnobs {
+  miniperf::SessionOptions Session;
+  /// Run the LoopVectorizer with the platform's TargetInfo before
+  /// profiling. Every scalar-IR workload honors this; only probes built
+  /// as explicit IR (peakflops) ignore it, and say so in their
+  /// description.
+  bool Vectorize = false;
+};
+
+/// A freshly-built, ready-to-profile program instance.
+struct WorkloadInstance {
+  std::unique_ptr<ir::Module> M;
+  std::string Entry = "main";
+  std::vector<vm::RtValue> Args;
+  /// Session setup hook: initialize workload memory, bind natives.
+  std::function<void(vm::Interpreter &)> Setup;
+};
+
+/// Builds a fresh instance of a workload for one scenario. Must be
+/// callable from any thread; concurrent calls must not share mutable
+/// state (build a new Module every time).
+using WorkloadFactory = std::function<Expected<WorkloadInstance>(
+    const hw::Platform &, const ScenarioKnobs &)>;
+
+/// A named, registrable workload.
+struct WorkloadDesc {
+  std::string Name;        // "sqlite", "matmul", ...
+  std::string Description; // one line for --list output
+  WorkloadFactory Build;
+};
+
+/// One cell of the sweep matrix.
+struct Scenario {
+  /// Unique within one sweep, e.g. "matmul@x60+vec".
+  std::string Name;
+  hw::Platform Platform;
+  WorkloadDesc Workload;
+  ScenarioKnobs Knobs;
+  /// "key=value" tags: platform=, workload=, sampling=, period=, vector=.
+  std::vector<std::string> Tags;
+
+  /// Returns the value of tag \p Key, or "" when absent.
+  std::string tag(const std::string &Key) const;
+};
+
+/// Short stable token for a platform, used in scenario names and CLI
+/// specs: "u74", "c906", "c910", "x60", "i5". Unknown cores fall back to
+/// a lowercased alphanumeric form of the core name.
+std::string platformKey(const hw::Platform &P);
+
+/// The built-in workload registry: sqlite, matmul, triad, memset,
+/// peakflops — every kernel family the paper profiles, at sweep scale.
+std::vector<WorkloadDesc> standardWorkloads();
+
+/// Resolves a comma-separated platform spec ("all", "x60,c910", core
+/// name substrings) against allPlatforms(). Errors on an unknown token.
+Expected<std::vector<hw::Platform>> selectPlatforms(const std::string &Spec);
+
+/// Resolves a comma-separated workload spec ("all", "sqlite,matmul")
+/// against standardWorkloads(). Errors on an unknown token.
+Expected<std::vector<WorkloadDesc>> selectWorkloads(const std::string &Spec);
+
+} // namespace driver
+} // namespace mperf
+
+#endif // MPERF_DRIVER_SCENARIO_H

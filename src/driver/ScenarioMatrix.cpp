@@ -1,0 +1,129 @@
+//===- ScenarioMatrix.cpp - Cross-product scenario builder ---------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ScenarioMatrix.h"
+
+#include <algorithm>
+
+using namespace mperf;
+using namespace mperf::driver;
+
+ScenarioMatrix &ScenarioMatrix::addPlatform(const hw::Platform &P) {
+  Platforms.push_back(P);
+  return *this;
+}
+
+ScenarioMatrix &
+ScenarioMatrix::addPlatforms(const std::vector<hw::Platform> &Ps) {
+  Platforms.insert(Platforms.end(), Ps.begin(), Ps.end());
+  return *this;
+}
+
+ScenarioMatrix &ScenarioMatrix::addWorkload(WorkloadDesc W) {
+  Workloads.push_back(std::move(W));
+  return *this;
+}
+
+ScenarioMatrix &
+ScenarioMatrix::addWorkloads(const std::vector<WorkloadDesc> &Ws) {
+  Workloads.insert(Workloads.end(), Ws.begin(), Ws.end());
+  return *this;
+}
+
+ScenarioMatrix &ScenarioMatrix::addSamplingMode(bool Sampling) {
+  if (std::find(SamplingAxis.begin(), SamplingAxis.end(), Sampling) ==
+      SamplingAxis.end())
+    SamplingAxis.push_back(Sampling);
+  return *this;
+}
+
+ScenarioMatrix &ScenarioMatrix::addSamplePeriod(uint64_t Period) {
+  if (std::find(PeriodAxis.begin(), PeriodAxis.end(), Period) ==
+      PeriodAxis.end())
+    PeriodAxis.push_back(Period);
+  return *this;
+}
+
+ScenarioMatrix &ScenarioMatrix::addVectorize(bool On) {
+  if (std::find(VectorizeAxis.begin(), VectorizeAxis.end(), On) ==
+      VectorizeAxis.end())
+    VectorizeAxis.push_back(On);
+  return *this;
+}
+
+ScenarioMatrix &ScenarioMatrix::setFuel(uint64_t MaxOps) {
+  Fuel = MaxOps;
+  return *this;
+}
+
+namespace {
+
+template <typename T>
+std::vector<T> orDefault(const std::vector<T> &Axis, T Default) {
+  return Axis.empty() ? std::vector<T>{Default} : Axis;
+}
+
+} // namespace
+
+size_t ScenarioMatrix::size() const {
+  // The period axis only applies to the sampling-on leg; a counting-only
+  // run is period-independent and appears once.
+  const size_t PeriodCount = orDefault<uint64_t>(PeriodAxis, 20000).size();
+  size_t SamplingLegs = 0;
+  for (bool Sample : orDefault(SamplingAxis, true))
+    SamplingLegs += Sample ? PeriodCount : 1;
+  return Platforms.size() * Workloads.size() * SamplingLegs *
+         orDefault(VectorizeAxis, false).size();
+}
+
+std::vector<Scenario> ScenarioMatrix::build() const {
+  const std::vector<bool> Sampling = orDefault(SamplingAxis, true);
+  const std::vector<uint64_t> Periods = orDefault<uint64_t>(PeriodAxis, 20000);
+  const std::vector<bool> Vectorize = orDefault(VectorizeAxis, false);
+  // Counting-only scenarios ignore the period, so that leg collapses to
+  // one canonical period instead of multiplying into duplicates.
+  const std::vector<uint64_t> StatPeriods = {Periods.front()};
+
+  std::vector<Scenario> Out;
+  Out.reserve(size());
+  for (const hw::Platform &P : Platforms) {
+    const std::string Key = platformKey(P);
+    for (const WorkloadDesc &W : Workloads) {
+      for (bool Sample : Sampling) {
+        for (uint64_t Period : Sample ? Periods : StatPeriods) {
+          for (bool Vec : Vectorize) {
+            Scenario S;
+            S.Platform = P;
+            S.Workload = W;
+            S.Knobs.Session.Sampling = Sample;
+            S.Knobs.Session.SamplePeriod = Period;
+            if (Fuel)
+              S.Knobs.Session.Fuel = Fuel;
+            S.Knobs.Vectorize = Vec;
+
+            S.Name = W.Name + "@" + Key;
+            if (!Sample)
+              S.Name += "+stat";
+            if (Vec)
+              S.Name += "+vec";
+            if (Sample && Periods.size() > 1)
+              S.Name += "+p" + std::to_string(Period);
+
+            S.Tags = {"platform=" + P.CoreName,
+                      "board=" + P.BoardName,
+                      "workload=" + W.Name,
+                      std::string("sampling=") + (Sample ? "on" : "off"),
+                      "period=" + std::to_string(Period),
+                      std::string("vector=") + (Vec ? "on" : "off")};
+            Out.push_back(std::move(S));
+          }
+        }
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,64 @@
+//===- ScenarioMatrix.h - Cross-product scenario builder -------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the cross product of registered platforms, workloads and
+/// option axes (sampling on/off, sample period, vectorized/scalar) into
+/// a deterministic list of Scenarios — the shape of every table in the
+/// paper, generalized. Axes left empty take a single default value, so
+/// `ScenarioMatrix().addPlatforms(db).addWorkloads(wls).build()` is the
+/// plain platform x workload matrix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_DRIVER_SCENARIOMATRIX_H
+#define MPERF_DRIVER_SCENARIOMATRIX_H
+
+#include "driver/Scenario.h"
+
+namespace mperf {
+namespace driver {
+
+/// Accumulates axis values and emits the cross product.
+class ScenarioMatrix {
+public:
+  ScenarioMatrix &addPlatform(const hw::Platform &P);
+  ScenarioMatrix &addPlatforms(const std::vector<hw::Platform> &Ps);
+  ScenarioMatrix &addWorkload(WorkloadDesc W);
+  ScenarioMatrix &addWorkloads(const std::vector<WorkloadDesc> &Ws);
+
+  /// Adds a value to the sampling axis (default when empty: {on}).
+  ScenarioMatrix &addSamplingMode(bool Sampling);
+  /// Adds a value to the sample-period axis (default: {20000}). The
+  /// axis multiplies only the sampling-on leg; counting-only runs are
+  /// period-independent and appear once.
+  ScenarioMatrix &addSamplePeriod(uint64_t Period);
+  /// Adds a value to the vectorization axis (default: {off}).
+  ScenarioMatrix &addVectorize(bool On);
+  /// Interpreter fuel applied to every scenario.
+  ScenarioMatrix &setFuel(uint64_t MaxOps);
+
+  /// Number of scenarios build() will produce.
+  size_t size() const;
+
+  /// The cross product, ordered platform-major (then workload, sampling,
+  /// period, vectorize) — a deterministic order reports rely on.
+  std::vector<Scenario> build() const;
+
+private:
+  std::vector<hw::Platform> Platforms;
+  std::vector<WorkloadDesc> Workloads;
+  std::vector<bool> SamplingAxis;
+  std::vector<uint64_t> PeriodAxis;
+  std::vector<bool> VectorizeAxis;
+  uint64_t Fuel = 0; // 0: keep the SessionOptions default
+};
+
+} // namespace driver
+} // namespace mperf
+
+#endif // MPERF_DRIVER_SCENARIOMATRIX_H

@@ -1,0 +1,114 @@
+//===- SweepReport.cpp - Aggregated results of one sweep -----------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/SweepReport.h"
+
+#include "support/Format.h"
+#include "support/JSON.h"
+
+using namespace mperf;
+using namespace mperf::driver;
+
+size_t SweepReport::numFailures() const {
+  size_t N = 0;
+  for (const ScenarioResult &R : Results)
+    N += R.Failed ? 1 : 0;
+  return N;
+}
+
+const ScenarioResult *SweepReport::result(const std::string &Name) const {
+  for (const ScenarioResult &R : Results)
+    if (R.Name == Name)
+      return &R;
+  return nullptr;
+}
+
+TextTable SweepReport::toTable() const {
+  TextTable T("Sweep: " + std::to_string(Results.size()) + " scenarios, " +
+              std::to_string(Jobs) + " job(s), " +
+              std::to_string(numFailures()) + " failure(s)");
+  T.addHeader({"Scenario", "Platform", "cycles", "instructions", "IPC",
+               "samples", "sim ms", "status"});
+  for (const ScenarioResult &R : Results) {
+    if (R.Failed) {
+      T.addRow({R.Name, R.PlatformName, "-", "-", "-", "-", "-",
+                "FAILED: " + R.Error});
+      continue;
+    }
+    T.addRow({R.Name, R.PlatformName, withCommas(R.Profile.Cycles),
+              withCommas(R.Profile.Instructions), fixed(R.Profile.Ipc, 2),
+              std::to_string(R.NumSamples),
+              fixed(R.Profile.Seconds * 1e3, 3), "ok"});
+  }
+  return T;
+}
+
+std::string SweepReport::toJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.string("miniperf-sweep-report/v1");
+  W.key("jobs");
+  W.number(static_cast<uint64_t>(Jobs));
+  W.key("host_seconds");
+  W.number(HostSeconds);
+  W.key("num_scenarios");
+  W.number(static_cast<uint64_t>(Results.size()));
+  W.key("num_failures");
+  W.number(static_cast<uint64_t>(numFailures()));
+  W.key("results");
+  W.beginArray();
+  for (const ScenarioResult &R : Results) {
+    W.beginObject();
+    W.key("name");
+    W.string(R.Name);
+    W.key("platform");
+    W.string(R.PlatformName);
+    W.key("workload");
+    W.string(R.WorkloadName);
+    W.key("tags");
+    W.beginArray();
+    for (const std::string &Tag : R.Tags)
+      W.string(Tag);
+    W.endArray();
+    W.key("ok");
+    W.boolean(!R.Failed);
+    if (R.Failed) {
+      W.key("error");
+      W.string(R.Error);
+    } else {
+      W.key("cycles");
+      W.number(R.Profile.Cycles);
+      W.key("instructions");
+      W.number(R.Profile.Instructions);
+      W.key("ipc");
+      W.number(R.Profile.Ipc);
+      W.key("seconds");
+      W.number(R.Profile.Seconds);
+      W.key("samples");
+      W.number(R.NumSamples);
+      W.key("interrupts");
+      W.number(R.Profile.Interrupts);
+      W.key("sbi_ecalls");
+      W.number(R.Profile.SbiEcalls);
+      W.key("retired_ir_ops");
+      W.number(R.Profile.Vm.RetiredOps);
+      W.key("used_workaround");
+      W.boolean(R.Profile.UsedWorkaround);
+      W.key("sampling_available");
+      W.boolean(R.Profile.SamplingAvailable);
+      W.key("leader");
+      W.string(R.Profile.LeaderDescription);
+    }
+    W.key("host_seconds");
+    W.number(R.HostSeconds);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}

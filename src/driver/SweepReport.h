@@ -1,0 +1,68 @@
+//===- SweepReport.h - Aggregated results of one sweep ---------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-readable outcome of one scenario sweep: per-scenario
+/// ProfileResults (or failure messages) in matrix order, renderable as a
+/// text table (support/Table.h) and as JSON (support/JSON.h). The JSON
+/// schema is versioned so downstream perf gates can diff reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_DRIVER_SWEEPREPORT_H
+#define MPERF_DRIVER_SWEEPREPORT_H
+
+#include "driver/Scenario.h"
+#include "support/Table.h"
+
+namespace mperf {
+namespace driver {
+
+/// What one scenario produced.
+struct ScenarioResult {
+  std::string Name;
+  std::string PlatformName;
+  std::string WorkloadName;
+  std::vector<std::string> Tags;
+
+  /// True when the workload failed to build or the run trapped; Error
+  /// carries the message and Profile is default-initialized.
+  bool Failed = false;
+  std::string Error;
+
+  miniperf::ProfileResult Profile;
+  /// Sample count before any trimming (Profile.Samples may be cleared
+  /// by the runner to bound sweep memory).
+  uint64_t NumSamples = 0;
+  /// Host wall-clock spent building + simulating this scenario.
+  double HostSeconds = 0;
+};
+
+/// All results of one sweep, in scenario (matrix) order.
+struct SweepReport {
+  std::vector<ScenarioResult> Results;
+  /// Worker threads the sweep actually used.
+  unsigned Jobs = 1;
+  /// Host wall-clock for the whole sweep.
+  double HostSeconds = 0;
+
+  size_t numFailures() const;
+
+  /// Finds a result by scenario name; nullptr on miss.
+  const ScenarioResult *result(const std::string &Name) const;
+
+  /// One row per scenario: counts, IPC, samples, status.
+  TextTable toTable() const;
+
+  /// The versioned JSON document ("miniperf-sweep-report/v1").
+  std::string toJson() const;
+};
+
+} // namespace driver
+} // namespace mperf
+
+#endif // MPERF_DRIVER_SWEEPREPORT_H

@@ -1,0 +1,127 @@
+//===- SweepRunner.cpp - Concurrent scenario execution -------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// Concurrency audit (what makes one-Session-per-worker safe): every
+// scenario builds its own Module — and with it its own ir::Context, the
+// only type/constant interning scope — plus its own Interpreter memory,
+// CoreModel (branch predictor, cache sim), Pmu counters, SbiPmu op log
+// and PerfEventSubsystem fd table. hw::Platform is copied by value into
+// each Scenario. The remaining shared data is immutable: function-local
+// `static const` lookup tables (ir/Parser.cpp) whose initialization the
+// C++ runtime serializes. No global mutable state exists in hw:: or
+// vm:: (verified by review; guarded continuously by the sanitizer CI
+// leg running this runner's tests).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/SweepRunner.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+using namespace mperf;
+using namespace mperf::driver;
+
+unsigned SweepRunner::effectiveJobs(size_t NumScenarios) const {
+  unsigned Jobs = Opts.Jobs;
+  if (Jobs == 0) {
+    Jobs = std::thread::hardware_concurrency();
+    if (Jobs == 0)
+      Jobs = 1;
+  }
+  if (NumScenarios > 0 && Jobs > NumScenarios)
+    Jobs = static_cast<unsigned>(NumScenarios);
+  return Jobs < 1 ? 1 : Jobs;
+}
+
+ScenarioResult SweepRunner::runScenario(const Scenario &S) const {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point Start = Clock::now();
+
+  ScenarioResult R;
+  R.Name = S.Name;
+  R.PlatformName = S.Platform.CoreName;
+  R.WorkloadName = S.Workload.Name;
+  R.Tags = S.Tags;
+
+  auto Finish = [&R, Start] {
+    R.HostSeconds =
+        std::chrono::duration<double>(Clock::now() - Start).count();
+  };
+
+  Expected<WorkloadInstance> InstOr = S.Workload.Build(S.Platform, S.Knobs);
+  if (!InstOr) {
+    R.Failed = true;
+    R.Error = InstOr.errorMessage();
+    Finish();
+    return R;
+  }
+
+  miniperf::Session Sess(S.Platform, S.Knobs.Session);
+  if (InstOr->Setup)
+    Sess.setSetupHook(InstOr->Setup);
+  Expected<miniperf::ProfileResult> POr =
+      Sess.profile(*InstOr->M, InstOr->Entry, InstOr->Args);
+  if (!POr) {
+    R.Failed = true;
+    R.Error = POr.errorMessage();
+    Finish();
+    return R;
+  }
+
+  R.Profile = std::move(*POr);
+  R.NumSamples = R.Profile.Samples.size();
+  if (!Opts.KeepSamples) {
+    R.Profile.Samples.clear();
+    R.Profile.Samples.shrink_to_fit();
+  }
+  Finish();
+  return R;
+}
+
+SweepReport SweepRunner::run(const std::vector<Scenario> &Scenarios) const {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point Start = Clock::now();
+
+  SweepReport Report;
+  Report.Jobs = effectiveJobs(Scenarios.size());
+  Report.Results.resize(Scenarios.size());
+
+  std::atomic<size_t> Next{0};
+  std::mutex ProgressLock;
+  size_t Done = 0; // guarded by ProgressLock, so callbacks see it grow
+
+  auto Worker = [&] {
+    for (;;) {
+      const size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Scenarios.size())
+        return;
+      // Result slots are pre-sized and disjoint per index, so workers
+      // write without locking; OnResult is the only shared call.
+      Report.Results[I] = runScenario(Scenarios[I]);
+      if (Opts.OnResult) {
+        std::lock_guard<std::mutex> Guard(ProgressLock);
+        Opts.OnResult(Report.Results[I], ++Done, Scenarios.size());
+      }
+    }
+  };
+
+  if (Report.Jobs <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Report.Jobs);
+    for (unsigned T = 0; T != Report.Jobs; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  Report.HostSeconds =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+  return Report;
+}

@@ -1,0 +1,60 @@
+//===- SweepRunner.h - Concurrent scenario execution -----------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a list of Scenarios on a std::thread pool, one complete
+/// simulation stack (Module, Interpreter, CoreModel, Pmu, SBI,
+/// perf_event, Session) per scenario, so workers share no mutable state.
+/// Every simulated platform is itself deterministic, which gives the
+/// sweep its defining property: results are bit-identical at any job
+/// count, only wall-clock changes. Failures (build errors, traps, fuel
+/// exhaustion) are captured per scenario and never abort the sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_DRIVER_SWEEPRUNNER_H
+#define MPERF_DRIVER_SWEEPRUNNER_H
+
+#include "driver/SweepReport.h"
+
+namespace mperf {
+namespace driver {
+
+/// Execution knobs of one sweep.
+struct SweepOptions {
+  /// Worker threads; 0 picks std::thread::hardware_concurrency().
+  unsigned Jobs = 1;
+  /// Keep per-scenario sample vectors in the report (off by default:
+  /// a wide matrix times a 64k-entry ring buffer is real memory).
+  bool KeepSamples = false;
+  /// Progress callback, invoked serialized (under a lock) as scenarios
+  /// finish — completion order, not matrix order.
+  std::function<void(const ScenarioResult &, size_t Done, size_t Total)>
+      OnResult;
+};
+
+/// Runs scenario lists; stateless between run() calls.
+class SweepRunner {
+public:
+  explicit SweepRunner(SweepOptions Opts = {}) : Opts(std::move(Opts)) {}
+
+  /// Executes every scenario and returns the report in matrix order.
+  SweepReport run(const std::vector<Scenario> &Scenarios) const;
+
+  /// Threads run() will use for \p NumScenarios scenarios.
+  unsigned effectiveJobs(size_t NumScenarios) const;
+
+private:
+  ScenarioResult runScenario(const Scenario &S) const;
+
+  SweepOptions Opts;
+};
+
+} // namespace driver
+} // namespace mperf
+
+#endif // MPERF_DRIVER_SWEEPRUNNER_H

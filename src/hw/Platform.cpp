@@ -192,6 +192,60 @@ Platform mperf::hw::theadC910() {
   return P;
 }
 
+Platform mperf::hw::theadC906() {
+  Platform P;
+  P.CoreName = "T-Head C906";
+  P.BoardName = "Allwinner D1 (Lichee RV)";
+  // Same T-Head mvendorid as the C910; marchid tells them apart, which
+  // is exactly why identification reads both CSRs.
+  P.Id = CpuId{0x5b7, 0x906, 0x0, "rv64gcv0p7"};
+
+  P.Core.Name = P.CoreName;
+  P.Core.FreqGHz = 1.0;
+  P.Core.OutOfOrder = false;
+  P.Core.Mlp = 1.0; // single-issue, blocking loads
+  // Single-issue: nothing retires faster than one op per cycle.
+  P.Core.CostIntAlu = 1.0;
+  P.Core.CostIntMul = 2.0;
+  P.Core.CostIntDiv = 18.0;
+  P.Core.CostFpAdd = 2.0;
+  P.Core.CostFpMul = 2.0;
+  P.Core.CostFpFma = 2.0;
+  P.Core.CostFpDiv = 24.0;
+  P.Core.CostBranch = 1.0;
+  P.Core.CostCall = 3.0;
+  P.Core.CostLoad = 1.0;
+  P.Core.CostStore = 1.0;
+  P.Core.CostOther = 1.0;
+  P.Core.VecOpCost = 2.0;          // 128-bit RVV 0.7.1 datapath
+  P.Core.VecMemCost = 2.0;
+  P.Core.VecStridedLaneCost = 1.0;
+  P.Core.BranchMissPenalty = 5.0; // short in-order pipeline
+  P.Core.InstretFactor = 1.0;
+  P.Core.FpSpecFactor = 1.3;
+
+  P.Cache.L1 = {32 * 1024, 4, 64, 1.0};
+  P.Cache.L2 = {128 * 1024, 8, 64, 24};
+  P.Cache.DramLatency = 130; // DDR3 on the D1
+  P.Cache.DramBytesPerCycle = 1.4;
+
+  P.PmuCaps.NumHpmCounters = 4;
+  P.PmuCaps.VendorEvents = commonRiscvEvents();
+  P.PmuCaps.SamplableEvents = {}; // no Sscofpmf: counting only
+
+  P.Target = transform::TargetInfo::rv64gcv(128);
+
+  P.TheoreticalFlopsPerCycle = 4; // 1 inst/cycle x 4 SP FLOP (VLEN 128)
+  P.FlopsDerivation = "1 instr/cycle x 4 SP FLOP/vector instr (RVV "
+                      "0.7.1, VLEN 128, single-issue)";
+
+  P.OutOfOrder = false;
+  P.RvvVersion = "0.7.1";
+  P.OverflowSupport = "No";
+  P.UpstreamLinux = "Partial";
+  return P;
+}
+
 Platform mperf::hw::intelI5_1135G7() {
   Platform P;
   P.CoreName = "Intel Core i5-1135G7";
@@ -253,7 +307,8 @@ Platform mperf::hw::intelI5_1135G7() {
 }
 
 std::vector<Platform> mperf::hw::allPlatforms() {
-  return {sifiveU74(), theadC910(), spacemitX60(), intelI5_1135G7()};
+  return {sifiveU74(), theadC910(), spacemitX60(), intelI5_1135G7(),
+          theadC906()};
 }
 
 const Platform *mperf::hw::platformById(const std::vector<Platform> &Db,

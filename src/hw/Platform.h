@@ -6,12 +6,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The four platforms of the paper's evaluation, as simulation configs:
-/// SiFive U74 (VisionFive II), T-Head C910 (Lichee Pi 4A), SpacemiT X60
-/// (Banana Pi F3 / Milk-V Jupiter) and the Intel Core i5-1135G7 used as
-/// the mature-PMU contrast platform. Timing parameters are calibrated so
-/// the *shape* of the paper's results holds (Table 1's capability matrix
-/// is exact; Table 2 / Fig. 3-4 ratios approximate the paper's).
+/// The platforms of the evaluation, as simulation configs: the paper's
+/// four — SiFive U74 (VisionFive II), T-Head C910 (Lichee Pi 4A),
+/// SpacemiT X60 (Banana Pi F3 / Milk-V Jupiter) and the Intel Core
+/// i5-1135G7 used as the mature-PMU contrast platform — plus the T-Head
+/// C906 (Allwinner D1), an in-order single-issue RVV 0.7.1 part that
+/// widens the sweep matrix beyond Table 1. Timing parameters are
+/// calibrated so the *shape* of the paper's results holds (Table 1's
+/// capability matrix is exact; Table 2 / Fig. 3-4 ratios approximate
+/// the paper's).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -81,11 +84,17 @@ Platform sifiveU74();
 /// partial upstream Linux (vendor kernel).
 Platform theadC910();
 
+/// The T-Head C906 (Allwinner D1 / Lichee RV): in-order *single-issue*,
+/// RVV 0.7.1 on a narrow datapath, no overflow interrupts (counting
+/// only, like the U74), partial upstream Linux.
+Platform theadC906();
+
 /// The Intel Core i5-1135G7 reference platform: wide out-of-order core
 /// with a fully capable PMU.
 Platform intelI5_1135G7();
 
-/// All four, in the paper's presentation order.
+/// All registered platforms: the paper's four in presentation order,
+/// then the extra sweep columns (C906).
 std::vector<Platform> allPlatforms();
 
 /// Looks a platform up by its identification CSRs, the way miniperf

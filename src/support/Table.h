@@ -43,6 +43,11 @@ public:
 
   size_t numRows() const { return Rows.size(); }
 
+  /// Structured access for machine-readable exports (bench JSON).
+  const std::string &title() const { return Title; }
+  const std::vector<std::string> &header() const { return Header; }
+  const std::vector<std::vector<std::string>> &rows() const { return Rows; }
+
 private:
   std::string Title;
   std::vector<std::string> Header;

@@ -1,0 +1,334 @@
+//===- driver_test.cpp - Scenario matrix and sweep runner tests ----------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ScenarioMatrix.h"
+#include "driver/SweepRunner.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace mperf;
+using namespace mperf::driver;
+
+namespace {
+
+/// A workload whose main traps (division by zero) at run time.
+WorkloadDesc trapWorkload() {
+  WorkloadDesc D;
+  D.Name = "trap";
+  D.Description = "always divides by zero";
+  D.Build = [](const hw::Platform &,
+               const ScenarioKnobs &) -> Expected<WorkloadInstance> {
+    auto MOr = ir::parseModule("module trap\n"
+                               "func @main() -> void {\n"
+                               "entry:\n"
+                               "  %x = sdiv i64 1, 0\n"
+                               "  ret\n"
+                               "}\n");
+    if (!MOr)
+      return makeError<WorkloadInstance>(MOr.errorMessage());
+    WorkloadInstance I;
+    I.M = std::move(*MOr);
+    return I;
+  };
+  return D;
+}
+
+/// Picks the registered workload called \p Name.
+WorkloadDesc workload(const std::string &Name) {
+  auto SelectedOr = selectWorkloads(Name);
+  if (SelectedOr && !SelectedOr->empty())
+    return std::move(SelectedOr->front());
+  ADD_FAILURE() << "workload " << Name << " missing";
+  return {};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry and spec selection
+//===----------------------------------------------------------------------===//
+
+TEST(ScenarioRegistry, StandardWorkloadsAndPlatformKeys) {
+  auto Workloads = standardWorkloads();
+  ASSERT_GE(Workloads.size(), 5u);
+  std::set<std::string> Names;
+  for (const WorkloadDesc &W : Workloads) {
+    EXPECT_TRUE(W.Build) << W.Name;
+    Names.insert(W.Name);
+  }
+  EXPECT_TRUE(Names.count("sqlite"));
+  EXPECT_TRUE(Names.count("matmul"));
+  EXPECT_TRUE(Names.count("triad"));
+
+  EXPECT_EQ(platformKey(hw::spacemitX60()), "x60");
+  EXPECT_EQ(platformKey(hw::theadC910()), "c910");
+  EXPECT_EQ(platformKey(hw::theadC906()), "c906");
+  EXPECT_EQ(platformKey(hw::sifiveU74()), "u74");
+  EXPECT_EQ(platformKey(hw::intelI5_1135G7()), "i5");
+}
+
+TEST(ScenarioRegistry, SpecSelection) {
+  EXPECT_EQ(selectPlatforms("all")->size(), hw::allPlatforms().size());
+  auto TwoOr = selectPlatforms("x60,c910");
+  ASSERT_TRUE(TwoOr.hasValue()) << TwoOr.errorMessage();
+  ASSERT_EQ(TwoOr->size(), 2u);
+  EXPECT_EQ((*TwoOr)[0].CoreName, "SpacemiT X60");
+  EXPECT_FALSE(selectPlatforms("z80").hasValue());
+
+  EXPECT_EQ(selectWorkloads("all")->size(), standardWorkloads().size());
+  auto WOr = selectWorkloads("sqlite,matmul");
+  ASSERT_TRUE(WOr.hasValue()) << WOr.errorMessage();
+  EXPECT_EQ(WOr->size(), 2u);
+  EXPECT_FALSE(selectWorkloads("doom").hasValue());
+}
+
+//===----------------------------------------------------------------------===//
+// ScenarioMatrix
+//===----------------------------------------------------------------------===//
+
+TEST(ScenarioMatrixTest, TwoByTwoCrossProduct) {
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatform(hw::spacemitX60())
+                                .addPlatform(hw::theadC910())
+                                .addWorkload(workload("sqlite"))
+                                .addWorkload(workload("triad"))
+                                .build();
+  ASSERT_EQ(S.size(), 4u);
+
+  std::set<std::string> Names;
+  for (const Scenario &Sc : S)
+    Names.insert(Sc.Name);
+  EXPECT_EQ(Names.size(), 4u) << "scenario names must be unique";
+  EXPECT_TRUE(Names.count("sqlite@x60"));
+  EXPECT_TRUE(Names.count("triad@c910"));
+
+  // Platform-major order, default option axes in the tags.
+  EXPECT_EQ(S[0].tag("platform"), "SpacemiT X60");
+  EXPECT_EQ(S[0].tag("workload"), "sqlite");
+  EXPECT_EQ(S[0].tag("sampling"), "on");
+  EXPECT_EQ(S[0].tag("vector"), "off");
+  EXPECT_EQ(S[0].tag("period"), "20000");
+  EXPECT_EQ(S[1].tag("workload"), "triad");
+  EXPECT_EQ(S[2].tag("platform"), "T-Head C910");
+  EXPECT_EQ(S[3].tag("bogus"), "");
+}
+
+TEST(ScenarioMatrixTest, OptionAxesMultiply) {
+  ScenarioMatrix M;
+  M.addPlatform(hw::spacemitX60())
+      .addWorkload(workload("triad"))
+      .addSamplingMode(true)
+      .addSamplingMode(false)
+      .addSamplePeriod(10000)
+      .addSamplePeriod(40000)
+      .addVectorize(false)
+      .addVectorize(true);
+  // Periods multiply only the sampling-on leg (a counting run is
+  // period-independent): (2 periods + 1 stat) x 2 vectorize = 6.
+  EXPECT_EQ(M.size(), 6u);
+  std::vector<Scenario> S = M.build();
+  ASSERT_EQ(S.size(), 6u);
+
+  std::set<std::string> Names;
+  unsigned Stat = 0, Vec = 0;
+  for (const Scenario &Sc : S) {
+    Names.insert(Sc.Name);
+    Stat += Sc.Knobs.Session.Sampling ? 0 : 1;
+    Vec += Sc.Knobs.Vectorize ? 1 : 0;
+    EXPECT_EQ(Sc.Knobs.Session.Sampling ? "on" : "off", Sc.tag("sampling"));
+    EXPECT_EQ(std::to_string(Sc.Knobs.Session.SamplePeriod),
+              Sc.tag("period"));
+  }
+  EXPECT_EQ(Names.size(), 6u);
+  EXPECT_EQ(Stat, 2u);
+  EXPECT_EQ(Vec, 3u);
+
+  // Duplicate axis values collapse instead of double-counting.
+  M.addSamplingMode(true);
+  EXPECT_EQ(M.size(), 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// SweepRunner
+//===----------------------------------------------------------------------===//
+
+TEST(SweepRunnerTest, MatrixRunsToCompletion) {
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatform(hw::spacemitX60())
+                                .addPlatform(hw::sifiveU74())
+                                .addWorkload(workload("sqlite"))
+                                .addWorkload(workload("triad"))
+                                .build();
+  SweepReport Report = SweepRunner().run(S);
+  ASSERT_EQ(Report.Results.size(), 4u);
+  EXPECT_EQ(Report.numFailures(), 0u);
+
+  const ScenarioResult *X60Sqlite = Report.result("sqlite@x60");
+  ASSERT_NE(X60Sqlite, nullptr);
+  EXPECT_EQ(X60Sqlite->PlatformName, "SpacemiT X60");
+  EXPECT_EQ(X60Sqlite->WorkloadName, "sqlite");
+  EXPECT_GT(X60Sqlite->Profile.Cycles, 0u);
+  EXPECT_GT(X60Sqlite->Profile.Instructions, 0u);
+  EXPECT_TRUE(X60Sqlite->Profile.UsedWorkaround);
+  EXPECT_GT(X60Sqlite->NumSamples, 0u);
+
+  // The U74 cannot sample: counting-only rows still succeed.
+  const ScenarioResult *U74Triad = Report.result("triad@u74");
+  ASSERT_NE(U74Triad, nullptr);
+  EXPECT_FALSE(U74Triad->Profile.SamplingAvailable);
+  EXPECT_EQ(U74Triad->NumSamples, 0u);
+
+  // Results arrive in matrix order regardless of completion order.
+  for (size_t I = 0; I != S.size(); ++I)
+    EXPECT_EQ(Report.Results[I].Name, S[I].Name);
+}
+
+TEST(SweepRunnerTest, CycleCountsIdenticalAtAnyJobCount) {
+  // The acceptance property: --jobs 1 and --jobs 4 must be
+  // bit-identical, proving scenarios share no mutable state.
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatforms(*selectPlatforms("x60,i5"))
+                                .addWorkload(workload("sqlite"))
+                                .addWorkload(workload("matmul"))
+                                .addSamplingMode(true)
+                                .addSamplingMode(false)
+                                .build();
+  ASSERT_EQ(S.size(), 8u);
+
+  SweepOptions Serial;
+  Serial.Jobs = 1;
+  SweepReport A = SweepRunner(Serial).run(S);
+
+  SweepOptions Parallel;
+  Parallel.Jobs = 4;
+  SweepReport B = SweepRunner(Parallel).run(S);
+
+  EXPECT_EQ(A.Jobs, 1u);
+  EXPECT_EQ(B.Jobs, 4u);
+  ASSERT_EQ(A.Results.size(), B.Results.size());
+  for (size_t I = 0; I != A.Results.size(); ++I) {
+    const ScenarioResult &RA = A.Results[I];
+    const ScenarioResult &RB = B.Results[I];
+    EXPECT_EQ(RA.Name, RB.Name);
+    EXPECT_FALSE(RA.Failed) << RA.Name << ": " << RA.Error;
+    EXPECT_FALSE(RB.Failed) << RB.Name << ": " << RB.Error;
+    EXPECT_EQ(RA.Profile.Cycles, RB.Profile.Cycles) << RA.Name;
+    EXPECT_EQ(RA.Profile.Instructions, RB.Profile.Instructions) << RA.Name;
+    EXPECT_EQ(RA.NumSamples, RB.NumSamples) << RA.Name;
+    EXPECT_EQ(RA.Profile.Interrupts, RB.Profile.Interrupts) << RA.Name;
+  }
+}
+
+TEST(SweepRunnerTest, TrapIsReportedNotFatal) {
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatform(hw::spacemitX60())
+                                .addWorkload(trapWorkload())
+                                .addWorkload(workload("triad"))
+                                .build();
+  size_t Calls = 0;
+  SweepOptions Opts;
+  Opts.Jobs = 2;
+  Opts.OnResult = [&Calls](const ScenarioResult &, size_t, size_t) {
+    ++Calls;
+  };
+  SweepReport Report = SweepRunner(Opts).run(S);
+  ASSERT_EQ(Report.Results.size(), 2u);
+  EXPECT_EQ(Calls, 2u);
+  EXPECT_EQ(Report.numFailures(), 1u);
+
+  const ScenarioResult *Trap = Report.result("trap@x60");
+  ASSERT_NE(Trap, nullptr);
+  EXPECT_TRUE(Trap->Failed);
+  EXPECT_NE(Trap->Error.find("division by zero"), std::string::npos)
+      << Trap->Error;
+
+  const ScenarioResult *Ok = Report.result("triad@x60");
+  ASSERT_NE(Ok, nullptr);
+  EXPECT_FALSE(Ok->Failed);
+  EXPECT_GT(Ok->Profile.Cycles, 0u);
+}
+
+TEST(SweepRunnerTest, VectorizeKnobChangesMatmulTime) {
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatform(hw::spacemitX60())
+                                .addWorkload(workload("matmul"))
+                                .addVectorize(false)
+                                .addVectorize(true)
+                                .build();
+  ASSERT_EQ(S.size(), 2u);
+  SweepReport Report = SweepRunner().run(S);
+  ASSERT_EQ(Report.numFailures(), 0u);
+  const ScenarioResult *Scalar = Report.result("matmul@x60");
+  const ScenarioResult *Vector = Report.result("matmul@x60+vec");
+  ASSERT_NE(Scalar, nullptr);
+  ASSERT_NE(Vector, nullptr);
+  // Vector code retires fewer IR ops and finishes in fewer cycles.
+  EXPECT_LT(Vector->Profile.Vm.RetiredOps, Scalar->Profile.Vm.RetiredOps);
+  EXPECT_LT(Vector->Profile.Cycles, Scalar->Profile.Cycles);
+}
+
+//===----------------------------------------------------------------------===//
+// SweepReport rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Checks brace/bracket balance outside string literals — a structural
+/// validity proxy for the writer's output.
+bool jsonBalanced(const std::string &Text) {
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I != Text.size(); ++I) {
+    char C = Text[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{' || C == '[')
+      ++Depth;
+    else if (C == '}' || C == ']') {
+      if (--Depth < 0)
+        return false;
+    }
+  }
+  return Depth == 0 && !InString;
+}
+
+} // namespace
+
+TEST(SweepReportTest, TableAndJson) {
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatform(hw::sifiveU74())
+                                .addWorkload(workload("triad"))
+                                .addWorkload(trapWorkload())
+                                .build();
+  SweepReport Report = SweepRunner().run(S);
+
+  TextTable T = Report.toTable();
+  EXPECT_EQ(T.numRows(), 2u);
+  std::string Rendered = T.render();
+  EXPECT_NE(Rendered.find("triad@u74"), std::string::npos);
+  EXPECT_NE(Rendered.find("FAILED"), std::string::npos);
+
+  std::string Json = Report.toJson();
+  EXPECT_TRUE(jsonBalanced(Json)) << Json;
+  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v1\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"num_scenarios\":2"), std::string::npos);
+  EXPECT_NE(Json.find("\"num_failures\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"triad@u74\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(Json.find("\"tags\":["), std::string::npos);
+}

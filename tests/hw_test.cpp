@@ -287,14 +287,45 @@ TEST(PlatformTest, Table1CapabilityMatrix) {
   EXPECT_TRUE(C910.PmuCaps.canSample(EventKind::Cycles));
 }
 
+TEST(PlatformTest, C906CapabilityRow) {
+  // The extra sweep column: in-order single-issue, vector-capable, but
+  // with a U74-class PMU (counting only).
+  Platform C906 = theadC906();
+  EXPECT_FALSE(C906.OutOfOrder);
+  EXPECT_EQ(C906.RvvVersion, "0.7.1");
+  EXPECT_EQ(C906.OverflowSupport, "No");
+  EXPECT_EQ(C906.UpstreamLinux, "Partial");
+  EXPECT_TRUE(C906.PmuCaps.SamplableEvents.empty());
+  EXPECT_TRUE(C906.Target.HasVector);
+
+  // Single-issue: no cost class beats one op per cycle.
+  EXPECT_GE(C906.Core.CostIntAlu, 1.0);
+  EXPECT_GE(C906.Core.CostLoad, 1.0);
+  EXPECT_GE(C906.Core.CostBranch, 1.0);
+
+  // Slower than its big sibling in both frequency and issue width.
+  Platform C910 = theadC910();
+  EXPECT_LT(C906.Core.FreqGHz, C910.Core.FreqGHz);
+  EXPECT_LT(C906.TheoreticalFlopsPerCycle, C910.TheoreticalFlopsPerCycle);
+}
+
 TEST(PlatformTest, IdentificationByCsrs) {
   auto Db = allPlatforms();
-  EXPECT_EQ(Db.size(), 4u);
+  EXPECT_EQ(Db.size(), 5u);
   const Platform *P = platformById(Db, spacemitX60().Id);
   ASSERT_NE(P, nullptr);
   EXPECT_EQ(P->CoreName, "SpacemiT X60");
   CpuId Unknown{0xdead, 0xbeef, 0, ""};
   EXPECT_EQ(platformById(Db, Unknown), nullptr);
+
+  // The two T-Head parts share an mvendorid; marchid disambiguates.
+  EXPECT_EQ(theadC906().Id.Mvendorid, theadC910().Id.Mvendorid);
+  const Platform *C906 = platformById(Db, theadC906().Id);
+  ASSERT_NE(C906, nullptr);
+  EXPECT_EQ(C906->CoreName, "T-Head C906");
+  const Platform *C910 = platformById(Db, theadC910().Id);
+  ASSERT_NE(C910, nullptr);
+  EXPECT_EQ(C910->CoreName, "T-Head C910");
 }
 
 TEST(PlatformTest, X60MemoryRoofConfig) {

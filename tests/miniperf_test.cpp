@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+
 using namespace mperf;
 using namespace mperf::miniperf;
 using namespace mperf::hw;
@@ -127,6 +129,41 @@ TEST(SessionTest, StatModeCollectsNoSamples) {
   EXPECT_TRUE(ROr->Samples.empty());
   EXPECT_GT(ROr->Cycles, 0u);
 }
+
+//===----------------------------------------------------------------------===//
+// Session across every registered platform (TEST_P: no hardcoded core)
+//===----------------------------------------------------------------------===//
+
+class SessionOnEveryPlatform : public ::testing::TestWithParam<Platform> {};
+
+TEST_P(SessionOnEveryPlatform, ProfileMatchesPlannedCapabilities) {
+  const Platform &P = GetParam();
+  ProfileResult R = profileSqlite(P, 8, 20000);
+  EXPECT_GT(R.Cycles, 0u) << P.CoreName;
+  EXPECT_GT(R.Instructions, 0u) << P.CoreName;
+  EXPECT_GT(R.Ipc, 0.05) << P.CoreName;
+  EXPECT_LT(R.Ipc, 6.0) << P.CoreName;
+
+  // The harvested run must match what the grouper planned for the core.
+  GroupPlan Plan = planCyclesInstructionsGroup(P, 20000);
+  EXPECT_EQ(R.SamplingAvailable, Plan.SamplingAvailable) << P.CoreName;
+  EXPECT_EQ(R.UsedWorkaround, Plan.UsesWorkaround) << P.CoreName;
+  if (Plan.SamplingAvailable)
+    EXPECT_GT(R.Samples.size(), 0u) << P.CoreName;
+  else
+    EXPECT_TRUE(R.Samples.empty()) << P.CoreName;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, SessionOnEveryPlatform,
+    ::testing::ValuesIn(allPlatforms()),
+    [](const ::testing::TestParamInfo<Platform> &Info) {
+      std::string Name;
+      for (char C : Info.param.CoreName)
+        if (std::isalnum(static_cast<unsigned char>(C)))
+          Name.push_back(C);
+      return Name;
+    });
 
 //===----------------------------------------------------------------------===//
 // FlameGraph

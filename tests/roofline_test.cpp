@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+
 using namespace mperf;
 using namespace mperf::roofline;
 using namespace mperf::transform;
@@ -199,6 +201,59 @@ TEST(Ceilings, OrderAcrossPlatforms) {
   EXPECT_GT(X86->MemBandwidthGBs, X60->MemBandwidthGBs);
   EXPECT_LT(U74->PeakGFlops, X60->PeakGFlops); // no vector unit
 }
+
+//===----------------------------------------------------------------------===//
+// Every registered platform (TEST_P: no hardcoded core)
+//===----------------------------------------------------------------------===//
+
+class RooflineOnEveryPlatform
+    : public ::testing::TestWithParam<hw::Platform> {};
+
+TEST_P(RooflineOnEveryPlatform, CeilingsAreConsistent) {
+  const hw::Platform &P = GetParam();
+  auto C = measureCeilings(P);
+  ASSERT_TRUE(C.hasValue()) << P.CoreName << ": " << C.errorMessage();
+  // The compute roof is the platform's recorded theoretical derivation.
+  EXPECT_NEAR(C->PeakGFlops, P.TheoreticalFlopsPerCycle * P.Core.FreqGHz,
+              1e-9)
+      << P.CoreName;
+  EXPECT_GT(C->BytesPerCycle, 0) << P.CoreName;
+  EXPECT_GT(C->MemBandwidthGBs, 0) << P.CoreName;
+  EXPECT_GE(C->L1BandwidthGBs, C->MemBandwidthGBs) << P.CoreName;
+  EXPECT_GT(C->MeasuredGFlops, 0) << P.CoreName;
+  // The memset probe cannot beat the configured DRAM bandwidth.
+  EXPECT_LE(C->BytesPerCycle, P.Cache.DramBytesPerCycle * 1.05)
+      << P.CoreName;
+}
+
+TEST_P(RooflineOnEveryPlatform, TwoPhaseMatmulHoldsEverywhere) {
+  const hw::Platform &P = GetParam();
+  Prepared R = prepareMatmul(P, 32, 8);
+  TwoPhaseResult Result = analyzeMatmul(P, R);
+  ASSERT_EQ(Result.Loops.size(), 1u) << P.CoreName;
+  const LoopMetrics &L = Result.Loops[0];
+  // IR-derived FLOPs are platform-independent and exact for scalar
+  // code; vectorization adds only horizontal reductions.
+  EXPECT_GE(L.FpOps, R.W.flops()) << P.CoreName;
+  EXPECT_LT(L.FpOps, R.W.flops() * 3 / 2 + 1) << P.CoreName;
+  EXPECT_GT(L.Seconds, 0) << P.CoreName;
+  // The overhead the two-phase design exists to exclude shows up on
+  // every core.
+  EXPECT_GT(L.OverheadRatio, 1.02) << P.CoreName;
+  EXPECT_GT(Result.InstrumentedProgramCycles, Result.BaselineProgramCycles)
+      << P.CoreName;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, RooflineOnEveryPlatform,
+    ::testing::ValuesIn(hw::allPlatforms()),
+    [](const ::testing::TestParamInfo<hw::Platform> &Info) {
+      std::string Name;
+      for (char C : Info.param.CoreName)
+        if (std::isalnum(static_cast<unsigned char>(C)))
+          Name.push_back(C);
+      return Name;
+    });
 
 //===----------------------------------------------------------------------===//
 // Counter-based (Advisor-like) estimator

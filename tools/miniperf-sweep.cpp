@@ -1,0 +1,194 @@
+//===- miniperf-sweep.cpp - Parallel scenario-sweep CLI -------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// Runs a (platform x workload x options) scenario matrix concurrently
+// and reports it as a text table and, optionally, a JSON document:
+//
+//   miniperf-sweep --platforms all --workloads all --jobs 4
+//                  --json sweep.json
+//
+// Every axis of the paper's tables is a flag: which simulated cores,
+// which kernels, sampling vs counting (`--sampling both`), the sample
+// period, and scalar vs vectorized codegen (`--vector both`).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ScenarioMatrix.h"
+#include "driver/SweepRunner.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+using namespace mperf;
+using namespace mperf::driver;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: miniperf-sweep [options]\n"
+      "\n"
+      "  --platforms SPEC   all (default) or comma list: u74,c906,c910,"
+      "x60,i5\n"
+      "  --workloads SPEC   all (default) or comma list: sqlite,matmul,"
+      "triad,memset,peakflops\n"
+      "  --jobs N           worker threads (default 1; 0 = all cores)\n"
+      "  --json FILE        also write the machine-readable report\n"
+      "  --sampling MODE    on (default), off, or both\n"
+      "  --period LIST      comma list of sample periods (default "
+      "20000)\n"
+      "  --vector MODE      off (default), on, or both\n"
+      "  --keep-samples     keep per-scenario sample buffers in memory\n"
+      "  --quiet            suppress per-scenario progress lines\n"
+      "  --list             list platforms and workloads, then exit\n"
+      "  --help             this text\n");
+}
+
+void printLists() {
+  std::printf("platforms:\n");
+  for (const hw::Platform &P : hw::allPlatforms())
+    std::printf("  %-6s %s (%s)\n", platformKey(P).c_str(),
+                P.CoreName.c_str(), P.BoardName.c_str());
+  std::printf("workloads:\n");
+  for (const WorkloadDesc &W : standardWorkloads())
+    std::printf("  %-10s %s\n", W.Name.c_str(), W.Description.c_str());
+}
+
+[[noreturn]] void die(const std::string &Message) {
+  std::fprintf(stderr, "miniperf-sweep: %s\n", Message.c_str());
+  std::exit(2);
+}
+
+/// Parses a whole decimal token; dies on empty or trailing garbage, so
+/// `--jobs 4x` is an error instead of silently becoming something else.
+uint64_t parseUnsigned(const std::string &Flag, const std::string &Text) {
+  char *End = nullptr;
+  uint64_t Value = std::strtoull(Text.c_str(), &End, 10);
+  if (Text.empty() || End != Text.c_str() + Text.size())
+    die("bad " + Flag + " value '" + Text + "' (expected a number)");
+  return Value;
+}
+
+/// Applies an on/off/both mode flag to a ScenarioMatrix axis.
+void addModeAxis(ScenarioMatrix &Matrix, const std::string &Flag,
+                 const std::string &Mode,
+                 ScenarioMatrix &(ScenarioMatrix::*Add)(bool)) {
+  if (Mode == "on")
+    (Matrix.*Add)(true);
+  else if (Mode == "off")
+    (Matrix.*Add)(false);
+  else if (Mode == "both") {
+    (Matrix.*Add)(true);
+    (Matrix.*Add)(false);
+  } else
+    die("bad " + Flag + " mode '" + Mode + "' (use on, off or both)");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string PlatformSpec = "all";
+  std::string WorkloadSpec = "all";
+  std::string JsonPath;
+  std::string SamplingMode = "on";
+  std::string VectorMode = "off";
+  std::string PeriodList;
+  SweepOptions Opts;
+  bool Quiet = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&]() -> std::string {
+      if (I + 1 >= Argc)
+        die("missing value after " + Arg);
+      return Argv[++I];
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (Arg == "--list") {
+      printLists();
+      return 0;
+    } else if (Arg == "--platforms") {
+      PlatformSpec = Value();
+    } else if (Arg == "--workloads") {
+      WorkloadSpec = Value();
+    } else if (Arg == "--jobs") {
+      Opts.Jobs = static_cast<unsigned>(parseUnsigned("--jobs", Value()));
+    } else if (Arg == "--json") {
+      JsonPath = Value();
+    } else if (Arg == "--sampling") {
+      SamplingMode = Value();
+    } else if (Arg == "--vector") {
+      VectorMode = Value();
+    } else if (Arg == "--period") {
+      PeriodList = Value();
+    } else if (Arg == "--keep-samples") {
+      Opts.KeepSamples = true;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else {
+      die("unknown option '" + Arg + "' (see --help)");
+    }
+  }
+
+  auto PlatformsOr = selectPlatforms(PlatformSpec);
+  if (!PlatformsOr)
+    die(PlatformsOr.errorMessage());
+  auto WorkloadsOr = selectWorkloads(WorkloadSpec);
+  if (!WorkloadsOr)
+    die(WorkloadsOr.errorMessage());
+
+  ScenarioMatrix Matrix;
+  Matrix.addPlatforms(*PlatformsOr).addWorkloads(*WorkloadsOr);
+  addModeAxis(Matrix, "--sampling", SamplingMode,
+              &ScenarioMatrix::addSamplingMode);
+  addModeAxis(Matrix, "--vector", VectorMode, &ScenarioMatrix::addVectorize);
+  for (std::string_view Token : split(PeriodList, ',')) {
+    std::string_view Trimmed = trim(Token);
+    if (Trimmed.empty())
+      continue;
+    uint64_t Period = parseUnsigned("--period", std::string(Trimmed));
+    if (Period == 0)
+      die("bad --period value '" + std::string(Trimmed) + "' (must be "
+          "positive)");
+    Matrix.addSamplePeriod(Period);
+  }
+
+  std::vector<Scenario> Scenarios = Matrix.build();
+  if (!Quiet)
+    std::printf("sweeping %zu scenarios (%zu platforms x %zu workloads"
+                "%s%s)...\n",
+                Scenarios.size(), PlatformsOr->size(), WorkloadsOr->size(),
+                SamplingMode == "both" ? " x sampling{on,off}" : "",
+                VectorMode == "both" ? " x vector{on,off}" : "");
+
+  if (!Quiet)
+    Opts.OnResult = [](const ScenarioResult &R, size_t Done, size_t Total) {
+      std::printf("  [%zu/%zu] %-24s %s\n", Done, Total, R.Name.c_str(),
+                  R.Failed ? ("FAILED: " + R.Error).c_str() : "ok");
+      std::fflush(stdout);
+    };
+
+  SweepRunner Runner(Opts);
+  SweepReport Report = Runner.run(Scenarios);
+
+  std::printf("\n%s", Report.toTable().render().c_str());
+  std::printf("\nsweep wall-clock: %s with %u job(s)\n",
+              fixed(Report.HostSeconds, 2).c_str(), Report.Jobs);
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out)
+      die("cannot write '" + JsonPath + "'");
+    Out << Report.toJson() << "\n";
+    std::printf("json report written to %s\n", JsonPath.c_str());
+  }
+
+  return Report.numFailures() == 0 ? 0 : 1;
+}
