@@ -176,8 +176,15 @@ inline void print(const std::string &Text) {
 //
 // Every bench binary also writes `BENCH_<name>.json` next to its text
 // output, so CI can diff metric values against committed baselines (the
-// ROADMAP perf gate). Keys are stable identifiers; tables carry the same
-// cells the text report prints.
+// perf gate; see tools/bench-diff.cpp). Keys are stable identifiers;
+// tables carry the same cells the text report prints.
+//
+// The gate contract: everything under "metrics" must be deterministic
+// (simulated cycles, counts, model-derived ratios) — CI fails on >2%
+// drift against bench/baselines/. Host-wall-clock-derived numbers
+// (ops/s, seconds, speedups over host time) go under "host_metrics"
+// via hostMetric(); they are reported for trend inspection but never
+// gate.
 //===----------------------------------------------------------------------===//
 
 /// Collects named metrics and tables and writes the bench JSON file.
@@ -197,16 +204,22 @@ public:
   void note(const std::string &Key, const std::string &Value) {
     Metrics.push_back({Key, Entry::Text, 0, 0, Value});
   }
+  /// A host-time-derived (non-deterministic) metric: reported in the
+  /// JSON under "host_metrics", advisory-only for the perf gate.
+  void hostMetric(const std::string &Key, double Value) {
+    HostMetrics.push_back({Key, Entry::Double, Value, 0, ""});
+  }
   void addTable(const std::string &Key, const TextTable &T) {
     Tables.emplace_back(Key, T);
   }
 
-  /// Serializes the report ("miniperf-bench-report/v1").
+  /// Serializes the report ("miniperf-bench-report/v2"; v2 split the
+  /// advisory host-time numbers out of the gated "metrics" object).
   std::string toJson() const {
     JsonWriter W;
     W.beginObject();
     W.key("schema");
-    W.string("miniperf-bench-report/v1");
+    W.string("miniperf-bench-report/v2");
     W.key("bench");
     W.string(Name);
     W.key("metrics");
@@ -224,6 +237,13 @@ public:
         W.string(E.S);
         break;
       }
+    }
+    W.endObject();
+    W.key("host_metrics");
+    W.beginObject();
+    for (const Entry &E : HostMetrics) {
+      W.key(E.Key);
+      W.number(E.D);
     }
     W.endObject();
     W.key("tables");
@@ -278,6 +298,7 @@ private:
   };
   std::string Name;
   std::vector<Entry> Metrics;
+  std::vector<Entry> HostMetrics;
   std::vector<std::pair<std::string, TextTable>> Tables;
 };
 

@@ -131,7 +131,15 @@ double CoreModel::costFor(const vm::RetiredOp &Op) {
   return Core.CostOther;
 }
 
-void CoreModel::onRetire(const vm::RetiredOp &Op) {
+void CoreModel::onRetireBatch(const vm::RetiredOp *Ops, size_t Count,
+                              const ir::Instruction *&RetireCursor) {
+  for (size_t I = 0; I != Count; ++I) {
+    RetireCursor = Ops[I].Inst;
+    retireOne(Ops[I]);
+  }
+}
+
+void CoreModel::retireOne(const vm::RetiredOp &Op) {
   EventDeltas D;
   D.Mode = CurrentMode;
   double Cycles = costFor(Op);

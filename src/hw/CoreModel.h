@@ -91,7 +91,14 @@ class CoreModel : public vm::TraceConsumer {
 public:
   CoreModel(const CoreConfig &Core, const CacheConfig &Cache);
 
-  void onRetire(const vm::RetiredOp &Op) override;
+  void onRetire(const vm::RetiredOp &Op) override { retireOne(Op); }
+
+  /// Batched path of the micro-op engine: one virtual call per block,
+  /// advancing the interpreter's retire cursor per op so overflow
+  /// samples taken from inside the PMU chain attribute to the op being
+  /// retired (identical to unbatched delivery).
+  void onRetireBatch(const vm::RetiredOp *Ops, size_t Count,
+                     const ir::Instruction *&RetireCursor) override;
 
   //===--------------------------------------------------------------===//
   // PMU plumbing
@@ -124,6 +131,7 @@ public:
   void reset();
 
 private:
+  void retireOne(const vm::RetiredOp &Op);
   double costFor(const vm::RetiredOp &Op);
   bool predictBranch(const vm::RetiredOp &Op);
 

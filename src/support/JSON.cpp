@@ -11,6 +11,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace mperf;
 
@@ -128,4 +129,269 @@ void JsonWriter::boolean(bool Value) {
 void JsonWriter::null() {
   beforeValue();
   Out += "null";
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  if (TheKind != Kind::Object)
+    return nullptr;
+  for (const auto &[K, V] : Members)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over the JsonWriter subset.
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view Text) : Text(Text) {}
+
+  Expected<JsonValue> parse() {
+    skipWs();
+    auto V = parseValue();
+    if (!V)
+      return V;
+    skipWs();
+    if (Pos != Text.size())
+      return err("trailing content after JSON document");
+    return V;
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+  unsigned Depth = 0;
+
+  Expected<JsonValue> err(const std::string &Message) const {
+    size_t Line = 1, Col = 1;
+    for (size_t I = 0; I < Pos && I < Text.size(); ++I) {
+      if (Text[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+    return makeError<JsonValue>("json: " + Message + " at line " +
+                                std::to_string(Line) + ", column " +
+                                std::to_string(Col));
+  }
+
+  void skipWs() {
+    while (Pos != Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos != Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view W) {
+    if (Text.substr(Pos, W.size()) == W) {
+      Pos += W.size();
+      return true;
+    }
+    return false;
+  }
+
+  Expected<JsonValue> parseValue() {
+    // Containers recurse; bound the depth so a corrupted deeply-nested
+    // document errors out instead of overflowing the stack (bench-diff
+    // feeds this whatever is on disk).
+    if (Depth > 256)
+      return err("nesting too deep");
+    if (Pos == Text.size())
+      return err("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject();
+    if (C == '[')
+      return parseArray();
+    if (C == '"') {
+      auto S = parseString();
+      if (!S)
+        return makeError<JsonValue>(S.errorMessage());
+      return JsonValue::makeString(std::move(*S));
+    }
+    if (consumeWord("true"))
+      return JsonValue::makeBool(true);
+    if (consumeWord("false"))
+      return JsonValue::makeBool(false);
+    if (consumeWord("null"))
+      return JsonValue::makeNull();
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseNumber();
+    return err(std::string("unexpected character '") + C + "'");
+  }
+
+  Expected<JsonValue> parseObject() {
+    ++Pos; // '{'
+    ++Depth;
+    JsonValue Obj = JsonValue::makeObject();
+    skipWs();
+    if (consume('}')) {
+      --Depth;
+      return Obj;
+    }
+    while (true) {
+      skipWs();
+      if (Pos == Text.size() || Text[Pos] != '"')
+        return err("expected object key string");
+      auto Key = parseString();
+      if (!Key)
+        return makeError<JsonValue>(Key.errorMessage());
+      skipWs();
+      if (!consume(':'))
+        return err("expected ':' after object key");
+      skipWs();
+      auto V = parseValue();
+      if (!V)
+        return V;
+      Obj.insert(std::move(*Key), std::move(*V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}')) {
+        --Depth;
+        return Obj;
+      }
+      return err("expected ',' or '}' in object");
+    }
+  }
+
+  Expected<JsonValue> parseArray() {
+    ++Pos; // '['
+    ++Depth;
+    JsonValue Arr = JsonValue::makeArray();
+    skipWs();
+    if (consume(']')) {
+      --Depth;
+      return Arr;
+    }
+    while (true) {
+      skipWs();
+      auto V = parseValue();
+      if (!V)
+        return V;
+      Arr.append(std::move(*V));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']')) {
+        --Depth;
+        return Arr;
+      }
+      return err("expected ',' or ']' in array");
+    }
+  }
+
+  Expected<std::string> parseString() {
+    ++Pos; // '"'
+    std::string Out;
+    while (true) {
+      if (Pos == Text.size())
+        return makeError<std::string>("json: unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos == Text.size())
+        return makeError<std::string>("json: unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out.push_back('"');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case '/':
+        Out.push_back('/');
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return makeError<std::string>("json: truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return makeError<std::string>("json: bad \\u escape digit");
+        }
+        // Encode the code point as UTF-8 (BMP only, as the writer emits).
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        } else {
+          Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return makeError<std::string>("json: unknown escape");
+      }
+    }
+  }
+
+  Expected<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    if (consume('-')) {
+    }
+    while (Pos != Text.size() &&
+           ((Text[Pos] >= '0' && Text[Pos] <= '9') || Text[Pos] == '.' ||
+            Text[Pos] == 'e' || Text[Pos] == 'E' || Text[Pos] == '+' ||
+            Text[Pos] == '-'))
+      ++Pos;
+    std::string Token(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double V = std::strtod(Token.c_str(), &End);
+    if (End != Token.c_str() + Token.size())
+      return err("bad number '" + Token + "'");
+    return JsonValue::makeNumber(V);
+  }
+};
+
+} // namespace
+
+Expected<JsonValue> mperf::parseJson(std::string_view Text) {
+  return JsonParser(Text).parse();
 }

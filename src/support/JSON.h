@@ -7,12 +7,17 @@
 ///
 /// \file
 /// A tiny streaming JSON writer used to export profiles, roofline points
-/// and flame graph data for external tooling.
+/// and flame graph data for external tooling, plus a small recursive
+/// parser (JsonValue / parseJson) so in-repo tools can read those
+/// documents back — the bench-diff perf gate diffs BENCH_*.json files
+/// against committed baselines with it.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MPERF_SUPPORT_JSON_H
 #define MPERF_SUPPORT_JSON_H
+
+#include "support/Error.h"
 
 #include <cstdint>
 #include <string>
@@ -60,6 +65,75 @@ private:
   std::vector<bool> SawElement;
   bool PendingKey = false;
 };
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+/// One parsed JSON value. Objects keep insertion order for stable
+/// iteration (baseline diffs report drift in document order).
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return TheKind; }
+  bool isNull() const { return TheKind == Kind::Null; }
+  bool isBool() const { return TheKind == Kind::Bool; }
+  bool isNumber() const { return TheKind == Kind::Number; }
+  bool isString() const { return TheKind == Kind::String; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  bool isObject() const { return TheKind == Kind::Object; }
+
+  bool asBool() const { return Num != 0; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Str; }
+  const std::vector<JsonValue> &elements() const { return Elems; }
+  /// Object members in document order.
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+
+  /// Object member lookup; nullptr on miss or non-object.
+  const JsonValue *find(std::string_view Key) const;
+
+  // Construction (used by the parser; tests may build values directly).
+  static JsonValue makeNull() { return JsonValue(Kind::Null); }
+  static JsonValue makeBool(bool V) {
+    JsonValue J(Kind::Bool);
+    J.Num = V ? 1 : 0;
+    return J;
+  }
+  static JsonValue makeNumber(double V) {
+    JsonValue J(Kind::Number);
+    J.Num = V;
+    return J;
+  }
+  static JsonValue makeString(std::string V) {
+    JsonValue J(Kind::String);
+    J.Str = std::move(V);
+    return J;
+  }
+  static JsonValue makeArray() { return JsonValue(Kind::Array); }
+  static JsonValue makeObject() { return JsonValue(Kind::Object); }
+
+  void append(JsonValue V) { Elems.push_back(std::move(V)); }
+  void insert(std::string Key, JsonValue V) {
+    Members.emplace_back(std::move(Key), std::move(V));
+  }
+
+private:
+  explicit JsonValue(Kind K) : TheKind(K) {}
+
+  Kind TheKind = Kind::Null;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Elems;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Parses one JSON document (the subset JsonWriter emits: no comments,
+/// \uXXXX escapes decoded as UTF-8). Errors carry line/column context.
+Expected<JsonValue> parseJson(std::string_view Text);
 
 } // namespace mperf
 

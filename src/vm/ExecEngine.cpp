@@ -1,0 +1,1647 @@
+//===- ExecEngine.cpp - Micro-op lowering and dispatch loop --------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// The micro-op execution engine: lowers the slot form built by
+// InterpreterAccess::compile into a flat MicroOp array (vm/MicroOp.h)
+// and runs it through a computed-goto dispatch loop (dense switch on
+// compilers without the extension). Retired ops buffer into the
+// interpreter's ring and reach consumers in blocks via onRetireBatch;
+// flush points (ring full, calls, returns, traps) are chosen so every
+// consumer sees the exact per-op sequence of the reference engine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ExecEngine.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+using namespace mperf;
+using namespace mperf::vm;
+using namespace mperf::ir;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MPERF_CGOTO 1
+#else
+#define MPERF_CGOTO 0
+#endif
+
+namespace {
+
+/// Masks \p V to \p Bits.
+inline uint64_t maskTo(uint64_t V, unsigned Bits) {
+  return Bits >= 64 ? V : (V & ((1ULL << Bits) - 1));
+}
+
+/// Sign-extends \p V from \p Bits.
+inline int64_t signExt(uint64_t V, unsigned Bits) {
+  if (Bits >= 64)
+    return static_cast<int64_t>(V);
+  uint64_t SignBit = 1ULL << (Bits - 1);
+  uint64_t Mask = (1ULL << Bits) - 1;
+  V &= Mask;
+  return (V & SignBit) ? static_cast<int64_t>(V | ~Mask)
+                       : static_cast<int64_t>(V);
+}
+
+inline uint64_t maskOf(unsigned Bits) {
+  return Bits >= 64 ? ~0ull : ((1ULL << Bits) - 1);
+}
+
+/// Shared icmp predicate evaluation for the plain and fused handlers —
+/// one copy so the fused-branch path can never diverge from the
+/// unfused one.
+inline bool evalICmp(ICmpPred Pred, uint64_t A, uint64_t B) {
+  int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
+  switch (Pred) {
+  case ICmpPred::EQ:
+    return A == B;
+  case ICmpPred::NE:
+    return A != B;
+  case ICmpPred::SLT:
+    return SA < SB;
+  case ICmpPred::SLE:
+    return SA <= SB;
+  case ICmpPred::SGT:
+    return SA > SB;
+  case ICmpPred::SGE:
+    return SA >= SB;
+  case ICmpPred::ULT:
+    return A < B;
+  case ICmpPred::ULE:
+    return A <= B;
+  case ICmpPred::UGT:
+    return A > B;
+  case ICmpPred::UGE:
+    return A >= B;
+  }
+  return false;
+}
+
+/// Fixed-size integer memory access per width. A memcpy with a runtime
+/// byte count does not inline, and a libc call per interpreted load or
+/// store dominates the whole handler.
+inline uint64_t loadIntN(const uint8_t *P, unsigned Bytes) {
+  switch (Bytes) {
+  case 1:
+    return *P;
+  case 2: {
+    uint16_t V;
+    std::memcpy(&V, P, 2);
+    return V;
+  }
+  case 4: {
+    uint32_t V;
+    std::memcpy(&V, P, 4);
+    return V;
+  }
+  default: {
+    uint64_t V;
+    std::memcpy(&V, P, 8);
+    return V;
+  }
+  }
+}
+
+inline void storeIntN(uint8_t *P, uint64_t V, unsigned Bytes) {
+  switch (Bytes) {
+  case 1:
+    *P = static_cast<uint8_t>(V);
+    break;
+  case 2: {
+    uint16_t W = static_cast<uint16_t>(V);
+    std::memcpy(P, &W, 2);
+    break;
+  }
+  case 4: {
+    uint32_t W = static_cast<uint32_t>(V);
+    std::memcpy(P, &W, 4);
+    break;
+  }
+  default:
+    std::memcpy(P, &V, 8);
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering: slot form -> micro-op program
+//===----------------------------------------------------------------------===//
+
+/// Builds one function's MicroProgram from its compiled slot form.
+class Lowerer {
+public:
+  explicit Lowerer(const Interpreter::CompiledFunction &CF) : CF(CF) {}
+
+  std::unique_ptr<MicroProgram> run() {
+    auto P = std::make_unique<MicroProgram>();
+    Prog = P.get();
+    // One extra slot breaks phi-move cycles (swap patterns).
+    Prog->NumSlots = CF.NumSlots + 1;
+    Scratch = static_cast<int32_t>(CF.NumSlots);
+
+    BlockStart.resize(CF.Blocks.size(), -1);
+    for (size_t B = 0; B != CF.Blocks.size(); ++B) {
+      BlockStart[B] = static_cast<int32_t>(Prog->Code.size());
+      lowerBlock(CF.Blocks[B]);
+    }
+    emitStubs();
+    applyPatches();
+    return P;
+  }
+
+private:
+  const Interpreter::CompiledFunction &CF;
+  MicroProgram *Prog = nullptr;
+  int32_t Scratch = -1;
+  std::vector<int32_t> BlockStart;
+  /// Branch fields still holding block indices, to rewrite at the end.
+  struct Patch {
+    size_t Uop;
+    int Which; // 0 = Tgt0, 1 = Tgt1
+    int32_t Block;
+  };
+  std::vector<Patch> Patches;
+  /// Conditional edges with phi moves; lowered to stubs after the
+  /// straight-line code so the fall-through path stays dense.
+  struct StubReq {
+    size_t Uop;
+    int Which;
+    int32_t Succ;
+    const std::vector<EdgeMove> *Moves;
+  };
+  std::vector<StubReq> Stubs;
+
+  /// Converts an operand to its packed reference (slot or imm-pool).
+  int32_t ref(const OperandRef &R) {
+    if (R.Slot >= 0)
+      return R.Slot;
+    Prog->Imms.push_back(R.Imm);
+    return -static_cast<int32_t>(Prog->Imms.size());
+  }
+
+  MicroOp base(const CInst &CI) {
+    MicroOp U;
+    U.Lanes = CI.Lanes;
+    U.IntBits = static_cast<uint8_t>(std::min(CI.IntBits, 64u));
+    U.SrcBits = static_cast<uint8_t>(std::min(CI.SrcBits, 64u));
+    U.ElemBytes = static_cast<uint8_t>(CI.ElemBytes);
+    U.Flags = static_cast<uint8_t>((CI.F32 ? MicroFlagF32 : 0) |
+                                   (CI.IsFp ? MicroFlagFpMem : 0) |
+                                   (CI.HasStrideOperand ? MicroFlagStrideOp : 0));
+    U.Dest = CI.Dest;
+    U.Mask = maskOf(CI.IntBits);
+    U.Class = CI.Class;
+    U.Inst = CI.I;
+    return U;
+  }
+
+  void push(const MicroOp &U) { Prog->Code.push_back(U); }
+
+  /// Sequentializes one edge's parallel moves into Move micro-ops.
+  /// Reads all happen before any overwritten destination is consumed:
+  /// a move is emitted only once its destination is no longer a pending
+  /// source; cycles break through the scratch slot. Immediate-source
+  /// moves read nothing and go last.
+  void emitMoves(const std::vector<EdgeMove> &Moves) {
+    struct Pending {
+      int32_t Dest;
+      int32_t Src; // packed ref (slot or imm)
+      uint16_t Lanes;
+    };
+    std::vector<Pending> RegMoves, ImmMoves;
+    for (const EdgeMove &M : Moves) {
+      Pending P{M.Dest, ref(M.Src), M.Lanes};
+      if (M.Src.Slot >= 0) {
+        if (P.Src != P.Dest)
+          RegMoves.push_back(P);
+      } else {
+        ImmMoves.push_back(P);
+      }
+    }
+    auto emitOne = [&](const Pending &P) {
+      MicroOp U;
+      U.Kind = P.Lanes > 1 ? MicroKind::MoveW : MicroKind::MoveS;
+      U.Dest = P.Dest;
+      U.A = P.Src;
+      push(U);
+    };
+    while (!RegMoves.empty()) {
+      bool Progress = false;
+      for (size_t I = 0; I != RegMoves.size();) {
+        int32_t D = RegMoves[I].Dest;
+        bool Blocked = false;
+        for (size_t J = 0; J != RegMoves.size(); ++J)
+          if (J != I && RegMoves[J].Src == D) {
+            Blocked = true;
+            break;
+          }
+        if (Blocked) {
+          ++I;
+          continue;
+        }
+        emitOne(RegMoves[I]);
+        RegMoves.erase(RegMoves.begin() + static_cast<long>(I));
+        Progress = true;
+      }
+      if (!Progress) {
+        // Every pending destination is still read by another move: a
+        // cycle. Save one source into the scratch slot and retarget its
+        // consumer, which unblocks the writer of that source.
+        Pending &P = RegMoves.front();
+        emitOne(Pending{Scratch, P.Src, P.Lanes});
+        P.Src = Scratch;
+      }
+    }
+    for (const Pending &P : ImmMoves)
+      emitOne(P);
+  }
+
+  void lowerBlock(const CBlock &CB) {
+    for (size_t I = 0; I != CB.Insts.size(); ++I) {
+      const CInst &CI = CB.Insts[I];
+      // Fuse a scalar icmp directly followed by the cond_br on its
+      // result: the branch consumes the flag without a register-file
+      // round trip, and one dispatch replaces two. (The flag is still
+      // written — a phi or later block may read it.)
+      if (CI.Op == Opcode::ICmp && CI.Lanes == 1 &&
+          I + 1 != CB.Insts.size()) {
+        const CInst &Next = CB.Insts[I + 1];
+        if (Next.Op == Opcode::CondBr && Next.Ops[0].Slot >= 0 &&
+            Next.Ops[0].Slot == CI.Dest) {
+          lowerICmpBr(CI, Next, CB);
+          ++I;
+          continue;
+        }
+      }
+      lowerInst(CI, CB);
+    }
+  }
+
+  void branchTo(MicroOp &U, int Which, int32_t Succ) {
+    Patches.push_back({Prog->Code.size(), Which, Succ});
+    (Which == 0 ? U.Tgt0 : U.Tgt1) = Succ; // placeholder
+  }
+
+  /// Wires the two successor edges of a conditional branch micro-op:
+  /// direct block targets for move-free edges, per-edge stubs otherwise.
+  void wireCondEdges(MicroOp &U, const CInst &Br, const CBlock &CB) {
+    size_t Idx = Prog->Code.size();
+    for (int E = 0; E != 2; ++E) {
+      int32_t Succ = E == 0 ? Br.Succ0 : Br.Succ1;
+      if (E < static_cast<int>(CB.Moves.size()) && !CB.Moves[E].empty())
+        Stubs.push_back({Idx, E, Succ, &CB.Moves[E]});
+      else
+        branchTo(U, E, Succ);
+    }
+  }
+
+  void lowerICmpBr(const CInst &Cmp, const CInst &Br, const CBlock &CB) {
+    MicroOp U = base(Cmp);
+    U.Kind = MicroKind::ICmpBrS;
+    U.Aux = static_cast<uint8_t>(Cmp.IPred);
+    U.A = ref(Cmp.Ops[0]);
+    U.B = ref(Cmp.Ops[1]);
+    U.Imm = reinterpret_cast<uint64_t>(Br.I);
+    wireCondEdges(U, Br, CB);
+    push(U);
+  }
+
+  void lowerInst(const CInst &CI, const CBlock &CB) {
+    MicroOp U = base(CI);
+    switch (CI.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+    case Opcode::SDiv:
+    case Opcode::UDiv:
+    case Opcode::SRem:
+    case Opcode::URem: {
+      U.A = ref(CI.Ops[0]);
+      if (CI.Lanes > 1) {
+        U.B = ref(CI.Ops[1]);
+        U.Kind = MicroKind::IntBinV;
+        U.Aux = static_cast<uint8_t>(CI.Op);
+        push(U);
+        return;
+      }
+      // Quickened scalar form: a constant right operand rides inline in
+      // the micro-op (same cache line), skipping the pool load. Not
+      // done for div/rem, which need the runtime zero check either way.
+      static const MicroKind ImmMap[] = {
+          MicroKind::AddSI, MicroKind::SubSI, MicroKind::MulSI,
+          MicroKind::NumKinds /*sdiv*/, MicroKind::NumKinds /*udiv*/,
+          MicroKind::NumKinds /*srem*/, MicroKind::NumKinds /*urem*/,
+          MicroKind::AndSI, MicroKind::OrSI, MicroKind::XorSI,
+          MicroKind::ShlSI, MicroKind::LShrSI, MicroKind::AShrSI};
+      unsigned OpIdx = static_cast<unsigned>(CI.Op) -
+                       static_cast<unsigned>(Opcode::Add);
+      if (CI.Ops[1].Slot < 0 && ImmMap[OpIdx] != MicroKind::NumKinds) {
+        U.Kind = ImmMap[OpIdx];
+        U.Imm = CI.Ops[1].Imm.I[0];
+        push(U);
+        return;
+      }
+      static const MicroKind Map[] = {
+          MicroKind::AddS,  MicroKind::SubS,  MicroKind::MulS,
+          MicroKind::SDivS, MicroKind::UDivS, MicroKind::SRemS,
+          MicroKind::URemS, MicroKind::AndS,  MicroKind::OrS,
+          MicroKind::XorS,  MicroKind::ShlS,  MicroKind::LShrS,
+          MicroKind::AShrS};
+      U.Kind = Map[OpIdx];
+      U.B = ref(CI.Ops[1]);
+      push(U);
+      return;
+    }
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv: {
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      if (CI.Lanes > 1) {
+        U.Kind = MicroKind::FpBinV;
+        U.Aux = static_cast<uint8_t>(CI.Op);
+      } else {
+        static const MicroKind Map[] = {MicroKind::FAddS, MicroKind::FSubS,
+                                        MicroKind::FMulS, MicroKind::FDivS};
+        U.Kind = Map[static_cast<unsigned>(CI.Op) -
+                     static_cast<unsigned>(Opcode::FAdd)];
+      }
+      push(U);
+      return;
+    }
+    case Opcode::FNeg:
+      U.Kind = CI.Lanes > 1 ? MicroKind::FNegV : MicroKind::FNegS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::Fma:
+      U.Kind = CI.Lanes > 1 ? MicroKind::FmaV : MicroKind::FmaS;
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      U.C = ref(CI.Ops[2]);
+      push(U);
+      return;
+    case Opcode::ICmp:
+      U.Kind = MicroKind::ICmpS;
+      U.Aux = static_cast<uint8_t>(CI.IPred);
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      push(U);
+      return;
+    case Opcode::FCmp:
+      U.Kind = MicroKind::FCmpS;
+      U.Aux = static_cast<uint8_t>(CI.FPred);
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      push(U);
+      return;
+    case Opcode::Trunc:
+    case Opcode::ZExt:
+      U.Kind = MicroKind::TruncZExtS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::SExt:
+      U.Kind = MicroKind::SExtS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::FPToSI:
+      U.Kind = MicroKind::FPToSIS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::SIToFP:
+      U.Kind = MicroKind::SIToFPS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::FPTrunc:
+      U.Kind = MicroKind::FPTruncS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::FPExt:
+      U.Kind = MicroKind::FPExtS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::Splat:
+      U.Kind = MicroKind::SplatV;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::ExtractElement:
+      U.Kind = MicroKind::ExtractV;
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      push(U);
+      return;
+    case Opcode::ReduceFAdd:
+      U.Kind = MicroKind::ReduceFAddV;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::ReduceAdd:
+      U.Kind = MicroKind::ReduceAddV;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::Alloca:
+      U.Kind = MicroKind::AllocaS;
+      U.Mask = CI.AllocaBytes;
+      push(U);
+      return;
+    case Opcode::Load:
+      U.A = ref(CI.Ops[0]);
+      if (CI.HasStrideOperand)
+        U.B = ref(CI.Ops[1]);
+      if (CI.Lanes > 1 || CI.HasStrideOperand)
+        U.Kind = MicroKind::LoadV;
+      else if (CI.IsFp)
+        U.Kind = CI.F32 ? MicroKind::LoadSF32 : MicroKind::LoadSF64;
+      else
+        U.Kind = MicroKind::LoadSInt;
+      push(U);
+      return;
+    case Opcode::Store:
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      if (CI.HasStrideOperand)
+        U.C = ref(CI.Ops[2]);
+      if (CI.Lanes > 1 || CI.HasStrideOperand)
+        U.Kind = MicroKind::StoreV;
+      else if (CI.IsFp)
+        U.Kind = CI.F32 ? MicroKind::StoreSF32 : MicroKind::StoreSF64;
+      else
+        U.Kind = MicroKind::StoreSInt;
+      push(U);
+      return;
+    case Opcode::PtrAdd:
+      U.Kind = MicroKind::PtrAddS;
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      push(U);
+      return;
+    case Opcode::Select:
+      U.Kind = MicroKind::SelectS;
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      U.C = ref(CI.Ops[2]);
+      push(U);
+      return;
+    case Opcode::Br:
+      // Unconditional edge: the phi moves run inline before the branch
+      // (they are invisible to the trace, so ordering with the branch's
+      // RetiredOp cannot be observed).
+      if (!CB.Moves.empty() && !CB.Moves[0].empty())
+        emitMoves(CB.Moves[0]);
+      U.Kind = MicroKind::Br;
+      branchTo(U, 0, CI.Succ0);
+      push(U);
+      return;
+    case Opcode::CondBr: {
+      U.Kind = MicroKind::CondBr;
+      U.A = ref(CI.Ops[0]);
+      wireCondEdges(U, CI, CB);
+      push(U);
+      return;
+    }
+    case Opcode::Ret:
+      U.Kind = MicroKind::Ret;
+      if (!CI.Ops.empty()) {
+        U.Flags |= MicroFlagHasRetVal;
+        U.A = ref(CI.Ops[0]);
+      }
+      push(U);
+      return;
+    case Opcode::Call: {
+      U.Kind = MicroKind::Call;
+      U.A = static_cast<int32_t>(Prog->ArgPool.size());
+      U.B = static_cast<int32_t>(CI.Ops.size());
+      for (const OperandRef &R : CI.Ops)
+        Prog->ArgPool.push_back(ref(R));
+      U.Tgt0 = static_cast<int32_t>(Prog->Callees.size());
+      Prog->Callees.push_back(CI.Callee);
+      push(U);
+      return;
+    }
+    case Opcode::Phi:
+      MPERF_UNREACHABLE("phi reached micro-op lowering");
+    }
+    MPERF_UNREACHABLE("unhandled opcode in micro-op lowering");
+  }
+
+  void emitStubs() {
+    for (const StubReq &S : Stubs) {
+      int32_t Start = static_cast<int32_t>(Prog->Code.size());
+      emitMoves(*S.Moves);
+      if (Prog->Code.size() != static_cast<size_t>(Start)) {
+        // The last move carries the jump back to the successor, saving
+        // a dispatch per edge traversal.
+        MicroOp &Last = Prog->Code.back();
+        Last.Kind = Last.Kind == MicroKind::MoveW ? MicroKind::MoveWJ
+                                                  : MicroKind::MoveSJ;
+      } else {
+        // Every move was a dropped self-move (phi of itself); the stub
+        // degenerates to a bare jump.
+        MicroOp G;
+        G.Kind = MicroKind::Goto;
+        push(G);
+      }
+      Patches.push_back({Prog->Code.size() - 1, 0, S.Succ});
+      MicroOp &Cond = Prog->Code[S.Uop];
+      (S.Which == 0 ? Cond.Tgt0 : Cond.Tgt1) = Start;
+    }
+  }
+
+  void applyPatches() {
+    for (const Patch &P : Patches) {
+      MicroOp &U = Prog->Code[P.Uop];
+      (P.Which == 0 ? U.Tgt0 : U.Tgt1) = BlockStart[static_cast<size_t>(P.Block)];
+    }
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Dispatch loop
+//===----------------------------------------------------------------------===//
+
+#if MPERF_CGOTO
+#define MCASE(K) H_##K
+#define MNEXT                                                                  \
+  do {                                                                         \
+    ++PC;                                                                      \
+    goto *Tbl[static_cast<unsigned>(PC->Kind)];                                \
+  } while (0)
+#define MJUMP(T)                                                               \
+  do {                                                                         \
+    PC = Code + (T);                                                           \
+    goto *Tbl[static_cast<unsigned>(PC->Kind)];                                \
+  } while (0)
+#else
+#define MCASE(K) case MicroKind::K
+#define MNEXT                                                                  \
+  do {                                                                         \
+    ++PC;                                                                      \
+    continue;                                                                  \
+  } while (0)
+#define MJUMP(T)                                                               \
+  do {                                                                         \
+    PC = Code + (T);                                                           \
+    continue;                                                                  \
+  } while (0)
+#endif
+
+#define MFUEL()                                                                \
+  do {                                                                         \
+    if (++Retired > FuelCap)                                                   \
+      goto T_Fuel;                                                             \
+  } while (0)
+
+template <bool Traced>
+Expected<RtValue>
+InterpreterAccess::runMicro(Interpreter &In, Interpreter::CompiledFunction &CF,
+                            const std::vector<RtValue> &Args) {
+  const Function &F = *CF.F;
+  assert(Args.size() == F.numArgs() && "argument count mismatch");
+  const MicroProgram &Prog = *CF.Micro;
+
+  std::vector<RtValue> Regs(Prog.NumSlots);
+  for (unsigned I = 0, E = static_cast<unsigned>(Args.size()); I != E; ++I)
+    Regs[CF.ArgSlots[I]] = Args[I];
+
+  uint64_t SavedSP = In.StackPointer;
+  In.CallStack.push_back(&F);
+  for (TraceConsumer *C : In.Consumers)
+    C->onCallEnter(F);
+
+  RtValue *RegsP = Regs.data();
+  const RtValue *ImmsP = Prog.Imms.data();
+  const MicroOp *Code = Prog.Code.data();
+  uint8_t *Mem = In.Memory.data();
+  const uint64_t MemSize = In.Memory.size();
+  RetiredOp *Buf = In.RetireBuf.get();
+
+  // Hot counters live in locals (registers) and sync back to the
+  // interpreter at every flush/call/exit boundary — the only points
+  // where consumers and natives can observe them. Keeping them out of
+  // memory matters: a per-op member read-modify-write puts a
+  // store-to-load forwarding latency between every two handlers.
+  uint64_t Retired = In.Stats.RetiredOps;
+  uint64_t LoadedB = In.Stats.LoadedBytes;
+  uint64_t StoredB = In.Stats.StoredBytes;
+  uint32_t RC = In.RetireCount; // ring fill level (0 on entry)
+  const uint64_t FuelCap = In.Fuel;
+
+  auto SyncStats = [&]() {
+    In.Stats.RetiredOps = Retired;
+    In.Stats.LoadedBytes = LoadedB;
+    In.Stats.StoredBytes = StoredB;
+  };
+  auto Flush = [&]() {
+    SyncStats();
+    In.RetireCount = RC;
+    In.flushRetired();
+    RC = 0;
+  };
+  auto Leave = [&]() {
+    Flush();
+    for (TraceConsumer *C : In.Consumers)
+      C->onCallExit(F);
+    In.CallStack.pop_back();
+    In.StackPointer = SavedSP;
+  };
+
+  auto Val = [&](int32_t Ref) -> const RtValue & {
+    return Ref >= 0 ? RegsP[Ref] : ImmsP[-Ref - 1];
+  };
+  // Call-argument scratch. Lives at function scope because computed
+  // gotos leave handler blocks without running their cleanups: any
+  // non-trivially-destructible local still alive at a dispatch jump
+  // would leak (LeakSanitizer catches exactly that).
+  std::vector<RtValue> CallArgs;
+  /// Allocates the next trace record, flushing a full ring first so the
+  /// caller can keep filling fields after the call.
+  auto Push = [&](const MicroOp &U) -> RetiredOp & {
+    if (RC == Interpreter::RetireBufCap)
+      Flush();
+    RetiredOp &R = Buf[RC++];
+    // Field-wise reset, deliberately not `R = RetiredOp()`: the
+    // compiler lowers that to a zeroed stack temporary copied with
+    // vector loads, and the partially-overlapping store-to-load
+    // forwarding stalls cost ~30 cycles per retired op.
+    R.Class = U.Class;
+    R.Inst = U.Inst;
+    R.Lanes = U.Lanes;
+    R.Bytes = 0;
+    R.Addr = 0;
+    R.StrideBytes = 0;
+    R.Taken = false;
+    return R;
+  };
+
+  const MicroOp *PC = Code;
+
+#if MPERF_CGOTO
+  // One entry per MicroKind, in declaration order.
+  static const void *Tbl[] = {
+      &&H_AddS,       &&H_SubS,    &&H_MulS,     &&H_AndS,    &&H_OrS,
+      &&H_XorS,       &&H_ShlS,    &&H_LShrS,    &&H_AShrS,   &&H_SDivS,
+      &&H_UDivS,      &&H_SRemS,   &&H_URemS,    &&H_IntBinV, &&H_FAddS,
+      &&H_FSubS,      &&H_FMulS,   &&H_FDivS,    &&H_FNegS,   &&H_FmaS,
+      &&H_FpBinV,     &&H_FNegV,   &&H_FmaV,     &&H_ICmpS,   &&H_FCmpS,
+      &&H_TruncZExtS, &&H_SExtS,   &&H_FPToSIS,  &&H_SIToFPS, &&H_FPTruncS,
+      &&H_FPExtS,     &&H_SplatV,  &&H_ExtractV, &&H_ReduceFAddV,
+      &&H_ReduceAddV, &&H_AllocaS, &&H_LoadSInt, &&H_LoadSF32,
+      &&H_LoadSF64,   &&H_LoadV,   &&H_StoreSInt, &&H_StoreSF32,
+      &&H_StoreSF64,  &&H_StoreV,  &&H_PtrAddS,  &&H_SelectS, &&H_Br,
+      &&H_CondBr,     &&H_Ret,     &&H_Call,     &&H_MoveS,   &&H_MoveW,
+      &&H_Goto,       &&H_AddSI,   &&H_SubSI,    &&H_MulSI,   &&H_AndSI,
+      &&H_OrSI,       &&H_XorSI,   &&H_ShlSI,    &&H_LShrSI,  &&H_AShrSI,
+      &&H_ICmpBrS,    &&H_MoveSJ,  &&H_MoveWJ};
+  static_assert(sizeof(Tbl) / sizeof(Tbl[0]) ==
+                    static_cast<unsigned>(MicroKind::NumKinds),
+                "handler table out of sync with MicroKind");
+  goto *Tbl[static_cast<unsigned>(PC->Kind)];
+#else
+  for (;;)
+    switch (PC->Kind) {
+#endif
+
+  MCASE(AddS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = (Val(U.A).I[0] + Val(U.B).I[0]) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(SubS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = (Val(U.A).I[0] - Val(U.B).I[0]) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(MulS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = (Val(U.A).I[0] * Val(U.B).I[0]) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(AndS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = (Val(U.A).I[0] & Val(U.B).I[0]) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(OrS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = (Val(U.A).I[0] | Val(U.B).I[0]) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(XorS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = (Val(U.A).I[0] ^ Val(U.B).I[0]) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(ShlS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t A = Val(U.A).I[0], Sh = Val(U.B).I[0] & 63;
+    RegsP[U.Dest].I[0] = Sh >= U.IntBits ? 0 : ((A << Sh) & U.Mask);
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(LShrS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t A = Val(U.A).I[0], Sh = Val(U.B).I[0] & 63;
+    RegsP[U.Dest].I[0] = Sh >= U.IntBits ? 0 : ((A & U.Mask) >> Sh);
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(AShrS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t A = Val(U.A).I[0];
+    uint64_t Sh = std::min<uint64_t>(Val(U.B).I[0] & 63, 63);
+    RegsP[U.Dest].I[0] =
+        static_cast<uint64_t>(signExt(A, U.IntBits) >> Sh) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(SDivS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t A = Val(U.A).I[0], B = Val(U.B).I[0];
+    if ((B & U.Mask) == 0) {
+      goto T_DivZero;
+    }
+    RegsP[U.Dest].I[0] = static_cast<uint64_t>(signExt(A, U.IntBits) /
+                                               signExt(B, U.IntBits)) &
+                         U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(UDivS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t A = Val(U.A).I[0] & U.Mask, B = Val(U.B).I[0] & U.Mask;
+    if (B == 0) {
+      goto T_DivZero;
+    }
+    RegsP[U.Dest].I[0] = (A / B) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(SRemS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t A = Val(U.A).I[0], B = Val(U.B).I[0];
+    if ((B & U.Mask) == 0) {
+      goto T_DivZero;
+    }
+    RegsP[U.Dest].I[0] = static_cast<uint64_t>(signExt(A, U.IntBits) %
+                                               signExt(B, U.IntBits)) &
+                         U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(URemS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t A = Val(U.A).I[0] & U.Mask, B = Val(U.B).I[0] & U.Mask;
+    if (B == 0) {
+      goto T_DivZero;
+    }
+    RegsP[U.Dest].I[0] = (A % B) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(IntBinV) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    const RtValue &L = Val(U.A);
+    const RtValue &R = Val(U.B);
+    RtValue &D = RegsP[U.Dest];
+    for (unsigned Ln = 0; Ln != U.Lanes; ++Ln) {
+      uint64_t A = L.I[Ln], B = R.I[Ln], Out = 0;
+      switch (static_cast<Opcode>(U.Aux)) {
+      case Opcode::Add:
+        Out = A + B;
+        break;
+      case Opcode::Sub:
+        Out = A - B;
+        break;
+      case Opcode::Mul:
+        Out = A * B;
+        break;
+      case Opcode::And:
+        Out = A & B;
+        break;
+      case Opcode::Or:
+        Out = A | B;
+        break;
+      case Opcode::Xor:
+        Out = A ^ B;
+        break;
+      case Opcode::Shl:
+        Out = (B & 63) >= U.IntBits ? 0 : A << (B & 63);
+        break;
+      case Opcode::LShr:
+        Out = (B & 63) >= U.IntBits ? 0 : maskTo(A, U.IntBits) >> (B & 63);
+        break;
+      case Opcode::AShr:
+        Out = static_cast<uint64_t>(signExt(A, U.IntBits) >>
+                                    std::min<uint64_t>(B & 63, 63));
+        break;
+      case Opcode::SDiv:
+      case Opcode::UDiv:
+      case Opcode::SRem:
+      case Opcode::URem: {
+        if (maskTo(B, U.IntBits) == 0) {
+          goto T_DivZero;
+        }
+        int64_t SA = signExt(A, U.IntBits), SB = signExt(B, U.IntBits);
+        uint64_t UA = maskTo(A, U.IntBits), UB = maskTo(B, U.IntBits);
+        switch (static_cast<Opcode>(U.Aux)) {
+        case Opcode::SDiv:
+          Out = static_cast<uint64_t>(SA / SB);
+          break;
+        case Opcode::UDiv:
+          Out = UA / UB;
+          break;
+        case Opcode::SRem:
+          Out = static_cast<uint64_t>(SA % SB);
+          break;
+        default:
+          Out = UA % UB;
+          break;
+        }
+        break;
+      }
+      default:
+        MPERF_UNREACHABLE("non-integer opcode in vector integer op");
+      }
+      D.I[Ln] = Out & U.Mask;
+    }
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FAddS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    double Out = Val(U.A).F[0] + Val(U.B).F[0];
+    RegsP[U.Dest].F[0] =
+        (U.Flags & MicroFlagF32)
+            ? static_cast<double>(static_cast<float>(Out))
+            : Out;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FSubS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    double Out = Val(U.A).F[0] - Val(U.B).F[0];
+    RegsP[U.Dest].F[0] =
+        (U.Flags & MicroFlagF32)
+            ? static_cast<double>(static_cast<float>(Out))
+            : Out;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FMulS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    double Out = Val(U.A).F[0] * Val(U.B).F[0];
+    RegsP[U.Dest].F[0] =
+        (U.Flags & MicroFlagF32)
+            ? static_cast<double>(static_cast<float>(Out))
+            : Out;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FDivS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    double Out = Val(U.A).F[0] / Val(U.B).F[0];
+    RegsP[U.Dest].F[0] =
+        (U.Flags & MicroFlagF32)
+            ? static_cast<double>(static_cast<float>(Out))
+            : Out;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FNegS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].F[0] = -Val(U.A).F[0];
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FmaS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    if (U.Flags & MicroFlagF32)
+      RegsP[U.Dest].F[0] = std::fmaf(static_cast<float>(Val(U.A).F[0]),
+                                     static_cast<float>(Val(U.B).F[0]),
+                                     static_cast<float>(Val(U.C).F[0]));
+    else
+      RegsP[U.Dest].F[0] =
+          std::fma(Val(U.A).F[0], Val(U.B).F[0], Val(U.C).F[0]);
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FpBinV) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    const RtValue &L = Val(U.A);
+    const RtValue &R = Val(U.B);
+    RtValue &D = RegsP[U.Dest];
+    const bool F32 = (U.Flags & MicroFlagF32) != 0;
+    for (unsigned Ln = 0; Ln != U.Lanes; ++Ln) {
+      double A = L.F[Ln], B = R.F[Ln], Out;
+      switch (static_cast<Opcode>(U.Aux)) {
+      case Opcode::FAdd:
+        Out = A + B;
+        break;
+      case Opcode::FSub:
+        Out = A - B;
+        break;
+      case Opcode::FMul:
+        Out = A * B;
+        break;
+      default:
+        Out = A / B;
+        break;
+      }
+      D.F[Ln] = F32 ? static_cast<double>(static_cast<float>(Out)) : Out;
+    }
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FNegV) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    const RtValue &V = Val(U.A);
+    RtValue &D = RegsP[U.Dest];
+    for (unsigned Ln = 0; Ln != U.Lanes; ++Ln)
+      D.F[Ln] = -V.F[Ln];
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FmaV) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    const RtValue &A = Val(U.A);
+    const RtValue &B = Val(U.B);
+    const RtValue &Cc = Val(U.C);
+    RtValue &D = RegsP[U.Dest];
+    const bool F32 = (U.Flags & MicroFlagF32) != 0;
+    for (unsigned Ln = 0; Ln != U.Lanes; ++Ln) {
+      if (F32)
+        D.F[Ln] = std::fmaf(static_cast<float>(A.F[Ln]),
+                            static_cast<float>(B.F[Ln]),
+                            static_cast<float>(Cc.F[Ln]));
+      else
+        D.F[Ln] = std::fma(A.F[Ln], B.F[Ln], Cc.F[Ln]);
+    }
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(ICmpS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    bool R = evalICmp(static_cast<ICmpPred>(U.Aux), Val(U.A).I[0],
+                      Val(U.B).I[0]);
+    RegsP[U.Dest].I[0] = R ? 1 : 0;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FCmpS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    double A = Val(U.A).F[0], B = Val(U.B).F[0];
+    bool R = false;
+    switch (static_cast<FCmpPred>(U.Aux)) {
+    case FCmpPred::OEQ:
+      R = A == B;
+      break;
+    case FCmpPred::ONE:
+      R = A != B;
+      break;
+    case FCmpPred::OLT:
+      R = A < B;
+      break;
+    case FCmpPred::OLE:
+      R = A <= B;
+      break;
+    case FCmpPred::OGT:
+      R = A > B;
+      break;
+    case FCmpPred::OGE:
+      R = A >= B;
+      break;
+    }
+    RegsP[U.Dest].I[0] = R ? 1 : 0;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(TruncZExtS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = Val(U.A).I[0] & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(SExtS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] =
+        static_cast<uint64_t>(signExt(Val(U.A).I[0], U.SrcBits)) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FPToSIS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] =
+        static_cast<uint64_t>(static_cast<int64_t>(Val(U.A).F[0])) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(SIToFPS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    double V = static_cast<double>(signExt(Val(U.A).I[0], U.SrcBits));
+    RegsP[U.Dest].F[0] =
+        (U.Flags & MicroFlagF32) ? static_cast<double>(static_cast<float>(V))
+                                 : V;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FPTruncS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].F[0] =
+        static_cast<double>(static_cast<float>(Val(U.A).F[0]));
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(FPExtS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].F[0] = Val(U.A).F[0];
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(SplatV) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    const RtValue &V = Val(U.A);
+    RtValue &D = RegsP[U.Dest];
+    for (unsigned Ln = 0; Ln != U.Lanes; ++Ln) {
+      D.I[Ln] = V.I[0];
+      D.F[Ln] = V.F[0];
+    }
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(ExtractV) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    const RtValue &V = Val(U.A);
+    uint64_t Lane = Val(U.B).I[0];
+    if (Lane >= U.Lanes) {
+      goto T_Extract;
+    }
+    RegsP[U.Dest].I[0] = V.I[Lane];
+    RegsP[U.Dest].F[0] = V.F[Lane];
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(ReduceFAddV) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    const RtValue &V = Val(U.A);
+    const bool F32 = (U.Flags & MicroFlagF32) != 0;
+    double Sum = 0.0;
+    for (unsigned Ln = 0; Ln != U.Lanes; ++Ln) {
+      Sum += V.F[Ln];
+      if (F32)
+        Sum = static_cast<double>(static_cast<float>(Sum));
+    }
+    RegsP[U.Dest].F[0] = Sum;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(ReduceAddV) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    const RtValue &V = Val(U.A);
+    uint64_t Sum = 0;
+    for (unsigned Ln = 0; Ln != U.Lanes; ++Ln)
+      Sum += V.I[Ln];
+    RegsP[U.Dest].I[0] = Sum & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(AllocaS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t Aligned = (In.StackPointer + 15) & ~15ull;
+    if (Aligned + U.Mask > MemSize) {
+      goto T_Stack;
+    }
+    RegsP[U.Dest].I[0] = Aligned;
+    In.StackPointer = Aligned + U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(LoadSInt) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t Addr = Val(U.A).I[0];
+    if (Addr + U.ElemBytes > MemSize || Addr < 64) {
+      goto T_LoadOOB;
+    }
+    RegsP[U.Dest].I[0] = loadIntN(Mem + Addr, U.ElemBytes) & U.Mask;
+    LoadedB += U.ElemBytes;
+    if (Traced) {
+      RetiredOp &R = Push(U);
+      R.Bytes = U.ElemBytes;
+      R.Addr = Addr;
+    }
+    MNEXT;
+  }
+  MCASE(LoadSF32) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t Addr = Val(U.A).I[0];
+    if (Addr + 4 > MemSize || Addr < 64) {
+      goto T_LoadOOB;
+    }
+    float V;
+    std::memcpy(&V, Mem + Addr, 4);
+    RegsP[U.Dest].F[0] = V;
+    LoadedB += 4;
+    if (Traced) {
+      RetiredOp &R = Push(U);
+      R.Bytes = 4;
+      R.Addr = Addr;
+    }
+    MNEXT;
+  }
+  MCASE(LoadSF64) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t Addr = Val(U.A).I[0];
+    if (Addr + 8 > MemSize || Addr < 64) {
+      goto T_LoadOOB;
+    }
+    double V;
+    std::memcpy(&V, Mem + Addr, 8);
+    RegsP[U.Dest].F[0] = V;
+    LoadedB += 8;
+    if (Traced) {
+      RetiredOp &R = Push(U);
+      R.Bytes = 8;
+      R.Addr = Addr;
+    }
+    MNEXT;
+  }
+  MCASE(LoadV) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t Base = Val(U.A).I[0];
+    int64_t Stride = (U.Flags & MicroFlagStrideOp)
+                         ? static_cast<int64_t>(Val(U.B).I[0])
+                         : static_cast<int64_t>(U.ElemBytes);
+    RtValue &D = RegsP[U.Dest];
+    const bool Fp = (U.Flags & MicroFlagFpMem) != 0;
+    const bool F32 = (U.Flags & MicroFlagF32) != 0;
+    for (unsigned Ln = 0; Ln != U.Lanes; ++Ln) {
+      uint64_t Addr = Base + static_cast<uint64_t>(Stride) * Ln;
+      if (Addr + U.ElemBytes > MemSize || Addr < 64) {
+        goto T_LoadOOB;
+      }
+      if (Fp && F32) {
+        float V;
+        std::memcpy(&V, Mem + Addr, 4);
+        D.F[Ln] = V;
+      } else if (Fp) {
+        double V;
+        std::memcpy(&V, Mem + Addr, 8);
+        D.F[Ln] = V;
+      } else {
+        D.I[Ln] = loadIntN(Mem + Addr, U.ElemBytes) & U.Mask;
+      }
+    }
+    LoadedB += static_cast<uint64_t>(U.ElemBytes) * U.Lanes;
+    if (Traced) {
+      RetiredOp &R = Push(U);
+      R.Bytes = static_cast<uint32_t>(U.ElemBytes) * U.Lanes;
+      R.Addr = Base;
+      R.StrideBytes =
+          (Stride == static_cast<int64_t>(U.ElemBytes)) ? 0 : Stride;
+    }
+    MNEXT;
+  }
+  MCASE(StoreSInt) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t Addr = Val(U.B).I[0];
+    if (Addr + U.ElemBytes > MemSize || Addr < 64) {
+      goto T_StoreOOB;
+    }
+    storeIntN(Mem + Addr, Val(U.A).I[0] & U.Mask, U.ElemBytes);
+    StoredB += U.ElemBytes;
+    if (Traced) {
+      RetiredOp &R = Push(U);
+      R.Bytes = U.ElemBytes;
+      R.Addr = Addr;
+    }
+    MNEXT;
+  }
+  MCASE(StoreSF32) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t Addr = Val(U.B).I[0];
+    if (Addr + 4 > MemSize || Addr < 64) {
+      goto T_StoreOOB;
+    }
+    float V = static_cast<float>(Val(U.A).F[0]);
+    std::memcpy(Mem + Addr, &V, 4);
+    StoredB += 4;
+    if (Traced) {
+      RetiredOp &R = Push(U);
+      R.Bytes = 4;
+      R.Addr = Addr;
+    }
+    MNEXT;
+  }
+  MCASE(StoreSF64) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t Addr = Val(U.B).I[0];
+    if (Addr + 8 > MemSize || Addr < 64) {
+      goto T_StoreOOB;
+    }
+    double V = Val(U.A).F[0];
+    std::memcpy(Mem + Addr, &V, 8);
+    StoredB += 8;
+    if (Traced) {
+      RetiredOp &R = Push(U);
+      R.Bytes = 8;
+      R.Addr = Addr;
+    }
+    MNEXT;
+  }
+  MCASE(StoreV) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    const RtValue &V = Val(U.A);
+    uint64_t Base = Val(U.B).I[0];
+    int64_t Stride = (U.Flags & MicroFlagStrideOp)
+                         ? static_cast<int64_t>(Val(U.C).I[0])
+                         : static_cast<int64_t>(U.ElemBytes);
+    const bool Fp = (U.Flags & MicroFlagFpMem) != 0;
+    const bool F32 = (U.Flags & MicroFlagF32) != 0;
+    for (unsigned Ln = 0; Ln != U.Lanes; ++Ln) {
+      uint64_t Addr = Base + static_cast<uint64_t>(Stride) * Ln;
+      if (Addr + U.ElemBytes > MemSize || Addr < 64) {
+        goto T_StoreOOB;
+      }
+      if (Fp && F32) {
+        float Out = static_cast<float>(V.F[Ln]);
+        std::memcpy(Mem + Addr, &Out, 4);
+      } else if (Fp) {
+        double Out = V.F[Ln];
+        std::memcpy(Mem + Addr, &Out, 8);
+      } else {
+        storeIntN(Mem + Addr, V.I[Ln] & U.Mask, U.ElemBytes);
+      }
+    }
+    StoredB += static_cast<uint64_t>(U.ElemBytes) * U.Lanes;
+    if (Traced) {
+      RetiredOp &R = Push(U);
+      R.Bytes = static_cast<uint32_t>(U.ElemBytes) * U.Lanes;
+      R.Addr = Base;
+      R.StrideBytes =
+          (Stride == static_cast<int64_t>(U.ElemBytes)) ? 0 : Stride;
+    }
+    MNEXT;
+  }
+  MCASE(PtrAddS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = Val(U.A).I[0] + Val(U.B).I[0];
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(SelectS) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest] = Val(U.A).I[0] != 0 ? Val(U.B) : Val(U.C);
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(Br) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    if (Traced) {
+      RetiredOp &R = Push(U);
+      R.Taken = true;
+    }
+    MJUMP(U.Tgt0);
+  }
+  MCASE(CondBr) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    bool Cond = Val(U.A).I[0] != 0;
+    if (Traced) {
+      RetiredOp &R = Push(U);
+      R.Taken = Cond;
+    }
+    MJUMP(Cond ? U.Tgt0 : U.Tgt1);
+  }
+  MCASE(Ret) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RtValue Result;
+    if (U.Flags & MicroFlagHasRetVal)
+      Result = Val(U.A);
+    if (Traced)
+      Push(U);
+    Leave();
+    return Result;
+  }
+  MCASE(Call) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    CallArgs.clear();
+    CallArgs.reserve(static_cast<size_t>(U.B));
+    const int32_t *AP = Prog.ArgPool.data() + U.A;
+    for (int32_t I = 0; I != U.B; ++I)
+      CallArgs.push_back(Val(AP[I]));
+    // The call op reaches consumers before the callee's onCallEnter, so
+    // they see program order — hence the flush.
+    if (Traced)
+      Push(U);
+    Flush();
+    In.CurrentInst = U.Inst; // native handlers attribute synthetic ops here
+    { // scope: the Expected must be destroyed before the dispatch jump
+      Expected<RtValue> ResultOr =
+          In.callFunction(*Prog.Callees[U.Tgt0], CallArgs);
+      // The callee advanced the shared stats; reload the local counters.
+      Retired = In.Stats.RetiredOps;
+      LoadedB = In.Stats.LoadedBytes;
+      StoredB = In.Stats.StoredBytes;
+      RC = In.RetireCount;
+      if (!ResultOr) {
+        Leave();
+        return ResultOr;
+      }
+      if (U.Dest >= 0)
+        RegsP[U.Dest] = *ResultOr;
+    }
+    MNEXT;
+  }
+  MCASE(MoveS) : {
+    const MicroOp &U = *PC;
+    const RtValue &S = Val(U.A);
+    RtValue &D = RegsP[U.Dest];
+    D.I[0] = S.I[0];
+    D.F[0] = S.F[0];
+    MNEXT;
+  }
+  MCASE(MoveW) : {
+    const MicroOp &U = *PC;
+    RegsP[U.Dest] = Val(U.A);
+    MNEXT;
+  }
+  MCASE(Goto) : {
+    MJUMP(PC->Tgt0);
+  }
+  MCASE(AddSI) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = (Val(U.A).I[0] + U.Imm) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(SubSI) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = (Val(U.A).I[0] - U.Imm) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(MulSI) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = (Val(U.A).I[0] * U.Imm) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(AndSI) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = (Val(U.A).I[0] & U.Imm) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(OrSI) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = (Val(U.A).I[0] | U.Imm) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(XorSI) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    RegsP[U.Dest].I[0] = (Val(U.A).I[0] ^ U.Imm) & U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(ShlSI) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t Sh = U.Imm & 63;
+    RegsP[U.Dest].I[0] =
+        Sh >= U.IntBits ? 0 : ((Val(U.A).I[0] << Sh) & U.Mask);
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(LShrSI) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t Sh = U.Imm & 63;
+    RegsP[U.Dest].I[0] =
+        Sh >= U.IntBits ? 0 : ((Val(U.A).I[0] & U.Mask) >> Sh);
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(AShrSI) : {
+    const MicroOp &U = *PC;
+    MFUEL();
+    uint64_t Sh = std::min<uint64_t>(U.Imm & 63, 63);
+    RegsP[U.Dest].I[0] =
+        static_cast<uint64_t>(signExt(Val(U.A).I[0], U.IntBits) >> Sh) &
+        U.Mask;
+    if (Traced)
+      Push(U);
+    MNEXT;
+  }
+  MCASE(ICmpBrS) : {
+    const MicroOp &U = *PC;
+    MFUEL(); // the icmp's retirement slot
+    bool R = evalICmp(static_cast<ICmpPred>(U.Aux), Val(U.A).I[0],
+                      Val(U.B).I[0]);
+    // The flag is still architecturally visible (phis, reuse in later
+    // blocks read it); the branch just skips the read-back.
+    RegsP[U.Dest].I[0] = R ? 1 : 0;
+    if (Traced)
+      Push(U);
+    MFUEL(); // the cond_br's retirement slot (may trap between the two)
+    if (Traced) {
+      RetiredOp &T = Push(U);
+      T.Class = OpClass::Branch;
+      T.Inst = reinterpret_cast<const Instruction *>(U.Imm);
+      T.Taken = R;
+    }
+    MJUMP(R ? U.Tgt0 : U.Tgt1);
+  }
+  MCASE(MoveSJ) : {
+    const MicroOp &U = *PC;
+    const RtValue &S = Val(U.A);
+    RtValue &D = RegsP[U.Dest];
+    D.I[0] = S.I[0];
+    D.F[0] = S.F[0];
+    MJUMP(U.Tgt0);
+  }
+  MCASE(MoveWJ) : {
+    const MicroOp &U = *PC;
+    RegsP[U.Dest] = Val(U.A);
+    MJUMP(U.Tgt0);
+  }
+
+#if !MPERF_CGOTO
+  MCASE(NumKinds):
+    MPERF_UNREACHABLE("NumKinds is a sentinel, not a micro-op");
+    }
+#endif
+
+  // Cold trap exits, shared across handlers so the hot handler bodies
+  // stay small enough to keep the whole dispatch loop I-cache-resident.
+T_Fuel:
+  Leave();
+  return makeError<RtValue>("interpreter: fuel exhausted (possible "
+                            "infinite loop) in '" +
+                            F.name() + "'");
+T_DivZero:
+  Leave();
+  return makeError<RtValue>("interpreter: division by zero in '" + F.name() +
+                            "'");
+T_Extract:
+  Leave();
+  return makeError<RtValue>("interpreter: extractelement lane out of "
+                            "range in '" +
+                            F.name() + "'");
+T_Stack:
+  Leave();
+  return makeError<RtValue>("interpreter: stack overflow in '" + F.name() +
+                            "'");
+T_LoadOOB:
+  Leave();
+  return makeError<RtValue>("interpreter: load out of bounds in '" +
+                            F.name() + "'");
+T_StoreOOB:
+  Leave();
+  return makeError<RtValue>("interpreter: store out of bounds in '" +
+                            F.name() + "'");
+}
+
+#undef MCASE
+#undef MNEXT
+#undef MJUMP
+#undef MFUEL
+
+Expected<RtValue>
+InterpreterAccess::execMicroOp(Interpreter &In,
+                               Interpreter::CompiledFunction &CF,
+                               const std::vector<RtValue> &Args) {
+  if (!CF.Micro)
+    CF.Micro = Lowerer(CF).run();
+  return In.Consumers.empty() ? runMicro<false>(In, CF, Args)
+                              : runMicro<true>(In, CF, Args);
+}

@@ -5,66 +5,18 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "vm/ExecEngine.h"
 #include "vm/Interpreter.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 using namespace mperf;
 using namespace mperf::vm;
 using namespace mperf::ir;
-
-namespace {
-
-/// An operand resolved at compile time: register slot or immediate.
-struct OperandRef {
-  int32_t Slot = -1; // >= 0: register slot; -1: immediate
-  RtValue Imm;
-};
-
-/// A phi-resolving move performed when traversing one CFG edge.
-struct EdgeMove {
-  int32_t Dest;
-  OperandRef Src;
-};
-
-/// One compiled instruction.
-struct CInst {
-  const Instruction *I = nullptr;
-  Opcode Op = Opcode::Ret;
-  int32_t Dest = -1;
-  std::vector<OperandRef> Ops;
-  // Cached type facts.
-  uint16_t Lanes = 1;
-  uint32_t ElemBytes = 0; // memory element size / scalar size
-  unsigned IntBits = 64;  // result integer width
-  unsigned SrcBits = 64;  // cast source integer width
-  bool F32 = false;       // result fp is f32 (else f64) for fp ops
-  bool IsFp = false;      // memory ops: element is floating point
-  ICmpPred IPred = ICmpPred::EQ;
-  FCmpPred FPred = FCmpPred::OEQ;
-  int32_t Succ0 = -1, Succ1 = -1;
-  const Function *Callee = nullptr;
-  uint64_t AllocaBytes = 0;
-  OpClass Class = OpClass::Other;
-  bool HasStrideOperand = false;
-};
-
-struct CBlock {
-  std::vector<CInst> Insts; // phis excluded
-  /// Edge moves for each successor of the terminator (parallel copies).
-  std::vector<std::vector<EdgeMove>> Moves;
-};
-
-} // namespace
-
-struct Interpreter::CompiledFunction {
-  const Function *F = nullptr;
-  unsigned NumSlots = 0;
-  std::vector<CBlock> Blocks;
-  std::vector<int32_t> ArgSlots;
-};
 
 struct Interpreter::Impl {
   std::map<const Function *, std::unique_ptr<CompiledFunction>> Cache;
@@ -76,7 +28,18 @@ struct Interpreter::Impl {
 
 static constexpr uint64_t StackSize = 8ull << 20; // 8 MiB
 
-Interpreter::Interpreter(Module &M) : M(M), P(std::make_unique<Impl>()) {
+Interpreter::Interpreter(Module &M)
+    : M(M), P(std::make_unique<Impl>()),
+      RetireBuf(std::make_unique<RetiredOp[]>(RetireBufCap)) {
+  // Host-level escape hatch: flip every interpreter in the process to
+  // one engine without touching call sites (A/B timing, differential
+  // debugging through the full Session/sweep stack).
+  if (const char *E = std::getenv("MPERF_EXEC_ENGINE")) {
+    if (std::string_view(E) == "reference")
+      Engine = EngineKind::Reference;
+    else if (std::string_view(E) == "microop")
+      Engine = EngineKind::MicroOp;
+  }
   uint64_t Addr = 64; // keep 0 invalid
   for (size_t I = 0, E = M.numGlobals(); I != E; ++I) {
     GlobalVariable *GV = M.globalAt(I);
@@ -101,6 +64,17 @@ Interpreter::~Interpreter() = default;
 
 void Interpreter::registerNative(const std::string &Name, NativeFn Fn) {
   Natives[Name] = std::move(Fn);
+}
+
+void Interpreter::flushRetired() {
+  if (RetireCount == 0)
+    return;
+  uint32_t Count = RetireCount;
+  // Empty before delivery: consumers may re-enter (overflow handlers
+  // charge cycles, never retire, but keep this re-entrancy safe).
+  RetireCount = 0;
+  for (TraceConsumer *C : Consumers)
+    C->onRetireBatch(RetireBuf.get(), Count, CurrentInst);
 }
 
 void Interpreter::emitSyntheticOps(OpClass Class, unsigned Count) {
@@ -216,17 +190,16 @@ Expected<RtValue> Interpreter::run(const std::string &FnName,
   if (!F)
     return makeError<RtValue>("run: no function named '" + FnName + "'");
   TrapMessage.clear();
+  RetireCount = 0;
   return callFunction(*F, Args);
 }
 
-/// Helper with access to Interpreter privates for the execution loop.
-struct mperf::vm::InterpreterAccess {
-  static Interpreter::CompiledFunction *compile(Interpreter &In,
-                                                const Function &F);
-  static Expected<RtValue> exec(Interpreter &In,
-                                Interpreter::CompiledFunction &CF,
-                                const std::vector<RtValue> &Args);
-};
+Expected<RtValue> InterpreterAccess::exec(Interpreter &In,
+                                          Interpreter::CompiledFunction &CF,
+                                          const std::vector<RtValue> &Args) {
+  return In.Engine == EngineKind::MicroOp ? execMicroOp(In, CF, Args)
+                                          : execReference(In, CF, Args);
+}
 
 Interpreter::CompiledFunction *
 InterpreterAccess::compile(Interpreter &In, const Function &F) {
@@ -352,7 +325,9 @@ InterpreterAccess::compile(Interpreter &In, const Function &F) {
       for (const Instruction *Phi : Succ->phis()) {
         const Value *Incoming = Phi->incomingValueFor(BB);
         assert(Incoming && "phi missing incoming for predecessor");
-        CB.Moves[S].push_back(EdgeMove{Slots.at(Phi), MakeOperand(Incoming)});
+        CB.Moves[S].push_back(
+            EdgeMove{Slots.at(Phi), MakeOperand(Incoming),
+                     static_cast<uint16_t>(Phi->type()->numElements())});
       }
     }
   }
@@ -405,9 +380,10 @@ Interpreter::callFunction(const Function &F, const std::vector<RtValue> &Args) {
   return InterpreterAccess::exec(*this, *CF, Args);
 }
 
-Expected<RtValue> InterpreterAccess::exec(Interpreter &In,
-                                          Interpreter::CompiledFunction &CF,
-                                          const std::vector<RtValue> &Args) {
+Expected<RtValue>
+InterpreterAccess::execReference(Interpreter &In,
+                                 Interpreter::CompiledFunction &CF,
+                                 const std::vector<RtValue> &Args) {
   const Function &F = *CF.F;
   assert(Args.size() == F.numArgs() && "argument count mismatch");
 

@@ -50,6 +50,16 @@ struct InterpreterAccess;
 using NativeFn =
     std::function<RtValue(Interpreter &, const std::vector<RtValue> &)>;
 
+/// Which execution engine runs compiled functions.
+enum class EngineKind {
+  /// Pre-decoded micro-op stream with dense handler-table dispatch and
+  /// batched trace delivery (the default; see vm/MicroOp.h).
+  MicroOp,
+  /// The original per-instruction switch loop over the slot form; kept
+  /// as the semantic baseline for differential testing.
+  Reference,
+};
+
 /// Executes one module.
 class Interpreter {
 public:
@@ -69,6 +79,12 @@ public:
 
   /// Caps retired operations; exceeded -> run error (default 4e9).
   void setFuel(uint64_t MaxOps) { Fuel = MaxOps; }
+
+  /// Selects the execution engine. Both engines produce bit-identical
+  /// results, traces, and trap messages; Reference exists for
+  /// differential testing and as a readable statement of the semantics.
+  void setEngine(EngineKind Kind) { Engine = Kind; }
+  EngineKind engine() const { return Engine; }
 
   //===--------------------------------------------------------------===//
   // Execution
@@ -122,12 +138,27 @@ public:
 
   ir::Module &module() { return M; }
 
-private:
+  /// One function compiled to slot form plus its micro-op program;
+  /// defined in vm/ExecEngine.h (internal to the interpreter).
   struct CompiledFunction;
+
+private:
   struct Impl;
 
   Expected<RtValue> callFunction(const ir::Function &F,
                                  const std::vector<RtValue> &Args);
+
+  /// Delivers all buffered retired ops to every consumer (one
+  /// onRetireBatch call per consumer) and empties the buffer. The
+  /// micro-op engine flushes when the ring fills and at every event
+  /// whose program order matters (calls, returns, traps), so each
+  /// consumer sees the exact unbatched sequence.
+  void flushRetired();
+
+  /// Capacity of the retirement ring buffer. Kept small (3 KiB) so the
+  /// ring, the register file, and the consumers' hot state (cache-sim
+  /// metadata, predictor nodes) stay L1-resident together.
+  static constexpr uint32_t RetireBufCap = 64;
 
   ir::Module &M;
   std::unique_ptr<Impl> P;
@@ -141,6 +172,9 @@ private:
   uint64_t Fuel = 4ull * 1000 * 1000 * 1000;
   uint64_t StackPointer = 0;
   std::string TrapMessage;
+  EngineKind Engine = EngineKind::MicroOp;
+  std::unique_ptr<RetiredOp[]> RetireBuf;
+  uint32_t RetireCount = 0;
 
   friend struct InterpreterAccess;
 };

@@ -1,0 +1,192 @@
+//===- MicroOp.h - Pre-decoded micro-op stream of one function -*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The micro-op execution engine's program representation: each IR
+/// function lowers (once, on first call) into one flat, cache-friendly
+/// array of MicroOps. All per-instruction decoding — operand slot
+/// resolution, immediate materialization, type facts, result masks,
+/// branch targets — happens at lowering time, so the dispatch loop in
+/// ExecEngine.cpp touches nothing but this array and the register file.
+///
+/// Design points:
+///  - Branch targets are micro-op indices, not block pointers; a taken
+///    branch is one index assignment.
+///  - Phi edge moves are sequentialized at lowering time (parallel-copy
+///    semantics, one scratch slot for cycles) and emitted as internal
+///    non-retiring Move ops, either inline before an unconditional
+///    branch or in per-edge stubs ending in an internal Goto.
+///  - Operand references pack into one int32: >= 0 indexes the register
+///    slot file, < 0 indexes the per-function immediate pool
+///    (Imms[-Ref-1]). Resolution is a single well-predicted branch.
+///  - Kinds are specialized beyond IR opcodes where it pays: the scalar
+///    forms of integer/FP arithmetic and memory ops skip the per-lane
+///    loop and the fp/int/width sub-switches of the reference engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_VM_MICROOP_H
+#define MPERF_VM_MICROOP_H
+
+#include "vm/RtValue.h"
+#include "vm/Trace.h"
+
+#include <vector>
+
+namespace mperf {
+namespace ir {
+class Function;
+class Instruction;
+} // namespace ir
+
+namespace vm {
+
+/// Dispatch kinds of the micro-op engine. Scalar arithmetic is fully
+/// specialized (hot); vector forms keep a sub-opcode in Aux and loop
+/// over lanes (amortized).
+enum class MicroKind : uint8_t {
+  // Scalar integer binary ops; result is masked with MicroOp::Mask.
+  AddS,
+  SubS,
+  MulS,
+  AndS,
+  OrS,
+  XorS,
+  ShlS,
+  LShrS,
+  AShrS,
+  SDivS,
+  UDivS,
+  SRemS,
+  URemS,
+  /// Vector integer binary op; Aux = raw ir::Opcode of the operation.
+  IntBinV,
+  // Scalar FP arithmetic (F32 flag selects single-precision rounding).
+  FAddS,
+  FSubS,
+  FMulS,
+  FDivS,
+  FNegS,
+  FmaS,
+  /// Vector FP binary op; Aux = raw ir::Opcode of the operation.
+  FpBinV,
+  FNegV,
+  FmaV,
+  /// Comparisons (scalar); Aux = raw ICmpPred / FCmpPred.
+  ICmpS,
+  FCmpS,
+  // Casts.
+  TruncZExtS, ///< mask-only cast (trunc, zext)
+  SExtS,
+  FPToSIS,
+  SIToFPS,
+  FPTruncS,
+  FPExtS,
+  // Vector support.
+  SplatV,
+  ExtractV,
+  ReduceFAddV,
+  ReduceAddV,
+  // Memory. Scalar loads/stores are specialized on element kind; the
+  // vector forms handle lanes + stride and fp/int via flags.
+  AllocaS, ///< Mask carries the allocation size in bytes
+  LoadSInt,
+  LoadSF32,
+  LoadSF64,
+  LoadV,
+  StoreSInt,
+  StoreSF32,
+  StoreSF64,
+  StoreV,
+  PtrAddS,
+  SelectS,
+  // Control flow (these retire a Branch/Ret/Call trace op).
+  Br,
+  CondBr,
+  Ret,
+  Call,
+  // Internal ops: never retire, invisible to consumers and fuel.
+  MoveS, ///< scalar phi move: copies lane 0 of I and F
+  MoveW, ///< wide phi move: copies the full RtValue
+  Goto,  ///< end of a phi-move edge stub
+  // Quickened forms (lowering specializations, not IR shapes).
+  // Scalar integer binops whose right operand is a constant: the value
+  // rides in MicroOp::Imm, skipping the pool load and its dependency.
+  AddSI,
+  SubSI,
+  MulSI,
+  AndSI,
+  OrSI,
+  XorSI,
+  ShlSI,
+  LShrSI,
+  AShrSI,
+  /// Fused scalar icmp + cond_br (retires BOTH trace ops). The branch
+  /// consumes the freshly computed flag instead of round-tripping it
+  /// through the register file; Imm carries the cond_br's Instruction.
+  ICmpBrS,
+  /// Phi moves fused with the trailing stub jump (replace Move + Goto).
+  MoveSJ,
+  MoveWJ,
+  NumKinds, ///< sentinel, keeps the handler table in sync
+};
+
+/// Flag bits of MicroOp::Flags.
+enum : uint8_t {
+  MicroFlagF32 = 1 << 0,       ///< fp result/element is f32
+  MicroFlagFpMem = 1 << 1,     ///< memory element is floating point
+  MicroFlagStrideOp = 1 << 2,  ///< vector memory op has a stride operand
+  MicroFlagHasRetVal = 1 << 3, ///< ret carries a value
+};
+
+/// One pre-decoded micro-op, padded to exactly one 64-byte cache line
+/// so micro-ops never straddle lines and PC arithmetic is a shift.
+struct alignas(64) MicroOp {
+  MicroKind Kind = MicroKind::Goto;
+  uint8_t Aux = 0;      ///< sub-opcode or comparison predicate
+  uint16_t Lanes = 1;   ///< trace lanes / vector lane count
+  uint8_t IntBits = 64; ///< result integer width
+  uint8_t SrcBits = 64; ///< cast source integer width
+  uint8_t ElemBytes = 0;
+  uint8_t Flags = 0;
+  OpClass Class = OpClass::Other;
+  int32_t Dest = -1; ///< result slot (-1: void)
+  /// Operand refs: >= 0 register slot, < 0 immediate pool (Imms[-R-1]).
+  /// For Call: A = first index into ArgPool, B = argument count.
+  int32_t A = 0, B = 0, C = 0;
+  /// Branch targets as micro-op indices. For Call: Tgt0 indexes Callees.
+  int32_t Tgt0 = -1, Tgt1 = -1;
+  /// Result mask of integer ops (all-ones for 64-bit). AllocaS reuses
+  /// this field for the allocation size in bytes.
+  uint64_t Mask = ~0ull;
+  /// Inline payload: the constant of quickened *SI binops; the
+  /// cond_br Instruction pointer of the fused ICmpBrS.
+  uint64_t Imm = 0;
+  /// The IR instruction, for trace/sample attribution (null for
+  /// internal ops).
+  const ir::Instruction *Inst = nullptr;
+};
+
+static_assert(sizeof(MicroOp) == 64, "MicroOp must stay one cache line");
+
+/// The lowered form of one function: code + pools.
+struct MicroProgram {
+  std::vector<MicroOp> Code;
+  /// Immediate pool; operand refs < 0 index it as Imms[-Ref-1].
+  std::vector<RtValue> Imms;
+  /// Flattened call-argument operand refs (MicroOp::A/B window).
+  std::vector<int32_t> ArgPool;
+  /// Call targets (MicroOp::Tgt0 indexes this).
+  std::vector<const ir::Function *> Callees;
+  /// Register file size including the phi-cycle scratch slot.
+  uint32_t NumSlots = 0;
+};
+
+} // namespace vm
+} // namespace mperf
+
+#endif // MPERF_VM_MICROOP_H

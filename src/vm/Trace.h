@@ -18,6 +18,7 @@
 #ifndef MPERF_VM_TRACE_H
 #define MPERF_VM_TRACE_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace mperf {
@@ -68,6 +69,29 @@ public:
 
   /// Called once per retired IR instruction, in program order.
   virtual void onRetire(const RetiredOp &Op) = 0;
+
+  /// Batched delivery: \p Count ops in program order. The micro-op
+  /// execution engine buffers retirements and hands them over in blocks
+  /// so hot consumers (the core model) pay one virtual call per block
+  /// instead of one per instruction. Batches never straddle a call or
+  /// return, so the producer's call stack is valid for every op inside.
+  ///
+  /// \p RetireCursor aliases the producing interpreter's
+  /// currentInstruction() pointer. Implementations that process the
+  /// batch op-by-op must advance it before each op so that anything
+  /// fired from inside retirement (PMU overflow sampling reads the
+  /// instruction for leaf/source attribution) sees the op actually
+  /// being retired, exactly as under unbatched delivery.
+  ///
+  /// The default implementation falls back to per-op onRetire(); each
+  /// consumer still sees the identical op sequence either way.
+  virtual void onRetireBatch(const RetiredOp *Ops, size_t Count,
+                             const ir::Instruction *&RetireCursor) {
+    for (size_t I = 0; I != Count; ++I) {
+      RetireCursor = Ops[I].Inst;
+      onRetire(Ops[I]);
+    }
+  }
 
   /// Called when control enters \p F (before its first instruction).
   virtual void onCallEnter(const ir::Function &F) { (void)F; }

@@ -1,0 +1,401 @@
+//===- exec_engine_test.cpp - Micro-op vs reference engine differential ---------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// The micro-op engine (vm/ExecEngine.cpp) must be observably identical
+// to the reference switch loop: same results, same RunStats, same trap
+// messages, and a bit-identical RetiredOp trace (order, classes,
+// operand facts, call events) — across every registered workload on
+// every platform, scalar and vectorized. These tests run the same
+// Module through both engines and compare everything a consumer can
+// see.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Scenario.h"
+#include "hw/CoreModel.h"
+#include "hw/Platform.h"
+#include "ir/Parser.h"
+#include "miniperf/Session.h"
+#include "vm/Interpreter.h"
+#include "workloads/SqliteLike.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace mperf;
+using namespace mperf::vm;
+
+namespace {
+
+/// Accumulates an order-sensitive digest of everything a TraceConsumer
+/// can observe. Uses the default onRetireBatch fallback, so it also
+/// proves batched delivery preserves the per-op sequence.
+struct TraceRecorder : TraceConsumer {
+  uint64_t Hash = 1469598103934665603ull; // FNV-1a offset basis
+  uint64_t Ops = 0, Enters = 0, Exits = 0;
+
+  void mix(uint64_t V) {
+    for (int I = 0; I != 8; ++I) {
+      Hash ^= (V >> (I * 8)) & 0xff;
+      Hash *= 1099511628211ull;
+    }
+  }
+  void mixString(const std::string &S) {
+    for (char C : S) {
+      Hash ^= static_cast<unsigned char>(C);
+      Hash *= 1099511628211ull;
+    }
+  }
+
+  void onRetire(const RetiredOp &Op) override {
+    ++Ops;
+    mix(static_cast<uint64_t>(Op.Class));
+    mix(reinterpret_cast<uint64_t>(Op.Inst));
+    mix(Op.Lanes);
+    mix(Op.Bytes);
+    mix(Op.Addr);
+    mix(static_cast<uint64_t>(Op.StrideBytes));
+    mix(Op.Taken ? 1 : 0);
+  }
+  void onCallEnter(const ir::Function &F) override {
+    ++Enters;
+    mixString(F.name());
+  }
+  void onCallExit(const ir::Function &F) override {
+    ++Exits;
+    mixString(F.name());
+  }
+};
+
+/// Everything one engine run produces, for equality assertions.
+struct RunOutcome {
+  bool Ok = false;
+  std::string Error;
+  uint64_t ResultI = 0;
+  double ResultF = 0;
+  RunStats Stats;
+  TraceRecorder Trace;
+  hw::CoreStats Core;
+};
+
+RunOutcome runOnce(ir::Module &M, const driver::WorkloadInstance &W,
+                   const hw::Platform &P, EngineKind Engine,
+                   uint64_t Fuel = 0) {
+  RunOutcome O;
+  Interpreter Vm(M);
+  Vm.setEngine(Engine);
+  if (Fuel)
+    Vm.setFuel(Fuel);
+  hw::CoreModel Core(P.Core, P.Cache);
+  Vm.addConsumer(&O.Trace);
+  Vm.addConsumer(&Core);
+  if (W.Setup)
+    W.Setup(Vm);
+  auto R = Vm.run(W.Entry, W.Args);
+  O.Ok = R.hasValue();
+  if (O.Ok) {
+    O.ResultI = R->asInt();
+    O.ResultF = R->asFp();
+  } else {
+    O.Error = R.errorMessage();
+  }
+  O.Stats = Vm.stats();
+  O.Core = Core.stats();
+  return O;
+}
+
+void expectIdentical(const RunOutcome &Ref, const RunOutcome &Micro,
+                     const std::string &What) {
+  EXPECT_EQ(Ref.Ok, Micro.Ok) << What;
+  EXPECT_EQ(Ref.Error, Micro.Error) << What;
+  EXPECT_EQ(Ref.ResultI, Micro.ResultI) << What;
+  EXPECT_EQ(Ref.ResultF, Micro.ResultF) << What;
+  EXPECT_EQ(Ref.Stats.RetiredOps, Micro.Stats.RetiredOps) << What;
+  EXPECT_EQ(Ref.Stats.Calls, Micro.Stats.Calls) << What;
+  EXPECT_EQ(Ref.Stats.LoadedBytes, Micro.Stats.LoadedBytes) << What;
+  EXPECT_EQ(Ref.Stats.StoredBytes, Micro.Stats.StoredBytes) << What;
+  EXPECT_EQ(Ref.Trace.Ops, Micro.Trace.Ops) << What;
+  EXPECT_EQ(Ref.Trace.Enters, Micro.Trace.Enters) << What;
+  EXPECT_EQ(Ref.Trace.Exits, Micro.Trace.Exits) << What;
+  EXPECT_EQ(Ref.Trace.Hash, Micro.Trace.Hash)
+      << What << ": RetiredOp streams diverge";
+  // The core model consumed the identical stream, so its folded
+  // timing must agree bit-for-bit too.
+  EXPECT_EQ(Ref.Core.Cycles, Micro.Core.Cycles) << What;
+  EXPECT_EQ(Ref.Core.Instret, Micro.Core.Instret) << What;
+  EXPECT_EQ(Ref.Core.RetiredIrOps, Micro.Core.RetiredIrOps) << What;
+  EXPECT_EQ(Ref.Core.BranchMispredicts, Micro.Core.BranchMispredicts)
+      << What;
+  EXPECT_EQ(Ref.Core.MemStallCycles, Micro.Core.MemStallCycles) << What;
+}
+
+/// Runs one workload on one platform through both engines and compares.
+void diffWorkload(const driver::WorkloadDesc &W, const hw::Platform &P,
+                  bool Vectorize) {
+  driver::ScenarioKnobs Knobs;
+  Knobs.Vectorize = Vectorize;
+  auto InstOr = W.Build(P, Knobs);
+  ASSERT_TRUE(InstOr.hasValue()) << InstOr.errorMessage();
+  std::ostringstream What;
+  What << W.Name << "@" << driver::platformKey(P)
+       << (Vectorize ? "+vec" : "");
+  RunOutcome Ref = runOnce(*InstOr->M, *InstOr, P, EngineKind::Reference);
+  RunOutcome Micro = runOnce(*InstOr->M, *InstOr, P, EngineKind::MicroOp);
+  expectIdentical(Ref, Micro, What.str());
+}
+
+std::unique_ptr<ir::Module> parse(std::string_view Text) {
+  auto MOr = ir::parseModule(Text);
+  EXPECT_TRUE(MOr.hasValue()) << (MOr ? "" : MOr.errorMessage());
+  return std::move(*MOr);
+}
+
+/// Both engines over a small text module; also used for trap parity.
+void diffText(std::string_view Text, const std::string &Fn,
+              std::vector<RtValue> Args = {}, uint64_t Fuel = 0) {
+  auto M = parse(Text);
+  ASSERT_TRUE(M);
+  driver::WorkloadInstance W;
+  W.Entry = Fn;
+  W.Args = std::move(Args);
+  hw::Platform P = hw::spacemitX60();
+  RunOutcome Ref = runOnce(*M, W, P, EngineKind::Reference, Fuel);
+  RunOutcome Micro = runOnce(*M, W, P, EngineKind::MicroOp, Fuel);
+  expectIdentical(Ref, Micro, Fn);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Full workload x platform matrix (labelled slow in CMake)
+//===----------------------------------------------------------------------===//
+
+struct MatrixCase {
+  std::string Workload;
+  std::string PlatformKey;
+  bool Vectorize;
+};
+
+class ExecEngineMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ExecEngineMatrix, EnginesAgree) {
+  const MatrixCase &C = GetParam();
+  for (const driver::WorkloadDesc &W : driver::standardWorkloads())
+    if (W.Name == C.Workload)
+      for (const hw::Platform &P : hw::allPlatforms())
+        if (driver::platformKey(P) == C.PlatformKey)
+          return diffWorkload(W, P, C.Vectorize);
+  FAIL() << "case not found: " << C.Workload << "@" << C.PlatformKey;
+}
+
+static std::vector<MatrixCase> allCases() {
+  std::vector<MatrixCase> Cases;
+  for (const driver::WorkloadDesc &W : driver::standardWorkloads())
+    for (const hw::Platform &P : hw::allPlatforms())
+      for (bool Vec : {false, true})
+        Cases.push_back({W.Name, driver::platformKey(P), Vec});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ExecEngineMatrix, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<MatrixCase> &Info) {
+      return Info.param.Workload + "_" + Info.param.PlatformKey +
+             (Info.param.Vectorize ? "_vec" : "_scalar");
+    });
+
+//===----------------------------------------------------------------------===//
+// Targeted semantic corners
+//===----------------------------------------------------------------------===//
+
+TEST(ExecEngine, ParallelPhiSwapCycle) {
+  // The swap pattern forces the micro-op lowering through its
+  // parallel-copy cycle breaker (scratch slot).
+  diffText(R"(module m
+func @swap(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %a = phi i64 [ 1, entry ], [ %b, loop ]
+  %b = phi i64 [ 2, entry ], [ %a, loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  %r = shl i64 %a, 8
+  %r2 = or i64 %r, %b
+  ret i64 %r2
+}
+)",
+           "swap", {RtValue::ofInt(7)});
+}
+
+TEST(ExecEngine, FusedCompareFlagStaysVisible) {
+  // The icmp+cond_br fusion must still write the flag: it is read
+  // again after the branch.
+  diffText(R"(module m
+func @f(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %i.next = add i64 %i, 3
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  %keep = zext i1 %c to i64
+  %r = add i64 %keep, %i.next
+  ret i64 %r
+}
+)",
+           "f", {RtValue::ofInt(10)});
+}
+
+TEST(ExecEngine, DivisionByZeroTrapParity) {
+  diffText(R"(module m
+func @f(i64 %a) -> i64 {
+entry:
+  %q = udiv i64 10, %a
+  ret i64 %q
+}
+)",
+           "f", {RtValue::ofInt(0)});
+}
+
+TEST(ExecEngine, OutOfBoundsTrapParity) {
+  diffText(R"(module m
+global @G 8
+func @f() -> i64 {
+entry:
+  %p = ptradd ptr @G, 123456789
+  %v = load i64, %p
+  ret i64 %v
+}
+)",
+           "f");
+}
+
+TEST(ExecEngine, FuelTrapParity) {
+  // Fuel runs out mid-loop; both engines must stop after the same op
+  // with the same message (the fused latch checks fuel per retired op).
+  diffText(R"(module m
+func @forever() -> void {
+entry:
+  br loop
+loop:
+  %z = add i64 0, 1
+  br loop
+}
+)",
+           "forever", {}, 1000);
+  diffText(R"(module m
+func @latch(i64 %n) -> void {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  ret
+}
+)",
+           "latch", {RtValue::ofInt(1000000)}, 777);
+}
+
+TEST(ExecEngine, NativeCallsAndSyntheticOps) {
+  auto M = parse(R"(module m
+declare func @host_probe(i64 %a) -> i64
+func @f() -> i64 {
+entry:
+  %r = call i64 @host_probe(i64 40)
+  %s = add i64 %r, 2
+  ret i64 %s
+}
+)");
+  ASSERT_TRUE(M);
+  hw::Platform P = hw::spacemitX60();
+  auto Run = [&](EngineKind Engine) {
+    RunOutcome O;
+    Interpreter Vm(*M);
+    Vm.setEngine(Engine);
+    Vm.registerNative("host_probe",
+                      [](Interpreter &In, const std::vector<RtValue> &Args) {
+                        // Synthetic ops interleave with the batched
+                        // stream; order must be preserved.
+                        In.emitSyntheticOps(OpClass::IntAlu, 3);
+                        return RtValue::ofInt(Args[0].asInt());
+                      });
+    Vm.addConsumer(&O.Trace);
+    auto R = Vm.run("f");
+    O.Ok = R.hasValue();
+    O.ResultI = O.Ok ? R->asInt() : 0;
+    O.Stats = Vm.stats();
+    return O;
+  };
+  RunOutcome Ref = Run(EngineKind::Reference);
+  RunOutcome Micro = Run(EngineKind::MicroOp);
+  EXPECT_TRUE(Ref.Ok && Micro.Ok);
+  EXPECT_EQ(Ref.ResultI, 42u);
+  EXPECT_EQ(Ref.ResultI, Micro.ResultI);
+  EXPECT_EQ(Ref.Stats.RetiredOps, Micro.Stats.RetiredOps);
+  EXPECT_EQ(Ref.Trace.Hash, Micro.Trace.Hash);
+}
+
+TEST(ExecEngine, EngineSelectionIsSticky) {
+  auto M = parse(R"(module m
+func @f() -> i64 {
+entry:
+  ret i64 7
+}
+)");
+  Interpreter Vm(*M);
+  Vm.setEngine(EngineKind::Reference);
+  EXPECT_EQ(Vm.engine(), EngineKind::Reference);
+  auto R = Vm.run("f");
+  ASSERT_TRUE(R.hasValue());
+  EXPECT_EQ(R->asInt(), 7u);
+  Vm.setEngine(EngineKind::MicroOp);
+  auto R2 = Vm.run("f");
+  ASSERT_TRUE(R2.hasValue());
+  EXPECT_EQ(R2->asInt(), 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// Full profiling stack parity (sampling attribution through the batch
+// cursor): identical samples, counts, and hotspot attribution.
+//===----------------------------------------------------------------------===//
+
+TEST(ExecEngine, SessionSamplesIdenticalAcrossEngines) {
+  auto Profile = [&](const char *Engine) {
+    setenv("MPERF_EXEC_ENGINE", Engine, 1);
+    auto W = workloads::buildSqliteLike({8, 8, 8, 8, 1});
+    miniperf::SessionOptions Opts;
+    Opts.SamplePeriod = 5000;
+    miniperf::Session S(hw::spacemitX60(), Opts);
+    auto ROr = S.profile(*W.M, "main", {RtValue::ofInt(8)});
+    unsetenv("MPERF_EXEC_ENGINE");
+    EXPECT_TRUE(ROr.hasValue()) << (ROr ? "" : ROr.errorMessage());
+    return ROr;
+  };
+  auto Ref = Profile("reference");
+  auto Micro = Profile("microop");
+  ASSERT_TRUE(Ref.hasValue() && Micro.hasValue());
+  EXPECT_EQ(Ref->Cycles, Micro->Cycles);
+  EXPECT_EQ(Ref->Instructions, Micro->Instructions);
+  EXPECT_EQ(Ref->Samples.size(), Micro->Samples.size());
+  for (size_t I = 0; I != Ref->Samples.size() && I != Micro->Samples.size();
+       ++I) {
+    EXPECT_EQ(Ref->Samples[I].Leaf, Micro->Samples[I].Leaf) << I;
+    EXPECT_EQ(Ref->Samples[I].LeafLoc, Micro->Samples[I].LeafLoc) << I;
+    EXPECT_EQ(Ref->Samples[I].TimeCycles, Micro->Samples[I].TimeCycles)
+        << I;
+    EXPECT_EQ(Ref->Samples[I].Callchain, Micro->Samples[I].Callchain) << I;
+  }
+}

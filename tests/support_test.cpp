@@ -172,3 +172,83 @@ TEST(SourceLocTest, Rendering) {
   SourceLoc Empty;
   EXPECT_FALSE(Empty.isValid());
 }
+
+//===----------------------------------------------------------------------===//
+// JSON parser (support/JSON.h) — the bench-diff perf gate reads
+// BENCH_*.json reports back with it.
+//===----------------------------------------------------------------------===//
+
+TEST(JsonParseTest, Scalars) {
+  auto V = parseJson("42");
+  ASSERT_TRUE(V.hasValue());
+  EXPECT_TRUE(V->isNumber());
+  EXPECT_DOUBLE_EQ(V->asNumber(), 42.0);
+
+  EXPECT_DOUBLE_EQ(parseJson("-2.5e3")->asNumber(), -2500.0);
+  EXPECT_TRUE(parseJson("true")->asBool());
+  EXPECT_FALSE(parseJson("false")->asBool());
+  EXPECT_TRUE(parseJson("null")->isNull());
+  EXPECT_EQ(parseJson("\"hi\\nthere\"")->asString(), "hi\nthere");
+}
+
+TEST(JsonParseTest, NestedDocumentAndMemberOrder) {
+  auto V = parseJson(R"({"b": [1, 2, {"x": "y"}], "a": {"k": 3.5}})");
+  ASSERT_TRUE(V.hasValue()) << V.errorMessage();
+  ASSERT_TRUE(V->isObject());
+  // Insertion order preserved: baseline diffs report drift in document
+  // order.
+  ASSERT_EQ(V->members().size(), 2u);
+  EXPECT_EQ(V->members()[0].first, "b");
+  EXPECT_EQ(V->members()[1].first, "a");
+  const JsonValue *B = V->find("b");
+  ASSERT_NE(B, nullptr);
+  ASSERT_TRUE(B->isArray());
+  ASSERT_EQ(B->elements().size(), 3u);
+  EXPECT_DOUBLE_EQ(B->elements()[1].asNumber(), 2.0);
+  EXPECT_EQ(B->elements()[2].find("x")->asString(), "y");
+  EXPECT_DOUBLE_EQ(V->find("a")->find("k")->asNumber(), 3.5);
+  EXPECT_EQ(V->find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("name");
+  W.string("quote\" and \\ backslash");
+  W.key("vals");
+  W.beginArray();
+  W.number(uint64_t(12345678901234ull));
+  W.number(-0.125);
+  W.boolean(true);
+  W.null();
+  W.endArray();
+  W.endObject();
+  auto V = parseJson(W.str());
+  ASSERT_TRUE(V.hasValue()) << V.errorMessage();
+  EXPECT_EQ(V->find("name")->asString(), "quote\" and \\ backslash");
+  const auto &Vals = V->find("vals")->elements();
+  ASSERT_EQ(Vals.size(), 4u);
+  EXPECT_DOUBLE_EQ(Vals[0].asNumber(), 12345678901234.0);
+  EXPECT_DOUBLE_EQ(Vals[1].asNumber(), -0.125);
+  EXPECT_TRUE(Vals[2].asBool());
+  EXPECT_TRUE(Vals[3].isNull());
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  auto V = parseJson("\"\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(V.hasValue());
+  EXPECT_EQ(V->asString(), "A\xc3\xa9\xe2\x82\xac"); // A, é, €
+}
+
+TEST(JsonParseTest, ErrorsCarryLocation) {
+  auto V = parseJson("{\"a\": 1,\n  bad}");
+  ASSERT_FALSE(V.hasValue());
+  EXPECT_NE(V.errorMessage().find("line 2"), std::string::npos)
+      << V.errorMessage();
+
+  EXPECT_FALSE(parseJson("").hasValue());
+  EXPECT_FALSE(parseJson("{\"a\": }").hasValue());
+  EXPECT_FALSE(parseJson("[1, 2").hasValue());
+  EXPECT_FALSE(parseJson("\"unterminated").hasValue());
+  EXPECT_FALSE(parseJson("1 2").hasValue()); // trailing content
+}

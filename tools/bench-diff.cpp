@@ -1,0 +1,298 @@
+//===- bench-diff.cpp - Perf-gate comparator for BENCH_*.json -------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// Diffs the deterministic metrics of bench reports against committed
+// golden baselines and exits non-zero on drift — the CI perf gate that
+// turns the paper's tables into an enforced contract:
+//
+//   bench-diff --baseline-dir bench/baselines [--current-dir .]
+//              [--tolerance 2.0]
+//   bench-diff baseline.json current.json
+//
+// Gate rules ("miniperf-bench-report/v2"):
+//  - every baseline "metrics" entry must exist in the current report;
+//    numbers may drift up to --tolerance percent (relative), strings
+//    must match exactly;
+//  - "host_metrics" (wall-clock-derived) are printed as advisory deltas
+//    and never fail the gate;
+//  - metrics present only in the current report are listed as new and
+//    do not fail the gate (commit a refreshed baseline to start gating
+//    them).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include "support/JSON.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace mperf;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  std::string BaselineDir;
+  std::string CurrentDir = ".";
+  std::string BaselineFile;
+  std::string CurrentFile;
+  double TolerancePct = 2.0;
+};
+
+[[noreturn]] void die(const std::string &Message) {
+  std::fprintf(stderr, "bench-diff: %s\n", Message.c_str());
+  std::exit(2);
+}
+
+void printUsage() {
+  std::printf(
+      "usage: bench-diff --baseline-dir DIR [--current-dir DIR] "
+      "[--tolerance PCT]\n"
+      "       bench-diff BASELINE.json CURRENT.json [--tolerance PCT]\n"
+      "\n"
+      "Compares the deterministic \"metrics\" of bench reports against\n"
+      "golden baselines; exits 1 when any metric drifts by more than the\n"
+      "tolerance (default 2%%). Host-time metrics are advisory only.\n");
+}
+
+Expected<JsonValue> loadJson(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return makeError<JsonValue>("cannot read '" + Path + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  auto VOr = parseJson(Buf.str());
+  if (!VOr)
+    return makeError<JsonValue>(Path + ": " + VOr.errorMessage());
+  return VOr;
+}
+
+/// One metric comparison outcome.
+struct Delta {
+  std::string Bench;
+  std::string Key;
+  std::string Base;
+  std::string Current;
+  double RelPct = 0; // relative drift in percent (numbers only)
+  enum class State { Ok, Drift, Missing, TypeChanged, New };
+  State St = State::Ok;
+  bool Advisory = false;
+};
+
+std::string stateName(Delta::State S) {
+  switch (S) {
+  case Delta::State::Ok:
+    return "ok";
+  case Delta::State::Drift:
+    return "DRIFT";
+  case Delta::State::Missing:
+    return "MISSING";
+  case Delta::State::TypeChanged:
+    return "TYPE";
+  case Delta::State::New:
+    return "new";
+  }
+  return "?";
+}
+
+std::string renderValue(const JsonValue &V) {
+  if (V.isNumber()) {
+    double D = V.asNumber();
+    if (D == std::floor(D) && std::fabs(D) < 1e15)
+      return std::to_string(static_cast<long long>(D));
+    return fixed(D, 6);
+  }
+  if (V.isString())
+    return V.asString();
+  if (V.isBool())
+    return V.asBool() ? "true" : "false";
+  return "<non-scalar>";
+}
+
+/// Compares one metrics object pair; appends one Delta per baseline key
+/// (plus New entries for current-only keys).
+void compareMetrics(const std::string &Bench, const JsonValue *Base,
+                    const JsonValue *Cur, double TolerancePct, bool Advisory,
+                    std::vector<Delta> &Out) {
+  if (!Base || !Base->isObject())
+    return;
+  for (const auto &[Key, BV] : Base->members()) {
+    Delta D;
+    D.Bench = Bench;
+    D.Key = Key;
+    D.Base = renderValue(BV);
+    D.Advisory = Advisory;
+    const JsonValue *CV = Cur && Cur->isObject() ? Cur->find(Key) : nullptr;
+    if (!CV) {
+      D.St = Delta::State::Missing;
+      Out.push_back(std::move(D));
+      continue;
+    }
+    D.Current = renderValue(*CV);
+    if (BV.kind() != CV->kind()) {
+      D.St = Delta::State::TypeChanged;
+    } else if (BV.isNumber()) {
+      double B = BV.asNumber(), C = CV->asNumber();
+      double Denom = std::max(std::fabs(B), 1e-12);
+      D.RelPct = (C - B) / Denom * 100.0;
+      D.St = std::fabs(D.RelPct) > TolerancePct ? Delta::State::Drift
+                                                : Delta::State::Ok;
+    } else if (BV.isString()) {
+      D.St = BV.asString() == CV->asString() ? Delta::State::Ok
+                                             : Delta::State::Drift;
+    } else {
+      D.St = Delta::State::Ok;
+    }
+    Out.push_back(std::move(D));
+  }
+  if (Cur && Cur->isObject()) {
+    for (const auto &[Key, CV] : Cur->members()) {
+      if (Base->find(Key))
+        continue;
+      Delta D;
+      D.Bench = Bench;
+      D.Key = Key;
+      D.Current = renderValue(CV);
+      D.St = Delta::State::New;
+      D.Advisory = Advisory;
+      Out.push_back(std::move(D));
+    }
+  }
+}
+
+/// Compares one report pair; returns false when files are unreadable.
+bool compareReports(const std::string &Bench, const std::string &BasePath,
+                    const std::string &CurPath, double TolerancePct,
+                    std::vector<Delta> &Gated, std::vector<Delta> &Advisory,
+                    std::vector<std::string> &Errors) {
+  auto BaseOr = loadJson(BasePath);
+  if (!BaseOr) {
+    Errors.push_back(BaseOr.errorMessage());
+    return false;
+  }
+  auto CurOr = loadJson(CurPath);
+  if (!CurOr) {
+    Errors.push_back(CurOr.errorMessage() +
+                     " (did the bench run in the current directory?)");
+    return false;
+  }
+  compareMetrics(Bench, BaseOr->find("metrics"), CurOr->find("metrics"),
+                 TolerancePct, false, Gated);
+  compareMetrics(Bench, BaseOr->find("host_metrics"),
+                 CurOr->find("host_metrics"), TolerancePct, true, Advisory);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  std::vector<std::string> Positional;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&]() -> std::string {
+      if (I + 1 >= Argc)
+        die("missing value after " + Arg);
+      return Argv[++I];
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (Arg == "--baseline-dir") {
+      Opts.BaselineDir = Value();
+    } else if (Arg == "--current-dir") {
+      Opts.CurrentDir = Value();
+    } else if (Arg == "--tolerance") {
+      try {
+        Opts.TolerancePct = std::stod(Value());
+      } catch (...) {
+        die("bad --tolerance value");
+      }
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      die("unknown option '" + Arg + "' (see --help)");
+    } else {
+      Positional.push_back(Arg);
+    }
+  }
+
+  // Resolve the comparison set: explicit file pair, or every
+  // BENCH_*.json under the baseline directory.
+  std::vector<std::pair<std::string, std::pair<std::string, std::string>>>
+      Pairs; // bench name -> (baseline path, current path)
+  if (!Positional.empty()) {
+    if (Positional.size() != 2 || !Opts.BaselineDir.empty())
+      die("expected either --baseline-dir or exactly two files");
+    Pairs.push_back({fs::path(Positional[0]).filename().string(),
+                     {Positional[0], Positional[1]}});
+  } else {
+    if (Opts.BaselineDir.empty())
+      die("expected --baseline-dir or two files (see --help)");
+    if (!fs::is_directory(Opts.BaselineDir))
+      die("baseline directory '" + Opts.BaselineDir + "' does not exist");
+    for (const auto &Entry : fs::directory_iterator(Opts.BaselineDir)) {
+      std::string Name = Entry.path().filename().string();
+      if (Name.rfind("BENCH_", 0) != 0 ||
+          Entry.path().extension() != ".json")
+        continue;
+      Pairs.push_back({Name,
+                       {Entry.path().string(),
+                        (fs::path(Opts.CurrentDir) / Name).string()}});
+    }
+    std::sort(Pairs.begin(), Pairs.end());
+    if (Pairs.empty())
+      die("no BENCH_*.json baselines under '" + Opts.BaselineDir + "'");
+  }
+
+  std::vector<Delta> Gated, Advisory;
+  std::vector<std::string> Errors;
+  for (const auto &[Bench, Paths] : Pairs)
+    compareReports(Bench, Paths.first, Paths.second, Opts.TolerancePct,
+                   Gated, Advisory, Errors);
+
+  // Per-scenario delta table: gated metrics first, then advisory.
+  TextTable T;
+  T.addHeader({"bench", "metric", "baseline", "current", "delta", "state"});
+  auto addRows = [&](const std::vector<Delta> &Ds) {
+    for (const Delta &D : Ds) {
+      std::string DeltaText =
+          D.St == Delta::State::Missing || D.St == Delta::State::New
+              ? "-"
+              : (D.RelPct >= 0 ? "+" : "") + fixed(D.RelPct, 2) + "%";
+      T.addRow({D.Bench, D.Key + (D.Advisory ? " (host)" : ""), D.Base,
+                D.Current, DeltaText, stateName(D.St)});
+    }
+  };
+  addRows(Gated);
+  addRows(Advisory);
+  std::printf("%s", T.render().c_str());
+
+  for (const std::string &E : Errors)
+    std::fprintf(stderr, "bench-diff: error: %s\n", E.c_str());
+
+  size_t Failures = 0;
+  for (const Delta &D : Gated)
+    if (D.St == Delta::State::Drift || D.St == Delta::State::Missing ||
+        D.St == Delta::State::TypeChanged)
+      ++Failures;
+
+  std::printf("\n%zu gated metric(s) compared, %zu failure(s), tolerance "
+              "%.2f%%; %zu advisory host metric(s).\n",
+              Gated.size(), Failures, Opts.TolerancePct, Advisory.size());
+  if (!Errors.empty() || Failures != 0) {
+    std::printf("PERF GATE: FAIL (re-bless baselines only for intentional "
+                "model changes; see README).\n");
+    return 1;
+  }
+  std::printf("PERF GATE: PASS\n");
+  return 0;
+}
