@@ -97,23 +97,26 @@ inline std::string formatSecondsPerIter(double Seconds) {
 
 /// The sqlite workload at the scale the benches use (the paper's run
 /// retires ~3.6e9 instructions on real silicon; the simulated runs are
-/// scaled to ~2e7 retired IR ops and report the same shapes).
+/// scaled to ~5e7 retired IR ops — one notch up from the original
+/// ~2e7 now that the micro-op engine carries the cost — and report the
+/// same shapes).
 inline workloads::SqliteLikeConfig sqliteScale() {
   workloads::SqliteLikeConfig C;
-  C.NumPages = 64;
-  C.CellsPerPage = 24;
-  C.NumQueries = 40;
+  C.NumPages = 80;
+  C.CellsPerPage = 28;
+  C.NumQueries = 64;
   return C;
 }
 
-/// The matmul kernel at bench scale (paper: n large on real silicon).
+/// The matmul kernel at bench scale (paper: n large on real silicon;
+/// one notch up from the original n=128).
 inline workloads::MatmulConfig matmulScale() {
-  return workloads::MatmulConfig{128, 64, 1};
+  return workloads::MatmulConfig{192, 64, 1};
 }
 
 /// Profiles the sqlite workload on \p P with sampling.
-inline miniperf::ProfileResult profileSqlite(const hw::Platform &P,
-                                             uint64_t Period = 20000) {
+inline miniperf::Profile profileSqlite(const hw::Platform &P,
+                                       uint64_t Period = 20000) {
   auto C = sqliteScale();
   auto W = workloads::buildSqliteLike(C);
   miniperf::SessionOptions Opts;

@@ -67,7 +67,7 @@ int main() {
 
   // Strategy 3: the workaround.
   {
-    miniperf::ProfileResult R = profileSqlite(P);
+    miniperf::Profile R = profileSqlite(P);
     print("3. miniperf grouping workaround (u_mode_cycle leader):\n");
     print("   samples=" + std::to_string(R.Samples.size()) +
           ", interrupts=" + std::to_string(R.Interrupts) +

@@ -34,18 +34,18 @@ int main() {
   BenchReport Json("fig3_flamegraphs");
   for (const hw::Platform &P :
        {hw::spacemitX60(), hw::intelI5_1135G7()}) {
-    ProfileResult R = profileSqlite(P, 10000);
+    Profile R = profileSqlite(P, 10000);
     std::string Tag =
         P.Id.Mvendorid == 0x8086 ? "i5_1135g7" : "spacemit_x60";
 
     FlameGraph Cycles =
-        FlameGraph::fromSamples(R.Samples, R.CyclesFd, "cycles");
+        FlameGraph::fromSamples(R.Samples, R.counterFd("cycles"), "cycles");
     emit(P.CoreName + ", cycles" +
              (R.UsedWorkaround ? "  [via u_mode_cycle leader group]" : ""),
          Cycles, "fig3_" + Tag + "_cycles.svg");
 
-    FlameGraph Instr = FlameGraph::fromSamples(R.Samples, R.InstructionsFd,
-                                               "instructions");
+    FlameGraph Instr = FlameGraph::fromSamples(
+        R.Samples, R.counterFd("instructions"), "instructions");
     emit(P.CoreName + ", instructions retired", Instr,
          "fig3_" + Tag + "_instructions.svg");
 

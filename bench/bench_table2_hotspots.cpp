@@ -26,7 +26,7 @@ int main() {
   BenchReport Json("table2_hotspots");
   for (const hw::Platform &P :
        {hw::spacemitX60(), hw::intelI5_1135G7()}) {
-    miniperf::ProfileResult R = profileSqlite(P);
+    miniperf::Profile R = profileSqlite(P);
     auto Rows = miniperf::computeHotspots(R);
     TextTable T = miniperf::hotspotTable(Rows, P.CoreName, 3);
     print(T.render());
@@ -39,8 +39,8 @@ int main() {
     Json.addTable("hotspots_" + driver::platformKey(P), T);
   }
 
-  miniperf::ProfileResult X60 = profileSqlite(hw::spacemitX60());
-  miniperf::ProfileResult X86 = profileSqlite(hw::intelI5_1135G7());
+  miniperf::Profile X60 = profileSqlite(hw::spacemitX60());
+  miniperf::Profile X86 = profileSqlite(hw::intelI5_1135G7());
   double Ratio =
       static_cast<double>(X86.Instructions) / static_cast<double>(X60.Instructions);
   print("x86/X60 instructions ratio: " + fixed(Ratio, 2) +

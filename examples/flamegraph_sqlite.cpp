@@ -40,7 +40,7 @@ int main() {
     std::fprintf(stderr, "profile failed: %s\n", ROr.errorMessage().c_str());
     return 1;
   }
-  ProfileResult &R = *ROr;
+  Profile &R = *ROr;
 
   std::printf("profiled %s on %s\n", Workload.M->name().c_str(),
               X60.CoreName.c_str());
@@ -55,12 +55,12 @@ int main() {
               static_cast<unsigned long long>(Workload.result(Check)),
               static_cast<unsigned long long>(Workload.ExpectedMatches));
 
-  FlameGraph Cycles = FlameGraph::fromSamples(R.Samples, R.CyclesFd,
-                                              "cycles");
+  FlameGraph Cycles =
+      FlameGraph::fromSamples(R.Samples, R.counterFd("cycles"), "cycles");
   std::printf("%s\n", Cycles.renderAscii(100).c_str());
 
-  FlameGraph Instr = FlameGraph::fromSamples(R.Samples, R.InstructionsFd,
-                                             "instructions");
+  FlameGraph Instr = FlameGraph::fromSamples(
+      R.Samples, R.counterFd("instructions"), "instructions");
   std::ofstream Svg("flamegraph_sqlite.svg");
   Svg << Cycles.renderSvg();
   std::printf("svg written to flamegraph_sqlite.svg\n\n");

@@ -15,6 +15,7 @@
 #include "driver/SweepRunner.h"
 #include "miniperf/EventGrouper.h"
 #include "support/Format.h"
+#include "support/JSON.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -51,7 +52,8 @@ int main() {
   std::printf("%s", T.render().c_str());
 
   // The sweep driver replaces the hand-rolled per-platform loop: same
-  // triad kernel everywhere, one worker per platform.
+  // triad kernel everywhere, one worker per platform, with the topdown
+  // analysis attached so the report carries each core's retiring share.
   std::printf("\nsame triad kernel on every platform (sweep driver, "
               "concurrent):\n");
   std::vector<Scenario> Scenarios =
@@ -59,22 +61,36 @@ int main() {
           .addPlatforms(Db)
           .addWorkloads(*selectWorkloads("triad"))
           .addSamplePeriod(30000)
+          .setAnalyses({"topdown"})
           .build();
   SweepOptions Opts;
   Opts.Jobs = 0; // all cores
   SweepReport Report = SweepRunner(Opts).run(Scenarios);
 
   TextTable R;
-  R.addHeader({"Platform", "cycles", "instructions", "IPC", "samples"});
+  R.addHeader({"Platform", "cycles", "instructions", "IPC", "samples",
+               "retiring"});
   for (const ScenarioResult &Res : Report.Results) {
     if (Res.Failed) {
       std::fprintf(stderr, "  %s: %s\n", Res.PlatformName.c_str(),
                    Res.Error.c_str());
       continue;
     }
+    // The embedded analysis document is plain JSON: pull one number
+    // back out the same way external tooling would.
+    std::string Retiring = "-";
+    for (const AnalysisRecord &A : Res.Analyses) {
+      if (A.Name != "topdown" || A.Failed)
+        continue;
+      auto DocOr = parseJson(A.Json);
+      if (DocOr)
+        if (const JsonValue *V = DocOr->find("retiring"))
+          Retiring = percent(V->asNumber());
+    }
     R.addRow({Res.PlatformName, withCommas(Res.Profile.Cycles),
               withCommas(Res.Profile.Instructions),
-              fixed(Res.Profile.Ipc, 2), std::to_string(Res.NumSamples)});
+              fixed(Res.Profile.Ipc, 2), std::to_string(Res.NumSamples),
+              Retiring});
   }
   std::printf("%s", R.render().c_str());
   std::printf("\nnote the U74 and C906 rows: zero samples — no overflow "

@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/IRBuilder.h"
+#include "miniperf/Analysis.h"
 #include "miniperf/Session.h"
 #include "support/Format.h"
 
@@ -87,7 +88,7 @@ int main() {
                  ResultOr.errorMessage().c_str());
     return 1;
   }
-  const miniperf::ProfileResult &R = *ResultOr;
+  const miniperf::Profile &R = *ResultOr;
 
   // 3. Report.
   std::printf("platform:       %s\n", Platform.CoreName.c_str());
@@ -106,5 +107,22 @@ int main() {
     std::printf("last sample:    leaf=%s, %zu group counters\n",
                 S.Leaf.c_str(), S.GroupValues.size());
   }
+
+  // 4. The Profile is an artifact: counters are looked up by name, and
+  //    any registered analysis can dissect it (see --analyses on the
+  //    miniperf-sweep tool for the full pipeline).
+  std::printf("named counters: ");
+  for (const miniperf::ProfileCounter &C : R.Counters)
+    std::printf("%s=%llu ", C.Name.c_str(),
+                static_cast<unsigned long long>(C.Value));
+  std::printf("\n");
+  const miniperf::Analysis *TopDown =
+      miniperf::AnalysisRegistry::builtins().find("topdown");
+  if (!TopDown) { // find() is nullptr on an unknown name
+    std::fprintf(stderr, "topdown analysis not registered?\n");
+    return 1;
+  }
+  if (auto AOr = TopDown->run(R))
+    std::printf("\n%s", AOr->Table.render().c_str());
   return 0;
 }

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 
 using namespace mperf;
 using namespace mperf::driver;
@@ -69,14 +70,17 @@ Error maybeVectorize(ir::Module &M, const hw::Platform &P,
   return PM.run(M);
 }
 
-WorkloadDesc sqliteWorkload() {
+WorkloadDesc sqliteWorkload(unsigned Scale) {
   WorkloadDesc D;
   D.Name = "sqlite";
   D.Description = "sqlite3-like database engine scan (Table 2 / Fig. 3)";
+  // One notch up from the original sweep scale (16/12/12): the micro-op
+  // engine made simulation cheap enough that the sweep is build-bound,
+  // not run-bound. --scale grows the query count linearly from here.
   workloads::SqliteLikeConfig C;
-  C.NumPages = 16;
-  C.CellsPerPage = 12;
-  C.NumQueries = 12;
+  C.NumPages = 24;
+  C.CellsPerPage = 16;
+  C.NumQueries = 16 * Scale;
   D.Build = [C](const hw::Platform &P,
                 const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
     auto W = workloads::buildSqliteLike(C);
@@ -90,11 +94,20 @@ WorkloadDesc sqliteWorkload() {
   return D;
 }
 
-WorkloadDesc matmulWorkload() {
+WorkloadDesc matmulWorkload(unsigned Scale) {
   WorkloadDesc D;
   D.Name = "matmul";
   D.Description = "tiled SGEMM kernel of section 5.2 (Fig. 4)";
-  workloads::MatmulConfig C{48, 16, 0x5eed};
+  // Base n one notch above the original 48; --scale grows total MACs
+  // roughly linearly by scaling n with the cube root, snapped to a
+  // tile multiple so the kernel stays evenly tiled.
+  workloads::MatmulConfig C{64, 16, 0x5eed};
+  if (Scale > 1) {
+    double Grown = C.N * std::cbrt(static_cast<double>(Scale));
+    unsigned Snapped =
+        static_cast<unsigned>((Grown / C.Tile) + 0.5) * C.Tile;
+    C.N = Snapped > C.N ? Snapped : C.N;
+  }
   D.Build = [C](const hw::Platform &P,
                 const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
     workloads::MatmulWorkload W = workloads::buildMatmul(C);
@@ -115,13 +128,13 @@ WorkloadDesc matmulWorkload() {
   return D;
 }
 
-WorkloadDesc triadWorkload() {
+WorkloadDesc triadWorkload(unsigned Scale) {
   WorkloadDesc D;
   D.Name = "triad";
   D.Description = "STREAM triad bandwidth probe (section 5.2 ceilings)";
-  D.Build = [](const hw::Platform &P,
-               const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
-    workloads::Microbench W = workloads::buildTriad(4096, 20);
+  D.Build = [Scale](const hw::Platform &P,
+                    const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
+    workloads::Microbench W = workloads::buildTriad(8192, 24 * Scale);
     if (Error E = maybeVectorize(*W.M, P, K))
       return makeError<WorkloadInstance>(E.message());
     WorkloadInstance I;
@@ -131,13 +144,13 @@ WorkloadDesc triadWorkload() {
   return D;
 }
 
-WorkloadDesc memsetWorkload() {
+WorkloadDesc memsetWorkload(unsigned Scale) {
   WorkloadDesc D;
   D.Name = "memset";
   D.Description = "streaming-store memset, the memory-roof probe";
-  D.Build = [](const hw::Platform &P,
-               const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
-    workloads::Microbench W = workloads::buildMemset(64 * 1024, 8);
+  D.Build = [Scale](const hw::Platform &P,
+                    const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
+    workloads::Microbench W = workloads::buildMemset(128 * 1024, 8 * Scale);
     if (Error E = maybeVectorize(*W.M, P, K))
       return makeError<WorkloadInstance>(E.message());
     WorkloadInstance I;
@@ -147,7 +160,7 @@ WorkloadDesc memsetWorkload() {
   return D;
 }
 
-WorkloadDesc peakflopsWorkload() {
+WorkloadDesc peakflopsWorkload(unsigned Scale) {
   WorkloadDesc D;
   D.Name = "peakflops";
   D.Description = "independent FMA chains, the compute-roof probe "
@@ -155,9 +168,9 @@ WorkloadDesc peakflopsWorkload() {
   // buildPeakFlops is the one workload that must not go through the
   // vectorizer: it probes FMA throughput with hand-built chains
   // (Microbench.h), so the Vectorize knob deliberately does nothing.
-  D.Build = [](const hw::Platform &,
-               const ScenarioKnobs &) -> Expected<WorkloadInstance> {
-    workloads::Microbench W = workloads::buildPeakFlops(4, 20000);
+  D.Build = [Scale](const hw::Platform &,
+                    const ScenarioKnobs &) -> Expected<WorkloadInstance> {
+    workloads::Microbench W = workloads::buildPeakFlops(4, 40000 * Scale);
     WorkloadInstance I;
     I.M = std::move(W.M);
     return I;
@@ -167,9 +180,12 @@ WorkloadDesc peakflopsWorkload() {
 
 } // namespace
 
-std::vector<WorkloadDesc> mperf::driver::standardWorkloads() {
-  return {sqliteWorkload(), matmulWorkload(), triadWorkload(),
-          memsetWorkload(), peakflopsWorkload()};
+std::vector<WorkloadDesc> mperf::driver::standardWorkloads(unsigned Scale) {
+  if (Scale == 0)
+    Scale = 1;
+  return {sqliteWorkload(Scale), matmulWorkload(Scale),
+          triadWorkload(Scale), memsetWorkload(Scale),
+          peakflopsWorkload(Scale)};
 }
 
 //===----------------------------------------------------------------------===//
@@ -219,8 +235,8 @@ mperf::driver::selectPlatforms(const std::string &Spec) {
 }
 
 Expected<std::vector<WorkloadDesc>>
-mperf::driver::selectWorkloads(const std::string &Spec) {
-  std::vector<WorkloadDesc> Db = standardWorkloads();
+mperf::driver::selectWorkloads(const std::string &Spec, unsigned Scale) {
+  std::vector<WorkloadDesc> Db = standardWorkloads(Scale);
   if (Spec.empty() || lowered(Spec) == "all")
     return Db;
   std::vector<WorkloadDesc> Out;

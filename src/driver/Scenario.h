@@ -42,6 +42,9 @@ struct ScenarioKnobs {
   /// as explicit IR (peakflops) ignore it, and say so in their
   /// description.
   bool Vectorize = false;
+  /// Analyses (AnalysisRegistry names) to run over the scenario's
+  /// Profile; their results embed into the sweep report per scenario.
+  std::vector<std::string> Analyses;
 };
 
 /// A freshly-built, ready-to-profile program instance.
@@ -87,15 +90,20 @@ std::string platformKey(const hw::Platform &P);
 
 /// The built-in workload registry: sqlite, matmul, triad, memset,
 /// peakflops — every kernel family the paper profiles, at sweep scale.
-std::vector<WorkloadDesc> standardWorkloads();
+/// \p Scale grows each workload's dominant work axis roughly linearly
+/// (queries, passes, FMA iterations; matmul's n via the cube root), so
+/// `--scale 4` retires ~4x the IR ops of the default — the knob for
+/// stepping sweeps toward the paper's 3.6e9-instruction runs.
+std::vector<WorkloadDesc> standardWorkloads(unsigned Scale = 1);
 
 /// Resolves a comma-separated platform spec ("all", "x60,c910", core
 /// name substrings) against allPlatforms(). Errors on an unknown token.
 Expected<std::vector<hw::Platform>> selectPlatforms(const std::string &Spec);
 
 /// Resolves a comma-separated workload spec ("all", "sqlite,matmul")
-/// against standardWorkloads(). Errors on an unknown token.
-Expected<std::vector<WorkloadDesc>> selectWorkloads(const std::string &Spec);
+/// against standardWorkloads(\p Scale). Errors on an unknown token.
+Expected<std::vector<WorkloadDesc>> selectWorkloads(const std::string &Spec,
+                                                    unsigned Scale = 1);
 
 } // namespace driver
 } // namespace mperf

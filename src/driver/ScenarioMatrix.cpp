@@ -60,6 +60,11 @@ ScenarioMatrix &ScenarioMatrix::setFuel(uint64_t MaxOps) {
   return *this;
 }
 
+ScenarioMatrix &ScenarioMatrix::setAnalyses(std::vector<std::string> Names) {
+  Analyses = std::move(Names);
+  return *this;
+}
+
 namespace {
 
 template <typename T>
@@ -104,6 +109,7 @@ std::vector<Scenario> ScenarioMatrix::build() const {
             if (Fuel)
               S.Knobs.Session.Fuel = Fuel;
             S.Knobs.Vectorize = Vec;
+            S.Knobs.Analyses = Analyses;
 
             S.Name = W.Name + "@" + Key;
             if (!Sample)

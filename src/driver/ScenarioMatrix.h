@@ -41,6 +41,11 @@ public:
   ScenarioMatrix &addVectorize(bool On);
   /// Interpreter fuel applied to every scenario.
   ScenarioMatrix &setFuel(uint64_t MaxOps);
+  /// Analyses (AnalysisRegistry names) attached to every scenario; the
+  /// runner executes them over each scenario's Profile and the report
+  /// embeds their JSON per scenario. Not an axis: the list does not
+  /// multiply the matrix.
+  ScenarioMatrix &setAnalyses(std::vector<std::string> Names);
 
   /// Number of scenarios build() will produce.
   size_t size() const;
@@ -56,6 +61,7 @@ private:
   std::vector<uint64_t> PeriodAxis;
   std::vector<bool> VectorizeAxis;
   uint64_t Fuel = 0; // 0: keep the SessionOptions default
+  std::vector<std::string> Analyses;
 };
 
 } // namespace driver

@@ -27,22 +27,37 @@ const ScenarioResult *SweepReport::result(const std::string &Name) const {
   return nullptr;
 }
 
+/// "hotspots,topdown" or "hotspots,topdown(1 failed)" for the table.
+static std::string analysesCell(const ScenarioResult &R) {
+  if (R.Analyses.empty())
+    return "-";
+  std::string Cell;
+  size_t Failures = 0;
+  for (const AnalysisRecord &A : R.Analyses) {
+    Cell += (Cell.empty() ? "" : ",") + A.Name;
+    Failures += A.Failed ? 1 : 0;
+  }
+  if (Failures)
+    Cell += " (" + std::to_string(Failures) + " failed)";
+  return Cell;
+}
+
 TextTable SweepReport::toTable() const {
   TextTable T("Sweep: " + std::to_string(Results.size()) + " scenarios, " +
               std::to_string(Jobs) + " job(s), " +
               std::to_string(numFailures()) + " failure(s)");
   T.addHeader({"Scenario", "Platform", "cycles", "instructions", "IPC",
-               "samples", "sim ms", "status"});
+               "samples", "sim ms", "analyses", "status"});
   for (const ScenarioResult &R : Results) {
     if (R.Failed) {
-      T.addRow({R.Name, R.PlatformName, "-", "-", "-", "-", "-",
+      T.addRow({R.Name, R.PlatformName, "-", "-", "-", "-", "-", "-",
                 "FAILED: " + R.Error});
       continue;
     }
     T.addRow({R.Name, R.PlatformName, withCommas(R.Profile.Cycles),
               withCommas(R.Profile.Instructions), fixed(R.Profile.Ipc, 2),
               std::to_string(R.NumSamples),
-              fixed(R.Profile.Seconds * 1e3, 3), "ok"});
+              fixed(R.Profile.Seconds * 1e3, 3), analysesCell(R), "ok"});
   }
   return T;
 }
@@ -51,7 +66,7 @@ std::string SweepReport::toJson() const {
   JsonWriter W;
   W.beginObject();
   W.key("schema");
-  W.string("miniperf-sweep-report/v1");
+  W.string("miniperf-sweep-report/v2");
   W.key("jobs");
   W.number(static_cast<uint64_t>(Jobs));
   W.key("host_seconds");
@@ -103,6 +118,35 @@ std::string SweepReport::toJson() const {
       W.boolean(R.Profile.SamplingAvailable);
       W.key("leader");
       W.string(R.Profile.LeaderDescription);
+      W.key("counters");
+      W.beginObject();
+      for (const miniperf::ProfileCounter &C : R.Profile.Counters) {
+        W.key(C.Name);
+        W.number(C.Value);
+      }
+      W.endObject();
+      if (!R.Analyses.empty()) {
+        W.key("analyses");
+        W.beginArray();
+        for (const AnalysisRecord &A : R.Analyses) {
+          W.beginObject();
+          W.key("analysis");
+          W.string(A.Name);
+          W.key("ok");
+          W.boolean(!A.Failed);
+          if (A.Failed) {
+            W.key("error");
+            W.string(A.Error);
+          } else {
+            W.key("schema");
+            W.string(A.Schema);
+            W.key("report");
+            W.rawValue(A.Json);
+          }
+          W.endObject();
+        }
+        W.endArray();
+      }
     }
     W.key("host_seconds");
     W.number(R.HostSeconds);

@@ -7,9 +7,10 @@
 ///
 /// \file
 /// The machine-readable outcome of one scenario sweep: per-scenario
-/// ProfileResults (or failure messages) in matrix order, renderable as a
-/// text table (support/Table.h) and as JSON (support/JSON.h). The JSON
-/// schema is versioned so downstream perf gates can diff reports.
+/// Profiles with their analysis results (or failure messages) in matrix
+/// order, renderable as a text table (support/Table.h) and as JSON
+/// (support/JSON.h). The JSON schema is versioned so downstream perf
+/// gates can diff reports (`miniperf-sweep --baseline`).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +22,19 @@
 
 namespace mperf {
 namespace driver {
+
+/// One analysis executed over one scenario's Profile. The JSON and
+/// text are serialized eagerly so the report can drop the (large)
+/// sample buffers while keeping the analysis outcome, and so the
+/// --jobs bit-identity property is a plain string comparison.
+struct AnalysisRecord {
+  std::string Name;   // registry name ("hotspots", ...)
+  bool Failed = false;
+  std::string Error;  // set when the analysis could not run
+  std::string Schema; // e.g. "miniperf-analysis/hotspots/v1"
+  std::string Json;   // the serialized analysis document
+  std::string Text;   // rendered TextTable
+};
 
 /// What one scenario produced.
 struct ScenarioResult {
@@ -34,10 +48,13 @@ struct ScenarioResult {
   bool Failed = false;
   std::string Error;
 
-  miniperf::ProfileResult Profile;
+  miniperf::Profile Profile;
   /// Sample count before any trimming (Profile.Samples may be cleared
   /// by the runner to bound sweep memory).
   uint64_t NumSamples = 0;
+  /// Results of the analyses the scenario's knobs requested, in
+  /// request order (run before sample trimming).
+  std::vector<AnalysisRecord> Analyses;
   /// Host wall-clock spent building + simulating this scenario.
   double HostSeconds = 0;
 };
@@ -58,7 +75,8 @@ struct SweepReport {
   /// One row per scenario: counts, IPC, samples, status.
   TextTable toTable() const;
 
-  /// The versioned JSON document ("miniperf-sweep-report/v1").
+  /// The versioned JSON document ("miniperf-sweep-report/v2"; v2 added
+  /// the per-scenario "analyses" blocks).
   std::string toJson() const;
 };
 

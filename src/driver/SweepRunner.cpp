@@ -18,6 +18,8 @@
 
 #include "driver/SweepRunner.h"
 
+#include "miniperf/Analysis.h"
+
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -64,7 +66,7 @@ ScenarioResult SweepRunner::runScenario(const Scenario &S) const {
   miniperf::Session Sess(S.Platform, S.Knobs.Session);
   if (InstOr->Setup)
     Sess.setSetupHook(InstOr->Setup);
-  Expected<miniperf::ProfileResult> POr =
+  Expected<miniperf::Profile> POr =
       Sess.profile(*InstOr->M, InstOr->Entry, InstOr->Args);
   if (!POr) {
     R.Failed = true;
@@ -74,7 +76,35 @@ ScenarioResult SweepRunner::runScenario(const Scenario &S) const {
   }
 
   R.Profile = std::move(*POr);
+  // Stamp the artifact with its scenario identity so analyses (and
+  // anyone holding just the Profile) can tell where it came from.
+  R.Profile.WorkloadName = S.Workload.Name;
+  R.Profile.Tags = S.Tags;
   R.NumSamples = R.Profile.Samples.size();
+
+  // Run the requested analyses while the sample buffers are still
+  // attached; a failing analysis is recorded, not fatal, mirroring how
+  // scenario failures never abort the sweep.
+  const miniperf::AnalysisRegistry &Registry =
+      miniperf::AnalysisRegistry::builtins();
+  for (const std::string &Name : S.Knobs.Analyses) {
+    AnalysisRecord Rec;
+    Rec.Name = Name;
+    const miniperf::Analysis *A = Registry.find(Name);
+    if (!A) {
+      Rec.Failed = true;
+      Rec.Error = "unknown analysis '" + Name + "'";
+    } else if (Expected<miniperf::AnalysisResult> AR = A->run(R.Profile)) {
+      Rec.Schema = AR->Schema;
+      Rec.Json = miniperf::serializeJson(AR->Json);
+      Rec.Text = AR->Table.render();
+    } else {
+      Rec.Failed = true;
+      Rec.Error = AR.errorMessage();
+    }
+    R.Analyses.push_back(std::move(Rec));
+  }
+
   if (!Opts.KeepSamples) {
     R.Profile.Samples.clear();
     R.Profile.Samples.shrink_to_fit();

@@ -1,0 +1,362 @@
+//===- Analysis.cpp - Pluggable analyses over a Profile ------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// The built-in analyses. Each one wraps an existing engine (Hotspots,
+// FlameGraph, TopDown, roofline/PmuEstimator, the vm/core op counters)
+// behind the uniform Analysis interface, emitting a TextTable plus a
+// versioned JSON document. Everything here is deterministic: two runs
+// over the same Profile serialize to identical bytes, the property the
+// sweep's --jobs bit-identity test relies on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniperf/Analysis.h"
+
+#include "miniperf/FlameGraph.h"
+#include "miniperf/Hotspots.h"
+#include "miniperf/TopDown.h"
+#include "roofline/PmuEstimator.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+using namespace mperf;
+using namespace mperf::miniperf;
+
+//===----------------------------------------------------------------------===//
+// Analysis base helpers
+//===----------------------------------------------------------------------===//
+
+Error Analysis::checkRequirements(const Profile &P) const {
+  for (const std::string &Ev : requiredEvents()) {
+    if (Ev == "samples") {
+      if (P.Samples.empty())
+        return Error("analysis '" + name() + "' requires samples, but the "
+                     "profile has none (" +
+                     (P.SamplingAvailable ? "stat mode or too-long period"
+                                          : "platform cannot sample") +
+                     ")");
+      continue;
+    }
+    if (!P.hasCounter(Ev))
+      return Error("analysis '" + name() + "' requires the '" + Ev +
+                   "' counter, which the profile does not carry");
+  }
+  return Error::success();
+}
+
+AnalysisResult Analysis::makeResult(unsigned Version) const {
+  AnalysisResult R;
+  R.Analysis = name();
+  R.Schema = "miniperf-analysis/" + name() + "/v" + std::to_string(Version);
+  R.Json = JsonValue::makeObject();
+  R.Json.insert("schema", JsonValue::makeString(R.Schema));
+  return R;
+}
+
+std::string miniperf::serializeJson(const JsonValue &V) {
+  JsonWriter W;
+  W.value(V);
+  return W.str();
+}
+
+//===----------------------------------------------------------------------===//
+// hotspots — the paper's Table 2 per-function breakdown.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class HotspotsAnalysis : public Analysis {
+public:
+  std::string name() const override { return "hotspots"; }
+  std::string description() const override {
+    return "per-function cycle share, instructions and IPC (Table 2)";
+  }
+  std::vector<std::string> requiredEvents() const override {
+    return {"samples", "cycles", "instructions"};
+  }
+
+  Expected<AnalysisResult> run(const Profile &P) const override {
+    if (Error E = checkRequirements(P))
+      return makeError<AnalysisResult>(E.message());
+    std::vector<HotspotRow> Rows = computeHotspots(P);
+
+    AnalysisResult R = makeResult(1);
+    R.Table = hotspotTable(Rows, P.Platform.CoreName, Rows.size());
+
+    JsonValue Arr = JsonValue::makeArray();
+    for (const HotspotRow &Row : Rows) {
+      JsonValue O = JsonValue::makeObject();
+      O.insert("function", JsonValue::makeString(Row.Function));
+      O.insert("share", JsonValue::makeNumber(Row.TotalShare));
+      O.insert("instructions",
+               JsonValue::makeNumber(static_cast<double>(Row.Instructions)));
+      O.insert("ipc", JsonValue::makeNumber(Row.Ipc));
+      Arr.append(std::move(O));
+    }
+    R.Json.insert("metric", JsonValue::makeString("cycles"));
+    R.Json.insert("num_functions",
+                  JsonValue::makeNumber(static_cast<double>(Rows.size())));
+    R.Json.insert("rows", std::move(Arr));
+    return R;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// flamegraph — §5.1's weighted call stacks, both paper metrics.
+//===----------------------------------------------------------------------===//
+
+class FlameGraphAnalysis : public Analysis {
+public:
+  std::string name() const override { return "flamegraph"; }
+  std::string description() const override {
+    return "folded call stacks weighted by cycles and instructions "
+           "(Fig. 3)";
+  }
+  std::vector<std::string> requiredEvents() const override {
+    return {"samples", "cycles", "instructions"};
+  }
+
+  Expected<AnalysisResult> run(const Profile &P) const override {
+    if (Error E = checkRequirements(P))
+      return makeError<AnalysisResult>(E.message());
+
+    AnalysisResult R = makeResult(1);
+    R.Table = TextTable("Flame graph summary — " + P.Platform.CoreName);
+    R.Table.addHeader({"Metric", "Total weight", "Top leaf", "Leaf share"});
+
+    // leafShare scans the whole graph, so query each distinct leaf
+    // once instead of once per sample.
+    std::set<std::string> Leaves;
+    for (const kernel::PerfSample &S : P.Samples)
+      if (!S.Leaf.empty())
+        Leaves.insert(S.Leaf);
+
+    JsonValue Metrics = JsonValue::makeObject();
+    for (const char *Metric : {"cycles", "instructions"}) {
+      FlameGraph FG =
+          FlameGraph::fromSamples(P.Samples, P.counterFd(Metric), Metric);
+
+      // The widest leaf, for the summary table (set order makes the
+      // name tie-break deterministic).
+      std::string TopLeaf;
+      double TopShare = 0;
+      for (const std::string &Leaf : Leaves) {
+        double Share = FG.leafShare(Leaf);
+        if (Share > TopShare) {
+          TopShare = Share;
+          TopLeaf = Leaf;
+        }
+      }
+      R.Table.addRow({Metric, withCommas(FG.totalWeight()), TopLeaf,
+                      percent(TopShare)});
+
+      JsonValue O = JsonValue::makeObject();
+      O.insert("total_weight",
+               JsonValue::makeNumber(static_cast<double>(FG.totalWeight())));
+      O.insert("top_leaf", JsonValue::makeString(TopLeaf));
+      O.insert("top_leaf_share", JsonValue::makeNumber(TopShare));
+      O.insert("folded", JsonValue::makeString(FG.folded()));
+      Metrics.insert(Metric, std::move(O));
+    }
+    R.Json.insert("num_samples",
+                  JsonValue::makeNumber(static_cast<double>(P.Samples.size())));
+    R.Json.insert("metrics", std::move(Metrics));
+    return R;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// topdown — the §6 future-work TMA level-1 buckets.
+//===----------------------------------------------------------------------===//
+
+class TopDownAnalysis : public Analysis {
+public:
+  std::string name() const override { return "topdown"; }
+  std::string description() const override {
+    return "level-1 Top-Down (TMA) cycle buckets from core statistics";
+  }
+  std::vector<std::string> requiredEvents() const override { return {}; }
+
+  Expected<AnalysisResult> run(const Profile &P) const override {
+    TopDownBreakdown B = computeTopDown(P.Core);
+    AnalysisResult R = makeResult(1);
+    R.Table = topDownTable(B, P.Platform.CoreName);
+    R.Json.insert("retiring", JsonValue::makeNumber(B.Retiring));
+    R.Json.insert("bad_speculation", JsonValue::makeNumber(B.BadSpeculation));
+    R.Json.insert("backend_memory", JsonValue::makeNumber(B.BackendMemory));
+    R.Json.insert("backend_core", JsonValue::makeNumber(B.BackendCore));
+    R.Json.insert("system", JsonValue::makeNumber(B.System));
+    R.Json.insert("total", JsonValue::makeNumber(B.total()));
+    return R;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// roofline — achieved GFLOP/s vs the platform's theoretical roof, plus
+// the Advisor-style speculative-counter estimate (the Fig. 4 gap).
+//===----------------------------------------------------------------------===//
+
+class RooflineAnalysis : public Analysis {
+public:
+  std::string name() const override { return "roofline"; }
+  std::string description() const override {
+    return "achieved FLOP rate, arithmetic intensity and counter-based "
+           "estimate vs the theoretical roof (Fig. 4)";
+  }
+  std::vector<std::string> requiredEvents() const override { return {}; }
+
+  Expected<AnalysisResult> run(const Profile &P) const override {
+    roofline::PmuEstimate Est = roofline::estimateFromProfile(P);
+    const double GFlopsActual =
+        P.Seconds > 0 ? P.Core.FpOpsActual / P.Seconds / 1e9 : 0;
+    const double L1Bytes =
+        static_cast<double>(P.Vm.LoadedBytes + P.Vm.StoredBytes);
+    const double Intensity = L1Bytes > 0 ? P.Core.FpOpsActual / L1Bytes : 0;
+    const double DramBytes = static_cast<double>(P.Cache.DramBytes);
+    const double DramIntensity =
+        DramBytes > 0 ? P.Core.FpOpsActual / DramBytes : 0;
+    const double PeakGFlops =
+        P.Platform.TheoreticalFlopsPerCycle * P.Platform.Core.FreqGHz;
+
+    AnalysisResult R = makeResult(1);
+    R.Table = TextTable("Roofline point — " + P.Platform.CoreName);
+    R.Table.addHeader({"Quantity", "Value"});
+    R.Table.addRow({"achieved GFLOP/s", fixed(GFlopsActual, 3)});
+    R.Table.addRow({"counter-based GFLOP/s (spec)", fixed(Est.GFlops, 3)});
+    R.Table.addRow({"arithmetic intensity (L1)", fixed(Intensity, 4)});
+    R.Table.addRow({"arithmetic intensity (DRAM)", fixed(DramIntensity, 4)});
+    R.Table.addRow({"compute roof GFLOP/s", fixed(PeakGFlops, 1)});
+
+    R.Json.insert("gflops", JsonValue::makeNumber(GFlopsActual));
+    R.Json.insert("gflops_spec_estimate", JsonValue::makeNumber(Est.GFlops));
+    R.Json.insert("flops", JsonValue::makeNumber(P.Core.FpOpsActual));
+    R.Json.insert("flops_spec", JsonValue::makeNumber(P.Core.FpOpsSpec));
+    R.Json.insert("arithmetic_intensity_l1",
+                  JsonValue::makeNumber(Intensity));
+    R.Json.insert("arithmetic_intensity_dram",
+                  JsonValue::makeNumber(DramIntensity));
+    R.Json.insert("compute_roof_gflops", JsonValue::makeNumber(PeakGFlops));
+    R.Json.insert("compute_roof_source",
+                  JsonValue::makeString(P.Platform.FlopsDerivation));
+    return R;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// opcounts — the dynamic operation mix (the profile-side sibling of the
+// static analysis/OpCounts pass).
+//===----------------------------------------------------------------------===//
+
+class OpCountsAnalysis : public Analysis {
+public:
+  std::string name() const override { return "opcounts"; }
+  std::string description() const override {
+    return "dynamic operation mix: retired ops, bytes moved, FLOPs, "
+           "branches, cache traffic";
+  }
+  std::vector<std::string> requiredEvents() const override { return {}; }
+
+  Expected<AnalysisResult> run(const Profile &P) const override {
+    AnalysisResult R = makeResult(1);
+    R.Table = TextTable("Operation mix — " + P.Platform.CoreName);
+    R.Table.addHeader({"Counter", "Value"});
+
+    auto Row = [&R](const std::string &Key, uint64_t Value) {
+      R.Table.addRow({Key, withCommas(Value)});
+      R.Json.insert(Key,
+                    JsonValue::makeNumber(static_cast<double>(Value)));
+    };
+    Row("retired_ir_ops", P.Vm.RetiredOps);
+    Row("calls", P.Vm.Calls);
+    Row("loaded_bytes", P.Vm.LoadedBytes);
+    Row("stored_bytes", P.Vm.StoredBytes);
+    Row("flops", static_cast<uint64_t>(P.Core.FpOpsActual));
+    Row("flops_spec", static_cast<uint64_t>(P.Core.FpOpsSpec));
+    Row("branch_mispredicts", P.Core.BranchMispredicts);
+    Row("l1_hits", P.Cache.L1Hits);
+    Row("l1_misses", P.Cache.L1Misses);
+    Row("l2_hits", P.Cache.L2Hits);
+    Row("l2_misses", P.Cache.L2Misses);
+    Row("dram_bytes", P.Cache.DramBytes);
+    return R;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AnalysisRegistry
+//===----------------------------------------------------------------------===//
+
+const AnalysisRegistry &AnalysisRegistry::builtins() {
+  static const AnalysisRegistry Registry = [] {
+    AnalysisRegistry R;
+    R.add(std::make_unique<HotspotsAnalysis>());
+    R.add(std::make_unique<FlameGraphAnalysis>());
+    R.add(std::make_unique<TopDownAnalysis>());
+    R.add(std::make_unique<RooflineAnalysis>());
+    R.add(std::make_unique<OpCountsAnalysis>());
+    return R;
+  }();
+  return Registry;
+}
+
+void AnalysisRegistry::add(std::unique_ptr<Analysis> A) {
+  for (std::unique_ptr<Analysis> &E : Entries) {
+    if (E->name() == A->name()) {
+      E = std::move(A);
+      return;
+    }
+  }
+  Entries.push_back(std::move(A));
+}
+
+const Analysis *AnalysisRegistry::find(std::string_view Name) const {
+  for (const std::unique_ptr<Analysis> &E : Entries)
+    if (E->name() == Name)
+      return E.get();
+  return nullptr;
+}
+
+std::vector<const Analysis *> AnalysisRegistry::all() const {
+  std::vector<const Analysis *> Out;
+  Out.reserve(Entries.size());
+  for (const std::unique_ptr<Analysis> &E : Entries)
+    Out.push_back(E.get());
+  return Out;
+}
+
+Expected<std::vector<const Analysis *>>
+AnalysisRegistry::select(const std::string &Spec) const {
+  std::string Lower = Spec;
+  std::transform(Lower.begin(), Lower.end(), Lower.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  if (Lower.empty() || Lower == "all")
+    return all();
+
+  std::vector<const Analysis *> Out;
+  for (std::string_view Token : split(Lower, ',')) {
+    std::string Want(trim(Token));
+    if (Want.empty())
+      continue;
+    const Analysis *A = find(Want);
+    if (!A) {
+      std::string Known;
+      for (const Analysis *E : all())
+        Known += (Known.empty() ? "" : ", ") + E->name();
+      return makeError<std::vector<const Analysis *>>(
+          "unknown analysis '" + Want + "' (known: all, " + Known + ")");
+    }
+    if (std::find(Out.begin(), Out.end(), A) == Out.end())
+      Out.push_back(A);
+  }
+  if (Out.empty())
+    return makeError<std::vector<const Analysis *>>(
+        "analysis spec '" + Spec + "' selected nothing");
+  return Out;
+}

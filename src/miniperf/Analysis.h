@@ -1,0 +1,117 @@
+//===- Analysis.h - Pluggable analyses over a Profile ----------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's workflow is a pipeline: one profiling artifact, then
+/// several analyses dissecting it — hotspot tables, flame graphs,
+/// top-down buckets, roofline points. This header makes that pipeline an
+/// API: an Analysis declares its name and the profile features it needs,
+/// and turns a Profile into an AnalysisResult carrying both a TextTable
+/// (for terminals) and a versioned JSON document (for reports and
+/// tooling). The AnalysisRegistry exposes the built-ins — hotspots,
+/// flamegraph, topdown, roofline, opcounts — and accepts user plugins,
+/// so a new analysis is a ~100-line subclass instead of a subsystem;
+/// the sweep driver embeds any registered analysis per scenario.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_MINIPERF_ANALYSIS_H
+#define MPERF_MINIPERF_ANALYSIS_H
+
+#include "miniperf/Profile.h"
+#include "support/JSON.h"
+#include "support/Table.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace miniperf {
+
+/// What one analysis produced from one Profile.
+struct AnalysisResult {
+  /// The producing analysis ("hotspots", "topdown", ...).
+  std::string Analysis;
+  /// Versioned document schema, "miniperf-analysis/<name>/v<N>"; also
+  /// present as the "schema" member of Json.
+  std::string Schema;
+  /// Human-readable rendering.
+  TextTable Table;
+  /// Machine-readable document (object; includes "schema").
+  JsonValue Json = JsonValue::makeObject();
+};
+
+/// One registrable analysis over a Profile.
+class Analysis {
+public:
+  virtual ~Analysis() = default;
+
+  /// Stable registry key ("hotspots", "flamegraph", ...).
+  virtual std::string name() const = 0;
+
+  /// One line for --list output and docs.
+  virtual std::string description() const = 0;
+
+  /// Profile features this analysis requires: counter names
+  /// ("cycles", "instructions") resolved against Profile::hasCounter,
+  /// plus the pseudo-event "samples" (a non-empty sample buffer).
+  /// An empty list means any Profile will do.
+  virtual std::vector<std::string> requiredEvents() const = 0;
+
+  /// Dissects \p P. Implementations may assume checkRequirements
+  /// passed; run() re-checks and errors out otherwise.
+  virtual Expected<AnalysisResult> run(const Profile &P) const = 0;
+
+  /// Verifies \p P provides every required event; the error names the
+  /// first missing one.
+  Error checkRequirements(const Profile &P) const;
+
+protected:
+  /// Starts a result: fills Analysis/Schema and seeds Json with the
+  /// "schema" member so every document is versioned the same way.
+  AnalysisResult makeResult(unsigned Version) const;
+};
+
+/// A named set of analyses. The built-ins live in builtins(); tools
+/// resolve user --analyses specs against it via select().
+class AnalysisRegistry {
+public:
+  AnalysisRegistry() = default;
+  AnalysisRegistry(AnalysisRegistry &&) = default;
+  AnalysisRegistry &operator=(AnalysisRegistry &&) = default;
+
+  /// The registry of built-in analyses: hotspots, flamegraph, topdown,
+  /// roofline, opcounts. Constructed once, immutable, thread-safe to
+  /// read from concurrent sweep workers.
+  static const AnalysisRegistry &builtins();
+
+  /// Registers \p A; replaces an existing analysis of the same name.
+  void add(std::unique_ptr<Analysis> A);
+
+  /// Finds by name; nullptr on miss.
+  const Analysis *find(std::string_view Name) const;
+
+  /// Registration order, the order reports list analyses in.
+  std::vector<const Analysis *> all() const;
+
+  /// Resolves a comma-separated spec ("all", "hotspots,topdown")
+  /// against the registry. Errors on an unknown token.
+  Expected<std::vector<const Analysis *>> select(const std::string &Spec) const;
+
+private:
+  std::vector<std::unique_ptr<Analysis>> Entries;
+};
+
+/// Serializes \p V as compact JSON (JsonWriter formatting rules), the
+/// form reports embed and tests compare bit-for-bit.
+std::string serializeJson(const JsonValue &V);
+
+} // namespace miniperf
+} // namespace mperf
+
+#endif // MPERF_MINIPERF_ANALYSIS_H

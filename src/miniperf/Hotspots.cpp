@@ -22,8 +22,7 @@ static uint64_t groupValue(const PerfSample &S, int Fd) {
   return 0;
 }
 
-std::vector<HotspotRow>
-miniperf::computeHotspots(const ProfileResult &Profile) {
+std::vector<HotspotRow> miniperf::computeHotspots(const Profile &P) {
   struct Acc {
     uint64_t Cycles = 0;
     uint64_t Instructions = 0;
@@ -31,11 +30,13 @@ miniperf::computeHotspots(const ProfileResult &Profile) {
   std::map<std::string, Acc> PerFn;
   uint64_t TotalCycles = 0;
 
+  const int CyclesFd = P.counterFd("cycles");
+  const int InstructionsFd = P.counterFd("instructions");
   uint64_t PrevCycles = 0, PrevInstr = 0;
   bool HavePrev = false;
-  for (const PerfSample &S : Profile.Samples) {
-    uint64_t CurCycles = groupValue(S, Profile.CyclesFd);
-    uint64_t CurInstr = groupValue(S, Profile.InstructionsFd);
+  for (const PerfSample &S : P.Samples) {
+    uint64_t CurCycles = groupValue(S, CyclesFd);
+    uint64_t CurInstr = groupValue(S, InstructionsFd);
     if (HavePrev && CurCycles >= PrevCycles && !S.Leaf.empty()) {
       Acc &A = PerFn[S.Leaf];
       uint64_t DC = CurCycles - PrevCycles;

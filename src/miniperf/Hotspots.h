@@ -16,7 +16,7 @@
 #ifndef MPERF_MINIPERF_HOTSPOTS_H
 #define MPERF_MINIPERF_HOTSPOTS_H
 
-#include "miniperf/Session.h"
+#include "miniperf/Profile.h"
 #include "support/Table.h"
 
 #include <string>
@@ -34,9 +34,9 @@ struct HotspotRow {
 };
 
 /// Computes the hotspot table from a sampled profile, most-expensive
-/// first. Requires cycles and instructions fds in the samples' group
-/// values.
-std::vector<HotspotRow> computeHotspots(const ProfileResult &Profile);
+/// first. Requires the "cycles" and "instructions" named counters in
+/// the samples' group values.
+std::vector<HotspotRow> computeHotspots(const Profile &P);
 
 /// Renders rows in the paper's Table 2 format.
 TextTable hotspotTable(const std::vector<HotspotRow> &Rows,

@@ -1,0 +1,36 @@
+//===- Profile.cpp - The profiling artifact one Session run produces -----------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniperf/Profile.h"
+
+using namespace mperf;
+using namespace mperf::miniperf;
+
+const ProfileCounter *Profile::counter(std::string_view Name) const {
+  for (const ProfileCounter &C : Counters)
+    if (C.Name == Name)
+      return &C;
+  return nullptr;
+}
+
+uint64_t Profile::counterValue(std::string_view Name) const {
+  const ProfileCounter *C = counter(Name);
+  return C ? C->Value : 0;
+}
+
+int Profile::counterFd(std::string_view Name) const {
+  const ProfileCounter *C = counter(Name);
+  return C ? C->GroupFd : -1;
+}
+
+std::string Profile::tag(std::string_view Key) const {
+  const std::string Prefix = std::string(Key) + "=";
+  for (const std::string &T : Tags)
+    if (T.size() > Prefix.size() && T.compare(0, Prefix.size(), Prefix) == 0)
+      return T.substr(Prefix.size());
+  return "";
+}

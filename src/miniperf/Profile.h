@@ -1,0 +1,121 @@
+//===- Profile.h - The profiling artifact one Session run produces -*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Profile is the first-class artifact of the paper's workflow: what
+/// `miniperf stat` / `miniperf record` write to disk and every analysis
+/// (hotspots, flame graphs, top-down, roofline) subsequently dissects.
+/// It carries the harvested counter group as *named* counters — callers
+/// look up "cycles"/"instructions" by name instead of threading raw
+/// group fds around — plus the sample buffer, the simulated core/cache/
+/// vm statistics, and the platform and scenario tags identifying the
+/// run. See Analysis.h for the pipeline that consumes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_MINIPERF_PROFILE_H
+#define MPERF_MINIPERF_PROFILE_H
+
+#include "hw/CacheSim.h"
+#include "hw/CoreModel.h"
+#include "hw/Platform.h"
+#include "kernel/PerfEvent.h"
+#include "vm/Interpreter.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mperf {
+namespace miniperf {
+
+/// One harvested counter of the profiling group, addressable by name.
+/// Well-known names: "cycles", "instructions", and "leader" (the event
+/// that drove sampling; on the X60 workaround a distinct raw event, on
+/// mature cores an alias of "cycles").
+struct ProfileCounter {
+  std::string Name;
+  uint64_t Value = 0;
+  /// The counter's fd inside the samples' GroupValues; -1 when the
+  /// counter was counting-only outside the sampled group.
+  int GroupFd = -1;
+  /// Human-readable event description ("raw:u_mode_cycle", "hw:cycles").
+  std::string Description;
+};
+
+/// Everything one profiling run produces.
+struct Profile {
+  //===--------------------------------------------------------------===//
+  // Identity: where and what this profile was taken of.
+  //===--------------------------------------------------------------===//
+
+  /// The simulated platform the run executed on (copied by value, like
+  /// Session holds it; analyses derive theoretical roofs from it).
+  hw::Platform Platform;
+  /// Workload name when the profile came out of a sweep scenario.
+  std::string WorkloadName;
+  /// "key=value" scenario tags (platform=, workload=, sampling=, ...).
+  std::vector<std::string> Tags;
+
+  //===--------------------------------------------------------------===//
+  // Headline counts.
+  //===--------------------------------------------------------------===//
+
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  double Ipc = 0;
+  /// Simulated seconds (Cycles over the core frequency).
+  double Seconds = 0;
+
+  //===--------------------------------------------------------------===//
+  // The harvested counter group, by name.
+  //===--------------------------------------------------------------===//
+
+  std::vector<ProfileCounter> Counters;
+
+  /// Finds a counter by name; nullptr on miss.
+  const ProfileCounter *counter(std::string_view Name) const;
+  /// The counter's harvested value; 0 on miss.
+  uint64_t counterValue(std::string_view Name) const;
+  /// The counter's fd inside the samples' GroupValues; -1 on miss.
+  int counterFd(std::string_view Name) const;
+  bool hasCounter(std::string_view Name) const {
+    return counter(Name) != nullptr;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Sampling.
+  //===--------------------------------------------------------------===//
+
+  std::vector<kernel::PerfSample> Samples;
+  bool UsedWorkaround = false;
+  bool SamplingAvailable = true;
+  std::string LeaderDescription;
+
+  //===--------------------------------------------------------------===//
+  // Simulated machine statistics.
+  //===--------------------------------------------------------------===//
+
+  hw::CoreStats Core;
+  hw::CacheStats Cache;
+  uint64_t Interrupts = 0;
+  uint64_t SbiEcalls = 0;
+  vm::RunStats Vm;
+
+  /// Returns the value of scenario tag \p Key, or "" when absent.
+  std::string tag(std::string_view Key) const;
+};
+
+/// Compatibility alias for the pre-Profile flat result type. The raw
+/// CyclesFd/InstructionsFd/LeaderFd fields are gone — use
+/// counterFd("cycles") etc. The alias itself dies next PR.
+using ProfileResult = Profile;
+
+} // namespace miniperf
+} // namespace mperf
+
+#endif // MPERF_MINIPERF_PROFILE_H

@@ -12,14 +12,28 @@ using namespace mperf::miniperf;
 using namespace mperf::hw;
 using namespace mperf::kernel;
 
-Expected<ProfileResult> Session::profile(ir::Module &M,
-                                         const std::string &Entry,
-                                         const std::vector<vm::RtValue> &Args) {
+/// Renders one planned event as a short human-readable description for
+/// the Profile's counter table.
+static std::string describeEvent(const PerfEventAttr &Attr) {
+  if (Attr.EventType == PerfEventAttr::Type::Raw)
+    return "raw:" + std::to_string(Attr.RawCode);
+  switch (Attr.Hw) {
+  case HwEventId::CpuCycles:
+    return "hw:cycles";
+  case HwEventId::Instructions:
+    return "hw:instructions";
+  default:
+    return "hw:other";
+  }
+}
+
+Expected<Profile> Session::profile(ir::Module &M, const std::string &Entry,
+                                   const std::vector<vm::RtValue> &Args) {
   // Detect the platform from its id CSRs, the way the real tool does.
   std::vector<Platform> Db = allPlatforms();
   const Platform *Detected = detectPlatform(Db, ThePlatform.Id);
   if (!Detected)
-    return makeError<ProfileResult>(
+    return makeError<Profile>(
         "miniperf: unknown platform (mvendorid=" +
         std::to_string(ThePlatform.Id.Mvendorid) + ")");
 
@@ -37,7 +51,8 @@ Expected<ProfileResult> Session::profile(ir::Module &M,
   GroupPlan Plan = planCyclesInstructionsGroup(
       ThePlatform, Opts.Sampling ? Opts.SamplePeriod : 0);
 
-  ProfileResult Result;
+  Profile Result;
+  Result.Platform = ThePlatform;
   Result.UsedWorkaround = Plan.UsesWorkaround;
   Result.SamplingAvailable = Plan.SamplingAvailable;
   Result.LeaderDescription = Plan.LeaderDescription;
@@ -49,20 +64,22 @@ Expected<ProfileResult> Session::profile(ir::Module &M,
       Attr.SamplePeriod = 0;
     Expected<int> FdOr = Perf.open(Attr, LeaderFd);
     if (!FdOr)
-      return makeError<ProfileResult>(FdOr.errorMessage());
+      return makeError<Profile>(FdOr.errorMessage());
     int Fd = *FdOr;
     if (LeaderFd < 0)
       LeaderFd = Fd;
+
+    // Name the counters: the planner's roles become the Profile's
+    // counter names. A directly-sampled cycles leader doubles as the
+    // cycles counter, so both names resolve to the same fd.
     if (E.Role == "leader") {
-      Result.LeaderFd = Fd;
-      // A directly-sampled cycles leader is also the cycles counter.
+      Result.Counters.push_back(
+          {"leader", 0, Fd, Plan.LeaderDescription});
       if (Attr.EventType == PerfEventAttr::Type::Hardware &&
           Attr.Hw == HwEventId::CpuCycles)
-        Result.CyclesFd = Fd;
-    } else if (E.Role == "cycles") {
-      Result.CyclesFd = Fd;
-    } else if (E.Role == "instructions") {
-      Result.InstructionsFd = Fd;
+        Result.Counters.push_back({"cycles", 0, Fd, describeEvent(Attr)});
+    } else {
+      Result.Counters.push_back({E.Role, 0, Fd, describeEvent(Attr)});
     }
   }
 
@@ -70,26 +87,23 @@ Expected<ProfileResult> Session::profile(ir::Module &M,
     Setup(Vm);
 
   if (Error E = Perf.enable(LeaderFd))
-    return makeError<ProfileResult>(E.message());
+    return makeError<Profile>(E.message());
 
   Expected<vm::RtValue> RunOr = Vm.run(Entry, Args);
   if (!RunOr)
-    return makeError<ProfileResult>(RunOr.errorMessage());
+    return makeError<Profile>(RunOr.errorMessage());
 
   if (Error E = Perf.disable(LeaderFd))
-    return makeError<ProfileResult>(E.message());
+    return makeError<Profile>(E.message());
 
-  // Harvest.
-  if (Result.CyclesFd >= 0) {
-    Expected<uint64_t> V = Perf.read(Result.CyclesFd);
+  // Harvest every named counter, then lift the headline counts.
+  for (ProfileCounter &C : Result.Counters) {
+    Expected<uint64_t> V = Perf.read(C.GroupFd);
     if (V)
-      Result.Cycles = *V;
+      C.Value = *V;
   }
-  if (Result.InstructionsFd >= 0) {
-    Expected<uint64_t> V = Perf.read(Result.InstructionsFd);
-    if (V)
-      Result.Instructions = *V;
-  }
+  Result.Cycles = Result.counterValue("cycles");
+  Result.Instructions = Result.counterValue("instructions");
   Result.Ipc = Result.Cycles
                    ? static_cast<double>(Result.Instructions) / Result.Cycles
                    : 0;

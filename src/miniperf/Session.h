@@ -8,8 +8,10 @@
 /// \file
 /// A Session wires the full stack for one profiling run: interpreter ->
 /// core model -> PMU -> SBI -> perf_event, plans the counter group via
-/// the EventGrouper, runs the workload, and returns counts plus samples.
-/// This is the library equivalent of `miniperf stat` / `miniperf record`.
+/// the EventGrouper, runs the workload, and returns the Profile artifact
+/// (named counters, samples, machine stats — see Profile.h) that the
+/// Analysis pipeline dissects. This is the library equivalent of
+/// `miniperf stat` / `miniperf record`.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +19,7 @@
 #define MPERF_MINIPERF_SESSION_H
 
 #include "miniperf/EventGrouper.h"
+#include "miniperf/Profile.h"
 
 #include <functional>
 
@@ -31,27 +34,6 @@ struct SessionOptions {
   bool Sampling = true;
   /// Interpreter fuel (max retired IR ops).
   uint64_t Fuel = 4ull * 1000 * 1000 * 1000;
-};
-
-/// Everything a run produces.
-struct ProfileResult {
-  uint64_t Cycles = 0;
-  uint64_t Instructions = 0;
-  double Ipc = 0;
-  double Seconds = 0;
-  std::vector<kernel::PerfSample> Samples;
-  /// Group fds inside the samples' GroupValues.
-  int CyclesFd = -1;
-  int InstructionsFd = -1;
-  int LeaderFd = -1;
-  bool UsedWorkaround = false;
-  bool SamplingAvailable = true;
-  std::string LeaderDescription;
-  hw::CoreStats Core;
-  hw::CacheStats Cache;
-  uint64_t Interrupts = 0;
-  uint64_t SbiEcalls = 0;
-  vm::RunStats Vm;
 };
 
 /// One profiling run of one module entry point on one platform.
@@ -69,8 +51,8 @@ public:
   }
 
   /// Runs \p Entry in \p M and profiles it.
-  Expected<ProfileResult> profile(ir::Module &M, const std::string &Entry,
-                                  const std::vector<vm::RtValue> &Args = {});
+  Expected<Profile> profile(ir::Module &M, const std::string &Entry,
+                            const std::vector<vm::RtValue> &Args = {});
 
 private:
   hw::Platform ThePlatform;

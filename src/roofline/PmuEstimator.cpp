@@ -14,6 +14,18 @@ using namespace mperf::roofline;
 using namespace mperf::hw;
 using namespace mperf::kernel;
 
+PmuEstimate
+mperf::roofline::estimateFromProfile(const miniperf::Profile &P) {
+  PmuEstimate Est;
+  Est.Cycles = static_cast<uint64_t>(P.Core.Cycles);
+  Est.SpecFlops = static_cast<uint64_t>(P.Core.FpOpsSpec);
+  Est.Seconds =
+      static_cast<double>(Est.Cycles) / (P.Platform.Core.FreqGHz * 1e9);
+  if (Est.Seconds > 0)
+    Est.GFlops = static_cast<double>(Est.SpecFlops) / Est.Seconds / 1e9;
+  return Est;
+}
+
 Expected<PmuEstimate> mperf::roofline::estimateWithCounters(
     const Platform &P, ir::Module &M, const std::string &Entry,
     const std::vector<vm::RtValue> &Args,

@@ -20,6 +20,7 @@
 #define MPERF_ROOFLINE_PMUESTIMATOR_H
 
 #include "hw/Platform.h"
+#include "miniperf/Profile.h"
 #include "support/Error.h"
 #include "vm/Interpreter.h"
 
@@ -36,6 +37,13 @@ struct PmuEstimate {
   uint64_t Cycles = 0;
   double Seconds = 0;
 };
+
+/// Derives the same Advisor-style numbers from an already-taken Profile:
+/// the simulated core feeds the FpOpsSpec counter whether or not a raw
+/// event was opened, so a Session profile carries everything the
+/// counter-based methodology reads. This is what the "roofline"
+/// Analysis plugin runs.
+PmuEstimate estimateFromProfile(const miniperf::Profile &P);
 
 /// Runs \p Entry of \p M on \p P with an FpOpsSpec counter open and
 /// derives GFLOP/s the way a counter-based tool would.

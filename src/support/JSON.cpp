@@ -12,6 +12,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 using namespace mperf;
 
@@ -129,6 +131,53 @@ void JsonWriter::boolean(bool Value) {
 void JsonWriter::null() {
   beforeValue();
   Out += "null";
+}
+
+void JsonWriter::rawValue(std::string_view Json) {
+  beforeValue();
+  Out += Json;
+}
+
+void JsonWriter::value(const JsonValue &V) {
+  switch (V.kind()) {
+  case JsonValue::Kind::Null:
+    null();
+    break;
+  case JsonValue::Kind::Bool:
+    boolean(V.asBool());
+    break;
+  case JsonValue::Kind::Number: {
+    // JsonValue stores numbers as double; counters up to 2^53 are held
+    // exactly and must round-trip digit-for-digit, so integral values
+    // are emitted as integers instead of %.6g (which would truncate a
+    // cycle count to six significant digits).
+    double D = V.asNumber();
+    if (std::isfinite(D) && D == std::floor(D) && std::fabs(D) <= 9e15) {
+      beforeValue();
+      Out += std::to_string(static_cast<long long>(D));
+    } else {
+      number(D);
+    }
+    break;
+  }
+  case JsonValue::Kind::String:
+    string(V.asString());
+    break;
+  case JsonValue::Kind::Array:
+    beginArray();
+    for (const JsonValue &E : V.elements())
+      value(E);
+    endArray();
+    break;
+  case JsonValue::Kind::Object:
+    beginObject();
+    for (const auto &[K, M] : V.members()) {
+      key(K);
+      value(M);
+    }
+    endObject();
+    break;
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -394,4 +443,16 @@ private:
 
 Expected<JsonValue> mperf::parseJson(std::string_view Text) {
   return JsonParser(Text).parse();
+}
+
+Expected<JsonValue> mperf::parseJsonFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return makeError<JsonValue>("cannot read '" + Path + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  auto VOr = parseJson(Buf.str());
+  if (!VOr)
+    return makeError<JsonValue>(Path + ": " + VOr.errorMessage());
+  return VOr;
 }

@@ -53,6 +53,15 @@ public:
   void boolean(bool Value);
   void null();
 
+  /// Emits a parsed/constructed JsonValue tree as one value — how
+  /// reports embed analysis documents without re-flattening them.
+  void value(const class JsonValue &V);
+
+  /// Splices \p Json — which must be one complete, valid JSON value —
+  /// into the stream verbatim (used to embed pre-serialized analysis
+  /// documents without a parse/re-emit round trip).
+  void rawValue(std::string_view Json);
+
   /// Returns the accumulated JSON text.
   const std::string &str() const { return Out; }
 
@@ -134,6 +143,10 @@ private:
 /// Parses one JSON document (the subset JsonWriter emits: no comments,
 /// \uXXXX escapes decoded as UTF-8). Errors carry line/column context.
 Expected<JsonValue> parseJson(std::string_view Text);
+
+/// Reads and parses the JSON document at \p Path; errors name the file
+/// (shared by bench-diff and the sweep --baseline gate).
+Expected<JsonValue> parseJsonFile(const std::string &Path);
 
 } // namespace mperf
 

@@ -1,0 +1,323 @@
+//===- analysis_api_test.cpp - Profile artifact + Analysis pipeline tests ------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// The Analysis-pipeline contract: every registered analysis runs over a
+// deterministic Profile on every platform (or fails gracefully when the
+// platform cannot provide a required event), emits a versioned JSON
+// document that agrees with its text table, and the sweep embedding is
+// bit-identical at any --jobs count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ScenarioMatrix.h"
+#include "driver/SweepRunner.h"
+#include "miniperf/Analysis.h"
+#include "miniperf/Session.h"
+#include "workloads/SqliteLike.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+using namespace mperf;
+using namespace mperf::miniperf;
+
+namespace {
+
+/// One deterministic sampled profile of the tiny sqlite workload.
+Profile profileOn(const hw::Platform &P) {
+  workloads::SqliteLikeConfig C;
+  C.NumPages = 8;
+  C.CellsPerPage = 8;
+  C.NumQueries = 8;
+  auto W = workloads::buildSqliteLike(C);
+  SessionOptions Opts;
+  Opts.SamplePeriod = 10000;
+  Session S(P, Opts);
+  auto ROr = S.profile(*W.M, "main", {vm::RtValue::ofInt(8)});
+  EXPECT_TRUE(ROr.hasValue()) << (ROr ? "" : ROr.errorMessage());
+  return *ROr;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The Profile artifact itself
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileArtifact, NamedCountersReplaceRawFds) {
+  Profile R = profileOn(hw::spacemitX60());
+
+  // The X60 workaround group: a distinct raw leader plus counting
+  // cycles/instructions members, all addressable by name.
+  ASSERT_TRUE(R.hasCounter("leader"));
+  ASSERT_TRUE(R.hasCounter("cycles"));
+  ASSERT_TRUE(R.hasCounter("instructions"));
+  EXPECT_EQ(R.counterValue("cycles"), R.Cycles);
+  EXPECT_EQ(R.counterValue("instructions"), R.Instructions);
+  EXPECT_NE(R.counterFd("leader"), R.counterFd("cycles"));
+  EXPECT_GE(R.counterFd("cycles"), 0);
+  EXPECT_EQ(R.counterFd("nonexistent"), -1);
+  EXPECT_EQ(R.counterValue("nonexistent"), 0u);
+  EXPECT_FALSE(R.counter("leader")->Description.empty());
+
+  // The samples' group values resolve through the named fds.
+  ASSERT_FALSE(R.Samples.empty());
+  bool Found = false;
+  for (const auto &[Fd, Value] : R.Samples.back().GroupValues)
+    Found = Found || Fd == R.counterFd("cycles");
+  EXPECT_TRUE(Found);
+
+  // The artifact knows its platform.
+  EXPECT_EQ(R.Platform.CoreName, "SpacemiT X60");
+}
+
+TEST(ProfileArtifact, DirectSamplingAliasesLeaderToCycles) {
+  Profile R = profileOn(hw::theadC910());
+  ASSERT_TRUE(R.hasCounter("leader"));
+  ASSERT_TRUE(R.hasCounter("cycles"));
+  // Direct sampling: the cycles counter IS the sampling leader.
+  EXPECT_EQ(R.counterFd("leader"), R.counterFd("cycles"));
+  EXPECT_EQ(R.counterValue("cycles"), R.Cycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Every analysis x every platform
+//===----------------------------------------------------------------------===//
+
+class AnalysesOnEveryPlatform
+    : public ::testing::TestWithParam<hw::Platform> {};
+
+TEST_P(AnalysesOnEveryPlatform, RegisteredAnalysesRunOrFailGracefully) {
+  const hw::Platform &P = GetParam();
+  Profile R = profileOn(P);
+
+  const AnalysisRegistry &Registry = AnalysisRegistry::builtins();
+  std::vector<const Analysis *> All = Registry.all();
+  ASSERT_GE(All.size(), 5u);
+
+  for (const Analysis *A : All) {
+    SCOPED_TRACE(A->name() + " on " + P.CoreName);
+    EXPECT_FALSE(A->description().empty());
+
+    Error Req = A->checkRequirements(R);
+    Expected<AnalysisResult> ROr = A->run(R);
+    if (Req.isError()) {
+      // Unsatisfiable on this platform (e.g. samples on the U74): the
+      // run must fail with the same diagnostic, not crash or lie.
+      ASSERT_FALSE(ROr.hasValue());
+      EXPECT_EQ(ROr.errorMessage(), Req.message());
+      EXPECT_NE(Req.message().find(A->name()), std::string::npos);
+      continue;
+    }
+
+    ASSERT_TRUE(ROr.hasValue()) << ROr.errorMessage();
+    const AnalysisResult &Res = *ROr;
+
+    // Identity and schema/version contract.
+    EXPECT_EQ(Res.Analysis, A->name());
+    EXPECT_EQ(Res.Schema, "miniperf-analysis/" + A->name() + "/v1");
+    ASSERT_TRUE(Res.Json.isObject());
+    const JsonValue *Schema = Res.Json.find("schema");
+    ASSERT_NE(Schema, nullptr);
+    EXPECT_EQ(Schema->asString(), Res.Schema);
+
+    // The document round-trips through the writer and parser.
+    std::string Serialized = serializeJson(Res.Json);
+    auto Reparsed = parseJson(Serialized);
+    ASSERT_TRUE(Reparsed.hasValue()) << Reparsed.errorMessage();
+    EXPECT_EQ(serializeJson(*Reparsed), Serialized);
+
+    // Text output exists and names the platform it describes.
+    std::string Text = Res.Table.render();
+    EXPECT_FALSE(Text.empty());
+    EXPECT_NE(Text.find(P.CoreName), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, AnalysesOnEveryPlatform,
+    ::testing::ValuesIn(hw::allPlatforms()),
+    [](const ::testing::TestParamInfo<hw::Platform> &Info) {
+      std::string Name;
+      for (char C : Info.param.CoreName)
+        if (std::isalnum(static_cast<unsigned char>(C)))
+          Name.push_back(C);
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Text/JSON agreement per analysis
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisAgreement, HotspotRowsMatchTable) {
+  Profile R = profileOn(hw::spacemitX60());
+  auto ROr = AnalysisRegistry::builtins().find("hotspots")->run(R);
+  ASSERT_TRUE(ROr.hasValue()) << ROr.errorMessage();
+
+  const JsonValue *Rows = ROr->Json.find("rows");
+  ASSERT_NE(Rows, nullptr);
+  ASSERT_TRUE(Rows->isArray());
+  ASSERT_FALSE(Rows->elements().empty());
+  std::string Text = ROr->Table.render();
+  // Every function the JSON reports appears in the rendered table.
+  for (const JsonValue &Row : Rows->elements()) {
+    const JsonValue *Fn = Row.find("function");
+    ASSERT_NE(Fn, nullptr);
+    EXPECT_NE(Text.find(Fn->asString()), std::string::npos)
+        << Fn->asString();
+  }
+  const JsonValue *Num = ROr->Json.find("num_functions");
+  ASSERT_NE(Num, nullptr);
+  EXPECT_EQ(static_cast<size_t>(Num->asNumber()), Rows->elements().size());
+}
+
+TEST(AnalysisAgreement, TopDownSharesSumToOne) {
+  Profile R = profileOn(hw::spacemitX60());
+  auto ROr = AnalysisRegistry::builtins().find("topdown")->run(R);
+  ASSERT_TRUE(ROr.hasValue()) << ROr.errorMessage();
+  double Sum = 0;
+  for (const char *Key : {"retiring", "bad_speculation", "backend_memory",
+                          "backend_core", "system"}) {
+    const JsonValue *V = ROr->Json.find(Key);
+    ASSERT_NE(V, nullptr) << Key;
+    Sum += V->asNumber();
+  }
+  EXPECT_NEAR(Sum, ROr->Json.find("total")->asNumber(), 1e-6);
+  EXPECT_NEAR(Sum, 1.0, 0.05);
+}
+
+TEST(AnalysisAgreement, FlameGraphFoldedCarriesHotLeaves) {
+  Profile R = profileOn(hw::spacemitX60());
+  auto ROr = AnalysisRegistry::builtins().find("flamegraph")->run(R);
+  ASSERT_TRUE(ROr.hasValue()) << ROr.errorMessage();
+  const JsonValue *Metrics = ROr->Json.find("metrics");
+  ASSERT_NE(Metrics, nullptr);
+  for (const char *Metric : {"cycles", "instructions"}) {
+    const JsonValue *M = Metrics->find(Metric);
+    ASSERT_NE(M, nullptr) << Metric;
+    EXPECT_GT(M->find("total_weight")->asNumber(), 0) << Metric;
+    const JsonValue *Folded = M->find("folded");
+    ASSERT_NE(Folded, nullptr);
+    EXPECT_NE(Folded->asString().find("main;"), std::string::npos);
+  }
+}
+
+TEST(AnalysisAgreement, OpcountsMatchVmStats) {
+  Profile R = profileOn(hw::spacemitX60());
+  auto ROr = AnalysisRegistry::builtins().find("opcounts")->run(R);
+  ASSERT_TRUE(ROr.hasValue()) << ROr.errorMessage();
+  EXPECT_EQ(static_cast<uint64_t>(
+                ROr->Json.find("retired_ir_ops")->asNumber()),
+            R.Vm.RetiredOps);
+  EXPECT_EQ(static_cast<uint64_t>(
+                ROr->Json.find("loaded_bytes")->asNumber()),
+            R.Vm.LoadedBytes);
+}
+
+TEST(AnalysisAgreement, RooflineReportsTheoreticalRoof) {
+  Profile R = profileOn(hw::spacemitX60());
+  auto ROr = AnalysisRegistry::builtins().find("roofline")->run(R);
+  ASSERT_TRUE(ROr.hasValue()) << ROr.errorMessage();
+  // The X60's §5.2 derivation: 2 insn/cycle x 8 SP FLOP x 1.6 GHz.
+  EXPECT_NEAR(ROr->Json.find("compute_roof_gflops")->asNumber(), 25.6,
+              0.1);
+  // The sqlite scan does no FP work; the point must say so, not NaN.
+  EXPECT_EQ(ROr->Json.find("gflops")->asNumber(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry selection
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisRegistryTest, SelectSpecs) {
+  const AnalysisRegistry &R = AnalysisRegistry::builtins();
+  EXPECT_EQ(R.select("all")->size(), R.all().size());
+  auto TwoOr = R.select("topdown,hotspots");
+  ASSERT_TRUE(TwoOr.hasValue()) << TwoOr.errorMessage();
+  ASSERT_EQ(TwoOr->size(), 2u);
+  EXPECT_EQ((*TwoOr)[0]->name(), "topdown");
+  EXPECT_EQ((*TwoOr)[1]->name(), "hotspots");
+  // Duplicates collapse; unknown names error with the known list.
+  EXPECT_EQ(R.select("topdown,topdown")->size(), 1u);
+  auto BadOr = R.select("fancy");
+  ASSERT_FALSE(BadOr.hasValue());
+  EXPECT_NE(BadOr.errorMessage().find("hotspots"), std::string::npos);
+  EXPECT_EQ(R.find("nope"), nullptr);
+}
+
+TEST(AnalysisRegistryTest, UserPluginsRegister) {
+  // The whole point of the redesign: a new analysis is a small
+  // subclass, registrable next to the built-ins.
+  class SampleCount : public Analysis {
+  public:
+    std::string name() const override { return "samplecount"; }
+    std::string description() const override { return "counts samples"; }
+    std::vector<std::string> requiredEvents() const override {
+      return {"samples"};
+    }
+    Expected<AnalysisResult> run(const Profile &P) const override {
+      if (Error E = checkRequirements(P))
+        return makeError<AnalysisResult>(E.message());
+      AnalysisResult R = makeResult(1);
+      R.Table = TextTable("Samples — " + P.Platform.CoreName);
+      R.Table.addHeader({"samples"});
+      R.Table.addRow({std::to_string(P.Samples.size())});
+      R.Json.insert("samples", JsonValue::makeNumber(
+                                   static_cast<double>(P.Samples.size())));
+      return R;
+    }
+  };
+
+  AnalysisRegistry Registry;
+  Registry.add(std::make_unique<SampleCount>());
+  ASSERT_NE(Registry.find("samplecount"), nullptr);
+
+  Profile P = profileOn(hw::spacemitX60());
+  auto ROr = Registry.find("samplecount")->run(P);
+  ASSERT_TRUE(ROr.hasValue()) << ROr.errorMessage();
+  EXPECT_EQ(ROr->Schema, "miniperf-analysis/samplecount/v1");
+  EXPECT_EQ(static_cast<size_t>(ROr->Json.find("samples")->asNumber()),
+            P.Samples.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Sweep embedding determinism: bit-identical at any --jobs count
+//===----------------------------------------------------------------------===//
+
+TEST(AnalysisDeterminism, SweepAnalysesBitIdenticalAcrossJobs) {
+  using namespace mperf::driver;
+  auto BuildScenarios = [] {
+    return ScenarioMatrix()
+        .addPlatforms(*selectPlatforms("x60,c910"))
+        .addWorkloads(*selectWorkloads("sqlite,triad"))
+        .setAnalyses({"hotspots", "flamegraph", "topdown", "roofline",
+                      "opcounts"})
+        .build();
+  };
+
+  SweepOptions Serial;
+  Serial.Jobs = 1;
+  SweepReport A = SweepRunner(Serial).run(BuildScenarios());
+
+  SweepOptions Parallel;
+  Parallel.Jobs = 4;
+  SweepReport B = SweepRunner(Parallel).run(BuildScenarios());
+
+  ASSERT_EQ(A.Results.size(), B.Results.size());
+  for (size_t I = 0; I != A.Results.size(); ++I) {
+    const ScenarioResult &RA = A.Results[I];
+    const ScenarioResult &RB = B.Results[I];
+    EXPECT_EQ(RA.Name, RB.Name);
+    ASSERT_EQ(RA.Analyses.size(), RB.Analyses.size()) << RA.Name;
+    for (size_t J = 0; J != RA.Analyses.size(); ++J) {
+      SCOPED_TRACE(RA.Name + "/" + RA.Analyses[J].Name);
+      EXPECT_EQ(RA.Analyses[J].Failed, RB.Analyses[J].Failed);
+      EXPECT_EQ(RA.Analyses[J].Schema, RB.Analyses[J].Schema);
+      EXPECT_EQ(RA.Analyses[J].Json, RB.Analyses[J].Json);
+      EXPECT_EQ(RA.Analyses[J].Text, RB.Analyses[J].Text);
+    }
+  }
+}

@@ -324,11 +324,56 @@ TEST(SweepReportTest, TableAndJson) {
 
   std::string Json = Report.toJson();
   EXPECT_TRUE(jsonBalanced(Json)) << Json;
-  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v1\""),
+  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v2\""),
             std::string::npos);
   EXPECT_NE(Json.find("\"num_scenarios\":2"), std::string::npos);
   EXPECT_NE(Json.find("\"num_failures\":1"), std::string::npos);
   EXPECT_NE(Json.find("\"name\":\"triad@u74\""), std::string::npos);
   EXPECT_NE(Json.find("\"ok\":false"), std::string::npos);
   EXPECT_NE(Json.find("\"tags\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"counters\":{"), std::string::npos);
+}
+
+TEST(SweepReportTest, AnalysesEmbedPerScenario) {
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatform(hw::spacemitX60())
+                                .addPlatform(hw::sifiveU74())
+                                .addWorkload(workload("sqlite"))
+                                .setAnalyses({"hotspots", "topdown"})
+                                .build();
+  SweepReport Report = SweepRunner().run(S);
+  ASSERT_EQ(Report.Results.size(), 2u);
+  EXPECT_EQ(Report.numFailures(), 0u);
+
+  const ScenarioResult *X60 = Report.result("sqlite@x60");
+  ASSERT_NE(X60, nullptr);
+  ASSERT_EQ(X60->Analyses.size(), 2u);
+  EXPECT_EQ(X60->Analyses[0].Name, "hotspots");
+  EXPECT_FALSE(X60->Analyses[0].Failed) << X60->Analyses[0].Error;
+  EXPECT_EQ(X60->Analyses[0].Schema, "miniperf-analysis/hotspots/v1");
+  EXPECT_NE(X60->Analyses[0].Json.find("sqlite3VdbeExec"),
+            std::string::npos);
+  EXPECT_NE(X60->Analyses[0].Text.find("sqlite3VdbeExec"),
+            std::string::npos);
+
+  // The scenario's profile is tagged with its identity for analyses.
+  EXPECT_EQ(X60->Profile.WorkloadName, "sqlite");
+  EXPECT_EQ(X60->Profile.tag("workload"), "sqlite");
+
+  // The U74 cannot sample: hotspots fails per-analysis, topdown runs,
+  // and neither failure marks the scenario itself as failed.
+  const ScenarioResult *U74 = Report.result("sqlite@u74");
+  ASSERT_NE(U74, nullptr);
+  ASSERT_EQ(U74->Analyses.size(), 2u);
+  EXPECT_TRUE(U74->Analyses[0].Failed);
+  EXPECT_NE(U74->Analyses[0].Error.find("requires samples"),
+            std::string::npos);
+  EXPECT_FALSE(U74->Analyses[1].Failed);
+
+  std::string Json = Report.toJson();
+  EXPECT_TRUE(jsonBalanced(Json)) << Json;
+  EXPECT_NE(Json.find("\"analyses\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"schema\":\"miniperf-analysis/topdown/v1\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"report\":{"), std::string::npos);
 }

@@ -29,7 +29,7 @@ using namespace mperf::miniperf;
 namespace {
 
 /// One shared sqlite profile per platform (expensive to produce).
-ProfileResult profileSqlite(const hw::Platform &P) {
+Profile profileSqlite(const hw::Platform &P) {
   workloads::SqliteLikeConfig C; // default paper-scale-down config
   auto W = workloads::buildSqliteLike(C);
   SessionOptions Opts;
@@ -117,8 +117,8 @@ MatmulAnalysis analyzeMatmulOn(const hw::Platform &P) {
 //===----------------------------------------------------------------------===//
 
 TEST(PaperShapes, Table2IpcContrast) {
-  ProfileResult X60 = profileSqlite(hw::spacemitX60());
-  ProfileResult X86 = profileSqlite(hw::intelI5_1135G7());
+  Profile X60 = profileSqlite(hw::spacemitX60());
+  Profile X86 = profileSqlite(hw::intelI5_1135G7());
 
   // X60 IPC ~0.86 in the paper; accept 0.75..0.95.
   EXPECT_GT(X60.Ipc, 0.75);
@@ -136,7 +136,7 @@ TEST(PaperShapes, Table2IpcContrast) {
 }
 
 TEST(PaperShapes, Table2HotspotOrderOnX60) {
-  ProfileResult R = profileSqlite(hw::spacemitX60());
+  Profile R = profileSqlite(hw::spacemitX60());
   auto Rows = computeHotspots(R);
   ASSERT_GE(Rows.size(), 3u);
 
@@ -167,15 +167,15 @@ TEST(PaperShapes, Table2HotspotOrderOnX60) {
 //===----------------------------------------------------------------------===//
 
 TEST(PaperShapes, Fig3FlameGraphsShareHotspots) {
-  ProfileResult X60 = profileSqlite(hw::spacemitX60());
-  ProfileResult X86 = profileSqlite(hw::intelI5_1135G7());
+  Profile X60 = profileSqlite(hw::spacemitX60());
+  Profile X86 = profileSqlite(hw::intelI5_1135G7());
 
   FlameGraph CyclesX60 =
-      FlameGraph::fromSamples(X60.Samples, X60.CyclesFd, "cycles");
-  FlameGraph InstrX60 =
-      FlameGraph::fromSamples(X60.Samples, X60.InstructionsFd, "instructions");
+      FlameGraph::fromSamples(X60.Samples, X60.counterFd("cycles"), "cycles");
+  FlameGraph InstrX60 = FlameGraph::fromSamples(
+      X60.Samples, X60.counterFd("instructions"), "instructions");
   FlameGraph CyclesX86 =
-      FlameGraph::fromSamples(X86.Samples, X86.CyclesFd, "cycles");
+      FlameGraph::fromSamples(X86.Samples, X86.counterFd("cycles"), "cycles");
 
   // Both platforms' graphs are dominated by the same database engine
   // functions (the paper's visual comparison).
@@ -239,12 +239,12 @@ TEST(PaperShapes, Fig4PlatformContrast) {
 
 TEST(PaperShapes, SamplingCapabilityMatrix) {
   // U74: no sampling anywhere. X60: only via workaround. C910/x86: direct.
-  ProfileResult U74 = profileSqlite(hw::sifiveU74());
+  Profile U74 = profileSqlite(hw::sifiveU74());
   EXPECT_FALSE(U74.SamplingAvailable);
   EXPECT_TRUE(U74.Samples.empty());
   EXPECT_GT(U74.Cycles, 0u); // counting still works
 
-  ProfileResult C910 = profileSqlite(hw::theadC910());
+  Profile C910 = profileSqlite(hw::theadC910());
   EXPECT_TRUE(C910.SamplingAvailable);
   EXPECT_FALSE(C910.UsedWorkaround);
   EXPECT_GT(C910.Samples.size(), 5u);

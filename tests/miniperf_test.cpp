@@ -71,7 +71,7 @@ TEST(Grouper, DetectionByCpuId) {
 
 namespace {
 
-ProfileResult profileSqlite(const Platform &P, unsigned Queries,
+Profile profileSqlite(const Platform &P, unsigned Queries,
                             uint64_t Period) {
   workloads::SqliteLikeConfig C;
   C.NumPages = 8;
@@ -89,7 +89,7 @@ ProfileResult profileSqlite(const Platform &P, unsigned Queries,
 } // namespace
 
 TEST(SessionTest, X60ProfilesThroughWorkaround) {
-  ProfileResult R = profileSqlite(spacemitX60(), 8, 20000);
+  Profile R = profileSqlite(spacemitX60(), 8, 20000);
   EXPECT_TRUE(R.UsedWorkaround);
   EXPECT_GT(R.Cycles, 0u);
   EXPECT_GT(R.Instructions, 0u);
@@ -101,14 +101,14 @@ TEST(SessionTest, X60ProfilesThroughWorkaround) {
 }
 
 TEST(SessionTest, X86ProfilesDirectly) {
-  ProfileResult R = profileSqlite(intelI5_1135G7(), 8, 8000);
+  Profile R = profileSqlite(intelI5_1135G7(), 8, 8000);
   EXPECT_FALSE(R.UsedWorkaround);
   EXPECT_GT(R.Samples.size(), 5u);
   EXPECT_GT(R.Ipc, 1.5);
 }
 
 TEST(SessionTest, U74CountsWithoutSamples) {
-  ProfileResult R = profileSqlite(sifiveU74(), 4, 20000);
+  Profile R = profileSqlite(sifiveU74(), 4, 20000);
   EXPECT_FALSE(R.SamplingAvailable);
   EXPECT_GT(R.Cycles, 0u);
   EXPECT_GT(R.Instructions, 0u);
@@ -138,7 +138,7 @@ class SessionOnEveryPlatform : public ::testing::TestWithParam<Platform> {};
 
 TEST_P(SessionOnEveryPlatform, ProfileMatchesPlannedCapabilities) {
   const Platform &P = GetParam();
-  ProfileResult R = profileSqlite(P, 8, 20000);
+  Profile R = profileSqlite(P, 8, 20000);
   EXPECT_GT(R.Cycles, 0u) << P.CoreName;
   EXPECT_GT(R.Instructions, 0u) << P.CoreName;
   EXPECT_GT(R.Ipc, 0.05) << P.CoreName;
@@ -236,9 +236,9 @@ TEST(FlameGraphTest, EmptyProfile) {
 //===----------------------------------------------------------------------===//
 
 TEST(HotspotsTest, ComputesSharesAndIpc) {
-  ProfileResult R;
-  R.CyclesFd = 10;
-  R.InstructionsFd = 11;
+  Profile R;
+  R.Counters = {{"cycles", 0, 10, "hw:cycles"},
+                {"instructions", 0, 11, "hw:instructions"}};
   R.Samples = {
       sample({"main", "a"}, 1000, 500),
       sample({"main", "a"}, 2000, 1500),  // a: 1000 cycles, 1000 instr
@@ -261,7 +261,7 @@ TEST(HotspotsTest, ComputesSharesAndIpc) {
 }
 
 TEST(HotspotsTest, SqliteHotspotsHaveExpectedLeaders) {
-  ProfileResult R = profileSqlite(spacemitX60(), 8, 5000);
+  Profile R = profileSqlite(spacemitX60(), 8, 5000);
   auto Rows = computeHotspots(R);
   ASSERT_GE(Rows.size(), 3u);
   // The three paper hotspots must all appear with nonzero share.

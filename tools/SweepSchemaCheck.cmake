@@ -1,0 +1,56 @@
+# ===- tools/SweepSchemaCheck.cmake - ctest smoke for the sweep report ----=== #
+#
+# Part of the miniperf project, a reproduction of "Dissecting RISC-V
+# Performance" (PACT 2025). See README.md for details.
+#
+# Runs miniperf-sweep on one tiny scenario with every analysis attached,
+# then parses the emitted JSON (CMake's string(JSON ...)) and checks the
+# report and analysis schema version strings — the contract CI and the
+# --baseline diff mode rely on.
+#
+# ===----------------------------------------------------------------------=== #
+
+set(REPORT "${CMAKE_CURRENT_BINARY_DIR}/sweep_schema_check.json")
+
+execute_process(
+  COMMAND "${SWEEP}" --platforms x60 --workloads triad --analyses all
+          --quiet --json "${REPORT}"
+  RESULT_VARIABLE RUN_RESULT
+  OUTPUT_VARIABLE RUN_OUTPUT
+  ERROR_VARIABLE RUN_OUTPUT)
+if(NOT RUN_RESULT EQUAL 0)
+  message(FATAL_ERROR "miniperf-sweep exited with ${RUN_RESULT}:\n${RUN_OUTPUT}")
+endif()
+
+file(READ "${REPORT}" DOC)
+
+string(JSON SCHEMA GET "${DOC}" schema)
+if(NOT SCHEMA STREQUAL "miniperf-sweep-report/v2")
+  message(FATAL_ERROR "bad report schema '${SCHEMA}' (want miniperf-sweep-report/v2)")
+endif()
+
+string(JSON NUM_FAILURES GET "${DOC}" num_failures)
+if(NOT NUM_FAILURES EQUAL 0)
+  message(FATAL_ERROR "sweep reported ${NUM_FAILURES} failure(s)")
+endif()
+
+# The single scenario must carry all five built-in analyses, each with a
+# versioned per-analysis schema.
+string(JSON NUM_ANALYSES LENGTH "${DOC}" results 0 analyses)
+if(NUM_ANALYSES LESS 5)
+  message(FATAL_ERROR "expected >= 5 embedded analyses, got ${NUM_ANALYSES}")
+endif()
+math(EXPR LAST "${NUM_ANALYSES} - 1")
+foreach(I RANGE ${LAST})
+  string(JSON NAME GET "${DOC}" results 0 analyses ${I} analysis)
+  string(JSON OK GET "${DOC}" results 0 analyses ${I} ok)
+  if(NOT OK STREQUAL "ON" AND NOT OK STREQUAL "true")
+    message(FATAL_ERROR "analysis '${NAME}' failed in the smoke sweep")
+  endif()
+  string(JSON ASCHEMA GET "${DOC}" results 0 analyses ${I} schema)
+  if(NOT ASCHEMA MATCHES "^miniperf-analysis/${NAME}/v[0-9]+$")
+    message(FATAL_ERROR "analysis '${NAME}' has bad schema '${ASCHEMA}'")
+  endif()
+endforeach()
+
+message(STATUS "sweep report schema OK: ${SCHEMA}, ${NUM_ANALYSES} analyses")

@@ -31,8 +31,6 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -63,18 +61,6 @@ void printUsage() {
       "Compares the deterministic \"metrics\" of bench reports against\n"
       "golden baselines; exits 1 when any metric drifts by more than the\n"
       "tolerance (default 2%%). Host-time metrics are advisory only.\n");
-}
-
-Expected<JsonValue> loadJson(const std::string &Path) {
-  std::ifstream In(Path);
-  if (!In)
-    return makeError<JsonValue>("cannot read '" + Path + "'");
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-  auto VOr = parseJson(Buf.str());
-  if (!VOr)
-    return makeError<JsonValue>(Path + ": " + VOr.errorMessage());
-  return VOr;
 }
 
 /// One metric comparison outcome.
@@ -175,12 +161,12 @@ bool compareReports(const std::string &Bench, const std::string &BasePath,
                     const std::string &CurPath, double TolerancePct,
                     std::vector<Delta> &Gated, std::vector<Delta> &Advisory,
                     std::vector<std::string> &Errors) {
-  auto BaseOr = loadJson(BasePath);
+  auto BaseOr = parseJsonFile(BasePath);
   if (!BaseOr) {
     Errors.push_back(BaseOr.errorMessage());
     return false;
   }
-  auto CurOr = loadJson(CurPath);
+  auto CurOr = parseJsonFile(CurPath);
   if (!CurOr) {
     Errors.push_back(CurOr.errorMessage() +
                      " (did the bench run in the current directory?)");

@@ -7,18 +7,26 @@
 // and reports it as a text table and, optionally, a JSON document:
 //
 //   miniperf-sweep --platforms all --workloads all --jobs 4
-//                  --json sweep.json
+//                  --analyses hotspots,topdown --json sweep.json
 //
 // Every axis of the paper's tables is a flag: which simulated cores,
 // which kernels, sampling vs counting (`--sampling both`), the sample
-// period, and scalar vs vectorized codegen (`--vector both`).
+// period, scalar vs vectorized codegen (`--vector both`), and the
+// workload scale (`--scale`). `--analyses` attaches Analysis-pipeline
+// results (hotspots, flamegraph, topdown, roofline, opcounts) to every
+// scenario of the JSON report; `--baseline old.json` diffs the new run
+// against a previous report and fails on drift past `--tolerance`.
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/ScenarioMatrix.h"
 #include "driver/SweepRunner.h"
+#include "miniperf/Analysis.h"
 #include "support/Format.h"
+#include "support/JSON.h"
+#include "support/Table.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -37,15 +45,28 @@ void printUsage() {
       "x60,i5\n"
       "  --workloads SPEC   all (default) or comma list: sqlite,matmul,"
       "triad,memset,peakflops\n"
+      "  --analyses SPEC    analyses to embed per scenario: all or a "
+      "comma list\n"
+      "                     (hotspots,flamegraph,topdown,roofline,"
+      "opcounts; default none)\n"
+      "  --scale N          workload scale multiplier (default 1; grows "
+      "retired ops ~linearly)\n"
       "  --jobs N           worker threads (default 1; 0 = all cores)\n"
       "  --json FILE        also write the machine-readable report\n"
+      "  --baseline FILE    diff this run against a previous sweep "
+      "report;\n"
+      "                     exit 3 when any metric drifts past the "
+      "tolerance\n"
+      "  --tolerance PCT    allowed relative drift for --baseline "
+      "(default 2.0)\n"
       "  --sampling MODE    on (default), off, or both\n"
       "  --period LIST      comma list of sample periods (default "
       "20000)\n"
       "  --vector MODE      off (default), on, or both\n"
       "  --keep-samples     keep per-scenario sample buffers in memory\n"
       "  --quiet            suppress per-scenario progress lines\n"
-      "  --list             list platforms and workloads, then exit\n"
+      "  --list             list platforms, workloads and analyses, "
+      "then exit\n"
       "  --help             this text\n");
 }
 
@@ -57,6 +78,11 @@ void printLists() {
   std::printf("workloads:\n");
   for (const WorkloadDesc &W : standardWorkloads())
     std::printf("  %-10s %s\n", W.Name.c_str(), W.Description.c_str());
+  std::printf("analyses:\n");
+  for (const miniperf::Analysis *A :
+       miniperf::AnalysisRegistry::builtins().all())
+    std::printf("  %-10s %s\n", A->name().c_str(),
+                A->description().c_str());
 }
 
 [[noreturn]] void die(const std::string &Message) {
@@ -89,15 +115,141 @@ void addModeAxis(ScenarioMatrix &Matrix, const std::string &Flag,
     die("bad " + Flag + " mode '" + Mode + "' (use on, off or both)");
 }
 
+//===----------------------------------------------------------------------===//
+// --baseline: sweep-level drift gate
+//
+// Mirrors the tools/bench-diff rules at sweep granularity: every
+// deterministic numeric metric of every baseline scenario must exist in
+// the current run and stay within the tolerance; host_seconds is
+// advisory (wall clock); scenarios only present on one side are
+// reported but only baseline-side misses fail the gate.
+//===----------------------------------------------------------------------===//
+
+/// Returns the "results" array of a sweep report, or nullptr with a
+/// diagnostic when the document has the wrong shape.
+const JsonValue *sweepResults(const JsonValue &Doc, const std::string &Path) {
+  const JsonValue *Schema = Doc.find("schema");
+  if (!Schema || !Schema->isString() ||
+      !startsWith(Schema->asString(), "miniperf-sweep-report/")) {
+    std::fprintf(stderr,
+                 "miniperf-sweep: %s is not a sweep report (bad schema)\n",
+                 Path.c_str());
+    return nullptr;
+  }
+  const JsonValue *Results = Doc.find("results");
+  if (!Results || !Results->isArray()) {
+    std::fprintf(stderr, "miniperf-sweep: %s has no results array\n",
+                 Path.c_str());
+    return nullptr;
+  }
+  return Results;
+}
+
+const JsonValue *findScenario(const JsonValue &Results,
+                              const std::string &Name) {
+  for (const JsonValue &R : Results.elements()) {
+    const JsonValue *N = R.find("name");
+    if (N && N->isString() && N->asString() == Name)
+      return &R;
+  }
+  return nullptr;
+}
+
+/// Diffs current against baseline; returns the number of gate failures.
+size_t diffAgainstBaseline(const JsonValue &Baseline, const JsonValue &Current,
+                           const std::string &BaselinePath,
+                           double TolerancePct) {
+  const JsonValue *Base = sweepResults(Baseline, BaselinePath);
+  const JsonValue *Cur = sweepResults(Current, "<this run>");
+  if (!Base || !Cur)
+    return 1;
+
+  TextTable T("Baseline diff vs " + BaselinePath + " (tolerance " +
+              fixed(TolerancePct, 2) + "%)");
+  T.addHeader({"scenario", "metric", "baseline", "current", "delta",
+               "state"});
+  size_t Failures = 0, Compared = 0;
+
+  for (const JsonValue &B : Base->elements()) {
+    const JsonValue *NameV = B.find("name");
+    if (!NameV || !NameV->isString())
+      continue;
+    const std::string &Name = NameV->asString();
+    const JsonValue *C = findScenario(*Cur, Name);
+    if (!C) {
+      T.addRow({Name, "-", "-", "-", "-", "MISSING"});
+      ++Failures;
+      continue;
+    }
+    // A failed scenario carries no numeric metrics, so compare the ok
+    // status itself first — otherwise a baseline-side failure would be
+    // silently excluded from the gate forever.
+    const JsonValue *BOk = B.find("ok");
+    const JsonValue *COk = C->find("ok");
+    bool BaseOk = BOk && BOk->isBool() && BOk->asBool();
+    bool CurOk = COk && COk->isBool() && COk->asBool();
+    if (BaseOk != CurOk) {
+      T.addRow({Name, "ok", BaseOk ? "true" : "false",
+                CurOk ? "true" : "false", "-",
+                CurOk ? "recovered" : "FAILED"});
+      // A newly-failing scenario gates; a recovery is progress, and its
+      // metrics have no baseline to diff against yet.
+      Failures += CurOk ? 0 : 1;
+      continue;
+    }
+    if (!BaseOk) {
+      T.addRow({Name, "ok", "false", "false", "-", "both failed"});
+      continue;
+    }
+    for (const auto &[Key, BV] : B.members()) {
+      // Only deterministic numeric metrics gate; wall clock drifts by
+      // machine load, and strings/tags are identity, not metrics.
+      if (!BV.isNumber() || Key == "host_seconds")
+        continue;
+      const JsonValue *CV = C->find(Key);
+      ++Compared;
+      if (!CV || !CV->isNumber()) {
+        T.addRow({Name, Key, fixed(BV.asNumber(), 4), "-", "-", "MISSING"});
+        ++Failures;
+        continue;
+      }
+      double BN = BV.asNumber(), CN = CV->asNumber();
+      double Denom = std::max(std::fabs(BN), 1e-12);
+      double RelPct = (CN - BN) / Denom * 100.0;
+      bool Drifted = std::fabs(RelPct) > TolerancePct;
+      Failures += Drifted ? 1 : 0;
+      if (Drifted || RelPct != 0)
+        T.addRow({Name, Key, fixed(BN, 4), fixed(CN, 4),
+                  (RelPct >= 0 ? "+" : "") + fixed(RelPct, 2) + "%",
+                  Drifted ? "DRIFT" : "ok"});
+    }
+  }
+  for (const JsonValue &C : Cur->elements()) {
+    const JsonValue *NameV = C.find("name");
+    if (NameV && NameV->isString() &&
+        !findScenario(*Base, NameV->asString()))
+      T.addRow({NameV->asString(), "-", "-", "-", "-", "new"});
+  }
+
+  std::printf("\n%s", T.render().c_str());
+  std::printf("%zu metric(s) compared, %zu failure(s).\n", Compared,
+              Failures);
+  return Failures;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::string PlatformSpec = "all";
   std::string WorkloadSpec = "all";
+  std::string AnalysisSpec;
   std::string JsonPath;
+  std::string BaselinePath;
   std::string SamplingMode = "on";
   std::string VectorMode = "off";
   std::string PeriodList;
+  double TolerancePct = 2.0;
+  unsigned Scale = 1;
   SweepOptions Opts;
   bool Quiet = false;
 
@@ -118,10 +270,26 @@ int main(int Argc, char **Argv) {
       PlatformSpec = Value();
     } else if (Arg == "--workloads") {
       WorkloadSpec = Value();
+    } else if (Arg == "--analyses") {
+      AnalysisSpec = Value();
+    } else if (Arg == "--scale") {
+      Scale = static_cast<unsigned>(parseUnsigned("--scale", Value()));
+      if (Scale == 0)
+        die("bad --scale value '0' (must be positive)");
     } else if (Arg == "--jobs") {
       Opts.Jobs = static_cast<unsigned>(parseUnsigned("--jobs", Value()));
     } else if (Arg == "--json") {
       JsonPath = Value();
+    } else if (Arg == "--baseline") {
+      BaselinePath = Value();
+    } else if (Arg == "--tolerance") {
+      std::string Text = Value();
+      char *End = nullptr;
+      TolerancePct = std::strtod(Text.c_str(), &End);
+      if (Text.empty() || End != Text.c_str() + Text.size() ||
+          !std::isfinite(TolerancePct) || TolerancePct < 0)
+        die("bad --tolerance value '" + Text +
+            "' (expected a finite percentage >= 0)");
     } else if (Arg == "--sampling") {
       SamplingMode = Value();
     } else if (Arg == "--vector") {
@@ -140,12 +308,34 @@ int main(int Argc, char **Argv) {
   auto PlatformsOr = selectPlatforms(PlatformSpec);
   if (!PlatformsOr)
     die(PlatformsOr.errorMessage());
-  auto WorkloadsOr = selectWorkloads(WorkloadSpec);
+  auto WorkloadsOr = selectWorkloads(WorkloadSpec, Scale);
   if (!WorkloadsOr)
     die(WorkloadsOr.errorMessage());
 
+  // Resolve analysis names up front so a typo dies with a message
+  // instead of 25 per-scenario "unknown analysis" records.
+  std::vector<std::string> AnalysisNames;
+  if (!AnalysisSpec.empty()) {
+    auto AnalysesOr =
+        miniperf::AnalysisRegistry::builtins().select(AnalysisSpec);
+    if (!AnalysesOr)
+      die(AnalysesOr.errorMessage());
+    for (const miniperf::Analysis *A : *AnalysesOr)
+      AnalysisNames.push_back(A->name());
+  }
+
+  // Load the baseline before the (long) sweep, so a bad path fails fast.
+  JsonValue Baseline = JsonValue::makeNull();
+  if (!BaselinePath.empty()) {
+    auto BOr = parseJsonFile(BaselinePath);
+    if (!BOr)
+      die(BOr.errorMessage());
+    Baseline = std::move(*BOr);
+  }
+
   ScenarioMatrix Matrix;
   Matrix.addPlatforms(*PlatformsOr).addWorkloads(*WorkloadsOr);
+  Matrix.setAnalyses(AnalysisNames);
   addModeAxis(Matrix, "--sampling", SamplingMode,
               &ScenarioMatrix::addSamplingMode);
   addModeAxis(Matrix, "--vector", VectorMode, &ScenarioMatrix::addVectorize);
@@ -161,12 +351,19 @@ int main(int Argc, char **Argv) {
   }
 
   std::vector<Scenario> Scenarios = Matrix.build();
-  if (!Quiet)
+  if (!Quiet) {
+    std::string WithAnalyses =
+        AnalysisNames.empty()
+            ? ""
+            : " with " + std::to_string(AnalysisNames.size()) +
+                  " analyses each";
     std::printf("sweeping %zu scenarios (%zu platforms x %zu workloads"
-                "%s%s)...\n",
+                "%s%s)%s...\n",
                 Scenarios.size(), PlatformsOr->size(), WorkloadsOr->size(),
                 SamplingMode == "both" ? " x sampling{on,off}" : "",
-                VectorMode == "both" ? " x vector{on,off}" : "");
+                VectorMode == "both" ? " x vector{on,off}" : "",
+                WithAnalyses.c_str());
+  }
 
   if (!Quiet)
     Opts.OnResult = [](const ScenarioResult &R, size_t Done, size_t Total) {
@@ -188,6 +385,19 @@ int main(int Argc, char **Argv) {
       die("cannot write '" + JsonPath + "'");
     Out << Report.toJson() << "\n";
     std::printf("json report written to %s\n", JsonPath.c_str());
+  }
+
+  if (!BaselinePath.empty()) {
+    auto CurrentOr = parseJson(Report.toJson());
+    if (!CurrentOr)
+      die("internal: report does not re-parse: " + CurrentOr.errorMessage());
+    size_t Drift = diffAgainstBaseline(Baseline, *CurrentOr, BaselinePath,
+                                       TolerancePct);
+    if (Drift != 0) {
+      std::printf("SWEEP GATE: FAIL (%zu drifting metric(s))\n", Drift);
+      return 3;
+    }
+    std::printf("SWEEP GATE: PASS\n");
   }
 
   return Report.numFailures() == 0 ? 0 : 1;
