@@ -19,6 +19,8 @@
 #include "support/Table.h"
 #include "vm/Interpreter.h"
 
+#include <cstdlib>
+
 using namespace bench;
 using namespace mperf;
 
@@ -46,33 +48,66 @@ exit:
 /// Ops retired per trip of the hot loop above.
 constexpr double HotLoopOpsPerIter = 8.0;
 
+/// A pure counted-loop latch: the loop body IS the back edge
+/// (add + icmp + cond_br), the shape the AddICmpBr fused micro-op
+/// collapses into one dispatch. Retires 3 ops per trip.
+const char *LatchLoopText = R"(module m
+func @main(i64 %n) -> void {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  ret
+}
+)";
+
+constexpr double LatchLoopOpsPerIter = 3.0;
+
+/// Loop trip count every benchLoop run uses; the JSON ops/s metrics
+/// below derive from the same constant.
+constexpr uint64_t LoopTripCount = 100000;
+
 void addRow(TextTable &T, const std::string &Name, const BenchTiming &Timing,
             const std::string &Throughput) {
   T.addRow({Name, withCommas(Timing.Iterations),
             formatSecondsPerIter(Timing.SecondsPerIter), Throughput});
 }
 
-/// Times the hot loop on a fresh interpreter running \p Engine,
-/// optionally with the platform's core timing model attached as a
-/// trace consumer.
-BenchTiming benchHotLoop(TextTable &T, const std::string &Name,
-                         vm::EngineKind Engine, bool AttachCoreModel) {
-  auto MOr = ir::parseModule(HotLoopText);
+/// Times \p LoopText on a fresh instance running \p Engine, optionally
+/// with the platform's core timing model attached as a trace consumer.
+BenchTiming benchLoop(TextTable &T, const char *LoopText, double OpsPerIter,
+                      const std::string &Name, vm::EngineKind Engine,
+                      bool AttachCoreModel) {
+  auto MOr = ir::parseModule(LoopText);
+  if (!MOr) {
+    print("FATAL: bench loop does not parse: " + MOr.errorMessage() + "\n");
+    std::exit(1);
+  }
   vm::Interpreter Vm(**MOr);
   Vm.setEngine(Engine);
   hw::Platform P = hw::spacemitX60();
   hw::CoreModel Core(P.Core, P.Cache);
   if (AttachCoreModel)
     Vm.addConsumer(&Core);
-  const uint64_t N = 100000;
+  const uint64_t N = LoopTripCount;
   BenchTiming Timing = measure([&] {
     auto R = Vm.run("main", {vm::RtValue::ofInt(N)});
     doNotOptimize(R.hasValue());
   });
   double OpsPerSec =
-      static_cast<double>(N) * HotLoopOpsPerIter / Timing.SecondsPerIter;
+      static_cast<double>(N) * OpsPerIter / Timing.SecondsPerIter;
   addRow(T, Name, Timing, formatRate(OpsPerSec, "ops"));
   return Timing;
+}
+
+BenchTiming benchHotLoop(TextTable &T, const std::string &Name,
+                         vm::EngineKind Engine, bool AttachCoreModel) {
+  return benchLoop(T, HotLoopText, HotLoopOpsPerIter, Name, Engine,
+                   AttachCoreModel);
 }
 
 void benchFullProfilingSession(TextTable &T) {
@@ -130,6 +165,14 @@ int main() {
   BenchTiming RefTimed =
       benchHotLoop(T, "interpreter + core model (reference)",
                    vm::EngineKind::Reference, true);
+  // The pure latch loop: the whole body fuses into one AddICmpBr
+  // micro-op, so this row is the upper bound of what latch fusion buys.
+  BenchTiming Latch = benchLoop(T, LatchLoopText, LatchLoopOpsPerIter,
+                                "counted-loop latch (fused)",
+                                vm::EngineKind::MicroOp, false);
+  BenchTiming RefLatch = benchLoop(T, LatchLoopText, LatchLoopOpsPerIter,
+                                   "counted-loop latch (reference)",
+                                   vm::EngineKind::Reference, false);
   benchFullProfilingSession(T);
   benchVectorizerOnMatmul(T);
   benchModuleParse(T);
@@ -144,12 +187,16 @@ int main() {
           fixed(RefRaw.SecondsPerIter / Raw.SecondsPerIter, 2) + "x raw, " +
           fixed(RefTimed.SecondsPerIter / Timed.SecondsPerIter, 2) +
           "x with the core model.\n");
+  if (Latch.SecondsPerIter > 0)
+    print("Fused counted-loop latch vs reference on the pure latch "
+          "loop: " +
+          fixed(RefLatch.SecondsPerIter / Latch.SecondsPerIter, 2) + "x.\n");
 
   // Everything this bench measures is host wall-clock, so the whole
   // report is advisory: the perf gate reads it for trends but the
   // committed baseline carries no gated metrics.
   BenchReport Json("simulator_perf");
-  const double HotLoopOps = 100000 * HotLoopOpsPerIter;
+  const double HotLoopOps = LoopTripCount * HotLoopOpsPerIter;
   Json.hostMetric("raw_ops_per_sec", HotLoopOps / Raw.SecondsPerIter);
   Json.hostMetric("reference_raw_ops_per_sec",
                   HotLoopOps / RefRaw.SecondsPerIter);
@@ -162,6 +209,12 @@ int main() {
                   RefRaw.SecondsPerIter / Raw.SecondsPerIter);
   Json.hostMetric("microop_speedup_timed",
                   RefTimed.SecondsPerIter / Timed.SecondsPerIter);
+  const double LatchLoopOps = LoopTripCount * LatchLoopOpsPerIter;
+  Json.hostMetric("latch_ops_per_sec", LatchLoopOps / Latch.SecondsPerIter);
+  Json.hostMetric("reference_latch_ops_per_sec",
+                  LatchLoopOps / RefLatch.SecondsPerIter);
+  Json.hostMetric("latch_fusion_speedup",
+                  RefLatch.SecondsPerIter / Latch.SecondsPerIter);
   Json.addTable("substrate", T);
   Json.write();
   return 0;

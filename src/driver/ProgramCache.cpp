@@ -1,0 +1,84 @@
+//===- ProgramCache.cpp - Cross-scenario workload build cache ------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ProgramCache.h"
+
+#include "workloads/Compile.h"
+
+using namespace mperf;
+using namespace mperf::driver;
+
+std::string ProgramCache::key(const Scenario &S) {
+  // Vector-independent workloads compile identically whatever the
+  // target, so every scenario folds onto the scalar key.
+  const transform::TargetInfo *VT =
+      S.Knobs.Vectorize && !S.Workload.VectorIndependent ? &S.Platform.Target
+                                                         : nullptr;
+  return S.Workload.Name + "|" + S.Workload.Variant + "|" +
+         workloads::vectorSignature(VT);
+}
+
+ProgramCache::CacheStats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Counters;
+}
+
+Expected<std::shared_ptr<const CompiledWorkload>>
+ProgramCache::compile(const Scenario &S) {
+  using Result = Expected<std::shared_ptr<const CompiledWorkload>>;
+  if (!S.Workload.Compile)
+    return makeError<std::shared_ptr<const CompiledWorkload>>(
+        "workload '" + S.Workload.Name + "' has no compiler");
+  Expected<CompiledWorkload> WOr =
+      S.Workload.Compile(S.Platform.Target, S.Knobs.Vectorize);
+  if (!WOr)
+    return makeError<std::shared_ptr<const CompiledWorkload>>(
+        WOr.errorMessage());
+  return Result(std::make_shared<const CompiledWorkload>(std::move(*WOr)));
+}
+
+Expected<std::shared_ptr<const CompiledWorkload>>
+ProgramCache::get(const Scenario &S, bool *WasHit) {
+  using Result = Expected<std::shared_ptr<const CompiledWorkload>>;
+  const std::string Key = key(S);
+
+  std::shared_future<std::shared_ptr<const Entry>> Future;
+  std::promise<std::shared_ptr<const Entry>> Promise;
+  bool Build = false;
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    auto It = Entries.find(Key);
+    if (It != Entries.end()) {
+      ++Counters.Hits;
+      Future = It->second;
+    } else {
+      ++Counters.Misses;
+      Build = true;
+      Future = Promise.get_future().share();
+      Entries.emplace(Key, Future);
+    }
+  }
+  if (WasHit)
+    *WasHit = !Build;
+
+  if (Build) {
+    // Compile outside the lock: other keys build concurrently, and
+    // same-key requesters wait on the future rather than the mutex.
+    auto E = std::make_shared<Entry>();
+    auto WOr = compile(S);
+    if (WOr)
+      E->Workload = std::move(*WOr);
+    else
+      E->Error = WOr.errorMessage();
+    Promise.set_value(std::move(E));
+  }
+
+  std::shared_ptr<const Entry> E = Future.get();
+  if (!E->Error.empty())
+    return makeError<std::shared_ptr<const CompiledWorkload>>(E->Error);
+  return Result(E->Workload);
+}

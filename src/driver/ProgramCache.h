@@ -1,0 +1,93 @@
+//===- ProgramCache.h - Cross-scenario workload build cache ----*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sweep's cross-scenario compilation cache. Scenarios that differ
+/// only in platform timing, sampling mode or sample period execute the
+/// *same* compiled workload; before this cache every scenario rebuilt
+/// (and re-verified and re-lowered) its own module, which made wide
+/// sweeps workload-build bound. The cache keys on what the build
+/// actually depends on — workload name, scale variant, and the
+/// effective vector signature (scalar, or the target's lane width when
+/// vectorizing) — and compiles each distinct key exactly once, even
+/// under the thread pool: the first scenario to request a key builds it
+/// while later requesters block on a shared future.
+///
+/// Hit/miss counters make the build-vs-execute economics a measured,
+/// gateable number in the sweep report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_DRIVER_PROGRAMCACHE_H
+#define MPERF_DRIVER_PROGRAMCACHE_H
+
+#include "driver/Scenario.h"
+
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace mperf {
+namespace driver {
+
+/// One sweep's build cache; create one per SweepRunner::run.
+class ProgramCache {
+public:
+  struct CacheStats {
+    /// get() calls served by an existing (possibly in-flight) build.
+    uint64_t Hits = 0;
+    /// get() calls that compiled a new key — the number of module
+    /// builds the sweep performed.
+    uint64_t Misses = 0;
+  };
+
+  /// Returns \p S's compiled workload, building it if this is the first
+  /// scenario to request its key. Thread-safe; concurrent requests for
+  /// one key serialize on the single build. \p WasHit (optional)
+  /// reports whether an existing entry served the call. Build failures
+  /// are cached too — every scenario of a failing key reports the same
+  /// error instead of retrying the build.
+  Expected<std::shared_ptr<const CompiledWorkload>> get(const Scenario &S,
+                                                        bool *WasHit = nullptr);
+
+  CacheStats stats() const;
+
+  /// Compiles \p S's workload directly, with no caching: the shared
+  /// compile-or-error step behind both get() misses and the runner's
+  /// cache-off path, so the two can never drift apart.
+  static Expected<std::shared_ptr<const CompiledWorkload>>
+  compile(const Scenario &S);
+
+  /// The cache key of one scenario: "<name>|<variant>|<vector-sig>".
+  /// Platform timing, sampling and period deliberately do not appear —
+  /// they affect simulation, not the compiled program. The vector
+  /// signature is the build-relevant part of (vectorize, target):
+  /// "scalar" when the knob is off or the target has no vector unit
+  /// (so e.g. every scalar scenario of one workload shares one build),
+  /// else TargetInfo::codegenSignature() — which by contract
+  /// identifies every target fact codegen may consult, making equal
+  /// keys imply bit-identical builds no matter which platform's worker
+  /// compiles first.
+  static std::string key(const Scenario &S);
+
+private:
+  struct Entry {
+    std::shared_ptr<const CompiledWorkload> Workload;
+    std::string Error; // non-empty when the build failed
+  };
+
+  mutable std::mutex Lock;
+  std::map<std::string, std::shared_future<std::shared_ptr<const Entry>>>
+      Entries;
+  CacheStats Counters; // guarded by Lock
+};
+
+} // namespace driver
+} // namespace mperf
+
+#endif // MPERF_DRIVER_PROGRAMCACHE_H

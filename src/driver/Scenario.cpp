@@ -8,8 +8,7 @@
 #include "driver/Scenario.h"
 
 #include "support/Format.h"
-#include "transform/LoopVectorizer.h"
-#include "transform/PassManager.h"
+#include "workloads/Compile.h"
 #include "workloads/Matmul.h"
 #include "workloads/Microbench.h"
 #include "workloads/SqliteLike.h"
@@ -52,28 +51,29 @@ std::string mperf::driver::platformKey(const hw::Platform &P) {
 //===----------------------------------------------------------------------===//
 // Workload registry
 //
-// Each factory builds a fresh Module per call (own Context, own globals),
-// so instances never share mutable state across sweep worker threads.
-// Scales are the bench-tree scales shrunk enough that a full
-// (5 platforms x 5 workloads) matrix stays interactive.
+// Each compiler is a pure (target, vectorize) -> Program step: it
+// builds a fresh Module (own Context, own globals), vectorizes when
+// asked, and lowers it into an immutable shared Program. The
+// SweepRunner's ProgramCache keys on (name, variant, vector signature)
+// and calls each compiler exactly once per distinct key. Scales are
+// the bench-tree scales shrunk enough that a full (5 platforms x 5
+// workloads) matrix stays interactive.
 //===----------------------------------------------------------------------===//
 
 namespace {
 
-/// Runs the vectorizer for \p P over \p M when the knob asks for it.
-Error maybeVectorize(ir::Module &M, const hw::Platform &P,
-                     const ScenarioKnobs &K) {
-  if (!K.Vectorize)
-    return Error::success();
-  transform::PassManager PM;
-  PM.addPass(std::make_unique<transform::LoopVectorizer>(P.Target));
-  return PM.run(M);
+/// The vector target of one compile request: null when the knob is off
+/// (workload compilers treat null and vector-less targets identically).
+const transform::TargetInfo *vectorTargetFor(const transform::TargetInfo &T,
+                                             bool Vectorize) {
+  return Vectorize ? &T : nullptr;
 }
 
 WorkloadDesc sqliteWorkload(unsigned Scale) {
   WorkloadDesc D;
   D.Name = "sqlite";
   D.Description = "sqlite3-like database engine scan (Table 2 / Fig. 3)";
+  D.Variant = "s" + std::to_string(Scale);
   // One notch up from the original sweep scale (16/12/12): the micro-op
   // engine made simulation cheap enough that the sweep is build-bound,
   // not run-bound. --scale grows the query count linearly from here.
@@ -81,15 +81,15 @@ WorkloadDesc sqliteWorkload(unsigned Scale) {
   C.NumPages = 24;
   C.CellsPerPage = 16;
   C.NumQueries = 16 * Scale;
-  D.Build = [C](const hw::Platform &P,
-                const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
-    auto W = workloads::buildSqliteLike(C);
-    if (Error E = maybeVectorize(*W.M, P, K))
-      return makeError<WorkloadInstance>(E.message());
-    WorkloadInstance I;
-    I.M = std::move(W.M);
-    I.Args = {vm::RtValue::ofInt(C.NumQueries)};
-    return I;
+  D.Compile = [C](const transform::TargetInfo &T,
+                  bool Vectorize) -> Expected<CompiledWorkload> {
+    auto POr = workloads::compileSqliteLike(C, vectorTargetFor(T, Vectorize));
+    if (!POr)
+      return makeError<CompiledWorkload>(POr.errorMessage());
+    CompiledWorkload W;
+    W.Prog = std::move(POr->Prog);
+    W.Args = {vm::RtValue::ofInt(C.NumQueries)};
+    return W;
   };
   return D;
 }
@@ -98,6 +98,7 @@ WorkloadDesc matmulWorkload(unsigned Scale) {
   WorkloadDesc D;
   D.Name = "matmul";
   D.Description = "tiled SGEMM kernel of section 5.2 (Fig. 4)";
+  D.Variant = "s" + std::to_string(Scale);
   // Base n one notch above the original 48; --scale grows total MACs
   // roughly linearly by scaling n with the cube root, snapped to a
   // tile multiple so the kernel stays evenly tiled.
@@ -108,22 +109,22 @@ WorkloadDesc matmulWorkload(unsigned Scale) {
         static_cast<unsigned>((Grown / C.Tile) + 0.5) * C.Tile;
     C.N = Snapped > C.N ? Snapped : C.N;
   }
-  D.Build = [C](const hw::Platform &P,
-                const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
-    workloads::MatmulWorkload W = workloads::buildMatmul(C);
-    if (Error E = maybeVectorize(*W.M, P, K))
-      return makeError<WorkloadInstance>(E.message());
-    WorkloadInstance I;
-    I.M = std::move(W.M);
-    // initialize() only consults the config, so a config-only copy of
-    // the workload struct regenerates A/B/C in the session's VM.
-    I.Setup = [C](vm::Interpreter &Vm) {
-      workloads::MatmulWorkload Init;
-      Init.Config = C;
-      Init.initialize(Vm);
+  D.Compile = [C](const transform::TargetInfo &T,
+                  bool Vectorize) -> Expected<CompiledWorkload> {
+    auto POr = workloads::compileMatmul(C, vectorTargetFor(T, Vectorize));
+    if (!POr)
+      return makeError<CompiledWorkload>(POr.errorMessage());
+    CompiledWorkload W;
+    W.Prog = POr->Prog;
+    // Input-data setup is separate from compilation: the hook captures
+    // the compiled artifact by value and regenerates A/B/C in each
+    // session's private Instance memory.
+    workloads::MatmulProgram MP = std::move(*POr);
+    W.Setup = [MP](vm::Instance &Vm) {
+      MP.initialize(Vm);
       workloads::bindClock(Vm, [] { return 0.0; });
     };
-    return I;
+    return W;
   };
   return D;
 }
@@ -132,14 +133,16 @@ WorkloadDesc triadWorkload(unsigned Scale) {
   WorkloadDesc D;
   D.Name = "triad";
   D.Description = "STREAM triad bandwidth probe (section 5.2 ceilings)";
-  D.Build = [Scale](const hw::Platform &P,
-                    const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
-    workloads::Microbench W = workloads::buildTriad(8192, 24 * Scale);
-    if (Error E = maybeVectorize(*W.M, P, K))
-      return makeError<WorkloadInstance>(E.message());
-    WorkloadInstance I;
-    I.M = std::move(W.M);
-    return I;
+  D.Variant = "s" + std::to_string(Scale);
+  D.Compile = [Scale](const transform::TargetInfo &T,
+                      bool Vectorize) -> Expected<CompiledWorkload> {
+    auto POr =
+        workloads::compileTriad(8192, 24 * Scale, vectorTargetFor(T, Vectorize));
+    if (!POr)
+      return makeError<CompiledWorkload>(POr.errorMessage());
+    CompiledWorkload W;
+    W.Prog = std::move(POr->Prog);
+    return W;
   };
   return D;
 }
@@ -148,14 +151,16 @@ WorkloadDesc memsetWorkload(unsigned Scale) {
   WorkloadDesc D;
   D.Name = "memset";
   D.Description = "streaming-store memset, the memory-roof probe";
-  D.Build = [Scale](const hw::Platform &P,
-                    const ScenarioKnobs &K) -> Expected<WorkloadInstance> {
-    workloads::Microbench W = workloads::buildMemset(128 * 1024, 8 * Scale);
-    if (Error E = maybeVectorize(*W.M, P, K))
-      return makeError<WorkloadInstance>(E.message());
-    WorkloadInstance I;
-    I.M = std::move(W.M);
-    return I;
+  D.Variant = "s" + std::to_string(Scale);
+  D.Compile = [Scale](const transform::TargetInfo &T,
+                      bool Vectorize) -> Expected<CompiledWorkload> {
+    auto POr = workloads::compileMemset(128 * 1024, 8 * Scale,
+                                        vectorTargetFor(T, Vectorize));
+    if (!POr)
+      return makeError<CompiledWorkload>(POr.errorMessage());
+    CompiledWorkload W;
+    W.Prog = std::move(POr->Prog);
+    return W;
   };
   return D;
 }
@@ -165,15 +170,20 @@ WorkloadDesc peakflopsWorkload(unsigned Scale) {
   D.Name = "peakflops";
   D.Description = "independent FMA chains, the compute-roof probe "
                   "(explicit IR; ignores the vector knob by design)";
-  // buildPeakFlops is the one workload that must not go through the
+  D.Variant = "s" + std::to_string(Scale);
+  // peakflops is the one workload that must not go through the
   // vectorizer: it probes FMA throughput with hand-built chains
-  // (Microbench.h), so the Vectorize knob deliberately does nothing.
-  D.Build = [Scale](const hw::Platform &,
-                    const ScenarioKnobs &) -> Expected<WorkloadInstance> {
-    workloads::Microbench W = workloads::buildPeakFlops(4, 40000 * Scale);
-    WorkloadInstance I;
-    I.M = std::move(W.M);
-    return I;
+  // (Microbench.h), so the Vectorize knob deliberately does nothing —
+  // and every scenario shares one cached build.
+  D.VectorIndependent = true;
+  D.Compile = [Scale](const transform::TargetInfo &,
+                      bool) -> Expected<CompiledWorkload> {
+    auto POr = workloads::compilePeakFlops(4, 40000 * Scale);
+    if (!POr)
+      return makeError<CompiledWorkload>(POr.errorMessage());
+    CompiledWorkload W;
+    W.Prog = std::move(POr->Prog);
+    return W;
   };
   return D;
 }

@@ -7,14 +7,17 @@
 ///
 /// \file
 /// A Scenario is one fully-specified cell of a (platform x workload x
-/// options) sweep matrix: which simulated core to run on, a factory that
-/// builds a fresh copy of the workload program, the session knobs, and a
-/// set of key=value tags identifying the cell in reports.
+/// options) sweep matrix: which simulated core to run on, a compiler
+/// that produces the workload's immutable vm::Program, the session
+/// knobs, and a set of key=value tags identifying the cell in reports.
 ///
-/// Workload factories must be self-contained: every invocation builds a
-/// new Module (with its own Context), so scenarios can execute on
-/// concurrent worker threads without sharing any mutable state. That is
-/// the contract the SweepRunner's thread pool relies on.
+/// Workload compilers are *pure*: deterministic in (config, vector
+/// target), building a fresh Module with its own Context and lowering
+/// it into a shared, immutable Program. Purity is what lets the
+/// SweepRunner's ProgramCache build each distinct workload once and
+/// execute it from many concurrent scenarios; per-run input-data setup
+/// lives in the separate Setup hook, which runs against each
+/// scenario's private vm::Instance.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,7 +27,8 @@
 #include "hw/Platform.h"
 #include "ir/Module.h"
 #include "miniperf/Session.h"
-#include "vm/Interpreter.h"
+#include "vm/Instance.h"
+#include "vm/Program.h"
 
 #include <functional>
 #include <memory>
@@ -47,26 +51,42 @@ struct ScenarioKnobs {
   std::vector<std::string> Analyses;
 };
 
-/// A freshly-built, ready-to-profile program instance.
-struct WorkloadInstance {
-  std::unique_ptr<ir::Module> M;
+/// A compiled, ready-to-profile workload: the immutable shared Program
+/// plus the per-run knowledge needed to execute it. Thread-shareable as
+/// a whole — Entry/Args are immutable and the Setup hook is pure (it
+/// captures only value-copied config and writes only the Instance it is
+/// handed), so any number of scenarios can profile one CompiledWorkload
+/// concurrently.
+struct CompiledWorkload {
+  std::shared_ptr<const vm::Program> Prog;
   std::string Entry = "main";
   std::vector<vm::RtValue> Args;
   /// Session setup hook: initialize workload memory, bind natives.
-  std::function<void(vm::Interpreter &)> Setup;
+  std::function<void(vm::Instance &)> Setup;
 };
 
-/// Builds a fresh instance of a workload for one scenario. Must be
-/// callable from any thread; concurrent calls must not share mutable
-/// state (build a new Module every time).
-using WorkloadFactory = std::function<Expected<WorkloadInstance>(
-    const hw::Platform &, const ScenarioKnobs &)>;
+/// The pure compile step of a workload: deterministic in its arguments
+/// (same target + vectorize => bit-identical Program), callable from
+/// any thread, sharing no mutable state across calls. \p Vectorize
+/// requests the platform's LoopVectorizer; targets without vector units
+/// compile the scalar module either way.
+using WorkloadCompiler = std::function<Expected<CompiledWorkload>(
+    const transform::TargetInfo &Target, bool Vectorize)>;
 
 /// A named, registrable workload.
 struct WorkloadDesc {
   std::string Name;        // "sqlite", "matmul", ...
   std::string Description; // one line for --list output
-  WorkloadFactory Build;
+  /// Distinguishes different build configurations registered under one
+  /// name (the scale notch: "s1", "s4", ...); part of the ProgramCache
+  /// key so differently-scaled sweeps never share a build.
+  std::string Variant = "s1";
+  /// True when Compile ignores the (target, vectorize) arguments —
+  /// explicit-IR probes like peakflops. The ProgramCache then folds
+  /// every scenario of this workload onto the scalar key instead of
+  /// rebuilding an identical Program per vector signature.
+  bool VectorIndependent = false;
+  WorkloadCompiler Compile;
 };
 
 /// One cell of the sweep matrix.

@@ -45,19 +45,29 @@ static std::string analysesCell(const ScenarioResult &R) {
 TextTable SweepReport::toTable() const {
   TextTable T("Sweep: " + std::to_string(Results.size()) + " scenarios, " +
               std::to_string(Jobs) + " job(s), " +
-              std::to_string(numFailures()) + " failure(s)");
+              std::to_string(numFailures()) + " failure(s), " +
+              std::to_string(WorkloadBuilds) + " workload build(s)" +
+              (CacheEnabled ? " (" + std::to_string(CacheHits) +
+                                  " cache hit(s))"
+                            : " (cache off)"));
   T.addHeader({"Scenario", "Platform", "cycles", "instructions", "IPC",
-               "samples", "sim ms", "analyses", "status"});
+               "samples", "sim ms", "build ms", "cache", "analyses",
+               "status"});
   for (const ScenarioResult &R : Results) {
+    const std::string CacheCell =
+        CacheEnabled ? (R.SharedBuild ? "hit" : "miss") : "-";
     if (R.Failed) {
-      T.addRow({R.Name, R.PlatformName, "-", "-", "-", "-", "-", "-",
+      T.addRow({R.Name, R.PlatformName, "-", "-", "-", "-", "-",
+                fixed(R.BuildHostSeconds * 1e3, 1), CacheCell, "-",
                 "FAILED: " + R.Error});
       continue;
     }
     T.addRow({R.Name, R.PlatformName, withCommas(R.Profile.Cycles),
               withCommas(R.Profile.Instructions), fixed(R.Profile.Ipc, 2),
               std::to_string(R.NumSamples),
-              fixed(R.Profile.Seconds * 1e3, 3), analysesCell(R), "ok"});
+              fixed(R.Profile.Seconds * 1e3, 3),
+              fixed(R.BuildHostSeconds * 1e3, 1), CacheCell,
+              analysesCell(R), "ok"});
   }
   return T;
 }
@@ -66,7 +76,7 @@ std::string SweepReport::toJson() const {
   JsonWriter W;
   W.beginObject();
   W.key("schema");
-  W.string("miniperf-sweep-report/v2");
+  W.string("miniperf-sweep-report/v3");
   W.key("jobs");
   W.number(static_cast<uint64_t>(Jobs));
   W.key("host_seconds");
@@ -75,6 +85,21 @@ std::string SweepReport::toJson() const {
   W.number(static_cast<uint64_t>(Results.size()));
   W.key("num_failures");
   W.number(static_cast<uint64_t>(numFailures()));
+  // Build economics: with the cache on, "builds" counts distinct
+  // (workload, variant, vector-signature) keys — the gateable number
+  // behind the "build each workload once per sweep" property. The
+  // counts live in their own top-level block, not per scenario, so the
+  // --baseline gate (which diffs per-scenario metrics only) compares
+  // cache-on and cache-off runs on execution results alone.
+  W.key("build_cache");
+  W.beginObject();
+  W.key("enabled");
+  W.boolean(CacheEnabled);
+  W.key("hits");
+  W.number(CacheHits);
+  W.key("builds");
+  W.number(WorkloadBuilds);
+  W.endObject();
   W.key("results");
   W.beginArray();
   for (const ScenarioResult &R : Results) {
@@ -150,6 +175,15 @@ std::string SweepReport::toJson() const {
     }
     W.key("host_seconds");
     W.number(R.HostSeconds);
+    // Wall-clock split + cache outcome. The *_host_seconds suffix is
+    // load-bearing: the --baseline drift gate skips every key ending
+    // in "host_seconds" (wall clock is not a deterministic metric).
+    W.key("build_host_seconds");
+    W.number(R.BuildHostSeconds);
+    W.key("exec_host_seconds");
+    W.number(R.ExecHostSeconds);
+    W.key("shared_build");
+    W.boolean(R.SharedBuild);
     W.endObject();
   }
   W.endArray();

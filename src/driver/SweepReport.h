@@ -57,6 +57,14 @@ struct ScenarioResult {
   std::vector<AnalysisRecord> Analyses;
   /// Host wall-clock spent building + simulating this scenario.
   double HostSeconds = 0;
+  /// Host wall-clock spent obtaining the compiled workload (a cache
+  /// miss compiles; a hit waits for the in-flight build, usually ~0).
+  double BuildHostSeconds = 0;
+  /// Host wall-clock spent profiling + running analyses.
+  double ExecHostSeconds = 0;
+  /// True when the workload came out of the sweep's ProgramCache
+  /// without this scenario compiling it.
+  bool SharedBuild = false;
 };
 
 /// All results of one sweep, in scenario (matrix) order.
@@ -66,6 +74,14 @@ struct SweepReport {
   unsigned Jobs = 1;
   /// Host wall-clock for the whole sweep.
   double HostSeconds = 0;
+  /// Whether the runner shared compiled workloads across scenarios.
+  bool CacheEnabled = false;
+  /// Scenarios served by an existing build (0 when the cache is off).
+  uint64_t CacheHits = 0;
+  /// Workload modules actually built — with the cache on, exactly the
+  /// number of distinct (workload, variant, vector-signature) keys in
+  /// the matrix; with it off, the scenario count.
+  uint64_t WorkloadBuilds = 0;
 
   size_t numFailures() const;
 
@@ -75,8 +91,9 @@ struct SweepReport {
   /// One row per scenario: counts, IPC, samples, status.
   TextTable toTable() const;
 
-  /// The versioned JSON document ("miniperf-sweep-report/v2"; v2 added
-  /// the per-scenario "analyses" blocks).
+  /// The versioned JSON document ("miniperf-sweep-report/v3"; v3 added
+  /// the "build_cache" block and per-scenario build/exec wall time,
+  /// v2 the per-scenario "analyses" blocks).
   std::string toJson() const;
 };
 

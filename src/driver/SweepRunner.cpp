@@ -4,20 +4,25 @@
 // Performance" (PACT 2025). See README.md for details.
 //
 // Concurrency audit (what makes one-Session-per-worker safe): every
-// scenario builds its own Module — and with it its own ir::Context, the
-// only type/constant interning scope — plus its own Interpreter memory,
-// CoreModel (branch predictor, cache sim), Pmu counters, SbiPmu op log
-// and PerfEventSubsystem fd table. hw::Platform is copied by value into
-// each Scenario. The remaining shared data is immutable: function-local
-// `static const` lookup tables (ir/Parser.cpp) whose initialization the
-// C++ runtime serializes. No global mutable state exists in hw:: or
-// vm:: (verified by review; guarded continuously by the sanitizer CI
-// leg running this runner's tests).
+// scenario owns its own mutable stack — vm::Instance memory, CoreModel
+// (branch predictor, cache sim), Pmu counters, SbiPmu op log and
+// PerfEventSubsystem fd table. hw::Platform is copied by value into
+// each Scenario. What *is* shared across workers is immutable by
+// construction: the vm::Program artifacts handed out by the
+// ProgramCache (verified module + eagerly lowered micro-ops; nothing
+// in them mutates after compile — the cache is why the sweep no longer
+// rebuilds one workload per scenario), plus function-local `static
+// const` lookup tables (ir/Parser.cpp) whose initialization the C++
+// runtime serializes. No global mutable state exists in hw:: or vm::
+// (verified by review; guarded continuously by the sanitizer CI leg
+// running this runner's tests, including the shared-Program
+// multi-thread suite in tests/program_test.cpp).
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/SweepRunner.h"
 
+#include "driver/ProgramCache.h"
 #include "miniperf/Analysis.h"
 
 #include <atomic>
@@ -40,7 +45,8 @@ unsigned SweepRunner::effectiveJobs(size_t NumScenarios) const {
   return Jobs < 1 ? 1 : Jobs;
 }
 
-ScenarioResult SweepRunner::runScenario(const Scenario &S) const {
+ScenarioResult SweepRunner::runScenario(const Scenario &S,
+                                        ProgramCache *Cache) const {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point Start = Clock::now();
 
@@ -55,22 +61,41 @@ ScenarioResult SweepRunner::runScenario(const Scenario &S) const {
         std::chrono::duration<double>(Clock::now() - Start).count();
   };
 
-  Expected<WorkloadInstance> InstOr = S.Workload.Build(S.Platform, S.Knobs);
-  if (!InstOr) {
+  // Build phase: fetch the shared compiled workload (or compile
+  // privately with the cache off). Timed separately so the report can
+  // state how build-bound the sweep is.
+  std::shared_ptr<const CompiledWorkload> Workload;
+  {
+    const Clock::time_point BuildStart = Clock::now();
+    auto WOr = Cache ? Cache->get(S, &R.SharedBuild) : ProgramCache::compile(S);
+    if (WOr)
+      Workload = std::move(*WOr);
+    else
+      R.Error = WOr.errorMessage();
+    R.BuildHostSeconds =
+        std::chrono::duration<double>(Clock::now() - BuildStart).count();
+  }
+  if (!Workload) {
     R.Failed = true;
-    R.Error = InstOr.errorMessage();
     Finish();
     return R;
   }
 
+  const Clock::time_point ExecStart = Clock::now();
+  auto FinishExec = [&R, ExecStart] {
+    R.ExecHostSeconds =
+        std::chrono::duration<double>(Clock::now() - ExecStart).count();
+  };
+
   miniperf::Session Sess(S.Platform, S.Knobs.Session);
-  if (InstOr->Setup)
-    Sess.setSetupHook(InstOr->Setup);
+  if (Workload->Setup)
+    Sess.setSetupHook(Workload->Setup);
   Expected<miniperf::Profile> POr =
-      Sess.profile(*InstOr->M, InstOr->Entry, InstOr->Args);
+      Sess.profile(Workload->Prog, Workload->Entry, Workload->Args);
   if (!POr) {
     R.Failed = true;
     R.Error = POr.errorMessage();
+    FinishExec();
     Finish();
     return R;
   }
@@ -109,6 +134,7 @@ ScenarioResult SweepRunner::runScenario(const Scenario &S) const {
     R.Profile.Samples.clear();
     R.Profile.Samples.shrink_to_fit();
   }
+  FinishExec();
   Finish();
   return R;
 }
@@ -120,6 +146,12 @@ SweepReport SweepRunner::run(const std::vector<Scenario> &Scenarios) const {
   SweepReport Report;
   Report.Jobs = effectiveJobs(Scenarios.size());
   Report.Results.resize(Scenarios.size());
+  Report.CacheEnabled = Opts.ShareWorkloadBuilds;
+
+  // One build cache per sweep: first scenario of a key compiles, the
+  // rest share. Null when disabled (the bit-identity comparison knob).
+  ProgramCache Cache;
+  ProgramCache *CachePtr = Opts.ShareWorkloadBuilds ? &Cache : nullptr;
 
   std::atomic<size_t> Next{0};
   std::mutex ProgressLock;
@@ -132,7 +164,7 @@ SweepReport SweepRunner::run(const std::vector<Scenario> &Scenarios) const {
         return;
       // Result slots are pre-sized and disjoint per index, so workers
       // write without locking; OnResult is the only shared call.
-      Report.Results[I] = runScenario(Scenarios[I]);
+      Report.Results[I] = runScenario(Scenarios[I], CachePtr);
       if (Opts.OnResult) {
         std::lock_guard<std::mutex> Guard(ProgressLock);
         Opts.OnResult(Report.Results[I], ++Done, Scenarios.size());
@@ -149,6 +181,15 @@ SweepReport SweepRunner::run(const std::vector<Scenario> &Scenarios) const {
       Pool.emplace_back(Worker);
     for (std::thread &T : Pool)
       T.join();
+  }
+
+  if (CachePtr) {
+    ProgramCache::CacheStats CS = Cache.stats();
+    Report.CacheHits = CS.Hits;
+    Report.WorkloadBuilds = CS.Misses;
+  } else {
+    Report.CacheHits = 0;
+    Report.WorkloadBuilds = Scenarios.size();
   }
 
   Report.HostSeconds =

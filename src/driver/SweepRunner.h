@@ -24,6 +24,8 @@
 namespace mperf {
 namespace driver {
 
+class ProgramCache;
+
 /// Execution knobs of one sweep.
 struct SweepOptions {
   /// Worker threads; 0 picks std::thread::hardware_concurrency().
@@ -31,6 +33,12 @@ struct SweepOptions {
   /// Keep per-scenario sample vectors in the report (off by default:
   /// a wide matrix times a 64k-entry ring buffer is real memory).
   bool KeepSamples = false;
+  /// Share compiled workload Programs across scenarios through a
+  /// ProgramCache, building each distinct (workload, variant,
+  /// vector-signature) key once per sweep. Off rebuilds per scenario —
+  /// results are bit-identical either way (the differential tests
+  /// assert it); the knob exists for exactly that comparison.
+  bool ShareWorkloadBuilds = true;
   /// Progress callback, invoked serialized (under a lock) as scenarios
   /// finish — completion order, not matrix order.
   std::function<void(const ScenarioResult &, size_t Done, size_t Total)>
@@ -49,7 +57,9 @@ public:
   unsigned effectiveJobs(size_t NumScenarios) const;
 
 private:
-  ScenarioResult runScenario(const Scenario &S) const;
+  /// \p Cache is the sweep-wide build cache, or null when sharing is
+  /// disabled (each scenario then compiles privately).
+  ScenarioResult runScenario(const Scenario &S, ProgramCache *Cache) const;
 
   SweepOptions Opts;
 };

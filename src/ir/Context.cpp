@@ -69,7 +69,12 @@ Function *Module::createFunction(std::string FnName, Type *RetTy,
   return Functions.back().get();
 }
 
-Function *Module::function(std::string_view FnName) const {
+Function *Module::function(std::string_view FnName) {
+  return const_cast<Function *>(
+      static_cast<const Module *>(this)->function(FnName));
+}
+
+const Function *Module::function(std::string_view FnName) const {
   for (const auto &Fn : Functions)
     if (Fn->name() == FnName)
       return Fn.get();
@@ -85,7 +90,12 @@ GlobalVariable *Module::createGlobal(std::string GlobalName,
   return Globals.back().get();
 }
 
-GlobalVariable *Module::global(std::string_view GlobalName) const {
+GlobalVariable *Module::global(std::string_view GlobalName) {
+  return const_cast<GlobalVariable *>(
+      static_cast<const Module *>(this)->global(GlobalName));
+}
+
+const GlobalVariable *Module::global(std::string_view GlobalName) const {
   for (const auto &GV : Globals)
     if (GV->name() == GlobalName)
       return GV.get();

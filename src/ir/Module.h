@@ -75,8 +75,12 @@ public:
     return createFunction(std::move(FnName), RetTy, std::move(ParamTys));
   }
 
-  /// Looks a function up by name; null when absent.
-  Function *function(std::string_view FnName) const;
+  /// Looks a function up by name; null when absent. A const module
+  /// hands out const functions only — the vm::Program/Instance split
+  /// relies on this: execution sees the module through `const
+  /// ir::Module &` and must be unable to mutate shared IR.
+  Function *function(std::string_view FnName);
+  const Function *function(std::string_view FnName) const;
 
   size_t numFunctions() const { return Functions.size(); }
 
@@ -104,11 +108,14 @@ public:
   /// Creates a zero-initialized global of \p SizeBytes bytes.
   GlobalVariable *createGlobal(std::string GlobalName, uint64_t SizeBytes);
 
-  /// Looks a global up by name; null when absent.
-  GlobalVariable *global(std::string_view GlobalName) const;
+  /// Looks a global up by name; null when absent (const-correct like
+  /// function()).
+  GlobalVariable *global(std::string_view GlobalName);
+  const GlobalVariable *global(std::string_view GlobalName) const;
 
   size_t numGlobals() const { return Globals.size(); }
-  GlobalVariable *globalAt(size_t I) const { return Globals[I].get(); }
+  GlobalVariable *globalAt(size_t I) { return Globals[I].get(); }
+  const GlobalVariable *globalAt(size_t I) const { return Globals[I].get(); }
 
   /// Total instruction count across all functions.
   uint64_t instructionCount() const;

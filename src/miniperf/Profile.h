@@ -110,11 +110,6 @@ struct Profile {
   std::string tag(std::string_view Key) const;
 };
 
-/// Compatibility alias for the pre-Profile flat result type. The raw
-/// CyclesFd/InstructionsFd/LeaderFd fields are gone — use
-/// counterFd("cycles") etc. The alias itself dies next PR.
-using ProfileResult = Profile;
-
 } // namespace miniperf
 } // namespace mperf
 

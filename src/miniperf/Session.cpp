@@ -29,6 +29,15 @@ static std::string describeEvent(const PerfEventAttr &Attr) {
 
 Expected<Profile> Session::profile(ir::Module &M, const std::string &Entry,
                                    const std::vector<vm::RtValue> &Args) {
+  return profile(vm::Program::compileTrusted(M), Entry, Args);
+}
+
+Expected<Profile> Session::profile(std::shared_ptr<const vm::Program> P,
+                                   const std::string &Entry,
+                                   const std::vector<vm::RtValue> &Args) {
+  if (!P)
+    return makeError<Profile>("miniperf: null program");
+
   // Detect the platform from its id CSRs, the way the real tool does.
   std::vector<Platform> Db = allPlatforms();
   const Platform *Detected = detectPlatform(Db, ThePlatform.Id);
@@ -37,8 +46,9 @@ Expected<Profile> Session::profile(ir::Module &M, const std::string &Entry,
         "miniperf: unknown platform (mvendorid=" +
         std::to_string(ThePlatform.Id.Mvendorid) + ")");
 
-  // Build the stack bottom-up.
-  vm::Interpreter Vm(M);
+  // Build the mutable run stack bottom-up around a private Instance of
+  // the (possibly shared) immutable Program.
+  vm::Instance Vm(std::move(P));
   Vm.setFuel(Opts.Fuel);
   CoreModel Core(ThePlatform.Core, ThePlatform.Cache);
   Pmu ThePmu(ThePlatform.PmuCaps);

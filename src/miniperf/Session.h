@@ -20,8 +20,10 @@
 
 #include "miniperf/EventGrouper.h"
 #include "miniperf/Profile.h"
+#include "vm/Program.h"
 
 #include <functional>
+#include <memory>
 
 namespace mperf {
 namespace miniperf {
@@ -44,20 +46,31 @@ public:
   explicit Session(hw::Platform P, SessionOptions Opts = {})
       : ThePlatform(std::move(P)), Opts(Opts) {}
 
-  /// Called after the interpreter is created and before the run; use it
-  /// to initialize workload memory and register native functions.
-  void setSetupHook(std::function<void(vm::Interpreter &)> Hook) {
+  /// Called after the VM instance is created and before the run; use it
+  /// to initialize workload memory and register native functions. When
+  /// the profiled Program is shared across sessions (the sweep cache),
+  /// the hook runs once per session against that session's private
+  /// Instance, so it must not capture mutable shared state.
+  void setSetupHook(std::function<void(vm::Instance &)> Hook) {
     Setup = std::move(Hook);
   }
 
-  /// Runs \p Entry in \p M and profiles it.
+  /// Profiles \p Entry of a shared, immutable compiled program. Any
+  /// number of Sessions (on any threads) may profile the same Program
+  /// concurrently; each run executes in its own vm::Instance.
+  Expected<Profile> profile(std::shared_ptr<const vm::Program> P,
+                            const std::string &Entry,
+                            const std::vector<vm::RtValue> &Args = {});
+
+  /// Convenience form: compiles \p M privately, then profiles it. The
+  /// caller keeps \p M alive for the duration of the call.
   Expected<Profile> profile(ir::Module &M, const std::string &Entry,
                             const std::vector<vm::RtValue> &Args = {});
 
 private:
   hw::Platform ThePlatform;
   SessionOptions Opts;
-  std::function<void(vm::Interpreter &)> Setup;
+  std::function<void(vm::Instance &)> Setup;
 };
 
 } // namespace miniperf

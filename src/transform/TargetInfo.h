@@ -36,6 +36,19 @@ struct TargetInfo {
     return VectorBits / (8 * ElemBytes);
   }
 
+  /// Stable token identifying everything codegen may consult: two
+  /// targets with equal signatures must compile any module to
+  /// bit-identical IR. The sweep's ProgramCache keys shared builds on
+  /// this, so when you add a codegen-relevant field to this struct,
+  /// fold it in here — the signature lives next to the fields for
+  /// exactly that reason.
+  std::string codegenSignature() const {
+    if (!HasVector)
+      return "scalar";
+    return Name + "/v" + std::to_string(VectorBits) +
+           (HasFma ? "+fma" : "");
+  }
+
   static TargetInfo rv64gc() { return {"rv64gc", false, 0, true}; }
   static TargetInfo rv64gcv(unsigned Vlen = 256) {
     return {"rv64gcv", true, Vlen, true};

@@ -1,13 +1,14 @@
-//===- ExecEngine.cpp - Micro-op lowering and dispatch loop --------------------===//
+//===- ExecEngine.cpp - Micro-op dispatch loop ---------------------------------===//
 //
 // Part of the miniperf project, a reproduction of "Dissecting RISC-V
 // Performance" (PACT 2025). See README.md for details.
 //
-// The micro-op execution engine: lowers the slot form built by
-// InterpreterAccess::compile into a flat MicroOp array (vm/MicroOp.h)
-// and runs it through a computed-goto dispatch loop (dense switch on
-// compilers without the extension). Retired ops buffer into the
-// interpreter's ring and reach consumers in blocks via onRetireBatch;
+// The micro-op execution engine: runs the flat MicroOp array lowered at
+// Program::compile time (vm/Program.cpp) through a computed-goto
+// dispatch loop (dense switch on compilers without the extension). The
+// program is immutable and possibly shared across threads; everything
+// this loop writes lives in the Instance. Retired ops buffer into the
+// instance's ring and reach consumers in blocks via onRetireBatch;
 // flush points (ring full, calls, returns, traps) are chosen so every
 // consumer sees the exact per-op sequence of the reference engine.
 //
@@ -47,10 +48,6 @@ inline int64_t signExt(uint64_t V, unsigned Bits) {
   V &= Mask;
   return (V & SignBit) ? static_cast<int64_t>(V | ~Mask)
                        : static_cast<int64_t>(V);
-}
-
-inline uint64_t maskOf(unsigned Bits) {
-  return Bits >= 64 ? ~0ull : ((1ULL << Bits) - 1);
 }
 
 /// Shared icmp predicate evaluation for the plain and fused handlers —
@@ -129,453 +126,6 @@ inline void storeIntN(uint8_t *P, uint64_t V, unsigned Bytes) {
   }
 }
 
-//===----------------------------------------------------------------------===//
-// Lowering: slot form -> micro-op program
-//===----------------------------------------------------------------------===//
-
-/// Builds one function's MicroProgram from its compiled slot form.
-class Lowerer {
-public:
-  explicit Lowerer(const Interpreter::CompiledFunction &CF) : CF(CF) {}
-
-  std::unique_ptr<MicroProgram> run() {
-    auto P = std::make_unique<MicroProgram>();
-    Prog = P.get();
-    // One extra slot breaks phi-move cycles (swap patterns).
-    Prog->NumSlots = CF.NumSlots + 1;
-    Scratch = static_cast<int32_t>(CF.NumSlots);
-
-    BlockStart.resize(CF.Blocks.size(), -1);
-    for (size_t B = 0; B != CF.Blocks.size(); ++B) {
-      BlockStart[B] = static_cast<int32_t>(Prog->Code.size());
-      lowerBlock(CF.Blocks[B]);
-    }
-    emitStubs();
-    applyPatches();
-    return P;
-  }
-
-private:
-  const Interpreter::CompiledFunction &CF;
-  MicroProgram *Prog = nullptr;
-  int32_t Scratch = -1;
-  std::vector<int32_t> BlockStart;
-  /// Branch fields still holding block indices, to rewrite at the end.
-  struct Patch {
-    size_t Uop;
-    int Which; // 0 = Tgt0, 1 = Tgt1
-    int32_t Block;
-  };
-  std::vector<Patch> Patches;
-  /// Conditional edges with phi moves; lowered to stubs after the
-  /// straight-line code so the fall-through path stays dense.
-  struct StubReq {
-    size_t Uop;
-    int Which;
-    int32_t Succ;
-    const std::vector<EdgeMove> *Moves;
-  };
-  std::vector<StubReq> Stubs;
-
-  /// Converts an operand to its packed reference (slot or imm-pool).
-  int32_t ref(const OperandRef &R) {
-    if (R.Slot >= 0)
-      return R.Slot;
-    Prog->Imms.push_back(R.Imm);
-    return -static_cast<int32_t>(Prog->Imms.size());
-  }
-
-  MicroOp base(const CInst &CI) {
-    MicroOp U;
-    U.Lanes = CI.Lanes;
-    U.IntBits = static_cast<uint8_t>(std::min(CI.IntBits, 64u));
-    U.SrcBits = static_cast<uint8_t>(std::min(CI.SrcBits, 64u));
-    U.ElemBytes = static_cast<uint8_t>(CI.ElemBytes);
-    U.Flags = static_cast<uint8_t>((CI.F32 ? MicroFlagF32 : 0) |
-                                   (CI.IsFp ? MicroFlagFpMem : 0) |
-                                   (CI.HasStrideOperand ? MicroFlagStrideOp : 0));
-    U.Dest = CI.Dest;
-    U.Mask = maskOf(CI.IntBits);
-    U.Class = CI.Class;
-    U.Inst = CI.I;
-    return U;
-  }
-
-  void push(const MicroOp &U) { Prog->Code.push_back(U); }
-
-  /// Sequentializes one edge's parallel moves into Move micro-ops.
-  /// Reads all happen before any overwritten destination is consumed:
-  /// a move is emitted only once its destination is no longer a pending
-  /// source; cycles break through the scratch slot. Immediate-source
-  /// moves read nothing and go last.
-  void emitMoves(const std::vector<EdgeMove> &Moves) {
-    struct Pending {
-      int32_t Dest;
-      int32_t Src; // packed ref (slot or imm)
-      uint16_t Lanes;
-    };
-    std::vector<Pending> RegMoves, ImmMoves;
-    for (const EdgeMove &M : Moves) {
-      Pending P{M.Dest, ref(M.Src), M.Lanes};
-      if (M.Src.Slot >= 0) {
-        if (P.Src != P.Dest)
-          RegMoves.push_back(P);
-      } else {
-        ImmMoves.push_back(P);
-      }
-    }
-    auto emitOne = [&](const Pending &P) {
-      MicroOp U;
-      U.Kind = P.Lanes > 1 ? MicroKind::MoveW : MicroKind::MoveS;
-      U.Dest = P.Dest;
-      U.A = P.Src;
-      push(U);
-    };
-    while (!RegMoves.empty()) {
-      bool Progress = false;
-      for (size_t I = 0; I != RegMoves.size();) {
-        int32_t D = RegMoves[I].Dest;
-        bool Blocked = false;
-        for (size_t J = 0; J != RegMoves.size(); ++J)
-          if (J != I && RegMoves[J].Src == D) {
-            Blocked = true;
-            break;
-          }
-        if (Blocked) {
-          ++I;
-          continue;
-        }
-        emitOne(RegMoves[I]);
-        RegMoves.erase(RegMoves.begin() + static_cast<long>(I));
-        Progress = true;
-      }
-      if (!Progress) {
-        // Every pending destination is still read by another move: a
-        // cycle. Save one source into the scratch slot and retarget its
-        // consumer, which unblocks the writer of that source.
-        Pending &P = RegMoves.front();
-        emitOne(Pending{Scratch, P.Src, P.Lanes});
-        P.Src = Scratch;
-      }
-    }
-    for (const Pending &P : ImmMoves)
-      emitOne(P);
-  }
-
-  void lowerBlock(const CBlock &CB) {
-    for (size_t I = 0; I != CB.Insts.size(); ++I) {
-      const CInst &CI = CB.Insts[I];
-      // Fuse a scalar icmp directly followed by the cond_br on its
-      // result: the branch consumes the flag without a register-file
-      // round trip, and one dispatch replaces two. (The flag is still
-      // written — a phi or later block may read it.)
-      if (CI.Op == Opcode::ICmp && CI.Lanes == 1 &&
-          I + 1 != CB.Insts.size()) {
-        const CInst &Next = CB.Insts[I + 1];
-        if (Next.Op == Opcode::CondBr && Next.Ops[0].Slot >= 0 &&
-            Next.Ops[0].Slot == CI.Dest) {
-          lowerICmpBr(CI, Next, CB);
-          ++I;
-          continue;
-        }
-      }
-      lowerInst(CI, CB);
-    }
-  }
-
-  void branchTo(MicroOp &U, int Which, int32_t Succ) {
-    Patches.push_back({Prog->Code.size(), Which, Succ});
-    (Which == 0 ? U.Tgt0 : U.Tgt1) = Succ; // placeholder
-  }
-
-  /// Wires the two successor edges of a conditional branch micro-op:
-  /// direct block targets for move-free edges, per-edge stubs otherwise.
-  void wireCondEdges(MicroOp &U, const CInst &Br, const CBlock &CB) {
-    size_t Idx = Prog->Code.size();
-    for (int E = 0; E != 2; ++E) {
-      int32_t Succ = E == 0 ? Br.Succ0 : Br.Succ1;
-      if (E < static_cast<int>(CB.Moves.size()) && !CB.Moves[E].empty())
-        Stubs.push_back({Idx, E, Succ, &CB.Moves[E]});
-      else
-        branchTo(U, E, Succ);
-    }
-  }
-
-  void lowerICmpBr(const CInst &Cmp, const CInst &Br, const CBlock &CB) {
-    MicroOp U = base(Cmp);
-    U.Kind = MicroKind::ICmpBrS;
-    U.Aux = static_cast<uint8_t>(Cmp.IPred);
-    U.A = ref(Cmp.Ops[0]);
-    U.B = ref(Cmp.Ops[1]);
-    U.Imm = reinterpret_cast<uint64_t>(Br.I);
-    wireCondEdges(U, Br, CB);
-    push(U);
-  }
-
-  void lowerInst(const CInst &CI, const CBlock &CB) {
-    MicroOp U = base(CI);
-    switch (CI.Op) {
-    case Opcode::Add:
-    case Opcode::Sub:
-    case Opcode::Mul:
-    case Opcode::And:
-    case Opcode::Or:
-    case Opcode::Xor:
-    case Opcode::Shl:
-    case Opcode::LShr:
-    case Opcode::AShr:
-    case Opcode::SDiv:
-    case Opcode::UDiv:
-    case Opcode::SRem:
-    case Opcode::URem: {
-      U.A = ref(CI.Ops[0]);
-      if (CI.Lanes > 1) {
-        U.B = ref(CI.Ops[1]);
-        U.Kind = MicroKind::IntBinV;
-        U.Aux = static_cast<uint8_t>(CI.Op);
-        push(U);
-        return;
-      }
-      // Quickened scalar form: a constant right operand rides inline in
-      // the micro-op (same cache line), skipping the pool load. Not
-      // done for div/rem, which need the runtime zero check either way.
-      static const MicroKind ImmMap[] = {
-          MicroKind::AddSI, MicroKind::SubSI, MicroKind::MulSI,
-          MicroKind::NumKinds /*sdiv*/, MicroKind::NumKinds /*udiv*/,
-          MicroKind::NumKinds /*srem*/, MicroKind::NumKinds /*urem*/,
-          MicroKind::AndSI, MicroKind::OrSI, MicroKind::XorSI,
-          MicroKind::ShlSI, MicroKind::LShrSI, MicroKind::AShrSI};
-      unsigned OpIdx = static_cast<unsigned>(CI.Op) -
-                       static_cast<unsigned>(Opcode::Add);
-      if (CI.Ops[1].Slot < 0 && ImmMap[OpIdx] != MicroKind::NumKinds) {
-        U.Kind = ImmMap[OpIdx];
-        U.Imm = CI.Ops[1].Imm.I[0];
-        push(U);
-        return;
-      }
-      static const MicroKind Map[] = {
-          MicroKind::AddS,  MicroKind::SubS,  MicroKind::MulS,
-          MicroKind::SDivS, MicroKind::UDivS, MicroKind::SRemS,
-          MicroKind::URemS, MicroKind::AndS,  MicroKind::OrS,
-          MicroKind::XorS,  MicroKind::ShlS,  MicroKind::LShrS,
-          MicroKind::AShrS};
-      U.Kind = Map[OpIdx];
-      U.B = ref(CI.Ops[1]);
-      push(U);
-      return;
-    }
-    case Opcode::FAdd:
-    case Opcode::FSub:
-    case Opcode::FMul:
-    case Opcode::FDiv: {
-      U.A = ref(CI.Ops[0]);
-      U.B = ref(CI.Ops[1]);
-      if (CI.Lanes > 1) {
-        U.Kind = MicroKind::FpBinV;
-        U.Aux = static_cast<uint8_t>(CI.Op);
-      } else {
-        static const MicroKind Map[] = {MicroKind::FAddS, MicroKind::FSubS,
-                                        MicroKind::FMulS, MicroKind::FDivS};
-        U.Kind = Map[static_cast<unsigned>(CI.Op) -
-                     static_cast<unsigned>(Opcode::FAdd)];
-      }
-      push(U);
-      return;
-    }
-    case Opcode::FNeg:
-      U.Kind = CI.Lanes > 1 ? MicroKind::FNegV : MicroKind::FNegS;
-      U.A = ref(CI.Ops[0]);
-      push(U);
-      return;
-    case Opcode::Fma:
-      U.Kind = CI.Lanes > 1 ? MicroKind::FmaV : MicroKind::FmaS;
-      U.A = ref(CI.Ops[0]);
-      U.B = ref(CI.Ops[1]);
-      U.C = ref(CI.Ops[2]);
-      push(U);
-      return;
-    case Opcode::ICmp:
-      U.Kind = MicroKind::ICmpS;
-      U.Aux = static_cast<uint8_t>(CI.IPred);
-      U.A = ref(CI.Ops[0]);
-      U.B = ref(CI.Ops[1]);
-      push(U);
-      return;
-    case Opcode::FCmp:
-      U.Kind = MicroKind::FCmpS;
-      U.Aux = static_cast<uint8_t>(CI.FPred);
-      U.A = ref(CI.Ops[0]);
-      U.B = ref(CI.Ops[1]);
-      push(U);
-      return;
-    case Opcode::Trunc:
-    case Opcode::ZExt:
-      U.Kind = MicroKind::TruncZExtS;
-      U.A = ref(CI.Ops[0]);
-      push(U);
-      return;
-    case Opcode::SExt:
-      U.Kind = MicroKind::SExtS;
-      U.A = ref(CI.Ops[0]);
-      push(U);
-      return;
-    case Opcode::FPToSI:
-      U.Kind = MicroKind::FPToSIS;
-      U.A = ref(CI.Ops[0]);
-      push(U);
-      return;
-    case Opcode::SIToFP:
-      U.Kind = MicroKind::SIToFPS;
-      U.A = ref(CI.Ops[0]);
-      push(U);
-      return;
-    case Opcode::FPTrunc:
-      U.Kind = MicroKind::FPTruncS;
-      U.A = ref(CI.Ops[0]);
-      push(U);
-      return;
-    case Opcode::FPExt:
-      U.Kind = MicroKind::FPExtS;
-      U.A = ref(CI.Ops[0]);
-      push(U);
-      return;
-    case Opcode::Splat:
-      U.Kind = MicroKind::SplatV;
-      U.A = ref(CI.Ops[0]);
-      push(U);
-      return;
-    case Opcode::ExtractElement:
-      U.Kind = MicroKind::ExtractV;
-      U.A = ref(CI.Ops[0]);
-      U.B = ref(CI.Ops[1]);
-      push(U);
-      return;
-    case Opcode::ReduceFAdd:
-      U.Kind = MicroKind::ReduceFAddV;
-      U.A = ref(CI.Ops[0]);
-      push(U);
-      return;
-    case Opcode::ReduceAdd:
-      U.Kind = MicroKind::ReduceAddV;
-      U.A = ref(CI.Ops[0]);
-      push(U);
-      return;
-    case Opcode::Alloca:
-      U.Kind = MicroKind::AllocaS;
-      U.Mask = CI.AllocaBytes;
-      push(U);
-      return;
-    case Opcode::Load:
-      U.A = ref(CI.Ops[0]);
-      if (CI.HasStrideOperand)
-        U.B = ref(CI.Ops[1]);
-      if (CI.Lanes > 1 || CI.HasStrideOperand)
-        U.Kind = MicroKind::LoadV;
-      else if (CI.IsFp)
-        U.Kind = CI.F32 ? MicroKind::LoadSF32 : MicroKind::LoadSF64;
-      else
-        U.Kind = MicroKind::LoadSInt;
-      push(U);
-      return;
-    case Opcode::Store:
-      U.A = ref(CI.Ops[0]);
-      U.B = ref(CI.Ops[1]);
-      if (CI.HasStrideOperand)
-        U.C = ref(CI.Ops[2]);
-      if (CI.Lanes > 1 || CI.HasStrideOperand)
-        U.Kind = MicroKind::StoreV;
-      else if (CI.IsFp)
-        U.Kind = CI.F32 ? MicroKind::StoreSF32 : MicroKind::StoreSF64;
-      else
-        U.Kind = MicroKind::StoreSInt;
-      push(U);
-      return;
-    case Opcode::PtrAdd:
-      U.Kind = MicroKind::PtrAddS;
-      U.A = ref(CI.Ops[0]);
-      U.B = ref(CI.Ops[1]);
-      push(U);
-      return;
-    case Opcode::Select:
-      U.Kind = MicroKind::SelectS;
-      U.A = ref(CI.Ops[0]);
-      U.B = ref(CI.Ops[1]);
-      U.C = ref(CI.Ops[2]);
-      push(U);
-      return;
-    case Opcode::Br:
-      // Unconditional edge: the phi moves run inline before the branch
-      // (they are invisible to the trace, so ordering with the branch's
-      // RetiredOp cannot be observed).
-      if (!CB.Moves.empty() && !CB.Moves[0].empty())
-        emitMoves(CB.Moves[0]);
-      U.Kind = MicroKind::Br;
-      branchTo(U, 0, CI.Succ0);
-      push(U);
-      return;
-    case Opcode::CondBr: {
-      U.Kind = MicroKind::CondBr;
-      U.A = ref(CI.Ops[0]);
-      wireCondEdges(U, CI, CB);
-      push(U);
-      return;
-    }
-    case Opcode::Ret:
-      U.Kind = MicroKind::Ret;
-      if (!CI.Ops.empty()) {
-        U.Flags |= MicroFlagHasRetVal;
-        U.A = ref(CI.Ops[0]);
-      }
-      push(U);
-      return;
-    case Opcode::Call: {
-      U.Kind = MicroKind::Call;
-      U.A = static_cast<int32_t>(Prog->ArgPool.size());
-      U.B = static_cast<int32_t>(CI.Ops.size());
-      for (const OperandRef &R : CI.Ops)
-        Prog->ArgPool.push_back(ref(R));
-      U.Tgt0 = static_cast<int32_t>(Prog->Callees.size());
-      Prog->Callees.push_back(CI.Callee);
-      push(U);
-      return;
-    }
-    case Opcode::Phi:
-      MPERF_UNREACHABLE("phi reached micro-op lowering");
-    }
-    MPERF_UNREACHABLE("unhandled opcode in micro-op lowering");
-  }
-
-  void emitStubs() {
-    for (const StubReq &S : Stubs) {
-      int32_t Start = static_cast<int32_t>(Prog->Code.size());
-      emitMoves(*S.Moves);
-      if (Prog->Code.size() != static_cast<size_t>(Start)) {
-        // The last move carries the jump back to the successor, saving
-        // a dispatch per edge traversal.
-        MicroOp &Last = Prog->Code.back();
-        Last.Kind = Last.Kind == MicroKind::MoveW ? MicroKind::MoveWJ
-                                                  : MicroKind::MoveSJ;
-      } else {
-        // Every move was a dropped self-move (phi of itself); the stub
-        // degenerates to a bare jump.
-        MicroOp G;
-        G.Kind = MicroKind::Goto;
-        push(G);
-      }
-      Patches.push_back({Prog->Code.size() - 1, 0, S.Succ});
-      MicroOp &Cond = Prog->Code[S.Uop];
-      (S.Which == 0 ? Cond.Tgt0 : Cond.Tgt1) = Start;
-    }
-  }
-
-  void applyPatches() {
-    for (const Patch &P : Patches) {
-      MicroOp &U = Prog->Code[P.Uop];
-      (P.Which == 0 ? U.Tgt0 : U.Tgt1) = BlockStart[static_cast<size_t>(P.Block)];
-    }
-  }
-};
-
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -616,7 +166,7 @@ private:
 
 template <bool Traced>
 Expected<RtValue>
-InterpreterAccess::runMicro(Interpreter &In, Interpreter::CompiledFunction &CF,
+InterpreterAccess::runMicro(Instance &In, const CompiledFunction &CF,
                             const std::vector<RtValue> &Args) {
   const Function &F = *CF.F;
   assert(Args.size() == F.numArgs() && "argument count mismatch");
@@ -679,7 +229,7 @@ InterpreterAccess::runMicro(Interpreter &In, Interpreter::CompiledFunction &CF,
   /// Allocates the next trace record, flushing a full ring first so the
   /// caller can keep filling fields after the call.
   auto Push = [&](const MicroOp &U) -> RetiredOp & {
-    if (RC == Interpreter::RetireBufCap)
+    if (RC == Instance::RetireBufCap)
       Flush();
     RetiredOp &R = Buf[RC++];
     // Field-wise reset, deliberately not `R = RetiredOp()`: the
@@ -714,7 +264,7 @@ InterpreterAccess::runMicro(Interpreter &In, Interpreter::CompiledFunction &CF,
       &&H_CondBr,     &&H_Ret,     &&H_Call,     &&H_MoveS,   &&H_MoveW,
       &&H_Goto,       &&H_AddSI,   &&H_SubSI,    &&H_MulSI,   &&H_AndSI,
       &&H_OrSI,       &&H_XorSI,   &&H_ShlSI,    &&H_LShrSI,  &&H_AShrSI,
-      &&H_ICmpBrS,    &&H_MoveSJ,  &&H_MoveWJ};
+      &&H_ICmpBrS,    &&H_MoveSJ,  &&H_MoveWJ,   &&H_AddICmpBr};
   static_assert(sizeof(Tbl) / sizeof(Tbl[0]) ==
                     static_cast<unsigned>(MicroKind::NumKinds),
                 "handler table out of sync with MicroKind");
@@ -1594,6 +1144,38 @@ InterpreterAccess::runMicro(Interpreter &In, Interpreter::CompiledFunction &CF,
     RegsP[U.Dest] = Val(U.A);
     MJUMP(U.Tgt0);
   }
+  MCASE(AddICmpBr) : {
+    // The fused counted-loop latch: add + icmp-on-the-sum + cond_br.
+    // Retires three trace ops and checks fuel before each, so a
+    // mid-latch fuel trap stops after exactly the same op as the
+    // reference engine. Both the sum and the flag stay architecturally
+    // visible — the loop phi reads the sum, and later blocks may read
+    // the flag.
+    const MicroOp &U = *PC;
+    MFUEL(); // the add's retirement slot
+    uint64_t Sum = (Val(U.A).I[0] + Val(U.B).I[0]) & U.Mask;
+    RegsP[U.Dest].I[0] = Sum;
+    if (Traced)
+      Push(U);
+    const MicroLatch &L = Prog.Latches[U.Imm];
+    MFUEL(); // the icmp's retirement slot
+    // Read the right operand after the sum is written: `icmp x, x`
+    // shapes must see the updated value, exactly as executed serially.
+    bool R = evalICmp(static_cast<ICmpPred>(U.Aux), Sum, Val(U.C).I[0]);
+    RegsP[L.CmpDest].I[0] = R ? 1 : 0;
+    if (Traced) {
+      RetiredOp &T = Push(U);
+      T.Inst = L.CmpInst; // same IntAlu class as the add
+    }
+    MFUEL(); // the cond_br's retirement slot
+    if (Traced) {
+      RetiredOp &T = Push(U);
+      T.Class = OpClass::Branch;
+      T.Inst = L.BrInst;
+      T.Taken = R;
+    }
+    MJUMP(R ? U.Tgt0 : U.Tgt1);
+  }
 
 #if !MPERF_CGOTO
   MCASE(NumKinds):
@@ -1637,11 +1219,11 @@ T_StoreOOB:
 #undef MFUEL
 
 Expected<RtValue>
-InterpreterAccess::execMicroOp(Interpreter &In,
-                               Interpreter::CompiledFunction &CF,
+InterpreterAccess::execMicroOp(Instance &In, const CompiledFunction &CF,
                                const std::vector<RtValue> &Args) {
-  if (!CF.Micro)
-    CF.Micro = Lowerer(CF).run();
+  // Lowering happened eagerly at Program::compile time; a shared
+  // Program is never mutated here.
+  assert(CF.Micro && "compiled function without a micro-op program");
   return In.Consumers.empty() ? runMicro<false>(In, CF, Args)
                               : runMicro<true>(In, CF, Args);
 }

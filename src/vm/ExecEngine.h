@@ -1,4 +1,4 @@
-//===- ExecEngine.h - Interpreter execution engines (internal) -*- C++ -*-===//
+//===- ExecEngine.h - Instance execution engines (internal) ----*- C++ -*-===//
 //
 // Part of the miniperf project, a reproduction of "Dissecting RISC-V
 // Performance" (PACT 2025). See README.md for details.
@@ -6,116 +6,56 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Internal header shared by the interpreter's two execution engines:
+/// Internal header shared by the VM's two execution engines:
 ///
 ///  - the reference engine (Interpreter.cpp): the original slot-form
 ///    `switch (CI.Op)` loop, kept as the semantic baseline for
 ///    differential testing (tests/exec_engine_test.cpp);
-///  - the micro-op engine (ExecEngine.cpp): lowers the slot form to a
-///    flat MicroOp array and runs it through a dense handler-table /
-///    computed-goto dispatch loop with batched trace delivery.
+///  - the micro-op engine (ExecEngine.cpp): runs the flat MicroOp array
+///    through a dense handler-table / computed-goto dispatch loop with
+///    batched trace delivery.
 ///
-/// Both engines execute the same CompiledFunction; the micro-op program
-/// is lowered lazily from the slot form on first micro-op execution.
-/// This header is private to src/vm — nothing outside the interpreter
-/// includes it.
+/// Both engines execute the same immutable CompiledFunction out of a
+/// shared vm::Program (slot form and micro-ops are lowered eagerly at
+/// Program::compile time — see vm/Program.cpp); all state they mutate
+/// lives in the Instance. This header is private to src/vm — nothing
+/// outside the VM includes it.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MPERF_VM_EXECENGINE_H
 #define MPERF_VM_EXECENGINE_H
 
-#include "ir/Module.h"
-#include "vm/Interpreter.h"
-#include "vm/MicroOp.h"
+#include "vm/Instance.h"
+#include "vm/Program.h"
 
-#include <memory>
 #include <vector>
 
 namespace mperf {
 namespace vm {
 
-/// An operand resolved at compile time: register slot or immediate.
-struct OperandRef {
-  int32_t Slot = -1; // >= 0: register slot; -1: immediate
-  RtValue Imm;
-};
-
-/// A phi-resolving move performed when traversing one CFG edge.
-struct EdgeMove {
-  int32_t Dest;
-  OperandRef Src;
-  /// Lane count of the phi's type; lets the micro-op engine lower
-  /// scalar moves to 16-byte copies instead of full-RtValue copies.
-  uint16_t Lanes = 1;
-};
-
-/// One compiled (slot-form) instruction.
-struct CInst {
-  const ir::Instruction *I = nullptr;
-  ir::Opcode Op = ir::Opcode::Ret;
-  int32_t Dest = -1;
-  std::vector<OperandRef> Ops;
-  // Cached type facts.
-  uint16_t Lanes = 1;
-  uint32_t ElemBytes = 0; // memory element size / scalar size
-  unsigned IntBits = 64;  // result integer width
-  unsigned SrcBits = 64;  // cast source integer width
-  bool F32 = false;       // result fp is f32 (else f64) for fp ops
-  bool IsFp = false;      // memory ops: element is floating point
-  ir::ICmpPred IPred = ir::ICmpPred::EQ;
-  ir::FCmpPred FPred = ir::FCmpPred::OEQ;
-  int32_t Succ0 = -1, Succ1 = -1;
-  const ir::Function *Callee = nullptr;
-  uint64_t AllocaBytes = 0;
-  OpClass Class = OpClass::Other;
-  bool HasStrideOperand = false;
-};
-
-struct CBlock {
-  std::vector<CInst> Insts; // phis excluded
-  /// Edge moves for each successor of the terminator (parallel copies).
-  std::vector<std::vector<EdgeMove>> Moves;
-};
-
-/// One function compiled to slot form, plus its lazily-lowered micro-op
-/// program.
-struct Interpreter::CompiledFunction {
-  const ir::Function *F = nullptr;
-  unsigned NumSlots = 0;
-  std::vector<CBlock> Blocks;
-  std::vector<int32_t> ArgSlots;
-  /// Micro-op program; built on first execution by the micro-op engine.
-  std::unique_ptr<MicroProgram> Micro;
-};
-
-/// Helper with access to Interpreter privates for the execution loops.
+/// Helper with access to Instance privates for the execution loops.
+/// (Named for the historic Interpreter class; the Instance keeps the
+/// friendship under the old name to avoid churning every engine file.)
 struct InterpreterAccess {
-  /// Compiles \p F to slot form (cached per interpreter).
-  static Interpreter::CompiledFunction *compile(Interpreter &In,
-                                                const ir::Function &F);
-
-  /// Dispatches to the engine selected via Interpreter::setEngine().
-  static Expected<RtValue> exec(Interpreter &In,
-                                Interpreter::CompiledFunction &CF,
+  /// Dispatches to the engine selected via Instance::setEngine().
+  static Expected<RtValue> exec(Instance &In, const CompiledFunction &CF,
                                 const std::vector<RtValue> &Args);
 
   /// The original switch loop over the slot form (Interpreter.cpp).
-  static Expected<RtValue> execReference(Interpreter &In,
-                                         Interpreter::CompiledFunction &CF,
+  static Expected<RtValue> execReference(Instance &In,
+                                         const CompiledFunction &CF,
                                          const std::vector<RtValue> &Args);
 
-  /// The micro-op dispatch loop (ExecEngine.cpp); lowers CF.Micro on
-  /// first call.
-  static Expected<RtValue> execMicroOp(Interpreter &In,
-                                       Interpreter::CompiledFunction &CF,
+  /// The micro-op dispatch loop (ExecEngine.cpp).
+  static Expected<RtValue> execMicroOp(Instance &In,
+                                       const CompiledFunction &CF,
                                        const std::vector<RtValue> &Args);
 
   /// The loop body, instantiated with and without trace delivery so the
   /// untraced (raw) path carries zero per-op consumer bookkeeping.
   template <bool Traced>
-  static Expected<RtValue> runMicro(Interpreter &In,
-                                    Interpreter::CompiledFunction &CF,
+  static Expected<RtValue> runMicro(Instance &In, const CompiledFunction &CF,
                                     const std::vector<RtValue> &Args);
 };
 

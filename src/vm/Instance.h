@@ -1,0 +1,197 @@
+//===- Instance.h - One mutable run of a compiled Program ------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An Instance is everything that *changes* while executing a
+/// vm::Program: the simulated memory and stack pointer, the call stack,
+/// run statistics, fuel, engine selection, registered native handlers,
+/// attached trace consumers and the retirement ring. The Program it
+/// executes is immutable and shared — any number of Instances, on any
+/// threads, can run the same Program concurrently.
+///
+/// Executes IR over a flat simulated memory, emitting a RetiredOp per
+/// instruction to attached TraceConsumers (the core timing models and
+/// PMU live behind that interface). Declarations dispatch to native
+/// handlers registered by name — this is how the Roofline runtime's
+/// mperf_rt_* entry points are bound.
+///
+/// `vm::Interpreter` (vm/Interpreter.h) is a compatibility alias for
+/// this class; the historic constructor taking a bare ir::Module
+/// compiles a private Program on the spot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_VM_INSTANCE_H
+#define MPERF_VM_INSTANCE_H
+
+#include "support/Error.h"
+#include "vm/Program.h"
+#include "vm/RtValue.h"
+#include "vm/Trace.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace vm {
+
+/// Statistics of one run.
+struct RunStats {
+  uint64_t RetiredOps = 0;
+  uint64_t Calls = 0;
+  uint64_t LoadedBytes = 0;
+  uint64_t StoredBytes = 0;
+};
+
+/// A native handler for a declared function.
+/// Receives the evaluated arguments; returns the result value (ignored
+/// for void functions).
+class Instance;
+struct InterpreterAccess;
+using NativeFn =
+    std::function<RtValue(Instance &, const std::vector<RtValue> &)>;
+
+/// Which execution engine runs compiled functions.
+enum class EngineKind {
+  /// Pre-decoded micro-op stream with dense handler-table dispatch and
+  /// batched trace delivery (the default; see vm/MicroOp.h).
+  MicroOp,
+  /// The original per-instruction switch loop over the slot form; kept
+  /// as the semantic baseline for differential testing.
+  Reference,
+};
+
+/// One mutable execution of an immutable Program.
+class Instance {
+public:
+  /// Runs a shared compiled program. The Program (and through it the
+  /// module) stays alive for the Instance's lifetime.
+  explicit Instance(std::shared_ptr<const Program> P);
+
+  /// Compatibility path: compiles \p M privately (unverified, as the
+  /// historic interpreter did) and runs that. The caller keeps \p M
+  /// alive and unmodified for the Instance's lifetime.
+  explicit Instance(ir::Module &M);
+
+  ~Instance();
+
+  //===--------------------------------------------------------------===//
+  // Configuration
+  //===--------------------------------------------------------------===//
+
+  /// Attaches a consumer; all retired ops flow to every consumer in
+  /// attachment order.
+  void addConsumer(TraceConsumer *C) { Consumers.push_back(C); }
+
+  /// Registers the native implementation of a declared function.
+  void registerNative(const std::string &Name, NativeFn Fn);
+
+  /// Caps retired operations; exceeded -> run error (default 4e9).
+  void setFuel(uint64_t MaxOps) { Fuel = MaxOps; }
+
+  /// Selects the execution engine. Both engines produce bit-identical
+  /// results, traces, and trap messages; Reference exists for
+  /// differential testing and as a readable statement of the semantics.
+  void setEngine(EngineKind Kind) { Engine = Kind; }
+  EngineKind engine() const { return Engine; }
+
+  //===--------------------------------------------------------------===//
+  // Execution
+  //===--------------------------------------------------------------===//
+
+  /// Calls \p FnName with integer/pointer arguments. Returns the return
+  /// value (zero RtValue for void).
+  Expected<RtValue> run(const std::string &FnName,
+                        const std::vector<RtValue> &Args = {});
+
+  const RunStats &stats() const { return Stats; }
+
+  /// Lets native handlers model their own execution cost: emits
+  /// \p Count synthetic retired ops of class \p Class attributed to the
+  /// calling instruction. Used by the Roofline runtime so that
+  /// instrumentation overhead is visible to the timing models (§4.4).
+  void emitSyntheticOps(OpClass Class, unsigned Count);
+
+  //===--------------------------------------------------------------===//
+  // Memory
+  //===--------------------------------------------------------------===//
+
+  /// Address of a global, as laid out by the Program.
+  uint64_t globalAddress(const std::string &Name) const {
+    return Prog->globalAddress(Name);
+  }
+
+  /// Raw access for tests and workload setup/checks.
+  void writeMemory(uint64_t Addr, const void *Src, uint64_t Bytes);
+  void readMemory(uint64_t Addr, void *Dst, uint64_t Bytes) const;
+
+  double readF32(uint64_t Addr) const;
+  double readF64(uint64_t Addr) const;
+  uint64_t readI64(uint64_t Addr) const;
+  void writeF32(uint64_t Addr, double V);
+  void writeF64(uint64_t Addr, double V);
+  void writeI64(uint64_t Addr, uint64_t V);
+
+  uint64_t memorySize() const { return Memory.size(); }
+
+  //===--------------------------------------------------------------===//
+  // Introspection (used by the sampling PMU handler)
+  //===--------------------------------------------------------------===//
+
+  /// Current call stack, outermost first. Valid during consumer
+  /// callbacks.
+  const std::vector<const ir::Function *> &callStack() const {
+    return CallStack;
+  }
+
+  /// The instruction being retired, during consumer callbacks.
+  const ir::Instruction *currentInstruction() const { return CurrentInst; }
+
+  /// The immutable program this instance executes.
+  const Program &program() const { return *Prog; }
+
+  const ir::Module &module() const { return Prog->module(); }
+
+private:
+  Expected<RtValue> callFunction(const ir::Function &F,
+                                 const std::vector<RtValue> &Args);
+
+  /// Delivers all buffered retired ops to every consumer (one
+  /// onRetireBatch call per consumer) and empties the buffer. The
+  /// micro-op engine flushes when the ring fills and at every event
+  /// whose program order matters (calls, returns, traps), so each
+  /// consumer sees the exact unbatched sequence.
+  void flushRetired();
+
+  /// Capacity of the retirement ring buffer. Kept small (3 KiB) so the
+  /// ring, the register file, and the consumers' hot state (cache-sim
+  /// metadata, predictor nodes) stay L1-resident together.
+  static constexpr uint32_t RetireBufCap = 64;
+
+  std::shared_ptr<const Program> Prog;
+  std::vector<TraceConsumer *> Consumers;
+  std::map<std::string, NativeFn> Natives;
+  std::vector<uint8_t> Memory;
+  std::vector<const ir::Function *> CallStack;
+  const ir::Instruction *CurrentInst = nullptr;
+  RunStats Stats;
+  uint64_t Fuel = 4ull * 1000 * 1000 * 1000;
+  uint64_t StackPointer = 0;
+  EngineKind Engine = EngineKind::MicroOp;
+  std::unique_ptr<RetiredOp[]> RetireBuf;
+  uint32_t RetireCount = 0;
+
+  friend struct InterpreterAccess;
+};
+
+} // namespace vm
+} // namespace mperf
+
+#endif // MPERF_VM_INSTANCE_H

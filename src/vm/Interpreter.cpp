@@ -1,12 +1,19 @@
-//===- Interpreter.cpp - IR interpreter with retirement trace ----------------===//
+//===- Interpreter.cpp - Instance run state + reference engine -----------------===//
 //
 // Part of the miniperf project, a reproduction of "Dissecting RISC-V
 // Performance" (PACT 2025). See README.md for details.
 //
+// The mutable half of the VM: vm::Instance construction (memory image
+// from the shared Program), native dispatch, the trace-ring plumbing,
+// and the reference execution engine — the original slot-form switch
+// loop, kept as the readable statement of the semantics and the
+// baseline for differential testing. Compilation lives in Program.cpp;
+// the micro-op engine in ExecEngine.cpp.
+//
 //===----------------------------------------------------------------------===//
 
 #include "vm/ExecEngine.h"
-#include "vm/Interpreter.h"
+#include "vm/Instance.h"
 
 #include <algorithm>
 #include <cmath>
@@ -18,21 +25,16 @@ using namespace mperf;
 using namespace mperf::vm;
 using namespace mperf::ir;
 
-struct Interpreter::Impl {
-  std::map<const Function *, std::unique_ptr<CompiledFunction>> Cache;
-};
-
 //===----------------------------------------------------------------------===//
-// Construction and memory layout
+// Construction
 //===----------------------------------------------------------------------===//
 
-static constexpr uint64_t StackSize = 8ull << 20; // 8 MiB
-
-Interpreter::Interpreter(Module &M)
-    : M(M), P(std::make_unique<Impl>()),
+Instance::Instance(std::shared_ptr<const Program> P)
+    : Prog(std::move(P)),
       RetireBuf(std::make_unique<RetiredOp[]>(RetireBufCap)) {
-  // Host-level escape hatch: flip every interpreter in the process to
-  // one engine without touching call sites (A/B timing, differential
+  assert(Prog && "Instance needs a program");
+  // Host-level escape hatch: flip every instance in the process to one
+  // engine without touching call sites (A/B timing, differential
   // debugging through the full Session/sweep stack).
   if (const char *E = std::getenv("MPERF_EXEC_ENGINE")) {
     if (std::string_view(E) == "reference")
@@ -40,33 +42,23 @@ Interpreter::Interpreter(Module &M)
     else if (std::string_view(E) == "microop")
       Engine = EngineKind::MicroOp;
   }
-  uint64_t Addr = 64; // keep 0 invalid
-  for (size_t I = 0, E = M.numGlobals(); I != E; ++I) {
-    GlobalVariable *GV = M.globalAt(I);
-    Addr = (Addr + 63) & ~63ull;
-    GlobalAddrs[GV->name()] = Addr;
-    Addr += GV->sizeInBytes();
-  }
-  Addr = (Addr + 4095) & ~4095ull;
-  StackPointer = Addr;
-  Memory.assign(Addr + StackSize, 0);
-  // Copy initializers.
-  for (size_t I = 0, E = M.numGlobals(); I != E; ++I) {
-    GlobalVariable *GV = M.globalAt(I);
-    const auto &Init = GV->initializer();
-    if (!Init.empty())
-      std::memcpy(Memory.data() + GlobalAddrs[GV->name()], Init.data(),
-                  Init.size());
-  }
+  // Every instance starts from the Program's immutable image: globals
+  // initialized, stack zeroed.
+  Memory.assign(Prog->memorySize(), 0);
+  const std::vector<uint8_t> &Image = Prog->initialImage();
+  std::memcpy(Memory.data(), Image.data(), Image.size());
+  StackPointer = Prog->stackBase();
 }
 
-Interpreter::~Interpreter() = default;
+Instance::Instance(ir::Module &M) : Instance(Program::compileTrusted(M)) {}
 
-void Interpreter::registerNative(const std::string &Name, NativeFn Fn) {
+Instance::~Instance() = default;
+
+void Instance::registerNative(const std::string &Name, NativeFn Fn) {
   Natives[Name] = std::move(Fn);
 }
 
-void Interpreter::flushRetired() {
+void Instance::flushRetired() {
   if (RetireCount == 0)
     return;
   uint32_t Count = RetireCount;
@@ -77,7 +69,7 @@ void Interpreter::flushRetired() {
     C->onRetireBatch(RetireBuf.get(), Count, CurrentInst);
 }
 
-void Interpreter::emitSyntheticOps(OpClass Class, unsigned Count) {
+void Instance::emitSyntheticOps(OpClass Class, unsigned Count) {
   RetiredOp Op;
   Op.Class = Class;
   Op.Inst = CurrentInst;
@@ -88,253 +80,40 @@ void Interpreter::emitSyntheticOps(OpClass Class, unsigned Count) {
   }
 }
 
-uint64_t Interpreter::globalAddress(const std::string &Name) const {
-  auto It = GlobalAddrs.find(Name);
-  assert(It != GlobalAddrs.end() && "unknown global");
-  return It->second;
-}
-
-void Interpreter::writeMemory(uint64_t Addr, const void *Src, uint64_t Bytes) {
+void Instance::writeMemory(uint64_t Addr, const void *Src, uint64_t Bytes) {
   assert(Addr + Bytes <= Memory.size() && "write out of bounds");
   std::memcpy(Memory.data() + Addr, Src, Bytes);
 }
 
-void Interpreter::readMemory(uint64_t Addr, void *Dst, uint64_t Bytes) const {
+void Instance::readMemory(uint64_t Addr, void *Dst, uint64_t Bytes) const {
   assert(Addr + Bytes <= Memory.size() && "read out of bounds");
   std::memcpy(Dst, Memory.data() + Addr, Bytes);
 }
 
-double Interpreter::readF32(uint64_t Addr) const {
+double Instance::readF32(uint64_t Addr) const {
   float V;
   readMemory(Addr, &V, 4);
   return V;
 }
-double Interpreter::readF64(uint64_t Addr) const {
+double Instance::readF64(uint64_t Addr) const {
   double V;
   readMemory(Addr, &V, 8);
   return V;
 }
-uint64_t Interpreter::readI64(uint64_t Addr) const {
+uint64_t Instance::readI64(uint64_t Addr) const {
   uint64_t V;
   readMemory(Addr, &V, 8);
   return V;
 }
-void Interpreter::writeF32(uint64_t Addr, double V) {
+void Instance::writeF32(uint64_t Addr, double V) {
   float F = static_cast<float>(V);
   writeMemory(Addr, &F, 4);
 }
-void Interpreter::writeF64(uint64_t Addr, double V) {
+void Instance::writeF64(uint64_t Addr, double V) {
   writeMemory(Addr, &V, 8);
 }
-void Interpreter::writeI64(uint64_t Addr, uint64_t V) {
+void Instance::writeI64(uint64_t Addr, uint64_t V) {
   writeMemory(Addr, &V, 8);
-}
-
-//===----------------------------------------------------------------------===//
-// Compilation to slot form
-//===----------------------------------------------------------------------===//
-
-static OpClass classify(const Instruction &I) {
-  switch (I.opcode()) {
-  case Opcode::Mul:
-    return OpClass::IntMul;
-  case Opcode::SDiv:
-  case Opcode::UDiv:
-  case Opcode::SRem:
-  case Opcode::URem:
-    return OpClass::IntDiv;
-  case Opcode::FAdd:
-  case Opcode::FSub:
-  case Opcode::FNeg:
-  case Opcode::FCmp:
-  case Opcode::FPToSI:
-  case Opcode::SIToFP:
-  case Opcode::FPTrunc:
-  case Opcode::FPExt:
-    return OpClass::FpAdd;
-  case Opcode::FMul:
-    return OpClass::FpMul;
-  case Opcode::Fma:
-    return OpClass::FpFma;
-  case Opcode::FDiv:
-    return OpClass::FpDiv;
-  case Opcode::Load:
-    return OpClass::Load;
-  case Opcode::Store:
-    return OpClass::Store;
-  case Opcode::Br:
-  case Opcode::CondBr:
-    return OpClass::Branch;
-  case Opcode::Call:
-    return OpClass::Call;
-  case Opcode::Ret:
-    return OpClass::Ret;
-  case Opcode::ReduceFAdd:
-    // Horizontal FP reduction: FP work proportional to the lane count;
-    // classified as FP so counter-based FLOP events see it.
-    return OpClass::FpAdd;
-  case Opcode::Splat:
-  case Opcode::ExtractElement:
-  case Opcode::ReduceAdd:
-  case Opcode::Select:
-  case Opcode::Phi:
-    return OpClass::Other;
-  default:
-    return OpClass::IntAlu;
-  }
-}
-
-Expected<RtValue> Interpreter::run(const std::string &FnName,
-                                   const std::vector<RtValue> &Args) {
-  const Function *F = M.function(FnName);
-  if (!F)
-    return makeError<RtValue>("run: no function named '" + FnName + "'");
-  TrapMessage.clear();
-  RetireCount = 0;
-  return callFunction(*F, Args);
-}
-
-Expected<RtValue> InterpreterAccess::exec(Interpreter &In,
-                                          Interpreter::CompiledFunction &CF,
-                                          const std::vector<RtValue> &Args) {
-  return In.Engine == EngineKind::MicroOp ? execMicroOp(In, CF, Args)
-                                          : execReference(In, CF, Args);
-}
-
-Interpreter::CompiledFunction *
-InterpreterAccess::compile(Interpreter &In, const Function &F) {
-  auto It = In.P->Cache.find(&F);
-  if (It != In.P->Cache.end())
-    return It->second.get();
-
-  auto CF = std::make_unique<Interpreter::CompiledFunction>();
-  CF->F = &F;
-
-  std::map<const Value *, int32_t> Slots;
-  int32_t NextSlot = 0;
-  for (unsigned I = 0, E = F.numArgs(); I != E; ++I) {
-    Slots[F.arg(I)] = NextSlot;
-    CF->ArgSlots.push_back(NextSlot++);
-  }
-  for (const BasicBlock *BB : F)
-    for (const Instruction *I : *BB)
-      if (!I->type()->isVoid())
-        Slots[I] = NextSlot++;
-  CF->NumSlots = NextSlot;
-
-  std::map<const BasicBlock *, int32_t> BlockIndex;
-  int32_t BI = 0;
-  for (const BasicBlock *BB : F)
-    BlockIndex[BB] = BI++;
-
-  auto MakeOperand = [&](const Value *V) -> OperandRef {
-    OperandRef Ref;
-    switch (V->kind()) {
-    case ValueKind::ConstantInt:
-      Ref.Imm = RtValue::ofInt(cast<ConstantInt>(V)->zext());
-      return Ref;
-    case ValueKind::ConstantFP:
-      Ref.Imm = RtValue::ofFp(cast<ConstantFP>(V)->value());
-      return Ref;
-    case ValueKind::GlobalVariable:
-      Ref.Imm = RtValue::ofInt(In.globalAddress(V->name()));
-      return Ref;
-    case ValueKind::Function:
-      MPERF_UNREACHABLE("function-typed operands are not supported");
-    case ValueKind::Argument:
-    case ValueKind::Instruction: {
-      auto SlotIt = Slots.find(V);
-      assert(SlotIt != Slots.end() && "operand has no slot");
-      Ref.Slot = SlotIt->second;
-      return Ref;
-    }
-    }
-    MPERF_UNREACHABLE("unknown value kind");
-  };
-
-  CF->Blocks.resize(F.numBlocks());
-  for (const BasicBlock *BB : F) {
-    CBlock &CB = CF->Blocks[BlockIndex[BB]];
-    for (const Instruction *I : *BB) {
-      if (I->opcode() == Opcode::Phi)
-        continue; // handled by edge moves
-      CInst CI;
-      CI.I = I;
-      CI.Op = I->opcode();
-      CI.Class = classify(*I);
-      if (!I->type()->isVoid())
-        CI.Dest = Slots.at(I);
-      for (const Value *Op : I->operands())
-        CI.Ops.push_back(MakeOperand(Op));
-
-      Type *Ty = I->type();
-      CI.Lanes = static_cast<uint16_t>(Ty->numElements());
-      if (I->opcode() == Opcode::Load) {
-        CI.ElemBytes = Ty->scalarType()->sizeInBytes();
-        CI.HasStrideOperand = I->hasVectorStrideOperand();
-        CI.F32 = Ty->scalarType()->kind() == TypeKind::F32;
-        CI.IsFp = Ty->scalarType()->isFloat();
-        CI.IntBits =
-            Ty->scalarType()->isInteger() ? Ty->scalarType()->integerBits()
-                                          : 64;
-      } else if (I->opcode() == Opcode::Store) {
-        Type *VTy = I->operand(0)->type();
-        CI.Lanes = static_cast<uint16_t>(VTy->numElements());
-        CI.ElemBytes = VTy->scalarType()->sizeInBytes();
-        CI.HasStrideOperand = I->hasVectorStrideOperand();
-        CI.F32 = VTy->scalarType()->kind() == TypeKind::F32;
-        CI.IsFp = VTy->scalarType()->isFloat();
-        CI.IntBits = VTy->scalarType()->isInteger()
-                         ? VTy->scalarType()->integerBits()
-                         : 64;
-      } else if (Ty->scalarType()->isInteger()) {
-        CI.IntBits = Ty->scalarType()->integerBits();
-      } else if (Ty->scalarType()->isFloat()) {
-        CI.F32 = Ty->scalarType()->kind() == TypeKind::F32;
-      }
-      if (I->isCast() && I->operand(0)->type()->scalarType()->isInteger())
-        CI.SrcBits = I->operand(0)->type()->scalarType()->integerBits();
-      if (I->opcode() == Opcode::ICmp)
-        CI.IPred = I->icmpPred();
-      if (I->opcode() == Opcode::FCmp)
-        CI.FPred = I->fcmpPred();
-      if (I->opcode() == Opcode::Alloca)
-        CI.AllocaBytes = I->allocaBytes();
-      if (I->opcode() == Opcode::Call)
-        CI.Callee = I->callee();
-      if (I->numSuccessors() > 0)
-        CI.Succ0 = BlockIndex.at(I->successor(0));
-      if (I->numSuccessors() > 1)
-        CI.Succ1 = BlockIndex.at(I->successor(1));
-      // Vector ops over operands (reductions, extracts) report operand
-      // lanes for the trace.
-      if (I->opcode() == Opcode::ReduceFAdd ||
-          I->opcode() == Opcode::ReduceAdd ||
-          I->opcode() == Opcode::ExtractElement)
-        CI.Lanes =
-            static_cast<uint16_t>(I->operand(0)->type()->numElements());
-      CB.Insts.push_back(std::move(CI));
-    }
-
-    // Edge moves for each successor's phis.
-    const Instruction *Term = BB->terminator();
-    assert(Term && "block without terminator reached compilation");
-    CB.Moves.resize(Term->numSuccessors());
-    for (unsigned S = 0, E = Term->numSuccessors(); S != E; ++S) {
-      const BasicBlock *Succ = Term->successor(S);
-      for (const Instruction *Phi : Succ->phis()) {
-        const Value *Incoming = Phi->incomingValueFor(BB);
-        assert(Incoming && "phi missing incoming for predecessor");
-        CB.Moves[S].push_back(
-            EdgeMove{Slots.at(Phi), MakeOperand(Incoming),
-                     static_cast<uint16_t>(Phi->type()->numElements())});
-      }
-    }
-  }
-
-  Interpreter::CompiledFunction *Raw = CF.get();
-  In.P->Cache[&F] = std::move(CF);
-  return Raw;
 }
 
 //===----------------------------------------------------------------------===//
@@ -361,8 +140,24 @@ inline int64_t signExt(uint64_t V, unsigned Bits) {
 
 } // namespace
 
+Expected<RtValue> Instance::run(const std::string &FnName,
+                                const std::vector<RtValue> &Args) {
+  const Function *F = Prog->findFunction(FnName);
+  if (!F)
+    return makeError<RtValue>("run: no function named '" + FnName + "'");
+  RetireCount = 0;
+  return callFunction(*F, Args);
+}
+
+Expected<RtValue> InterpreterAccess::exec(Instance &In,
+                                          const CompiledFunction &CF,
+                                          const std::vector<RtValue> &Args) {
+  return In.Engine == EngineKind::MicroOp ? execMicroOp(In, CF, Args)
+                                          : execReference(In, CF, Args);
+}
+
 Expected<RtValue>
-Interpreter::callFunction(const Function &F, const std::vector<RtValue> &Args) {
+Instance::callFunction(const Function &F, const std::vector<RtValue> &Args) {
   ++Stats.Calls;
   if (F.isDeclaration()) {
     auto It = Natives.find(F.name());
@@ -376,13 +171,13 @@ Interpreter::callFunction(const Function &F, const std::vector<RtValue> &Args) {
       C->onCallExit(F);
     return Result;
   }
-  CompiledFunction *CF = InterpreterAccess::compile(*this, F);
+  const CompiledFunction *CF = Prog->function(&F);
+  assert(CF && "defined function missing from program");
   return InterpreterAccess::exec(*this, *CF, Args);
 }
 
 Expected<RtValue>
-InterpreterAccess::execReference(Interpreter &In,
-                                 Interpreter::CompiledFunction &CF,
+InterpreterAccess::execReference(Instance &In, const CompiledFunction &CF,
                                  const std::vector<RtValue> &Args) {
   const Function &F = *CF.F;
   assert(Args.size() == F.numArgs() && "argument count mismatch");
@@ -413,10 +208,10 @@ InterpreterAccess::execReference(Interpreter &In,
   int32_t Block = 0;
   size_t Index = 0;
   while (true) {
-    CBlock &CB = CF.Blocks[Block];
+    const CBlock &CB = CF.Blocks[Block];
     if (Index >= CB.Insts.size())
       return makeError<RtValue>("interpreter: fell off the end of a block");
-    CInst &CI = CB.Insts[Index];
+    const CInst &CI = CB.Insts[Index];
 
     if (++In.Stats.RetiredOps > In.Fuel) {
       Leave();
@@ -844,7 +639,7 @@ InterpreterAccess::execReference(Interpreter &In,
 
     if (NextBlock >= 0) {
       // Parallel phi moves for the taken edge.
-      auto &Moves = CB.Moves[TakenEdge];
+      const auto &Moves = CB.Moves[TakenEdge];
       if (!Moves.empty()) {
         MoveScratch.resize(Moves.size());
         for (size_t MI = 0; MI != Moves.size(); ++MI)

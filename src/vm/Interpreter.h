@@ -1,4 +1,4 @@
-//===- Interpreter.h - IR interpreter with retirement trace ----*- C++ -*-===//
+//===- Interpreter.h - Compatibility alias for vm::Instance ----*- C++ -*-===//
 //
 // Part of the miniperf project, a reproduction of "Dissecting RISC-V
 // Performance" (PACT 2025). See README.md for details.
@@ -6,178 +6,25 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Executes IR modules over a flat simulated memory, emitting a
-/// RetiredOp per instruction to attached TraceConsumers (the core timing
-/// models and PMU live behind that interface). Functions are compiled to
-/// a slot-register form on first call; phis resolve through per-edge move
-/// lists.
-///
-/// Declarations dispatch to native handlers registered by name — this is
-/// how the Roofline runtime's mperf_rt_* entry points are bound.
+/// Historic entry point of the VM. The interpreter was split into the
+/// immutable vm::Program artifact (vm/Program.h: verified module, slot
+/// form, eagerly lowered micro-ops, memory layout) and the mutable
+/// per-run vm::Instance (vm/Instance.h: memory, registers, trace ring,
+/// statistics). `Interpreter` remains as an alias for Instance so the
+/// long-standing `Interpreter Vm(M); Vm.run(...)` idiom — and every
+/// native handler signature written against it — keeps working.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MPERF_VM_INTERPRETER_H
 #define MPERF_VM_INTERPRETER_H
 
-#include "ir/Module.h"
-#include "support/Error.h"
-#include "vm/RtValue.h"
-#include "vm/Trace.h"
-
-#include <functional>
-#include <map>
-#include <memory>
-#include <string>
-#include <vector>
+#include "vm/Instance.h"
 
 namespace mperf {
 namespace vm {
 
-/// Statistics of one run.
-struct RunStats {
-  uint64_t RetiredOps = 0;
-  uint64_t Calls = 0;
-  uint64_t LoadedBytes = 0;
-  uint64_t StoredBytes = 0;
-};
-
-/// A native handler for a declared function.
-/// Receives the evaluated arguments; returns the result value (ignored
-/// for void functions).
-class Interpreter;
-struct InterpreterAccess;
-using NativeFn =
-    std::function<RtValue(Interpreter &, const std::vector<RtValue> &)>;
-
-/// Which execution engine runs compiled functions.
-enum class EngineKind {
-  /// Pre-decoded micro-op stream with dense handler-table dispatch and
-  /// batched trace delivery (the default; see vm/MicroOp.h).
-  MicroOp,
-  /// The original per-instruction switch loop over the slot form; kept
-  /// as the semantic baseline for differential testing.
-  Reference,
-};
-
-/// Executes one module.
-class Interpreter {
-public:
-  explicit Interpreter(ir::Module &M);
-  ~Interpreter();
-
-  //===--------------------------------------------------------------===//
-  // Configuration
-  //===--------------------------------------------------------------===//
-
-  /// Attaches a consumer; all retired ops flow to every consumer in
-  /// attachment order.
-  void addConsumer(TraceConsumer *C) { Consumers.push_back(C); }
-
-  /// Registers the native implementation of a declared function.
-  void registerNative(const std::string &Name, NativeFn Fn);
-
-  /// Caps retired operations; exceeded -> run error (default 4e9).
-  void setFuel(uint64_t MaxOps) { Fuel = MaxOps; }
-
-  /// Selects the execution engine. Both engines produce bit-identical
-  /// results, traces, and trap messages; Reference exists for
-  /// differential testing and as a readable statement of the semantics.
-  void setEngine(EngineKind Kind) { Engine = Kind; }
-  EngineKind engine() const { return Engine; }
-
-  //===--------------------------------------------------------------===//
-  // Execution
-  //===--------------------------------------------------------------===//
-
-  /// Calls \p FnName with integer/pointer arguments. Returns the return
-  /// value (zero RtValue for void).
-  Expected<RtValue> run(const std::string &FnName,
-                        const std::vector<RtValue> &Args = {});
-
-  const RunStats &stats() const { return Stats; }
-
-  /// Lets native handlers model their own execution cost: emits
-  /// \p Count synthetic retired ops of class \p Class attributed to the
-  /// calling instruction. Used by the Roofline runtime so that
-  /// instrumentation overhead is visible to the timing models (§4.4).
-  void emitSyntheticOps(OpClass Class, unsigned Count);
-
-  //===--------------------------------------------------------------===//
-  // Memory
-  //===--------------------------------------------------------------===//
-
-  /// Address of a global, as laid out at construction.
-  uint64_t globalAddress(const std::string &Name) const;
-
-  /// Raw access for tests and workload setup/checks.
-  void writeMemory(uint64_t Addr, const void *Src, uint64_t Bytes);
-  void readMemory(uint64_t Addr, void *Dst, uint64_t Bytes) const;
-
-  double readF32(uint64_t Addr) const;
-  double readF64(uint64_t Addr) const;
-  uint64_t readI64(uint64_t Addr) const;
-  void writeF32(uint64_t Addr, double V);
-  void writeF64(uint64_t Addr, double V);
-  void writeI64(uint64_t Addr, uint64_t V);
-
-  uint64_t memorySize() const { return Memory.size(); }
-
-  //===--------------------------------------------------------------===//
-  // Introspection (used by the sampling PMU handler)
-  //===--------------------------------------------------------------===//
-
-  /// Current call stack, outermost first. Valid during consumer
-  /// callbacks.
-  const std::vector<const ir::Function *> &callStack() const {
-    return CallStack;
-  }
-
-  /// The instruction being retired, during consumer callbacks.
-  const ir::Instruction *currentInstruction() const { return CurrentInst; }
-
-  ir::Module &module() { return M; }
-
-  /// One function compiled to slot form plus its micro-op program;
-  /// defined in vm/ExecEngine.h (internal to the interpreter).
-  struct CompiledFunction;
-
-private:
-  struct Impl;
-
-  Expected<RtValue> callFunction(const ir::Function &F,
-                                 const std::vector<RtValue> &Args);
-
-  /// Delivers all buffered retired ops to every consumer (one
-  /// onRetireBatch call per consumer) and empties the buffer. The
-  /// micro-op engine flushes when the ring fills and at every event
-  /// whose program order matters (calls, returns, traps), so each
-  /// consumer sees the exact unbatched sequence.
-  void flushRetired();
-
-  /// Capacity of the retirement ring buffer. Kept small (3 KiB) so the
-  /// ring, the register file, and the consumers' hot state (cache-sim
-  /// metadata, predictor nodes) stay L1-resident together.
-  static constexpr uint32_t RetireBufCap = 64;
-
-  ir::Module &M;
-  std::unique_ptr<Impl> P;
-  std::vector<TraceConsumer *> Consumers;
-  std::map<std::string, NativeFn> Natives;
-  std::vector<uint8_t> Memory;
-  std::map<std::string, uint64_t> GlobalAddrs;
-  std::vector<const ir::Function *> CallStack;
-  const ir::Instruction *CurrentInst = nullptr;
-  RunStats Stats;
-  uint64_t Fuel = 4ull * 1000 * 1000 * 1000;
-  uint64_t StackPointer = 0;
-  std::string TrapMessage;
-  EngineKind Engine = EngineKind::MicroOp;
-  std::unique_ptr<RetiredOp[]> RetireBuf;
-  uint32_t RetireCount = 0;
-
-  friend struct InterpreterAccess;
-};
+using Interpreter = Instance;
 
 } // namespace vm
 } // namespace mperf

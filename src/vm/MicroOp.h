@@ -132,6 +132,14 @@ enum class MicroKind : uint8_t {
   /// Phi moves fused with the trailing stub jump (replace Move + Goto).
   MoveSJ,
   MoveWJ,
+  /// Fused counted-loop latch: scalar add + icmp-on-its-result +
+  /// cond_br-on-the-flag (retires all THREE trace ops). One dispatch
+  /// replaces three on the back edge of every canonical counted loop
+  /// (workloads/LoopBuilder.h emits exactly this shape). A/B are the
+  /// add's operands, C the icmp's right operand, Aux the predicate;
+  /// both results stay architecturally visible. Imm indexes
+  /// MicroProgram::Latches for the facts that do not fit the op.
+  AddICmpBr,
   NumKinds, ///< sentinel, keeps the handler table in sync
 };
 
@@ -173,6 +181,14 @@ struct alignas(64) MicroOp {
 
 static_assert(sizeof(MicroOp) == 64, "MicroOp must stay one cache line");
 
+/// Side pool entry of one fused counted-loop latch (AddICmpBr): the
+/// icmp/cond_br facts that do not fit the fixed MicroOp fields.
+struct MicroLatch {
+  int32_t CmpDest = -1; ///< register slot of the icmp flag
+  const ir::Instruction *CmpInst = nullptr; ///< for trace attribution
+  const ir::Instruction *BrInst = nullptr;  ///< for trace attribution
+};
+
 /// The lowered form of one function: code + pools.
 struct MicroProgram {
   std::vector<MicroOp> Code;
@@ -182,6 +198,8 @@ struct MicroProgram {
   std::vector<int32_t> ArgPool;
   /// Call targets (MicroOp::Tgt0 indexes this).
   std::vector<const ir::Function *> Callees;
+  /// Fused-latch side pool (AddICmpBr's MicroOp::Imm indexes this).
+  std::vector<MicroLatch> Latches;
   /// Register file size including the phi-cycle scratch slot.
   uint32_t NumSlots = 0;
 };

@@ -1,0 +1,777 @@
+//===- Program.cpp - Compile a module into an immutable Program ----------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// The whole build pipeline of the VM lives here and runs exactly once
+// per Program: memory layout, slot-form compilation of every defined
+// function, and micro-op lowering (including the fusion patterns). The
+// result is immutable, so Instances on any number of threads can
+// execute one Program concurrently — and the sweep's ProgramCache can
+// hand the same build to every scenario that shares a workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Program.h"
+
+#include "ir/Verifier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace mperf;
+using namespace mperf::vm;
+using namespace mperf::ir;
+
+//===----------------------------------------------------------------------===//
+// Memory layout
+//===----------------------------------------------------------------------===//
+
+static constexpr uint64_t StackSize = 8ull << 20; // 8 MiB
+
+void Program::layoutMemory() {
+  uint64_t Addr = 64; // keep 0 invalid
+  for (size_t I = 0, E = M->numGlobals(); I != E; ++I) {
+    const GlobalVariable *GV = M->globalAt(I);
+    Addr = (Addr + 63) & ~63ull;
+    GlobalAddrs[GV->name()] = Addr;
+    Addr += GV->sizeInBytes();
+  }
+  Addr = (Addr + 4095) & ~4095ull;
+  StackBase = Addr;
+  MemSize = Addr + StackSize;
+  // The initial image covers the global region only; the stack starts
+  // zeroed in every Instance.
+  Image.assign(StackBase, 0);
+  for (size_t I = 0, E = M->numGlobals(); I != E; ++I) {
+    const GlobalVariable *GV = M->globalAt(I);
+    const auto &Init = GV->initializer();
+    if (!Init.empty())
+      std::memcpy(Image.data() + GlobalAddrs[GV->name()], Init.data(),
+                  Init.size());
+  }
+}
+
+uint64_t Program::globalAddress(const std::string &Name) const {
+  auto It = GlobalAddrs.find(Name);
+  assert(It != GlobalAddrs.end() && "unknown global");
+  return It->second;
+}
+
+const CompiledFunction *Program::function(const ir::Function *F) const {
+  auto It = Functions.find(F);
+  return It == Functions.end() ? nullptr : &It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Slot-form compilation
+//===----------------------------------------------------------------------===//
+
+static OpClass classify(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::Mul:
+    return OpClass::IntMul;
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::URem:
+    return OpClass::IntDiv;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FNeg:
+  case Opcode::FCmp:
+  case Opcode::FPToSI:
+  case Opcode::SIToFP:
+  case Opcode::FPTrunc:
+  case Opcode::FPExt:
+    return OpClass::FpAdd;
+  case Opcode::FMul:
+    return OpClass::FpMul;
+  case Opcode::Fma:
+    return OpClass::FpFma;
+  case Opcode::FDiv:
+    return OpClass::FpDiv;
+  case Opcode::Load:
+    return OpClass::Load;
+  case Opcode::Store:
+    return OpClass::Store;
+  case Opcode::Br:
+  case Opcode::CondBr:
+    return OpClass::Branch;
+  case Opcode::Call:
+    return OpClass::Call;
+  case Opcode::Ret:
+    return OpClass::Ret;
+  case Opcode::ReduceFAdd:
+    // Horizontal FP reduction: FP work proportional to the lane count;
+    // classified as FP so counter-based FLOP events see it.
+    return OpClass::FpAdd;
+  case Opcode::Splat:
+  case Opcode::ExtractElement:
+  case Opcode::ReduceAdd:
+  case Opcode::Select:
+  case Opcode::Phi:
+    return OpClass::Other;
+  default:
+    return OpClass::IntAlu;
+  }
+}
+
+/// Compiles \p F into \p CF's slot form. Global operands resolve to
+/// immediates through the Program's memory layout, which is why layout
+/// runs before compilation.
+static void compileFunction(const Function &F,
+                            const std::map<std::string, uint64_t> &GlobalAddrs,
+                            CompiledFunction &CF) {
+  CF.F = &F;
+
+  std::map<const Value *, int32_t> Slots;
+  int32_t NextSlot = 0;
+  for (unsigned I = 0, E = F.numArgs(); I != E; ++I) {
+    Slots[F.arg(I)] = NextSlot;
+    CF.ArgSlots.push_back(NextSlot++);
+  }
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      if (!I->type()->isVoid())
+        Slots[I] = NextSlot++;
+  CF.NumSlots = NextSlot;
+
+  std::map<const BasicBlock *, int32_t> BlockIndex;
+  int32_t BI = 0;
+  for (const BasicBlock *BB : F)
+    BlockIndex[BB] = BI++;
+
+  auto MakeOperand = [&](const Value *V) -> OperandRef {
+    OperandRef Ref;
+    switch (V->kind()) {
+    case ValueKind::ConstantInt:
+      Ref.Imm = RtValue::ofInt(cast<ConstantInt>(V)->zext());
+      return Ref;
+    case ValueKind::ConstantFP:
+      Ref.Imm = RtValue::ofFp(cast<ConstantFP>(V)->value());
+      return Ref;
+    case ValueKind::GlobalVariable: {
+      auto It = GlobalAddrs.find(V->name());
+      assert(It != GlobalAddrs.end() && "operand names unknown global");
+      Ref.Imm = RtValue::ofInt(It->second);
+      return Ref;
+    }
+    case ValueKind::Function:
+      MPERF_UNREACHABLE("function-typed operands are not supported");
+    case ValueKind::Argument:
+    case ValueKind::Instruction: {
+      auto SlotIt = Slots.find(V);
+      assert(SlotIt != Slots.end() && "operand has no slot");
+      Ref.Slot = SlotIt->second;
+      return Ref;
+    }
+    }
+    MPERF_UNREACHABLE("unknown value kind");
+  };
+
+  CF.Blocks.resize(F.numBlocks());
+  for (const BasicBlock *BB : F) {
+    CBlock &CB = CF.Blocks[BlockIndex[BB]];
+    for (const Instruction *I : *BB) {
+      if (I->opcode() == Opcode::Phi)
+        continue; // handled by edge moves
+      CInst CI;
+      CI.I = I;
+      CI.Op = I->opcode();
+      CI.Class = classify(*I);
+      if (!I->type()->isVoid())
+        CI.Dest = Slots.at(I);
+      for (const Value *Op : I->operands())
+        CI.Ops.push_back(MakeOperand(Op));
+
+      Type *Ty = I->type();
+      CI.Lanes = static_cast<uint16_t>(Ty->numElements());
+      if (I->opcode() == Opcode::Load) {
+        CI.ElemBytes = Ty->scalarType()->sizeInBytes();
+        CI.HasStrideOperand = I->hasVectorStrideOperand();
+        CI.F32 = Ty->scalarType()->kind() == TypeKind::F32;
+        CI.IsFp = Ty->scalarType()->isFloat();
+        CI.IntBits =
+            Ty->scalarType()->isInteger() ? Ty->scalarType()->integerBits()
+                                          : 64;
+      } else if (I->opcode() == Opcode::Store) {
+        Type *VTy = I->operand(0)->type();
+        CI.Lanes = static_cast<uint16_t>(VTy->numElements());
+        CI.ElemBytes = VTy->scalarType()->sizeInBytes();
+        CI.HasStrideOperand = I->hasVectorStrideOperand();
+        CI.F32 = VTy->scalarType()->kind() == TypeKind::F32;
+        CI.IsFp = VTy->scalarType()->isFloat();
+        CI.IntBits = VTy->scalarType()->isInteger()
+                         ? VTy->scalarType()->integerBits()
+                         : 64;
+      } else if (Ty->scalarType()->isInteger()) {
+        CI.IntBits = Ty->scalarType()->integerBits();
+      } else if (Ty->scalarType()->isFloat()) {
+        CI.F32 = Ty->scalarType()->kind() == TypeKind::F32;
+      }
+      if (I->isCast() && I->operand(0)->type()->scalarType()->isInteger())
+        CI.SrcBits = I->operand(0)->type()->scalarType()->integerBits();
+      if (I->opcode() == Opcode::ICmp)
+        CI.IPred = I->icmpPred();
+      if (I->opcode() == Opcode::FCmp)
+        CI.FPred = I->fcmpPred();
+      if (I->opcode() == Opcode::Alloca)
+        CI.AllocaBytes = I->allocaBytes();
+      if (I->opcode() == Opcode::Call)
+        CI.Callee = I->callee();
+      if (I->numSuccessors() > 0)
+        CI.Succ0 = BlockIndex.at(I->successor(0));
+      if (I->numSuccessors() > 1)
+        CI.Succ1 = BlockIndex.at(I->successor(1));
+      // Vector ops over operands (reductions, extracts) report operand
+      // lanes for the trace.
+      if (I->opcode() == Opcode::ReduceFAdd ||
+          I->opcode() == Opcode::ReduceAdd ||
+          I->opcode() == Opcode::ExtractElement)
+        CI.Lanes =
+            static_cast<uint16_t>(I->operand(0)->type()->numElements());
+      CB.Insts.push_back(std::move(CI));
+    }
+
+    // Edge moves for each successor's phis.
+    const Instruction *Term = BB->terminator();
+    assert(Term && "block without terminator reached compilation");
+    CB.Moves.resize(Term->numSuccessors());
+    for (unsigned S = 0, E = Term->numSuccessors(); S != E; ++S) {
+      const BasicBlock *Succ = Term->successor(S);
+      for (const Instruction *Phi : Succ->phis()) {
+        const Value *Incoming = Phi->incomingValueFor(BB);
+        assert(Incoming && "phi missing incoming for predecessor");
+        CB.Moves[S].push_back(
+            EdgeMove{Slots.at(Phi), MakeOperand(Incoming),
+                     static_cast<uint16_t>(Phi->type()->numElements())});
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Micro-op lowering: slot form -> MicroProgram
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+inline uint64_t maskOf(unsigned Bits) {
+  return Bits >= 64 ? ~0ull : ((1ULL << Bits) - 1);
+}
+
+/// Builds one function's MicroProgram from its compiled slot form.
+class Lowerer {
+public:
+  explicit Lowerer(const CompiledFunction &CF) : CF(CF) {}
+
+  std::unique_ptr<const MicroProgram> run() {
+    auto P = std::make_unique<MicroProgram>();
+    Prog = P.get();
+    // One extra slot breaks phi-move cycles (swap patterns).
+    Prog->NumSlots = CF.NumSlots + 1;
+    Scratch = static_cast<int32_t>(CF.NumSlots);
+
+    BlockStart.resize(CF.Blocks.size(), -1);
+    for (size_t B = 0; B != CF.Blocks.size(); ++B) {
+      BlockStart[B] = static_cast<int32_t>(Prog->Code.size());
+      lowerBlock(CF.Blocks[B]);
+    }
+    emitStubs();
+    applyPatches();
+    return P;
+  }
+
+private:
+  const CompiledFunction &CF;
+  MicroProgram *Prog = nullptr;
+  int32_t Scratch = -1;
+  std::vector<int32_t> BlockStart;
+  /// Branch fields still holding block indices, to rewrite at the end.
+  struct Patch {
+    size_t Uop;
+    int Which; // 0 = Tgt0, 1 = Tgt1
+    int32_t Block;
+  };
+  std::vector<Patch> Patches;
+  /// Conditional edges with phi moves; lowered to stubs after the
+  /// straight-line code so the fall-through path stays dense.
+  struct StubReq {
+    size_t Uop;
+    int Which;
+    int32_t Succ;
+    const std::vector<EdgeMove> *Moves;
+  };
+  std::vector<StubReq> Stubs;
+
+  /// Converts an operand to its packed reference (slot or imm-pool).
+  int32_t ref(const OperandRef &R) {
+    if (R.Slot >= 0)
+      return R.Slot;
+    Prog->Imms.push_back(R.Imm);
+    return -static_cast<int32_t>(Prog->Imms.size());
+  }
+
+  MicroOp base(const CInst &CI) {
+    MicroOp U;
+    U.Lanes = CI.Lanes;
+    U.IntBits = static_cast<uint8_t>(std::min(CI.IntBits, 64u));
+    U.SrcBits = static_cast<uint8_t>(std::min(CI.SrcBits, 64u));
+    U.ElemBytes = static_cast<uint8_t>(CI.ElemBytes);
+    U.Flags = static_cast<uint8_t>((CI.F32 ? MicroFlagF32 : 0) |
+                                   (CI.IsFp ? MicroFlagFpMem : 0) |
+                                   (CI.HasStrideOperand ? MicroFlagStrideOp : 0));
+    U.Dest = CI.Dest;
+    U.Mask = maskOf(CI.IntBits);
+    U.Class = CI.Class;
+    U.Inst = CI.I;
+    return U;
+  }
+
+  void push(const MicroOp &U) { Prog->Code.push_back(U); }
+
+  /// Sequentializes one edge's parallel moves into Move micro-ops.
+  /// Reads all happen before any overwritten destination is consumed:
+  /// a move is emitted only once its destination is no longer a pending
+  /// source; cycles break through the scratch slot. Immediate-source
+  /// moves read nothing and go last.
+  void emitMoves(const std::vector<EdgeMove> &Moves) {
+    struct Pending {
+      int32_t Dest;
+      int32_t Src; // packed ref (slot or imm)
+      uint16_t Lanes;
+    };
+    std::vector<Pending> RegMoves, ImmMoves;
+    for (const EdgeMove &M : Moves) {
+      Pending P{M.Dest, ref(M.Src), M.Lanes};
+      if (M.Src.Slot >= 0) {
+        if (P.Src != P.Dest)
+          RegMoves.push_back(P);
+      } else {
+        ImmMoves.push_back(P);
+      }
+    }
+    auto emitOne = [&](const Pending &P) {
+      MicroOp U;
+      U.Kind = P.Lanes > 1 ? MicroKind::MoveW : MicroKind::MoveS;
+      U.Dest = P.Dest;
+      U.A = P.Src;
+      push(U);
+    };
+    while (!RegMoves.empty()) {
+      bool Progress = false;
+      for (size_t I = 0; I != RegMoves.size();) {
+        int32_t D = RegMoves[I].Dest;
+        bool Blocked = false;
+        for (size_t J = 0; J != RegMoves.size(); ++J)
+          if (J != I && RegMoves[J].Src == D) {
+            Blocked = true;
+            break;
+          }
+        if (Blocked) {
+          ++I;
+          continue;
+        }
+        emitOne(RegMoves[I]);
+        RegMoves.erase(RegMoves.begin() + static_cast<long>(I));
+        Progress = true;
+      }
+      if (!Progress) {
+        // Every pending destination is still read by another move: a
+        // cycle. Save one source into the scratch slot and retarget its
+        // consumer, which unblocks the writer of that source.
+        Pending &P = RegMoves.front();
+        emitOne(Pending{Scratch, P.Src, P.Lanes});
+        P.Src = Scratch;
+      }
+    }
+    for (const Pending &P : ImmMoves)
+      emitOne(P);
+  }
+
+  void lowerBlock(const CBlock &CB) {
+    for (size_t I = 0; I != CB.Insts.size(); ++I) {
+      const CInst &CI = CB.Insts[I];
+      // Fuse the canonical counted-loop latch: a scalar add whose
+      // result feeds a scalar icmp whose flag feeds the block's
+      // cond_br. One dispatch replaces three on every loop back edge;
+      // both intermediate results are still written (phis and later
+      // blocks read them).
+      if (CI.Op == Opcode::Add && CI.Lanes == 1 && CI.Dest >= 0 &&
+          I + 2 < CB.Insts.size()) {
+        const CInst &Cmp = CB.Insts[I + 1];
+        const CInst &Br = CB.Insts[I + 2];
+        if (Cmp.Op == Opcode::ICmp && Cmp.Lanes == 1 &&
+            Cmp.Ops[0].Slot == CI.Dest && Br.Op == Opcode::CondBr &&
+            Br.Ops[0].Slot >= 0 && Br.Ops[0].Slot == Cmp.Dest) {
+          lowerAddICmpBr(CI, Cmp, Br, CB);
+          I += 2;
+          continue;
+        }
+      }
+      // Fuse a scalar icmp directly followed by the cond_br on its
+      // result: the branch consumes the flag without a register-file
+      // round trip, and one dispatch replaces two. (The flag is still
+      // written — a phi or later block may read it.)
+      if (CI.Op == Opcode::ICmp && CI.Lanes == 1 &&
+          I + 1 != CB.Insts.size()) {
+        const CInst &Next = CB.Insts[I + 1];
+        if (Next.Op == Opcode::CondBr && Next.Ops[0].Slot >= 0 &&
+            Next.Ops[0].Slot == CI.Dest) {
+          lowerICmpBr(CI, Next, CB);
+          ++I;
+          continue;
+        }
+      }
+      lowerInst(CI, CB);
+    }
+  }
+
+  void branchTo(MicroOp &U, int Which, int32_t Succ) {
+    Patches.push_back({Prog->Code.size(), Which, Succ});
+    (Which == 0 ? U.Tgt0 : U.Tgt1) = Succ; // placeholder
+  }
+
+  /// Wires the two successor edges of a conditional branch micro-op:
+  /// direct block targets for move-free edges, per-edge stubs otherwise.
+  void wireCondEdges(MicroOp &U, const CInst &Br, const CBlock &CB) {
+    size_t Idx = Prog->Code.size();
+    for (int E = 0; E != 2; ++E) {
+      int32_t Succ = E == 0 ? Br.Succ0 : Br.Succ1;
+      if (E < static_cast<int>(CB.Moves.size()) && !CB.Moves[E].empty())
+        Stubs.push_back({Idx, E, Succ, &CB.Moves[E]});
+      else
+        branchTo(U, E, Succ);
+    }
+  }
+
+  void lowerICmpBr(const CInst &Cmp, const CInst &Br, const CBlock &CB) {
+    MicroOp U = base(Cmp);
+    U.Kind = MicroKind::ICmpBrS;
+    U.Aux = static_cast<uint8_t>(Cmp.IPred);
+    U.A = ref(Cmp.Ops[0]);
+    U.B = ref(Cmp.Ops[1]);
+    U.Imm = reinterpret_cast<uint64_t>(Br.I);
+    wireCondEdges(U, Br, CB);
+    push(U);
+  }
+
+  void lowerAddICmpBr(const CInst &Add, const CInst &Cmp, const CInst &Br,
+                      const CBlock &CB) {
+    MicroOp U = base(Add); // add's Mask/IntBits/Class/Inst
+    U.Kind = MicroKind::AddICmpBr;
+    U.Aux = static_cast<uint8_t>(Cmp.IPred);
+    U.A = ref(Add.Ops[0]);
+    U.B = ref(Add.Ops[1]);
+    U.C = ref(Cmp.Ops[1]);
+    U.Imm = Prog->Latches.size();
+    Prog->Latches.push_back(MicroLatch{Cmp.Dest, Cmp.I, Br.I});
+    wireCondEdges(U, Br, CB);
+    push(U);
+  }
+
+  void lowerInst(const CInst &CI, const CBlock &CB) {
+    MicroOp U = base(CI);
+    switch (CI.Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+    case Opcode::SDiv:
+    case Opcode::UDiv:
+    case Opcode::SRem:
+    case Opcode::URem: {
+      U.A = ref(CI.Ops[0]);
+      if (CI.Lanes > 1) {
+        U.B = ref(CI.Ops[1]);
+        U.Kind = MicroKind::IntBinV;
+        U.Aux = static_cast<uint8_t>(CI.Op);
+        push(U);
+        return;
+      }
+      // Quickened scalar form: a constant right operand rides inline in
+      // the micro-op (same cache line), skipping the pool load. Not
+      // done for div/rem, which need the runtime zero check either way.
+      static const MicroKind ImmMap[] = {
+          MicroKind::AddSI, MicroKind::SubSI, MicroKind::MulSI,
+          MicroKind::NumKinds /*sdiv*/, MicroKind::NumKinds /*udiv*/,
+          MicroKind::NumKinds /*srem*/, MicroKind::NumKinds /*urem*/,
+          MicroKind::AndSI, MicroKind::OrSI, MicroKind::XorSI,
+          MicroKind::ShlSI, MicroKind::LShrSI, MicroKind::AShrSI};
+      unsigned OpIdx = static_cast<unsigned>(CI.Op) -
+                       static_cast<unsigned>(Opcode::Add);
+      if (CI.Ops[1].Slot < 0 && ImmMap[OpIdx] != MicroKind::NumKinds) {
+        U.Kind = ImmMap[OpIdx];
+        U.Imm = CI.Ops[1].Imm.I[0];
+        push(U);
+        return;
+      }
+      static const MicroKind Map[] = {
+          MicroKind::AddS,  MicroKind::SubS,  MicroKind::MulS,
+          MicroKind::SDivS, MicroKind::UDivS, MicroKind::SRemS,
+          MicroKind::URemS, MicroKind::AndS,  MicroKind::OrS,
+          MicroKind::XorS,  MicroKind::ShlS,  MicroKind::LShrS,
+          MicroKind::AShrS};
+      U.Kind = Map[OpIdx];
+      U.B = ref(CI.Ops[1]);
+      push(U);
+      return;
+    }
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv: {
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      if (CI.Lanes > 1) {
+        U.Kind = MicroKind::FpBinV;
+        U.Aux = static_cast<uint8_t>(CI.Op);
+      } else {
+        static const MicroKind Map[] = {MicroKind::FAddS, MicroKind::FSubS,
+                                        MicroKind::FMulS, MicroKind::FDivS};
+        U.Kind = Map[static_cast<unsigned>(CI.Op) -
+                     static_cast<unsigned>(Opcode::FAdd)];
+      }
+      push(U);
+      return;
+    }
+    case Opcode::FNeg:
+      U.Kind = CI.Lanes > 1 ? MicroKind::FNegV : MicroKind::FNegS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::Fma:
+      U.Kind = CI.Lanes > 1 ? MicroKind::FmaV : MicroKind::FmaS;
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      U.C = ref(CI.Ops[2]);
+      push(U);
+      return;
+    case Opcode::ICmp:
+      U.Kind = MicroKind::ICmpS;
+      U.Aux = static_cast<uint8_t>(CI.IPred);
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      push(U);
+      return;
+    case Opcode::FCmp:
+      U.Kind = MicroKind::FCmpS;
+      U.Aux = static_cast<uint8_t>(CI.FPred);
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      push(U);
+      return;
+    case Opcode::Trunc:
+    case Opcode::ZExt:
+      U.Kind = MicroKind::TruncZExtS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::SExt:
+      U.Kind = MicroKind::SExtS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::FPToSI:
+      U.Kind = MicroKind::FPToSIS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::SIToFP:
+      U.Kind = MicroKind::SIToFPS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::FPTrunc:
+      U.Kind = MicroKind::FPTruncS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::FPExt:
+      U.Kind = MicroKind::FPExtS;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::Splat:
+      U.Kind = MicroKind::SplatV;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::ExtractElement:
+      U.Kind = MicroKind::ExtractV;
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      push(U);
+      return;
+    case Opcode::ReduceFAdd:
+      U.Kind = MicroKind::ReduceFAddV;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::ReduceAdd:
+      U.Kind = MicroKind::ReduceAddV;
+      U.A = ref(CI.Ops[0]);
+      push(U);
+      return;
+    case Opcode::Alloca:
+      U.Kind = MicroKind::AllocaS;
+      U.Mask = CI.AllocaBytes;
+      push(U);
+      return;
+    case Opcode::Load:
+      U.A = ref(CI.Ops[0]);
+      if (CI.HasStrideOperand)
+        U.B = ref(CI.Ops[1]);
+      if (CI.Lanes > 1 || CI.HasStrideOperand)
+        U.Kind = MicroKind::LoadV;
+      else if (CI.IsFp)
+        U.Kind = CI.F32 ? MicroKind::LoadSF32 : MicroKind::LoadSF64;
+      else
+        U.Kind = MicroKind::LoadSInt;
+      push(U);
+      return;
+    case Opcode::Store:
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      if (CI.HasStrideOperand)
+        U.C = ref(CI.Ops[2]);
+      if (CI.Lanes > 1 || CI.HasStrideOperand)
+        U.Kind = MicroKind::StoreV;
+      else if (CI.IsFp)
+        U.Kind = CI.F32 ? MicroKind::StoreSF32 : MicroKind::StoreSF64;
+      else
+        U.Kind = MicroKind::StoreSInt;
+      push(U);
+      return;
+    case Opcode::PtrAdd:
+      U.Kind = MicroKind::PtrAddS;
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      push(U);
+      return;
+    case Opcode::Select:
+      U.Kind = MicroKind::SelectS;
+      U.A = ref(CI.Ops[0]);
+      U.B = ref(CI.Ops[1]);
+      U.C = ref(CI.Ops[2]);
+      push(U);
+      return;
+    case Opcode::Br:
+      // Unconditional edge: the phi moves run inline before the branch
+      // (they are invisible to the trace, so ordering with the branch's
+      // RetiredOp cannot be observed).
+      if (!CB.Moves.empty() && !CB.Moves[0].empty())
+        emitMoves(CB.Moves[0]);
+      U.Kind = MicroKind::Br;
+      branchTo(U, 0, CI.Succ0);
+      push(U);
+      return;
+    case Opcode::CondBr: {
+      U.Kind = MicroKind::CondBr;
+      U.A = ref(CI.Ops[0]);
+      wireCondEdges(U, CI, CB);
+      push(U);
+      return;
+    }
+    case Opcode::Ret:
+      U.Kind = MicroKind::Ret;
+      if (!CI.Ops.empty()) {
+        U.Flags |= MicroFlagHasRetVal;
+        U.A = ref(CI.Ops[0]);
+      }
+      push(U);
+      return;
+    case Opcode::Call: {
+      U.Kind = MicroKind::Call;
+      U.A = static_cast<int32_t>(Prog->ArgPool.size());
+      U.B = static_cast<int32_t>(CI.Ops.size());
+      for (const OperandRef &R : CI.Ops)
+        Prog->ArgPool.push_back(ref(R));
+      U.Tgt0 = static_cast<int32_t>(Prog->Callees.size());
+      Prog->Callees.push_back(CI.Callee);
+      push(U);
+      return;
+    }
+    case Opcode::Phi:
+      MPERF_UNREACHABLE("phi reached micro-op lowering");
+    }
+    MPERF_UNREACHABLE("unhandled opcode in micro-op lowering");
+  }
+
+  void emitStubs() {
+    for (const StubReq &S : Stubs) {
+      int32_t Start = static_cast<int32_t>(Prog->Code.size());
+      emitMoves(*S.Moves);
+      if (Prog->Code.size() != static_cast<size_t>(Start)) {
+        // The last move carries the jump back to the successor, saving
+        // a dispatch per edge traversal.
+        MicroOp &Last = Prog->Code.back();
+        Last.Kind = Last.Kind == MicroKind::MoveW ? MicroKind::MoveWJ
+                                                  : MicroKind::MoveSJ;
+      } else {
+        // Every move was a dropped self-move (phi of itself); the stub
+        // degenerates to a bare jump.
+        MicroOp G;
+        G.Kind = MicroKind::Goto;
+        push(G);
+      }
+      Patches.push_back({Prog->Code.size() - 1, 0, S.Succ});
+      MicroOp &Cond = Prog->Code[S.Uop];
+      (S.Which == 0 ? Cond.Tgt0 : Cond.Tgt1) = Start;
+    }
+  }
+
+  void applyPatches() {
+    for (const Patch &P : Patches) {
+      MicroOp &U = Prog->Code[P.Uop];
+      (P.Which == 0 ? U.Tgt0 : U.Tgt1) = BlockStart[static_cast<size_t>(P.Block)];
+    }
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// compile() entry points
+//===----------------------------------------------------------------------===//
+
+void Program::compileFunctions() {
+  for (const Function *F : *M) {
+    if (F->isDeclaration())
+      continue;
+    CompiledFunction &CF = Functions[F];
+    compileFunction(*F, GlobalAddrs, CF);
+    CF.Micro = Lowerer(CF).run();
+  }
+}
+
+Expected<std::shared_ptr<const Program>>
+Program::compile(std::unique_ptr<ir::Module> M) {
+  if (!M)
+    return makeError<std::shared_ptr<const Program>>(
+        "Program::compile: null module");
+  if (Error E = verifyModule(*M))
+    return makeError<std::shared_ptr<const Program>>(
+        "Program::compile('" + M->name() + "'): " + E.message());
+  std::shared_ptr<Program> P(new Program());
+  P->Owned = std::move(M);
+  P->M = P->Owned.get();
+  P->layoutMemory();
+  P->compileFunctions();
+  return std::shared_ptr<const Program>(std::move(P));
+}
+
+std::shared_ptr<const Program> Program::compileTrusted(ir::Module &M) {
+  std::shared_ptr<Program> P(new Program());
+  P->M = &M;
+  P->layoutMemory();
+  P->compileFunctions();
+  return P;
+}

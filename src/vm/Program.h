@@ -1,0 +1,162 @@
+//===- Program.h - Immutable compiled program artifact ---------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program is the immutable, thread-shareable result of compiling one
+/// ir::Module for execution: the verified module itself, every defined
+/// function in slot-register form with its micro-op stream lowered
+/// *eagerly* (lowering used to happen lazily on first call, which would
+/// be a data race once a program is shared), and the simulated memory
+/// layout (global addresses, initial image, stack base).
+///
+/// Nothing in a Program changes after compile() returns, so any number
+/// of vm::Instance objects — on any threads — can execute it
+/// concurrently; all mutable run state (registers, memory, trace ring,
+/// statistics) lives in the Instance. This split is what lets the sweep
+/// driver build each distinct workload once and fan it out across
+/// scenarios (driver/ProgramCache.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_VM_PROGRAM_H
+#define MPERF_VM_PROGRAM_H
+
+#include "ir/Module.h"
+#include "support/Error.h"
+#include "vm/MicroOp.h"
+#include "vm/RtValue.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mperf {
+namespace vm {
+
+/// An operand resolved at compile time: register slot or immediate.
+struct OperandRef {
+  int32_t Slot = -1; // >= 0: register slot; -1: immediate
+  RtValue Imm;
+};
+
+/// A phi-resolving move performed when traversing one CFG edge.
+struct EdgeMove {
+  int32_t Dest;
+  OperandRef Src;
+  /// Lane count of the phi's type; lets the micro-op engine lower
+  /// scalar moves to 16-byte copies instead of full-RtValue copies.
+  uint16_t Lanes = 1;
+};
+
+/// One compiled (slot-form) instruction.
+struct CInst {
+  const ir::Instruction *I = nullptr;
+  ir::Opcode Op = ir::Opcode::Ret;
+  int32_t Dest = -1;
+  std::vector<OperandRef> Ops;
+  // Cached type facts.
+  uint16_t Lanes = 1;
+  uint32_t ElemBytes = 0; // memory element size / scalar size
+  unsigned IntBits = 64;  // result integer width
+  unsigned SrcBits = 64;  // cast source integer width
+  bool F32 = false;       // result fp is f32 (else f64) for fp ops
+  bool IsFp = false;      // memory ops: element is floating point
+  ir::ICmpPred IPred = ir::ICmpPred::EQ;
+  ir::FCmpPred FPred = ir::FCmpPred::OEQ;
+  int32_t Succ0 = -1, Succ1 = -1;
+  const ir::Function *Callee = nullptr;
+  uint64_t AllocaBytes = 0;
+  OpClass Class = OpClass::Other;
+  bool HasStrideOperand = false;
+};
+
+struct CBlock {
+  std::vector<CInst> Insts; // phis excluded
+  /// Edge moves for each successor of the terminator (parallel copies).
+  std::vector<std::vector<EdgeMove>> Moves;
+};
+
+/// One function compiled to slot form, plus its micro-op program. Both
+/// are built at Program::compile time and immutable afterwards.
+struct CompiledFunction {
+  const ir::Function *F = nullptr;
+  unsigned NumSlots = 0;
+  std::vector<CBlock> Blocks;
+  std::vector<int32_t> ArgSlots;
+  /// Micro-op program, lowered eagerly at compile time so a shared
+  /// Program never mutates during execution.
+  std::unique_ptr<const MicroProgram> Micro;
+};
+
+/// The immutable compiled form of one module. Create via compile() /
+/// compileTrusted(); share via std::shared_ptr<const Program>.
+class Program {
+public:
+  /// Compiles \p M, taking ownership: verifies the module, lays out its
+  /// globals, compiles every defined function to slot form and lowers
+  /// the micro-op streams. This is the front door of every cacheable
+  /// workload build.
+  static Expected<std::shared_ptr<const Program>>
+  compile(std::unique_ptr<ir::Module> M);
+
+  /// Borrowing form used by the Instance(ir::Module &) compatibility
+  /// constructor: the caller keeps \p M alive and unmodified for the
+  /// Program's lifetime. Skips the verifier (matching the historic
+  /// interpreter contract, which trusted its input); malformed modules
+  /// fail the same structural asserts they always did.
+  static std::shared_ptr<const Program> compileTrusted(ir::Module &M);
+
+  const ir::Module &module() const { return *M; }
+
+  /// The compiled form of \p F; nullptr for declarations.
+  const CompiledFunction *function(const ir::Function *F) const;
+
+  /// Looks an entry point up by name; nullptr when absent.
+  const ir::Function *findFunction(const std::string &Name) const {
+    return M->function(Name);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Memory layout (identical for every Instance of this Program)
+  //===--------------------------------------------------------------===//
+
+  /// Address of a global, as laid out at compile time.
+  uint64_t globalAddress(const std::string &Name) const;
+
+  /// First stack byte; globals live below it.
+  uint64_t stackBase() const { return StackBase; }
+
+  /// Total simulated memory an Instance allocates (globals + stack).
+  uint64_t memorySize() const { return MemSize; }
+
+  /// Initial bytes of the global region (length == stackBase()); the
+  /// rest of an Instance's memory starts zeroed.
+  const std::vector<uint8_t> &initialImage() const { return Image; }
+
+private:
+  Program() = default;
+
+  /// Computes GlobalAddrs / Image / StackBase / MemSize from M.
+  void layoutMemory();
+
+  /// Slot-compiles and micro-op-lowers every defined function.
+  void compileFunctions();
+
+  const ir::Module *M = nullptr;
+  std::unique_ptr<ir::Module> Owned; // set by the owning compile()
+  std::map<const ir::Function *, CompiledFunction> Functions;
+  std::map<std::string, uint64_t> GlobalAddrs;
+  std::vector<uint8_t> Image;
+  uint64_t StackBase = 0;
+  uint64_t MemSize = 0;
+};
+
+} // namespace vm
+} // namespace mperf
+
+#endif // MPERF_VM_PROGRAM_H

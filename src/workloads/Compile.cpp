@@ -1,0 +1,38 @@
+//===- Compile.cpp - Workload module -> immutable vm::Program ------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Compile.h"
+
+#include "transform/LoopVectorizer.h"
+#include "transform/PassManager.h"
+
+using namespace mperf;
+using namespace mperf::workloads;
+
+Expected<std::shared_ptr<const vm::Program>>
+workloads::compileToProgram(std::unique_ptr<ir::Module> M,
+                            const transform::TargetInfo *VectorTarget) {
+  using Result = Expected<std::shared_ptr<const vm::Program>>;
+  if (!M)
+    return makeError<std::shared_ptr<const vm::Program>>(
+        "compileToProgram: null module");
+  if (VectorTarget && VectorTarget->HasVector) {
+    transform::PassManager PM;
+    PM.addPass(std::make_unique<transform::LoopVectorizer>(*VectorTarget));
+    if (Error E = PM.run(*M))
+      return makeError<std::shared_ptr<const vm::Program>>(E.message());
+  }
+  Result P = vm::Program::compile(std::move(M));
+  return P;
+}
+
+std::string workloads::vectorSignature(
+    const transform::TargetInfo *VectorTarget) {
+  if (!VectorTarget || !VectorTarget->HasVector)
+    return "scalar";
+  return VectorTarget->codegenSignature();
+}

@@ -1,0 +1,53 @@
+//===- Compile.h - Workload module -> immutable vm::Program ----*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared tail of every workload's pure compile step: optionally
+/// run the LoopVectorizer for a target, then verify and lower the
+/// module into an immutable, thread-shareable vm::Program (slot form +
+/// eagerly lowered micro-ops + memory layout). Workload builders pair
+/// this with their own deterministic module construction, keeping
+/// "build the code" strictly separate from "set up the input data" —
+/// which is what lets the sweep driver compile each distinct workload
+/// once and execute it from many scenarios concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_WORKLOADS_COMPILE_H
+#define MPERF_WORKLOADS_COMPILE_H
+
+#include "ir/Module.h"
+#include "support/Error.h"
+#include "transform/TargetInfo.h"
+#include "vm/Program.h"
+
+#include <memory>
+
+namespace mperf {
+namespace workloads {
+
+/// Lowers a freshly-built module into a shared immutable Program,
+/// vectorizing for \p VectorTarget first when it is non-null and has
+/// vector units (a null or vector-less target compiles the scalar
+/// module unchanged — the vectorizer would no-op on it anyway, which is
+/// why scalar builds can be shared across such targets).
+Expected<std::shared_ptr<const vm::Program>>
+compileToProgram(std::unique_ptr<ir::Module> M,
+                 const transform::TargetInfo *VectorTarget = nullptr);
+
+/// The signature the effective codegen of a workload build depends on:
+/// "scalar" for null / vector-less / vectorization-off targets, else
+/// the target's TargetInfo::codegenSignature() (name, lane width,
+/// fma). Two scenarios whose signatures match compile to bit-identical
+/// Programs — the sweep ProgramCache's cache-key contract, kept
+/// authoritative next to the TargetInfo fields themselves.
+std::string vectorSignature(const transform::TargetInfo *VectorTarget);
+
+} // namespace workloads
+} // namespace mperf
+
+#endif // MPERF_WORKLOADS_COMPILE_H

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "workloads/Matmul.h"
+#include "workloads/Compile.h"
 #include "workloads/LoopBuilder.h"
 #include "support/RNG.h"
 
@@ -189,4 +190,42 @@ void mperf::workloads::bindClock(vm::Interpreter &Vm,
                       return vm::RtValue::ofInt(
                           static_cast<uint64_t>(ReadCycles()));
                     });
+}
+
+//===----------------------------------------------------------------------===//
+// The immutable compiled form
+//===----------------------------------------------------------------------===//
+
+// The per-run helpers consult only the config, so MatmulProgram can
+// delegate to a config-only MatmulWorkload view of itself.
+
+void MatmulProgram::initialize(vm::Instance &Vm) const {
+  MatmulWorkload W;
+  W.Config = Config;
+  W.initialize(Vm);
+}
+
+double MatmulProgram::verify(vm::Instance &Vm) const {
+  MatmulWorkload W;
+  W.Config = Config;
+  return W.verify(Vm);
+}
+
+uint64_t MatmulProgram::selfReportedCycles(vm::Instance &Vm) const {
+  MatmulWorkload W;
+  W.Config = Config;
+  return W.selfReportedCycles(Vm);
+}
+
+Expected<MatmulProgram>
+mperf::workloads::compileMatmul(const MatmulConfig &Config,
+                                const transform::TargetInfo *VectorTarget) {
+  MatmulWorkload W = buildMatmul(Config);
+  auto ProgOr = compileToProgram(std::move(W.M), VectorTarget);
+  if (!ProgOr)
+    return makeError<MatmulProgram>("matmul: " + ProgOr.errorMessage());
+  MatmulProgram P;
+  P.Prog = std::move(*ProgOr);
+  P.Config = W.Config;
+  return P;
 }

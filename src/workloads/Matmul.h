@@ -17,11 +17,16 @@
 #define MPERF_WORKLOADS_MATMUL_H
 
 #include "ir/Module.h"
+#include "support/Error.h"
 #include "vm/Interpreter.h"
 
 #include <memory>
 
 namespace mperf {
+namespace transform {
+struct TargetInfo;
+} // namespace transform
+
 namespace workloads {
 
 /// Kernel parameters. N must be a multiple of Tile.
@@ -60,8 +65,40 @@ struct MatmulWorkload {
 /// `matmul_kernel(ptr, ptr, ptr, i64)` and `main()`.
 MatmulWorkload buildMatmul(const MatmulConfig &Config);
 
+/// The immutable compiled form: shareable across threads/scenarios.
+/// Input-data setup is the separate, per-Instance initialize() step —
+/// it consults only the config, so one shared program can be set up
+/// and run concurrently from any number of instances.
+struct MatmulProgram {
+  std::shared_ptr<const vm::Program> Prog;
+  MatmulConfig Config;
+
+  /// Fills A and B with deterministic pseudo-random values and zeroes C
+  /// in \p Vm's private memory.
+  void initialize(vm::Instance &Vm) const;
+
+  /// Recomputes C on the host and compares against simulated memory.
+  /// Returns the maximum absolute element error.
+  double verify(vm::Instance &Vm) const;
+
+  /// The kernel's self-reported cycles after a run.
+  uint64_t selfReportedCycles(vm::Instance &Vm) const;
+
+  /// FLOPs the kernel performs: 2 * N^3.
+  uint64_t flops() const {
+    return 2ull * Config.N * Config.N * Config.N;
+  }
+};
+
+/// The pure compile step: build + (optional) vectorize for
+/// \p VectorTarget + verify + lower. Deterministic in (Config,
+/// VectorTarget), which is what makes the result cacheable.
+Expected<MatmulProgram>
+compileMatmul(const MatmulConfig &Config,
+              const transform::TargetInfo *VectorTarget = nullptr);
+
 /// Registers the cycle-clock native backed by \p ReadCycles.
-void bindClock(vm::Interpreter &Vm, std::function<double()> ReadCycles);
+void bindClock(vm::Instance &Vm, std::function<double()> ReadCycles);
 
 } // namespace workloads
 } // namespace mperf

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "workloads/Microbench.h"
+#include "workloads/Compile.h"
 #include "workloads/LoopBuilder.h"
 
 using namespace mperf;
@@ -123,4 +124,43 @@ Microbench mperf::workloads::buildPeakFlops(unsigned Chains, uint64_t Iters,
   }
   B.createRet();
   return W;
+}
+
+//===----------------------------------------------------------------------===//
+// The immutable compiled forms
+//===----------------------------------------------------------------------===//
+
+static Expected<MicrobenchProgram>
+lowerMicrobench(const char *Name, Microbench W,
+                const transform::TargetInfo *VectorTarget) {
+  auto ProgOr = compileToProgram(std::move(W.M), VectorTarget);
+  if (!ProgOr)
+    return makeError<MicrobenchProgram>(std::string(Name) + ": " +
+                                        ProgOr.errorMessage());
+  MicrobenchProgram P;
+  P.Prog = std::move(*ProgOr);
+  P.BytesPerPass = W.BytesPerPass;
+  P.FlopsPerPass = W.FlopsPerPass;
+  P.Passes = W.Passes;
+  return P;
+}
+
+Expected<MicrobenchProgram>
+mperf::workloads::compileMemset(uint64_t Bytes, uint64_t Passes,
+                                const transform::TargetInfo *VectorTarget) {
+  return lowerMicrobench("memset", buildMemset(Bytes, Passes), VectorTarget);
+}
+
+Expected<MicrobenchProgram>
+mperf::workloads::compileTriad(uint64_t Elems, uint64_t Passes,
+                               const transform::TargetInfo *VectorTarget) {
+  return lowerMicrobench("triad", buildTriad(Elems, Passes), VectorTarget);
+}
+
+Expected<MicrobenchProgram>
+mperf::workloads::compilePeakFlops(unsigned Chains, uint64_t Iters,
+                                   unsigned Lanes) {
+  // Explicit vector IR by design: never run through the vectorizer.
+  return lowerMicrobench("peakflops", buildPeakFlops(Chains, Iters, Lanes),
+                         nullptr);
 }

@@ -20,11 +20,16 @@
 #define MPERF_WORKLOADS_MICROBENCH_H
 
 #include "ir/Module.h"
+#include "support/Error.h"
 #include "vm/Interpreter.h"
 
 #include <memory>
 
 namespace mperf {
+namespace transform {
+struct TargetInfo;
+} // namespace transform
+
 namespace workloads {
 
 /// A built microbenchmark: `main()` runs the kernel over the buffers.
@@ -51,6 +56,32 @@ Microbench buildTriad(uint64_t Elems, uint64_t Passes);
 /// probes the machine's FMA throughput, so it must not depend on the
 /// vectorizer. Results are stored so nothing folds away.
 Microbench buildPeakFlops(unsigned Chains, uint64_t Iters, unsigned Lanes = 1);
+
+/// The immutable compiled form of a microbenchmark probe: shareable
+/// across threads/scenarios; carries the same work-accounting facts as
+/// the Microbench it was compiled from.
+struct MicrobenchProgram {
+  std::shared_ptr<const vm::Program> Prog;
+  uint64_t BytesPerPass = 0;
+  uint64_t FlopsPerPass = 0;
+  uint64_t Passes = 1;
+
+  uint64_t totalBytes() const { return BytesPerPass * Passes; }
+  uint64_t totalFlops() const { return FlopsPerPass * Passes; }
+};
+
+/// Pure compile steps of the three probes (build + optional vectorize
+/// + verify + lower); deterministic in their arguments, hence
+/// cacheable. compilePeakFlops takes no target: that probe is explicit
+/// vector IR and must not run through the vectorizer.
+Expected<MicrobenchProgram>
+compileMemset(uint64_t Bytes, uint64_t Passes,
+              const transform::TargetInfo *VectorTarget = nullptr);
+Expected<MicrobenchProgram>
+compileTriad(uint64_t Elems, uint64_t Passes,
+             const transform::TargetInfo *VectorTarget = nullptr);
+Expected<MicrobenchProgram> compilePeakFlops(unsigned Chains, uint64_t Iters,
+                                             unsigned Lanes = 1);
 
 } // namespace workloads
 } // namespace mperf

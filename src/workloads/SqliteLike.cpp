@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "workloads/SqliteLike.h"
+#include "workloads/Compile.h"
 #include "support/RNG.h"
 #include "ir/IRBuilder.h"
 
@@ -734,4 +735,18 @@ SqliteLikeWorkload mperf::workloads::buildSqliteLike(
   }
 
   return W;
+}
+
+Expected<SqliteLikeProgram>
+mperf::workloads::compileSqliteLike(const SqliteLikeConfig &Config,
+                                    const transform::TargetInfo *VectorTarget) {
+  SqliteLikeWorkload W = buildSqliteLike(Config);
+  auto ProgOr = compileToProgram(std::move(W.M), VectorTarget);
+  if (!ProgOr)
+    return makeError<SqliteLikeProgram>("sqlite: " + ProgOr.errorMessage());
+  SqliteLikeProgram P;
+  P.Prog = std::move(*ProgOr);
+  P.Config = W.Config;
+  P.ExpectedMatches = W.ExpectedMatches;
+  return P;
 }

@@ -31,11 +31,16 @@
 #define MPERF_WORKLOADS_SQLITELIKE_H
 
 #include "ir/Module.h"
+#include "support/Error.h"
 #include "vm/Interpreter.h"
 
 #include <memory>
 
 namespace mperf {
+namespace transform {
+struct TargetInfo;
+} // namespace transform
+
 namespace workloads {
 
 /// Scale parameters.
@@ -66,6 +71,28 @@ struct SqliteLikeWorkload {
 /// Builds the engine with deterministic page/pattern data baked into
 /// global initializers.
 SqliteLikeWorkload buildSqliteLike(const SqliteLikeConfig &Config);
+
+/// The immutable compiled form: shareable across threads/scenarios.
+/// All input data lives in global initializers, so no per-run setup is
+/// needed beyond constructing a vm::Instance.
+struct SqliteLikeProgram {
+  std::shared_ptr<const vm::Program> Prog;
+  SqliteLikeConfig Config;
+  /// Host-side reference count of LIKE matches (see SqliteLikeWorkload).
+  uint64_t ExpectedMatches = 0;
+
+  /// Reads the engine's match accumulator after a run.
+  uint64_t result(const vm::Instance &Vm) const {
+    return Vm.readI64(Vm.globalAddress("RESULT"));
+  }
+};
+
+/// The pure compile step: build + (optional) vectorize for
+/// \p VectorTarget + verify + lower. Deterministic in (Config,
+/// VectorTarget), which is what makes the result cacheable.
+Expected<SqliteLikeProgram>
+compileSqliteLike(const SqliteLikeConfig &Config,
+                  const transform::TargetInfo *VectorTarget = nullptr);
 
 } // namespace workloads
 } // namespace mperf

@@ -23,8 +23,8 @@ WorkloadDesc trapWorkload() {
   WorkloadDesc D;
   D.Name = "trap";
   D.Description = "always divides by zero";
-  D.Build = [](const hw::Platform &,
-               const ScenarioKnobs &) -> Expected<WorkloadInstance> {
+  D.Compile = [](const transform::TargetInfo &,
+                 bool) -> Expected<CompiledWorkload> {
     auto MOr = ir::parseModule("module trap\n"
                                "func @main() -> void {\n"
                                "entry:\n"
@@ -32,10 +32,13 @@ WorkloadDesc trapWorkload() {
                                "  ret\n"
                                "}\n");
     if (!MOr)
-      return makeError<WorkloadInstance>(MOr.errorMessage());
-    WorkloadInstance I;
-    I.M = std::move(*MOr);
-    return I;
+      return makeError<CompiledWorkload>(MOr.errorMessage());
+    auto POr = vm::Program::compile(std::move(*MOr));
+    if (!POr)
+      return makeError<CompiledWorkload>(POr.errorMessage());
+    CompiledWorkload W;
+    W.Prog = std::move(*POr);
+    return W;
   };
   return D;
 }
@@ -60,7 +63,8 @@ TEST(ScenarioRegistry, StandardWorkloadsAndPlatformKeys) {
   ASSERT_GE(Workloads.size(), 5u);
   std::set<std::string> Names;
   for (const WorkloadDesc &W : Workloads) {
-    EXPECT_TRUE(W.Build) << W.Name;
+    EXPECT_TRUE(W.Compile) << W.Name;
+    EXPECT_EQ(W.Variant, "s1") << W.Name;
     Names.insert(W.Name);
   }
   EXPECT_TRUE(Names.count("sqlite"));
@@ -324,7 +328,7 @@ TEST(SweepReportTest, TableAndJson) {
 
   std::string Json = Report.toJson();
   EXPECT_TRUE(jsonBalanced(Json)) << Json;
-  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v2\""),
+  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v3\""),
             std::string::npos);
   EXPECT_NE(Json.find("\"num_scenarios\":2"), std::string::npos);
   EXPECT_NE(Json.find("\"num_failures\":1"), std::string::npos);
@@ -332,6 +336,13 @@ TEST(SweepReportTest, TableAndJson) {
   EXPECT_NE(Json.find("\"ok\":false"), std::string::npos);
   EXPECT_NE(Json.find("\"tags\":["), std::string::npos);
   EXPECT_NE(Json.find("\"counters\":{"), std::string::npos);
+  // v3: build economics at the top level and per scenario.
+  EXPECT_NE(Json.find("\"build_cache\":{"), std::string::npos);
+  EXPECT_NE(Json.find("\"builds\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"hits\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"build_host_seconds\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"exec_host_seconds\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"shared_build\":"), std::string::npos);
 }
 
 TEST(SweepReportTest, AnalysesEmbedPerScenario) {
@@ -376,4 +387,175 @@ TEST(SweepReportTest, AnalysesEmbedPerScenario) {
   EXPECT_NE(Json.find("\"schema\":\"miniperf-analysis/topdown/v1\""),
             std::string::npos);
   EXPECT_NE(Json.find("\"report\":{"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ProgramCache: build each distinct key once, bit-identical either way
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramCacheTest, BuildsEachDistinctKeyOnce) {
+  // 2 platforms x 2 workloads x (2 periods + 1 stat leg) = 12
+  // scenarios, but only 2 distinct (workload, variant, vector) keys:
+  // platform timing, sampling and period do not affect the build.
+  ScenarioMatrix M;
+  M.addPlatforms(*selectPlatforms("x60,c906"))
+      .addWorkload(workload("sqlite"))
+      .addWorkload(workload("triad"))
+      .addSamplingMode(true)
+      .addSamplingMode(false)
+      .addSamplePeriod(10000)
+      .addSamplePeriod(40000);
+  std::vector<Scenario> S = M.build();
+  ASSERT_EQ(S.size(), 12u);
+
+  SweepOptions Opts;
+  Opts.Jobs = 4;
+  SweepReport Report = SweepRunner(Opts).run(S);
+  EXPECT_EQ(Report.numFailures(), 0u);
+  EXPECT_TRUE(Report.CacheEnabled);
+  EXPECT_EQ(Report.WorkloadBuilds, 2u)
+      << "module builds must equal distinct keys, not scenario count";
+  EXPECT_EQ(Report.CacheHits, 10u);
+
+  size_t Misses = 0;
+  for (const ScenarioResult &R : Report.Results)
+    Misses += R.SharedBuild ? 0 : 1;
+  EXPECT_EQ(Misses, 2u);
+}
+
+TEST(ProgramCacheTest, VectorKeysFoldVectorlessTargets) {
+  // With the vector knob on, the key is the target's effective vector
+  // signature: the X60 (v256) builds its own program, while the U74
+  // (no vector unit) shares the scalar build — 2 keys across these 4
+  // scenarios, not 3.
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatform(hw::spacemitX60())
+                                .addPlatform(hw::sifiveU74())
+                                .addWorkload(workload("matmul"))
+                                .addVectorize(false)
+                                .addVectorize(true)
+                                .build();
+  ASSERT_EQ(S.size(), 4u);
+  SweepReport Report = SweepRunner().run(S);
+  EXPECT_EQ(Report.numFailures(), 0u);
+  EXPECT_EQ(Report.WorkloadBuilds, 2u);
+  EXPECT_EQ(Report.CacheHits, 2u);
+
+  // And the shared scalar build is observable: the U74's vectorized
+  // scenario retires exactly as many IR ops as its scalar one.
+  const ScenarioResult *U74Scalar = Report.result("matmul@u74");
+  const ScenarioResult *U74Vec = Report.result("matmul@u74+vec");
+  ASSERT_NE(U74Scalar, nullptr);
+  ASSERT_NE(U74Vec, nullptr);
+  EXPECT_EQ(U74Scalar->Profile.Vm.RetiredOps, U74Vec->Profile.Vm.RetiredOps);
+}
+
+TEST(ProgramCacheTest, VectorIndependentWorkloadSharesOneBuild) {
+  // peakflops ignores the vector knob by design (explicit vector IR),
+  // so even a vector-axis sweep over a vector platform compiles it
+  // exactly once.
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatform(hw::spacemitX60())
+                                .addPlatform(hw::theadC910())
+                                .addWorkload(workload("peakflops"))
+                                .addVectorize(false)
+                                .addVectorize(true)
+                                .build();
+  ASSERT_EQ(S.size(), 4u);
+  SweepReport Report = SweepRunner().run(S);
+  EXPECT_EQ(Report.numFailures(), 0u);
+  EXPECT_EQ(Report.WorkloadBuilds, 1u);
+  EXPECT_EQ(Report.CacheHits, 3u);
+}
+
+TEST(ProgramCacheTest, ReportsBitIdenticalCacheOnOffAtAnyJobCount) {
+  // The acceptance property of the cache: sharing builds changes wall
+  // clock only. Every deterministic metric — counters, samples, and
+  // the serialized analysis documents — must be bit-identical with the
+  // cache on or off, serial or parallel.
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatform(hw::spacemitX60())
+                                .addWorkload(workload("sqlite"))
+                                .addWorkload(workload("matmul"))
+                                .addSamplingMode(true)
+                                .addSamplingMode(false)
+                                .setAnalyses({"hotspots", "topdown"})
+                                .build();
+  ASSERT_EQ(S.size(), 4u);
+
+  auto Sweep = [&S](bool Cache, unsigned Jobs) {
+    SweepOptions O;
+    O.ShareWorkloadBuilds = Cache;
+    O.Jobs = Jobs;
+    return SweepRunner(O).run(S);
+  };
+  SweepReport Base = Sweep(false, 1);
+  ASSERT_EQ(Base.numFailures(), 0u);
+  EXPECT_FALSE(Base.CacheEnabled);
+  EXPECT_EQ(Base.WorkloadBuilds, S.size());
+
+  for (bool Cache : {true, false}) {
+    for (unsigned Jobs : {1u, 4u}) {
+      if (!Cache && Jobs == 1)
+        continue; // that is Base itself
+      SweepReport R = Sweep(Cache, Jobs);
+      ASSERT_EQ(R.Results.size(), Base.Results.size());
+      for (size_t I = 0; I != R.Results.size(); ++I) {
+        const ScenarioResult &A = Base.Results[I];
+        const ScenarioResult &B = R.Results[I];
+        std::string What = A.Name + (Cache ? " cache" : " nocache") +
+                           " jobs" + std::to_string(Jobs);
+        EXPECT_EQ(A.Name, B.Name) << What;
+        EXPECT_FALSE(B.Failed) << What << ": " << B.Error;
+        EXPECT_EQ(A.Profile.Cycles, B.Profile.Cycles) << What;
+        EXPECT_EQ(A.Profile.Instructions, B.Profile.Instructions) << What;
+        EXPECT_EQ(A.NumSamples, B.NumSamples) << What;
+        EXPECT_EQ(A.Profile.Interrupts, B.Profile.Interrupts) << What;
+        EXPECT_EQ(A.Profile.Vm.RetiredOps, B.Profile.Vm.RetiredOps) << What;
+        ASSERT_EQ(A.Profile.Counters.size(), B.Profile.Counters.size())
+            << What;
+        for (size_t C = 0; C != A.Profile.Counters.size(); ++C) {
+          EXPECT_EQ(A.Profile.Counters[C].Name, B.Profile.Counters[C].Name)
+              << What;
+          EXPECT_EQ(A.Profile.Counters[C].Value,
+                    B.Profile.Counters[C].Value)
+              << What;
+        }
+        ASSERT_EQ(A.Analyses.size(), B.Analyses.size()) << What;
+        for (size_t An = 0; An != A.Analyses.size(); ++An) {
+          EXPECT_EQ(A.Analyses[An].Json, B.Analyses[An].Json)
+              << What << " analysis " << A.Analyses[An].Name;
+          EXPECT_EQ(A.Analyses[An].Text, B.Analyses[An].Text)
+              << What << " analysis " << A.Analyses[An].Name;
+        }
+      }
+    }
+  }
+}
+
+TEST(ProgramCacheTest, FailingBuildIsCachedPerKey) {
+  // A failing workload build fails every scenario of its key with the
+  // same message, and is compiled only once.
+  WorkloadDesc Bad;
+  Bad.Name = "badbuild";
+  Bad.Description = "always fails to compile";
+  Bad.Compile = [](const transform::TargetInfo &,
+                   bool) -> Expected<CompiledWorkload> {
+    return makeError<CompiledWorkload>("deliberate build failure");
+  };
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatform(hw::spacemitX60())
+                                .addPlatform(hw::sifiveU74())
+                                .addWorkload(Bad)
+                                .build();
+  ASSERT_EQ(S.size(), 2u);
+  SweepReport Report = SweepRunner().run(S);
+  EXPECT_EQ(Report.numFailures(), 2u);
+  EXPECT_EQ(Report.WorkloadBuilds, 1u);
+  EXPECT_EQ(Report.CacheHits, 1u);
+  for (const ScenarioResult &R : Report.Results) {
+    EXPECT_TRUE(R.Failed);
+    EXPECT_NE(R.Error.find("deliberate build failure"), std::string::npos)
+        << R.Error;
+  }
 }

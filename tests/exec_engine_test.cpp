@@ -82,11 +82,12 @@ struct RunOutcome {
   hw::CoreStats Core;
 };
 
-RunOutcome runOnce(ir::Module &M, const driver::WorkloadInstance &W,
-                   const hw::Platform &P, EngineKind Engine,
-                   uint64_t Fuel = 0) {
+RunOutcome runOnce(const driver::CompiledWorkload &W, const hw::Platform &P,
+                   EngineKind Engine, uint64_t Fuel = 0) {
   RunOutcome O;
-  Interpreter Vm(M);
+  // Both engines execute the same shared immutable Program through
+  // private Instances — the post-split execution contract.
+  Instance Vm(W.Prog);
   Vm.setEngine(Engine);
   if (Fuel)
     Vm.setFuel(Fuel);
@@ -136,15 +137,13 @@ void expectIdentical(const RunOutcome &Ref, const RunOutcome &Micro,
 /// Runs one workload on one platform through both engines and compares.
 void diffWorkload(const driver::WorkloadDesc &W, const hw::Platform &P,
                   bool Vectorize) {
-  driver::ScenarioKnobs Knobs;
-  Knobs.Vectorize = Vectorize;
-  auto InstOr = W.Build(P, Knobs);
-  ASSERT_TRUE(InstOr.hasValue()) << InstOr.errorMessage();
+  auto WOr = W.Compile(P.Target, Vectorize);
+  ASSERT_TRUE(WOr.hasValue()) << WOr.errorMessage();
   std::ostringstream What;
   What << W.Name << "@" << driver::platformKey(P)
        << (Vectorize ? "+vec" : "");
-  RunOutcome Ref = runOnce(*InstOr->M, *InstOr, P, EngineKind::Reference);
-  RunOutcome Micro = runOnce(*InstOr->M, *InstOr, P, EngineKind::MicroOp);
+  RunOutcome Ref = runOnce(*WOr, P, EngineKind::Reference);
+  RunOutcome Micro = runOnce(*WOr, P, EngineKind::MicroOp);
   expectIdentical(Ref, Micro, What.str());
 }
 
@@ -159,12 +158,15 @@ void diffText(std::string_view Text, const std::string &Fn,
               std::vector<RtValue> Args = {}, uint64_t Fuel = 0) {
   auto M = parse(Text);
   ASSERT_TRUE(M);
-  driver::WorkloadInstance W;
+  auto POr = Program::compile(std::move(M));
+  ASSERT_TRUE(POr.hasValue()) << POr.errorMessage();
+  driver::CompiledWorkload W;
+  W.Prog = *POr;
   W.Entry = Fn;
   W.Args = std::move(Args);
   hw::Platform P = hw::spacemitX60();
-  RunOutcome Ref = runOnce(*M, W, P, EngineKind::Reference, Fuel);
-  RunOutcome Micro = runOnce(*M, W, P, EngineKind::MicroOp, Fuel);
+  RunOutcome Ref = runOnce(W, P, EngineKind::Reference, Fuel);
+  RunOutcome Micro = runOnce(W, P, EngineKind::MicroOp, Fuel);
   expectIdentical(Ref, Micro, Fn);
 }
 
@@ -254,6 +256,65 @@ exit:
 }
 )",
            "f", {RtValue::ofInt(10)});
+}
+
+TEST(ExecEngine, FusedLatchShapes) {
+  // The add+icmp+cond_br triple fusion across its corner shapes. The
+  // canonical latch itself (and its flag visibility) is covered above
+  // and by every counted loop in the workload matrix.
+
+  // i32 induction: the fused add must mask the sum exactly like the
+  // standalone add, and the compare must see the masked value.
+  diffText(R"(module m
+func @lat32(i64 %n0) -> i64 {
+entry:
+  %n = trunc i64 %n0 to i32
+  br loop
+loop:
+  %i = phi i32 [ 0, entry ], [ %i.next, loop ]
+  %i.next = add i32 %i, 200
+  %c = icmp ult i32 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  %r = zext i32 %i.next to i64
+  ret i64 %r
+}
+)",
+           "lat32", {RtValue::ofInt(1000)});
+
+  // Self-compare: the icmp's right operand is the add's result too;
+  // the fused form must read it after the sum is written.
+  diffText(R"(module m
+func @selfcmp(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp ne i64 %i.next, %i.next
+  cond_br %c, loop, exit
+exit:
+  ret i64 %i.next
+}
+)",
+           "selfcmp", {RtValue::ofInt(5)});
+
+  // Reversed operands (add result on the right): the triple must NOT
+  // fuse — the pair fusion picks it up — and semantics still agree.
+  diffText(R"(module m
+func @rev(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp sgt i64 %n, %i.next
+  cond_br %c, loop, exit
+exit:
+  ret i64 %i.next
+}
+)",
+           "rev", {RtValue::ofInt(9)});
 }
 
 TEST(ExecEngine, DivisionByZeroTrapParity) {

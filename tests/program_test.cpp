@@ -1,0 +1,215 @@
+//===- program_test.cpp - Immutable Program / mutable Instance split -----------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// The contract behind the sweep's cross-scenario build cache: a
+// vm::Program is compiled once (verified, slot-formed, micro-ops
+// lowered eagerly) and never mutates afterwards, so any number of
+// vm::Instances — including on concurrent threads — execute it with
+// bit-identical results. This suite runs in every CI leg, including
+// sanitize=ON, where TSan-visible races in a shared Program would
+// surface as ASan/UBSan-adjacent heap corruption or torn reads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/Parser.h"
+#include "vm/ExecEngine.h"
+#include "vm/Instance.h"
+#include "vm/Program.h"
+#include "workloads/Compile.h"
+#include "workloads/Matmul.h"
+#include "workloads/SqliteLike.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace mperf;
+using namespace mperf::vm;
+
+namespace {
+
+std::unique_ptr<ir::Module> parse(std::string_view Text) {
+  auto MOr = ir::parseModule(Text);
+  EXPECT_TRUE(MOr.hasValue()) << (MOr ? "" : MOr.errorMessage());
+  return std::move(*MOr);
+}
+
+constexpr const char *CounterLoop = R"(module m
+global @RESULT 8
+func @main(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %acc = phi i64 [ 0, entry ], [ %acc.next, loop ]
+  %sq = mul i64 %i, %i
+  %acc.next = add i64 %acc, %sq
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  store i64 %acc.next, @RESULT
+  ret i64 %acc.next
+}
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compilation contract
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramTest, CompileVerifiesLaysOutAndLowersEagerly) {
+  auto POr = Program::compile(parse(CounterLoop));
+  ASSERT_TRUE(POr.hasValue()) << POr.errorMessage();
+  const Program &P = **POr;
+
+  // Memory layout is part of the immutable artifact.
+  EXPECT_GE(P.globalAddress("RESULT"), 64u);
+  EXPECT_GT(P.stackBase(), P.globalAddress("RESULT"));
+  EXPECT_GT(P.memorySize(), P.stackBase());
+  EXPECT_EQ(P.initialImage().size(), P.stackBase());
+
+  // Every defined function is slot-compiled AND micro-op lowered at
+  // compile time — lazy lowering on a shared program was a data race.
+  const ir::Function *Main = P.findFunction("main");
+  ASSERT_NE(Main, nullptr);
+  const CompiledFunction *CF = P.function(Main);
+  ASSERT_NE(CF, nullptr);
+  EXPECT_GT(CF->NumSlots, 0u);
+  ASSERT_NE(CF->Micro, nullptr);
+  EXPECT_FALSE(CF->Micro->Code.empty());
+}
+
+TEST(ProgramTest, CompileRejectsInvalidModules) {
+  // A block without a terminator fails the verifier, not an assert
+  // deep inside slot compilation.
+  auto M = std::make_unique<ir::Module>("bad");
+  ir::Function *F = M->createFunction("f", M->context().voidTy(), {});
+  F->createBlock("entry"); // deliberately left without a terminator
+  auto POr = Program::compile(std::move(M));
+  ASSERT_FALSE(POr.hasValue());
+  EXPECT_NE(POr.errorMessage().find("Program::compile"), std::string::npos)
+      << POr.errorMessage();
+}
+
+TEST(ProgramTest, InstancesShareCodeButNotMemory) {
+  auto POr = Program::compile(parse(CounterLoop));
+  ASSERT_TRUE(POr.hasValue()) << POr.errorMessage();
+
+  Instance A(*POr);
+  Instance B(*POr);
+  auto RA = A.run("main", {RtValue::ofInt(100)});
+  ASSERT_TRUE(RA.hasValue()) << RA.errorMessage();
+
+  // A's run wrote its RESULT global; B's memory is untouched.
+  EXPECT_EQ(A.readI64(A.globalAddress("RESULT")), RA->asInt());
+  EXPECT_EQ(B.readI64(B.globalAddress("RESULT")), 0u);
+
+  // B still computes the same answer from its own pristine image.
+  auto RB = B.run("main", {RtValue::ofInt(100)});
+  ASSERT_TRUE(RB.hasValue()) << RB.errorMessage();
+  EXPECT_EQ(RA->asInt(), RB->asInt());
+}
+
+TEST(ProgramTest, CompatInterpreterMatchesSharedProgram) {
+  // The historic Interpreter(Module&) path and an explicitly shared
+  // Program must be indistinguishable.
+  auto M = parse(CounterLoop);
+  Interpreter Compat(*M);
+  auto RCompat = Compat.run("main", {RtValue::ofInt(64)});
+  ASSERT_TRUE(RCompat.hasValue()) << RCompat.errorMessage();
+
+  auto POr = Program::compile(parse(CounterLoop));
+  ASSERT_TRUE(POr.hasValue());
+  Instance Shared(*POr);
+  auto RShared = Shared.run("main", {RtValue::ofInt(64)});
+  ASSERT_TRUE(RShared.hasValue()) << RShared.errorMessage();
+
+  EXPECT_EQ(RCompat->asInt(), RShared->asInt());
+  EXPECT_EQ(Compat.stats().RetiredOps, Shared.stats().RetiredOps);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: one shared Program, many threads
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramTest, SharedProgramRunsConcurrently) {
+  // One sqlite program (real workload: calls, phis, memory, fused
+  // latches), executed simultaneously from 8 instances on 8 threads.
+  // Every thread must reproduce the serial result and statistics
+  // bit-for-bit; the sanitize=ON CI leg watches for races.
+  auto WOr = workloads::compileSqliteLike({8, 8, 8, 8, 1});
+  ASSERT_TRUE(WOr.hasValue()) << WOr.errorMessage();
+  const workloads::SqliteLikeProgram &W = *WOr;
+
+  struct Outcome {
+    bool Ok = false;
+    uint64_t Result = 0;
+    uint64_t RetiredOps = 0;
+    uint64_t LoadedBytes = 0;
+  };
+  auto RunOne = [&W](Outcome &Out) {
+    Instance Vm(W.Prog);
+    auto R = Vm.run("main", {RtValue::ofInt(W.Config.NumQueries)});
+    Out.Ok = R.hasValue();
+    if (Out.Ok) {
+      Out.Result = W.result(Vm);
+      Out.RetiredOps = Vm.stats().RetiredOps;
+      Out.LoadedBytes = Vm.stats().LoadedBytes;
+    }
+  };
+
+  Outcome Serial;
+  RunOne(Serial);
+  ASSERT_TRUE(Serial.Ok);
+  EXPECT_EQ(Serial.Result, W.ExpectedMatches);
+
+  constexpr unsigned NumThreads = 8;
+  std::vector<Outcome> Outcomes(NumThreads);
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads);
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&RunOne, &Outcomes, T] { RunOne(Outcomes[T]); });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    EXPECT_TRUE(Outcomes[T].Ok) << "thread " << T;
+    EXPECT_EQ(Outcomes[T].Result, Serial.Result) << "thread " << T;
+    EXPECT_EQ(Outcomes[T].RetiredOps, Serial.RetiredOps) << "thread " << T;
+    EXPECT_EQ(Outcomes[T].LoadedBytes, Serial.LoadedBytes) << "thread " << T;
+  }
+}
+
+TEST(ProgramTest, SharedMatmulSetupIsPerInstance) {
+  // The matmul setup hook regenerates input data per instance; two
+  // concurrent instances of one program must both verify.
+  auto POr = workloads::compileMatmul({32, 16, 0x5eed});
+  ASSERT_TRUE(POr.hasValue()) << POr.errorMessage();
+  const workloads::MatmulProgram &MP = *POr;
+
+  auto RunOne = [&MP](double &MaxErr, bool &Ok) {
+    Instance Vm(MP.Prog);
+    MP.initialize(Vm);
+    workloads::bindClock(Vm, [] { return 0.0; });
+    auto R = Vm.run("main");
+    Ok = R.hasValue();
+    if (Ok)
+      MaxErr = MP.verify(Vm);
+  };
+
+  double ErrA = 1, ErrB = 1;
+  bool OkA = false, OkB = false;
+  std::thread TA([&] { RunOne(ErrA, OkA); });
+  std::thread TB([&] { RunOne(ErrB, OkB); });
+  TA.join();
+  TB.join();
+  ASSERT_TRUE(OkA && OkB);
+  EXPECT_LT(ErrA, 1e-3);
+  EXPECT_EQ(ErrA, ErrB);
+}

@@ -5,8 +5,9 @@
 #
 # Runs miniperf-sweep on one tiny scenario with every analysis attached,
 # then parses the emitted JSON (CMake's string(JSON ...)) and checks the
-# report and analysis schema version strings — the contract CI and the
-# --baseline diff mode rely on.
+# report and analysis schema version strings, the v3 build-cache stats
+# block, and the per-scenario build/exec wall-time fields — the contract
+# CI and the --baseline diff mode rely on.
 #
 # ===----------------------------------------------------------------------=== #
 
@@ -25,13 +26,45 @@ endif()
 file(READ "${REPORT}" DOC)
 
 string(JSON SCHEMA GET "${DOC}" schema)
-if(NOT SCHEMA STREQUAL "miniperf-sweep-report/v2")
-  message(FATAL_ERROR "bad report schema '${SCHEMA}' (want miniperf-sweep-report/v2)")
+if(NOT SCHEMA STREQUAL "miniperf-sweep-report/v3")
+  message(FATAL_ERROR "bad report schema '${SCHEMA}' (want miniperf-sweep-report/v3)")
 endif()
 
 string(JSON NUM_FAILURES GET "${DOC}" num_failures)
 if(NOT NUM_FAILURES EQUAL 0)
   message(FATAL_ERROR "sweep reported ${NUM_FAILURES} failure(s)")
+endif()
+
+# v3: the build-cache block must exist, with builds equal to the number
+# of distinct workload keys (one here) and hit counts consistent with
+# the scenario count.
+string(JSON CACHE_ENABLED GET "${DOC}" build_cache enabled)
+if(NOT CACHE_ENABLED STREQUAL "ON" AND NOT CACHE_ENABLED STREQUAL "true")
+  message(FATAL_ERROR "build_cache.enabled is '${CACHE_ENABLED}' (want true)")
+endif()
+string(JSON NUM_BUILDS GET "${DOC}" build_cache builds)
+if(NOT NUM_BUILDS EQUAL 1)
+  message(FATAL_ERROR "expected 1 workload build for a one-workload sweep, got ${NUM_BUILDS}")
+endif()
+string(JSON NUM_HITS GET "${DOC}" build_cache hits)
+string(JSON NUM_SCENARIOS GET "${DOC}" num_scenarios)
+math(EXPR EXPECTED_HITS "${NUM_SCENARIOS} - ${NUM_BUILDS}")
+if(NOT NUM_HITS EQUAL ${EXPECTED_HITS})
+  message(FATAL_ERROR "build_cache.hits is ${NUM_HITS} (want ${EXPECTED_HITS})")
+endif()
+
+# v3: per-scenario build/exec wall-time split and cache outcome.
+string(JSON BUILD_SECONDS GET "${DOC}" results 0 build_host_seconds)
+if(BUILD_SECONDS LESS 0)
+  message(FATAL_ERROR "results[0].build_host_seconds is negative: ${BUILD_SECONDS}")
+endif()
+string(JSON EXEC_SECONDS GET "${DOC}" results 0 exec_host_seconds)
+if(EXEC_SECONDS LESS_EQUAL 0)
+  message(FATAL_ERROR "results[0].exec_host_seconds is not positive: ${EXEC_SECONDS}")
+endif()
+string(JSON SHARED GET "${DOC}" results 0 shared_build)
+if(NOT SHARED STREQUAL "OFF" AND NOT SHARED STREQUAL "false")
+  message(FATAL_ERROR "results[0].shared_build is '${SHARED}' (first scenario must be the build)")
 endif()
 
 # The single scenario must carry all five built-in analyses, each with a

@@ -52,6 +52,10 @@ void printUsage() {
       "  --scale N          workload scale multiplier (default 1; grows "
       "retired ops ~linearly)\n"
       "  --jobs N           worker threads (default 1; 0 = all cores)\n"
+      "  --cache MODE       on (default) shares each distinct workload "
+      "build across\n"
+      "                     scenarios; off rebuilds per scenario "
+      "(bit-identical results)\n"
       "  --json FILE        also write the machine-readable report\n"
       "  --baseline FILE    diff this run against a previous sweep "
       "report;\n"
@@ -203,8 +207,9 @@ size_t diffAgainstBaseline(const JsonValue &Baseline, const JsonValue &Current,
     }
     for (const auto &[Key, BV] : B.members()) {
       // Only deterministic numeric metrics gate; wall clock drifts by
-      // machine load, and strings/tags are identity, not metrics.
-      if (!BV.isNumber() || Key == "host_seconds")
+      // machine load (any *host_seconds key: total, build, exec), and
+      // strings/tags are identity, not metrics.
+      if (!BV.isNumber() || endsWith(Key, "host_seconds"))
         continue;
       const JsonValue *CV = C->find(Key);
       ++Compared;
@@ -278,6 +283,14 @@ int main(int Argc, char **Argv) {
         die("bad --scale value '0' (must be positive)");
     } else if (Arg == "--jobs") {
       Opts.Jobs = static_cast<unsigned>(parseUnsigned("--jobs", Value()));
+    } else if (Arg == "--cache") {
+      std::string Mode = Value();
+      if (Mode == "on")
+        Opts.ShareWorkloadBuilds = true;
+      else if (Mode == "off")
+        Opts.ShareWorkloadBuilds = false;
+      else
+        die("bad --cache mode '" + Mode + "' (use on or off)");
     } else if (Arg == "--json") {
       JsonPath = Value();
     } else if (Arg == "--baseline") {
@@ -378,6 +391,22 @@ int main(int Argc, char **Argv) {
   std::printf("\n%s", Report.toTable().render().c_str());
   std::printf("\nsweep wall-clock: %s with %u job(s)\n",
               fixed(Report.HostSeconds, 2).c_str(), Report.Jobs);
+  // Sum compile time over actual builds only: a cache hit's
+  // build_host_seconds is time spent *waiting* on another worker's
+  // in-flight compile, and counting it would overstate the build cost
+  // by up to the job count.
+  double BuildSecs = 0, WaitSecs = 0, ExecSecs = 0;
+  for (const ScenarioResult &R : Report.Results) {
+    (R.SharedBuild ? WaitSecs : BuildSecs) += R.BuildHostSeconds;
+    ExecSecs += R.ExecHostSeconds;
+  }
+  std::printf("workload builds: %llu (%llu cache hit(s), cache %s); "
+              "cumulative compile %ss (+%ss hit-wait) vs execute %ss\n",
+              static_cast<unsigned long long>(Report.WorkloadBuilds),
+              static_cast<unsigned long long>(Report.CacheHits),
+              Report.CacheEnabled ? "on" : "off",
+              fixed(BuildSecs, 2).c_str(), fixed(WaitSecs, 2).c_str(),
+              fixed(ExecSecs, 2).c_str());
 
   if (!JsonPath.empty()) {
     std::ofstream Out(JsonPath);
