@@ -1,0 +1,209 @@
+//===- Dataflow.cpp - Generic bitset dataflow framework ------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+
+using namespace mperf;
+using namespace mperf::analysis;
+using namespace mperf::ir;
+
+//===----------------------------------------------------------------------===//
+// ValueNumbering
+//===----------------------------------------------------------------------===//
+
+ValueNumbering::ValueNumbering(const Function &F) {
+  for (unsigned A = 0, E = F.numArgs(); A != E; ++A) {
+    Index[F.arg(A)] = static_cast<unsigned>(Values.size());
+    Values.push_back(F.arg(A));
+  }
+  for (const BasicBlock *BB : F)
+    for (const Instruction *I : *BB)
+      if (!I->type()->isVoid()) {
+        Index[I] = static_cast<unsigned>(Values.size());
+        Values.push_back(I);
+      }
+}
+
+//===----------------------------------------------------------------------===//
+// Solver
+//===----------------------------------------------------------------------===//
+
+std::map<const BasicBlock *, BlockFacts>
+mperf::analysis::solveDataflow(const DominatorTree &DT,
+                               const DataflowProblem &P) {
+  const bool Forward = P.Direction == DataflowDirection::Forward;
+  const std::vector<BasicBlock *> &RPO = DT.reversePostOrder();
+
+  std::map<const BasicBlock *, BlockFacts> Facts;
+  for (const BasicBlock *BB : RPO) {
+    Facts[BB].In.resize(P.NumFacts);
+    Facts[BB].Out.resize(P.NumFacts);
+  }
+
+  auto setOf = [&](const std::map<const BasicBlock *, BitSet> &M,
+                   const BasicBlock *BB) -> const BitSet * {
+    auto It = M.find(BB);
+    return It == M.end() ? nullptr : &It->second;
+  };
+
+  // Round-robin over a direction-appropriate order until nothing
+  // changes. RPO converges forward problems in O(loop depth) rounds;
+  // its reverse does the same for backward ones.
+  std::vector<const BasicBlock *> Order(RPO.begin(), RPO.end());
+  if (!Forward)
+    std::reverse(Order.begin(), Order.end());
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const BasicBlock *BB : Order) {
+      BlockFacts &BF = Facts[BB];
+      // Meet over the entering edges.
+      BitSet Meet(P.NumFacts);
+      if (Forward) {
+        for (const BasicBlock *Pred : BB->predecessors()) {
+          if (!DT.isReachable(Pred))
+            continue;
+          Meet.unionWith(Facts[Pred].Out);
+          auto EIt = P.EdgeGen.find({Pred, BB});
+          if (EIt != P.EdgeGen.end())
+            Meet.unionWith(EIt->second);
+        }
+      } else {
+        for (const BasicBlock *Succ : BB->successors()) {
+          if (!DT.isReachable(Succ))
+            continue;
+          Meet.unionWith(Facts[Succ].In);
+          auto EIt = P.EdgeGen.find({BB, Succ});
+          if (EIt != P.EdgeGen.end())
+            Meet.unionWith(EIt->second);
+        }
+      }
+      BitSet &MeetSlot = Forward ? BF.In : BF.Out;
+      Changed |= MeetSlot.unionWith(Meet);
+
+      // Transfer: Gen | (meet - Kill).
+      BitSet Through = MeetSlot;
+      if (const BitSet *K = setOf(P.Kill, BB))
+        Through.subtract(*K);
+      if (const BitSet *G = setOf(P.Gen, BB))
+        Through.unionWith(*G);
+      BitSet &FlowSlot = Forward ? BF.Out : BF.In;
+      Changed |= FlowSlot.unionWith(Through);
+    }
+  }
+  return Facts;
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness
+//===----------------------------------------------------------------------===//
+
+Liveness::Liveness(const Function &F, const DominatorTree &DT)
+    : VN(F), Empty(VN.size()) {
+  DataflowProblem P;
+  P.Direction = DataflowDirection::Backward;
+  P.NumFacts = VN.size();
+
+  for (const BasicBlock *BB : F) {
+    BitSet Gen(VN.size()), Kill(VN.size());
+    // Upward-exposed uses: operands read before any local redefinition.
+    // In SSA a value has one def, so "before the def" simply means the
+    // use is not of something this block defined earlier.
+    BitSet DefinedSoFar(VN.size());
+    for (const Instruction *I : *BB) {
+      if (I->opcode() == Opcode::Phi) {
+        // Phi operands are uses on the incoming edge, not here.
+        int D = VN.indexOf(I);
+        if (D >= 0) {
+          Kill.set(static_cast<unsigned>(D));
+          DefinedSoFar.set(static_cast<unsigned>(D));
+        }
+        continue;
+      }
+      for (const Value *Op : I->operands()) {
+        int U = Op ? VN.indexOf(Op) : -1;
+        if (U >= 0 && !DefinedSoFar.test(static_cast<unsigned>(U)))
+          Gen.set(static_cast<unsigned>(U));
+      }
+      int D = VN.indexOf(I);
+      if (D >= 0) {
+        Kill.set(static_cast<unsigned>(D));
+        DefinedSoFar.set(static_cast<unsigned>(D));
+      }
+    }
+    P.Gen[BB] = std::move(Gen);
+    P.Kill[BB] = std::move(Kill);
+
+    // Phi uses ride the matching incoming edge. Operands without a
+    // recorded incoming block (malformed input the verifier reports
+    // separately) contribute nothing.
+    for (const Instruction *Phi : BB->phis()) {
+      unsigned E = std::min(Phi->numOperands(), Phi->numIncomingBlocks());
+      for (unsigned V = 0; V != E; ++V) {
+        const BasicBlock *In = Phi->incomingBlock(V);
+        int U = VN.indexOf(Phi->operand(V));
+        if (U < 0)
+          continue;
+        auto Key = std::make_pair(In, static_cast<const BasicBlock *>(BB));
+        BitSet &EG = P.EdgeGen[Key];
+        if (EG.size() == 0)
+          EG.resize(VN.size());
+        EG.set(static_cast<unsigned>(U));
+      }
+    }
+  }
+
+  Facts = solveDataflow(DT, P);
+}
+
+const BitSet &Liveness::liveIn(const BasicBlock *BB) const {
+  auto It = Facts.find(BB);
+  return It == Facts.end() ? Empty : It->second.In;
+}
+
+const BitSet &Liveness::liveOut(const BasicBlock *BB) const {
+  auto It = Facts.find(BB);
+  return It == Facts.end() ? Empty : It->second.Out;
+}
+
+//===----------------------------------------------------------------------===//
+// ReachingDefs
+//===----------------------------------------------------------------------===//
+
+ReachingDefs::ReachingDefs(const Function &F, const DominatorTree &DT)
+    : VN(F), Empty(VN.size()) {
+  DataflowProblem P;
+  P.Direction = DataflowDirection::Forward;
+  P.NumFacts = VN.size();
+
+  for (const BasicBlock *BB : F) {
+    BitSet Gen(VN.size());
+    for (const Instruction *I : *BB) {
+      int D = VN.indexOf(I);
+      if (D >= 0)
+        Gen.set(static_cast<unsigned>(D));
+    }
+    // Arguments are defined on function entry.
+    if (!F.isDeclaration() && BB == F.entry())
+      for (unsigned A = 0, E = F.numArgs(); A != E; ++A) {
+        int D = VN.indexOf(F.arg(A));
+        if (D >= 0)
+          Gen.set(static_cast<unsigned>(D));
+      }
+    P.Gen[BB] = std::move(Gen);
+  }
+
+  Facts = solveDataflow(DT, P);
+}
+
+const BitSet &ReachingDefs::reachingIn(const BasicBlock *BB) const {
+  auto It = Facts.find(BB);
+  return It == Facts.end() ? Empty : It->second.In;
+}

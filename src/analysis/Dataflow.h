@@ -1,0 +1,225 @@
+//===- Dataflow.h - Generic bitset dataflow framework ----------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small forward/backward bitset dataflow framework over one
+/// function's CFG, plus the two classic instances the static verifier
+/// is built on: SSA value liveness and reaching definitions.
+///
+/// Problems are expressed as per-block Gen/Kill bitsets with a
+/// union meet, plus optional per-edge Gen sets (how phi uses are
+/// attributed to the incoming edge rather than the phi's own block).
+/// The solver iterates to a fixpoint over the DominatorTree's reverse
+/// post order (forward problems) or its reverse (backward problems),
+/// visiting only blocks reachable from the entry — exactly the blocks
+/// the dominator tree knows about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_ANALYSIS_DATAFLOW_H
+#define MPERF_ANALYSIS_DATAFLOW_H
+
+#include "analysis/DominatorTree.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace mperf {
+namespace analysis {
+
+/// A fixed-capacity dense bitset; the lattice element of every problem
+/// the framework solves.
+class BitSet {
+public:
+  BitSet() = default;
+  explicit BitSet(unsigned Bits) { resize(Bits); }
+
+  void resize(unsigned Bits) {
+    NumBits = Bits;
+    Words.assign((Bits + 63) / 64, 0);
+  }
+  unsigned size() const { return NumBits; }
+
+  void set(unsigned I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] |= 1ull << (I % 64);
+  }
+  void reset(unsigned I) {
+    assert(I < NumBits && "bit index out of range");
+    Words[I / 64] &= ~(1ull << (I % 64));
+  }
+  bool test(unsigned I) const {
+    assert(I < NumBits && "bit index out of range");
+    return (Words[I / 64] >> (I % 64)) & 1;
+  }
+
+  /// this |= O. Returns true when any bit changed (the solver's
+  /// fixpoint test).
+  bool unionWith(const BitSet &O) {
+    assert(O.NumBits == NumBits && "bitset size mismatch");
+    bool Changed = false;
+    for (size_t W = 0, E = Words.size(); W != E; ++W) {
+      uint64_t New = Words[W] | O.Words[W];
+      Changed |= New != Words[W];
+      Words[W] = New;
+    }
+    return Changed;
+  }
+
+  /// this &= ~O.
+  void subtract(const BitSet &O) {
+    assert(O.NumBits == NumBits && "bitset size mismatch");
+    for (size_t W = 0, E = Words.size(); W != E; ++W)
+      Words[W] &= ~O.Words[W];
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  unsigned count() const {
+    unsigned N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<unsigned>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool operator==(const BitSet &O) const {
+    return NumBits == O.NumBits && Words == O.Words;
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  unsigned NumBits = 0;
+};
+
+/// Dense numbering of the SSA values one function defines: arguments
+/// first, then non-void instruction results in block order. Constants
+/// and globals are not numbered (they are defined everywhere).
+class ValueNumbering {
+public:
+  explicit ValueNumbering(const ir::Function &F);
+
+  unsigned size() const { return static_cast<unsigned>(Values.size()); }
+
+  /// The dense index of \p V, or -1 when \p V is not a numbered local
+  /// (constant, global, value of another function).
+  int indexOf(const ir::Value *V) const {
+    auto It = Index.find(V);
+    return It == Index.end() ? -1 : static_cast<int>(It->second);
+  }
+
+  const ir::Value *value(unsigned I) const {
+    assert(I < Values.size() && "value index out of range");
+    return Values[I];
+  }
+
+private:
+  std::vector<const ir::Value *> Values;
+  std::map<const ir::Value *, unsigned> Index;
+};
+
+/// The In/Out fixpoint of one block.
+struct BlockFacts {
+  BitSet In, Out;
+};
+
+/// Direction of a dataflow problem.
+enum class DataflowDirection { Forward, Backward };
+
+/// A gen/kill problem with union meet over one function's CFG.
+///
+/// Forward:  In[B]  = U over preds P of (Out[P] | EdgeGen[P->B]),
+///           Out[B] = Gen[B] | (In[B] - Kill[B]).
+/// Backward: Out[B] = U over succs S of (In[S] | EdgeGen[B->S]),
+///           In[B]  = Gen[B] | (Out[B] - Kill[B]).
+///
+/// Every Gen/Kill/EdgeGen bitset must have exactly NumFacts bits;
+/// blocks absent from the maps contribute empty sets.
+struct DataflowProblem {
+  DataflowDirection Direction = DataflowDirection::Forward;
+  unsigned NumFacts = 0;
+  std::map<const ir::BasicBlock *, BitSet> Gen, Kill;
+  /// Facts generated on one CFG edge (first = pred, second = succ);
+  /// this is how phi operands become uses on the incoming edge.
+  std::map<std::pair<const ir::BasicBlock *, const ir::BasicBlock *>, BitSet>
+      EdgeGen;
+};
+
+/// Solves \p P to a fixpoint over the blocks of \p DT's function that
+/// are reachable from the entry (the only blocks the tree orders).
+std::map<const ir::BasicBlock *, BlockFacts>
+solveDataflow(const DominatorTree &DT, const DataflowProblem &P);
+
+/// SSA value liveness. A value is live-out of a block when some path
+/// from the block's end reaches a use without passing its (unique)
+/// definition; phi operands count as uses at the end of the matching
+/// incoming predecessor, and phi results are defined at the top of the
+/// phi's block.
+///
+/// For well-formed SSA, nothing but arguments may be live into the
+/// entry block — an instruction result live into the entry proves a
+/// use-before-definition path, which is how the verifier uses this.
+class Liveness {
+public:
+  Liveness(const ir::Function &F, const DominatorTree &DT);
+
+  const ValueNumbering &numbering() const { return VN; }
+
+  const BitSet &liveIn(const ir::BasicBlock *BB) const;
+  const BitSet &liveOut(const ir::BasicBlock *BB) const;
+
+  bool isLiveIn(const ir::BasicBlock *BB, const ir::Value *V) const {
+    int I = VN.indexOf(V);
+    return I >= 0 && liveIn(BB).test(static_cast<unsigned>(I));
+  }
+  bool isLiveOut(const ir::BasicBlock *BB, const ir::Value *V) const {
+    int I = VN.indexOf(V);
+    return I >= 0 && liveOut(BB).test(static_cast<unsigned>(I));
+  }
+
+private:
+  ValueNumbering VN;
+  std::map<const ir::BasicBlock *, BlockFacts> Facts;
+  BitSet Empty;
+};
+
+/// Reaching definitions over SSA values: a definition reaches a block
+/// when some path from the entry to the block passes it. With SSA's
+/// single definition per value there is nothing to kill, so this is
+/// plain forward propagation — the complement of Liveness for
+/// verifying that every use is preceded by its definition on at least
+/// one path.
+class ReachingDefs {
+public:
+  ReachingDefs(const ir::Function &F, const DominatorTree &DT);
+
+  const ValueNumbering &numbering() const { return VN; }
+
+  /// The definitions reaching the top of \p BB. Arguments reach
+  /// everything.
+  const BitSet &reachingIn(const ir::BasicBlock *BB) const;
+
+  bool reaches(const ir::Value *Def, const ir::BasicBlock *BB) const {
+    int I = VN.indexOf(Def);
+    return I >= 0 && reachingIn(BB).test(static_cast<unsigned>(I));
+  }
+
+private:
+  ValueNumbering VN;
+  std::map<const ir::BasicBlock *, BlockFacts> Facts;
+  BitSet Empty;
+};
+
+} // namespace analysis
+} // namespace mperf
+
+#endif // MPERF_ANALYSIS_DATAFLOW_H

@@ -210,6 +210,13 @@ public:
     Successors[I] = BB;
   }
 
+  /// Phi: number of recorded incoming blocks. Equals numOperands() for
+  /// well-formed phis; the verifier reports any drift.
+  unsigned numIncomingBlocks() const {
+    assert(Op == Opcode::Phi && "numIncomingBlocks on non-phi");
+    return static_cast<unsigned>(IncomingBlocks.size());
+  }
+
   /// Phi: incoming block for operand \p I.
   BasicBlock *incomingBlock(unsigned I) const {
     assert(Op == Opcode::Phi && I < IncomingBlocks.size() &&

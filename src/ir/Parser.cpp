@@ -197,7 +197,10 @@ struct Fixup {
 /// Recursive-descent parser for the printed syntax.
 class Parser {
 public:
-  explicit Parser(std::string_view Text) : Lex(Text) { advance(); }
+  explicit Parser(std::string_view Text, std::string FileName = "")
+      : Lex(Text), FileName(std::move(FileName)) {
+    advance();
+  }
 
   Expected<std::unique_ptr<Module>> parse();
 
@@ -237,6 +240,13 @@ private:
       Raw->setName(ResultName);
       Locals[ResultName] = Raw;
     }
+    // When parsing a named file, stamp the instruction so diagnostics
+    // can print file:line. Locs stay unset for anonymous text (the
+    // historical behavior — sample attribution relies on builder-set
+    // locs only).
+    if (!FileName.empty())
+      Raw->setLoc(SourceLoc{FileName, Cur.Line,
+                            BB->parent() ? BB->parent()->name() : ""});
     return Raw;
   }
 
@@ -261,6 +271,9 @@ private:
   }
 
   Lexer Lex;
+  /// When non-empty, every emitted instruction gets a SourceLoc of this
+  /// file and the current lexer line.
+  std::string FileName;
   Token Cur;
   std::unique_ptr<Module> M;
   // Per-function parsing state.
@@ -1008,5 +1021,11 @@ Expected<std::unique_ptr<Module>> Parser::parse() {
 Expected<std::unique_ptr<Module>>
 mperf::ir::parseModule(std::string_view Text) {
   Parser P(Text);
+  return P.parse();
+}
+
+Expected<std::unique_ptr<Module>>
+mperf::ir::parseModule(std::string_view Text, std::string FileName) {
+  Parser P(Text, std::move(FileName));
   return P.parse();
 }

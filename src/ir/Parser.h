@@ -27,6 +27,12 @@ namespace ir {
 /// Parses a full module. On failure the message names the offending line.
 Expected<std::unique_ptr<Module>> parseModule(std::string_view Text);
 
+/// As above, but additionally stamps every parsed instruction with a
+/// SourceLoc of \p FileName and its line, so verifier diagnostics (and
+/// miniperf-lint output) carry file:line context.
+Expected<std::unique_ptr<Module>> parseModule(std::string_view Text,
+                                              std::string FileName);
+
 } // namespace ir
 } // namespace mperf
 

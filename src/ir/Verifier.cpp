@@ -1,11 +1,32 @@
-//===- Verifier.cpp - IR structural validation ------------------------------===//
+//===- Verifier.cpp - IR structural and SSA validation ----------------------===//
 //
 // Part of the miniperf project, a reproduction of "Dissecting RISC-V
 // Performance" (PACT 2025). See README.md for details.
 //
+// Three passes per function, each building on the previous one's
+// guarantees:
+//
+//  1. Structure: every block ends in exactly one terminator, phis form
+//     a prefix, branch targets stay inside the function, the entry
+//     block has no predecessors.
+//  2. Types: per-opcode operand/result rules (arithmetic homogeneity,
+//     cast direction and width, memory addressing, call signatures).
+//  3. SSA: every definition dominates every use (phi uses count at the
+//     end of the incoming predecessor), phi incoming lists match the
+//     CFG exactly, and — as a dataflow cross-check — no instruction
+//     value is live into the entry block, which would prove a
+//     use-before-definition path the dominance walk missed.
+//
+// Diagnostics carry the instruction's SourceLoc when the input came
+// from a file (the parser stamps file:line), so tools like
+// miniperf-lint can print clickable locations.
+//
 //===----------------------------------------------------------------------===//
 
 #include "ir/Verifier.h"
+
+#include "analysis/Dataflow.h"
+#include "analysis/DominatorTree.h"
 
 #include <set>
 #include <string>
@@ -31,6 +52,8 @@ private:
       Msg += ", instruction '%" + I->name() + "'";
     else if (I)
       Msg += ", instruction '" + std::string(opcodeName(I->opcode())) + "'";
+    if (I && I->loc().isValid())
+      Msg += " (" + I->loc().str() + ")";
     Msg += ": " + Why;
     return Error(std::move(Msg));
   }
@@ -38,12 +61,18 @@ private:
   Error checkBlockShape(const BasicBlock *BB);
   Error checkInstruction(const BasicBlock *BB, const Instruction *I);
   Error checkOperandsVisible(const BasicBlock *BB, const Instruction *I);
+  Error checkCast(const BasicBlock *BB, const Instruction *I);
+  Error checkPhi(const BasicBlock *BB, const Instruction *I);
+  Error checkSSA();
 
   const Function &F;
-  std::set<const Value *> Defined;
 };
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Pass 1: structure
+//===----------------------------------------------------------------------===//
 
 Error FunctionVerifier::checkBlockShape(const BasicBlock *BB) {
   if (BB->empty())
@@ -66,8 +95,25 @@ Error FunctionVerifier::checkBlockShape(const BasicBlock *BB) {
     if (SeenNonPhi)
       return fail(BB, Inst, "phi after a non-phi instruction");
   }
+  // Every branch target must be a block of this function (the CFG is
+  // intra-function by construction; a cross-function successor would
+  // make every later pass chase foreign blocks).
+  const Instruction *Term = BB->terminator();
+  for (unsigned S = 0, E = Term->numSuccessors(); S != E; ++S) {
+    const BasicBlock *Succ = Term->successor(S);
+    if (!Succ)
+      return fail(BB, Term, "null branch target");
+    if (Succ->parent() != &F)
+      return fail(BB, Term,
+                  "branch target '" + Succ->name() +
+                      "' belongs to a different function");
+  }
   return Error::success();
 }
+
+//===----------------------------------------------------------------------===//
+// Pass 2: types
+//===----------------------------------------------------------------------===//
 
 Error FunctionVerifier::checkOperandsVisible(const BasicBlock *BB,
                                              const Instruction *I) {
@@ -104,6 +150,98 @@ Error FunctionVerifier::checkOperandsVisible(const BasicBlock *BB,
   return Error::success();
 }
 
+/// Cast direction/width rules. Lane counts must agree between source
+/// and result (a cast is lane-wise); widths must actually move in the
+/// direction the opcode names.
+Error FunctionVerifier::checkCast(const BasicBlock *BB, const Instruction *I) {
+  const Type *Src = I->operand(0)->type();
+  const Type *Dst = I->type();
+  if (Src->numElements() != Dst->numElements())
+    return fail(BB, I, "cast changes vector lane count (" +
+                           std::to_string(Src->numElements()) + " -> " +
+                           std::to_string(Dst->numElements()) + ")");
+  const Type *S = Src->scalarType();
+  const Type *D = Dst->scalarType();
+  switch (I->opcode()) {
+  case Opcode::Trunc:
+    if (!S->isInteger() || !D->isInteger())
+      return fail(BB, I, "trunc requires integer source and result");
+    if (D->integerBits() >= S->integerBits())
+      return fail(BB, I, "trunc must narrow (" + Src->str() + " -> " +
+                             Dst->str() + ")");
+    return Error::success();
+  case Opcode::ZExt:
+  case Opcode::SExt:
+    if (!S->isInteger() || !D->isInteger())
+      return fail(BB, I, std::string(opcodeName(I->opcode())) +
+                             " requires integer source and result");
+    if (D->integerBits() <= S->integerBits())
+      return fail(BB, I, std::string(opcodeName(I->opcode())) +
+                             " must widen (" + Src->str() + " -> " +
+                             Dst->str() + ")");
+    return Error::success();
+  case Opcode::FPToSI:
+    if (!S->isFloat() || !D->isInteger())
+      return fail(BB, I, "fptosi requires float source and integer result");
+    return Error::success();
+  case Opcode::SIToFP:
+    if (!S->isInteger() || !D->isFloat())
+      return fail(BB, I, "sitofp requires integer source and float result");
+    return Error::success();
+  case Opcode::FPTrunc:
+    if (S->kind() != TypeKind::F64 || D->kind() != TypeKind::F32)
+      return fail(BB, I, "fptrunc must convert f64 to f32");
+    return Error::success();
+  case Opcode::FPExt:
+    if (S->kind() != TypeKind::F32 || D->kind() != TypeKind::F64)
+      return fail(BB, I, "fpext must convert f32 to f64");
+    return Error::success();
+  default:
+    MPERF_UNREACHABLE("checkCast on non-cast opcode");
+  }
+}
+
+/// Phi incoming lists must mirror the CFG exactly: one incoming per
+/// predecessor, no incoming from a non-predecessor, no duplicates, and
+/// the operand/incoming-block arrays must be the same length.
+Error FunctionVerifier::checkPhi(const BasicBlock *BB, const Instruction *I) {
+  if (I->numIncomingBlocks() != I->numOperands())
+    return fail(BB, I,
+                "phi has " + std::to_string(I->numOperands()) +
+                    " values but " + std::to_string(I->numIncomingBlocks()) +
+                    " incoming blocks");
+  auto Preds = BB->predecessors();
+  if (I->numOperands() != Preds.size())
+    return fail(BB, I,
+                "phi has " + std::to_string(I->numOperands()) +
+                    " incoming values but block has " +
+                    std::to_string(Preds.size()) + " predecessors");
+  std::set<const BasicBlock *> PredSet(Preds.begin(), Preds.end());
+  std::set<const BasicBlock *> Seen;
+  for (unsigned V = 0, E = I->numOperands(); V != E; ++V) {
+    const BasicBlock *In = I->incomingBlock(V);
+    if (!In)
+      return fail(BB, I, "phi incoming block is null");
+    if (!PredSet.count(In))
+      return fail(BB, I,
+                  "phi incoming block '" + In->name() +
+                      "' is not a predecessor");
+    if (!Seen.insert(In).second)
+      return fail(BB, I,
+                  "phi has two incoming values for predecessor '" +
+                      In->name() + "'");
+  }
+  for (const BasicBlock *Pred : Preds)
+    if (!Seen.count(Pred))
+      return fail(BB, I,
+                  "phi missing incoming value for predecessor '" +
+                      Pred->name() + "'");
+  for (unsigned V = 0, E = I->numOperands(); V != E; ++V)
+    if (I->operand(V)->type() != I->type())
+      return fail(BB, I, "phi incoming value type mismatch");
+  return Error::success();
+}
+
 Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
                                          const Instruction *I) {
   if (Error E = checkOperandsVisible(BB, I))
@@ -131,6 +269,8 @@ Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
   if (Op == Opcode::FNeg) {
     if (Error E = WantOperands(1))
       return E;
+    if (I->operand(0)->type() != I->type())
+      return fail(BB, I, "fneg operand/result type mismatch");
     if (!I->type()->scalarType()->isFloat())
       return fail(BB, I, "fneg on non-float type");
     return Error::success();
@@ -138,6 +278,9 @@ Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
   if (Op == Opcode::Fma) {
     if (Error E = WantOperands(3))
       return E;
+    for (unsigned V = 0; V != 3; ++V)
+      if (I->operand(V)->type() != I->type())
+        return fail(BB, I, "fma operand/result type mismatch");
     if (!I->type()->scalarType()->isFloat())
       return fail(BB, I, "fma on non-float type");
     return Error::success();
@@ -155,11 +298,23 @@ Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
 
   switch (Op) {
   case Opcode::ICmp:
+    if (Error E = WantOperands(2))
+      return E;
+    if (I->operand(0)->type() != I->operand(1)->type())
+      return fail(BB, I, "comparison operand types differ");
+    if (!I->operand(0)->type()->scalarType()->isInteger() &&
+        !I->operand(0)->type()->scalarType()->isPointer())
+      return fail(BB, I, "icmp requires integer or pointer operands");
+    if (!I->type()->isI1())
+      return fail(BB, I, "comparison must produce i1");
+    return Error::success();
   case Opcode::FCmp:
     if (Error E = WantOperands(2))
       return E;
     if (I->operand(0)->type() != I->operand(1)->type())
       return fail(BB, I, "comparison operand types differ");
+    if (!I->operand(0)->type()->scalarType()->isFloat())
+      return fail(BB, I, "fcmp requires float operands");
     if (!I->type()->isI1())
       return fail(BB, I, "comparison must produce i1");
     return Error::success();
@@ -171,7 +326,9 @@ Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
   case Opcode::SIToFP:
   case Opcode::FPTrunc:
   case Opcode::FPExt:
-    return WantOperands(1);
+    if (Error E = WantOperands(1))
+      return E;
+    return checkCast(BB, I);
 
   case Opcode::Splat:
     if (Error E = WantOperands(1))
@@ -186,6 +343,10 @@ Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
       return E;
     if (!I->operand(0)->type()->isVector())
       return fail(BB, I, "extractelement on non-vector");
+    if (I->type() != I->operand(0)->type()->elementType())
+      return fail(BB, I, "extractelement result is not the element type");
+    if (!I->operand(1)->type()->isInteger())
+      return fail(BB, I, "extractelement lane index must be an integer");
     return Error::success();
 
   case Opcode::ReduceFAdd:
@@ -196,11 +357,17 @@ Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
       return fail(BB, I, "reduction on non-vector");
     if (I->operand(0)->type()->elementType() != I->type())
       return fail(BB, I, "reduction result type mismatch");
+    if (Op == Opcode::ReduceFAdd && !I->type()->isFloat())
+      return fail(BB, I, "reduce_fadd on non-float vector");
+    if (Op == Opcode::ReduceAdd && !I->type()->isInteger())
+      return fail(BB, I, "reduce_add on non-integer vector");
     return Error::success();
 
   case Opcode::Alloca:
     if (Error E = WantOperands(0))
       return E;
+    if (!I->type()->isPointer())
+      return fail(BB, I, "alloca must yield a pointer");
     if (I->allocaBytes() == 0)
       return fail(BB, I, "alloca of zero bytes");
     return Error::success();
@@ -210,6 +377,8 @@ Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
       return fail(BB, I, "load takes a pointer and an optional stride");
     if (!I->operand(0)->type()->isPointer())
       return fail(BB, I, "load address is not a pointer");
+    if (I->type()->isVoid())
+      return fail(BB, I, "load must produce a value");
     if (I->numOperands() == 2) {
       if (!I->type()->isVector())
         return fail(BB, I, "strided load must produce a vector");
@@ -222,6 +391,8 @@ Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
   case Opcode::Store:
     if (I->numOperands() != 2 && I->numOperands() != 3)
       return fail(BB, I, "store takes value, pointer, optional stride");
+    if (I->operand(0)->type()->isVoid())
+      return fail(BB, I, "store of a void value");
     if (!I->operand(1)->type()->isPointer())
       return fail(BB, I, "store address is not a pointer");
     if (I->numOperands() == 3) {
@@ -239,6 +410,8 @@ Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
     if (!I->operand(0)->type()->isPointer() ||
         !I->operand(1)->type()->isInteger())
       return fail(BB, I, "ptradd requires (ptr, integer)");
+    if (!I->type()->isPointer())
+      return fail(BB, I, "ptradd must yield a pointer");
     return Error::success();
 
   case Opcode::Br:
@@ -281,24 +454,8 @@ Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
     return Error::success();
   }
 
-  case Opcode::Phi: {
-    auto Preds = BB->predecessors();
-    if (I->numOperands() != Preds.size())
-      return fail(BB, I,
-                  "phi has " + std::to_string(I->numOperands()) +
-                      " incoming values but block has " +
-                      std::to_string(Preds.size()) + " predecessors");
-    for (const BasicBlock *Pred : Preds) {
-      if (!I->incomingValueFor(Pred))
-        return fail(BB, I,
-                    "phi missing incoming value for predecessor '" +
-                        Pred->name() + "'");
-    }
-    for (unsigned V = 0, E = I->numOperands(); V != E; ++V)
-      if (I->operand(V)->type() != I->type())
-        return fail(BB, I, "phi incoming value type mismatch");
-    return Error::success();
-  }
+  case Opcode::Phi:
+    return checkPhi(BB, I);
 
   case Opcode::Select:
     if (Error E = WantOperands(3))
@@ -315,17 +472,97 @@ Error FunctionVerifier::checkInstruction(const BasicBlock *BB,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Pass 3: SSA (dominance + dataflow)
+//===----------------------------------------------------------------------===//
+
+Error FunctionVerifier::checkSSA() {
+  analysis::DominatorTree DT(F);
+
+  // The entry block owns the function's incoming edge; a branch back
+  // into it would give it a predecessor no phi could describe.
+  if (!F.entry()->predecessors().empty())
+    return fail(F.entry(), nullptr, "entry block must not have predecessors");
+
+  // Defs must dominate uses. Uses inside blocks unreachable from the
+  // entry are exempt (they can never execute), matching LLVM; but a
+  // reachable use of a value defined only in unreachable code is an
+  // error.
+  for (const BasicBlock *BB : F) {
+    if (!DT.isReachable(BB))
+      continue;
+    for (const Instruction *I : *BB) {
+      if (I->opcode() == Opcode::Phi) {
+        for (unsigned V = 0, E = I->numOperands(); V != E; ++V) {
+          const auto *OpInst = dyn_cast<Instruction>(I->operand(V));
+          if (!OpInst)
+            continue;
+          const BasicBlock *In = I->incomingBlock(V);
+          if (!DT.isReachable(In))
+            continue;
+          // The incoming value is consumed at the end of the incoming
+          // predecessor: its definition must dominate that block (it
+          // is "live-out of the named predecessor").
+          if (!DT.isReachable(OpInst->parent()) ||
+              !DT.dominates(OpInst->parent(), In))
+            return fail(BB, I,
+                        "phi incoming value '%" + OpInst->name() +
+                            "' does not dominate predecessor '" + In->name() +
+                            "'");
+        }
+        continue;
+      }
+      for (const Value *Op : I->operands()) {
+        const auto *OpInst = dyn_cast<Instruction>(Op);
+        if (!OpInst)
+          continue;
+        const BasicBlock *DefBB = OpInst->parent();
+        if (DefBB == BB) {
+          if (BB->indexOf(OpInst) >= BB->indexOf(I))
+            return fail(BB, I,
+                        "use of '%" + OpInst->name() +
+                            "' before its definition");
+          continue;
+        }
+        if (!DT.isReachable(DefBB) || !DT.dominates(DefBB, BB))
+          return fail(BB, I,
+                      "definition of '%" + OpInst->name() +
+                          "' does not dominate this use");
+      }
+    }
+  }
+
+  // Dataflow cross-check: liveness attributes phi uses to the incoming
+  // edge, so for well-formed SSA nothing but arguments can be live
+  // into the entry. Any instruction value that is proves a path from
+  // the entry to a use that never passes the definition.
+  analysis::Liveness LV(F, DT);
+  const analysis::BitSet &EntryIn = LV.liveIn(F.entry());
+  for (unsigned V = 0, E = EntryIn.size(); V != E; ++V) {
+    if (!EntryIn.test(V))
+      continue;
+    const ir::Value *Val = LV.numbering().value(V);
+    if (isa<Argument>(Val))
+      continue;
+    return fail(F.entry(), dyn_cast<Instruction>(Val),
+                "value '%" + Val->name() +
+                    "' is live into the entry block "
+                    "(used before defined on some path)");
+  }
+  return Error::success();
+}
+
 Error FunctionVerifier::run() {
   if (F.isDeclaration())
     return Error::success();
-  for (const BasicBlock *BB : F) {
+  for (const BasicBlock *BB : F)
     if (Error E = checkBlockShape(BB))
       return E;
+  for (const BasicBlock *BB : F)
     for (const Instruction *I : *BB)
       if (Error E = checkInstruction(BB, I))
         return E;
-  }
-  return Error::success();
+  return checkSSA();
 }
 
 Error mperf::ir::verifyFunction(const Function &F) {

@@ -1,0 +1,844 @@
+//===- LowerCheck.cpp - Post-lowering micro-op cross-checker -------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// The checker walks the micro-op stream in lockstep with the slot form
+// it was lowered from. It accepts any valid lowering rather than
+// replaying the Lowerer's decisions — a fused or quickened micro-op is
+// fine exactly when it decomposes back to the slot-form instructions
+// it claims to replace, and a phi-move sequence is fine exactly when
+// its sequential effect equals the edge's parallel-copy semantics.
+// Re-running the lowering logic here would faithfully reproduce its
+// bugs; observation does not.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/LowerCheck.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace mperf;
+using namespace mperf::vm;
+using namespace mperf::ir;
+
+namespace {
+
+inline uint64_t maskOf(unsigned Bits) {
+  return Bits >= 64 ? ~0ull : ((1ULL << Bits) - 1);
+}
+
+inline bool sameImm(const RtValue &A, const RtValue &B) {
+  // Bit comparison: pool immediates are copied verbatim from the slot
+  // form, so NaN payloads and signed zeros must survive exactly.
+  return std::memcmp(&A, &B, sizeof(RtValue)) == 0;
+}
+
+/// Checks one function's MicroProgram against its slot form.
+class LowerChecker {
+public:
+  LowerChecker(const CompiledFunction &CF, const MicroProgram &MP)
+      : CF(CF), MP(MP), Scratch(static_cast<int32_t>(CF.NumSlots)) {}
+
+  Error run();
+
+private:
+  const CompiledFunction &CF;
+  const MicroProgram &MP;
+  const int32_t Scratch;
+
+  std::vector<char> Visited;
+  std::vector<int32_t> BlockStart;
+  size_t MainEnd = 0;
+
+  /// A branch field to resolve once every block's start is known.
+  struct PendingBr {
+    size_t Uop;
+    int32_t Succ;
+  };
+  std::vector<PendingBr> Brs;
+  /// A two-way branch whose edges may route through phi-move stubs.
+  struct PendingCond {
+    size_t Uop;
+    int32_t Succ0, Succ1;
+    const CBlock *CB;
+  };
+  std::vector<PendingCond> Conds;
+
+  Error fail(size_t Uop, std::string Why) const {
+    std::string Msg =
+        "lowering check: in function '" + CF.F->name() + "', micro-op #" +
+        std::to_string(Uop);
+    const Instruction *I =
+        Uop < MP.Code.size() ? MP.Code[Uop].Inst : nullptr;
+    if (I && I->hasName())
+      Msg += " (for '%" + I->name() + "')";
+    if (I && I->loc().isValid())
+      Msg += " (" + I->loc().str() + ")";
+    Msg += ": " + Why;
+    return Error(std::move(Msg));
+  }
+
+  //===--------------------------------------------------------------===//
+  // Field validity
+  //===--------------------------------------------------------------===//
+
+  Error checkRef(size_t Uop, int32_t Ref, const char *What,
+                 bool AllowScratch = false) const {
+    if (Ref >= 0) {
+      int32_t Limit = AllowScratch ? Scratch + 1 : Scratch;
+      if (Ref >= Limit)
+        return fail(Uop, std::string(What) + " slot " + std::to_string(Ref) +
+                             " outside the frame of " +
+                             std::to_string(CF.NumSlots) + " slots");
+      return Error::success();
+    }
+    size_t Idx = static_cast<size_t>(-Ref) - 1;
+    if (Idx >= MP.Imms.size())
+      return fail(Uop, std::string(What) + " immediate index " +
+                           std::to_string(Idx) + " outside the pool of " +
+                           std::to_string(MP.Imms.size()) + " entries");
+    return Error::success();
+  }
+
+  Error checkDest(size_t Uop, int32_t Dest, bool AllowScratch = false) const {
+    if (Dest < 0)
+      return Error::success();
+    return checkRef(Uop, Dest, "result", AllowScratch);
+  }
+
+  /// The packed ref \p Ref must denote the same operand as \p R.
+  Error checkRefEquiv(size_t Uop, int32_t Ref, const OperandRef &R,
+                      const char *What) const {
+    if (Error E = checkRef(Uop, Ref, What))
+      return E;
+    if (R.Slot >= 0) {
+      if (Ref != R.Slot)
+        return fail(Uop, std::string(What) + " reads slot " +
+                             std::to_string(Ref) + ", expected slot " +
+                             std::to_string(R.Slot));
+      return Error::success();
+    }
+    if (Ref >= 0)
+      return fail(Uop, std::string(What) + " reads slot " +
+                           std::to_string(Ref) +
+                           ", expected an immediate");
+    if (!sameImm(MP.Imms[static_cast<size_t>(-Ref) - 1], R.Imm))
+      return fail(Uop, std::string(What) +
+                           " immediate differs from the slot form's value");
+    return Error::success();
+  }
+
+  /// Result mask derived from the source IR type (not from the cached
+  /// slot-form facts, so drift in either layer is caught).
+  uint64_t expectedMask(const CInst &CI) const {
+    const Instruction *I = CI.I;
+    if (I->opcode() == Opcode::Alloca)
+      return I->allocaBytes();
+    const Type *Ty = I->opcode() == Opcode::Store ? I->operand(0)->type()
+                                                  : I->type();
+    const Type *S = Ty->scalarType();
+    return S->isInteger() ? maskOf(S->integerBits()) : ~0ull;
+  }
+
+  Error checkCommon(size_t Uop, const MicroOp &U, const CInst &CI) const {
+    if (U.Inst != CI.I)
+      return fail(Uop, "trace attribution points at the wrong instruction");
+    if (U.Class != CI.Class)
+      return fail(Uop, "op class differs from the slot form");
+    if (U.Mask != expectedMask(CI))
+      return fail(Uop, "result mask inconsistent with the IR result type");
+    if (Error E = checkDest(Uop, U.Dest))
+      return E;
+    return Error::success();
+  }
+
+  //===--------------------------------------------------------------===//
+  // Phi-move equivalence
+  //===--------------------------------------------------------------===//
+
+  static bool isMove(MicroKind K) {
+    return K == MicroKind::MoveS || K == MicroKind::MoveW ||
+           K == MicroKind::MoveSJ || K == MicroKind::MoveWJ;
+  }
+  static bool isScalarMove(MicroKind K) {
+    return K == MicroKind::MoveS || K == MicroKind::MoveSJ;
+  }
+
+  /// Symbolic value of one slot during move simulation.
+  struct Token {
+    bool FromImm = false;
+    int32_t Slot = -1; ///< original slot identity when !FromImm
+    RtValue Imm{};     ///< the constant when FromImm
+    /// The value passed through a lane-0-only scalar move; acceptable
+    /// for scalar phis, loses lanes of wide ones.
+    bool Narrowed = false;
+  };
+
+  /// Simulates the emitted \p Moves sequence and checks its effect
+  /// equals the parallel-copy semantics of \p Expect. \p Where labels
+  /// the sequence (inline vs stub) in diagnostics; \p FirstUop anchors
+  /// them.
+  Error checkMoveEquivalence(const std::vector<const MicroOp *> &Moves,
+                             const std::vector<EdgeMove> &Expect,
+                             size_t FirstUop, const char *Where) const {
+    std::map<int32_t, Token> State;
+    auto Lookup = [&](int32_t Slot) -> Token {
+      auto It = State.find(Slot);
+      if (It != State.end())
+        return It->second;
+      Token T;
+      T.Slot = Slot;
+      return T;
+    };
+    for (const MicroOp *U : Moves) {
+      Token T;
+      if (U->A >= 0) {
+        T = Lookup(U->A);
+      } else {
+        T.FromImm = true;
+        T.Imm = MP.Imms[static_cast<size_t>(-U->A) - 1];
+      }
+      if (isScalarMove(U->Kind))
+        T.Narrowed = true;
+      State[U->Dest] = T;
+    }
+
+    for (const EdgeMove &M : Expect) {
+      Token Actual = Lookup(M.Dest);
+      if (M.Src.Slot >= 0) {
+        if (Actual.FromImm || Actual.Slot != M.Src.Slot)
+          return fail(FirstUop,
+                      std::string(Where) + " leaves slot " +
+                          std::to_string(M.Dest) +
+                          " without the value of slot " +
+                          std::to_string(M.Src.Slot));
+      } else {
+        if (!Actual.FromImm || !sameImm(Actual.Imm, M.Src.Imm))
+          return fail(FirstUop, std::string(Where) + " leaves slot " +
+                                    std::to_string(M.Dest) +
+                                    " without the phi's constant");
+      }
+      if (M.Lanes > 1 && Actual.Narrowed)
+        return fail(FirstUop, std::string(Where) + " routes the wide (" +
+                                  std::to_string(M.Lanes) +
+                                  "-lane) phi value of slot " +
+                                  std::to_string(M.Dest) +
+                                  " through a scalar move");
+    }
+
+    // Nothing but the phi destinations and the scratch slot may change.
+    for (const auto &KV : State) {
+      int32_t Slot = KV.first;
+      if (Slot == Scratch)
+        continue;
+      bool IsPhiDest = false;
+      for (const EdgeMove &M : Expect)
+        IsPhiDest |= M.Dest == Slot;
+      if (IsPhiDest)
+        continue;
+      const Token &T = KV.second;
+      if (T.FromImm || T.Slot != Slot)
+        return fail(FirstUop, std::string(Where) + " clobbers slot " +
+                                  std::to_string(Slot) +
+                                  ", which no phi on this edge writes");
+    }
+    return Error::success();
+  }
+
+  /// Validates a move op's own fields (moves may write the scratch
+  /// slot, everything else may not).
+  Error checkMoveOp(size_t Uop, const MicroOp &U) const {
+    if (Error E = checkRef(Uop, U.A, "move source", /*AllowScratch=*/true))
+      return E;
+    if (U.Dest < 0)
+      return fail(Uop, "phi move without a destination slot");
+    return checkDest(Uop, U.Dest, /*AllowScratch=*/true);
+  }
+
+  //===--------------------------------------------------------------===//
+  // Per-instruction lowering
+  //===--------------------------------------------------------------===//
+
+  Error checkOne(size_t Uop, const CInst &CI);
+  Error checkFusedICmpBr(size_t Uop, const CInst &Cmp, const CInst &Br);
+  Error checkFusedLatch(size_t Uop, const CInst &Add, const CInst &Cmp,
+                        const CInst &Br);
+
+  Error walkBlocks();
+  Error resolveBranches();
+  static const std::vector<EdgeMove> &movesFor(const CBlock &CB, size_t Edge);
+};
+
+const std::vector<EdgeMove> &LowerChecker::movesFor(const CBlock &CB,
+                                                    size_t Edge) {
+  static const std::vector<EdgeMove> None;
+  return Edge < CB.Moves.size() ? CB.Moves[Edge] : None;
+}
+
+Error LowerChecker::checkOne(size_t Uop, const CInst &CI) {
+  const MicroOp &U = MP.Code[Uop];
+  if (Error E = checkCommon(Uop, U, CI))
+    return E;
+  auto Want = [&](MicroKind K) -> Error {
+    if (U.Kind != K)
+      return fail(Uop, "unexpected micro-op kind for '" +
+                           std::string(opcodeName(CI.Op)) + "'");
+    return Error::success();
+  };
+  auto Ref = [&](int32_t Packed, size_t OpIdx, const char *What) -> Error {
+    return checkRefEquiv(Uop, Packed, CI.Ops[OpIdx], What);
+  };
+
+  switch (CI.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::URem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr: {
+    if (CI.Lanes > 1) {
+      if (Error E = Want(MicroKind::IntBinV))
+        return E;
+      if (U.Aux != static_cast<uint8_t>(CI.Op))
+        return fail(Uop, "vector int op sub-opcode mismatch");
+      if (Error E = Ref(U.A, 0, "left operand"))
+        return E;
+      return Ref(U.B, 1, "right operand");
+    }
+    static const std::pair<Opcode, MicroKind> Plain[] = {
+        {Opcode::Add, MicroKind::AddS},   {Opcode::Sub, MicroKind::SubS},
+        {Opcode::Mul, MicroKind::MulS},   {Opcode::SDiv, MicroKind::SDivS},
+        {Opcode::UDiv, MicroKind::UDivS}, {Opcode::SRem, MicroKind::SRemS},
+        {Opcode::URem, MicroKind::URemS}, {Opcode::And, MicroKind::AndS},
+        {Opcode::Or, MicroKind::OrS},     {Opcode::Xor, MicroKind::XorS},
+        {Opcode::Shl, MicroKind::ShlS},   {Opcode::LShr, MicroKind::LShrS},
+        {Opcode::AShr, MicroKind::AShrS}};
+    static const std::pair<Opcode, MicroKind> Quick[] = {
+        {Opcode::Add, MicroKind::AddSI},   {Opcode::Sub, MicroKind::SubSI},
+        {Opcode::Mul, MicroKind::MulSI},   {Opcode::And, MicroKind::AndSI},
+        {Opcode::Or, MicroKind::OrSI},     {Opcode::Xor, MicroKind::XorSI},
+        {Opcode::Shl, MicroKind::ShlSI},   {Opcode::LShr, MicroKind::LShrSI},
+        {Opcode::AShr, MicroKind::AShrSI}};
+    for (const auto &Q : Quick)
+      if (Q.second == U.Kind) {
+        // Quickened immediate form: only valid for this opcode with a
+        // constant right operand, whose value must ride in Imm.
+        if (Q.first != CI.Op)
+          return fail(Uop, "quickened micro-op for the wrong opcode");
+        if (CI.Ops[1].Slot >= 0)
+          return fail(Uop, "quickened form of a non-constant right operand");
+        if (U.Imm != CI.Ops[1].Imm.I[0])
+          return fail(Uop,
+                      "quickened immediate differs from the IR constant");
+        return Ref(U.A, 0, "left operand");
+      }
+    for (const auto &M : Plain)
+      if (M.first == CI.Op) {
+        if (Error E = Want(M.second))
+          return E;
+        if (Error E = Ref(U.A, 0, "left operand"))
+          return E;
+        return Ref(U.B, 1, "right operand");
+      }
+    MPERF_UNREACHABLE("int binop not in kind tables");
+  }
+
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv: {
+    if (CI.Lanes > 1) {
+      if (Error E = Want(MicroKind::FpBinV))
+        return E;
+      if (U.Aux != static_cast<uint8_t>(CI.Op))
+        return fail(Uop, "vector fp op sub-opcode mismatch");
+    } else {
+      static const MicroKind Map[] = {MicroKind::FAddS, MicroKind::FSubS,
+                                      MicroKind::FMulS, MicroKind::FDivS};
+      if (Error E = Want(Map[static_cast<unsigned>(CI.Op) -
+                             static_cast<unsigned>(Opcode::FAdd)]))
+        return E;
+    }
+    if (Error E = Ref(U.A, 0, "left operand"))
+      return E;
+    return Ref(U.B, 1, "right operand");
+  }
+
+  case Opcode::FNeg:
+    if (Error E =
+            Want(CI.Lanes > 1 ? MicroKind::FNegV : MicroKind::FNegS))
+      return E;
+    return Ref(U.A, 0, "operand");
+
+  case Opcode::Fma:
+    if (Error E = Want(CI.Lanes > 1 ? MicroKind::FmaV : MicroKind::FmaS))
+      return E;
+    if (Error E = Ref(U.A, 0, "multiplicand"))
+      return E;
+    if (Error E = Ref(U.B, 1, "multiplier"))
+      return E;
+    return Ref(U.C, 2, "addend");
+
+  case Opcode::ICmp:
+    if (Error E = Want(MicroKind::ICmpS))
+      return E;
+    if (U.Aux != static_cast<uint8_t>(CI.IPred))
+      return fail(Uop, "icmp predicate mismatch");
+    if (Error E = Ref(U.A, 0, "left operand"))
+      return E;
+    return Ref(U.B, 1, "right operand");
+
+  case Opcode::FCmp:
+    if (Error E = Want(MicroKind::FCmpS))
+      return E;
+    if (U.Aux != static_cast<uint8_t>(CI.FPred))
+      return fail(Uop, "fcmp predicate mismatch");
+    if (Error E = Ref(U.A, 0, "left operand"))
+      return E;
+    return Ref(U.B, 1, "right operand");
+
+  case Opcode::Trunc:
+  case Opcode::ZExt:
+    if (Error E = Want(MicroKind::TruncZExtS))
+      return E;
+    return Ref(U.A, 0, "operand");
+  case Opcode::SExt:
+    if (Error E = Want(MicroKind::SExtS))
+      return E;
+    return Ref(U.A, 0, "operand");
+  case Opcode::FPToSI:
+    if (Error E = Want(MicroKind::FPToSIS))
+      return E;
+    return Ref(U.A, 0, "operand");
+  case Opcode::SIToFP:
+    if (Error E = Want(MicroKind::SIToFPS))
+      return E;
+    return Ref(U.A, 0, "operand");
+  case Opcode::FPTrunc:
+    if (Error E = Want(MicroKind::FPTruncS))
+      return E;
+    return Ref(U.A, 0, "operand");
+  case Opcode::FPExt:
+    if (Error E = Want(MicroKind::FPExtS))
+      return E;
+    return Ref(U.A, 0, "operand");
+
+  case Opcode::Splat:
+    if (Error E = Want(MicroKind::SplatV))
+      return E;
+    return Ref(U.A, 0, "operand");
+  case Opcode::ExtractElement:
+    if (Error E = Want(MicroKind::ExtractV))
+      return E;
+    if (Error E = Ref(U.A, 0, "vector operand"))
+      return E;
+    return Ref(U.B, 1, "lane index");
+  case Opcode::ReduceFAdd:
+    if (Error E = Want(MicroKind::ReduceFAddV))
+      return E;
+    return Ref(U.A, 0, "operand");
+  case Opcode::ReduceAdd:
+    if (Error E = Want(MicroKind::ReduceAddV))
+      return E;
+    return Ref(U.A, 0, "operand");
+
+  case Opcode::Alloca:
+    return Want(MicroKind::AllocaS); // size checked via the mask rule
+
+  case Opcode::Load: {
+    MicroKind K = (CI.Lanes > 1 || CI.HasStrideOperand) ? MicroKind::LoadV
+                  : CI.IsFp ? (CI.F32 ? MicroKind::LoadSF32
+                                      : MicroKind::LoadSF64)
+                            : MicroKind::LoadSInt;
+    if (Error E = Want(K))
+      return E;
+    if (Error E = Ref(U.A, 0, "address"))
+      return E;
+    if (CI.HasStrideOperand)
+      return Ref(U.B, 1, "stride");
+    return Error::success();
+  }
+  case Opcode::Store: {
+    MicroKind K = (CI.Lanes > 1 || CI.HasStrideOperand) ? MicroKind::StoreV
+                  : CI.IsFp ? (CI.F32 ? MicroKind::StoreSF32
+                                      : MicroKind::StoreSF64)
+                            : MicroKind::StoreSInt;
+    if (Error E = Want(K))
+      return E;
+    if (Error E = Ref(U.A, 0, "stored value"))
+      return E;
+    if (Error E = Ref(U.B, 1, "address"))
+      return E;
+    if (CI.HasStrideOperand)
+      return Ref(U.C, 2, "stride");
+    return Error::success();
+  }
+
+  case Opcode::PtrAdd:
+    if (Error E = Want(MicroKind::PtrAddS))
+      return E;
+    if (Error E = Ref(U.A, 0, "base"))
+      return E;
+    return Ref(U.B, 1, "offset");
+
+  case Opcode::Select:
+    if (Error E = Want(MicroKind::SelectS))
+      return E;
+    if (Error E = Ref(U.A, 0, "condition"))
+      return E;
+    if (Error E = Ref(U.B, 1, "true value"))
+      return E;
+    return Ref(U.C, 2, "false value");
+
+  case Opcode::Br:
+    return Want(MicroKind::Br); // target resolved in resolveBranches
+
+  case Opcode::CondBr:
+    if (Error E = Want(MicroKind::CondBr))
+      return E;
+    return Ref(U.A, 0, "condition");
+
+  case Opcode::Ret: {
+    if (Error E = Want(MicroKind::Ret))
+      return E;
+    bool HasVal = (U.Flags & MicroFlagHasRetVal) != 0;
+    if (HasVal != !CI.Ops.empty())
+      return fail(Uop, "ret value flag disagrees with the slot form");
+    if (HasVal)
+      return Ref(U.A, 0, "return value");
+    return Error::success();
+  }
+
+  case Opcode::Call: {
+    if (Error E = Want(MicroKind::Call))
+      return E;
+    if (U.B != static_cast<int32_t>(CI.Ops.size()))
+      return fail(Uop, "call argument count mismatch");
+    if (U.A < 0 ||
+        static_cast<size_t>(U.A) + CI.Ops.size() > MP.ArgPool.size())
+      return fail(Uop, "call argument window outside the pool");
+    for (size_t A = 0; A != CI.Ops.size(); ++A)
+      if (Error E = checkRefEquiv(Uop, MP.ArgPool[static_cast<size_t>(U.A) + A],
+                                  CI.Ops[A], "call argument"))
+        return E;
+    if (U.Tgt0 < 0 || static_cast<size_t>(U.Tgt0) >= MP.Callees.size())
+      return fail(Uop, "call target index outside the callee pool");
+    if (MP.Callees[static_cast<size_t>(U.Tgt0)] != CI.Callee)
+      return fail(Uop, "call targets the wrong function");
+    return Error::success();
+  }
+
+  case Opcode::Phi:
+    MPERF_UNREACHABLE("phi in slot form");
+  }
+  MPERF_UNREACHABLE("unhandled opcode in lowering check");
+}
+
+Error LowerChecker::checkFusedICmpBr(size_t Uop, const CInst &Cmp,
+                                     const CInst &Br) {
+  const MicroOp &U = MP.Code[Uop];
+  // The fusion is only sound when the branch really consumes the
+  // freshly computed flag of a scalar compare.
+  if (Cmp.Op != Opcode::ICmp || Cmp.Lanes != 1)
+    return fail(Uop, "ICmpBrS does not decompose: preceding op is not a "
+                     "scalar icmp");
+  if (Br.Op != Opcode::CondBr || Br.Ops[0].Slot != Cmp.Dest)
+    return fail(Uop, "ICmpBrS does not decompose: branch condition is not "
+                     "the fused compare's flag");
+  if (Error E = checkCommon(Uop, U, Cmp))
+    return E;
+  if (U.Aux != static_cast<uint8_t>(Cmp.IPred))
+    return fail(Uop, "fused icmp predicate mismatch");
+  if (Error E = checkRefEquiv(Uop, U.A, Cmp.Ops[0], "left operand"))
+    return E;
+  if (Error E = checkRefEquiv(Uop, U.B, Cmp.Ops[1], "right operand"))
+    return E;
+  if (U.Imm != reinterpret_cast<uint64_t>(Br.I))
+    return fail(Uop, "fused branch attribution points at the wrong "
+                     "instruction");
+  return Error::success();
+}
+
+Error LowerChecker::checkFusedLatch(size_t Uop, const CInst &Add,
+                                    const CInst &Cmp, const CInst &Br) {
+  const MicroOp &U = MP.Code[Uop];
+  if (Add.Op != Opcode::Add || Add.Lanes != 1 || Add.Dest < 0)
+    return fail(Uop, "AddICmpBr does not decompose: leading op is not a "
+                     "scalar add with a result");
+  if (Cmp.Op != Opcode::ICmp || Cmp.Lanes != 1 ||
+      Cmp.Ops[0].Slot != Add.Dest)
+    return fail(Uop, "AddICmpBr does not decompose: compare does not read "
+                     "the fused add's result");
+  if (Br.Op != Opcode::CondBr || Br.Ops[0].Slot != Cmp.Dest)
+    return fail(Uop, "AddICmpBr does not decompose: branch condition is "
+                     "not the fused compare's flag");
+  if (Error E = checkCommon(Uop, U, Add))
+    return E;
+  if (U.Aux != static_cast<uint8_t>(Cmp.IPred))
+    return fail(Uop, "fused latch predicate mismatch");
+  if (Error E = checkRefEquiv(Uop, U.A, Add.Ops[0], "add left operand"))
+    return E;
+  if (Error E = checkRefEquiv(Uop, U.B, Add.Ops[1], "add right operand"))
+    return E;
+  if (Error E = checkRefEquiv(Uop, U.C, Cmp.Ops[1], "compare bound"))
+    return E;
+  if (U.Imm >= MP.Latches.size())
+    return fail(Uop, "latch index " + std::to_string(U.Imm) +
+                         " outside the pool of " +
+                         std::to_string(MP.Latches.size()) + " latches");
+  const MicroLatch &L = MP.Latches[U.Imm];
+  if (L.CmpDest != Cmp.Dest)
+    return fail(Uop, "latch flag slot differs from the compare's result "
+                     "slot");
+  if (Error E = checkDest(Uop, L.CmpDest))
+    return E;
+  if (L.CmpInst != Cmp.I || L.BrInst != Br.I)
+    return fail(Uop, "latch trace attribution points at the wrong "
+                     "instructions");
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Stream walk
+//===----------------------------------------------------------------------===//
+
+Error LowerChecker::walkBlocks() {
+  size_t PC = 0;
+  BlockStart.assign(CF.Blocks.size(), -1);
+  for (size_t B = 0; B != CF.Blocks.size(); ++B) {
+    const CBlock &CB = CF.Blocks[B];
+    BlockStart[B] = static_cast<int32_t>(PC);
+    for (size_t I = 0; I != CB.Insts.size(); ++I) {
+      const CInst &CI = CB.Insts[I];
+      if (PC >= MP.Code.size())
+        return fail(PC, "micro-op stream ends inside block #" +
+                            std::to_string(B));
+      const MicroOp &U = MP.Code[PC];
+
+      if (U.Kind == MicroKind::AddICmpBr) {
+        if (I + 2 >= CB.Insts.size())
+          return fail(PC, "AddICmpBr claims instructions past the block "
+                          "end");
+        const CInst &Cmp = CB.Insts[I + 1];
+        const CInst &Br = CB.Insts[I + 2];
+        if (Error E = checkFusedLatch(PC, CI, Cmp, Br))
+          return E;
+        Conds.push_back({PC, Br.Succ0, Br.Succ1, &CB});
+        Visited[PC++] = 1;
+        I += 2;
+        continue;
+      }
+      if (U.Kind == MicroKind::ICmpBrS) {
+        if (I + 1 >= CB.Insts.size())
+          return fail(PC, "ICmpBrS claims instructions past the block end");
+        const CInst &Br = CB.Insts[I + 1];
+        if (Error E = checkFusedICmpBr(PC, CI, Br))
+          return E;
+        Conds.push_back({PC, Br.Succ0, Br.Succ1, &CB});
+        Visited[PC++] = 1;
+        I += 1;
+        continue;
+      }
+
+      if (CI.Op == Opcode::Br) {
+        // The edge's phi moves run inline before the branch.
+        std::vector<const MicroOp *> Inline;
+        size_t First = PC;
+        while (PC < MP.Code.size() && (MP.Code[PC].Kind == MicroKind::MoveS ||
+                                       MP.Code[PC].Kind == MicroKind::MoveW)) {
+          if (Error E = checkMoveOp(PC, MP.Code[PC]))
+            return E;
+          Inline.push_back(&MP.Code[PC]);
+          Visited[PC++] = 1;
+        }
+        if (PC >= MP.Code.size() || MP.Code[PC].Kind != MicroKind::Br)
+          return fail(First, "inline phi moves are not followed by the "
+                             "unconditional branch");
+        if (Error E = checkMoveEquivalence(Inline, movesFor(CB, 0), First,
+                                           "inline move sequence"))
+          return E;
+        if (Error E = checkOne(PC, CI))
+          return E;
+        Brs.push_back({PC, CI.Succ0});
+        Visited[PC++] = 1;
+        continue;
+      }
+
+      if (Error E = checkOne(PC, CI))
+        return E;
+      if (CI.Op == Opcode::CondBr)
+        Conds.push_back({PC, CI.Succ0, CI.Succ1, &CB});
+      Visited[PC++] = 1;
+    }
+  }
+  MainEnd = PC;
+  return Error::success();
+}
+
+Error LowerChecker::resolveBranches() {
+  auto CheckBlockIndex = [&](size_t Uop, int32_t Block) -> Error {
+    if (Block < 0 || static_cast<size_t>(Block) >= BlockStart.size())
+      return fail(Uop, "branch successor block index " +
+                           std::to_string(Block) + " out of range");
+    return Error::success();
+  };
+
+  for (const PendingBr &P : Brs) {
+    if (Error E = CheckBlockIndex(P.Uop, P.Succ))
+      return E;
+    if (MP.Code[P.Uop].Tgt0 != BlockStart[static_cast<size_t>(P.Succ)])
+      return fail(P.Uop, "branch target does not land on the successor "
+                         "block's first micro-op");
+  }
+
+  for (const PendingCond &P : Conds) {
+    const MicroOp &U = MP.Code[P.Uop];
+    for (int E2 = 0; E2 != 2; ++E2) {
+      int32_t Succ = E2 == 0 ? P.Succ0 : P.Succ1;
+      int32_t Tgt = E2 == 0 ? U.Tgt0 : U.Tgt1;
+      if (Error E = CheckBlockIndex(P.Uop, Succ))
+        return E;
+      const std::vector<EdgeMove> &Expect =
+          movesFor(*P.CB, static_cast<size_t>(E2));
+      int32_t Direct = BlockStart[static_cast<size_t>(Succ)];
+      if (Tgt < 0 || static_cast<size_t>(Tgt) >= MP.Code.size())
+        return fail(P.Uop, "branch target index " + std::to_string(Tgt) +
+                               " outside the code array");
+      if (Tgt == Direct) {
+        // A direct edge is only equivalent when the phis demand nothing
+        // (no moves, or self-moves only).
+        std::vector<const MicroOp *> NoMoves;
+        if (Error E = checkMoveEquivalence(NoMoves, Expect, P.Uop,
+                                           "move-free edge"))
+          return E;
+        continue;
+      }
+      // The edge routes through a phi-move stub emitted after the
+      // straight-line code: moves, then a fused jump (or bare Goto).
+      if (static_cast<size_t>(Tgt) < MainEnd)
+        return fail(P.Uop, "conditional edge jumps into the middle of "
+                           "block code");
+      std::vector<const MicroOp *> StubMoves;
+      size_t T = static_cast<size_t>(Tgt);
+      int32_t FinalTgt = -1;
+      for (;; ++T) {
+        if (T >= MP.Code.size())
+          return fail(P.Uop, "phi-move stub runs off the end of the code "
+                             "array");
+        if (Visited[T])
+          return fail(T, "micro-op claimed by two owners (block or stub "
+                         "overlap)");
+        const MicroOp &S = MP.Code[T];
+        if (S.Kind == MicroKind::MoveS || S.Kind == MicroKind::MoveW) {
+          if (Error E = checkMoveOp(T, S))
+            return E;
+          StubMoves.push_back(&S);
+          Visited[T] = 1;
+          continue;
+        }
+        if (S.Kind == MicroKind::MoveSJ || S.Kind == MicroKind::MoveWJ) {
+          if (Error E = checkMoveOp(T, S))
+            return E;
+          StubMoves.push_back(&S);
+          Visited[T] = 1;
+          FinalTgt = S.Tgt0;
+          break;
+        }
+        if (S.Kind == MicroKind::Goto) {
+          Visited[T] = 1;
+          FinalTgt = S.Tgt0;
+          break;
+        }
+        return fail(T, "non-move micro-op inside a phi-move stub");
+      }
+      if (FinalTgt != Direct)
+        return fail(T, "phi-move stub does not jump to the successor "
+                       "block's first micro-op");
+      if (Error E = checkMoveEquivalence(StubMoves, Expect,
+                                         static_cast<size_t>(Tgt),
+                                         "phi-move stub"))
+        return E;
+    }
+  }
+  return Error::success();
+}
+
+Error LowerChecker::run() {
+  if (MP.NumSlots != CF.NumSlots + 1)
+    return fail(0, "register frame has " + std::to_string(MP.NumSlots) +
+                       " slots, expected " + std::to_string(CF.NumSlots) +
+                       " + 1 scratch");
+  Visited.assign(MP.Code.size(), 0);
+  if (Error E = walkBlocks())
+    return E;
+  if (Error E = resolveBranches())
+    return E;
+  for (size_t I = 0; I != Visited.size(); ++I)
+    if (!Visited[I])
+      return fail(I, "unreachable micro-op: not part of any block or "
+                     "phi-move stub");
+  return Error::success();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+Error mperf::vm::checkFunctionLowering(const CompiledFunction &CF,
+                                       const MicroProgram &MP) {
+  return LowerChecker(CF, MP).run();
+}
+
+Error mperf::vm::checkProgramLowering(const Program &P) {
+  for (const Function *F : P.module()) {
+    if (F->isDeclaration())
+      continue;
+    const CompiledFunction *CF = P.function(F);
+    if (!CF)
+      return Error("lowering check: function '" + F->name() +
+                   "' was never compiled");
+    if (!CF->Micro)
+      return Error("lowering check: function '" + F->name() +
+                   "' has no micro-op program");
+    if (CF->ArgSlots.size() != F->numArgs())
+      return Error("lowering check: function '" + F->name() +
+                   "' argument slot count mismatch");
+    if (Error E = checkFunctionLowering(*CF, *CF->Micro))
+      return E;
+  }
+  return Error::success();
+}
+
+bool mperf::vm::lowerCheckEnabled() {
+  static const bool Enabled = [] {
+    // Same override pattern as MPERF_EXEC_ENGINE: the environment wins,
+    // the build-time default applies otherwise.
+    if (const char *V = std::getenv("MPERF_VERIFY")) {
+      std::string S(V);
+      if (S == "0" || S == "off" || S == "OFF" || S == "false" ||
+          S == "FALSE")
+        return false;
+      return true;
+    }
+#ifdef MPERF_VERIFY_DEFAULT
+    return MPERF_VERIFY_DEFAULT != 0;
+#else
+    return true;
+#endif
+  }();
+  return Enabled;
+}

@@ -1,0 +1,62 @@
+//===- LowerCheck.h - Post-lowering micro-op cross-checker -----*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static cross-checker over a function's lowered MicroProgram. It
+/// does not re-run the lowering; it observationally validates the
+/// emitted stream against the slot form and the source IR:
+///
+///  - every branch-target index lands inside the code array, on the
+///    first micro-op of the successor block (or on a well-formed
+///    phi-move stub that jumps there);
+///  - every operand/result slot index is inside the register frame,
+///    and only internal phi moves may touch the cycle-break scratch
+///    slot;
+///  - result masks agree with the IR result types (alloca sizes with
+///    the IR alloca);
+///  - each phi-move sequence (inline or stub, including the
+///    scratch-slot cycle break) is symbolically equivalent to the
+///    parallel semantics of the edge's EdgeMove set;
+///  - every fused micro-op (quickened *SI immediate forms, the
+///    ICmpBrS pair, the AddICmpBr latch) decomposes back to exactly
+///    the source slot-form instructions it replaced;
+///  - every micro-op in the stream is accounted for — nothing is
+///    unreachable garbage, nothing is claimed twice.
+///
+/// Wired into Program::compile behind the MPERF_VERIFY knob (CMake
+/// default, MPERF_VERIFY env override): always on in tests, off on the
+/// bench hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_VM_LOWERCHECK_H
+#define MPERF_VM_LOWERCHECK_H
+
+#include "support/Error.h"
+#include "vm/Program.h"
+
+namespace mperf {
+namespace vm {
+
+/// Cross-checks \p MP against the slot form \p CF it was lowered from.
+/// \p MP is passed separately (rather than read off CF.Micro) so tests
+/// can corrupt a copy and assert the specific diagnostic.
+Error checkFunctionLowering(const CompiledFunction &CF, const MicroProgram &MP);
+
+/// Runs checkFunctionLowering over every defined function of \p P.
+Error checkProgramLowering(const Program &P);
+
+/// True when lowering verification is enabled: the MPERF_VERIFY
+/// environment variable when set ("1"/"on" vs "0"/"off"), otherwise the
+/// build-time default (CMake option MPERF_VERIFY, on unless the build
+/// opts out).
+bool lowerCheckEnabled();
+
+} // namespace vm
+} // namespace mperf
+
+#endif // MPERF_VM_LOWERCHECK_H

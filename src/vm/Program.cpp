@@ -15,9 +15,11 @@
 #include "vm/Program.h"
 
 #include "ir/Verifier.h"
+#include "vm/LowerCheck.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 
 using namespace mperf;
@@ -765,6 +767,12 @@ Program::compile(std::unique_ptr<ir::Module> M) {
   P->M = P->Owned.get();
   P->layoutMemory();
   P->compileFunctions();
+  // Cross-check the lowered micro-op streams against the IR (tests keep
+  // this on; the bench hot path builds with MPERF_VERIFY=OFF).
+  if (lowerCheckEnabled())
+    if (Error E = checkProgramLowering(*P))
+      return makeError<std::shared_ptr<const Program>>(
+          "Program::compile('" + P->M->name() + "'): " + E.message());
   return std::shared_ptr<const Program>(std::move(P));
 }
 
@@ -773,5 +781,15 @@ std::shared_ptr<const Program> Program::compileTrusted(ir::Module &M) {
   P->M = &M;
   P->layoutMemory();
   P->compileFunctions();
+  // The trusted path skips the IR verifier by contract, but a lowering
+  // inconsistency is a compiler bug, not bad input — surface it the way
+  // internal corruption always surfaces here.
+  if (lowerCheckEnabled()) {
+    if (Error E = checkProgramLowering(*P)) {
+      std::fprintf(stderr, "Program::compileTrusted: %s\n",
+                   E.message().c_str());
+      std::abort();
+    }
+  }
   return P;
 }

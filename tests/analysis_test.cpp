@@ -5,6 +5,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Dataflow.h"
 #include "analysis/DominatorTree.h"
 #include "analysis/LoopInfo.h"
 #include "analysis/OpCounts.h"
@@ -320,4 +321,138 @@ entry:
   EXPECT_EQ(Counts.BytesLoaded, 32u);
   EXPECT_EQ(Counts.BytesStored, 32u);
   EXPECT_EQ(Counts.FloatOps, 16u);
+}
+
+//===----------------------------------------------------------------------===//
+// Dataflow framework: liveness, reaching defs, raw solver
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ir::Value *valueNamed(Function *F, std::string_view Name) {
+  for (BasicBlock *BB : *F)
+    for (Instruction *I : *BB)
+      if (I->name() == Name)
+        return I;
+  return nullptr;
+}
+
+const char *CountedLoopText = R"(module m
+func @count(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  ret i64 %i.next
+}
+)";
+
+} // namespace
+
+TEST(Dataflow, LivenessOnDiamond) {
+  auto M = parse(DiamondText);
+  Function *F = M->function("diamond");
+  DominatorTree DT(*F);
+  Liveness L(*F, DT);
+
+  BasicBlock *Entry = blockNamed(F, "entry");
+  BasicBlock *Left = blockNamed(F, "left");
+  BasicBlock *Join = blockNamed(F, "join");
+  Value *A = valueNamed(F, "a");
+  ASSERT_NE(A, nullptr);
+
+  // %a's only use is the phi, which counts on the left->join edge: it
+  // is live out of 'left' but NOT live into 'join'.
+  EXPECT_TRUE(L.isLiveOut(Left, A));
+  EXPECT_FALSE(L.isLiveIn(Join, A));
+  // The phi's own result is defined at the top of 'join'.
+  EXPECT_FALSE(L.isLiveIn(Join, valueNamed(F, "v")));
+  // Nothing instruction-defined is live into the entry.
+  EXPECT_FALSE(L.isLiveIn(Entry, A));
+  // The branch condition argument is live into the entry.
+  EXPECT_TRUE(L.isLiveIn(Entry, F->arg(0)));
+}
+
+TEST(Dataflow, LivenessAroundLoop) {
+  auto M = parse(CountedLoopText);
+  Function *F = M->function("count");
+  DominatorTree DT(*F);
+  Liveness L(*F, DT);
+
+  BasicBlock *Entry = blockNamed(F, "entry");
+  BasicBlock *Loop = blockNamed(F, "loop");
+  BasicBlock *Exit = blockNamed(F, "exit");
+  Value *Next = valueNamed(F, "i.next");
+  ASSERT_NE(Next, nullptr);
+
+  // %i.next flows around the back edge and out to the exit's ret...
+  EXPECT_TRUE(L.isLiveOut(Loop, Next));
+  EXPECT_TRUE(L.isLiveIn(Exit, Next));
+  // ...but never upstream of its definition block.
+  EXPECT_FALSE(L.isLiveIn(Entry, Next));
+  EXPECT_FALSE(L.isLiveOut(Entry, Next));
+  // The trip-count argument is live across the whole loop.
+  EXPECT_TRUE(L.isLiveIn(Loop, F->arg(0)));
+}
+
+TEST(Dataflow, ReachingDefsOnDiamond) {
+  auto M = parse(DiamondText);
+  Function *F = M->function("diamond");
+  DominatorTree DT(*F);
+  ReachingDefs RD(*F, DT);
+
+  BasicBlock *Right = blockNamed(F, "right");
+  BasicBlock *Join = blockNamed(F, "join");
+  Value *A = valueNamed(F, "a");
+  ASSERT_NE(A, nullptr);
+
+  // 'left' defines %a, so it reaches 'join' but not the sibling arm.
+  EXPECT_TRUE(RD.reaches(A, Join));
+  EXPECT_FALSE(RD.reaches(A, Right));
+  // Arguments reach every block.
+  EXPECT_TRUE(RD.reaches(F->arg(0), Right));
+  EXPECT_TRUE(RD.reaches(F->arg(0), Join));
+}
+
+TEST(Dataflow, ValueNumberingCoversArgsAndResults) {
+  auto M = parse(DiamondText);
+  Function *F = M->function("diamond");
+  ValueNumbering VN(*F);
+
+  // One argument plus the three non-void results: %a, %b, %v.
+  EXPECT_EQ(VN.size(), 4u);
+  EXPECT_EQ(VN.indexOf(F->arg(0)), 0);
+  EXPECT_GE(VN.indexOf(valueNamed(F, "v")), 0);
+  // Constants are defined everywhere and are not numbered.
+  EXPECT_EQ(VN.indexOf(M->context().constI64(1)), -1);
+}
+
+TEST(Dataflow, RawForwardSolverPropagatesGen) {
+  auto M = parse(DiamondText);
+  Function *F = M->function("diamond");
+  DominatorTree DT(*F);
+
+  DataflowProblem P;
+  P.Direction = DataflowDirection::Forward;
+  P.NumFacts = 2;
+  BitSet G(2);
+  G.set(0);
+  P.Gen[blockNamed(F, "entry")] = G;
+  BitSet EG(2);
+  EG.set(1);
+  P.EdgeGen[{blockNamed(F, "left"), blockNamed(F, "join")}] = EG;
+
+  auto Facts = solveDataflow(DT, P);
+  // Bit 0 is generated in the entry and reaches everything downstream.
+  EXPECT_TRUE(Facts[blockNamed(F, "join")].In.test(0));
+  EXPECT_TRUE(Facts[blockNamed(F, "right")].In.test(0));
+  EXPECT_FALSE(Facts[blockNamed(F, "entry")].In.test(0));
+  // Bit 1 lives only on the left->join edge: visible in join's In but
+  // not in left's Out-of-band sibling.
+  EXPECT_TRUE(Facts[blockNamed(F, "join")].In.test(1));
+  EXPECT_FALSE(Facts[blockNamed(F, "right")].In.test(1));
 }

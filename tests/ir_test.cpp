@@ -319,3 +319,264 @@ TEST(PrinterTest, Deterministic) {
   auto M = makeAxpyModule();
   EXPECT_EQ(printModule(*M), printModule(*M));
 }
+
+//===----------------------------------------------------------------------===//
+// Verifier: SSA, dominance, and CFG checks
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierSSATest, RejectsUseBeforeDefInSameBlock) {
+  Module M("t");
+  Context &Ctx = M.context();
+  Function *F = M.createFunction("f", Ctx.i64Ty(), {Ctx.i64Ty()});
+  BasicBlock *Entry = F->createBlock("entry");
+  // %a = add %b, 1  comes before  %b = add %arg, 1.
+  auto A = std::make_unique<Instruction>(Opcode::Add, Ctx.i64Ty());
+  auto B = std::make_unique<Instruction>(Opcode::Add, Ctx.i64Ty());
+  A->setName("a");
+  B->setName("b");
+  A->addOperand(B.get());
+  A->addOperand(Ctx.constI64(1));
+  B->addOperand(F->arg(0));
+  B->addOperand(Ctx.constI64(1));
+  Instruction *ARaw = A.get();
+  Entry->append(std::move(A));
+  Entry->append(std::move(B));
+  auto Ret = std::make_unique<Instruction>(Opcode::Ret, Ctx.voidTy());
+  Ret->addOperand(ARaw);
+  Entry->append(std::move(Ret));
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("before its definition"), std::string::npos)
+      << E.message();
+}
+
+TEST(VerifierSSATest, RejectsDefThatDoesNotDominateUse) {
+  // Diamond where the left arm's value is used in the join without a phi.
+  Module M("t");
+  Context &Ctx = M.context();
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", Ctx.i64Ty(), {Ctx.i1Ty()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Left = F->createBlock("left");
+  BasicBlock *Right = F->createBlock("right");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertPoint(Entry);
+  B.createCondBr(F->arg(0), Left, Right);
+  B.setInsertPoint(Left);
+  Value *A = B.createAdd(B.i64(1), B.i64(2), "a");
+  B.createBr(Join);
+  B.setInsertPoint(Right);
+  B.createBr(Join);
+  B.setInsertPoint(Join);
+  Value *R = B.createAdd(A, B.i64(1), "r");
+  B.createRet(R);
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("does not dominate this use"), std::string::npos)
+      << E.message();
+}
+
+TEST(VerifierSSATest, RejectsPhiIncomingThatDoesNotDominatePredecessor) {
+  // %b is defined in the right arm but named as the incoming value for
+  // the left edge: it does not dominate 'left'.
+  Module M("t");
+  Context &Ctx = M.context();
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", Ctx.i64Ty(), {Ctx.i1Ty()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Left = F->createBlock("left");
+  BasicBlock *Right = F->createBlock("right");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertPoint(Entry);
+  B.createCondBr(F->arg(0), Left, Right);
+  B.setInsertPoint(Left);
+  B.createBr(Join);
+  B.setInsertPoint(Right);
+  Value *BV = B.createAdd(B.i64(3), B.i64(4), "b");
+  B.createBr(Join);
+  B.setInsertPoint(Join);
+  Instruction *Phi = B.createPhi(Ctx.i64Ty(), "p");
+  Phi->addIncoming(BV, Left);
+  Phi->addIncoming(B.i64(0), Right);
+  B.createRet(Phi);
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("does not dominate predecessor"),
+            std::string::npos)
+      << E.message();
+}
+
+TEST(VerifierSSATest, RejectsEntryBlockWithPredecessor) {
+  Module M("t");
+  Context &Ctx = M.context();
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", Ctx.voidTy(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  B.setInsertPoint(Entry);
+  B.createBr(Entry); // branch back to the entry
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("entry block must not have predecessors"),
+            std::string::npos)
+      << E.message();
+}
+
+TEST(VerifierSSATest, RejectsBranchIntoAnotherFunction) {
+  Module M("t");
+  Context &Ctx = M.context();
+  IRBuilder B(M);
+  Function *G = M.createFunction("g", Ctx.voidTy(), {});
+  BasicBlock *GEntry = G->createBlock("entry");
+  B.setInsertPoint(GEntry);
+  B.createRet();
+
+  Function *F = M.createFunction("f", Ctx.voidTy(), {});
+  BasicBlock *Entry = F->createBlock("entry");
+  auto Br = std::make_unique<Instruction>(Opcode::Br, Ctx.voidTy());
+  Br->addSuccessor(GEntry); // foreign block
+  Entry->append(std::move(Br));
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("branch target"), std::string::npos)
+      << E.message();
+}
+
+TEST(VerifierSSATest, RejectsPhiIncomingCountMismatch) {
+  auto M = makeAxpyModule();
+  Function *F = M->function("axpy");
+  auto It = F->begin();
+  BasicBlock *Entry = *It;
+  ++It;
+  BasicBlock *Loop = *It;
+  Instruction *Phi = Loop->phis()[0];
+  Phi->addIncoming(M->context().constI64(5), Entry); // entry listed twice
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("incoming values but block has"),
+            std::string::npos)
+      << E.message();
+}
+
+TEST(VerifierSSATest, RejectsDuplicatePhiIncoming) {
+  // Two incoming values for 'left', none for 'right': counts match the
+  // predecessor count, so the duplicate itself is what trips.
+  Module M("t");
+  Context &Ctx = M.context();
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", Ctx.i64Ty(), {Ctx.i1Ty()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Left = F->createBlock("left");
+  BasicBlock *Right = F->createBlock("right");
+  BasicBlock *Join = F->createBlock("join");
+  B.setInsertPoint(Entry);
+  B.createCondBr(F->arg(0), Left, Right);
+  B.setInsertPoint(Left);
+  Value *A = B.createAdd(B.i64(1), B.i64(2), "a");
+  B.createBr(Join);
+  B.setInsertPoint(Right);
+  B.createBr(Join);
+  B.setInsertPoint(Join);
+  Instruction *Phi = B.createPhi(Ctx.i64Ty(), "p");
+  Phi->addIncoming(A, Left);
+  Phi->addIncoming(B.i64(0), Left); // duplicate; 'right' goes unserved
+  B.createRet(Phi);
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("two incoming values for predecessor"),
+            std::string::npos)
+      << E.message();
+}
+
+TEST(VerifierSSATest, RejectsCondBrOnNonBoolCondition) {
+  Module M("t");
+  Context &Ctx = M.context();
+  Function *F = M.createFunction("f", Ctx.voidTy(), {Ctx.i64Ty()});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *B = F->createBlock("b");
+  auto Br = std::make_unique<Instruction>(Opcode::CondBr, Ctx.voidTy());
+  Br->addOperand(F->arg(0)); // i64, not i1
+  Br->addSuccessor(A);
+  Br->addSuccessor(B);
+  Entry->append(std::move(Br));
+  for (BasicBlock *BB : {A, B}) {
+    auto Ret = std::make_unique<Instruction>(Opcode::Ret, Ctx.voidTy());
+    BB->append(std::move(Ret));
+  }
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("cond_br condition must be i1"),
+            std::string::npos)
+      << E.message();
+}
+
+TEST(VerifierSSATest, RejectsWideningTrunc) {
+  Module M("t");
+  Context &Ctx = M.context();
+  Function *F = M.createFunction("f", Ctx.i64Ty(), {Ctx.i32Ty()});
+  BasicBlock *Entry = F->createBlock("entry");
+  auto T = std::make_unique<Instruction>(Opcode::Trunc, Ctx.i64Ty());
+  T->addOperand(F->arg(0)); // i32 -> i64 is not a truncation
+  Instruction *TRaw = T.get();
+  Entry->append(std::move(T));
+  auto Ret = std::make_unique<Instruction>(Opcode::Ret, Ctx.voidTy());
+  Ret->addOperand(TRaw);
+  Entry->append(std::move(Ret));
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("trunc must narrow"), std::string::npos)
+      << E.message();
+}
+
+TEST(VerifierSSATest, AllowsBrokenSSAInUnreachableBlocks) {
+  // LLVM-style exemption: dominance is only defined over reachable
+  // blocks, so an unreachable block may use values bottom-up.
+  Module M("t");
+  Context &Ctx = M.context();
+  IRBuilder B(M);
+  Function *F = M.createFunction("f", Ctx.i64Ty(), {Ctx.i64Ty()});
+  BasicBlock *Entry = F->createBlock("entry");
+  B.setInsertPoint(Entry);
+  B.createRet(F->arg(0));
+  // 'dead' is not reachable from the entry; it uses its own result.
+  BasicBlock *Dead = F->createBlock("dead");
+  auto A = std::make_unique<Instruction>(Opcode::Add, Ctx.i64Ty());
+  A->setName("loop.val");
+  A->addOperand(A.get());
+  A->addOperand(Ctx.constI64(1));
+  Instruction *ARaw = A.get();
+  Dead->append(std::move(A));
+  auto Ret = std::make_unique<Instruction>(Opcode::Ret, Ctx.voidTy());
+  Ret->addOperand(ARaw);
+  Dead->append(std::move(Ret));
+  EXPECT_FALSE(verifyFunction(*F).isError());
+}
+
+TEST(VerifierSSATest, DiagnosticNamesFunctionBlockAndInstruction) {
+  // The message must carry enough context to find the defect: function,
+  // block, and instruction names.
+  Module M("t");
+  Context &Ctx = M.context();
+  Function *F = M.createFunction("broken", Ctx.i64Ty(), {Ctx.i64Ty()});
+  BasicBlock *Entry = F->createBlock("entry");
+  auto A = std::make_unique<Instruction>(Opcode::Add, Ctx.i64Ty());
+  auto B = std::make_unique<Instruction>(Opcode::Add, Ctx.i64Ty());
+  A->setName("early");
+  B->setName("late");
+  A->addOperand(B.get());
+  A->addOperand(Ctx.constI64(1));
+  B->addOperand(F->arg(0));
+  B->addOperand(Ctx.constI64(1));
+  Instruction *ARaw = A.get();
+  Entry->append(std::move(A));
+  Entry->append(std::move(B));
+  auto Ret = std::make_unique<Instruction>(Opcode::Ret, Ctx.voidTy());
+  Ret->addOperand(ARaw);
+  Entry->append(std::move(Ret));
+  Error E = verifyFunction(*F);
+  ASSERT_TRUE(E.isError());
+  EXPECT_NE(E.message().find("'broken'"), std::string::npos) << E.message();
+  EXPECT_NE(E.message().find("'entry'"), std::string::npos) << E.message();
+  EXPECT_NE(E.message().find("'%late'"), std::string::npos) << E.message();
+  EXPECT_NE(E.message().find("'%early'"), std::string::npos) << E.message();
+}

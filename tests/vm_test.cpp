@@ -7,6 +7,8 @@
 
 #include "ir/Parser.h"
 #include "vm/Interpreter.h"
+#include "vm/LowerCheck.h"
+#include "vm/Program.h"
 
 #include <gtest/gtest.h>
 
@@ -369,4 +371,206 @@ TEST(Vm, GlobalInitializersVisible) {
   G->setInitializer({1, 0, 0, 0, 0, 0, 0, 0});
   Interpreter Vm(M);
   EXPECT_EQ(Vm.readI64(Vm.globalAddress("G")), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering cross-checker (vm/LowerCheck.h)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A canonical counted loop whose lowering exercises every fusion the
+/// checker knows: the entry compare fuses to ICmpBrS, the latch to
+/// AddICmpBr, the constant-RHS mul quickens to MulSI, and both exit
+/// edges carry phi-move stubs (MoveSJ).
+const char *CountedLoopText = R"(module m
+func @f(i64 %n) -> i64 {
+entry:
+  %go = icmp slt i64 0, %n
+  cond_br %go, loop, exit
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %acc = phi i64 [ 0, entry ], [ %acc.next, loop ]
+  %t = mul i64 %i, 3
+  %acc.next = add i64 %acc, %t
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  %r = phi i64 [ 0, entry ], [ %acc.next, loop ]
+  ret i64 %r
+}
+)";
+
+/// Compiles \p Text and returns the Program (asserting success).
+std::shared_ptr<const Program> compileText(const char *Text) {
+  auto M = parse(Text);
+  auto POr = Program::compile(std::move(M));
+  EXPECT_TRUE(POr.hasValue()) << (POr ? "" : POr.errorMessage());
+  return POr ? *POr : nullptr;
+}
+
+/// Index of the first micro-op of kind \p K, or -1.
+int findKind(const MicroProgram &MP, MicroKind K) {
+  for (size_t I = 0; I != MP.Code.size(); ++I)
+    if (MP.Code[I].Kind == K)
+      return static_cast<int>(I);
+  return -1;
+}
+
+/// Fixture state shared by every corruption test: a compiled counted
+/// loop plus a mutable copy of its micro program.
+struct LoweredLoop {
+  std::shared_ptr<const Program> P;
+  const CompiledFunction *CF = nullptr;
+  MicroProgram MP;
+
+  LoweredLoop() {
+    P = compileText(CountedLoopText);
+    if (!P)
+      return;
+    CF = P->function(P->findFunction("f"));
+    if (CF)
+      MP = *CF->Micro;
+  }
+};
+
+/// Asserts the corrupted \p MP draws a diagnostic containing \p Want.
+void expectDiag(const LoweredLoop &L, const std::string &Want) {
+  Error E = checkFunctionLowering(*L.CF, L.MP);
+  ASSERT_TRUE(E.isError()) << "expected a diagnostic mentioning: " << Want;
+  EXPECT_NE(E.message().find(Want), std::string::npos) << E.message();
+}
+
+} // namespace
+
+TEST(LowerCheck, AcceptsCleanLowering) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  EXPECT_FALSE(checkFunctionLowering(*L.CF, L.MP).isError());
+  // The shapes the corruption tests below rely on must actually form.
+  EXPECT_GE(findKind(L.MP, MicroKind::ICmpBrS), 0);
+  EXPECT_GE(findKind(L.MP, MicroKind::AddICmpBr), 0);
+  EXPECT_GE(findKind(L.MP, MicroKind::MulSI), 0);
+  EXPECT_GE(findKind(L.MP, MicroKind::MoveSJ), 0);
+}
+
+TEST(LowerCheck, CatchesOperandSlotOutsideFrame) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  int I = findKind(L.MP, MicroKind::MulSI);
+  ASSERT_GE(I, 0);
+  L.MP.Code[I].A = static_cast<int32_t>(L.MP.NumSlots) + 7;
+  expectDiag(L, "outside the frame");
+}
+
+TEST(LowerCheck, CatchesBranchTargetOutsideCode) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  int I = findKind(L.MP, MicroKind::ICmpBrS);
+  ASSERT_GE(I, 0);
+  L.MP.Code[I].Tgt0 = static_cast<int32_t>(L.MP.Code.size()) + 5;
+  expectDiag(L, "branch target index");
+}
+
+TEST(LowerCheck, CatchesBranchSkippingPhiMoves) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  int Br = findKind(L.MP, MicroKind::ICmpBrS);
+  int Mid = findKind(L.MP, MicroKind::MulSI);
+  ASSERT_GE(Br, 0);
+  ASSERT_GE(Mid, 0);
+  // Redirect the taken edge into the middle of the loop body: the
+  // phi-move stub is bypassed, so the edge no longer delivers the
+  // phis' incoming values.
+  L.MP.Code[Br].Tgt0 = Mid;
+  expectDiag(L, "leaves slot");
+}
+
+TEST(LowerCheck, CatchesResultMaskMismatch) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  int I = findKind(L.MP, MicroKind::MulSI);
+  ASSERT_GE(I, 0);
+  L.MP.Code[I].Mask = 0xFFFF; // i64 result must keep the full mask
+  expectDiag(L, "result mask inconsistent with the IR result type");
+}
+
+TEST(LowerCheck, CatchesQuickenedImmediateMismatch) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  int I = findKind(L.MP, MicroKind::MulSI);
+  ASSERT_GE(I, 0);
+  L.MP.Code[I].Imm = 99; // the IR says *3
+  expectDiag(L, "quickened immediate differs from the IR constant");
+}
+
+TEST(LowerCheck, CatchesFusedPredicateMismatch) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  int I = findKind(L.MP, MicroKind::ICmpBrS);
+  ASSERT_GE(I, 0);
+  L.MP.Code[I].Aux ^= 1; // any different ICmpPred
+  expectDiag(L, "fused icmp predicate mismatch");
+}
+
+TEST(LowerCheck, CatchesLatchFlagSlotMismatch) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  int I = findKind(L.MP, MicroKind::AddICmpBr);
+  ASSERT_GE(I, 0);
+  ASSERT_LT(L.MP.Code[I].Imm, L.MP.Latches.size());
+  L.MP.Latches[L.MP.Code[I].Imm].CmpDest += 1;
+  expectDiag(L, "latch flag slot differs");
+}
+
+TEST(LowerCheck, CatchesLatchIndexOutsidePool) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  int I = findKind(L.MP, MicroKind::AddICmpBr);
+  ASSERT_GE(I, 0);
+  L.MP.Code[I].Imm = L.MP.Latches.size() + 3;
+  expectDiag(L, "latch index");
+}
+
+TEST(LowerCheck, CatchesWrongTraceAttribution) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  int I = findKind(L.MP, MicroKind::MulSI);
+  int J = findKind(L.MP, MicroKind::AddICmpBr);
+  ASSERT_GE(I, 0);
+  ASSERT_GE(J, 0);
+  L.MP.Code[I].Inst = L.MP.Code[J].Inst; // points at the latch's add
+  expectDiag(L, "trace attribution points at the wrong instruction");
+}
+
+TEST(LowerCheck, CatchesUnreachableMicroOp) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  MicroOp Stray;
+  Stray.Kind = MicroKind::MoveS;
+  Stray.Dest = 0;
+  Stray.A = 0;
+  L.MP.Code.push_back(Stray);
+  expectDiag(L, "unreachable micro-op");
+}
+
+TEST(LowerCheck, CatchesFrameSizeMismatch) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  L.MP.NumSlots += 1;
+  expectDiag(L, "register frame has");
+}
+
+TEST(LowerCheck, CatchesPhiMoveClobber) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  int Move = findKind(L.MP, MicroKind::MoveSJ);
+  int Mul = findKind(L.MP, MicroKind::MulSI);
+  ASSERT_GE(Move, 0);
+  ASSERT_GE(Mul, 0);
+  // Redirect the stub's move into %t's slot, which no phi on any exit
+  // edge writes: the edge no longer implements its parallel-copy set.
+  L.MP.Code[Move].Dest = L.MP.Code[Mul].Dest;
+  expectDiag(L, "slot");
 }

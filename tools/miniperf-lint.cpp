@@ -1,0 +1,179 @@
+//===- miniperf-lint.cpp - Static verification CLI -----------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// Runs the full static verification stack — parser, SSA verifier,
+// micro-op lowering cross-checker — and prints file:line diagnostics:
+//
+//   miniperf-lint FILE.mir [FILE2.mir ...]
+//       Parse each textual IR module, verify it, compile it into a
+//       vm::Program and cross-check the lowered micro-ops.
+//
+//   miniperf-lint --workloads [--scale N]
+//       Sweep every registered workload x platform x {scalar,vector}
+//       build through the same checks. This is the ctest entry that
+//       keeps the builders and the vectorizer honest.
+//
+// Exit status: 0 when everything verifies, 1 on any diagnostic, 2 on
+// usage/IO errors. All diagnostics are printed, not just the first.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Scenario.h"
+#include "hw/Platform.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "vm/LowerCheck.h"
+#include "vm/Program.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace mperf;
+
+namespace {
+
+[[noreturn]] void die(const std::string &Message) {
+  std::fprintf(stderr, "miniperf-lint: %s\n", Message.c_str());
+  std::exit(2);
+}
+
+void printUsage() {
+  std::printf("usage: miniperf-lint FILE.mir [FILE2.mir ...]\n"
+              "       miniperf-lint --workloads [--scale N]\n"
+              "\n"
+              "Statically verifies textual IR modules or every builtin\n"
+              "workload build: parser -> SSA verifier -> micro-op\n"
+              "lowering cross-checker. Prints file:line diagnostics and\n"
+              "exits non-zero when anything fails to verify.\n");
+}
+
+int Diagnostics = 0;
+
+void diag(const std::string &Where, const std::string &Message) {
+  std::fprintf(stderr, "%s: %s\n", Where.c_str(), Message.c_str());
+  ++Diagnostics;
+}
+
+/// Verifier + lowering checks over an already-parsed module. Runs the
+/// checks explicitly (not via the MPERF_VERIFY knob) — lint exists to
+/// verify, whatever the environment says.
+void checkModule(const std::string &Where, std::unique_ptr<ir::Module> M) {
+  if (Error E = ir::verifyModule(*M)) {
+    diag(Where, E.message());
+    return;
+  }
+  auto ProgOr = vm::Program::compile(std::move(M));
+  if (!ProgOr) {
+    diag(Where, ProgOr.errorMessage());
+    return;
+  }
+  if (Error E = vm::checkProgramLowering(**ProgOr))
+    diag(Where, E.message());
+}
+
+void lintFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    die("cannot open '" + Path + "'");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Text = SS.str();
+
+  auto ModOr = ir::parseModule(Text, Path);
+  if (!ModOr) {
+    diag(Path, ModOr.errorMessage());
+    return;
+  }
+  checkModule(Path, std::move(*ModOr));
+}
+
+int lintWorkloads(unsigned Scale) {
+  std::vector<hw::Platform> Platforms = hw::allPlatforms();
+  std::vector<driver::WorkloadDesc> Workloads =
+      driver::standardWorkloads(Scale);
+
+  unsigned Checked = 0;
+  for (const hw::Platform &P : Platforms) {
+    std::string PKey = driver::platformKey(P);
+    for (const driver::WorkloadDesc &W : Workloads) {
+      for (bool Vectorize : {false, true}) {
+        std::string Where = W.Name + "@" + PKey +
+                            (Vectorize ? "+vec" : "") + " (" + W.Variant +
+                            ")";
+        auto CWOr = W.Compile(P.Target, Vectorize);
+        if (!CWOr) {
+          diag(Where, CWOr.errorMessage());
+          continue;
+        }
+        const vm::Program &Prog = *CWOr->Prog;
+        if (Error E = ir::verifyModule(Prog.module())) {
+          diag(Where, E.message());
+          continue;
+        }
+        if (Error E = vm::checkProgramLowering(Prog)) {
+          diag(Where, E.message());
+          continue;
+        }
+        ++Checked;
+      }
+    }
+  }
+  std::printf("miniperf-lint: %u workload builds verified (%zu platforms x "
+              "%zu workloads x scalar/vector), %d diagnostic%s\n",
+              Checked, Platforms.size(), Workloads.size(), Diagnostics,
+              Diagnostics == 1 ? "" : "s");
+  return Diagnostics ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Workloads = false;
+  unsigned Scale = 1;
+  std::vector<std::string> Files;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    }
+    if (Arg == "--workloads") {
+      Workloads = true;
+      continue;
+    }
+    if (Arg == "--scale") {
+      if (I + 1 == argc)
+        die("--scale requires a value");
+      Scale = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+      if (Scale == 0)
+        die("--scale must be positive");
+      continue;
+    }
+    if (!Arg.empty() && Arg[0] == '-')
+      die("unknown option '" + Arg + "'");
+    Files.push_back(Arg);
+  }
+
+  if (Workloads && !Files.empty())
+    die("--workloads does not take file arguments");
+  if (!Workloads && Files.empty()) {
+    printUsage();
+    return 2;
+  }
+
+  if (Workloads)
+    return lintWorkloads(Scale);
+
+  for (const std::string &F : Files)
+    lintFile(F);
+  if (!Diagnostics)
+    std::printf("miniperf-lint: %zu module%s verified, 0 diagnostics\n",
+                Files.size(), Files.size() == 1 ? "" : "s");
+  return Diagnostics ? 1 : 0;
+}
