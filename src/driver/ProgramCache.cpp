@@ -7,10 +7,37 @@
 
 #include "driver/ProgramCache.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "workloads/Compile.h"
 
 using namespace mperf;
 using namespace mperf::driver;
+
+namespace {
+
+/// Process-wide cache telemetry; per-sweep numbers come from the
+/// snapshot delta SweepRunner::run reports under "self_metrics".
+struct CacheObs {
+  metrics::Counter &Hits =
+      metrics::Registry::global().counter("program_cache.hits");
+  metrics::Counter &Misses =
+      metrics::Registry::global().counter("program_cache.misses");
+  /// Wall time hit requesters spent blocked on another worker's
+  /// in-flight build of the same key (a hit on a finished build adds
+  /// ~0 here).
+  metrics::Counter &WaitNs =
+      metrics::Registry::global().counter("program_cache.wait_host_ns");
+  metrics::Counter &BuildNs =
+      metrics::Registry::global().counter("program_cache.build_host_ns");
+
+  static CacheObs &get() {
+    static CacheObs O;
+    return O;
+  }
+};
+
+} // namespace
 
 std::string ProgramCache::key(const Scenario &S) {
   // Vector-independent workloads compile identically whatever the
@@ -65,19 +92,38 @@ ProgramCache::get(const Scenario &S, bool *WasHit) {
   if (WasHit)
     *WasHit = !Build;
 
+  CacheObs &Obs = CacheObs::get();
   if (Build) {
+    Obs.Misses.add();
+    trace::instant("program_cache.miss", Key);
     // Compile outside the lock: other keys build concurrently, and
     // same-key requesters wait on the future rather than the mutex.
     auto E = std::make_shared<Entry>();
-    auto WOr = compile(S);
-    if (WOr)
-      E->Workload = std::move(*WOr);
-    else
-      E->Error = WOr.errorMessage();
+    {
+      metrics::ScopedTimerNs T(Obs.BuildNs);
+      trace::ScopedSpan Span("workload.build", Key);
+      auto WOr = compile(S);
+      if (WOr)
+        E->Workload = std::move(*WOr);
+      else
+        E->Error = WOr.errorMessage();
+    }
     Promise.set_value(std::move(E));
+  } else {
+    Obs.Hits.add();
+    trace::instant("program_cache.hit", Key);
   }
 
-  std::shared_ptr<const Entry> E = Future.get();
+  std::shared_ptr<const Entry> E;
+  if (Build) {
+    E = Future.get(); // own promise, already resolved
+  } else {
+    // The cache-wait phase: blocked until the owning worker finishes
+    // the build (~0 once the entry is resolved).
+    metrics::ScopedTimerNs T(Obs.WaitNs);
+    trace::ScopedSpan Span("program_cache.wait", Key);
+    E = Future.get();
+  }
   if (!E->Error.empty())
     return makeError<std::shared_ptr<const CompiledWorkload>>(E->Error);
   return Result(E->Workload);

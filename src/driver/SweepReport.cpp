@@ -9,6 +9,8 @@
 
 #include "support/Format.h"
 #include "support/JSON.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 using namespace mperf;
 using namespace mperf::driver;
@@ -73,10 +75,15 @@ TextTable SweepReport::toTable() const {
 }
 
 std::string SweepReport::toJson() const {
+  static metrics::Counter &SerializeNs =
+      metrics::Registry::global().counter("report.serialize_host_ns");
+  metrics::ScopedTimerNs Timer(SerializeNs);
+  trace::ScopedSpan Span("report.serialize");
+
   JsonWriter W;
   W.beginObject();
   W.key("schema");
-  W.string("miniperf-sweep-report/v3");
+  W.string("miniperf-sweep-report/v4");
   W.key("jobs");
   W.number(static_cast<uint64_t>(Jobs));
   W.key("host_seconds");
@@ -100,6 +107,13 @@ std::string SweepReport::toJson() const {
   W.key("builds");
   W.number(WorkloadBuilds);
   W.endObject();
+  // Observability of the simulator itself (support/Metrics.h): how the
+  // sweep spent host time, not what the simulated cores did. Advisory
+  // by policy — isAdvisoryMetricKey() exempts the whole block from
+  // --baseline / bench-diff gating, so its run-to-run wall-clock noise
+  // can never fail a gate.
+  W.key("self_metrics");
+  W.rawValue(SelfMetricsJson.empty() ? "{}" : SelfMetricsJson);
   W.key("results");
   W.beginArray();
   for (const ScenarioResult &R : Results) {
@@ -176,8 +190,9 @@ std::string SweepReport::toJson() const {
     W.key("host_seconds");
     W.number(R.HostSeconds);
     // Wall-clock split + cache outcome. The *_host_seconds suffix is
-    // load-bearing: the --baseline drift gate skips every key ending
-    // in "host_seconds" (wall clock is not a deterministic metric).
+    // load-bearing: isAdvisoryMetricKey (support/MetricPolicy.h) makes
+    // the --baseline drift gate skip every key ending in "host_seconds"
+    // (wall clock is not a deterministic metric).
     W.key("build_host_seconds");
     W.number(R.BuildHostSeconds);
     W.key("exec_host_seconds");

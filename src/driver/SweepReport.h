@@ -82,6 +82,13 @@ struct SweepReport {
   /// number of distinct (workload, variant, vector-signature) keys in
   /// the matrix; with it off, the scenario count.
   uint64_t WorkloadBuilds = 0;
+  /// Serialized self-metrics delta for this sweep (counters, gauges,
+  /// histograms from support/Metrics.h): cache hit/miss/wait, compile
+  /// phase timings, worker utilization, ... Emitted verbatim as the
+  /// report's "self_metrics" block; empty means "{}" (e.g. reports
+  /// built by tests without going through SweepRunner::run). Advisory
+  /// by policy: the --baseline gate never diffs it (MetricPolicy.h).
+  std::string SelfMetricsJson;
 
   size_t numFailures() const;
 
@@ -91,9 +98,10 @@ struct SweepReport {
   /// One row per scenario: counts, IPC, samples, status.
   TextTable toTable() const;
 
-  /// The versioned JSON document ("miniperf-sweep-report/v3"; v3 added
-  /// the "build_cache" block and per-scenario build/exec wall time,
-  /// v2 the per-scenario "analyses" blocks).
+  /// The versioned JSON document ("miniperf-sweep-report/v4"; v4 added
+  /// the top-level "self_metrics" block, v3 the "build_cache" block and
+  /// per-scenario build/exec wall time, v2 the per-scenario "analyses"
+  /// blocks).
   std::string toJson() const;
 };
 

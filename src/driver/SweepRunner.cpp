@@ -24,6 +24,8 @@
 
 #include "driver/ProgramCache.h"
 #include "miniperf/Analysis.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <atomic>
 #include <chrono>
@@ -56,6 +58,8 @@ ScenarioResult SweepRunner::runScenario(const Scenario &S,
   R.WorkloadName = S.Workload.Name;
   R.Tags = S.Tags;
 
+  trace::ScopedSpan ScenarioSpan("scenario", S.Name);
+
   auto Finish = [&R, Start] {
     R.HostSeconds =
         std::chrono::duration<double>(Clock::now() - Start).count();
@@ -66,6 +70,7 @@ ScenarioResult SweepRunner::runScenario(const Scenario &S,
   // state how build-bound the sweep is.
   std::shared_ptr<const CompiledWorkload> Workload;
   {
+    trace::ScopedSpan Span("scenario.build", S.Name);
     const Clock::time_point BuildStart = Clock::now();
     auto WOr = Cache ? Cache->get(S, &R.SharedBuild) : ProgramCache::compile(S);
     if (WOr)
@@ -90,8 +95,10 @@ ScenarioResult SweepRunner::runScenario(const Scenario &S,
   miniperf::Session Sess(S.Platform, S.Knobs.Session);
   if (Workload->Setup)
     Sess.setSetupHook(Workload->Setup);
-  Expected<miniperf::Profile> POr =
-      Sess.profile(Workload->Prog, Workload->Entry, Workload->Args);
+  Expected<miniperf::Profile> POr = [&] {
+    trace::ScopedSpan Span("scenario.exec", S.Name);
+    return Sess.profile(Workload->Prog, Workload->Entry, Workload->Args);
+  }();
   if (!POr) {
     R.Failed = true;
     R.Error = POr.errorMessage();
@@ -110,6 +117,7 @@ ScenarioResult SweepRunner::runScenario(const Scenario &S,
   // Run the requested analyses while the sample buffers are still
   // attached; a failing analysis is recorded, not fatal, mirroring how
   // scenario failures never abort the sweep.
+  trace::ScopedSpan AnalysesSpan("scenario.analyses", S.Name);
   const miniperf::AnalysisRegistry &Registry =
       miniperf::AnalysisRegistry::builtins();
   for (const std::string &Name : S.Knobs.Analyses) {
@@ -143,6 +151,13 @@ SweepReport SweepRunner::run(const std::vector<Scenario> &Scenarios) const {
   using Clock = std::chrono::steady_clock;
   const Clock::time_point Start = Clock::now();
 
+  // Self-metrics are process-global (layers as deep as Program::compile
+  // feed them); the per-sweep numbers reported under "self_metrics" are
+  // the delta between these two snapshots.
+  metrics::Registry &Reg = metrics::Registry::global();
+  const metrics::Snapshot MetricsBegin = Reg.snapshot();
+  trace::ScopedSpan SweepSpan("sweep");
+
   SweepReport Report;
   Report.Jobs = effectiveJobs(Scenarios.size());
   Report.Results.resize(Scenarios.size());
@@ -157,14 +172,30 @@ SweepReport SweepRunner::run(const std::vector<Scenario> &Scenarios) const {
   std::mutex ProgressLock;
   size_t Done = 0; // guarded by ProgressLock, so callbacks see it grow
 
+  // Worker utilization: each worker accumulates the wall time it spent
+  // actually running scenarios; the gauge below folds it against
+  // jobs x sweep wall time. The atomic is touched once per scenario,
+  // not per op.
+  std::atomic<uint64_t> BusyNs{0};
+  metrics::Counter &BusyCounter = Reg.counter("sweep.worker_busy_host_ns");
+  metrics::Counter &ScenarioCounter = Reg.counter("sweep.scenarios");
+
   auto Worker = [&] {
     for (;;) {
       const size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Scenarios.size())
         return;
+      // Live queue depth for the trace timeline (no-op untraced).
+      trace::counter("sweep.pending_scenarios",
+                     static_cast<double>(Scenarios.size() - I - 1));
       // Result slots are pre-sized and disjoint per index, so workers
       // write without locking; OnResult is the only shared call.
+      const uint64_t T0 = trace::Tracer::nowNs();
       Report.Results[I] = runScenario(Scenarios[I], CachePtr);
+      const uint64_t Spent = trace::Tracer::nowNs() - T0;
+      BusyNs.fetch_add(Spent, std::memory_order_relaxed);
+      BusyCounter.add(Spent);
+      ScenarioCounter.add();
       if (Opts.OnResult) {
         std::lock_guard<std::mutex> Guard(ProgressLock);
         Opts.OnResult(Report.Results[I], ++Done, Scenarios.size());
@@ -178,7 +209,10 @@ SweepReport SweepRunner::run(const std::vector<Scenario> &Scenarios) const {
     std::vector<std::thread> Pool;
     Pool.reserve(Report.Jobs);
     for (unsigned T = 0; T != Report.Jobs; ++T)
-      Pool.emplace_back(Worker);
+      Pool.emplace_back([&Worker, T] {
+        trace::Tracer::setThreadName("sweep-worker-" + std::to_string(T));
+        Worker();
+      });
     for (std::thread &T : Pool)
       T.join();
   }
@@ -194,5 +228,18 @@ SweepReport SweepRunner::run(const std::vector<Scenario> &Scenarios) const {
 
   Report.HostSeconds =
       std::chrono::duration<double>(Clock::now() - Start).count();
+
+  Reg.counter("sweep.failures").add(Report.numFailures());
+  Reg.gauge("sweep.jobs").set(Report.Jobs);
+  const double WallNs = Report.HostSeconds * 1e9;
+  Reg.gauge("sweep.worker_utilization")
+      .set(WallNs > 0 ? static_cast<double>(
+                            BusyNs.load(std::memory_order_relaxed)) /
+                            (WallNs * Report.Jobs)
+                      : 0);
+  // Snapshot after the gauges so they appear in the delta; the pool
+  // has joined, so no recording thread races the read.
+  Report.SelfMetricsJson =
+      metrics::Snapshot::delta(MetricsBegin, Reg.snapshot()).toJson();
   return Report;
 }

@@ -7,6 +7,8 @@
 
 #include "ir/Parser.h"
 #include "support/Format.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <cctype>
 #include <cstdlib>
@@ -1018,14 +1020,26 @@ Expected<std::unique_ptr<Module>> Parser::parse() {
   return std::move(M);
 }
 
+/// The "parse" phase of the build pipeline, observable alongside the
+/// Program::compile phases (verify/layout/lower/cross-check).
+static metrics::Counter &parseNsCounter() {
+  static metrics::Counter &C =
+      metrics::Registry::global().counter("ir.parse_host_ns");
+  return C;
+}
+
 Expected<std::unique_ptr<Module>>
 mperf::ir::parseModule(std::string_view Text) {
+  metrics::ScopedTimerNs T(parseNsCounter());
+  trace::ScopedSpan Span("ir.parse");
   Parser P(Text);
   return P.parse();
 }
 
 Expected<std::unique_ptr<Module>>
 mperf::ir::parseModule(std::string_view Text, std::string FileName) {
+  metrics::ScopedTimerNs T(parseNsCounter());
+  trace::ScopedSpan Span("ir.parse", FileName);
   Parser P(Text, std::move(FileName));
   return P.parse();
 }

@@ -1,0 +1,48 @@
+//===- MetricPolicy.h - Which report keys the perf gates skip --*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one shared definition of which report keys are *advisory* —
+/// allowed to drift between runs — for every diff gate in the tree
+/// (`miniperf-sweep --baseline` and `tools/bench-diff`). Everything
+/// else in a report is a deterministic simulation metric and gates.
+///
+/// The skip list, documented here and nowhere else:
+///
+///  - wall-clock keys: any key ending in `host_seconds` (scenario
+///    total, `build_host_seconds`, `exec_host_seconds`, sweep
+///    `host_seconds`), or in `host_ns` / `host_ms` (self-metric
+///    timings such as compile-phase and serialization wall times);
+///  - the `self_metrics` block: the simulator's observability data
+///    (cache traffic, worker utilization, batch-size histograms) is a
+///    property of the host run, never of the simulated machine.
+///
+/// Build wall-times are covered by the first rule (`*host_seconds`)
+/// and, inside self_metrics, by the second.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_SUPPORT_METRICPOLICY_H
+#define MPERF_SUPPORT_METRICPOLICY_H
+
+#include "support/Format.h"
+
+#include <string_view>
+
+namespace mperf {
+
+/// True when \p Key names an advisory (non-gating) report entry. Diff
+/// gates must compare such keys informationally at most, never fail on
+/// them.
+inline bool isAdvisoryMetricKey(std::string_view Key) {
+  return endsWith(Key, "host_seconds") || endsWith(Key, "host_ns") ||
+         endsWith(Key, "host_ms") || Key == "self_metrics";
+}
+
+} // namespace mperf
+
+#endif // MPERF_SUPPORT_METRICPOLICY_H

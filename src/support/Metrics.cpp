@@ -1,0 +1,186 @@
+//===- Metrics.cpp - Self-metrics registry -------------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/JSON.h"
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+using namespace mperf;
+using namespace mperf::metrics;
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+struct Registry::Impl {
+  mutable std::mutex Lock;
+  // Node-based maps: instrument addresses are stable across inserts,
+  // so call sites may cache references. std::less<> enables
+  // string_view lookups without a temporary string on the hit path.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+};
+
+Registry &Registry::global() {
+  static Registry R;
+  return R;
+}
+
+Registry::Impl &Registry::impl() const {
+  static Impl I;
+  return I;
+}
+
+template <typename T>
+static T &getOrCreate(
+    std::mutex &Lock,
+    std::map<std::string, std::unique_ptr<T>, std::less<>> &Map,
+    std::string_view Name) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto It = Map.find(Name);
+  if (It == Map.end())
+    It = Map.emplace(std::string(Name), std::make_unique<T>()).first;
+  return *It->second;
+}
+
+Counter &Registry::counter(std::string_view Name) {
+  Impl &I = impl();
+  return getOrCreate(I.Lock, I.Counters, Name);
+}
+
+Gauge &Registry::gauge(std::string_view Name) {
+  Impl &I = impl();
+  return getOrCreate(I.Lock, I.Gauges, Name);
+}
+
+Histogram &Registry::histogram(std::string_view Name) {
+  Impl &I = impl();
+  return getOrCreate(I.Lock, I.Histograms, Name);
+}
+
+Snapshot Registry::snapshot() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Guard(I.Lock);
+  Snapshot S;
+  for (const auto &[Name, C] : I.Counters)
+    S.Counters.emplace_back(Name, C->value());
+  for (const auto &[Name, G] : I.Gauges)
+    S.Gauges.emplace_back(Name, G->value());
+  for (const auto &[Name, H] : I.Histograms) {
+    Snapshot::Hist SH;
+    SH.Name = Name;
+    SH.Count = H->count();
+    SH.Sum = H->sum();
+    for (size_t B = 0; B != Histogram::NumBuckets; ++B)
+      if (uint64_t N = H->bucket(B))
+        SH.Buckets.emplace_back(B == 0 ? 0 : (1ull << (B - 1)) * 2 - 1, N);
+    S.Histograms.push_back(std::move(SH));
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot
+//===----------------------------------------------------------------------===//
+
+Snapshot Snapshot::delta(const Snapshot &Begin, const Snapshot &End) {
+  Snapshot D;
+  auto BeginCounter = [&Begin](const std::string &Name) -> uint64_t {
+    for (const auto &[N, V] : Begin.Counters)
+      if (N == Name)
+        return V;
+    return 0;
+  };
+  for (const auto &[Name, V] : End.Counters)
+    D.Counters.emplace_back(Name, V - BeginCounter(Name));
+  D.Gauges = End.Gauges;
+  for (const Hist &EH : End.Histograms) {
+    const Hist *BH = nullptr;
+    for (const Hist &H : Begin.Histograms)
+      if (H.Name == EH.Name) {
+        BH = &H;
+        break;
+      }
+    Hist DH;
+    DH.Name = EH.Name;
+    DH.Count = EH.Count - (BH ? BH->Count : 0);
+    DH.Sum = EH.Sum - (BH ? BH->Sum : 0);
+    for (const auto &[Bound, N] : EH.Buckets) {
+      uint64_t Before = 0;
+      if (BH)
+        for (const auto &[BBound, BN] : BH->Buckets)
+          if (BBound == Bound) {
+            Before = BN;
+            break;
+          }
+      if (N - Before)
+        DH.Buckets.emplace_back(Bound, N - Before);
+    }
+    D.Histograms.push_back(std::move(DH));
+  }
+  return D;
+}
+
+void Snapshot::writeJson(JsonWriter &W) const {
+  W.beginObject();
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, V] : Counters) {
+    W.key(Name);
+    W.number(V);
+  }
+  W.endObject();
+  W.key("gauges");
+  W.beginObject();
+  for (const auto &[Name, V] : Gauges) {
+    W.key(Name);
+    W.number(V);
+  }
+  W.endObject();
+  W.key("histograms");
+  W.beginObject();
+  for (const Hist &H : Histograms) {
+    W.key(H.Name);
+    W.beginObject();
+    W.key("count");
+    W.number(H.Count);
+    W.key("sum");
+    W.number(H.Sum);
+    W.key("buckets");
+    W.beginObject();
+    for (const auto &[Bound, N] : H.Buckets) {
+      W.key("<=" + std::to_string(Bound));
+      W.number(N);
+    }
+    W.endObject();
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+}
+
+std::string Snapshot::toJson() const {
+  JsonWriter W;
+  writeJson(W);
+  return W.str();
+}
+
+//===----------------------------------------------------------------------===//
+// ScopedTimerNs
+//===----------------------------------------------------------------------===//
+
+ScopedTimerNs::ScopedTimerNs(Counter &C)
+    : C(C), StartNs(trace::Tracer::nowNs()) {}
+
+ScopedTimerNs::~ScopedTimerNs() { C.add(trace::Tracer::nowNs() - StartNs); }

@@ -1,0 +1,155 @@
+//===- Metrics.h - Self-metrics registry -----------------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters, gauges and histograms describing the simulator's own
+/// behavior — ProgramCache hits and wait time, compile-phase wall time,
+/// sweep worker utilization, retire-ring batch sizes. Instruments are
+/// registered once (mutex-protected, name-keyed) and then updated with
+/// plain relaxed atomics, so hot call sites cache a reference and pay
+/// one atomic op per update.
+///
+/// The registry is process-global: layers as deep as vm::Program cannot
+/// thread a per-sweep handle through their signatures. Per-sweep
+/// numbers instead come from snapshot deltas — the sweep driver
+/// snapshots at start and end and reports `Snapshot::delta`, which is
+/// exact for counters/histograms and takes the end value for gauges.
+///
+/// Everything here is deterministic-unsafe by design (wall times, cache
+/// traffic): the sweep report embeds it under "self_metrics", which the
+/// --baseline drift gate skips (support/MetricPolicy.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_SUPPORT_METRICS_H
+#define MPERF_SUPPORT_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mperf {
+
+class JsonWriter;
+
+namespace metrics {
+
+/// Monotonic counter (events, nanoseconds, bytes).
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-write-wins numeric level (utilization, configured job count).
+class Gauge {
+public:
+  void set(double Value) { V.store(Value, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0};
+};
+
+/// Power-of-two histogram: bucket B counts values whose bit width is B,
+/// i.e. values in [2^(B-1), 2^B) (bucket 0 counts zeros). 65 buckets
+/// cover the full uint64_t range with one relaxed add per record.
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 65;
+
+  void record(uint64_t Value) {
+    unsigned B = 0;
+    for (uint64_t V = Value; V; V >>= 1)
+      ++B;
+    Buckets[B].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t B) const {
+    return Buckets[B].load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+};
+
+/// A point-in-time copy of every instrument, name-sorted so the JSON it
+/// renders is deterministic in layout (the values of course are not).
+struct Snapshot {
+  struct Hist {
+    std::string Name;
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    /// (bucket upper bound, count) for non-empty buckets only.
+    std::vector<std::pair<uint64_t, uint64_t>> Buckets;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, double>> Gauges;
+  std::vector<Hist> Histograms;
+
+  /// End minus Begin for counters and histogram contents; gauges keep
+  /// their End value. Instruments only present in End appear whole.
+  static Snapshot delta(const Snapshot &Begin, const Snapshot &End);
+
+  /// Writes this snapshot as one JSON object value:
+  ///   {"counters":{...},"gauges":{...},"histograms":{"name":
+  ///     {"count":N,"sum":N,"buckets":{"<=4":n,"<=8":m}}}}
+  void writeJson(JsonWriter &W) const;
+  std::string toJson() const;
+};
+
+/// The process-global instrument registry.
+class Registry {
+public:
+  static Registry &global();
+
+  /// Returns the instrument named \p Name, creating it on first use.
+  /// References stay valid for the process lifetime.
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+
+  Snapshot snapshot() const;
+
+private:
+  Registry() = default;
+
+  struct Impl;
+  Impl &impl() const;
+};
+
+/// RAII wall-time accumulator: adds the scope's duration in
+/// nanoseconds to \p C at destruction. One steady_clock read each way.
+class ScopedTimerNs {
+public:
+  explicit ScopedTimerNs(Counter &C);
+  ~ScopedTimerNs();
+
+  ScopedTimerNs(const ScopedTimerNs &) = delete;
+  ScopedTimerNs &operator=(const ScopedTimerNs &) = delete;
+
+private:
+  Counter &C;
+  uint64_t StartNs;
+};
+
+} // namespace metrics
+} // namespace mperf
+
+#endif // MPERF_SUPPORT_METRICS_H

@@ -1,0 +1,237 @@
+//===- Trace.cpp - Self-observability event tracer -----------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include "support/JSON.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+using namespace mperf;
+using namespace mperf::trace;
+
+std::atomic<bool> Tracer::EnabledFlag{false};
+
+/// Ring capacity per thread. 16k events * ~160 B is ~2.5 MiB per
+/// recording thread — enough for the coarse spans this tracer records
+/// (compile phases, scenario phases, cache waits), small enough that a
+/// wide sweep never budgets for it.
+static constexpr size_t RingCap = 16384;
+
+struct Tracer::ThreadBuf {
+  uint32_t Tid = 0;
+  char Name[Event::NameCap] = {0};
+  /// Total events ever written; the ring index is Written % RingCap.
+  /// Monotonic, so exports know both the live count and the drop count.
+  size_t Written = 0;
+  std::vector<Event> Ring;
+};
+
+struct Tracer::Impl {
+  mutable std::mutex Lock; // guards Bufs registration and snapshot reads
+  /// Owned for process lifetime: exited threads leave their buffer in
+  /// place, and clear() never deallocates, so the thread_local cached
+  /// pointers below can never dangle.
+  std::vector<std::unique_ptr<ThreadBuf>> Bufs;
+};
+
+Tracer &Tracer::instance() {
+  static Tracer T;
+  return T;
+}
+
+Tracer::Impl &Tracer::impl() const {
+  static Impl I;
+  return I;
+}
+
+uint64_t Tracer::nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           Epoch)
+          .count());
+}
+
+Tracer::ThreadBuf &Tracer::threadBuf() {
+  thread_local ThreadBuf *TL = nullptr;
+  if (TL)
+    return *TL;
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Guard(I.Lock);
+  auto Buf = std::make_unique<ThreadBuf>();
+  Buf->Tid = static_cast<uint32_t>(I.Bufs.size());
+  Buf->Ring.resize(RingCap);
+  TL = Buf.get();
+  I.Bufs.push_back(std::move(Buf));
+  return *TL;
+}
+
+static void copyInto(char *Dst, size_t Cap, std::string_view Src) {
+  size_t N = Src.size() < Cap ? Src.size() : Cap - 1;
+  Src.copy(Dst, N);
+  Dst[N] = 0;
+}
+
+void Tracer::record(const Event &E) {
+  ThreadBuf &B = instance().threadBuf();
+  B.Ring[B.Written % RingCap] = E;
+  ++B.Written;
+}
+
+void Tracer::span(const char *Name, uint64_t StartNs, uint64_t DurNs,
+                  std::string_view Arg) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Ph = Event::Phase::Span;
+  E.StartNs = StartNs;
+  E.DurNs = DurNs;
+  copyInto(E.Name, Event::NameCap, Name);
+  copyInto(E.Arg, Event::ArgCap, Arg);
+  record(E);
+}
+
+void Tracer::instant(const char *Name, std::string_view Arg) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Ph = Event::Phase::Instant;
+  E.StartNs = nowNs();
+  copyInto(E.Name, Event::NameCap, Name);
+  copyInto(E.Arg, Event::ArgCap, Arg);
+  record(E);
+}
+
+void Tracer::counter(const char *Name, double Value) {
+  if (!enabled())
+    return;
+  Event E;
+  E.Ph = Event::Phase::Counter;
+  E.StartNs = nowNs();
+  E.Value = Value;
+  copyInto(E.Name, Event::NameCap, Name);
+  record(E);
+}
+
+void Tracer::setThreadName(std::string_view Name) {
+  // Thread names matter exactly when a trace will be exported; the
+  // same guard keeps un-traced runs from registering buffers at all.
+  if (!enabled())
+    return;
+  copyInto(instance().threadBuf().Name, Event::NameCap, Name);
+}
+
+size_t Tracer::numEvents() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Guard(I.Lock);
+  size_t N = 0;
+  for (const auto &B : I.Bufs)
+    N += B->Written < RingCap ? B->Written : RingCap;
+  return N;
+}
+
+size_t Tracer::numDropped() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Guard(I.Lock);
+  size_t N = 0;
+  for (const auto &B : I.Bufs)
+    N += B->Written > RingCap ? B->Written - RingCap : 0;
+  return N;
+}
+
+void Tracer::clear() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Guard(I.Lock);
+  for (auto &B : I.Bufs) {
+    B->Written = 0;
+    B->Name[0] = 0;
+  }
+}
+
+std::string Tracer::toChromeJson() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> Guard(I.Lock);
+
+  // Chrome's trace_event format: one "traceEvents" array; "X" complete
+  // events with microsecond ts/dur, "i" instants, "C" counters, plus
+  // "M" thread_name metadata so Perfetto labels the tracks.
+  JsonWriter W;
+  W.beginObject();
+  W.key("displayTimeUnit");
+  W.string("ms");
+  W.key("traceEvents");
+  W.beginArray();
+  for (const auto &B : I.Bufs) {
+    if (B->Name[0]) {
+      W.beginObject();
+      W.key("ph");
+      W.string("M");
+      W.key("name");
+      W.string("thread_name");
+      W.key("pid");
+      W.number(uint64_t(1));
+      W.key("tid");
+      W.number(static_cast<uint64_t>(B->Tid));
+      W.key("args");
+      W.beginObject();
+      W.key("name");
+      W.string(B->Name);
+      W.endObject();
+      W.endObject();
+    }
+    const size_t Live = B->Written < RingCap ? B->Written : RingCap;
+    const size_t First = B->Written - Live;
+    for (size_t N = First; N != B->Written; ++N) {
+      const Event &E = B->Ring[N % RingCap];
+      W.beginObject();
+      W.key("name");
+      W.string(E.Name);
+      W.key("cat");
+      W.string("mperf");
+      W.key("ph");
+      W.string(E.Ph == Event::Phase::Span
+                   ? "X"
+                   : E.Ph == Event::Phase::Instant ? "i" : "C");
+      W.key("ts");
+      W.number(static_cast<double>(E.StartNs) / 1e3);
+      if (E.Ph == Event::Phase::Span) {
+        W.key("dur");
+        W.number(static_cast<double>(E.DurNs) / 1e3);
+      }
+      if (E.Ph == Event::Phase::Instant) {
+        W.key("s"); // instant scope: thread
+        W.string("t");
+      }
+      W.key("pid");
+      W.number(uint64_t(1));
+      W.key("tid");
+      W.number(static_cast<uint64_t>(B->Tid));
+      if (E.Ph == Event::Phase::Counter) {
+        W.key("args");
+        W.beginObject();
+        W.key("value");
+        W.number(E.Value);
+        W.endObject();
+      } else if (E.Arg[0]) {
+        W.key("args");
+        W.beginObject();
+        W.key("detail");
+        W.string(E.Arg);
+        W.endObject();
+      }
+      W.endObject();
+    }
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}

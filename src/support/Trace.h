@@ -1,0 +1,162 @@
+//===- Trace.h - Self-observability event tracer ---------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A low-overhead tracer for the simulator *itself* (not the simulated
+/// workload — that is vm/Trace.h). Records scoped spans, instant events
+/// and counter samples into per-thread ring buffers and exports them as
+/// Chrome `trace_event` JSON, loadable in Perfetto or chrome://tracing.
+///
+/// Design constraints, in order:
+///  - Zero cost when disabled: every record call starts with one
+///    relaxed atomic load and a predictable branch; no clock reads, no
+///    allocation, no locking.
+///  - Lock-free hot path when enabled: each thread writes only its own
+///    ring buffer (registered once per thread under a mutex). Events
+///    carry fixed-size name/arg copies, so recording never allocates.
+///  - Bounded memory: rings overwrite their oldest events; the export
+///    reports how many were dropped.
+///
+/// Export (`toChromeJson`) must not run concurrently with writers; the
+/// sweep driver exports after its worker pool has joined, which is also
+/// what makes the read race-free (join is a happens-before edge).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_SUPPORT_TRACE_H
+#define MPERF_SUPPORT_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mperf {
+namespace trace {
+
+/// One recorded event. Fixed size so ring slots never allocate; names
+/// and args are truncating copies.
+struct Event {
+  enum class Phase : uint8_t {
+    Span,    // Chrome "X": complete event with duration
+    Instant, // Chrome "i": point-in-time marker
+    Counter, // Chrome "C": sampled numeric series
+  };
+
+  static constexpr size_t NameCap = 48;
+  static constexpr size_t ArgCap = 48;
+
+  uint64_t StartNs = 0; // relative to the tracer epoch
+  uint64_t DurNs = 0;   // Span only
+  double Value = 0;     // Counter only
+  Phase Ph = Phase::Instant;
+  char Name[NameCap] = {0};
+  char Arg[ArgCap] = {0}; // optional free-form detail ("" = none)
+};
+
+/// The process-wide tracer. All recording goes through the static
+/// helpers so call sites stay one line; they no-op unless enabled().
+class Tracer {
+public:
+  static Tracer &instance();
+
+  /// Starts recording. Idempotent; thread-safe.
+  void enable() { EnabledFlag.store(true, std::memory_order_relaxed); }
+  /// Stops recording (already-recorded events are kept).
+  void disable() { EnabledFlag.store(false, std::memory_order_relaxed); }
+
+  /// The hot-path guard. Also gates the hot-path self-metrics (the
+  /// retire-ring batch histogram) so the dispatch loop pays nothing
+  /// when observability is off.
+  static bool enabled() {
+    return EnabledFlag.load(std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds since the tracer epoch (first use in the process).
+  static uint64_t nowNs();
+
+  /// Records a complete span. \p Arg may be empty.
+  static void span(const char *Name, uint64_t StartNs, uint64_t DurNs,
+                   std::string_view Arg = {});
+  /// Records an instant marker.
+  static void instant(const char *Name, std::string_view Arg = {});
+  /// Records one sample of a numeric counter series.
+  static void counter(const char *Name, double Value);
+
+  /// Names the calling thread in the exported trace ("sweep-worker-3").
+  static void setThreadName(std::string_view Name);
+
+  /// Renders everything recorded so far as one Chrome trace_event JSON
+  /// document. Must not race with active writers (see file comment).
+  std::string toChromeJson() const;
+
+  /// Events currently held across all thread rings (post-overwrite).
+  size_t numEvents() const;
+  /// Events lost to ring overwrite since the last clear().
+  size_t numDropped() const;
+
+  /// Empties every ring (buffers stay registered: other threads may
+  /// hold cached pointers to them). Test/tool helper; same no-writer
+  /// requirement as toChromeJson().
+  void clear();
+
+private:
+  Tracer() = default;
+
+  struct ThreadBuf;
+  ThreadBuf &threadBuf();
+  static void record(const Event &E);
+
+  static std::atomic<bool> EnabledFlag;
+
+  struct Impl;
+  Impl &impl() const;
+};
+
+/// Namespace-level conveniences so call sites read as verbs.
+inline void instant(const char *Name, std::string_view Arg = {}) {
+  Tracer::instant(Name, Arg);
+}
+inline void counter(const char *Name, double Value) {
+  Tracer::counter(Name, Value);
+}
+
+/// RAII span: captures the start time at construction when tracing is
+/// on, records the complete event at destruction. When tracing is off
+/// the constructor is a relaxed load and one branch.
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char *Name, std::string_view Arg = {})
+      : Name(Name) {
+    if (Tracer::enabled()) {
+      Start = Tracer::nowNs();
+      Active = true;
+      ArgLen = Arg.size() < sizeof(ArgBuf) ? Arg.size() : sizeof(ArgBuf) - 1;
+      Arg.copy(ArgBuf, ArgLen);
+    }
+  }
+  ~ScopedSpan() {
+    if (Active)
+      Tracer::span(Name, Start, Tracer::nowNs() - Start,
+                   std::string_view(ArgBuf, ArgLen));
+  }
+
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+private:
+  const char *Name;
+  uint64_t Start = 0;
+  size_t ArgLen = 0;
+  bool Active = false;
+  char ArgBuf[Event::ArgCap] = {0};
+};
+
+} // namespace trace
+} // namespace mperf
+
+#endif // MPERF_SUPPORT_TRACE_H

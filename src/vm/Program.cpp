@@ -15,6 +15,8 @@
 #include "vm/Program.h"
 
 #include "ir/Verifier.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "vm/LowerCheck.h"
 
 #include <algorithm>
@@ -754,37 +756,91 @@ void Program::compileFunctions() {
   }
 }
 
+namespace {
+
+/// Per-phase self-observability for the compile pipeline: each phase
+/// accumulates wall time into a process counter (always; one clock
+/// read each way per *compile*, not per op) and opens a trace span
+/// (recorded only while tracing is enabled).
+struct CompilePhases {
+  metrics::Counter &Verify =
+      metrics::Registry::global().counter("vm.compile.verify_host_ns");
+  metrics::Counter &Layout =
+      metrics::Registry::global().counter("vm.compile.layout_host_ns");
+  metrics::Counter &Lower =
+      metrics::Registry::global().counter("vm.compile.lower_host_ns");
+  metrics::Counter &CrossCheck =
+      metrics::Registry::global().counter("vm.compile.crosscheck_host_ns");
+  metrics::Counter &Programs =
+      metrics::Registry::global().counter("vm.compile.programs");
+
+  static CompilePhases &get() {
+    static CompilePhases P;
+    return P;
+  }
+};
+
+} // namespace
+
 Expected<std::shared_ptr<const Program>>
 Program::compile(std::unique_ptr<ir::Module> M) {
   if (!M)
     return makeError<std::shared_ptr<const Program>>(
         "Program::compile: null module");
-  if (Error E = verifyModule(*M))
-    return makeError<std::shared_ptr<const Program>>(
-        "Program::compile('" + M->name() + "'): " + E.message());
+  CompilePhases &Obs = CompilePhases::get();
+  trace::ScopedSpan Span("vm.compile", M->name());
+  Obs.Programs.add();
+  {
+    metrics::ScopedTimerNs T(Obs.Verify);
+    trace::ScopedSpan S("vm.compile.verify", M->name());
+    if (Error E = verifyModule(*M))
+      return makeError<std::shared_ptr<const Program>>(
+          "Program::compile('" + M->name() + "'): " + E.message());
+  }
   std::shared_ptr<Program> P(new Program());
   P->Owned = std::move(M);
   P->M = P->Owned.get();
-  P->layoutMemory();
-  P->compileFunctions();
+  {
+    metrics::ScopedTimerNs T(Obs.Layout);
+    trace::ScopedSpan S("vm.compile.layout", P->M->name());
+    P->layoutMemory();
+  }
+  {
+    metrics::ScopedTimerNs T(Obs.Lower);
+    trace::ScopedSpan S("vm.compile.lower", P->M->name());
+    P->compileFunctions();
+  }
   // Cross-check the lowered micro-op streams against the IR (tests keep
   // this on; the bench hot path builds with MPERF_VERIFY=OFF).
-  if (lowerCheckEnabled())
+  if (lowerCheckEnabled()) {
+    metrics::ScopedTimerNs T(Obs.CrossCheck);
+    trace::ScopedSpan S("vm.compile.crosscheck", P->M->name());
     if (Error E = checkProgramLowering(*P))
       return makeError<std::shared_ptr<const Program>>(
           "Program::compile('" + P->M->name() + "'): " + E.message());
+  }
   return std::shared_ptr<const Program>(std::move(P));
 }
 
 std::shared_ptr<const Program> Program::compileTrusted(ir::Module &M) {
+  CompilePhases &Obs = CompilePhases::get();
+  trace::ScopedSpan Span("vm.compile", M.name());
+  Obs.Programs.add();
   std::shared_ptr<Program> P(new Program());
   P->M = &M;
-  P->layoutMemory();
-  P->compileFunctions();
+  {
+    metrics::ScopedTimerNs T(Obs.Layout);
+    P->layoutMemory();
+  }
+  {
+    metrics::ScopedTimerNs T(Obs.Lower);
+    P->compileFunctions();
+  }
   // The trusted path skips the IR verifier by contract, but a lowering
   // inconsistency is a compiler bug, not bad input — surface it the way
   // internal corruption always surfaces here.
   if (lowerCheckEnabled()) {
+    metrics::ScopedTimerNs T(Obs.CrossCheck);
     if (Error E = checkProgramLowering(*P)) {
       std::fprintf(stderr, "Program::compileTrusted: %s\n",
                    E.message().c_str());

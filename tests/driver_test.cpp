@@ -328,7 +328,7 @@ TEST(SweepReportTest, TableAndJson) {
 
   std::string Json = Report.toJson();
   EXPECT_TRUE(jsonBalanced(Json)) << Json;
-  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v3\""),
+  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v4\""),
             std::string::npos);
   EXPECT_NE(Json.find("\"num_scenarios\":2"), std::string::npos);
   EXPECT_NE(Json.find("\"num_failures\":1"), std::string::npos);
@@ -336,6 +336,8 @@ TEST(SweepReportTest, TableAndJson) {
   EXPECT_NE(Json.find("\"ok\":false"), std::string::npos);
   EXPECT_NE(Json.find("\"tags\":["), std::string::npos);
   EXPECT_NE(Json.find("\"counters\":{"), std::string::npos);
+  // v4: the advisory self-observability block is always present.
+  EXPECT_NE(Json.find("\"self_metrics\":{"), std::string::npos);
   // v3: build economics at the top level and per scenario.
   EXPECT_NE(Json.find("\"build_cache\":{"), std::string::npos);
   EXPECT_NE(Json.find("\"builds\":"), std::string::npos);

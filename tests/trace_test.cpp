@@ -1,0 +1,426 @@
+//===- trace_test.cpp - Self-observability tracer and metrics tests ------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// Covers the observability layer's three contracts: the tracer is a
+// no-op when disabled, its export is valid Chrome trace_event JSON even
+// after concurrent writes and ring overflow, and turning it on does not
+// change any deterministic sweep result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ScenarioMatrix.h"
+#include "driver/SweepRunner.h"
+#include "support/JSON.h"
+#include "support/MetricPolicy.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace mperf;
+using namespace mperf::driver;
+
+namespace {
+
+/// Scoped enable/disable so a failing test cannot leave the process
+/// tracer on for unrelated suites.
+struct TracerSession {
+  TracerSession() {
+    trace::Tracer::instance().clear();
+    trace::Tracer::instance().enable();
+  }
+  ~TracerSession() { trace::Tracer::instance().disable(); }
+};
+
+/// Parses a Chrome trace document and returns its traceEvents array,
+/// failing the test on malformed JSON or a missing array.
+JsonValue parsedEvents(const std::string &Json) {
+  auto DocOr = parseJson(Json);
+  if (!DocOr) {
+    ADD_FAILURE() << "trace does not parse: " << DocOr.errorMessage();
+    return JsonValue::makeNull();
+  }
+  const JsonValue *Events = DocOr->find("traceEvents");
+  if (!Events || !Events->isArray()) {
+    ADD_FAILURE() << "trace has no traceEvents array";
+    return JsonValue::makeNull();
+  }
+  return *Events;
+}
+
+size_t countByName(const JsonValue &Events, const std::string &Name) {
+  size_t N = 0;
+  for (const JsonValue &E : Events.elements()) {
+    const JsonValue *V = E.find("name");
+    N += V && V->isString() && V->asString() == Name ? 1 : 0;
+  }
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  trace::Tracer &T = trace::Tracer::instance();
+  T.disable();
+  T.clear();
+  ASSERT_FALSE(trace::Tracer::enabled());
+
+  trace::instant("never", "arg");
+  trace::counter("never", 42);
+  { trace::ScopedSpan S("never.span", "detail"); }
+  trace::Tracer::setThreadName("never-named");
+
+  EXPECT_EQ(T.numEvents(), 0u);
+  EXPECT_EQ(T.numDropped(), 0u);
+
+  // Even an empty export is a loadable document.
+  JsonValue Events = parsedEvents(T.toChromeJson());
+  EXPECT_TRUE(Events.isArray());
+  EXPECT_EQ(Events.elements().size(), 0u);
+}
+
+TEST(TracerTest, SpanInstantCounterRoundTrip) {
+  TracerSession Session;
+  trace::Tracer &T = trace::Tracer::instance();
+
+  { trace::ScopedSpan S("unit.span", "the-arg"); }
+  trace::instant("unit.instant");
+  trace::counter("unit.counter", 7.5);
+  EXPECT_EQ(T.numEvents(), 3u);
+
+  JsonValue Events = parsedEvents(T.toChromeJson());
+  ASSERT_EQ(Events.elements().size(), 3u);
+  EXPECT_EQ(countByName(Events, "unit.span"), 1u);
+  EXPECT_EQ(countByName(Events, "unit.instant"), 1u);
+  EXPECT_EQ(countByName(Events, "unit.counter"), 1u);
+
+  for (const JsonValue &E : Events.elements()) {
+    const JsonValue *Name = E.find("name");
+    const JsonValue *Ph = E.find("ph");
+    ASSERT_NE(Name, nullptr);
+    ASSERT_NE(Ph, nullptr);
+    ASSERT_TRUE(Ph->isString());
+    const JsonValue *Ts = E.find("ts");
+    ASSERT_NE(Ts, nullptr);
+    EXPECT_TRUE(Ts->isNumber());
+    if (Name->asString() == "unit.span") {
+      EXPECT_EQ(Ph->asString(), "X");
+      const JsonValue *Dur = E.find("dur");
+      ASSERT_NE(Dur, nullptr);
+      EXPECT_GE(Dur->asNumber(), 0.0);
+      const JsonValue *Args = E.find("args");
+      ASSERT_NE(Args, nullptr);
+      const JsonValue *Detail = Args->find("detail");
+      ASSERT_NE(Detail, nullptr);
+      EXPECT_EQ(Detail->asString(), "the-arg");
+    } else if (Name->asString() == "unit.instant") {
+      EXPECT_EQ(Ph->asString(), "i");
+    } else {
+      EXPECT_EQ(Ph->asString(), "C");
+      const JsonValue *Args = E.find("args");
+      ASSERT_NE(Args, nullptr);
+      const JsonValue *Value = Args->find("value");
+      ASSERT_NE(Value, nullptr);
+      EXPECT_DOUBLE_EQ(Value->asNumber(), 7.5);
+    }
+  }
+}
+
+TEST(TracerTest, OverlongNamesAndArgsTruncateSafely) {
+  TracerSession Session;
+  const std::string Long(300, 'x');
+  trace::instant(Long.c_str(), Long);
+  JsonValue Events = parsedEvents(trace::Tracer::instance().toChromeJson());
+  ASSERT_EQ(Events.elements().size(), 1u);
+  const JsonValue *Name = Events.elements()[0].find("name");
+  ASSERT_NE(Name, nullptr);
+  EXPECT_LT(Name->asString().size(), Long.size());
+  EXPECT_EQ(Name->asString().substr(0, 4), "xxxx");
+}
+
+TEST(TracerTest, ConcurrentWritersProduceOneValidDocument) {
+  TracerSession Session;
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned PerThread = 200;
+
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Pool.emplace_back([T] {
+      trace::Tracer::setThreadName("writer-" + std::to_string(T));
+      for (unsigned I = 0; I != PerThread; ++I) {
+        trace::ScopedSpan S("mt.span", "t" + std::to_string(T));
+        trace::counter("mt.counter", I);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  trace::Tracer &Tr = trace::Tracer::instance();
+  EXPECT_EQ(Tr.numEvents(), size_t(NumThreads) * PerThread * 2);
+  EXPECT_EQ(Tr.numDropped(), 0u);
+
+  JsonValue Events = parsedEvents(Tr.toChromeJson());
+  EXPECT_EQ(countByName(Events, "mt.span"), size_t(NumThreads) * PerThread);
+  EXPECT_EQ(countByName(Events, "mt.counter"),
+            size_t(NumThreads) * PerThread);
+
+  // Each writer exported under its own tid, and each got its
+  // thread_name metadata record.
+  std::set<double> Tids;
+  for (const JsonValue &E : Events.elements()) {
+    const JsonValue *Name = E.find("name");
+    if (Name && Name->isString() && Name->asString() == "mt.span")
+      Tids.insert(E.find("tid")->asNumber());
+  }
+  EXPECT_EQ(Tids.size(), size_t(NumThreads));
+  EXPECT_EQ(countByName(Events, "thread_name"), size_t(NumThreads));
+}
+
+TEST(TracerTest, RingOverflowDropsOldestAndStillParses) {
+  TracerSession Session;
+  // Well past any plausible ring capacity on one thread.
+  constexpr size_t Writes = 100000;
+  for (size_t I = 0; I != Writes; ++I)
+    trace::counter("flood", static_cast<double>(I));
+
+  trace::Tracer &T = trace::Tracer::instance();
+  EXPECT_LT(T.numEvents(), Writes);
+  EXPECT_EQ(T.numEvents() + T.numDropped(), Writes);
+
+  JsonValue Events = parsedEvents(T.toChromeJson());
+  EXPECT_EQ(Events.elements().size(), T.numEvents());
+  // The survivors are the newest ones: the last value written is there.
+  double MaxValue = -1;
+  for (const JsonValue &E : Events.elements()) {
+    const JsonValue *Args = E.find("args");
+    ASSERT_NE(Args, nullptr);
+    MaxValue = std::max(MaxValue, Args->find("value")->asNumber());
+  }
+  EXPECT_DOUBLE_EQ(MaxValue, static_cast<double>(Writes - 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics registry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, RegistryReturnsStableInstruments) {
+  metrics::Registry &R = metrics::Registry::global();
+  metrics::Counter &C1 = R.counter("test.stable_counter");
+  metrics::Counter &C2 = R.counter("test.stable_counter");
+  EXPECT_EQ(&C1, &C2);
+  const uint64_t Before = C1.value();
+  C2.add(3);
+  EXPECT_EQ(C1.value(), Before + 3);
+
+  metrics::Gauge &G = R.gauge("test.stable_gauge");
+  G.set(0.25);
+  EXPECT_DOUBLE_EQ(R.gauge("test.stable_gauge").value(), 0.25);
+}
+
+TEST(MetricsTest, HistogramBucketsByPowerOfTwo) {
+  metrics::Registry &R = metrics::Registry::global();
+  metrics::Histogram &H = R.histogram("test.hist_pow2");
+  H.record(0);  // bucket 0
+  H.record(1);  // bucket 1: [1,2)
+  H.record(5);  // bucket 3: [4,8)
+  H.record(64); // bucket 7: [64,128)
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.sum(), 70u);
+  EXPECT_EQ(H.bucket(0), 1u);
+  EXPECT_EQ(H.bucket(1), 1u);
+  EXPECT_EQ(H.bucket(3), 1u);
+  EXPECT_EQ(H.bucket(7), 1u);
+  EXPECT_EQ(H.bucket(2), 0u);
+}
+
+TEST(MetricsTest, SnapshotDeltaIsExactForCountersAndHistograms) {
+  metrics::Registry &R = metrics::Registry::global();
+  metrics::Counter &C = R.counter("test.delta_counter");
+  metrics::Histogram &H = R.histogram("test.delta_hist");
+  R.gauge("test.delta_gauge").set(1.0);
+
+  const metrics::Snapshot Begin = R.snapshot();
+  C.add(17);
+  H.record(9);
+  H.record(10);
+  R.gauge("test.delta_gauge").set(2.5);
+  const metrics::Snapshot End = R.snapshot();
+
+  const metrics::Snapshot D = metrics::Snapshot::delta(Begin, End);
+  uint64_t CounterDelta = 0;
+  for (const auto &[Name, Value] : D.Counters)
+    if (Name == "test.delta_counter")
+      CounterDelta = Value;
+  EXPECT_EQ(CounterDelta, 17u);
+
+  double GaugeEnd = -1;
+  for (const auto &[Name, Value] : D.Gauges)
+    if (Name == "test.delta_gauge")
+      GaugeEnd = Value;
+  EXPECT_DOUBLE_EQ(GaugeEnd, 2.5);
+
+  bool FoundHist = false;
+  for (const metrics::Snapshot::Hist &SH : D.Histograms)
+    if (SH.Name == "test.delta_hist") {
+      FoundHist = true;
+      EXPECT_EQ(SH.Count, 2u);
+      EXPECT_EQ(SH.Sum, 19u);
+    }
+  EXPECT_TRUE(FoundHist);
+
+  // And the delta renders as one parseable JSON object.
+  auto DocOr = parseJson(D.toJson());
+  ASSERT_TRUE(bool(DocOr)) << DocOr.errorMessage();
+  EXPECT_NE(DocOr->find("counters"), nullptr);
+  EXPECT_NE(DocOr->find("gauges"), nullptr);
+  EXPECT_NE(DocOr->find("histograms"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared advisory-key policy
+//===----------------------------------------------------------------------===//
+
+TEST(MetricPolicyTest, AdvisoryKeys) {
+  EXPECT_TRUE(isAdvisoryMetricKey("host_seconds"));
+  EXPECT_TRUE(isAdvisoryMetricKey("build_host_seconds"));
+  EXPECT_TRUE(isAdvisoryMetricKey("exec_host_seconds"));
+  EXPECT_TRUE(isAdvisoryMetricKey("program_cache.wait_host_ns"));
+  EXPECT_TRUE(isAdvisoryMetricKey("parse_host_ms"));
+  EXPECT_TRUE(isAdvisoryMetricKey("self_metrics"));
+  EXPECT_FALSE(isAdvisoryMetricKey("cycles"));
+  EXPECT_FALSE(isAdvisoryMetricKey("instructions"));
+  EXPECT_FALSE(isAdvisoryMetricKey("samples"));
+  EXPECT_FALSE(isAdvisoryMetricKey("host_seconds_total")); // not a suffix
+}
+
+//===----------------------------------------------------------------------===//
+// Sweep integration: self_metrics block and trace-on/off identity
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<Scenario> smallMatrix() {
+  auto pick = [](const char *Name) {
+    auto WOr = selectWorkloads(Name);
+    EXPECT_TRUE(bool(WOr));
+    return std::move(WOr->front());
+  };
+  return ScenarioMatrix()
+      .addPlatform(hw::spacemitX60())
+      .addWorkload(pick("triad"))
+      .addWorkload(pick("memset"))
+      .setAnalyses({"topdown"})
+      .build();
+}
+
+} // namespace
+
+TEST(SelfMetricsTest, SweepReportEmbedsConsistentSelfMetrics) {
+  std::vector<Scenario> S = smallMatrix();
+  SweepOptions O;
+  O.Jobs = 2;
+  SweepReport Report = SweepRunner(O).run(S);
+  ASSERT_EQ(Report.numFailures(), 0u);
+
+  auto DocOr = parseJson(Report.toJson());
+  ASSERT_TRUE(bool(DocOr)) << DocOr.errorMessage();
+  const JsonValue *Schema = DocOr->find("schema");
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->asString(), "miniperf-sweep-report/v4");
+
+  const JsonValue *Self = DocOr->find("self_metrics");
+  ASSERT_NE(Self, nullptr);
+  ASSERT_TRUE(Self->isObject());
+  const JsonValue *Counters = Self->find("counters");
+  ASSERT_NE(Counters, nullptr);
+
+  // The sweep's own delta must agree with the report's cache stats —
+  // this run's traffic, not the process-lifetime totals.
+  const JsonValue *Hits = Counters->find("program_cache.hits");
+  const JsonValue *Misses = Counters->find("program_cache.misses");
+  ASSERT_NE(Hits, nullptr);
+  ASSERT_NE(Misses, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(Hits->asNumber()), Report.CacheHits);
+  EXPECT_EQ(static_cast<uint64_t>(Misses->asNumber()),
+            Report.WorkloadBuilds);
+
+  const JsonValue *Scenarios = Counters->find("sweep.scenarios");
+  ASSERT_NE(Scenarios, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(Scenarios->asNumber()), S.size());
+
+  const JsonValue *Gauges = Self->find("gauges");
+  ASSERT_NE(Gauges, nullptr);
+  const JsonValue *Jobs = Gauges->find("sweep.jobs");
+  ASSERT_NE(Jobs, nullptr);
+  EXPECT_EQ(static_cast<unsigned>(Jobs->asNumber()), Report.Jobs);
+  const JsonValue *Util = Gauges->find("sweep.worker_utilization");
+  ASSERT_NE(Util, nullptr);
+  EXPECT_GE(Util->asNumber(), 0.0);
+  EXPECT_LE(Util->asNumber(), 1.0);
+
+  // Compile-phase timings flowed up from vm::Program::compile.
+  EXPECT_NE(Counters->find("vm.compile.lower_host_ns"), nullptr);
+}
+
+TEST(SelfMetricsTest, TracingDoesNotChangeSweepResults) {
+  // The acceptance property: observability must be free of observer
+  // effects on deterministic outputs. Every gateable metric — counts,
+  // samples, serialized analyses — is bit-identical with tracing on.
+  std::vector<Scenario> S = smallMatrix();
+  SweepOptions O;
+  O.Jobs = 2;
+
+  trace::Tracer::instance().disable();
+  SweepReport Off = SweepRunner(O).run(S);
+
+  {
+    TracerSession Session;
+    SweepReport On = SweepRunner(O).run(S);
+
+    ASSERT_EQ(Off.Results.size(), On.Results.size());
+    for (size_t I = 0; I != Off.Results.size(); ++I) {
+      const ScenarioResult &A = Off.Results[I];
+      const ScenarioResult &B = On.Results[I];
+      EXPECT_EQ(A.Name, B.Name);
+      EXPECT_EQ(A.Failed, B.Failed) << A.Name;
+      EXPECT_EQ(A.Profile.Cycles, B.Profile.Cycles) << A.Name;
+      EXPECT_EQ(A.Profile.Instructions, B.Profile.Instructions) << A.Name;
+      EXPECT_EQ(A.NumSamples, B.NumSamples) << A.Name;
+      EXPECT_EQ(A.Profile.Interrupts, B.Profile.Interrupts) << A.Name;
+      EXPECT_EQ(A.Profile.Vm.RetiredOps, B.Profile.Vm.RetiredOps) << A.Name;
+      ASSERT_EQ(A.Profile.Counters.size(), B.Profile.Counters.size())
+          << A.Name;
+      for (size_t C = 0; C != A.Profile.Counters.size(); ++C) {
+        EXPECT_EQ(A.Profile.Counters[C].Name, B.Profile.Counters[C].Name);
+        EXPECT_EQ(A.Profile.Counters[C].Value, B.Profile.Counters[C].Value)
+            << A.Name << " " << A.Profile.Counters[C].Name;
+      }
+      ASSERT_EQ(A.Analyses.size(), B.Analyses.size()) << A.Name;
+      for (size_t An = 0; An != A.Analyses.size(); ++An) {
+        EXPECT_EQ(A.Analyses[An].Json, B.Analyses[An].Json)
+            << A.Name << " analysis " << A.Analyses[An].Name;
+        EXPECT_EQ(A.Analyses[An].Text, B.Analyses[An].Text)
+            << A.Name << " analysis " << A.Analyses[An].Name;
+      }
+    }
+
+    // And the traced sweep left a loadable trace with the scenario
+    // spans in it.
+    JsonValue Events =
+        parsedEvents(trace::Tracer::instance().toChromeJson());
+    EXPECT_GE(countByName(Events, "scenario"), S.size());
+    EXPECT_GE(countByName(Events, "scenario.exec"), S.size());
+  }
+}

@@ -3,19 +3,22 @@
 # Part of the miniperf project, a reproduction of "Dissecting RISC-V
 # Performance" (PACT 2025). See README.md for details.
 #
-# Runs miniperf-sweep on one tiny scenario with every analysis attached,
-# then parses the emitted JSON (CMake's string(JSON ...)) and checks the
-# report and analysis schema version strings, the v3 build-cache stats
-# block, and the per-scenario build/exec wall-time fields — the contract
-# CI and the --baseline diff mode rely on.
+# Runs miniperf-sweep on one tiny scenario with every analysis attached
+# (and --trace, exercising the observability path), then parses the
+# emitted JSON (CMake's string(JSON ...)) and checks the report and
+# analysis schema version strings, the v4 self_metrics block, the v3
+# build-cache stats block, and the per-scenario build/exec wall-time
+# fields — the contract CI and the --baseline diff mode rely on. The
+# trace output must itself be valid JSON with a traceEvents array.
 #
 # ===----------------------------------------------------------------------=== #
 
 set(REPORT "${CMAKE_CURRENT_BINARY_DIR}/sweep_schema_check.json")
+set(TRACE "${CMAKE_CURRENT_BINARY_DIR}/sweep_schema_check_trace.json")
 
 execute_process(
   COMMAND "${SWEEP}" --platforms x60 --workloads triad --analyses all
-          --quiet --json "${REPORT}"
+          --quiet --json "${REPORT}" --trace "${TRACE}"
   RESULT_VARIABLE RUN_RESULT
   OUTPUT_VARIABLE RUN_OUTPUT
   ERROR_VARIABLE RUN_OUTPUT)
@@ -26,8 +29,8 @@ endif()
 file(READ "${REPORT}" DOC)
 
 string(JSON SCHEMA GET "${DOC}" schema)
-if(NOT SCHEMA STREQUAL "miniperf-sweep-report/v3")
-  message(FATAL_ERROR "bad report schema '${SCHEMA}' (want miniperf-sweep-report/v3)")
+if(NOT SCHEMA STREQUAL "miniperf-sweep-report/v4")
+  message(FATAL_ERROR "bad report schema '${SCHEMA}' (want miniperf-sweep-report/v4)")
 endif()
 
 string(JSON NUM_FAILURES GET "${DOC}" num_failures)
@@ -67,6 +70,38 @@ if(NOT SHARED STREQUAL "OFF" AND NOT SHARED STREQUAL "false")
   message(FATAL_ERROR "results[0].shared_build is '${SHARED}' (first scenario must be the build)")
 endif()
 
+# v4: the advisory self_metrics block must exist, with this sweep's
+# cache traffic in it (one miss for the single workload key, and a
+# positive compile-phase wall time for the lowering pass it timed).
+string(JSON SELF_MISSES GET "${DOC}" self_metrics counters program_cache.misses)
+if(NOT SELF_MISSES EQUAL 1)
+  message(FATAL_ERROR "self_metrics program_cache.misses is ${SELF_MISSES} (want 1)")
+endif()
+string(JSON SELF_LOWER_NS GET "${DOC}" self_metrics counters vm.compile.lower_host_ns)
+if(SELF_LOWER_NS LESS_EQUAL 0)
+  message(FATAL_ERROR "self_metrics vm.compile.lower_host_ns is not positive: ${SELF_LOWER_NS}")
+endif()
+string(JSON SELF_JOBS GET "${DOC}" self_metrics gauges sweep.jobs)
+if(SELF_JOBS LESS 1)
+  message(FATAL_ERROR "self_metrics sweep.jobs is ${SELF_JOBS} (want >= 1)")
+endif()
+
+# The --trace output must be a loadable Chrome trace document with at
+# least the sweep and per-scenario spans in it.
+file(READ "${TRACE}" TRACE_DOC)
+string(JSON NUM_TRACE_EVENTS LENGTH "${TRACE_DOC}" traceEvents)
+if(NUM_TRACE_EVENTS LESS 5)
+  message(FATAL_ERROR "trace has only ${NUM_TRACE_EVENTS} event(s) (want >= 5)")
+endif()
+string(JSON TIME_UNIT GET "${TRACE_DOC}" displayTimeUnit)
+if(NOT TIME_UNIT STREQUAL "ms")
+  message(FATAL_ERROR "trace displayTimeUnit is '${TIME_UNIT}' (want ms)")
+endif()
+string(FIND "${TRACE_DOC}" "\"scenario.exec\"" SCENARIO_SPAN_POS)
+if(SCENARIO_SPAN_POS EQUAL -1)
+  message(FATAL_ERROR "trace is missing the scenario.exec span")
+endif()
+
 # The single scenario must carry all five built-in analyses, each with a
 # versioned per-analysis schema.
 string(JSON NUM_ANALYSES LENGTH "${DOC}" results 0 analyses)
@@ -86,4 +121,5 @@ foreach(I RANGE ${LAST})
   endif()
 endforeach()
 
-message(STATUS "sweep report schema OK: ${SCHEMA}, ${NUM_ANALYSES} analyses")
+message(STATUS "sweep report schema OK: ${SCHEMA}, ${NUM_ANALYSES} analyses, "
+               "${NUM_TRACE_EVENTS} trace event(s)")

@@ -16,7 +16,9 @@
 //    numbers may drift up to --tolerance percent (relative), strings
 //    must match exactly;
 //  - "host_metrics" (wall-clock-derived) are printed as advisory deltas
-//    and never fail the gate;
+//    and never fail the gate, and so is any "metrics" key the shared
+//    skip policy (support/MetricPolicy.h) classifies as advisory
+//    (*host_seconds, *host_ns, *host_ms, self_metrics);
 //  - metrics present only in the current report are listed as new and
 //    do not fail the gate (commit a refreshed baseline to start gating
 //    them).
@@ -25,6 +27,7 @@
 
 #include "support/Format.h"
 #include "support/JSON.h"
+#include "support/MetricPolicy.h"
 #include "support/Table.h"
 
 #include <algorithm>
@@ -106,10 +109,19 @@ std::string renderValue(const JsonValue &V) {
 }
 
 /// Compares one metrics object pair; appends one Delta per baseline key
-/// (plus New entries for current-only keys).
+/// (plus New entries for current-only keys). Keys the shared skip
+/// policy marks advisory route to \p Advisory even inside an otherwise
+/// gated block, so a "metrics" entry named *_host_ns can never gate.
 void compareMetrics(const std::string &Bench, const JsonValue *Base,
-                    const JsonValue *Cur, double TolerancePct, bool Advisory,
-                    std::vector<Delta> &Out) {
+                    const JsonValue *Cur, double TolerancePct,
+                    bool AdvisoryBlock, std::vector<Delta> &Gated,
+                    std::vector<Delta> &Advisory) {
+  auto out = [&](const std::string &Key) -> std::vector<Delta> & {
+    return AdvisoryBlock || isAdvisoryMetricKey(Key) ? Advisory : Gated;
+  };
+  auto isAdvisory = [&](const std::string &Key) {
+    return AdvisoryBlock || isAdvisoryMetricKey(Key);
+  };
   if (!Base || !Base->isObject())
     return;
   for (const auto &[Key, BV] : Base->members()) {
@@ -117,11 +129,11 @@ void compareMetrics(const std::string &Bench, const JsonValue *Base,
     D.Bench = Bench;
     D.Key = Key;
     D.Base = renderValue(BV);
-    D.Advisory = Advisory;
+    D.Advisory = isAdvisory(Key);
     const JsonValue *CV = Cur && Cur->isObject() ? Cur->find(Key) : nullptr;
     if (!CV) {
       D.St = Delta::State::Missing;
-      Out.push_back(std::move(D));
+      out(Key).push_back(std::move(D));
       continue;
     }
     D.Current = renderValue(*CV);
@@ -139,7 +151,7 @@ void compareMetrics(const std::string &Bench, const JsonValue *Base,
     } else {
       D.St = Delta::State::Ok;
     }
-    Out.push_back(std::move(D));
+    out(Key).push_back(std::move(D));
   }
   if (Cur && Cur->isObject()) {
     for (const auto &[Key, CV] : Cur->members()) {
@@ -150,8 +162,8 @@ void compareMetrics(const std::string &Bench, const JsonValue *Base,
       D.Key = Key;
       D.Current = renderValue(CV);
       D.St = Delta::State::New;
-      D.Advisory = Advisory;
-      Out.push_back(std::move(D));
+      D.Advisory = isAdvisory(Key);
+      out(Key).push_back(std::move(D));
     }
   }
 }
@@ -173,9 +185,10 @@ bool compareReports(const std::string &Bench, const std::string &BasePath,
     return false;
   }
   compareMetrics(Bench, BaseOr->find("metrics"), CurOr->find("metrics"),
-                 TolerancePct, false, Gated);
+                 TolerancePct, false, Gated, Advisory);
   compareMetrics(Bench, BaseOr->find("host_metrics"),
-                 CurOr->find("host_metrics"), TolerancePct, true, Advisory);
+                 CurOr->find("host_metrics"), TolerancePct, true, Gated,
+                 Advisory);
   return true;
 }
 

@@ -24,7 +24,9 @@
 #include "miniperf/Analysis.h"
 #include "support/Format.h"
 #include "support/JSON.h"
+#include "support/MetricPolicy.h"
 #include "support/Table.h"
+#include "support/Trace.h"
 
 #include <cmath>
 #include <cstdio>
@@ -68,6 +70,12 @@ void printUsage() {
       "20000)\n"
       "  --vector MODE      off (default), on, or both\n"
       "  --keep-samples     keep per-scenario sample buffers in memory\n"
+      "  --trace FILE       record the simulator's own activity as Chrome\n"
+      "                     trace_event JSON (open in Perfetto); the\n"
+      "                     MPERF_TRACE env var sets the same path\n"
+      "  --progress         stream one line per completed scenario with\n"
+      "                     build/exec wall time and the cache outcome\n"
+      "                     (overrides --quiet for those lines)\n"
       "  --quiet            suppress per-scenario progress lines\n"
       "  --list             list platforms, workloads and analyses, "
       "then exit\n"
@@ -124,9 +132,10 @@ void addModeAxis(ScenarioMatrix &Matrix, const std::string &Flag,
 //
 // Mirrors the tools/bench-diff rules at sweep granularity: every
 // deterministic numeric metric of every baseline scenario must exist in
-// the current run and stay within the tolerance; host_seconds is
-// advisory (wall clock); scenarios only present on one side are
-// reported but only baseline-side misses fail the gate.
+// the current run and stay within the tolerance; the advisory keys of
+// support/MetricPolicy.h (wall clock, self_metrics) never gate;
+// scenarios only present on one side are reported but only
+// baseline-side misses fail the gate.
 //===----------------------------------------------------------------------===//
 
 /// Returns the "results" array of a sweep report, or nullptr with a
@@ -206,10 +215,10 @@ size_t diffAgainstBaseline(const JsonValue &Baseline, const JsonValue &Current,
       continue;
     }
     for (const auto &[Key, BV] : B.members()) {
-      // Only deterministic numeric metrics gate; wall clock drifts by
-      // machine load (any *host_seconds key: total, build, exec), and
-      // strings/tags are identity, not metrics.
-      if (!BV.isNumber() || endsWith(Key, "host_seconds"))
+      // Only deterministic numeric metrics gate; the shared skip policy
+      // (support/MetricPolicy.h) exempts wall-clock keys, which drift
+      // with machine load, and strings/tags are identity, not metrics.
+      if (!BV.isNumber() || isAdvisoryMetricKey(Key))
         continue;
       const JsonValue *CV = C->find(Key);
       ++Compared;
@@ -257,6 +266,12 @@ int main(int Argc, char **Argv) {
   unsigned Scale = 1;
   SweepOptions Opts;
   bool Quiet = false;
+  bool Progress = false;
+  // MPERF_TRACE is the env spelling of --trace, for harnesses (CI, the
+  // bench runner) that can't edit the command line; the flag wins.
+  std::string TracePath;
+  if (const char *Env = std::getenv("MPERF_TRACE"))
+    TracePath = Env;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -311,6 +326,10 @@ int main(int Argc, char **Argv) {
       PeriodList = Value();
     } else if (Arg == "--keep-samples") {
       Opts.KeepSamples = true;
+    } else if (Arg == "--trace") {
+      TracePath = Value();
+    } else if (Arg == "--progress") {
+      Progress = true;
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else {
@@ -378,15 +397,52 @@ int main(int Argc, char **Argv) {
                 WithAnalyses.c_str());
   }
 
-  if (!Quiet)
+  // Progress streaming reads only the finished ScenarioResult, so it
+  // cannot perturb the report: with or without it the sweep produces
+  // bit-identical JSON. --progress wins over --quiet; the richer line
+  // adds the wall-clock split and the cache outcome.
+  if (Progress)
+    Opts.OnResult = [](const ScenarioResult &R, size_t Done, size_t Total) {
+      std::printf("  [%zu/%zu] %-24s build %7.1fms  exec %8.1fms  "
+                  "cache %-4s %s\n",
+                  Done, Total, R.Name.c_str(), R.BuildHostSeconds * 1e3,
+                  R.ExecHostSeconds * 1e3, R.SharedBuild ? "hit" : "miss",
+                  R.Failed ? ("FAILED: " + R.Error).c_str() : "ok");
+      std::fflush(stdout);
+    };
+  else if (!Quiet)
     Opts.OnResult = [](const ScenarioResult &R, size_t Done, size_t Total) {
       std::printf("  [%zu/%zu] %-24s %s\n", Done, Total, R.Name.c_str(),
                   R.Failed ? ("FAILED: " + R.Error).c_str() : "ok");
       std::fflush(stdout);
     };
 
+  if (!TracePath.empty())
+    trace::Tracer::instance().enable();
+
   SweepRunner Runner(Opts);
   SweepReport Report = Runner.run(Scenarios);
+
+  // Serialize once, before the trace export, so the report.serialize
+  // span lands in the trace; the string feeds both the --json file and
+  // the --baseline re-parse below.
+  const std::string ReportJson = Report.toJson();
+
+  if (!TracePath.empty()) {
+    trace::Tracer &Tr = trace::Tracer::instance();
+    Tr.disable(); // stop recording before the export walks the rings
+    std::ofstream Out(TracePath);
+    if (!Out)
+      die("cannot write '" + TracePath + "'");
+    Out << Tr.toChromeJson() << "\n";
+    std::printf("trace written to %s (%zu event(s)%s)\n", TracePath.c_str(),
+                Tr.numEvents(),
+                Tr.numDropped()
+                    ? (", " + std::to_string(Tr.numDropped()) +
+                       " dropped to ring overwrite")
+                          .c_str()
+                    : "");
+  }
 
   std::printf("\n%s", Report.toTable().render().c_str());
   std::printf("\nsweep wall-clock: %s with %u job(s)\n",
@@ -412,12 +468,12 @@ int main(int Argc, char **Argv) {
     std::ofstream Out(JsonPath);
     if (!Out)
       die("cannot write '" + JsonPath + "'");
-    Out << Report.toJson() << "\n";
+    Out << ReportJson << "\n";
     std::printf("json report written to %s\n", JsonPath.c_str());
   }
 
   if (!BaselinePath.empty()) {
-    auto CurrentOr = parseJson(Report.toJson());
+    auto CurrentOr = parseJson(ReportJson);
     if (!CurrentOr)
       die("internal: report does not re-parse: " + CurrentOr.errorMessage());
     size_t Drift = diffAgainstBaseline(Baseline, *CurrentOr, BaselinePath,
