@@ -244,6 +244,32 @@ mperf::driver::selectPlatforms(const std::string &Spec) {
   return Out;
 }
 
+Expected<std::vector<hw::Cluster>>
+mperf::driver::selectClusters(const std::string &Spec) {
+  std::vector<hw::Cluster> Db = hw::allClusters();
+  if (Spec.empty() || lowered(Spec) == "all")
+    return Db;
+  std::vector<hw::Cluster> Out;
+  for (std::string_view Token : split(Spec, ',')) {
+    std::string Want = lowered(trim(Token));
+    if (Want.empty())
+      continue;
+    const hw::Cluster *C = hw::clusterByKey(Db, Want);
+    if (!C) {
+      std::string Known;
+      for (const hw::Cluster &K : Db)
+        Known += (Known.empty() ? "" : ", ") + K.Key;
+      return makeError<std::vector<hw::Cluster>>(
+          "unknown cluster '" + Want + "' (known: all, " + Known + ")");
+    }
+    Out.push_back(*C);
+  }
+  if (Out.empty())
+    return makeError<std::vector<hw::Cluster>>(
+        "cluster spec '" + Spec + "' selected nothing");
+  return Out;
+}
+
 Expected<std::vector<WorkloadDesc>>
 mperf::driver::selectWorkloads(const std::string &Spec, unsigned Scale) {
   std::vector<WorkloadDesc> Db = standardWorkloads(Scale);

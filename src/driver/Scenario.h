@@ -46,6 +46,9 @@ struct ScenarioKnobs {
   /// as explicit IR (peakflops) ignore it, and say so in their
   /// description.
   bool Vectorize = false;
+  /// Cluster scenarios: overrides the cluster's deterministic
+  /// interleave quantum (retired IR ops per turn) when non-zero.
+  uint64_t InterleaveQuantum = 0;
   /// Analyses (AnalysisRegistry names) to run over the scenario's
   /// Profile; their results embed into the sweep report per scenario.
   std::vector<std::string> Analyses;
@@ -91,13 +94,22 @@ struct WorkloadDesc {
 
 /// One cell of the sweep matrix.
 struct Scenario {
-  /// Unique within one sweep, e.g. "matmul@x60+vec".
+  /// Unique within one sweep, e.g. "matmul@x60+vec" or
+  /// "matmul@c906x4" for a cluster cell.
   std::string Name;
   hw::Platform Platform;
   WorkloadDesc Workload;
   ScenarioKnobs Knobs;
-  /// "key=value" tags: platform=, workload=, sampling=, period=, vector=.
+  /// "key=value" tags: platform=, workload=, sampling=, period=,
+  /// vector=; cluster cells add cluster= and cores=.
   std::vector<std::string> Tags;
+
+  /// Non-empty for a multi-core cell: the runner then profiles through
+  /// a ClusterSession instead of a Session. Platform holds the
+  /// cluster's representative core (Cores[0]) so workload compilation
+  /// and ProgramCache keys work unchanged.
+  hw::Cluster Cluster;
+  bool isCluster() const { return !Cluster.empty(); }
 
   /// Returns the value of tag \p Key, or "" when absent.
   std::string tag(const std::string &Key) const;
@@ -124,6 +136,10 @@ Expected<std::vector<hw::Platform>> selectPlatforms(const std::string &Spec);
 /// against standardWorkloads(\p Scale). Errors on an unknown token.
 Expected<std::vector<WorkloadDesc>> selectWorkloads(const std::string &Spec,
                                                     unsigned Scale = 1);
+
+/// Resolves a comma-separated cluster spec ("all", "c906x4,u74x60")
+/// against hw::allClusters() by Key. Errors on an unknown token.
+Expected<std::vector<hw::Cluster>> selectClusters(const std::string &Spec);
 
 } // namespace driver
 } // namespace mperf

@@ -23,6 +23,17 @@ ScenarioMatrix::addPlatforms(const std::vector<hw::Platform> &Ps) {
   return *this;
 }
 
+ScenarioMatrix &ScenarioMatrix::addCluster(const hw::Cluster &C) {
+  Clusters.push_back(C);
+  return *this;
+}
+
+ScenarioMatrix &
+ScenarioMatrix::addClusters(const std::vector<hw::Cluster> &Cs) {
+  Clusters.insert(Clusters.end(), Cs.begin(), Cs.end());
+  return *this;
+}
+
 ScenarioMatrix &ScenarioMatrix::addWorkload(WorkloadDesc W) {
   Workloads.push_back(std::move(W));
   return *this;
@@ -60,6 +71,11 @@ ScenarioMatrix &ScenarioMatrix::setFuel(uint64_t MaxOps) {
   return *this;
 }
 
+ScenarioMatrix &ScenarioMatrix::setInterleaveQuantum(uint64_t Quantum) {
+  InterleaveQuantum = Quantum;
+  return *this;
+}
+
 ScenarioMatrix &ScenarioMatrix::setAnalyses(std::vector<std::string> Names) {
   Analyses = std::move(Names);
   return *this;
@@ -81,8 +97,8 @@ size_t ScenarioMatrix::size() const {
   size_t SamplingLegs = 0;
   for (bool Sample : orDefault(SamplingAxis, true))
     SamplingLegs += Sample ? PeriodCount : 1;
-  return Platforms.size() * Workloads.size() * SamplingLegs *
-         orDefault(VectorizeAxis, false).size();
+  return (Platforms.size() + Clusters.size()) * Workloads.size() *
+         SamplingLegs * orDefault(VectorizeAxis, false).size();
 }
 
 std::vector<Scenario> ScenarioMatrix::build() const {
@@ -95,8 +111,14 @@ std::vector<Scenario> ScenarioMatrix::build() const {
 
   std::vector<Scenario> Out;
   Out.reserve(size());
-  for (const hw::Platform &P : Platforms) {
-    const std::string Key = platformKey(P);
+
+  // Expands the workload x sampling x period x vectorize block for one
+  // platform-axis entry (a plain platform, or a cluster identified by
+  // its representative core). \p Mark customizes the cluster cells;
+  // plain cells are byte-for-byte what they were before clusters
+  // existed, so pre-cluster baselines and goldens stay valid.
+  auto Expand = [&](const hw::Platform &P, const std::string &Key,
+                    const std::function<void(Scenario &)> &Mark) {
     for (const WorkloadDesc &W : Workloads) {
       for (bool Sample : Sampling) {
         for (uint64_t Period : Sample ? Periods : StatPeriods) {
@@ -125,11 +147,25 @@ std::vector<Scenario> ScenarioMatrix::build() const {
                       std::string("sampling=") + (Sample ? "on" : "off"),
                       "period=" + std::to_string(Period),
                       std::string("vector=") + (Vec ? "on" : "off")};
+            if (Mark)
+              Mark(S);
             Out.push_back(std::move(S));
           }
         }
       }
     }
-  }
+  };
+
+  for (const hw::Platform &P : Platforms)
+    Expand(P, platformKey(P), nullptr);
+
+  for (const hw::Cluster &C : Clusters)
+    Expand(C.Cores[0], C.Key, [&](Scenario &S) {
+      S.Cluster = C;
+      S.Knobs.InterleaveQuantum = InterleaveQuantum;
+      S.Tags.push_back("cluster=" + C.Key);
+      S.Tags.push_back("cores=" + std::to_string(C.numCores()));
+    });
+
   return Out;
 }

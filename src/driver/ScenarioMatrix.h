@@ -28,6 +28,11 @@ class ScenarioMatrix {
 public:
   ScenarioMatrix &addPlatform(const hw::Platform &P);
   ScenarioMatrix &addPlatforms(const std::vector<hw::Platform> &Ps);
+  /// Adds a multi-core cluster to the platform axis. Cluster cells come
+  /// after every plain-platform cell in build() order, named by the
+  /// cluster key ("matmul@c906x4") and tagged cluster=/cores=.
+  ScenarioMatrix &addCluster(const hw::Cluster &C);
+  ScenarioMatrix &addClusters(const std::vector<hw::Cluster> &Cs);
   ScenarioMatrix &addWorkload(WorkloadDesc W);
   ScenarioMatrix &addWorkloads(const std::vector<WorkloadDesc> &Ws);
 
@@ -41,6 +46,10 @@ public:
   ScenarioMatrix &addVectorize(bool On);
   /// Interpreter fuel applied to every scenario.
   ScenarioMatrix &setFuel(uint64_t MaxOps);
+  /// Deterministic interleave quantum applied to every cluster cell
+  /// (retired IR ops per round-robin turn; 0 keeps each cluster's own
+  /// default). Not an axis: it does not multiply the matrix.
+  ScenarioMatrix &setInterleaveQuantum(uint64_t Quantum);
   /// Analyses (AnalysisRegistry names) attached to every scenario; the
   /// runner executes them over each scenario's Profile and the report
   /// embeds their JSON per scenario. Not an axis: the list does not
@@ -56,11 +65,13 @@ public:
 
 private:
   std::vector<hw::Platform> Platforms;
+  std::vector<hw::Cluster> Clusters;
   std::vector<WorkloadDesc> Workloads;
   std::vector<bool> SamplingAxis;
   std::vector<uint64_t> PeriodAxis;
   std::vector<bool> VectorizeAxis;
   uint64_t Fuel = 0; // 0: keep the SessionOptions default
+  uint64_t InterleaveQuantum = 0; // 0: keep each cluster's default
   std::vector<std::string> Analyses;
 };
 

@@ -12,6 +12,8 @@
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
+#include <algorithm>
+
 using namespace mperf;
 using namespace mperf::driver;
 
@@ -27,6 +29,82 @@ const ScenarioResult *SweepReport::result(const std::string &Name) const {
     if (R.Name == Name)
       return &R;
   return nullptr;
+}
+
+/// Value of "key=value" in a result's tag list; "" on miss.
+static std::string tagValue(const ScenarioResult &R, const std::string &Key) {
+  const std::string Prefix = Key + "=";
+  for (const std::string &T : R.Tags)
+    if (startsWith(T, Prefix))
+      return T.substr(Prefix.size());
+  return "";
+}
+
+namespace {
+
+/// One scaling curve: the successful scenarios that ran the same
+/// workload with the same knobs on 1..N cores of the same base core.
+/// Built only when the sweep contains at least one multi-core point —
+/// a single-hart-only sweep has no curves and serializes nothing new.
+struct ThroughputGroup {
+  std::string Workload;
+  std::string BaseCore;
+  std::string Knobs; // "sampling=on period=20000 vector=off"
+  std::vector<const ScenarioResult *> Points;
+  bool HasMultiCore = false;
+};
+
+} // namespace
+
+/// Groups results into scaling curves, first-appearance order; points
+/// within a group sorted by (cores, name) so the 1-core point leads and
+/// the order is independent of matrix insertion order.
+static std::vector<ThroughputGroup>
+throughputGroups(const std::vector<ScenarioResult> &Results) {
+  std::vector<ThroughputGroup> Groups;
+  for (const ScenarioResult &R : Results) {
+    if (R.Failed)
+      continue;
+    const std::string Knobs = "sampling=" + tagValue(R, "sampling") +
+                              " period=" + tagValue(R, "period") +
+                              " vector=" + tagValue(R, "vector");
+    // The representative core (Cores[0] for a cluster) keys the curve:
+    // a 1x U74 Session point and a 4x U74 cluster point belong to the
+    // same curve, a C906 point does not.
+    const std::string &BaseCore = R.Profile.Platform.CoreName;
+    ThroughputGroup *G = nullptr;
+    for (ThroughputGroup &Existing : Groups)
+      if (Existing.Workload == R.WorkloadName &&
+          Existing.BaseCore == BaseCore && Existing.Knobs == Knobs) {
+        G = &Existing;
+        break;
+      }
+    if (!G) {
+      Groups.push_back({R.WorkloadName, BaseCore, Knobs, {}, false});
+      G = &Groups.back();
+    }
+    G->Points.push_back(&R);
+    G->HasMultiCore |= R.Profile.NumCores > 1;
+  }
+  Groups.erase(std::remove_if(Groups.begin(), Groups.end(),
+                              [](const ThroughputGroup &G) {
+                                return !G.HasMultiCore;
+                              }),
+               Groups.end());
+  for (ThroughputGroup &G : Groups)
+    std::sort(G.Points.begin(), G.Points.end(),
+              [](const ScenarioResult *A, const ScenarioResult *B) {
+                if (A->Profile.NumCores != B->Profile.NumCores)
+                  return A->Profile.NumCores < B->Profile.NumCores;
+                return A->Name < B->Name;
+              });
+  return Groups;
+}
+
+/// Simulated instructions per simulated second; the throughput metric
+/// the scaling curves compare. 0 when the run retired nothing.
+static double instructionsPerSecond(const miniperf::Profile &P) {
+  return P.Seconds > 0 ? static_cast<double>(P.Instructions) / P.Seconds : 0;
 }
 
 /// "hotspots,topdown" or "hotspots,topdown(1 failed)" for the table.
@@ -52,24 +130,57 @@ TextTable SweepReport::toTable() const {
               (CacheEnabled ? " (" + std::to_string(CacheHits) +
                                   " cache hit(s))"
                             : " (cache off)"));
-  T.addHeader({"Scenario", "Platform", "cycles", "instructions", "IPC",
-               "samples", "sim ms", "build ms", "cache", "analyses",
+  T.addHeader({"Scenario", "Platform", "cores", "cycles", "instructions",
+               "IPC", "samples", "sim ms", "build ms", "cache", "analyses",
                "status"});
   for (const ScenarioResult &R : Results) {
     const std::string CacheCell =
         CacheEnabled ? (R.SharedBuild ? "hit" : "miss") : "-";
     if (R.Failed) {
-      T.addRow({R.Name, R.PlatformName, "-", "-", "-", "-", "-",
+      T.addRow({R.Name, R.PlatformName, "-", "-", "-", "-", "-", "-",
                 fixed(R.BuildHostSeconds * 1e3, 1), CacheCell, "-",
                 "FAILED: " + R.Error});
       continue;
     }
-    T.addRow({R.Name, R.PlatformName, withCommas(R.Profile.Cycles),
+    T.addRow({R.Name, R.PlatformName, std::to_string(R.Profile.NumCores),
+              withCommas(R.Profile.Cycles),
               withCommas(R.Profile.Instructions), fixed(R.Profile.Ipc, 2),
               std::to_string(R.NumSamples),
               fixed(R.Profile.Seconds * 1e3, 3),
               fixed(R.BuildHostSeconds * 1e3, 1), CacheCell,
               analysesCell(R), "ok"});
+  }
+  return T;
+}
+
+TextTable SweepReport::throughputTable() const {
+  const std::vector<ThroughputGroup> Groups = throughputGroups(Results);
+  size_t NumPoints = 0;
+  for (const ThroughputGroup &G : Groups)
+    NumPoints += G.Points.size();
+  TextTable T("Throughput vs cores: " + std::to_string(Groups.size()) +
+              " curve(s), " + std::to_string(NumPoints) + " point(s)");
+  T.addHeader({"workload", "base core", "scenario", "cores",
+               "instructions", "sim ms", "Ginstr/s", "speedup",
+               "efficiency"});
+  for (const ThroughputGroup &G : Groups) {
+    // Speedup is relative to the group's smallest-cores point (the
+    // single-hart run when the sweep has one); efficiency divides out
+    // the core-count ratio, so 1.00 is perfect linear scaling.
+    const miniperf::Profile &Base = G.Points.front()->Profile;
+    const double BaseIps = instructionsPerSecond(Base);
+    for (const ScenarioResult *R : G.Points) {
+      const double Ips = instructionsPerSecond(R->Profile);
+      const double Speedup = BaseIps > 0 ? Ips / BaseIps : 0;
+      const double CoreRatio = static_cast<double>(R->Profile.NumCores) /
+                               (Base.NumCores ? Base.NumCores : 1);
+      T.addRow({G.Workload, G.BaseCore, R->Name,
+                std::to_string(R->Profile.NumCores),
+                withCommas(R->Profile.Instructions),
+                fixed(R->Profile.Seconds * 1e3, 3), fixed(Ips / 1e9, 3),
+                fixed(Speedup, 2) + "x",
+                fixed(CoreRatio > 0 ? Speedup / CoreRatio : 0, 2)});
+    }
   }
   return T;
 }
@@ -83,7 +194,7 @@ std::string SweepReport::toJson() const {
   JsonWriter W;
   W.beginObject();
   W.key("schema");
-  W.string("miniperf-sweep-report/v4");
+  W.string("miniperf-sweep-report/v5");
   W.key("jobs");
   W.number(static_cast<uint64_t>(Jobs));
   W.key("host_seconds");
@@ -143,6 +254,12 @@ std::string SweepReport::toJson() const {
       W.number(R.Profile.Ipc);
       W.key("seconds");
       W.number(R.Profile.Seconds);
+      // v5: how many simulated harts produced this row. 1 for a plain
+      // Session run; for a cluster cell the scalar metrics above are
+      // the aggregate (cycles = slowest core, instructions = sum) and
+      // the per-core breakdown follows after "counters".
+      W.key("cores");
+      W.number(static_cast<uint64_t>(R.Profile.NumCores));
       W.key("samples");
       W.number(R.NumSamples);
       W.key("interrupts");
@@ -164,6 +281,47 @@ std::string SweepReport::toJson() const {
         W.number(C.Value);
       }
       W.endObject();
+      // v5 cluster breakdown. Only multi-core cells carry it, so
+      // single-hart scenario objects keep their v4 shape plus "cores";
+      // the nested objects are invisible to the --baseline gate (it
+      // diffs top-level numeric keys only).
+      if (R.Profile.NumCores > 1) {
+        W.key("cluster");
+        W.string(R.Profile.ClusterName);
+        W.key("shared_l2");
+        W.beginObject();
+        W.key("l2_hits");
+        W.number(R.Profile.SharedCache.L2Hits);
+        W.key("l2_misses");
+        W.number(R.Profile.SharedCache.L2Misses);
+        W.key("dram_bytes");
+        W.number(R.Profile.SharedCache.DramBytes);
+        W.endObject();
+        W.key("per_core");
+        W.beginArray();
+        for (const miniperf::Profile &C : R.Profile.CoreProfiles) {
+          W.beginObject();
+          W.key("platform");
+          W.string(C.Platform.CoreName);
+          W.key("cycles");
+          W.number(C.Cycles);
+          W.key("instructions");
+          W.number(C.Instructions);
+          W.key("ipc");
+          W.number(C.Ipc);
+          W.key("seconds");
+          W.number(C.Seconds);
+          W.key("counters");
+          W.beginObject();
+          for (const miniperf::ProfileCounter &PC : C.Counters) {
+            W.key(PC.Name);
+            W.number(PC.Value);
+          }
+          W.endObject();
+          W.endObject();
+        }
+        W.endArray();
+      }
       if (!R.Analyses.empty()) {
         W.key("analyses");
         W.beginArray();
@@ -202,6 +360,53 @@ std::string SweepReport::toJson() const {
     W.endObject();
   }
   W.endArray();
+  // v5 scaling curves: present only when the sweep has a multi-core
+  // point, so single-hart-only reports add nothing here. Speedup and
+  // efficiency are redundant with the points (derivable) but serialized
+  // so downstream tooling can gate on scaling without recomputing.
+  const std::vector<ThroughputGroup> Groups = throughputGroups(Results);
+  if (!Groups.empty()) {
+    W.key("throughput_vs_cores");
+    W.beginArray();
+    for (const ThroughputGroup &G : Groups) {
+      const miniperf::Profile &Base = G.Points.front()->Profile;
+      const double BaseIps = instructionsPerSecond(Base);
+      W.beginObject();
+      W.key("workload");
+      W.string(G.Workload);
+      W.key("base_core");
+      W.string(G.BaseCore);
+      W.key("knobs");
+      W.string(G.Knobs);
+      W.key("points");
+      W.beginArray();
+      for (const ScenarioResult *R : G.Points) {
+        const double Ips = instructionsPerSecond(R->Profile);
+        const double CoreRatio = static_cast<double>(R->Profile.NumCores) /
+                                 (Base.NumCores ? Base.NumCores : 1);
+        const double Speedup = BaseIps > 0 ? Ips / BaseIps : 0;
+        W.beginObject();
+        W.key("name");
+        W.string(R->Name);
+        W.key("cores");
+        W.number(static_cast<uint64_t>(R->Profile.NumCores));
+        W.key("instructions");
+        W.number(R->Profile.Instructions);
+        W.key("seconds");
+        W.number(R->Profile.Seconds);
+        W.key("instructions_per_second");
+        W.number(Ips);
+        W.key("speedup");
+        W.number(Speedup);
+        W.key("efficiency");
+        W.number(CoreRatio > 0 ? Speedup / CoreRatio : 0);
+        W.endObject();
+      }
+      W.endArray();
+      W.endObject();
+    }
+    W.endArray();
+  }
   W.endObject();
   return W.str();
 }

@@ -98,10 +98,18 @@ struct SweepReport {
   /// One row per scenario: counts, IPC, samples, status.
   TextTable toTable() const;
 
-  /// The versioned JSON document ("miniperf-sweep-report/v4"; v4 added
-  /// the top-level "self_metrics" block, v3 the "build_cache" block and
-  /// per-scenario build/exec wall time, v2 the per-scenario "analyses"
-  /// blocks).
+  /// Throughput-vs-cores: groups scenarios that ran the same workload,
+  /// knobs, and compiled program on 1..N cores of the same base core
+  /// and tabulates cluster throughput, speedup over the smallest-cores
+  /// point, and scaling efficiency. Empty when the sweep has no
+  /// multi-core scenarios.
+  TextTable throughputTable() const;
+
+  /// The versioned JSON document ("miniperf-sweep-report/v5"; v5 added
+  /// the per-scenario "cores"/"cluster"/"per_core"/"shared_l2" fields
+  /// and the top-level "throughput_vs_cores" block, v4 the top-level
+  /// "self_metrics" block, v3 the "build_cache" block and per-scenario
+  /// build/exec wall time, v2 the per-scenario "analyses" blocks).
   std::string toJson() const;
 };
 

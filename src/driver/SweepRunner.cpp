@@ -24,6 +24,7 @@
 
 #include "driver/ProgramCache.h"
 #include "miniperf/Analysis.h"
+#include "miniperf/ClusterSession.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
@@ -54,7 +55,7 @@ ScenarioResult SweepRunner::runScenario(const Scenario &S,
 
   ScenarioResult R;
   R.Name = S.Name;
-  R.PlatformName = S.Platform.CoreName;
+  R.PlatformName = S.isCluster() ? S.Cluster.Name : S.Platform.CoreName;
   R.WorkloadName = S.Workload.Name;
   R.Tags = S.Tags;
 
@@ -92,11 +93,22 @@ ScenarioResult SweepRunner::runScenario(const Scenario &S,
         std::chrono::duration<double>(Clock::now() - ExecStart).count();
   };
 
-  miniperf::Session Sess(S.Platform, S.Knobs.Session);
-  if (Workload->Setup)
-    Sess.setSetupHook(Workload->Setup);
-  Expected<miniperf::Profile> POr = [&] {
+  // Cluster cells profile through a ClusterSession (N instances of the
+  // shared Program under the deterministic interleave); plain cells
+  // take the single-hart Session path, unchanged.
+  Expected<miniperf::Profile> POr = [&]() -> Expected<miniperf::Profile> {
     trace::ScopedSpan Span("scenario.exec", S.Name);
+    if (S.isCluster()) {
+      miniperf::ClusterSession Sess(S.Cluster, S.Knobs.Session);
+      if (S.Knobs.InterleaveQuantum)
+        Sess.setInterleaveQuantum(S.Knobs.InterleaveQuantum);
+      if (Workload->Setup)
+        Sess.setSetupHook(Workload->Setup);
+      return Sess.profile(Workload->Prog, Workload->Entry, Workload->Args);
+    }
+    miniperf::Session Sess(S.Platform, S.Knobs.Session);
+    if (Workload->Setup)
+      Sess.setSetupHook(Workload->Setup);
     return Sess.profile(Workload->Prog, Workload->Entry, Workload->Args);
   }();
   if (!POr) {
@@ -141,6 +153,10 @@ ScenarioResult SweepRunner::runScenario(const Scenario &S,
   if (!Opts.KeepSamples) {
     R.Profile.Samples.clear();
     R.Profile.Samples.shrink_to_fit();
+    for (miniperf::Profile &C : R.Profile.CoreProfiles) {
+      C.Samples.clear();
+      C.Samples.shrink_to_fit();
+    }
   }
   FinishExec();
   Finish();

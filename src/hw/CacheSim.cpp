@@ -20,8 +20,8 @@ static unsigned log2u(uint64_t V) {
   return L;
 }
 
-CacheSim::Level CacheSim::makeLevel(const CacheLevelConfig &C) {
-  Level L;
+CacheLevelState CacheSim::makeLevel(const CacheLevelConfig &C) {
+  CacheLevelState L;
   L.Assoc = C.Assoc;
   L.LineShift = log2u(C.LineBytes);
   uint64_t Lines = C.SizeBytes / C.LineBytes;
@@ -44,7 +44,20 @@ void CacheSim::reset() {
   Clock = 0;
 }
 
-bool CacheSim::probe(Level &L, uint64_t LineAddr) {
+SharedL2::SharedL2(const CacheLevelConfig &L2Config, double DramLatency,
+                   double DramBytesPerCycle)
+    : Config(L2Config), DramLatency(DramLatency),
+      DramBytesPerCycle(DramBytesPerCycle) {
+  L2 = CacheSim::makeLevel(Config);
+}
+
+void SharedL2::reset() {
+  L2 = CacheSim::makeLevel(Config);
+  Stats = CacheStats();
+  Clock = 0;
+}
+
+bool CacheSim::probe(CacheLevelState &L, uint64_t LineAddr, uint64_t &Clock) {
   uint64_t Tag = LineAddr | 1; // low bit marks valid
   unsigned Set = static_cast<unsigned>(LineAddr % L.NumSets);
   size_t Base = static_cast<size_t>(Set) * L.Assoc;
@@ -57,7 +70,7 @@ bool CacheSim::probe(Level &L, uint64_t LineAddr) {
   return false;
 }
 
-void CacheSim::fill(Level &L, uint64_t LineAddr) {
+void CacheSim::fill(CacheLevelState &L, uint64_t LineAddr, uint64_t &Clock) {
   uint64_t Tag = LineAddr | 1;
   unsigned Set = static_cast<unsigned>(LineAddr % L.NumSets);
   size_t Base = static_cast<size_t>(Set) * L.Assoc;
@@ -84,24 +97,36 @@ MemLevel CacheSim::access(uint64_t Addr, uint32_t Bytes) {
   uint64_t FirstLine = Addr >> L1.LineShift;
   uint64_t LastLine = (Addr + Bytes - 1) >> L1.LineShift;
 
+  // Which L2 state this core sees: the private level, or the cluster's
+  // shared one (with the shared LRU clock, so eviction order reflects
+  // the interleaved cross-core access order).
+  CacheLevelState &L2State = Shared ? Shared->L2 : L2;
+  uint64_t &L2Clock = Shared ? Shared->Clock : Clock;
+
   MemLevel Deepest = MemLevel::L1;
   for (uint64_t Line = FirstLine; Line <= LastLine; ++Line) {
-    if (probe(L1, Line)) {
+    if (probe(L1, Line, Clock)) {
       ++Stats.L1Hits;
       continue;
     }
     ++Stats.L1Misses;
-    if (probe(L2, Line)) {
+    if (probe(L2State, Line, L2Clock)) {
       ++Stats.L2Hits;
-      fill(L1, Line);
+      if (Shared)
+        ++Shared->Stats.L2Hits;
+      fill(L1, Line, Clock);
       if (Deepest == MemLevel::L1)
         Deepest = MemLevel::L2;
       continue;
     }
     ++Stats.L2Misses;
     Stats.DramBytes += LineBytes;
-    fill(L2, Line);
-    fill(L1, Line);
+    if (Shared) {
+      ++Shared->Stats.L2Misses;
+      Shared->Stats.DramBytes += LineBytes;
+    }
+    fill(L2State, Line, L2Clock);
+    fill(L1, Line, Clock);
     Deepest = MemLevel::DRAM;
   }
   return Deepest;
@@ -112,9 +137,9 @@ double CacheSim::latencyFor(MemLevel Level) const {
   case MemLevel::L1:
     return Config.L1.HitLatency;
   case MemLevel::L2:
-    return Config.L2.HitLatency;
+    return Shared ? Shared->config().HitLatency : Config.L2.HitLatency;
   case MemLevel::DRAM:
-    return Config.DramLatency;
+    return Shared ? Shared->dramLatency() : Config.DramLatency;
   }
   return 0;
 }

@@ -11,6 +11,13 @@
 /// bandwidth bound that reproduces the paper's memset-derived memory roof
 /// (~3.16 bytes/cycle on the X60, §5.2).
 ///
+/// For multi-core clusters the L2 (and the DRAM behind it) can be a
+/// SharedL2 owned by the cluster: each core keeps a private L1 CacheSim
+/// and attaches the shared level, so one core's fills evict another
+/// core's lines — the contention the cluster scenarios measure. Callers
+/// must serialize accesses to an attached SharedL2 (the cluster runner's
+/// deterministic round-robin gate does); the cache itself holds no lock.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MPERF_HW_CACHESIM_H
@@ -53,10 +60,59 @@ struct CacheStats {
   uint64_t DramBytes = 0;
 };
 
+/// One level's tag array with LRU stamps. Exposed at namespace scope so
+/// a SharedL2 can hold the same state a private level does.
+struct CacheLevelState {
+  unsigned NumSets = 0;
+  unsigned Assoc = 0;
+  unsigned LineShift = 6;
+  std::vector<uint64_t> Tags;   // NumSets * Assoc, 0 = invalid
+  std::vector<uint64_t> Stamps; // LRU timestamps
+};
+
+/// A unified L2 (plus the DRAM behind it) shared by every core of a
+/// cluster. Each core's private CacheSim attaches one of these; lookups
+/// that miss the core's L1 then probe and fill the *shared* tag array,
+/// so the cores compete for capacity. LRU stamps come from the shared
+/// clock, which advances in the cross-core program order the cluster
+/// runner's deterministic interleave establishes. Not internally
+/// synchronized: the runner serializes all simulation that reaches it.
+class SharedL2 {
+public:
+  SharedL2(const CacheLevelConfig &L2, double DramLatency,
+           double DramBytesPerCycle);
+
+  /// Cluster-wide totals: every core's L2 hits/misses and DRAM traffic
+  /// (L1 fields stay zero — L1s are private).
+  const CacheStats &stats() const { return Stats; }
+  const CacheLevelConfig &config() const { return Config; }
+  double dramLatency() const { return DramLatency; }
+  double dramBytesPerCycle() const { return DramBytesPerCycle; }
+
+  /// Drops all cached lines and zeroes statistics.
+  void reset();
+
+private:
+  friend class CacheSim;
+  CacheLevelConfig Config;
+  double DramLatency;
+  double DramBytesPerCycle;
+  CacheLevelState L2;
+  CacheStats Stats;
+  uint64_t Clock = 0;
+};
+
 /// The hierarchy. Physically-indexed on the VM's flat addresses.
 class CacheSim {
 public:
   explicit CacheSim(const CacheConfig &Config);
+
+  /// Routes L2 probes and fills through \p Shared instead of the
+  /// private L2. This core's CacheStats still count its own L2
+  /// hits/misses and DRAM bytes; the shared object accumulates the
+  /// cluster totals. Call before the first access; the caller owns
+  /// \p Shared and must serialize all attached cores' accesses.
+  void attachSharedL2(SharedL2 *Shared) { this->Shared = Shared; }
 
   /// Simulates an access of \p Bytes at \p Addr. Returns the deepest
   /// level touched by any line of the access. Write-allocate, so loads
@@ -69,26 +125,21 @@ public:
   const CacheStats &stats() const { return Stats; }
   const CacheConfig &config() const { return Config; }
 
-  /// Drops all cached lines and zeroes statistics.
+  /// Drops all cached lines and zeroes statistics (private levels only;
+  /// an attached SharedL2 is reset by its owner).
   void reset();
 
 private:
-  /// One level's tag array with LRU stamps.
-  struct Level {
-    unsigned NumSets = 0;
-    unsigned Assoc = 0;
-    unsigned LineShift = 6;
-    std::vector<uint64_t> Tags;   // NumSets * Assoc, 0 = invalid
-    std::vector<uint64_t> Stamps; // LRU timestamps
-  };
+  friend class SharedL2; // shares makeLevel for its tag array
 
   /// Returns true when \p LineAddr hits in \p L (and touches LRU).
-  bool probe(Level &L, uint64_t LineAddr);
-  void fill(Level &L, uint64_t LineAddr);
-  static Level makeLevel(const CacheLevelConfig &C);
+  static bool probe(CacheLevelState &L, uint64_t LineAddr, uint64_t &Clock);
+  static void fill(CacheLevelState &L, uint64_t LineAddr, uint64_t &Clock);
+  static CacheLevelState makeLevel(const CacheLevelConfig &C);
 
   CacheConfig Config;
-  Level L1, L2;
+  CacheLevelState L1, L2;
+  SharedL2 *Shared = nullptr;
   CacheStats Stats;
   uint64_t Clock = 0;
 };

@@ -39,8 +39,12 @@ std::string_view mperf::hw::eventName(EventKind Kind) {
   return "unknown";
 }
 
-CoreModel::CoreModel(const CoreConfig &Core, const CacheConfig &Cache)
-    : Core(Core), Cache(Cache) {}
+CoreModel::CoreModel(const CoreConfig &Core, const CacheConfig &Cache,
+                     SharedL2 *Shared)
+    : Core(Core), Cache(Cache) {
+  if (Shared)
+    this->Cache.attachSharedL2(Shared);
+}
 
 void CoreModel::reset() {
   Cache.reset();

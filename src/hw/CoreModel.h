@@ -89,7 +89,12 @@ struct CoreStats {
 /// The timing model; attach it to an Interpreter as a TraceConsumer.
 class CoreModel : public vm::TraceConsumer {
 public:
-  CoreModel(const CoreConfig &Core, const CacheConfig &Cache);
+  /// \p Shared, when non-null, routes this core's L2/DRAM traffic
+  /// through a cluster-shared cache level (see hw::SharedL2); the
+  /// private \p Cache config then describes only the L1 plus this
+  /// core's *share* of the cluster's DRAM latency/bandwidth.
+  CoreModel(const CoreConfig &Core, const CacheConfig &Cache,
+            SharedL2 *Shared = nullptr);
 
   void onRetire(const vm::RetiredOp &Op) override { retireOne(Op); }
 

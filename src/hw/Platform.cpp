@@ -15,6 +15,8 @@
 
 #include "hw/Platform.h"
 
+#include <cctype>
+
 using namespace mperf;
 using namespace mperf::hw;
 
@@ -304,6 +306,64 @@ Platform mperf::hw::intelI5_1135G7() {
   P.OverflowSupport = "Yes";
   P.UpstreamLinux = "Yes";
   return P;
+}
+
+Cluster mperf::hw::makeCluster(const Platform &P, unsigned NumCores,
+                               const std::string &KeyBase) {
+  Cluster C;
+  std::string Base = KeyBase;
+  if (Base.empty())
+    for (char Ch : P.CoreName)
+      if (std::isalnum(static_cast<unsigned char>(Ch)))
+        Base += static_cast<char>(std::tolower(static_cast<unsigned char>(Ch)));
+  C.Key = Base + "x" + std::to_string(NumCores);
+  C.Name = std::to_string(NumCores) + "x " + P.CoreName;
+  C.Cores.assign(NumCores, P);
+  // The cores share the capacity and bandwidth one of them used to own:
+  // that is the contention the cluster scenarios exist to expose.
+  C.SharedL2Config = P.Cache.L2;
+  C.DramLatency = P.Cache.DramLatency;
+  C.DramBytesPerCycle = P.Cache.DramBytesPerCycle;
+  return C;
+}
+
+Cluster mperf::hw::clusterC906x4() {
+  Cluster C = makeCluster(theadC906(), 4, "c906");
+  C.Name = "4x T-Head C906";
+  return C;
+}
+
+Cluster mperf::hw::clusterU74X60() {
+  Cluster C;
+  C.Key = "u74x60";
+  C.Name = "2x SiFive U74 + 2x SpacemiT X60";
+  // Representative core first: the vector-less U74, so the shared
+  // Program compiles scalar and runs on every core of the mix.
+  Platform U74 = sifiveU74();
+  Platform X60 = spacemitX60();
+  C.Cores = {U74, U74, X60, X60};
+  C.SharedL2Config = U74.Cache.L2; // the big cores' 2 MiB, now shared
+  C.DramLatency = 100;
+  C.DramBytesPerCycle = 4.0; // cluster fabric, split fairly four ways
+  return C;
+}
+
+Cluster mperf::hw::clusterX60x2() {
+  Cluster C = makeCluster(spacemitX60(), 2, "x60");
+  C.Name = "2x SpacemiT X60";
+  return C;
+}
+
+std::vector<Cluster> mperf::hw::allClusters() {
+  return {clusterC906x4(), clusterU74X60(), clusterX60x2()};
+}
+
+const Cluster *mperf::hw::clusterByKey(const std::vector<Cluster> &Db,
+                                       const std::string &Key) {
+  for (const Cluster &C : Db)
+    if (C.Key == Key)
+      return &C;
+  return nullptr;
 }
 
 std::vector<Platform> mperf::hw::allPlatforms() {

@@ -93,6 +93,63 @@ Platform theadC906();
 /// with a fully capable PMU.
 Platform intelI5_1135G7();
 
+/// A multi-core cluster: N cores — each a full Platform, so
+/// big.LITTLE mixes are simply lists of different Platforms — sharing
+/// one unified L2 and the DRAM behind it. This is the serving-case
+/// topology the single-hart evaluation cannot express: N instances of
+/// one workload contending on shared cache capacity and bandwidth.
+struct Cluster {
+  std::string Name; // "4x T-Head C906"
+  /// Short stable token for CLI specs and scenario names ("c906x4").
+  std::string Key;
+  /// Per-core platforms. Cores[0] is the *representative* core:
+  /// cluster scenarios compile workloads against its TargetInfo and
+  /// identify themselves with its CpuId (for big.LITTLE mixes this
+  /// means the least-capable core first, so one shared Program runs
+  /// everywhere).
+  std::vector<Platform> Cores;
+  /// Geometry/latency of the shared level every core's L1 misses into.
+  CacheLevelConfig SharedL2Config;
+  /// Memory behind the shared level. DramBytesPerCycle is the
+  /// *cluster-total* sustained bandwidth; each core's analytical
+  /// bandwidth floor uses its fair share (total / numCores()).
+  double DramLatency = 90;
+  double DramBytesPerCycle = 3.16;
+  /// Retired IR ops one core executes before the deterministic
+  /// round-robin interleave hands the shared cache to the next core
+  /// (enforced at retire-batch granularity; see vm/MultiRun.h).
+  uint64_t InterleaveQuantum = 4096;
+
+  unsigned numCores() const { return static_cast<unsigned>(Cores.size()); }
+  bool empty() const { return Cores.empty(); }
+};
+
+/// A homogeneous cluster of \p NumCores copies of \p P sharing P's L2
+/// capacity and DRAM bandwidth. \p KeyBase defaults to a lowercased
+/// alphanumeric form of the core name; the Key becomes
+/// "<base>x<NumCores>".
+Cluster makeCluster(const Platform &P, unsigned NumCores,
+                    const std::string &KeyBase = "");
+
+/// 4x T-Head C906 sharing the D1's small L2 — maximum capacity
+/// contention on in-order single-issue cores.
+Cluster clusterC906x4();
+
+/// big.LITTLE mix: 2x SiFive U74 + 2x SpacemiT X60 behind one 2 MiB L2.
+/// The representative (compile-target) core is the vector-less U74, so
+/// one shared Program runs on both core kinds.
+Cluster clusterU74X60();
+
+/// 2x SpacemiT X60 sharing the 512 KiB L2.
+Cluster clusterX60x2();
+
+/// All registered clusters, in presentation order.
+std::vector<Cluster> allClusters();
+
+/// Looks a cluster up by its Key token; nullptr on miss.
+const Cluster *clusterByKey(const std::vector<Cluster> &Db,
+                            const std::string &Key);
+
 /// All registered platforms: the paper's four in presentation order,
 /// then the extra sweep columns (C906).
 std::vector<Platform> allPlatforms();

@@ -287,6 +287,94 @@ public:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// contention — per-core balance and shared-L2 pressure of a cluster
+// profile (miniperf/ClusterSession.h). Degenerates cleanly on a plain
+// single-hart profile: one core, no shared level, imbalance 1.0.
+//===----------------------------------------------------------------------===//
+
+class ContentionAnalysis : public Analysis {
+public:
+  std::string name() const override { return "contention"; }
+  std::string description() const override {
+    return "per-core cycle/IPC balance and shared-L2 pressure of a "
+           "multi-core cluster profile";
+  }
+  std::vector<std::string> requiredEvents() const override { return {}; }
+
+  Expected<AnalysisResult> run(const Profile &P) const override {
+    // A single-hart profile is its own (only) core; a cluster profile
+    // carries each core's full profile.
+    std::vector<const Profile *> Cores;
+    if (P.CoreProfiles.empty())
+      Cores.push_back(&P);
+    else
+      for (const Profile &C : P.CoreProfiles)
+        Cores.push_back(&C);
+
+    AnalysisResult R = makeResult(1);
+    R.Table = TextTable(
+        "Cluster contention — " +
+        (P.ClusterName.empty() ? P.Platform.CoreName : P.ClusterName));
+    R.Table.addHeader({"Core", "cycles", "instructions", "IPC", "L2 misses",
+                       "DRAM bytes"});
+
+    uint64_t MinCycles = UINT64_MAX, MaxCycles = 0;
+    JsonValue PerCore = JsonValue::makeArray();
+    for (size_t I = 0; I != Cores.size(); ++I) {
+      const Profile &C = *Cores[I];
+      MinCycles = std::min(MinCycles, C.Cycles);
+      MaxCycles = std::max(MaxCycles, C.Cycles);
+      R.Table.addRow({"core" + std::to_string(I) + " (" +
+                          C.Platform.CoreName + ")",
+                      withCommas(C.Cycles), withCommas(C.Instructions),
+                      fixed(C.Ipc, 2), withCommas(C.Cache.L2Misses),
+                      withCommas(C.Cache.DramBytes)});
+      JsonValue O = JsonValue::makeObject();
+      O.insert("core", JsonValue::makeNumber(static_cast<double>(I)));
+      O.insert("platform", JsonValue::makeString(C.Platform.CoreName));
+      O.insert("cycles",
+               JsonValue::makeNumber(static_cast<double>(C.Cycles)));
+      O.insert("instructions",
+               JsonValue::makeNumber(static_cast<double>(C.Instructions)));
+      O.insert("ipc", JsonValue::makeNumber(C.Ipc));
+      O.insert("l2_misses",
+               JsonValue::makeNumber(static_cast<double>(C.Cache.L2Misses)));
+      O.insert("dram_bytes",
+               JsonValue::makeNumber(static_cast<double>(C.Cache.DramBytes)));
+      PerCore.append(std::move(O));
+    }
+    // Load imbalance: the wall clock (slowest core) over the fastest —
+    // 1.0 means perfectly balanced, and trivially 1.0 on one core.
+    const double Imbalance =
+        MinCycles > 0 ? static_cast<double>(MaxCycles) / MinCycles : 1.0;
+    R.Table.addRow({"imbalance (max/min cycles)", fixed(Imbalance, 3), "",
+                    "", "", ""});
+
+    R.Json.insert("num_cores",
+                  JsonValue::makeNumber(static_cast<double>(Cores.size())));
+    R.Json.insert("cluster", JsonValue::makeString(P.ClusterName));
+    R.Json.insert("cluster_cycles",
+                  JsonValue::makeNumber(static_cast<double>(P.Cycles)));
+    R.Json.insert("cluster_instructions",
+                  JsonValue::makeNumber(static_cast<double>(P.Instructions)));
+    R.Json.insert("cluster_ipc", JsonValue::makeNumber(P.Ipc));
+    R.Json.insert("imbalance", JsonValue::makeNumber(Imbalance));
+    JsonValue Shared = JsonValue::makeObject();
+    Shared.insert("l2_hits", JsonValue::makeNumber(
+                                 static_cast<double>(P.SharedCache.L2Hits)));
+    Shared.insert("l2_misses",
+                  JsonValue::makeNumber(
+                      static_cast<double>(P.SharedCache.L2Misses)));
+    Shared.insert("dram_bytes",
+                  JsonValue::makeNumber(
+                      static_cast<double>(P.SharedCache.DramBytes)));
+    R.Json.insert("shared_l2", std::move(Shared));
+    R.Json.insert("per_core", std::move(PerCore));
+    return R;
+  }
+};
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -301,6 +389,7 @@ const AnalysisRegistry &AnalysisRegistry::builtins() {
     R.add(std::make_unique<TopDownAnalysis>());
     R.add(std::make_unique<RooflineAnalysis>());
     R.add(std::make_unique<OpCountsAnalysis>());
+    R.add(std::make_unique<ContentionAnalysis>());
     return R;
   }();
   return Registry;

@@ -1,0 +1,251 @@
+//===- ClusterSession.cpp - One multi-core cluster profiling run --------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "miniperf/ClusterSession.h"
+
+#include "vm/MultiRun.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace mperf;
+using namespace mperf::miniperf;
+using namespace mperf::hw;
+using namespace mperf::kernel;
+
+namespace {
+
+/// The full per-hart profiling stack, one per core. Heap-allocated so
+/// addresses stay stable while threads run.
+struct CoreStack {
+  CoreStack(const Platform &P, const CacheConfig &Cache, SharedL2 *Shared,
+            std::shared_ptr<const vm::Program> Prog, uint64_t Fuel)
+      : ThePlatform(P), Vm(std::move(Prog)), Core(P.Core, Cache, Shared),
+        ThePmu(P.PmuCaps), Sbi(ThePmu, Core),
+        Perf(ThePlatform, ThePmu, Sbi, Core, Vm) {
+    Vm.setFuel(Fuel);
+    Core.setEventSink([this](const EventDeltas &D) { ThePmu.advance(D); });
+  }
+
+  Platform ThePlatform;
+  vm::Instance Vm;
+  CoreModel Core;
+  Pmu ThePmu;
+  sbi::SbiPmu Sbi;
+  PerfEventSubsystem Perf;
+
+  Profile Result;
+  int LeaderFd = -1;
+  std::string ErrorMsg; // empty = ok
+};
+
+} // namespace
+
+static std::string describeEvent(const PerfEventAttr &Attr) {
+  if (Attr.EventType == PerfEventAttr::Type::Raw)
+    return "raw:" + std::to_string(Attr.RawCode);
+  switch (Attr.Hw) {
+  case HwEventId::CpuCycles:
+    return "hw:cycles";
+  case HwEventId::Instructions:
+    return "hw:instructions";
+  default:
+    return "hw:other";
+  }
+}
+
+/// Opens the planned counter group on one core's stack, naming the
+/// counters exactly the way Session does.
+static Error openCounters(CoreStack &S, const SessionOptions &Opts) {
+  GroupPlan Plan = planCyclesInstructionsGroup(
+      S.ThePlatform, Opts.Sampling ? Opts.SamplePeriod : 0);
+  S.Result.Platform = S.ThePlatform;
+  S.Result.UsedWorkaround = Plan.UsesWorkaround;
+  S.Result.SamplingAvailable = Plan.SamplingAvailable;
+  S.Result.LeaderDescription = Plan.LeaderDescription;
+
+  for (const PlannedEvent &E : Plan.Events) {
+    PerfEventAttr Attr = E.Attr;
+    if (!Opts.Sampling)
+      Attr.SamplePeriod = 0;
+    Expected<int> FdOr = S.Perf.open(Attr, S.LeaderFd);
+    if (!FdOr)
+      return Error(FdOr.errorMessage());
+    int Fd = *FdOr;
+    if (S.LeaderFd < 0)
+      S.LeaderFd = Fd;
+    if (E.Role == "leader") {
+      S.Result.Counters.push_back({"leader", 0, Fd, Plan.LeaderDescription});
+      if (Attr.EventType == PerfEventAttr::Type::Hardware &&
+          Attr.Hw == HwEventId::CpuCycles)
+        S.Result.Counters.push_back({"cycles", 0, Fd, describeEvent(Attr)});
+    } else {
+      S.Result.Counters.push_back({E.Role, 0, Fd, describeEvent(Attr)});
+    }
+  }
+  return Error::success();
+}
+
+/// One core's run: setup, count, run, harvest. Everything it touches is
+/// core-private except what flows through the interleave gate.
+static void runCore(CoreStack &S, const std::string &Entry,
+                    const std::vector<vm::RtValue> &Args,
+                    const std::function<void(vm::Instance &)> &Setup) {
+  if (Setup)
+    Setup(S.Vm);
+
+  if (Error E = S.Perf.enable(S.LeaderFd)) {
+    S.ErrorMsg = E.message();
+    return;
+  }
+  Expected<vm::RtValue> RunOr = S.Vm.run(Entry, Args);
+  if (!RunOr) {
+    S.ErrorMsg = RunOr.errorMessage();
+    return;
+  }
+  if (Error E = S.Perf.disable(S.LeaderFd)) {
+    S.ErrorMsg = E.message();
+    return;
+  }
+
+  for (ProfileCounter &C : S.Result.Counters) {
+    Expected<uint64_t> V = S.Perf.read(C.GroupFd);
+    if (V)
+      C.Value = *V;
+  }
+  Profile &R = S.Result;
+  R.Cycles = R.counterValue("cycles");
+  R.Instructions = R.counterValue("instructions");
+  R.Ipc = R.Cycles ? static_cast<double>(R.Instructions) / R.Cycles : 0;
+  R.Seconds =
+      static_cast<double>(R.Cycles) / (S.ThePlatform.Core.FreqGHz * 1e9);
+  R.Samples.assign(S.Perf.ringBuffer().samples().begin(),
+                   S.Perf.ringBuffer().samples().end());
+  R.Core = S.Core.stats();
+  R.Cache = S.Core.cacheStats();
+  R.Interrupts = S.Perf.numInterrupts();
+  R.SbiEcalls = S.Sbi.numEcalls();
+  R.Vm = S.Vm.stats();
+}
+
+static void addStats(hw::CoreStats &Acc, const hw::CoreStats &S) {
+  Acc.Cycles += S.Cycles;
+  Acc.Instret += S.Instret;
+  Acc.RetiredIrOps += S.RetiredIrOps;
+  Acc.BranchMispredicts += S.BranchMispredicts;
+  Acc.FpOpsActual += S.FpOpsActual;
+  Acc.FpOpsSpec += S.FpOpsSpec;
+  Acc.IssueCycles += S.IssueCycles;
+  Acc.MemStallCycles += S.MemStallCycles;
+  Acc.BadSpecCycles += S.BadSpecCycles;
+  Acc.BandwidthCycles += S.BandwidthCycles;
+  Acc.FirmwareCycles += S.FirmwareCycles;
+}
+
+static void addStats(hw::CacheStats &Acc, const hw::CacheStats &S) {
+  Acc.L1Hits += S.L1Hits;
+  Acc.L1Misses += S.L1Misses;
+  Acc.L2Hits += S.L2Hits;
+  Acc.L2Misses += S.L2Misses;
+  Acc.DramBytes += S.DramBytes;
+}
+
+Expected<Profile> ClusterSession::profile(std::shared_ptr<const vm::Program> P,
+                                          const std::string &Entry,
+                                          const std::vector<vm::RtValue> &Args) {
+  if (!P)
+    return makeError<Profile>("miniperf: null program");
+  if (TheCluster.empty())
+    return makeError<Profile>("miniperf: empty cluster");
+
+  unsigned N = TheCluster.numCores();
+  SharedL2 Shared(TheCluster.SharedL2Config, TheCluster.DramLatency,
+                  TheCluster.DramBytesPerCycle);
+  vm::RoundRobin Gate(N, TheCluster.InterleaveQuantum);
+
+  // Build every core's stack up front, on this thread. Each core's L1
+  // config is its own; L2/DRAM latency come from the shared level, and
+  // the analytical bandwidth floor gets the core's fair share of the
+  // cluster's total DRAM bandwidth.
+  std::vector<std::unique_ptr<CoreStack>> Cores;
+  Cores.reserve(N);
+  for (unsigned I = 0; I != N; ++I) {
+    const Platform &CoreP = TheCluster.Cores[I];
+    CacheConfig Cache = CoreP.Cache;
+    Cache.L2 = TheCluster.SharedL2Config;
+    Cache.DramLatency = TheCluster.DramLatency;
+    Cache.DramBytesPerCycle = TheCluster.DramBytesPerCycle / N;
+    Cores.push_back(
+        std::make_unique<CoreStack>(CoreP, Cache, &Shared, P, Opts.Fuel));
+    if (Error E = openCounters(*Cores.back(), Opts))
+      return makeError<Profile>("core " + std::to_string(I) + ": " +
+                                E.message());
+    Cores.back()->Vm.addConsumer(&Gate.gate(I));
+    Gate.addDownstream(I, &Cores.back()->Core);
+  }
+
+  // Run all cores under the deterministic interleave. finished() must be
+  // reached on every path or the remaining cores deadlock.
+  std::vector<std::function<void()>> Bodies;
+  for (unsigned I = 0; I != N; ++I)
+    Bodies.push_back([this, &Gate, &Cores, &Entry, &Args, I] {
+      runCore(*Cores[I], Entry, Args, Setup);
+      Gate.finished(I);
+    });
+  vm::runOnThreads(std::move(Bodies));
+
+  for (unsigned I = 0; I != N; ++I)
+    if (!Cores[I]->ErrorMsg.empty())
+      return makeError<Profile>("core " + std::to_string(I) + ": " +
+                                Cores[I]->ErrorMsg);
+
+  // Aggregate: the cluster as one machine.
+  Profile Agg;
+  Agg.Platform = TheCluster.Cores[0];
+  Agg.NumCores = N;
+  Agg.ClusterName = TheCluster.Name;
+  Agg.UsedWorkaround = Cores[0]->Result.UsedWorkaround;
+  Agg.SamplingAvailable = Cores[0]->Result.SamplingAvailable;
+  Agg.LeaderDescription = Cores[0]->Result.LeaderDescription;
+
+  uint64_t MaxCycles = 0, SumInstructions = 0;
+  double MaxSeconds = 0;
+  for (unsigned I = 0; I != N; ++I) {
+    const Profile &R = Cores[I]->Result;
+    MaxCycles = std::max(MaxCycles, R.Cycles);
+    SumInstructions += R.Instructions;
+    MaxSeconds = std::max(MaxSeconds, R.Seconds);
+    addStats(Agg.Core, R.Core);
+    addStats(Agg.Cache, R.Cache);
+    Agg.Interrupts += R.Interrupts;
+    Agg.SbiEcalls += R.SbiEcalls;
+    Agg.Vm.RetiredOps += R.Vm.RetiredOps;
+    Agg.Vm.Calls += R.Vm.Calls;
+    Agg.Vm.LoadedBytes += R.Vm.LoadedBytes;
+    Agg.Vm.StoredBytes += R.Vm.StoredBytes;
+    Agg.Samples.insert(Agg.Samples.end(), R.Samples.begin(), R.Samples.end());
+    std::string Prefix = "core" + std::to_string(I) + ".";
+    for (const ProfileCounter &C : R.Counters)
+      Agg.Counters.push_back({Prefix + C.Name, C.Value, -1, C.Description});
+  }
+  // Cluster wall clock: the slowest core. IPC is cluster throughput over
+  // that wall clock — the number the throughput-vs-cores analysis plots.
+  Agg.Cycles = MaxCycles;
+  Agg.Instructions = SumInstructions;
+  Agg.Ipc = MaxCycles ? static_cast<double>(SumInstructions) / MaxCycles : 0;
+  Agg.Seconds = MaxSeconds;
+  Agg.Counters.insert(
+      Agg.Counters.begin(),
+      {ProfileCounter{"cycles", MaxCycles, -1, "cluster max over cores"},
+       ProfileCounter{"instructions", SumInstructions, -1,
+                      "cluster sum over cores"}});
+  Agg.SharedCache = Shared.stats();
+  Agg.CoreProfiles.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Agg.CoreProfiles.push_back(std::move(Cores[I]->Result));
+  return Agg;
+}

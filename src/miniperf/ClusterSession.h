@@ -1,0 +1,72 @@
+//===- ClusterSession.h - One multi-core cluster profiling run -*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profiles N instances of one shared Program running "simultaneously"
+/// on an hw::Cluster: each core gets the full per-hart stack a Session
+/// builds (Instance -> CoreModel -> Pmu -> SBI -> perf_event), the
+/// cores' L1 misses contend in one hw::SharedL2, and retirement is
+/// interleaved by the deterministic round-robin gate of vm/MultiRun.h —
+/// so the resulting Profile is bit-identical regardless of host thread
+/// scheduling.
+///
+/// The aggregate Profile models the cluster as one machine: Cycles is
+/// the slowest core's cycle count (the cluster's wall clock),
+/// Instructions and the machine statistics are sums, samples are every
+/// core's samples in core order, and each core's own full Profile is
+/// kept in Profile::CoreProfiles. A 1-core cluster of platform P
+/// reproduces Session(P)'s metrics exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_MINIPERF_CLUSTERSESSION_H
+#define MPERF_MINIPERF_CLUSTERSESSION_H
+
+#include "miniperf/Session.h"
+
+namespace mperf {
+namespace miniperf {
+
+/// One profiling run of one entry point on every core of a cluster.
+class ClusterSession {
+public:
+  explicit ClusterSession(hw::Cluster C, SessionOptions Opts = {})
+      : TheCluster(std::move(C)), Opts(Opts) {}
+
+  /// Called once per core against that core's private Instance, before
+  /// the run (same contract as Session::setSetupHook). Runs on the
+  /// core's thread under the interleave gate, so every core sets up the
+  /// same simulated memory image independently.
+  void setSetupHook(std::function<void(vm::Instance &)> Hook) {
+    Setup = std::move(Hook);
+  }
+
+  /// Overrides the cluster's interleave quantum (retired IR ops per
+  /// turn; 0 = run cores to completion in index order).
+  void setInterleaveQuantum(uint64_t Quantum) {
+    TheCluster.InterleaveQuantum = Quantum;
+  }
+
+  /// Profiles \p Entry of a shared immutable program on all cores at
+  /// once. The returned Profile is the aggregate; per-core profiles are
+  /// in its CoreProfiles.
+  Expected<Profile> profile(std::shared_ptr<const vm::Program> P,
+                            const std::string &Entry,
+                            const std::vector<vm::RtValue> &Args = {});
+
+  const hw::Cluster &cluster() const { return TheCluster; }
+
+private:
+  hw::Cluster TheCluster;
+  SessionOptions Opts;
+  std::function<void(vm::Instance &)> Setup;
+};
+
+} // namespace miniperf
+} // namespace mperf
+
+#endif // MPERF_MINIPERF_CLUSTERSESSION_H

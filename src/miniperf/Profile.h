@@ -106,6 +106,26 @@ struct Profile {
   uint64_t SbiEcalls = 0;
   vm::RunStats Vm;
 
+  //===--------------------------------------------------------------===//
+  // Multi-core cluster runs (see miniperf/ClusterSession.h).
+  //===--------------------------------------------------------------===//
+
+  /// Cores that produced this profile. 1 for a plain Session run; for a
+  /// cluster run the top-level fields above are the aggregate (Cycles =
+  /// slowest core's wall clock, Instructions and statistics = sums,
+  /// Samples = all cores' samples in core order) and CoreProfiles holds
+  /// each core's own full profile.
+  unsigned NumCores = 1;
+  /// The cluster's display name; empty for single-hart runs.
+  std::string ClusterName;
+  /// Shared-L2 totals across the cluster (L1 fields zero); all-zero for
+  /// single-hart runs.
+  hw::CacheStats SharedCache;
+  /// Per-core profiles of a cluster run, in core index order. Empty for
+  /// single-hart runs — NOT a one-element vector, so single-hart
+  /// profiles stay bit-identical with pre-cluster builds.
+  std::vector<Profile> CoreProfiles;
+
   /// Returns the value of scenario tag \p Key, or "" when absent.
   std::string tag(std::string_view Key) const;
 };

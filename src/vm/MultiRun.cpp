@@ -1,0 +1,104 @@
+//===- MultiRun.cpp - Deterministic multi-instance interleaving ---------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/MultiRun.h"
+
+#include <thread>
+
+using namespace mperf;
+using namespace mperf::vm;
+
+RoundRobin::RoundRobin(unsigned NumCores, uint64_t Quantum)
+    : Quantum(Quantum ? Quantum : UINT64_MAX), Gates(NumCores),
+      Done(NumCores, false) {
+  for (unsigned I = 0; I != NumCores; ++I) {
+    Gates[I].Parent = this;
+    Gates[I].Core = I;
+    Gates[I].Budget = this->Quantum;
+  }
+}
+
+void RoundRobin::acquire(unsigned Core) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Cv.wait(Lock, [&] { return Turn == Core; });
+}
+
+void RoundRobin::rotateLocked(unsigned From) {
+  unsigned N = numCores();
+  unsigned Next = From;
+  for (unsigned Step = 1; Step <= N; ++Step) {
+    unsigned Cand = (From + Step) % N;
+    if (!Done[Cand]) {
+      Next = Cand;
+      break;
+    }
+  }
+  // All other cores done: Turn stays on From (which keeps running, or
+  // is itself done and nobody waits).
+  Turn = Next;
+}
+
+void RoundRobin::charge(unsigned Core, uint64_t Ops) {
+  Gate &G = Gates[Core];
+  if (G.Budget > Ops) {
+    G.Budget -= Ops;
+    return;
+  }
+  G.Budget = Quantum;
+  std::lock_guard<std::mutex> Lock(Mu);
+  rotateLocked(Core);
+  Cv.notify_all();
+}
+
+void RoundRobin::finished(unsigned Core) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Done[Core])
+    return;
+  Done[Core] = true;
+  if (Turn == Core)
+    rotateLocked(Core);
+  Cv.notify_all();
+}
+
+void RoundRobin::Gate::onRetire(const RetiredOp &Op) {
+  Parent->acquire(Core);
+  for (TraceConsumer *C : Downstream)
+    C->onRetire(Op);
+  Parent->charge(Core, 1);
+}
+
+void RoundRobin::Gate::onRetireBatch(const RetiredOp *Ops, size_t Count,
+                                     const ir::Instruction *&RetireCursor) {
+  if (Count == 0)
+    return;
+  // Wait for the turn, then deliver without the lock: only the turn
+  // holder ever mutates shared simulation state, and the turn cannot
+  // move while this core holds it.
+  Parent->acquire(Core);
+  for (TraceConsumer *C : Downstream)
+    C->onRetireBatch(Ops, Count, RetireCursor);
+  Parent->charge(Core, Count);
+}
+
+void RoundRobin::Gate::onCallEnter(const ir::Function &F) {
+  for (TraceConsumer *C : Downstream)
+    C->onCallEnter(F);
+}
+
+void RoundRobin::Gate::onCallExit(const ir::Function &F) {
+  for (TraceConsumer *C : Downstream)
+    C->onCallExit(F);
+}
+
+void mperf::vm::runOnThreads(std::vector<std::function<void()>> Bodies) {
+  std::vector<std::thread> Threads;
+  Threads.reserve(Bodies.size());
+  for (std::function<void()> &B : Bodies)
+    Threads.emplace_back(std::move(B));
+  for (std::thread &T : Threads)
+    T.join();
+}

@@ -1,0 +1,120 @@
+//===- MultiRun.h - Deterministic multi-instance interleaving --*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs N vm::Instances of one shared Program "simultaneously" under a
+/// deterministic round-robin interleave. Each instance executes on its
+/// own host thread, but its retire-batch deliveries pass through a Gate
+/// that blocks until it is that core's turn; a core holds the turn for a
+/// quantum of retired IR ops (charged at batch granularity — batches are
+/// at most Instance::RetireBufCap ops, so the granularity error is
+/// bounded and, crucially, identical on every run), then hands it to the
+/// next live core.
+///
+/// The turn index is the single serialization point: everything
+/// downstream of a Gate — the core timing model, the PMU chain, and
+/// through them any cluster-shared cache level (hw::SharedL2) — observes
+/// cross-core events in an order fixed entirely by (program, quantum,
+/// core count). Host scheduling decides only *when* a thread runs, never
+/// *what order* shared simulation state is touched in, which is what
+/// makes cluster profiles bit-identical at any --jobs count.
+///
+/// VM-private work (register file, simulated memory, call events) is NOT
+/// serialized: a core that is not holding the turn can still execute
+/// instructions right up to its next full retire ring. Only the
+/// simulation of retirement waits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_VM_MULTIRUN_H
+#define MPERF_VM_MULTIRUN_H
+
+#include "vm/Trace.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace mperf {
+namespace vm {
+
+/// The shared turnstile of one multi-instance run plus one Gate per
+/// core. Create it, register each core's downstream consumers on its
+/// gate, attach gate(i) to instance i, run the instances on their own
+/// threads, and have each thread call finished(i) when its run returns
+/// (on success or failure — a core that never reports finished blocks
+/// the others forever).
+class RoundRobin {
+public:
+  /// A per-core TraceConsumer that forwards to the core's downstream
+  /// consumers only while holding the cluster turn.
+  class Gate : public TraceConsumer {
+  public:
+    void onRetire(const RetiredOp &Op) override;
+    void onRetireBatch(const RetiredOp *Ops, size_t Count,
+                       const ir::Instruction *&RetireCursor) override;
+    // Call events only touch per-core consumer state and are already in
+    // deterministic per-core program order; they forward without taking
+    // the turn so a waiting core can keep executing VM work.
+    void onCallEnter(const ir::Function &F) override;
+    void onCallExit(const ir::Function &F) override;
+
+  private:
+    friend class RoundRobin;
+    RoundRobin *Parent = nullptr;
+    unsigned Core = 0;
+    std::vector<TraceConsumer *> Downstream;
+    /// Retired ops left in the current quantum while holding the turn.
+    uint64_t Budget = 0;
+  };
+
+  /// \p Quantum is in retired IR ops; 0 means "never preempt" (each
+  /// core runs to completion in index order — still deterministic).
+  RoundRobin(unsigned NumCores, uint64_t Quantum);
+
+  /// The gate to attach to instance \p Core (addConsumer).
+  Gate &gate(unsigned Core) { return Gates[Core]; }
+
+  /// Registers \p C to receive core \p Core's trace through the gate.
+  void addDownstream(unsigned Core, TraceConsumer *C) {
+    Gates[Core].Downstream.push_back(C);
+  }
+
+  /// Core \p Core will retire nothing further: releases its turn and
+  /// removes it from the rotation. Idempotent.
+  void finished(unsigned Core);
+
+  unsigned numCores() const { return static_cast<unsigned>(Gates.size()); }
+  uint64_t quantum() const { return Quantum; }
+
+private:
+  /// Blocks until it is \p Core's turn; returns with the turn held.
+  void acquire(unsigned Core);
+  /// Charges \p Ops against the quantum; rotates to the next live core
+  /// when it is spent.
+  void charge(unsigned Core, uint64_t Ops);
+  /// Advances Turn to the next not-Done core (lock held).
+  void rotateLocked(unsigned From);
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  unsigned Turn = 0;
+  uint64_t Quantum;
+  std::vector<Gate> Gates;
+  std::vector<bool> Done;
+};
+
+/// Runs every body on its own thread and joins them all. Convenience
+/// for cluster sessions and tests; bodies must not throw.
+void runOnThreads(std::vector<std::function<void()>> Bodies);
+
+} // namespace vm
+} // namespace mperf
+
+#endif // MPERF_VM_MULTIRUN_H

@@ -1,0 +1,474 @@
+//===- cluster_test.cpp - Multi-core cluster determinism and parity ------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// The three properties the multi-core layer stands on:
+//   1. Determinism — a cluster sweep is bit-identical at any --jobs
+//      count and across repeated runs (the RoundRobin turnstile, not
+//      host scheduling, orders every shared-state access).
+//   2. Parity — a 1-core cluster produces exactly the metrics of a
+//      plain single-hart Session on the same platform (the shared-L2
+//      split-clock construction changes nothing when nobody shares).
+//   3. Sanity — contention only ever slows a core down, shared-L2
+//      totals agree with the per-core views, and the architectural
+//      counts are invariant under the interleave quantum.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ScenarioMatrix.h"
+#include "driver/SweepRunner.h"
+#include "miniperf/Analysis.h"
+#include "miniperf/ClusterSession.h"
+#include "miniperf/Session.h"
+#include "vm/MultiRun.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace mperf;
+using namespace mperf::driver;
+
+namespace {
+
+/// Picks the registered workload called \p Name.
+WorkloadDesc workload(const std::string &Name) {
+  auto SelectedOr = selectWorkloads(Name);
+  if (SelectedOr && !SelectedOr->empty())
+    return std::move(SelectedOr->front());
+  ADD_FAILURE() << "workload " << Name << " missing";
+  return {};
+}
+
+/// Compiles \p Name (scalar) against \p P's target.
+CompiledWorkload compiled(const std::string &Name, const hw::Platform &P) {
+  WorkloadDesc W = workload(Name);
+  auto COr = W.Compile(P.Target, false);
+  EXPECT_TRUE(bool(COr)) << COr.errorMessage();
+  return COr ? std::move(*COr) : CompiledWorkload{};
+}
+
+/// Profiles \p W on an N-core homogeneous cluster of \p P.
+miniperf::Profile clusterProfile(const hw::Platform &P, unsigned N,
+                                 const CompiledWorkload &W,
+                                 uint64_t Quantum = 0) {
+  hw::Cluster C = hw::makeCluster(P, N);
+  if (Quantum)
+    C.InterleaveQuantum = Quantum;
+  miniperf::ClusterSession Sess(C);
+  if (W.Setup)
+    Sess.setSetupHook(W.Setup);
+  auto POr = Sess.profile(W.Prog, W.Entry, W.Args);
+  EXPECT_TRUE(bool(POr)) << POr.errorMessage();
+  return POr ? std::move(*POr) : miniperf::Profile{};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RoundRobin turnstile
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Drives \p N fake cores, each retiring \p Batches batches of
+/// \p BatchOps ops through its gate, and returns the admission order.
+std::vector<std::pair<unsigned, size_t>>
+interleaveOrder(unsigned N, uint64_t Quantum, size_t Batches,
+                size_t BatchOps) {
+  vm::RoundRobin RR(N, Quantum);
+  std::vector<std::pair<unsigned, size_t>> Order;
+  struct Recorder : vm::TraceConsumer {
+    std::vector<std::pair<unsigned, size_t>> *Order;
+    unsigned Core;
+    void onRetire(const vm::RetiredOp &) override {}
+    void onRetireBatch(const vm::RetiredOp *, size_t Count,
+                       const ir::Instruction *&) override {
+      Order->push_back({Core, Count});
+    }
+  };
+  std::vector<Recorder> Recorders(N);
+  for (unsigned I = 0; I != N; ++I) {
+    Recorders[I].Order = &Order;
+    Recorders[I].Core = I;
+    RR.addDownstream(I, &Recorders[I]);
+  }
+  std::vector<std::function<void()>> Bodies;
+  for (unsigned I = 0; I != N; ++I)
+    Bodies.push_back([&RR, I, Batches, BatchOps] {
+      std::vector<vm::RetiredOp> Ops(BatchOps);
+      const ir::Instruction *Cursor = nullptr;
+      for (size_t B = 0; B != Batches; ++B)
+        RR.gate(I).onRetireBatch(Ops.data(), Ops.size(), Cursor);
+      RR.finished(I);
+    });
+  vm::runOnThreads(std::move(Bodies));
+  return Order;
+}
+
+} // namespace
+
+TEST(RoundRobinTest, InterleaveOrderIsDeterministic) {
+  // 3 cores x 8 batches of 16 ops, quantum 32 = 2 batches per turn.
+  auto A = interleaveOrder(3, 32, 8, 16);
+  auto B = interleaveOrder(3, 32, 8, 16);
+  ASSERT_EQ(A.size(), 24u);
+  EXPECT_EQ(A, B);
+
+  // Every batch arrives; per-core totals are exact.
+  size_t Counts[3] = {0, 0, 0};
+  for (const auto &E : A)
+    Counts[E.first] += E.second;
+  for (size_t C : Counts)
+    EXPECT_EQ(C, 8u * 16u);
+
+  // The first turn belongs to core 0 and lasts exactly one quantum.
+  EXPECT_EQ(A[0].first, 0u);
+  EXPECT_EQ(A[1].first, 0u);
+  EXPECT_EQ(A[2].first, 1u);
+}
+
+TEST(RoundRobinTest, QuantumZeroRunsCoresInIndexOrder) {
+  auto Order = interleaveOrder(3, 0, 4, 8);
+  ASSERT_EQ(Order.size(), 12u);
+  // Never preempted: all of core 0, then all of 1, then all of 2.
+  for (size_t I = 0; I != Order.size(); ++I)
+    EXPECT_EQ(Order[I].first, I / 4) << "batch " << I;
+}
+
+TEST(RoundRobinTest, FinishedCoreLeavesRotation) {
+  // Core 1 retires only 1 batch; cores 0 and 2 must still drain fully
+  // (a finished core hands its turn on instead of blocking the ring).
+  vm::RoundRobin RR(3, 8);
+  std::vector<size_t> Totals(3, 0);
+  struct Counter : vm::TraceConsumer {
+    size_t *Total;
+    void onRetire(const vm::RetiredOp &) override {}
+    void onRetireBatch(const vm::RetiredOp *, size_t Count,
+                       const ir::Instruction *&) override {
+      *Total += Count;
+    }
+  };
+  std::vector<Counter> Counters(3);
+  for (unsigned I = 0; I != 3; ++I) {
+    Counters[I].Total = &Totals[I];
+    RR.addDownstream(I, &Counters[I]);
+  }
+  std::vector<std::function<void()>> Bodies;
+  for (unsigned I = 0; I != 3; ++I)
+    Bodies.push_back([&RR, I] {
+      std::vector<vm::RetiredOp> Ops(8);
+      const ir::Instruction *Cursor = nullptr;
+      const size_t Batches = I == 1 ? 1 : 6;
+      for (size_t B = 0; B != Batches; ++B)
+        RR.gate(I).onRetireBatch(Ops.data(), Ops.size(), Cursor);
+      RR.finished(I);
+    });
+  vm::runOnThreads(std::move(Bodies));
+  EXPECT_EQ(Totals[0], 48u);
+  EXPECT_EQ(Totals[1], 8u);
+  EXPECT_EQ(Totals[2], 48u);
+}
+
+//===----------------------------------------------------------------------===//
+// Single-core parity: a 1x cluster is exactly a Session
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterSessionTest, OneCoreClusterMatchesPlainSession) {
+  const hw::Platform P = hw::spacemitX60();
+  const CompiledWorkload W = compiled("triad", P);
+  ASSERT_TRUE(W.Prog);
+
+  miniperf::Session Single(P);
+  if (W.Setup)
+    Single.setSetupHook(W.Setup);
+  auto SOr = Single.profile(W.Prog, W.Entry, W.Args);
+  ASSERT_TRUE(bool(SOr)) << SOr.errorMessage();
+
+  miniperf::Profile C = clusterProfile(P, 1, W);
+
+  // Zero drift on every deterministic metric: the split L1/L2 LRU
+  // clocks preserve relative touch order within each level, and the
+  // fair-share bandwidth divisor is 1.
+  EXPECT_EQ(C.Cycles, SOr->Cycles);
+  EXPECT_EQ(C.Instructions, SOr->Instructions);
+  EXPECT_DOUBLE_EQ(C.Ipc, SOr->Ipc);
+  EXPECT_DOUBLE_EQ(C.Seconds, SOr->Seconds);
+  EXPECT_EQ(C.Samples.size(), SOr->Samples.size());
+  EXPECT_EQ(C.Interrupts, SOr->Interrupts);
+  EXPECT_EQ(C.SbiEcalls, SOr->SbiEcalls);
+  EXPECT_EQ(C.Core.Cycles, SOr->Core.Cycles);
+  EXPECT_EQ(C.Core.Instret, SOr->Core.Instret);
+  EXPECT_EQ(C.Core.BranchMispredicts, SOr->Core.BranchMispredicts);
+  EXPECT_EQ(C.Core.MemStallCycles, SOr->Core.MemStallCycles);
+  EXPECT_EQ(C.Cache.L1Hits, SOr->Cache.L1Hits);
+  EXPECT_EQ(C.Cache.L1Misses, SOr->Cache.L1Misses);
+  EXPECT_EQ(C.Cache.L2Hits, SOr->Cache.L2Hits);
+  EXPECT_EQ(C.Cache.L2Misses, SOr->Cache.L2Misses);
+  EXPECT_EQ(C.Cache.DramBytes, SOr->Cache.DramBytes);
+  EXPECT_EQ(C.Vm.RetiredOps, SOr->Vm.RetiredOps);
+
+  // The cluster shape: 1 core, its own profile attached, and the
+  // shared L2 saw exactly the traffic the private L2 would have.
+  EXPECT_EQ(C.NumCores, 1u);
+  ASSERT_EQ(C.CoreProfiles.size(), 1u);
+  EXPECT_EQ(C.SharedCache.L2Hits, SOr->Cache.L2Hits);
+  EXPECT_EQ(C.SharedCache.L2Misses, SOr->Cache.L2Misses);
+
+  // A plain Session profile carries no cluster fields at all.
+  EXPECT_EQ(SOr->NumCores, 1u);
+  EXPECT_TRUE(SOr->CoreProfiles.empty());
+  EXPECT_TRUE(SOr->ClusterName.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism and quantum invariance
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterSessionTest, RepeatedRunsAreIdentical) {
+  const hw::Platform P = hw::theadC906();
+  const CompiledWorkload W = compiled("memset", P);
+  ASSERT_TRUE(W.Prog);
+
+  miniperf::Profile A = clusterProfile(P, 4, W);
+  miniperf::Profile B = clusterProfile(P, 4, W);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.Instructions, B.Instructions);
+  EXPECT_EQ(A.SharedCache.L2Hits, B.SharedCache.L2Hits);
+  EXPECT_EQ(A.SharedCache.L2Misses, B.SharedCache.L2Misses);
+  EXPECT_EQ(A.SharedCache.DramBytes, B.SharedCache.DramBytes);
+  ASSERT_EQ(A.CoreProfiles.size(), B.CoreProfiles.size());
+  for (size_t I = 0; I != A.CoreProfiles.size(); ++I) {
+    EXPECT_EQ(A.CoreProfiles[I].Cycles, B.CoreProfiles[I].Cycles) << I;
+    EXPECT_EQ(A.CoreProfiles[I].Cache.L2Misses,
+              B.CoreProfiles[I].Cache.L2Misses)
+        << I;
+    EXPECT_EQ(A.CoreProfiles[I].Samples.size(),
+              B.CoreProfiles[I].Samples.size())
+        << I;
+  }
+}
+
+TEST(ClusterSessionTest, ArchitecturalCountsAreQuantumInvariant) {
+  // The quantum decides *when* each core's retirement is simulated,
+  // never *what* each core executes: instruction counts are identical
+  // under any quantum. (Cycles may legitimately differ — cache
+  // interleaving is the contention being modeled.)
+  const hw::Platform P = hw::spacemitX60();
+  const CompiledWorkload W = compiled("triad", P);
+  ASSERT_TRUE(W.Prog);
+
+  miniperf::Profile Small = clusterProfile(P, 2, W, 64);
+  miniperf::Profile Large = clusterProfile(P, 2, W, 1 << 20);
+  EXPECT_EQ(Small.Instructions, Large.Instructions);
+  ASSERT_EQ(Small.CoreProfiles.size(), 2u);
+  ASSERT_EQ(Large.CoreProfiles.size(), 2u);
+  for (unsigned I = 0; I != 2; ++I) {
+    EXPECT_EQ(Small.CoreProfiles[I].Instructions,
+              Large.CoreProfiles[I].Instructions)
+        << I;
+    EXPECT_EQ(Small.CoreProfiles[I].Vm.RetiredOps,
+              Large.CoreProfiles[I].Vm.RetiredOps)
+        << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Contention sanity
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterSessionTest, ContentionNeverSpeedsACoreUp) {
+  // memset streams through the shared L2: with 4 cores fighting over
+  // it and a quarter of the DRAM bandwidth each, a core can only be as
+  // fast as it was alone, never faster.
+  const hw::Platform P = hw::theadC906();
+  const CompiledWorkload W = compiled("memset", P);
+  ASSERT_TRUE(W.Prog);
+
+  miniperf::Profile Alone = clusterProfile(P, 1, W);
+  miniperf::Profile Crowd = clusterProfile(P, 4, W);
+  ASSERT_EQ(Crowd.CoreProfiles.size(), 4u);
+  for (unsigned I = 0; I != 4; ++I)
+    EXPECT_GE(Crowd.CoreProfiles[I].Cycles, Alone.Cycles) << "core " << I;
+  EXPECT_GE(Crowd.Cycles, Alone.Cycles);
+
+  // Shared-L2 totals are exactly the sum of the per-core views (both
+  // sides of the same access stream).
+  uint64_t SumHits = 0, SumMisses = 0, SumDram = 0, SumInstr = 0;
+  for (const miniperf::Profile &C : Crowd.CoreProfiles) {
+    SumHits += C.Cache.L2Hits;
+    SumMisses += C.Cache.L2Misses;
+    SumDram += C.Cache.DramBytes;
+    SumInstr += C.Instructions;
+  }
+  EXPECT_EQ(Crowd.SharedCache.L2Hits, SumHits);
+  EXPECT_EQ(Crowd.SharedCache.L2Misses, SumMisses);
+  EXPECT_EQ(Crowd.SharedCache.DramBytes, SumDram);
+  EXPECT_EQ(Crowd.Instructions, SumInstr);
+
+  // And the aggregate wall clock is the slowest core's.
+  uint64_t MaxCycles = 0;
+  for (const miniperf::Profile &C : Crowd.CoreProfiles)
+    MaxCycles = std::max(MaxCycles, C.Cycles);
+  EXPECT_EQ(Crowd.Cycles, MaxCycles);
+}
+
+TEST(ClusterSessionTest, BigLittleClusterMixesCoreTypes) {
+  const hw::Cluster C = hw::clusterU74X60();
+  ASSERT_EQ(C.numCores(), 4u);
+  const CompiledWorkload W = compiled("triad", C.Cores[0]);
+  ASSERT_TRUE(W.Prog);
+
+  miniperf::ClusterSession Sess(C);
+  if (W.Setup)
+    Sess.setSetupHook(W.Setup);
+  auto POr = Sess.profile(W.Prog, W.Entry, W.Args);
+  ASSERT_TRUE(bool(POr)) << POr.errorMessage();
+
+  ASSERT_EQ(POr->CoreProfiles.size(), 4u);
+  EXPECT_EQ(POr->CoreProfiles[0].Platform.CoreName, "SiFive U74");
+  EXPECT_EQ(POr->CoreProfiles[2].Platform.CoreName, "SpacemiT X60");
+  // Same scalar program on every core: architectural counts agree
+  // across core types, while the cycle costs are each type's own.
+  for (const miniperf::Profile &Core : POr->CoreProfiles) {
+    EXPECT_GT(Core.Cycles, 0u);
+    EXPECT_EQ(Core.Instructions, POr->CoreProfiles[0].Instructions);
+  }
+  EXPECT_NE(POr->CoreProfiles[0].Cycles, POr->CoreProfiles[2].Cycles)
+      << "U74 and X60 cost models should disagree on the same program";
+  // Cluster wall clock is the slowest core's, whichever type that is.
+  uint64_t MaxCycles = 0;
+  for (const miniperf::Profile &Core : POr->CoreProfiles)
+    MaxCycles = std::max(MaxCycles, Core.Cycles);
+  EXPECT_EQ(POr->Cycles, MaxCycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver integration: matrix, runner, report
+//===----------------------------------------------------------------------===//
+
+TEST(ClusterSweepTest, MatrixAddsClusterCellsAfterPlatforms) {
+  ScenarioMatrix M;
+  M.addPlatform(hw::spacemitX60())
+      .addCluster(hw::clusterX60x2())
+      .addWorkload(workload("triad"));
+  ASSERT_EQ(M.size(), 2u);
+  std::vector<Scenario> S = M.build();
+  ASSERT_EQ(S.size(), 2u);
+
+  EXPECT_EQ(S[0].Name, "triad@x60");
+  EXPECT_FALSE(S[0].isCluster());
+  EXPECT_EQ(S[0].tag("cluster"), "");
+
+  EXPECT_EQ(S[1].Name, "triad@x60x2");
+  EXPECT_TRUE(S[1].isCluster());
+  EXPECT_EQ(S[1].Cluster.numCores(), 2u);
+  EXPECT_EQ(S[1].tag("cluster"), "x60x2");
+  EXPECT_EQ(S[1].tag("cores"), "2");
+  // The representative core keys workload compilation and the build
+  // cache: both cells share one compiled program.
+  EXPECT_EQ(S[1].Platform.CoreName, S[0].Platform.CoreName);
+}
+
+TEST(ClusterSweepTest, SweepIsIdenticalAtAnyJobCount) {
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatform(hw::spacemitX60())
+                                .addCluster(hw::clusterX60x2())
+                                .addCluster(hw::clusterC906x4())
+                                .addWorkload(workload("triad"))
+                                .addWorkload(workload("memset"))
+                                .setAnalyses({"contention"})
+                                .build();
+  ASSERT_EQ(S.size(), 6u);
+
+  SweepOptions Serial;
+  Serial.Jobs = 1;
+  SweepReport A = SweepRunner(Serial).run(S);
+  SweepOptions Parallel;
+  Parallel.Jobs = 4;
+  SweepReport B = SweepRunner(Parallel).run(S);
+
+  ASSERT_EQ(A.Results.size(), B.Results.size());
+  for (size_t I = 0; I != A.Results.size(); ++I) {
+    const ScenarioResult &RA = A.Results[I];
+    const ScenarioResult &RB = B.Results[I];
+    EXPECT_FALSE(RA.Failed) << RA.Name << ": " << RA.Error;
+    EXPECT_FALSE(RB.Failed) << RB.Name << ": " << RB.Error;
+    EXPECT_EQ(RA.Profile.Cycles, RB.Profile.Cycles) << RA.Name;
+    EXPECT_EQ(RA.Profile.Instructions, RB.Profile.Instructions) << RA.Name;
+    EXPECT_EQ(RA.NumSamples, RB.NumSamples) << RA.Name;
+    EXPECT_EQ(RA.Profile.SharedCache.L2Misses,
+              RB.Profile.SharedCache.L2Misses)
+        << RA.Name;
+    // The embedded analysis documents are serialized strings; equality
+    // here is the bit-identity property end to end.
+    ASSERT_EQ(RA.Analyses.size(), RB.Analyses.size());
+    for (size_t J = 0; J != RA.Analyses.size(); ++J)
+      EXPECT_EQ(RA.Analyses[J].Json, RB.Analyses[J].Json) << RA.Name;
+  }
+}
+
+TEST(ClusterSweepTest, ReportCarriesV5ClusterBlocks) {
+  std::vector<Scenario> S = ScenarioMatrix()
+                                .addPlatform(hw::spacemitX60())
+                                .addCluster(hw::clusterX60x2())
+                                .addWorkload(workload("triad"))
+                                .setAnalyses({"contention"})
+                                .build();
+  SweepReport Report = SweepRunner().run(S);
+  ASSERT_EQ(Report.numFailures(), 0u);
+
+  std::string Json = Report.toJson();
+  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v5\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"cores\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"cores\":2"), std::string::npos);
+  EXPECT_NE(Json.find("\"cluster\":\"2x SpacemiT X60\""), std::string::npos);
+  EXPECT_NE(Json.find("\"shared_l2\":{"), std::string::npos);
+  EXPECT_NE(Json.find("\"per_core\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"throughput_vs_cores\":["), std::string::npos);
+  EXPECT_NE(Json.find("\"speedup\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"efficiency\":"), std::string::npos);
+
+  // The scaling table joins the 1-core and 2-core points in one curve.
+  TextTable T = Report.throughputTable();
+  std::string Rendered = T.render();
+  EXPECT_NE(Rendered.find("triad@x60"), std::string::npos);
+  EXPECT_NE(Rendered.find("triad@x60x2"), std::string::npos);
+  EXPECT_NE(Rendered.find("1.00x"), std::string::npos);
+}
+
+TEST(ClusterSweepTest, ContentionAnalysisRunsOnBothShapes) {
+  const miniperf::Analysis *A =
+      miniperf::AnalysisRegistry::builtins().find("contention");
+  ASSERT_NE(A, nullptr);
+
+  const hw::Platform P = hw::spacemitX60();
+  const CompiledWorkload W = compiled("triad", P);
+  ASSERT_TRUE(W.Prog);
+
+  // Single-hart profile: the analysis degenerates to a 1-core view
+  // instead of failing (SweepSchemaCheck runs --analyses all on a
+  // single-core scenario).
+  miniperf::Session Single(P);
+  if (W.Setup)
+    Single.setSetupHook(W.Setup);
+  auto SOr = Single.profile(W.Prog, W.Entry, W.Args);
+  ASSERT_TRUE(bool(SOr)) << SOr.errorMessage();
+  auto SingleRes = A->run(*SOr);
+  ASSERT_TRUE(bool(SingleRes)) << SingleRes.errorMessage();
+  const std::string SingleJson = miniperf::serializeJson(SingleRes->Json);
+  EXPECT_NE(SingleJson.find("\"num_cores\":1"), std::string::npos)
+      << SingleJson;
+
+  // Cluster profile: per-core rows and shared totals.
+  miniperf::Profile C = clusterProfile(P, 2, W);
+  auto ClusterRes = A->run(C);
+  ASSERT_TRUE(bool(ClusterRes)) << ClusterRes.errorMessage();
+  const std::string ClusterJson = miniperf::serializeJson(ClusterRes->Json);
+  EXPECT_NE(ClusterJson.find("\"num_cores\":2"), std::string::npos)
+      << ClusterJson;
+  EXPECT_NE(ClusterJson.find("\"per_core\":["), std::string::npos);
+  EXPECT_NE(ClusterJson.find("\"shared_l2\":{"), std::string::npos);
+}

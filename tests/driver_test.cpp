@@ -328,8 +328,12 @@ TEST(SweepReportTest, TableAndJson) {
 
   std::string Json = Report.toJson();
   EXPECT_TRUE(jsonBalanced(Json)) << Json;
-  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v4\""),
+  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v5\""),
             std::string::npos);
+  // v5: every scenario states its core count; a single-hart sweep has
+  // no scaling curves, so the throughput block is absent.
+  EXPECT_NE(Json.find("\"cores\":1"), std::string::npos);
+  EXPECT_EQ(Json.find("\"throughput_vs_cores\""), std::string::npos);
   EXPECT_NE(Json.find("\"num_scenarios\":2"), std::string::npos);
   EXPECT_NE(Json.find("\"num_failures\":1"), std::string::npos);
   EXPECT_NE(Json.find("\"name\":\"triad@u74\""), std::string::npos);

@@ -1,0 +1,129 @@
+# ===- tools/DocDriftCheck.cmake - Keep docs/ in sync with the tools ------=== #
+#
+# Part of the miniperf project, a reproduction of "Dissecting RISC-V
+# Performance" (PACT 2025). See README.md for details.
+#
+# Run as a CTest script (tools.doc_drift_check):
+#   cmake -DSWEEP=<miniperf-sweep> -DLINT=<miniperf-lint>
+#         -DBENCHDIFF=<bench-diff> -DDOCS=<repo>/docs -P DocDriftCheck.cmake
+#
+# Two drift classes are checked:
+#   1. CLI flags: every `--flag` any tool's --help prints must appear in
+#      docs/cli.md. Adding a flag without documenting it fails CI.
+#   2. The worked example in docs/sweep-report.md: its ```json block
+#      must parse, carry the current schema version, and still contain
+#      the v5 cluster blocks it narrates.
+#
+# ===----------------------------------------------------------------------=== #
+
+cmake_minimum_required(VERSION 3.20)
+
+set(FAILURES 0)
+function(fail MESSAGE)
+  math(EXPR N "${FAILURES} + 1")
+  set(FAILURES ${N} PARENT_SCOPE)
+  message(SEND_ERROR "doc-drift: ${MESSAGE}")
+endfunction()
+
+foreach(VAR SWEEP LINT BENCHDIFF DOCS)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "doc-drift: -D${VAR}=... is required")
+  endif()
+endforeach()
+
+# --- 1. every help flag is documented in docs/cli.md --------------------- #
+
+file(READ "${DOCS}/cli.md" CLI_DOC)
+
+foreach(TOOL SWEEP LINT BENCHDIFF)
+  execute_process(
+    COMMAND "${${TOOL}}" --help
+    OUTPUT_VARIABLE HELP_OUT
+    ERROR_VARIABLE HELP_ERR
+    RESULT_VARIABLE HELP_RC
+  )
+  set(HELP "${HELP_OUT}${HELP_ERR}")
+  if(HELP STREQUAL "")
+    fail("${${TOOL}} --help produced no output (rc=${HELP_RC})")
+    continue()
+  endif()
+  string(REGEX MATCHALL "--[a-z][a-z-]*" FLAGS "${HELP}")
+  list(REMOVE_DUPLICATES FLAGS)
+  list(LENGTH FLAGS NUM_FLAGS)
+  if(NUM_FLAGS EQUAL 0)
+    fail("${${TOOL}} --help printed no --flags at all; extractor broken?")
+  endif()
+  foreach(FLAG IN LISTS FLAGS)
+    string(FIND "${CLI_DOC}" "${FLAG}" AT)
+    if(AT EQUAL -1)
+      fail("flag ${FLAG} from ${${TOOL}} --help is not documented in docs/cli.md")
+    endif()
+  endforeach()
+  message(STATUS "doc-drift: ${NUM_FLAGS} flags from ${${TOOL}} all appear in docs/cli.md")
+endforeach()
+
+# The env overrides are API surface too: they must stay documented.
+foreach(ENV_VAR MPERF_EXEC_ENGINE MPERF_VERIFY MPERF_TRACE)
+  string(FIND "${CLI_DOC}" "${ENV_VAR}" AT)
+  if(AT EQUAL -1)
+    fail("environment override ${ENV_VAR} is not documented in docs/cli.md")
+  endif()
+endforeach()
+
+# --- 2. the worked example in docs/sweep-report.md is live --------------- #
+
+file(READ "${DOCS}/sweep-report.md" REPORT_DOC)
+
+string(REGEX MATCH "```json\n(.*)\n```" FENCE "${REPORT_DOC}")
+if(FENCE STREQUAL "")
+  fail("docs/sweep-report.md has no ```json example block")
+else()
+  set(SAMPLE "${CMAKE_MATCH_1}")
+
+  # Must parse as JSON at all.
+  string(JSON SCHEMA ERROR_VARIABLE JERR GET "${SAMPLE}" schema)
+  if(NOT JERR STREQUAL "NOTFOUND")
+    fail("sample JSON in docs/sweep-report.md does not parse: ${JERR}")
+  elseif(NOT SCHEMA STREQUAL "miniperf-sweep-report/v5")
+    fail("sample schema is '${SCHEMA}', expected miniperf-sweep-report/v5")
+  else()
+    # The narration promises a single-hart cell and a cluster cell with
+    # the v5 blocks; hold the example to it.
+    string(JSON NUM_RESULTS LENGTH "${SAMPLE}" results)
+    if(NUM_RESULTS LESS 2)
+      fail("sample has ${NUM_RESULTS} results; expected a single-hart and a cluster cell")
+    else()
+      string(JSON CORES0 GET "${SAMPLE}" results 0 cores)
+      string(JSON CORES1 GET "${SAMPLE}" results 1 cores)
+      if(NOT CORES0 EQUAL 1)
+        fail("sample results[0].cores is ${CORES0}, expected 1")
+      endif()
+      if(CORES1 LESS 2)
+        fail("sample results[1].cores is ${CORES1}, expected a multi-core cell")
+      endif()
+      foreach(KEY cluster shared_l2 per_core)
+        string(JSON DUMMY ERROR_VARIABLE KERR GET "${SAMPLE}" results 1 ${KEY})
+        if(NOT KERR STREQUAL "NOTFOUND")
+          fail("sample cluster cell is missing the v5 '${KEY}' block")
+        endif()
+      endforeach()
+      string(JSON PER_CORE_LEN LENGTH "${SAMPLE}" results 1 per_core)
+      if(PER_CORE_LEN LESS 2)
+        fail("sample per_core has ${PER_CORE_LEN} entries; expected one per core")
+      endif()
+      string(JSON CURVES ERROR_VARIABLE TERR LENGTH "${SAMPLE}" throughput_vs_cores)
+      if(NOT TERR STREQUAL "NOTFOUND")
+        fail("sample is missing the top-level throughput_vs_cores block")
+      elseif(CURVES LESS 1)
+        fail("sample throughput_vs_cores is empty")
+      endif()
+      message(STATUS "doc-drift: sample report parses as ${SCHEMA} with "
+                     "${NUM_RESULTS} results and ${CURVES} throughput curve(s)")
+    endif()
+  endif()
+endif()
+
+if(FAILURES GREATER 0)
+  message(FATAL_ERROR "doc-drift: ${FAILURES} check(s) failed")
+endif()
+message(STATUS "doc-drift: all checks passed")

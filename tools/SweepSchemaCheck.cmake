@@ -6,10 +6,13 @@
 # Runs miniperf-sweep on one tiny scenario with every analysis attached
 # (and --trace, exercising the observability path), then parses the
 # emitted JSON (CMake's string(JSON ...)) and checks the report and
-# analysis schema version strings, the v4 self_metrics block, the v3
-# build-cache stats block, and the per-scenario build/exec wall-time
-# fields — the contract CI and the --baseline diff mode rely on. The
-# trace output must itself be valid JSON with a traceEvents array.
+# analysis schema version strings, the v5 cores field, the v4
+# self_metrics block, the v3 build-cache stats block, and the
+# per-scenario build/exec wall-time fields — the contract CI and the
+# --baseline diff mode rely on. The trace output must itself be valid
+# JSON with a traceEvents array. A second tiny cluster sweep checks the
+# v5 multi-core blocks (cluster, shared_l2, per_core,
+# throughput_vs_cores).
 #
 # ===----------------------------------------------------------------------=== #
 
@@ -29,8 +32,14 @@ endif()
 file(READ "${REPORT}" DOC)
 
 string(JSON SCHEMA GET "${DOC}" schema)
-if(NOT SCHEMA STREQUAL "miniperf-sweep-report/v4")
-  message(FATAL_ERROR "bad report schema '${SCHEMA}' (want miniperf-sweep-report/v4)")
+if(NOT SCHEMA STREQUAL "miniperf-sweep-report/v5")
+  message(FATAL_ERROR "bad report schema '${SCHEMA}' (want miniperf-sweep-report/v5)")
+endif()
+
+# v5: every scenario states its core count; this sweep is single-hart.
+string(JSON NUM_CORES GET "${DOC}" results 0 cores)
+if(NOT NUM_CORES EQUAL 1)
+  message(FATAL_ERROR "results[0].cores is ${NUM_CORES} (want 1 for a single-hart sweep)")
 endif()
 
 string(JSON NUM_FAILURES GET "${DOC}" num_failures)
@@ -121,5 +130,64 @@ foreach(I RANGE ${LAST})
   endif()
 endforeach()
 
+# ===--------------------------------------------------------------------=== #
+# v5 multi-core blocks: a tiny 2-core cluster sweep must carry the
+# cluster name, the shared-L2 totals, a per-core breakdown of the right
+# length, and a throughput_vs_cores curve joining the single-hart and
+# cluster points of the same base core.
+# ===--------------------------------------------------------------------=== #
+
+set(CLUSTER_REPORT "${CMAKE_CURRENT_BINARY_DIR}/sweep_schema_check_cluster.json")
+execute_process(
+  COMMAND "${SWEEP}" --platforms x60 --clusters x60x2 --workloads triad
+          --analyses contention --quiet --json "${CLUSTER_REPORT}"
+  RESULT_VARIABLE RUN_RESULT
+  OUTPUT_VARIABLE RUN_OUTPUT
+  ERROR_VARIABLE RUN_OUTPUT)
+if(NOT RUN_RESULT EQUAL 0)
+  message(FATAL_ERROR "cluster miniperf-sweep exited with ${RUN_RESULT}:\n${RUN_OUTPUT}")
+endif()
+file(READ "${CLUSTER_REPORT}" CDOC)
+
+string(JSON CNUM_FAILURES GET "${CDOC}" num_failures)
+if(NOT CNUM_FAILURES EQUAL 0)
+  message(FATAL_ERROR "cluster sweep reported ${CNUM_FAILURES} failure(s)")
+endif()
+
+# Scenario order is platform-major with clusters after plain platforms:
+# results[0] is the single-hart x60 cell, results[1] the x60x2 cell.
+string(JSON CORES0 GET "${CDOC}" results 0 cores)
+string(JSON CORES1 GET "${CDOC}" results 1 cores)
+if(NOT CORES0 EQUAL 1 OR NOT CORES1 EQUAL 2)
+  message(FATAL_ERROR "cluster sweep cores are ${CORES0}/${CORES1} (want 1/2)")
+endif()
+string(JSON CLUSTER_NAME GET "${CDOC}" results 1 cluster)
+if(CLUSTER_NAME STREQUAL "")
+  message(FATAL_ERROR "cluster cell has no cluster name")
+endif()
+string(JSON PER_CORE_LEN LENGTH "${CDOC}" results 1 per_core)
+if(NOT PER_CORE_LEN EQUAL 2)
+  message(FATAL_ERROR "per_core has ${PER_CORE_LEN} entries (want 2)")
+endif()
+string(JSON SHARED_REFS GET "${CDOC}" results 1 shared_l2 l2_hits)
+string(JSON SHARED_MISSES GET "${CDOC}" results 1 shared_l2 l2_misses)
+math(EXPR SHARED_TOTAL "${SHARED_REFS} + ${SHARED_MISSES}")
+if(SHARED_TOTAL LESS_EQUAL 0)
+  message(FATAL_ERROR "shared_l2 saw no traffic (hits ${SHARED_REFS}, misses ${SHARED_MISSES})")
+endif()
+string(JSON CURVES LENGTH "${CDOC}" throughput_vs_cores)
+if(CURVES LESS 1)
+  message(FATAL_ERROR "throughput_vs_cores is missing or empty")
+endif()
+string(JSON POINTS LENGTH "${CDOC}" throughput_vs_cores 0 points)
+if(POINTS LESS 2)
+  message(FATAL_ERROR "throughput curve has ${POINTS} point(s) (want >= 2: 1-core and 2-core)")
+endif()
+string(JSON CONTENTION_OK GET "${CDOC}" results 1 analyses 0 ok)
+if(NOT CONTENTION_OK STREQUAL "ON" AND NOT CONTENTION_OK STREQUAL "true")
+  message(FATAL_ERROR "contention analysis failed on the cluster cell")
+endif()
+
 message(STATUS "sweep report schema OK: ${SCHEMA}, ${NUM_ANALYSES} analyses, "
-               "${NUM_TRACE_EVENTS} trace event(s)")
+               "${NUM_TRACE_EVENTS} trace event(s), cluster blocks OK "
+               "(${PER_CORE_LEN} cores, ${CURVES} curve(s))")

@@ -45,12 +45,27 @@ void printUsage() {
       "\n"
       "  --platforms SPEC   all (default) or comma list: u74,c906,c910,"
       "x60,i5\n"
+      "  --clusters SPEC    multi-core clusters to add to the platform "
+      "axis: all or a\n"
+      "                     comma list of keys (c906x4,u74x60,x60x2; "
+      "default none)\n"
+      "  --cores N          also run every selected platform as an "
+      "N-core cluster\n"
+      "                     sharing its L2 (composes with --clusters)\n"
+      "  --quantum N        deterministic interleave quantum for cluster "
+      "cells, in\n"
+      "                     retired IR ops per round-robin turn (0 = "
+      "each cluster's\n"
+      "                     default; purely a scheduling knob — "
+      "architectural counts\n"
+      "                     are quantum-invariant)\n"
       "  --workloads SPEC   all (default) or comma list: sqlite,matmul,"
       "triad,memset,peakflops\n"
       "  --analyses SPEC    analyses to embed per scenario: all or a "
       "comma list\n"
       "                     (hotspots,flamegraph,topdown,roofline,"
-      "opcounts; default none)\n"
+      "opcounts,contention;\n"
+      "                     default none)\n"
       "  --scale N          workload scale multiplier (default 1; grows "
       "retired ops ~linearly)\n"
       "  --jobs N           worker threads (default 1; 0 = all cores)\n"
@@ -87,6 +102,12 @@ void printLists() {
   for (const hw::Platform &P : hw::allPlatforms())
     std::printf("  %-6s %s (%s)\n", platformKey(P).c_str(),
                 P.CoreName.c_str(), P.BoardName.c_str());
+  std::printf("clusters:\n");
+  for (const hw::Cluster &C : hw::allClusters())
+    std::printf("  %-6s %s (%u cores, shared %u KiB L2, quantum %llu)\n",
+                C.Key.c_str(), C.Name.c_str(), C.numCores(),
+                static_cast<unsigned>(C.SharedL2Config.SizeBytes / 1024),
+                static_cast<unsigned long long>(C.InterleaveQuantum));
   std::printf("workloads:\n");
   for (const WorkloadDesc &W : standardWorkloads())
     std::printf("  %-10s %s\n", W.Name.c_str(), W.Description.c_str());
@@ -255,6 +276,9 @@ size_t diffAgainstBaseline(const JsonValue &Baseline, const JsonValue &Current,
 
 int main(int Argc, char **Argv) {
   std::string PlatformSpec = "all";
+  std::string ClusterSpec;
+  unsigned CoresPerPlatform = 0;
+  uint64_t InterleaveQuantum = 0;
   std::string WorkloadSpec = "all";
   std::string AnalysisSpec;
   std::string JsonPath;
@@ -288,6 +312,15 @@ int main(int Argc, char **Argv) {
       return 0;
     } else if (Arg == "--platforms") {
       PlatformSpec = Value();
+    } else if (Arg == "--clusters") {
+      ClusterSpec = Value();
+    } else if (Arg == "--cores") {
+      CoresPerPlatform =
+          static_cast<unsigned>(parseUnsigned("--cores", Value()));
+      if (CoresPerPlatform == 0)
+        die("bad --cores value '0' (must be positive)");
+    } else if (Arg == "--quantum") {
+      InterleaveQuantum = parseUnsigned("--quantum", Value());
     } else if (Arg == "--workloads") {
       WorkloadSpec = Value();
     } else if (Arg == "--analyses") {
@@ -340,6 +373,19 @@ int main(int Argc, char **Argv) {
   auto PlatformsOr = selectPlatforms(PlatformSpec);
   if (!PlatformsOr)
     die(PlatformsOr.errorMessage());
+  // The cluster axis: named clusters first, then (composably) an N-core
+  // homogeneous cluster of every selected platform, in platform order.
+  std::vector<hw::Cluster> Clusters;
+  if (!ClusterSpec.empty()) {
+    auto ClustersOr = selectClusters(ClusterSpec);
+    if (!ClustersOr)
+      die(ClustersOr.errorMessage());
+    Clusters = std::move(*ClustersOr);
+  }
+  if (CoresPerPlatform)
+    for (const hw::Platform &P : *PlatformsOr)
+      Clusters.push_back(
+          hw::makeCluster(P, CoresPerPlatform, platformKey(P)));
   auto WorkloadsOr = selectWorkloads(WorkloadSpec, Scale);
   if (!WorkloadsOr)
     die(WorkloadsOr.errorMessage());
@@ -367,6 +413,8 @@ int main(int Argc, char **Argv) {
 
   ScenarioMatrix Matrix;
   Matrix.addPlatforms(*PlatformsOr).addWorkloads(*WorkloadsOr);
+  Matrix.addClusters(Clusters);
+  Matrix.setInterleaveQuantum(InterleaveQuantum);
   Matrix.setAnalyses(AnalysisNames);
   addModeAxis(Matrix, "--sampling", SamplingMode,
               &ScenarioMatrix::addSamplingMode);
@@ -389,9 +437,14 @@ int main(int Argc, char **Argv) {
             ? ""
             : " with " + std::to_string(AnalysisNames.size()) +
                   " analyses each";
-    std::printf("sweeping %zu scenarios (%zu platforms x %zu workloads"
+    std::string WithClusters =
+        Clusters.empty()
+            ? ""
+            : " + " + std::to_string(Clusters.size()) + " clusters";
+    std::printf("sweeping %zu scenarios (%zu platforms%s x %zu workloads"
                 "%s%s)%s...\n",
-                Scenarios.size(), PlatformsOr->size(), WorkloadsOr->size(),
+                Scenarios.size(), PlatformsOr->size(), WithClusters.c_str(),
+                WorkloadsOr->size(),
                 SamplingMode == "both" ? " x sampling{on,off}" : "",
                 VectorMode == "both" ? " x vector{on,off}" : "",
                 WithAnalyses.c_str());
@@ -445,6 +498,13 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("\n%s", Report.toTable().render().c_str());
+  // The scaling view only exists when the sweep has a multi-core cell;
+  // the report serializes the same curves under "throughput_vs_cores".
+  bool HasClusterCell = false;
+  for (const ScenarioResult &R : Report.Results)
+    HasClusterCell |= !R.Failed && R.Profile.NumCores > 1;
+  if (HasClusterCell)
+    std::printf("\n%s", Report.throughputTable().render().c_str());
   std::printf("\nsweep wall-clock: %s with %u job(s)\n",
               fixed(Report.HostSeconds, 2).c_str(), Report.Jobs);
   // Sum compile time over actual builds only: a cache hit's
