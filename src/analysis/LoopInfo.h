@@ -32,9 +32,13 @@ public:
   ir::BasicBlock *header() const { return Header; }
 
   /// All blocks in the loop, including the header and any subloop blocks.
-  const std::set<ir::BasicBlock *> &blocks() const { return Blocks; }
+  /// The transparent comparator lets contains() accept const pointers
+  /// without casting away constness.
+  const std::set<ir::BasicBlock *, std::less<>> &blocks() const {
+    return Blocks;
+  }
   bool contains(const ir::BasicBlock *BB) const {
-    return Blocks.count(const_cast<ir::BasicBlock *>(BB)) != 0;
+    return Blocks.find(BB) != Blocks.end();
   }
 
   /// Latch blocks: in-loop predecessors of the header.
@@ -61,7 +65,7 @@ public:
 private:
   friend class LoopInfo;
   ir::BasicBlock *Header;
-  std::set<ir::BasicBlock *> Blocks;
+  std::set<ir::BasicBlock *, std::less<>> Blocks;
   Loop *Parent = nullptr;
   std::vector<Loop *> SubLoops;
 };

@@ -33,7 +33,7 @@ struct SESERegion {
   /// Single exit block (outside the loop).
   ir::BasicBlock *Exit = nullptr;
   /// The loop body blocks (the extraction set; excludes Entry and Exit).
-  std::set<ir::BasicBlock *> Blocks;
+  std::set<ir::BasicBlock *, std::less<>> Blocks;
 };
 
 /// Returns the SESE region for \p L if it has one:

@@ -1,0 +1,389 @@
+//===- ScalarEvolution.cpp - SCEV-lite symbolic value analysis -----------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ScalarEvolution.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+
+using namespace mperf;
+using namespace mperf::analysis;
+using namespace mperf::ir;
+
+//===----------------------------------------------------------------------===//
+// SCEV arithmetic
+//===----------------------------------------------------------------------===//
+
+static SCEV scevAdd(const SCEV &A, const SCEV &B, int64_t SignB) {
+  if (!A.Known || !B.Known)
+    return SCEV::unknown();
+  SCEV R;
+  R.Known = true;
+  R.Base = A.Base + SignB * B.Base;
+  R.Strides = A.Strides;
+  for (const auto &[L, S] : B.Strides) {
+    int64_t &Slot = R.Strides[L];
+    Slot += SignB * S;
+    if (Slot == 0)
+      R.Strides.erase(L);
+  }
+  return R;
+}
+
+static SCEV scevMul(const SCEV &A, int64_t Factor) {
+  if (!A.Known)
+    return SCEV::unknown();
+  if (Factor == 0)
+    return SCEV::constant(0);
+  SCEV R;
+  R.Known = true;
+  R.Base = A.Base * Factor;
+  for (const auto &[L, S] : A.Strides)
+    R.Strides[L] = S * Factor;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction: recognize canonical counted loops
+//===----------------------------------------------------------------------===//
+
+ScalarEvolution::ScalarEvolution(const ir::Function &F, const LoopInfo &LI,
+                                 Bindings B)
+    : F(F), LI(LI), Bound(std::move(B)) {
+  // Structural recognition first (fills IvToLoop so eval() can model
+  // induction variables), then constant-trip evaluation, which may
+  // reference outer loops' IVs (e.g. matmul's `i` loop bound ii+TILE).
+  for (const Loop *L : LI.loopsInPreorder())
+    recognizeLoop(L);
+  for (auto &[L, T] : Trips)
+    computeTrips(L, T);
+}
+
+/// Matches the LoopBuilder latch shape:
+///   latch:  %next = add %iv, <positive const>
+///           %cond = icmp slt|ult %next, %bound
+///           cond_br %cond, %header, %exit
+/// with %iv an i64 phi in the header whose latch incoming is %next.
+void ScalarEvolution::recognizeLoop(const Loop *L) {
+  LoopTrip &T = Trips[L];
+
+  const std::vector<BasicBlock *> Latches = L->latches();
+  const std::vector<BasicBlock *> Exiting = L->exitingBlocks();
+  if (Latches.size() != 1 || Exiting.size() != 1 || Latches[0] != Exiting[0])
+    return;
+  const BasicBlock *Latch = Latches[0];
+
+  const Instruction *Term = Latch->terminator();
+  if (!Term || Term->opcode() != Opcode::CondBr)
+    return;
+  if (Term->successor(0) != L->header() || L->contains(Term->successor(1)))
+    return;
+
+  const auto *Cmp = dyn_cast<Instruction>(Term->operand(0));
+  if (!Cmp || Cmp->opcode() != Opcode::ICmp || Cmp->parent() != Latch)
+    return;
+  if (Cmp->icmpPred() != ICmpPred::SLT && Cmp->icmpPred() != ICmpPred::ULT)
+    return;
+
+  const auto *Next = dyn_cast<Instruction>(Cmp->operand(0));
+  if (!Next || Next->opcode() != Opcode::Add || !L->contains(Next->parent()))
+    return;
+  const auto *StepC = dyn_cast<ConstantInt>(Next->operand(1));
+  const auto *Iv = dyn_cast<Instruction>(Next->operand(0));
+  if (!StepC || StepC->sext() <= 0 || !Iv || Iv->opcode() != Opcode::Phi ||
+      Iv->parent() != L->header())
+    return;
+  // Narrower induction variables may wrap around their type before the
+  // compare sees the mathematical value; only i64 math is wrap-free at
+  // the trip counts this simulator runs.
+  if (Iv->type()->kind() != TypeKind::I64)
+    return;
+
+  // The phi must merge exactly (start from outside, next from the latch).
+  if (Iv->numOperands() != 2 || Iv->numIncomingBlocks() != 2)
+    return;
+  const Value *Start = nullptr;
+  for (unsigned I = 0; I != 2; ++I) {
+    const BasicBlock *In = Iv->incomingBlock(I);
+    if (In == Latch) {
+      if (Iv->operand(I) != Next)
+        return;
+    } else if (!L->contains(In)) {
+      Start = Iv->operand(I);
+    } else {
+      return;
+    }
+  }
+  if (!Start)
+    return;
+
+  T.CanonicalShape = true;
+  T.IndVar = Iv;
+  T.Step = StepC->sext();
+  T.Start = Start;
+  T.Bound = Cmp->operand(1);
+  T.Latch = Latch;
+  T.ExitBlock = Term->successor(1);
+  IvToLoop[Iv] = L;
+}
+
+/// Trips of a do-while loop `iv = start; do ... while (iv += step, iv <
+/// bound)`: the body runs once even when start >= bound, and otherwise
+/// ceil((bound - start) / step) times. Known only when bound - start is
+/// a compile-time constant — outer-loop strides must cancel exactly, as
+/// they do for the tiled matmul's `i < ii + TILE` bounds.
+void ScalarEvolution::computeTrips(const Loop *L, LoopTrip &T) {
+  (void)L;
+  if (!T.CanonicalShape)
+    return;
+  const SCEV Delta = scevAdd(eval(T.Bound), eval(T.Start), -1);
+  if (!Delta.isConstant())
+    return;
+  const int64_t D = Delta.constant();
+  T.Known = true;
+  T.Trips = D <= 0 ? 1
+                   : static_cast<uint64_t>((D + T.Step - 1) / T.Step);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+const SCEV &ScalarEvolution::eval(const ir::Value *V) {
+  auto It = Cache.find(V);
+  if (It != Cache.end())
+    return It->second;
+  if (!InProgress.insert(V).second) {
+    // Evaluation cycle through a non-canonical phi: honest Unknown, not
+    // cached (the enclosing evaluation caches its own Unknown).
+    static const SCEV Unknown = SCEV::unknown();
+    return Unknown;
+  }
+  SCEV R = evalImpl(V);
+  InProgress.erase(V);
+  return Cache.emplace(V, std::move(R)).first->second;
+}
+
+SCEV ScalarEvolution::evalImpl(const ir::Value *V) {
+  if (const auto *C = dyn_cast<ConstantInt>(V))
+    return SCEV::constant(C->sext());
+  auto BoundIt = Bound.find(V);
+  if (BoundIt != Bound.end())
+    return SCEV::constant(BoundIt->second);
+  if (const auto *I = dyn_cast<Instruction>(V))
+    return evalInstruction(I);
+  // Unbound arguments, globals without a layout, FP constants, functions.
+  return SCEV::unknown();
+}
+
+SCEV ScalarEvolution::evalInstruction(const ir::Instruction *I) {
+  switch (I->opcode()) {
+  case Opcode::Phi: {
+    auto IvIt = IvToLoop.find(I);
+    if (IvIt != IvToLoop.end()) {
+      const Loop *L = IvIt->second;
+      const LoopTrip &T = Trips.at(L);
+      SCEV R = eval(T.Start);
+      if (!R.Known)
+        return SCEV::unknown();
+      R.Strides[L] += T.Step;
+      if (R.Strides[L] == 0)
+        R.Strides.erase(L);
+      return R;
+    }
+    // A non-induction phi is known only when every incoming value
+    // agrees on one constant.
+    SCEV First = SCEV::unknown();
+    for (unsigned Idx = 0; Idx != I->numOperands(); ++Idx) {
+      const SCEV &In = eval(I->operand(Idx));
+      if (!In.isConstant())
+        return SCEV::unknown();
+      if (Idx == 0)
+        First = In;
+      else if (In.constant() != First.constant())
+        return SCEV::unknown();
+    }
+    return First;
+  }
+  case Opcode::Add:
+  case Opcode::PtrAdd:
+    return scevAdd(eval(I->operand(0)), eval(I->operand(1)), 1);
+  case Opcode::Sub:
+    return scevAdd(eval(I->operand(0)), eval(I->operand(1)), -1);
+  case Opcode::Mul: {
+    const SCEV &A = eval(I->operand(0));
+    const SCEV &B = eval(I->operand(1));
+    if (B.isConstant())
+      return scevMul(A, B.constant());
+    if (A.isConstant())
+      return scevMul(B, A.constant());
+    return SCEV::unknown();
+  }
+  case Opcode::Shl: {
+    const SCEV &B = eval(I->operand(1));
+    if (B.isConstant() && B.constant() >= 0 && B.constant() < 63)
+      return scevMul(eval(I->operand(0)), int64_t(1) << B.constant());
+    return SCEV::unknown();
+  }
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::URem: {
+    const SCEV &A = eval(I->operand(0));
+    const SCEV &B = eval(I->operand(1));
+    if (!A.isConstant() || !B.isConstant() || B.constant() == 0)
+      return SCEV::unknown();
+    const int64_t X = A.constant(), Y = B.constant();
+    switch (I->opcode()) {
+    case Opcode::SDiv:
+      return SCEV::constant(X / Y);
+    case Opcode::SRem:
+      return SCEV::constant(X % Y);
+    case Opcode::UDiv:
+      return SCEV::constant(static_cast<int64_t>(
+          static_cast<uint64_t>(X) / static_cast<uint64_t>(Y)));
+    default:
+      return SCEV::constant(static_cast<int64_t>(
+          static_cast<uint64_t>(X) % static_cast<uint64_t>(Y)));
+    }
+  }
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::LShr:
+  case Opcode::AShr: {
+    const SCEV &A = eval(I->operand(0));
+    const SCEV &B = eval(I->operand(1));
+    if (!A.isConstant() || !B.isConstant())
+      return SCEV::unknown();
+    const uint64_t X = static_cast<uint64_t>(A.constant());
+    const uint64_t Y = static_cast<uint64_t>(B.constant());
+    switch (I->opcode()) {
+    case Opcode::And:
+      return SCEV::constant(static_cast<int64_t>(X & Y));
+    case Opcode::Or:
+      return SCEV::constant(static_cast<int64_t>(X | Y));
+    case Opcode::Xor:
+      return SCEV::constant(static_cast<int64_t>(X ^ Y));
+    case Opcode::LShr:
+      return Y < 64 ? SCEV::constant(static_cast<int64_t>(X >> Y))
+                    : SCEV::unknown();
+    default:
+      return Y < 64 ? SCEV::constant(A.constant() >> Y) : SCEV::unknown();
+    }
+  }
+  case Opcode::SExt:
+  case Opcode::ZExt:
+    // Widening preserves the value for the non-negative ranges this
+    // simulator's index math stays in; affine forms pass through.
+    return eval(I->operand(0));
+  case Opcode::Trunc: {
+    const SCEV &A = eval(I->operand(0));
+    if (!A.isConstant())
+      return SCEV::unknown();
+    const unsigned Bits = I->type()->integerBits();
+    const uint64_t Mask =
+        Bits >= 64 ? ~0ull : ((uint64_t(1) << Bits) - 1);
+    return SCEV::constant(static_cast<int64_t>(
+        static_cast<uint64_t>(A.constant()) & Mask));
+  }
+  case Opcode::ICmp: {
+    const SCEV &A = eval(I->operand(0));
+    const SCEV &B = eval(I->operand(1));
+    if (!A.isConstant() || !B.isConstant())
+      return SCEV::unknown();
+    const int64_t X = A.constant(), Y = B.constant();
+    const uint64_t UX = static_cast<uint64_t>(X);
+    const uint64_t UY = static_cast<uint64_t>(Y);
+    bool R = false;
+    switch (I->icmpPred()) {
+    case ICmpPred::EQ:
+      R = X == Y;
+      break;
+    case ICmpPred::NE:
+      R = X != Y;
+      break;
+    case ICmpPred::SLT:
+      R = X < Y;
+      break;
+    case ICmpPred::SLE:
+      R = X <= Y;
+      break;
+    case ICmpPred::SGT:
+      R = X > Y;
+      break;
+    case ICmpPred::SGE:
+      R = X >= Y;
+      break;
+    case ICmpPred::ULT:
+      R = UX < UY;
+      break;
+    case ICmpPred::ULE:
+      R = UX <= UY;
+      break;
+    case ICmpPred::UGT:
+      R = UX > UY;
+      break;
+    case ICmpPred::UGE:
+      R = UX >= UY;
+      break;
+    }
+    return SCEV::constant(R ? 1 : 0);
+  }
+  case Opcode::Select: {
+    const SCEV &C = eval(I->operand(0));
+    if (!C.isConstant())
+      return SCEV::unknown();
+    return eval(I->operand(C.constant() != 0 ? 1 : 2));
+  }
+  default:
+    // Loads, calls, FP arithmetic, vector ops: not modeled.
+    return SCEV::unknown();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+const LoopTrip &ScalarEvolution::trip(const Loop *L) {
+  auto It = Trips.find(L);
+  assert(It != Trips.end() && "loop not in this function's forest");
+  return It->second;
+}
+
+bool ScalarEvolution::isInductionVariable(const ir::Instruction *I) const {
+  return IvToLoop.find(I) != IvToLoop.end();
+}
+
+std::optional<bool>
+ScalarEvolution::foldCondition(const ir::Instruction *CondBr) {
+  assert(CondBr->opcode() == Opcode::CondBr && "not a cond_br");
+  const SCEV &C = eval(CondBr->operand(0));
+  if (!C.isConstant())
+    return std::nullopt;
+  return C.constant() != 0;
+}
+
+std::optional<std::pair<int64_t, int64_t>>
+ScalarEvolution::range(const SCEV &S) {
+  if (!S.Known)
+    return std::nullopt;
+  int64_t Min = S.Base, Max = S.Base;
+  for (const auto &[L, Stride] : S.Strides) {
+    const LoopTrip &T = trip(L);
+    if (!T.Known)
+      return std::nullopt;
+    const int64_t Extent = Stride * static_cast<int64_t>(T.Trips - 1);
+    if (Extent >= 0)
+      Max += Extent;
+    else
+      Min += Extent;
+  }
+  return std::make_pair(Min, Max);
+}

@@ -1,0 +1,132 @@
+//===- ScalarEvolution.h - SCEV-lite symbolic value analysis ---*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small scalar-evolution analysis over the LoopInfo /
+/// DominatorTree layer. It recognizes exactly the loop shape
+/// workloads/LoopBuilder emits (dedicated preheader, do-while body, an
+/// i64 induction variable phi stepped by a positive constant, a latch
+/// `icmp slt/ult (add iv, step), bound` conditional branch back to the
+/// header) and models every integer value as either
+///
+///   Unknown | Base + sum over loops L of Stride_L * iter_L
+///
+/// where iter_L is the zero-based iteration number of L. Constants are
+/// the affine form with no strides. Anything the little lattice cannot
+/// prove — down-counting loops, non-canonical latches, narrower-than-i64
+/// induction variables (which may wrap), values loaded from memory —
+/// is reported as Unknown, never guessed: the static cost engine and
+/// the lint out-of-bounds checker both rely on "Known" being a promise.
+///
+/// The analysis works on one function *instantiation*: callers may bind
+/// concrete integer values to the function's arguments and to global
+/// variables (their simulated base addresses), which is how the static
+/// cost engine evaluates `matmul_kernel(A, B, C, 64)` interprocedurally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_ANALYSIS_SCALAREVOLUTION_H
+#define MPERF_ANALYSIS_SCALAREVOLUTION_H
+
+#include "analysis/LoopInfo.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace mperf {
+namespace analysis {
+
+/// A symbolic integer value: Base + sum(Strides[L] * iter_L), or Unknown.
+struct SCEV {
+  bool Known = false;
+  int64_t Base = 0;
+  /// Per-loop stride in the zero-based normalized iteration counter of
+  /// each loop. Loops with stride 0 are not stored.
+  std::map<const Loop *, int64_t> Strides;
+
+  bool isConstant() const { return Known && Strides.empty(); }
+  /// The constant value when isConstant(); asserts otherwise.
+  int64_t constant() const {
+    assert(isConstant() && "constant() on a non-constant SCEV");
+    return Base;
+  }
+
+  static SCEV unknown() { return SCEV{}; }
+  static SCEV constant(int64_t C) { return SCEV{true, C, {}}; }
+};
+
+/// What ScalarEvolution proved about one loop.
+struct LoopTrip {
+  /// The canonical LoopBuilder shape was recognized: IndVar / Step /
+  /// Latch / ExitBlock below are valid.
+  bool CanonicalShape = false;
+  /// The trip count is a compile-time constant under the bindings.
+  bool Known = false;
+  /// Body executions per entry of the loop (>= 1: the builder's loops
+  /// are do-while). Valid only when Known.
+  uint64_t Trips = 0;
+  const ir::Instruction *IndVar = nullptr; ///< the IV phi in the header
+  int64_t Step = 0;                        ///< positive constant step
+  const ir::Value *Start = nullptr;        ///< IV value entering the loop
+  const ir::Value *Bound = nullptr;        ///< latch compare bound
+  const ir::BasicBlock *Latch = nullptr;   ///< the single latch == exiting block
+  const ir::BasicBlock *ExitBlock = nullptr; ///< latch's out-of-loop successor
+};
+
+/// SCEV-lite over one function instantiation.
+class ScalarEvolution {
+public:
+  /// Concrete values for Arguments / GlobalVariables of this
+  /// instantiation (e.g. entry arguments and global base addresses).
+  using Bindings = std::map<const ir::Value *, int64_t>;
+
+  ScalarEvolution(const ir::Function &F, const LoopInfo &LI,
+                  Bindings B = {});
+
+  /// The symbolic value of \p V at its definition point. Memoized.
+  const SCEV &eval(const ir::Value *V);
+
+  /// Trip information for \p L (must belong to this function's forest).
+  const LoopTrip &trip(const Loop *L);
+
+  /// True when \p I is the induction-variable phi of a recognized loop.
+  bool isInductionVariable(const ir::Instruction *I) const;
+
+  /// Statically folds the condition of a CondBr terminator: returns the
+  /// branch outcome when the condition evaluates to a constant.
+  std::optional<bool> foldCondition(const ir::Instruction *CondBr);
+
+  /// Inclusive [min, max] range \p S can take, using known trip counts
+  /// for every loop it varies in; nullopt when any of those trip counts
+  /// is unknown (or S itself is).
+  std::optional<std::pair<int64_t, int64_t>> range(const SCEV &S);
+
+  const ir::Function &function() const { return F; }
+  const LoopInfo &loopInfo() const { return LI; }
+
+private:
+  SCEV evalImpl(const ir::Value *V);
+  SCEV evalInstruction(const ir::Instruction *I);
+  void recognizeLoop(const Loop *L);
+  void computeTrips(const Loop *L, LoopTrip &T);
+
+  const ir::Function &F;
+  const LoopInfo &LI;
+  Bindings Bound;
+  std::map<const ir::Value *, SCEV> Cache;
+  std::set<const ir::Value *> InProgress;
+  std::map<const Loop *, LoopTrip> Trips;
+  std::map<const ir::Instruction *, const Loop *> IvToLoop;
+};
+
+} // namespace analysis
+} // namespace mperf
+
+#endif // MPERF_ANALYSIS_SCALAREVOLUTION_H

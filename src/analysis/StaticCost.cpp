@@ -1,0 +1,900 @@
+//===- StaticCost.cpp - Static performance prediction --------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// The engine mirrors the dynamic pipeline piece by piece so the two can
+// disagree only where the static side must approximate:
+//
+//   op classes        vm::classifyOp         (shared, cannot drift)
+//   issue costs       CoreModel::costFor     (re-derived verbatim below)
+//   branch predictor  2-bit + loop predictor (closed-form warm-up counts)
+//   cache             CacheSim geometry      (footprint/reuse-distance model,
+//                                             incl. set-conflict thrash)
+//   bandwidth floor   DramBytesPerCycle      (per reuse-loop cold tour, plus
+//                                             a whole-run residual)
+//
+// Anything not provable goes through fail(), which poisons the whole
+// result with a reason instead of guessing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticCost.h"
+
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/ScalarEvolution.h"
+#include "hw/Platform.h"
+#include "ir/Function.h"
+#include "ir/Module.h"
+#include "vm/Program.h"
+#include "vm/Trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <tuple>
+
+using namespace mperf;
+using namespace mperf::analysis;
+using namespace mperf::ir;
+
+namespace {
+
+/// Mirror of CoreModel::costFor over static op facts (class, lanes, and
+/// whether a vector memory access is effectively strided).
+double issueCost(const hw::CoreConfig &Core, vm::OpClass Class, unsigned Lanes,
+                 bool Strided) {
+  const bool IsVector = Lanes > 1;
+  switch (Class) {
+  case vm::OpClass::IntAlu:
+    return IsVector ? Core.VecOpCost : Core.CostIntAlu;
+  case vm::OpClass::IntMul:
+    return IsVector ? Core.VecOpCost : Core.CostIntMul;
+  case vm::OpClass::IntDiv:
+    return Core.CostIntDiv * (IsVector ? Lanes / 2.0 : 1.0);
+  case vm::OpClass::FpAdd:
+    return IsVector ? Core.VecOpCost : Core.CostFpAdd;
+  case vm::OpClass::FpMul:
+    return IsVector ? Core.VecOpCost : Core.CostFpMul;
+  case vm::OpClass::FpFma:
+    return IsVector ? Core.VecOpCost : Core.CostFpFma;
+  case vm::OpClass::FpDiv:
+    return Core.CostFpDiv * (IsVector ? Lanes / 2.0 : 1.0);
+  case vm::OpClass::Load:
+    if (IsVector)
+      return Strided ? Core.VecStridedLaneCost * Lanes : Core.VecMemCost;
+    return Core.CostLoad;
+  case vm::OpClass::Store:
+    if (IsVector)
+      return Strided ? Core.VecStridedLaneCost * Lanes : Core.VecMemCost;
+    return Core.CostStore;
+  case vm::OpClass::Branch:
+    return Core.CostBranch;
+  case vm::OpClass::Call:
+  case vm::OpClass::Ret:
+    return Core.CostCall;
+  case vm::OpClass::Other:
+    return IsVector ? Core.VecOpCost : Core.CostOther;
+  }
+  return Core.CostOther;
+}
+
+/// The trace's lane count for \p I, exactly as Program.cpp caches it
+/// into CInst::Lanes: result lanes, except stores (value lanes) and the
+/// operand-reporting vector ops.
+unsigned lanesOf(const Instruction *I) {
+  switch (I->opcode()) {
+  case Opcode::Store:
+    return static_cast<unsigned>(I->operand(0)->type()->numElements());
+  case Opcode::ReduceFAdd:
+  case Opcode::ReduceAdd:
+  case Opcode::ExtractElement:
+    return static_cast<unsigned>(I->operand(0)->type()->numElements());
+  default:
+    return static_cast<unsigned>(I->type()->numElements());
+  }
+}
+
+/// FLOPs the dynamic FLOP estimator books for one retirement.
+double flopsOf(vm::OpClass Class, unsigned Lanes) {
+  switch (Class) {
+  case vm::OpClass::FpAdd:
+  case vm::OpClass::FpMul:
+  case vm::OpClass::FpDiv:
+    return Lanes;
+  case vm::OpClass::FpFma:
+    return 2.0 * Lanes;
+  default:
+    return 0;
+  }
+}
+
+/// Representative provenance for a loop: the first located instruction
+/// of its header, else the function's own location.
+SourceLoc locForLoop(const Loop &L, const Function &F) {
+  for (const Instruction *I : *L.header())
+    if (I->loc().isValid())
+      return I->loc();
+  SourceLoc Loc = F.loc();
+  if (Loc.FuncName.empty())
+    Loc.FuncName = F.name();
+  return Loc;
+}
+
+/// Cache lines covered by the byte interval [Lo, Hi) (Hi exclusive).
+double lineCount(uint64_t Lo, uint64_t Hi) {
+  if (Hi <= Lo)
+    return 0;
+  return static_cast<double>(((Hi - 1) >> 6) - (Lo >> 6) + 1);
+}
+
+/// One nesting level of a memory site, innermost first.
+struct SiteLevel {
+  const Loop *L = nullptr;
+  double Trips = 1;        ///< body executions per entry
+  double EnterPerCall = 0; ///< loop entries per function invocation
+  int64_t D = 0;           ///< address delta per iteration (bytes)
+};
+
+/// A static load/store site plus everything the cache model needs.
+struct MemSite {
+  const Instruction *I = nullptr;
+  const Loop *AttrLoop = nullptr; ///< innermost loop, for attribution
+  size_t InstIdx = 0;             ///< owning instantiation
+  bool IsLoad = false;
+  double OpsPerCall = 0; ///< executions per function invocation
+  double Group = 1;      ///< lines per miss-paying op (Lanes if strided)
+  double Lines0 = 1;     ///< distinct lines one execution touches
+  uint64_t Base = 0;     ///< address at iteration zero of every loop
+  int64_t SpanMin = 0;   ///< per-op span, relative to Base
+  int64_t SpanMax = 0;   ///< exclusive end of the per-op span
+  std::vector<SiteLevel> Nest; ///< innermost -> outermost
+};
+
+/// A conditional-branch site with its closed-form warm-up mispredicts.
+struct BranchSite {
+  const Loop *AttrLoop = nullptr;
+  size_t InstIdx = 0;
+  bool IsLatch = false;
+  double Trips = 0;        ///< latch: body executions per entry
+  double EnterPerCall = 0; ///< latch: loop entries per invocation
+  bool Outcome = false;    ///< folded: the constant direction
+  double ExecsPerCall = 0; ///< folded: executions per invocation
+};
+
+/// One (function, constant-argument signature) instantiation.
+struct Inst {
+  const Function *F = nullptr;
+  std::vector<std::optional<int64_t>> Args;
+  double Calls = 0;
+  std::unique_ptr<DominatorTree> DT;
+  std::unique_ptr<LoopInfo> LI;
+  std::unique_ptr<ScalarEvolution> SE;
+  std::map<const BasicBlock *, double> Freq; ///< per invocation
+  std::map<const Loop *, double> Enter;      ///< entries per invocation
+  // Per-invocation op totals (finalize scales by Calls).
+  double Ops = 0, Issue = 0, Flops = 0;
+  std::map<const Loop *, double> LoopOps, LoopIssue;
+  struct CallEdge {
+    const Function *Callee = nullptr;
+    std::vector<std::optional<int64_t>> Args;
+    double FreqPerCall = 0;
+  };
+  std::vector<CallEdge> Callees;
+};
+
+class Engine {
+public:
+  Engine(const vm::Program &P, const hw::Platform &Plat)
+      : P(P), Core(Plat.Core), Cache(Plat.Cache) {
+    R.PlatformName = Plat.CoreName;
+  }
+
+  StaticCostResult run(const std::string &Entry,
+                       const std::vector<int64_t> &EntryArgs);
+
+private:
+  void fail(const std::string &Reason) {
+    if (!Failed) {
+      Failed = true;
+      R.UnknownReason = Reason;
+    }
+  }
+
+  size_t instFor(const Function *F,
+                 const std::vector<std::optional<int64_t>> &Args);
+  void analyze(Inst &In, size_t Idx);
+  void addCalls(size_t Idx, double Delta, unsigned Depth);
+  void finalize();
+  /// (instantiation index, innermost loop or null) -> attributed cycles.
+  using AttrMap = std::map<std::pair<size_t, const Loop *>, double>;
+  void buildBreakdown(const AttrMap &StallByLoop, const AttrMap &SpecByLoop);
+
+  /// Rolled-up cycles / total iterations per (instantiation, loop),
+  /// filled by buildBreakdown for the progressive bandwidth floor.
+  AttrMap LoopCyc, LoopIter;
+
+  /// The constant value of \p S at a use in \p UseBB: strides of loops
+  /// that do not contain the use are folded at their final iteration
+  /// (the exit value); strides of enclosing loops make it non-constant.
+  std::optional<int64_t> constantAt(Inst &In, const SCEV &S,
+                                    const BasicBlock *UseBB);
+
+  /// Cache level that holds a working set of \p Bytes.
+  hw::MemLevel serviceLevel(double Bytes) const {
+    if (Bytes <= static_cast<double>(Cache.L1.SizeBytes))
+      return hw::MemLevel::L1;
+    if (Bytes <= static_cast<double>(Cache.L2.SizeBytes))
+      return hw::MemLevel::L2;
+    return hw::MemLevel::DRAM;
+  }
+
+  const vm::Program &P;
+  const hw::CoreConfig &Core;
+  const hw::CacheConfig &Cache;
+  StaticCostResult R;
+  bool Failed = false;
+
+  std::vector<std::unique_ptr<Inst>> Insts; ///< discovery order
+  std::map<std::string, size_t> InstIndex;  ///< signature -> index
+  std::vector<MemSite> Sites;
+  std::vector<BranchSite> Branches;
+};
+
+/// Stable signature of one instantiation: name plus each bound argument
+/// ("?" for unbound).
+std::string instKey(const Function *F,
+                    const std::vector<std::optional<int64_t>> &Args) {
+  std::string Key = F->name();
+  for (const auto &A : Args) {
+    Key += ';';
+    Key += A ? std::to_string(*A) : "?";
+  }
+  return Key;
+}
+
+size_t Engine::instFor(const Function *F,
+                       const std::vector<std::optional<int64_t>> &Args) {
+  const std::string Key = instKey(F, Args);
+  auto It = InstIndex.find(Key);
+  if (It != InstIndex.end())
+    return It->second;
+  const size_t Idx = Insts.size();
+  InstIndex.emplace(Key, Idx);
+  Insts.push_back(std::make_unique<Inst>());
+  Inst &In = *Insts.back();
+  In.F = F;
+  In.Args = Args;
+  analyze(In, Idx);
+  return Idx;
+}
+
+std::optional<int64_t> Engine::constantAt(Inst &In, const SCEV &S,
+                                          const BasicBlock *UseBB) {
+  if (!S.Known)
+    return std::nullopt;
+  int64_t V = S.Base;
+  for (const auto &[L, D] : S.Strides) {
+    if (L->contains(UseBB))
+      return std::nullopt; // still varying at the use
+    const LoopTrip &T = In.SE->trip(L);
+    if (!T.Known)
+      return std::nullopt;
+    V += D * static_cast<int64_t>(T.Trips - 1); // exit value
+  }
+  return V;
+}
+
+void Engine::analyze(Inst &In, size_t Idx) {
+  const Function &F = *In.F;
+  In.DT = std::make_unique<DominatorTree>(F);
+  In.LI = std::make_unique<LoopInfo>(F, *In.DT);
+
+  ScalarEvolution::Bindings B;
+  const ir::Module &M = P.module();
+  for (size_t I = 0, E = M.numGlobals(); I != E; ++I) {
+    const GlobalVariable *GV = M.globalAt(I);
+    B[GV] = static_cast<int64_t>(P.globalAddress(GV->name()));
+  }
+  for (unsigned I = 0, E = F.numArgs(); I != E; ++I) {
+    if (I >= In.Args.size() || !In.Args[I])
+      continue;
+    const Value *A = F.arg(I);
+    if (A->type()->isInteger() || A->type()->isPointer())
+      B[A] = *In.Args[I];
+  }
+  In.SE = std::make_unique<ScalarEvolution>(F, *In.LI, std::move(B));
+
+  // Execution frequencies per invocation, in reverse post order. Back
+  // edges are never propagated; a loop header's forward-edge inflow is
+  // its entry count, multiplied by the proven trip count.
+  In.Freq[F.entry()] = 1;
+  auto IsBackEdge = [&](const BasicBlock *From, const BasicBlock *To) {
+    for (Loop *L = In.LI->loopFor(From); L; L = L->parent())
+      if (L->header() == To)
+        return true;
+    return false;
+  };
+  for (BasicBlock *BB : In.DT->reversePostOrder()) {
+    double Freq = In.Freq.count(BB) ? In.Freq[BB] : 0;
+    Loop *L = In.LI->loopFor(BB);
+    if (L && L->header() == BB) {
+      if (Freq == 0)
+        continue; // never entered (e.g. dead vectorizer fallback)
+      const LoopTrip &T = In.SE->trip(L);
+      if (!T.Known) {
+        fail("unknown trip count for loop at " +
+             locForLoop(*L, F).str());
+        return;
+      }
+      In.Enter[L] = Freq;
+      Freq *= static_cast<double>(T.Trips);
+      In.Freq[BB] = Freq;
+    }
+    if (Freq == 0)
+      continue;
+
+    const Instruction *Term = BB->terminator();
+    if (!Term) {
+      fail("block without terminator in '" + F.name() + "'");
+      return;
+    }
+    switch (Term->opcode()) {
+    case Opcode::Br: {
+      BasicBlock *S = Term->successor(0);
+      if (!IsBackEdge(BB, S))
+        In.Freq[S] += Freq;
+      break;
+    }
+    case Opcode::CondBr: {
+      // A recognized latch exits exactly once per entry; everything
+      // else must fold to a constant direction.
+      const Loop *BL = In.LI->loopFor(BB);
+      const LoopTrip *T = BL ? &In.SE->trip(BL) : nullptr;
+      if (T && T->CanonicalShape && T->Latch == BB) {
+        In.Freq[T->ExitBlock] += In.Enter[BL];
+        BranchSite BS;
+        BS.AttrLoop = BL;
+        BS.InstIdx = Idx;
+        BS.IsLatch = true;
+        BS.Trips = static_cast<double>(T->Trips);
+        BS.EnterPerCall = In.Enter[BL];
+        Branches.push_back(BS);
+        break;
+      }
+      std::optional<bool> Out = In.SE->foldCondition(Term);
+      if (!Out) {
+        fail("data-dependent branch at " +
+             (Term->loc().isValid() ? Term->loc().str()
+                                    : F.name() + ":" + BB->name()));
+        return;
+      }
+      BasicBlock *S = Term->successor(*Out ? 0 : 1);
+      if (IsBackEdge(BB, S)) {
+        fail("statically infinite loop in '" + F.name() + "'");
+        return;
+      }
+      In.Freq[S] += Freq;
+      BranchSite BS;
+      BS.AttrLoop = BL;
+      BS.InstIdx = Idx;
+      BS.Outcome = *Out;
+      BS.ExecsPerCall = Freq;
+      Branches.push_back(BS);
+      break;
+    }
+    default:
+      break; // ret
+    }
+  }
+
+  // Per-block op mixes and memory/call sites.
+  for (BasicBlock *BB : In.DT->reversePostOrder()) {
+    const double Freq = In.Freq.count(BB) ? In.Freq[BB] : 0;
+    if (Freq == 0)
+      continue;
+    const Loop *L = In.LI->loopFor(BB);
+    for (const Instruction *I : *BB) {
+      if (I->opcode() == Opcode::Phi)
+        continue; // phis resolve as edge moves and never retire
+      const vm::OpClass Class = vm::classifyOp(*I);
+      const unsigned Lanes = lanesOf(I);
+
+      bool Strided = false;
+      int64_t LaneStride = 0;
+      uint32_t ElemBytes = 0;
+      if (I->opcode() == Opcode::Load || I->opcode() == Opcode::Store) {
+        const bool IsLoad = I->opcode() == Opcode::Load;
+        const Type *ValTy = IsLoad ? I->type() : I->operand(0)->type();
+        ElemBytes = static_cast<uint32_t>(ValTy->scalarType()->sizeInBytes());
+        LaneStride = ElemBytes;
+        if (I->hasVectorStrideOperand()) {
+          const unsigned StrideIdx = IsLoad ? 1 : 2;
+          std::optional<int64_t> S =
+              constantAt(In, In.SE->eval(I->operand(StrideIdx)), BB);
+          // A varying stride within an enclosing loop is still fine for
+          // the issue cost if it can never equal the element size; the
+          // builders only emit either constant or loop-invariant
+          // strides, so anything else is honestly unpredictable.
+          if (!S) {
+            fail("unpredictable vector stride at " +
+                 (I->loc().isValid() ? I->loc().str() : F.name()));
+            return;
+          }
+          // The interpreter retires stride == element size as a
+          // contiguous access (StrideBytes = 0).
+          if (*S != static_cast<int64_t>(ElemBytes)) {
+            Strided = true;
+            LaneStride = *S;
+          }
+        }
+      }
+
+      In.Ops += Freq;
+      In.Flops += flopsOf(Class, Lanes) * Freq;
+      const double Cost = issueCost(Core, Class, Lanes, Strided);
+      In.Issue += Cost * Freq;
+      In.LoopOps[L] += Freq;
+      In.LoopIssue[L] += Cost * Freq;
+
+      if (I->opcode() == Opcode::Load || I->opcode() == Opcode::Store) {
+        const unsigned AddrIdx = I->opcode() == Opcode::Load ? 0 : 1;
+        const SCEV &A = In.SE->eval(I->operand(AddrIdx));
+        if (!A.Known) {
+          fail("unpredictable address at " +
+               (I->loc().isValid() ? I->loc().str() : F.name()));
+          return;
+        }
+        MemSite S;
+        S.I = I;
+        S.AttrLoop = L;
+        S.InstIdx = Idx;
+        S.IsLoad = I->opcode() == Opcode::Load;
+        S.OpsPerCall = Freq;
+        S.Group = Strided ? Lanes : 1;
+        if (Strided) {
+          const int64_t Lo =
+              std::min<int64_t>(0, LaneStride * (int64_t(Lanes) - 1));
+          const int64_t Hi =
+              std::max<int64_t>(0, LaneStride * (int64_t(Lanes) - 1)) +
+              ElemBytes;
+          S.SpanMin = Lo;
+          S.SpanMax = Hi;
+        } else {
+          S.SpanMin = 0;
+          S.SpanMax = static_cast<int64_t>(ElemBytes) * Lanes;
+        }
+        // Split the address into base plus per-loop strides; strides of
+        // loops that do not contain the site are exit values, folded
+        // into the base.
+        int64_t Base = A.Base;
+        std::map<const Loop *, int64_t> Strides;
+        for (const auto &[SL, D] : A.Strides) {
+          if (SL->contains(BB)) {
+            Strides[SL] = D;
+            continue;
+          }
+          const LoopTrip &T = In.SE->trip(SL);
+          if (!T.Known) {
+            fail("unpredictable address at " +
+                 (I->loc().isValid() ? I->loc().str() : F.name()));
+            return;
+          }
+          Base += D * static_cast<int64_t>(T.Trips - 1);
+        }
+        S.Base = static_cast<uint64_t>(Base);
+        {
+          const uint64_t Lo = S.Base + static_cast<uint64_t>(S.SpanMin);
+          const uint64_t Hi = S.Base + static_cast<uint64_t>(S.SpanMax);
+          S.Lines0 = Strided ? std::min<double>(Lanes, lineCount(Lo, Hi))
+                             : lineCount(Lo, Hi);
+        }
+        for (const Loop *NL = L; NL; NL = NL->parent()) {
+          SiteLevel Lv;
+          Lv.L = NL;
+          Lv.Trips = static_cast<double>(In.SE->trip(NL).Trips);
+          Lv.EnterPerCall = In.Enter.count(NL) ? In.Enter.at(NL) : 0;
+          Lv.D = Strides.count(NL) ? Strides.at(NL) : 0;
+          S.Nest.push_back(Lv);
+        }
+        Sites.push_back(std::move(S));
+      }
+
+      if (I->opcode() == Opcode::Call) {
+        const Function *Callee = I->callee();
+        if (Callee && !Callee->isDeclaration()) {
+          Inst::CallEdge E;
+          E.Callee = Callee;
+          E.FreqPerCall = Freq;
+          for (unsigned Op = 0; Op != I->numOperands(); ++Op)
+            E.Args.push_back(
+                constantAt(In, In.SE->eval(I->operand(Op)), BB));
+          In.Callees.push_back(std::move(E));
+        }
+      }
+    }
+  }
+}
+
+void Engine::addCalls(size_t Idx, double Delta, unsigned Depth) {
+  if (Failed || Delta == 0)
+    return;
+  if (Depth > 64) {
+    fail("call graph too deep (recursion?)");
+    return;
+  }
+  Inst &In = *Insts[Idx];
+  In.Calls += Delta;
+  // Copy the edge list: instFor() may grow Insts and invalidate In.
+  const std::vector<Inst::CallEdge> Edges = In.Callees;
+  for (const Inst::CallEdge &E : Edges) {
+    const size_t CalleeIdx = instFor(E.Callee, E.Args);
+    if (Failed)
+      return;
+    addCalls(CalleeIdx, Delta * E.FreqPerCall, Depth + 1);
+  }
+}
+
+void Engine::finalize() {
+  // Pass 1: per-site tour sizes level by level, the per-iteration
+  // working set of every loop, and the whole-program footprint.
+  std::map<const Loop *, double> IterBytes; // one iteration's lines * 64
+  double ProgramBytes = 0;
+  std::vector<std::vector<double>> TourLines(Sites.size());
+  for (size_t SI = 0; SI != Sites.size(); ++SI) {
+    const MemSite &S = Sites[SI];
+    double Cur = S.Lines0;
+    int64_t MinOff = S.SpanMin, MaxOff = S.SpanMax;
+    for (const SiteLevel &Lv : S.Nest) {
+      IterBytes[Lv.L] += Cur * 64;
+      if (Lv.D != 0) {
+        const int64_t Extent =
+            Lv.D * static_cast<int64_t>(Lv.Trips - 1);
+        if (Extent > 0)
+          MaxOff += Extent;
+        else
+          MinOff += Extent;
+        const double Dense = lineCount(S.Base + static_cast<uint64_t>(MinOff),
+                                       S.Base + static_cast<uint64_t>(MaxOff));
+        Cur = std::min(Cur * Lv.Trips, Dense);
+      }
+      TourLines[SI].push_back(Cur);
+    }
+    ProgramBytes += Cur * 64;
+  }
+
+  // Set-conflict thrash: streams that advance in lockstep (same
+  // innermost loop, same per-iteration stride) and start in the same
+  // cache set keep evicting each other once there are more of them
+  // than the set has ways — the dynamic CacheSim's per-set LRU makes
+  // every such access miss (e.g. three way-aligned 32 KiB streams in a
+  // 2-way 64 KiB L1). Detect those groups per level; a thrashing
+  // site's accesses all miss that level instead of touring.
+  auto NumSets = [](const hw::CacheLevelConfig &C) {
+    return std::max<uint64_t>(1, C.SizeBytes / C.LineBytes /
+                                     std::max(1u, C.Assoc));
+  };
+  std::vector<bool> ThrashL1(Sites.size(), false),
+      ThrashL2(Sites.size(), false);
+  std::vector<double> GroupBytes(Sites.size(), 0);
+  auto MarkThrash = [&](const hw::CacheLevelConfig &Lvl,
+                        std::vector<bool> &Flag) {
+    const uint64_t Sets = NumSets(Lvl);
+    std::map<std::tuple<size_t, const Loop *, int64_t, uint64_t>,
+             std::vector<size_t>>
+        Groups;
+    for (size_t SI = 0; SI != Sites.size(); ++SI) {
+      const MemSite &S = Sites[SI];
+      if (S.Nest.empty() || S.Nest.front().D == 0)
+        continue; // not streaming in its innermost loop
+      Groups[{S.InstIdx, S.Nest.front().L, S.Nest.front().D,
+              (S.Base >> 6) % Sets}]
+          .push_back(SI);
+    }
+    for (const auto &[Key, Members] : Groups) {
+      // Distinct streams only: a load and a store of the same array
+      // walk the same lines and occupy one way between them.
+      std::map<uint64_t, double> Footprint; // base -> per-run lines
+      for (size_t SI : Members) {
+        const double Lines =
+            TourLines[SI].empty() ? Sites[SI].Lines0 : TourLines[SI].back();
+        double &Slot = Footprint[Sites[SI].Base];
+        Slot = std::max(Slot, Lines);
+      }
+      if (Footprint.size() <= Lvl.Assoc)
+        continue;
+      double Bytes = 0;
+      for (const auto &[Base, Lines] : Footprint)
+        Bytes += Lines * 64;
+      for (size_t SI : Members) {
+        Flag[SI] = true;
+        GroupBytes[SI] = std::max(GroupBytes[SI], Bytes);
+      }
+    }
+  };
+  MarkThrash(Cache.L1, ThrashL1);
+  MarkThrash(Cache.L2, ThrashL2);
+
+  // Pass 2: classify every site's re-tours and cold lines. ColdByLoop
+  // remembers which reuse loop's first iteration carries each site's
+  // cold DRAM tour, for the progressive bandwidth floor.
+  AttrMap StallByLoop, SpecByLoop, ColdByLoop, ColdStallByLoop;
+  for (size_t SI = 0; SI != Sites.size(); ++SI) {
+    const MemSite &S = Sites[SI];
+    const Inst &In = *Insts[S.InstIdx];
+    if (In.Calls == 0)
+      continue;
+    const double OpsTotal = S.OpsPerCall * In.Calls;
+    double OpsL2 = 0, OpsDram = 0, ColdOps = 0;
+    // The outermost temporal-reuse level: its first iteration streams
+    // the site's whole footprint in from DRAM.
+    const Loop *ReuseL = nullptr;
+    for (const SiteLevel &Lv : S.Nest)
+      if (Lv.D == 0 && Lv.Trips > 1)
+        ReuseL = Lv.L;
+    auto Classify = [&](double Tours, double Lines, double MissOps,
+                        double WorkingSet) {
+      switch (serviceLevel(WorkingSet)) {
+      case hw::MemLevel::L1:
+        break; // pure hits, no events
+      case hw::MemLevel::L2:
+        R.L1Misses += Tours * Lines;
+        OpsL2 += Tours * MissOps;
+        break;
+      case hw::MemLevel::DRAM:
+        R.L1Misses += Tours * Lines;
+        R.L2Misses += Tours * Lines;
+        R.DramBytes += Tours * Lines * 64;
+        OpsDram += Tours * MissOps;
+        break;
+      }
+    };
+
+    if (ThrashL1[SI]) {
+      // Every access misses L1. The first touch of each line is still
+      // the cold DRAM tour; everything after is served from L2 when
+      // the conflicting streams fit there (and don't conflict there
+      // too), else straight from DRAM.
+      const double ColdLines =
+          TourLines[SI].empty() ? S.Lines0 : TourLines[SI].back();
+      R.L1Misses += OpsTotal * S.Lines0;
+      if (!ThrashL2[SI] &&
+          GroupBytes[SI] <= static_cast<double>(Cache.L2.SizeBytes)) {
+        OpsDram = std::min(ColdLines / S.Group, OpsTotal);
+        OpsL2 = OpsTotal - OpsDram;
+        ColdOps = OpsDram;
+        R.L2Misses += ColdLines;
+        R.DramBytes += ColdLines * 64;
+        if (ReuseL)
+          ColdByLoop[{S.InstIdx, ReuseL}] += ColdLines * 64;
+      } else {
+        OpsDram = OpsTotal;
+        R.L2Misses += OpsTotal * S.Lines0;
+        R.DramBytes += OpsTotal * S.Lines0 * 64;
+      }
+    } else {
+      double Cur = S.Lines0;
+      double OpsPerEntry = 1;
+      for (size_t LvI = 0; LvI != S.Nest.size(); ++LvI) {
+        const SiteLevel &Lv = S.Nest[LvI];
+        if (Lv.D == 0 && Lv.Trips > 1) {
+          const double MissOps =
+              std::min(std::max(Cur / S.Group, 1.0), OpsPerEntry);
+          Classify((Lv.Trips - 1) * Lv.EnterPerCall * In.Calls, Cur, MissOps,
+                   IterBytes.at(Lv.L));
+        }
+        Cur = TourLines[SI][LvI];
+        OpsPerEntry *= Lv.Trips;
+      }
+      // Across calls: the first tour of the whole run is cold DRAM, the
+      // rest are served wherever the program's footprint fits.
+      const double TopTours =
+          S.Nest.empty() ? OpsTotal
+                         : S.Nest.back().EnterPerCall * In.Calls;
+      const double MissOps =
+          std::min(std::max(Cur / S.Group, 1.0), OpsPerEntry);
+      if (TopTours > 1)
+        Classify(TopTours - 1, Cur, MissOps, ProgramBytes);
+      R.L1Misses += Cur;
+      R.L2Misses += Cur;
+      R.DramBytes += Cur * 64;
+      OpsDram += MissOps;
+      ColdOps = MissOps;
+      if (ReuseL)
+        ColdByLoop[{S.InstIdx, ReuseL}] += Cur * 64;
+    }
+
+    if (S.IsLoad) {
+      OpsDram = std::min(OpsDram, OpsTotal);
+      OpsL2 = std::max(0.0, std::min(OpsL2, OpsTotal - OpsDram));
+      const double OpsL1 = OpsTotal - OpsL2 - OpsDram;
+      const double Stall = (OpsL1 * Cache.L1.HitLatency +
+                            OpsL2 * Cache.L2.HitLatency +
+                            OpsDram * Cache.DramLatency) /
+                           std::max(1.0, Core.Mlp);
+      R.MemStallCycles += Stall;
+      StallByLoop[{S.InstIdx, S.AttrLoop}] += Stall;
+      // Cold-tour DRAM stalls all land in the reuse loop's first
+      // iteration; the bandwidth floor must compare against that
+      // slower iteration, not the average.
+      if (ReuseL)
+        ColdStallByLoop[{S.InstIdx, ReuseL}] +=
+            std::min(ColdOps, OpsDram) * Cache.DramLatency /
+            std::max(1.0, Core.Mlp);
+    }
+  }
+
+  // Branch warm-up mispredicts: the 2-bit counter starts weakly taken
+  // and the loop predictor locks on after one repeated trip count, so a
+  // canonical latch misses its exit twice (once when the trip count is
+  // 1), a constant-true branch never misses, and a constant-false
+  // branch misses its first execution only.
+  for (const BranchSite &BS : Branches) {
+    const Inst &In = *Insts[BS.InstIdx];
+    if (In.Calls == 0)
+      continue;
+    double Miss = 0;
+    if (BS.IsLatch) {
+      const double Entries = BS.EnterPerCall * In.Calls;
+      Miss = std::min(Entries, BS.Trips >= 2 ? 2.0 : 1.0);
+    } else if (!BS.Outcome) {
+      Miss = std::min(BS.ExecsPerCall * In.Calls, 1.0);
+    }
+    if (Miss == 0)
+      continue;
+    R.BranchMispredicts += Miss;
+    R.BadSpecCycles += Miss * Core.BranchMissPenalty;
+    SpecByLoop[{BS.InstIdx, BS.AttrLoop}] += Miss * Core.BranchMissPenalty;
+  }
+
+  // Totals.
+  for (const auto &InPtr : Insts) {
+    const Inst &In = *InPtr;
+    R.Ops += In.Ops * In.Calls;
+    R.Flops += In.Flops * In.Calls;
+    R.IssueCycles += In.Issue * In.Calls;
+  }
+  R.Instret = R.Ops * Core.InstretFactor;
+  R.Cycles = R.IssueCycles + R.MemStallCycles + R.BadSpecCycles;
+
+  buildBreakdown(StallByLoop, SpecByLoop);
+
+  // Progressive DRAM bandwidth floor. The dynamic model clamps Cycles
+  // against DramBytes / DramBytesPerCycle continuously, so the floor
+  // can bind during a cold first pass even when the whole run is far
+  // from bandwidth-bound. Statically: each reuse loop's cold tour
+  // flows within one of its iterations, so the excess over that
+  // iteration's cycles becomes bandwidth stall; a whole-run residual
+  // clamp covers programs with no reuse loop at all.
+  for (const auto &[Key, Bytes] : ColdByLoop) {
+    auto CycIt = LoopCyc.find(Key);
+    auto IterIt = LoopIter.find(Key);
+    if (CycIt == LoopCyc.end() || IterIt == LoopIter.end() ||
+        IterIt->second <= 0)
+      continue;
+    // The first iteration is the slow one: the average iteration plus
+    // the cold DRAM stalls, which are amortized in the average but
+    // actually paid up front.
+    auto ColdIt = ColdStallByLoop.find(Key);
+    const double ColdStall =
+        ColdIt == ColdStallByLoop.end() ? 0 : ColdIt->second;
+    const double FirstIter =
+        std::max(0.0, CycIt->second - ColdStall) / IterIt->second +
+        ColdStall;
+    const double Excess = Bytes / Cache.DramBytesPerCycle - FirstIter;
+    if (Excess > 0)
+      R.BandwidthCycles += Excess;
+  }
+  R.Cycles += R.BandwidthCycles;
+  const double Floor = R.DramBytes / Cache.DramBytesPerCycle;
+  if (R.Cycles < Floor) {
+    R.BandwidthCycles += Floor - R.Cycles;
+    R.Cycles = Floor;
+  }
+  R.Known = true;
+}
+
+void Engine::buildBreakdown(const AttrMap &StallByLoop,
+                            const AttrMap &SpecByLoop) {
+  for (size_t Idx = 0; Idx != Insts.size(); ++Idx) {
+    const Inst &In = *Insts[Idx];
+    const std::vector<Loop *> Loops = In.LI->loopsInPreorder();
+    auto Attr = [&](const AttrMap &M, const Loop *L) {
+      auto It = M.find({Idx, L});
+      return It == M.end() ? 0.0 : It->second;
+    };
+
+    // Own cost per loop, then roll subloops into parents (preorder
+    // guarantees parents precede children, so the reverse walk pushes
+    // inner totals outward).
+    std::map<const Loop *, double> Cyc, Ops;
+    for (const Loop *L : Loops) {
+      Cyc[L] = In.Calls * (In.LoopIssue.count(L) ? In.LoopIssue.at(L) : 0) +
+               Attr(StallByLoop, L) + Attr(SpecByLoop, L);
+      Ops[L] = In.Calls * (In.LoopOps.count(L) ? In.LoopOps.at(L) : 0);
+    }
+    for (auto It = Loops.rbegin(); It != Loops.rend(); ++It) {
+      const Loop *L = *It;
+      if (L->parent()) {
+        Cyc[L->parent()] += Cyc[L];
+        Ops[L->parent()] += Ops[L];
+      }
+    }
+
+    for (const Loop *L : Loops) {
+      StaticLoopCost LC;
+      LC.Function = In.F->name();
+      LC.HeaderName = L->header()->name();
+      LC.Loc = locForLoop(*L, *In.F);
+      LC.Depth = L->depth();
+      const LoopTrip &T = In.SE->trip(L);
+      LC.TripKnown = T.Known;
+      LC.Trips = T.Known ? T.Trips : 0;
+      LC.Entries = In.Calls * (In.Enter.count(L) ? In.Enter.at(L) : 0);
+      LC.Iterations =
+          In.Calls *
+          (In.Freq.count(L->header()) ? In.Freq.at(L->header()) : 0);
+      LC.Cycles = Cyc[L];
+      LC.Ops = Ops[L];
+      LoopCyc[{Idx, L}] = LC.Cycles;
+      LoopIter[{Idx, L}] = LC.Iterations;
+      R.Loops.push_back(std::move(LC));
+    }
+
+    // Function rollup: its whole issue cost plus every stall/spec
+    // cycle attributed inside it (loops and straight-line code alike).
+    double FuncCycles = In.Calls * In.Issue;
+    for (const auto &[Key, Cycles] : StallByLoop)
+      if (Key.first == Idx)
+        FuncCycles += Cycles;
+    for (const auto &[Key, Cycles] : SpecByLoop)
+      if (Key.first == Idx)
+        FuncCycles += Cycles;
+    StaticFuncCost FC;
+    FC.Name = In.F->name();
+    FC.Loc = In.F->loc();
+    if (FC.Loc.FuncName.empty())
+      FC.Loc.FuncName = In.F->name();
+    FC.Calls = In.Calls;
+    FC.Cycles = FuncCycles;
+    FC.Ops = In.Calls * In.Ops;
+    R.Functions.push_back(std::move(FC));
+  }
+}
+
+StaticCostResult Engine::run(const std::string &Entry,
+                             const std::vector<int64_t> &EntryArgs) {
+  const Function *F = P.findFunction(Entry);
+  if (!F || F->isDeclaration()) {
+    fail("entry function '" + Entry + "' not found");
+    return std::move(R);
+  }
+  std::vector<std::optional<int64_t>> Args;
+  for (unsigned I = 0; I != F->numArgs(); ++I) {
+    if (I < EntryArgs.size())
+      Args.push_back(EntryArgs[I]);
+    else
+      Args.push_back(std::nullopt);
+  }
+  const size_t EntryIdx = instFor(F, Args);
+  if (!Failed)
+    addCalls(EntryIdx, 1, 0);
+  if (!Failed)
+    finalize();
+  return std::move(R);
+}
+
+} // namespace
+
+StaticCostResult
+mperf::analysis::computeStaticCost(const vm::Program &P,
+                                   const hw::Platform &Plat,
+                                   const std::string &Entry,
+                                   const std::vector<int64_t> &EntryArgs) {
+  Engine E(P, Plat);
+  return E.run(Entry, EntryArgs);
+}

@@ -1,0 +1,129 @@
+//===- StaticCost.h - Static performance prediction ------------*- C++ -*-===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An llvm-mca-style static throughput analyzer: predicts the CoreStats
+/// a (Program, Platform) pair would produce — cycles, instructions,
+/// cycle buckets, per-loop-nest breakdowns — without executing one op.
+///
+/// The engine walks each reachable function instantiation's loop forest
+/// (ScalarEvolution supplies constant trip counts and affine memory
+/// strides), multiplies per-block op mixes by the platform's reciprocal
+/// throughputs (the exact CoreModel::costFor schedule, over the exact
+/// vm::classifyOp classes the dynamic path retires), and runs a static
+/// cache model: per-site footprints and reuse distances against the
+/// CacheSim geometry decide which accesses hit L1, which re-tours are
+/// served from L2, and which traffic reaches DRAM (feeding the same
+/// bandwidth floor the dynamic model applies).
+///
+/// Honesty contract: when anything is not statically provable — a
+/// data-dependent branch, an unknown trip count, an unpredictable
+/// address — the result is Known == false with a reason, never a
+/// guessed number. Cells the cross-validation matrix (staticcost_test)
+/// can't check are reported as such.
+///
+/// Documented approximations (why predictions carry a tolerance band,
+/// see docs/static-analysis.md): per-call cold-cache treatment, a dense
+/// upper bound for multi-dimensional footprints, branch-predictor
+/// warm-up modeled per site instead of globally interleaved, native
+/// helpers' synthetic ops ignored, set-conflict thrash detected only
+/// for lockstep same-stride streams, and the DRAM bandwidth floor
+/// applied per reuse-loop cold tour (plus a whole-run residual) rather
+/// than continuously.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MPERF_ANALYSIS_STATICCOST_H
+#define MPERF_ANALYSIS_STATICCOST_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mperf {
+
+namespace vm {
+class Program;
+}
+namespace hw {
+struct Platform;
+}
+
+namespace analysis {
+
+/// One loop of the static per-loop-nest breakdown. Cycles/Ops include
+/// every subloop; Depth orders a nest for indentation.
+struct StaticLoopCost {
+  std::string Function;   ///< containing function name
+  std::string HeaderName; ///< loop header block name
+  SourceLoc Loc;          ///< file:line provenance (header, else function)
+  unsigned Depth = 1;     ///< 1 for top-level loops, increasing inward
+  bool TripKnown = false;
+  uint64_t Trips = 0;     ///< body executions per loop entry
+  double Entries = 0;     ///< total entries across the whole run
+  double Iterations = 0;  ///< total body executions across the run
+  double Cycles = 0;      ///< issue + mem-stall + bad-spec, incl. subloops
+  double Ops = 0;         ///< retired IR ops, incl. subloops
+};
+
+/// Per-function rollup (totals across all its loops and straight-line
+/// code, times the number of calls).
+struct StaticFuncCost {
+  std::string Name;
+  SourceLoc Loc;
+  double Calls = 0;
+  double Cycles = 0;
+  double Ops = 0;
+};
+
+/// The full static prediction for one (Program, Platform, entry) cell.
+struct StaticCostResult {
+  /// False when the program is not statically predictable; then
+  /// UnknownReason says why and every number below is meaningless.
+  bool Known = false;
+  std::string UnknownReason;
+
+  std::string PlatformName;
+
+  // Predicted CoreStats counterparts (FirmwareCycles excluded: the
+  // static model predicts the sampling-free run).
+  double Cycles = 0;
+  double Instret = 0;
+  double Ops = 0; ///< retired IR ops (CoreStats::RetiredIrOps)
+  double Flops = 0;
+  double BranchMispredicts = 0;
+  double IssueCycles = 0;
+  double MemStallCycles = 0;
+  double BadSpecCycles = 0;
+  double BandwidthCycles = 0;
+
+  // Static cache-model estimates (line-granular).
+  double L1Misses = 0;
+  double L2Misses = 0;
+  double DramBytes = 0;
+
+  std::vector<StaticLoopCost> Loops;
+  std::vector<StaticFuncCost> Functions;
+};
+
+/// Statically predicts the cost of running \p Entry of \p P on
+/// \p Plat. \p EntryArgs bind the entry function's leading integer /
+/// pointer parameters (the same values a Session::profile call would
+/// pass); FP parameters and missing trailing values stay unbound, which
+/// degrades to Known == false only if a trip count or address actually
+/// depends on them.
+StaticCostResult computeStaticCost(const vm::Program &P,
+                                   const hw::Platform &Plat,
+                                   const std::string &Entry,
+                                   const std::vector<int64_t> &EntryArgs);
+
+} // namespace analysis
+} // namespace mperf
+
+#endif // MPERF_ANALYSIS_STATICCOST_H

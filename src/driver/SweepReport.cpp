@@ -194,7 +194,7 @@ std::string SweepReport::toJson() const {
   JsonWriter W;
   W.beginObject();
   W.key("schema");
-  W.string("miniperf-sweep-report/v5");
+  W.string("miniperf-sweep-report/v6");
   W.key("jobs");
   W.number(static_cast<uint64_t>(Jobs));
   W.key("host_seconds");
@@ -322,6 +322,27 @@ std::string SweepReport::toJson() const {
         }
         W.endArray();
       }
+      // v6: the static prediction for this scenario next to what it
+      // measured. Nested, so the --baseline gate (top-level numeric
+      // keys only) never diffs prediction error across machines.
+      W.key("static_cost");
+      W.beginObject();
+      W.key("known");
+      W.boolean(R.StaticCost.Known);
+      if (R.StaticCost.Known) {
+        W.key("predicted_cycles");
+        W.number(R.StaticCost.PredictedCycles);
+        W.key("predicted_instructions");
+        W.number(R.StaticCost.PredictedInstructions);
+        W.key("cycles_error_pct");
+        W.number(R.StaticCost.CyclesErrorPct);
+        W.key("instructions_error_pct");
+        W.number(R.StaticCost.InstructionsErrorPct);
+      } else {
+        W.key("reason");
+        W.string(R.StaticCost.UnknownReason);
+      }
+      W.endObject();
       if (!R.Analyses.empty()) {
         W.key("analyses");
         W.beginArray();

@@ -36,6 +36,21 @@ struct AnalysisRecord {
   std::string Text;   // rendered TextTable
 };
 
+/// The static-cost prediction (analysis/StaticCost.h) for one scenario,
+/// side by side with what the simulated run measured. Every successful
+/// scenario carries one: either a prediction with its error, or an
+/// honest "unknown" with the reason (v6).
+struct StaticCostRecord {
+  bool Known = false;
+  std::string UnknownReason;
+  double PredictedCycles = 0;
+  double PredictedInstructions = 0;
+  /// Signed error of the prediction vs the measured sampling-free run
+  /// (simulated cycles minus firmware overhead), in percent.
+  double CyclesErrorPct = 0;
+  double InstructionsErrorPct = 0;
+};
+
 /// What one scenario produced.
 struct ScenarioResult {
   std::string Name;
@@ -55,6 +70,9 @@ struct ScenarioResult {
   /// Results of the analyses the scenario's knobs requested, in
   /// request order (run before sample trimming).
   std::vector<AnalysisRecord> Analyses;
+  /// The static prediction for this scenario vs what it measured;
+  /// always present on successful scenarios (v6).
+  StaticCostRecord StaticCost;
   /// Host wall-clock spent building + simulating this scenario.
   double HostSeconds = 0;
   /// Host wall-clock spent obtaining the compiled workload (a cache
@@ -105,7 +123,8 @@ struct SweepReport {
   /// multi-core scenarios.
   TextTable throughputTable() const;
 
-  /// The versioned JSON document ("miniperf-sweep-report/v5"; v5 added
+  /// The versioned JSON document ("miniperf-sweep-report/v6"; v6 added
+  /// the per-scenario "static_cost" prediction-vs-measured block, v5
   /// the per-scenario "cores"/"cluster"/"per_core"/"shared_l2" fields
   /// and the top-level "throughput_vs_cores" block, v4 the top-level
   /// "self_metrics" block, v3 the "build_cache" block and per-scenario

@@ -22,6 +22,7 @@
 
 #include "driver/SweepRunner.h"
 
+#include "analysis/StaticCost.h"
 #include "driver/ProgramCache.h"
 #include "miniperf/Analysis.h"
 #include "miniperf/ClusterSession.h"
@@ -125,6 +126,46 @@ ScenarioResult SweepRunner::runScenario(const Scenario &S,
   R.Profile.WorkloadName = S.Workload.Name;
   R.Profile.Tags = S.Tags;
   R.NumSamples = R.Profile.Samples.size();
+
+  // v6: every scenario carries the static-cost prediction next to what
+  // the run measured — or an honest "unknown" with its reason. Pure
+  // function of the (program, platform) pair, so --jobs bit-identity
+  // holds for free.
+  {
+    trace::ScopedSpan Span("scenario.static_cost", S.Name);
+    if (!R.Profile.Program) {
+      R.StaticCost.UnknownReason = "profile carries no program";
+    } else if (R.Profile.NumCores > 1) {
+      R.StaticCost.UnknownReason =
+          "multi-core cluster scenario (static model is single-hart)";
+    } else {
+      std::vector<int64_t> Args;
+      Args.reserve(R.Profile.EntryArgs.size());
+      for (const vm::RtValue &V : R.Profile.EntryArgs)
+        Args.push_back(static_cast<int64_t>(V.I[0]));
+      analysis::StaticCostResult SC = analysis::computeStaticCost(
+          *R.Profile.Program, R.Profile.Platform, R.Profile.EntryName, Args);
+      R.StaticCost.Known = SC.Known;
+      R.StaticCost.UnknownReason = SC.UnknownReason;
+      if (SC.Known) {
+        R.StaticCost.PredictedCycles = SC.Cycles;
+        R.StaticCost.PredictedInstructions = SC.Instret;
+        // The static model predicts the sampling-free run; firmware
+        // cycles (PMU traps) are measurement overhead on top of it.
+        const double MeasCycles = static_cast<double>(R.Profile.Core.Cycles) -
+                                  static_cast<double>(
+                                      R.Profile.Core.FirmwareCycles);
+        const double MeasInstret =
+            static_cast<double>(R.Profile.Core.Instret);
+        if (MeasCycles > 0)
+          R.StaticCost.CyclesErrorPct =
+              100.0 * (SC.Cycles - MeasCycles) / MeasCycles;
+        if (MeasInstret > 0)
+          R.StaticCost.InstructionsErrorPct =
+              100.0 * (SC.Instret - MeasInstret) / MeasInstret;
+      }
+    }
+  }
 
   // Run the requested analyses while the sample buffers are still
   // attached; a failing analysis is recorded, not fatal, mirroring how

@@ -14,6 +14,7 @@
 
 #include "miniperf/Analysis.h"
 
+#include "analysis/StaticCost.h"
 #include "miniperf/FlameGraph.h"
 #include "miniperf/Hotspots.h"
 #include "miniperf/TopDown.h"
@@ -375,6 +376,120 @@ public:
   }
 };
 
+//===----------------------------------------------------------------------===//
+// staticcost — the llvm-mca-style static prediction for the profiled
+// (program, platform) pair, side by side with what the run measured.
+//===----------------------------------------------------------------------===//
+
+class StaticCostAnalysis : public Analysis {
+public:
+  std::string name() const override { return "staticcost"; }
+  std::string description() const override {
+    return "static cycle/instruction prediction (analysis/StaticCost) "
+           "vs the measured run, with per-loop breakdown";
+  }
+  std::vector<std::string> requiredEvents() const override { return {}; }
+
+  Expected<AnalysisResult> run(const Profile &P) const override {
+    // Predict, or explain honestly why this profile has no prediction.
+    analysis::StaticCostResult SC;
+    if (!P.Program) {
+      SC.UnknownReason = "profile carries no program";
+    } else if (P.NumCores > 1) {
+      SC.UnknownReason =
+          "multi-core cluster profile (static model is single-hart)";
+    } else {
+      std::vector<int64_t> Args;
+      Args.reserve(P.EntryArgs.size());
+      for (const vm::RtValue &V : P.EntryArgs)
+        Args.push_back(static_cast<int64_t>(V.I[0]));
+      SC = analysis::computeStaticCost(*P.Program, P.Platform, P.EntryName,
+                                       Args);
+    }
+
+    AnalysisResult R = makeResult(1);
+    R.Table = TextTable("Static cost prediction — " + P.Platform.CoreName);
+
+    JsonValue Pred = JsonValue::makeObject();
+    Pred.insert("known", JsonValue::makeBool(SC.Known));
+    if (!SC.Known) {
+      Pred.insert("reason", JsonValue::makeString(SC.UnknownReason));
+      R.Table.addHeader({"Prediction", "Reason"});
+      R.Table.addRow({"unknown", SC.UnknownReason});
+      R.Json.insert("predicted", std::move(Pred));
+      return R;
+    }
+
+    // The static model predicts the sampling-free run; firmware cycles
+    // (PMU traps and handlers) are measurement overhead on top of it.
+    const double MeasCycles = P.Core.Cycles - P.Core.FirmwareCycles;
+    const double MeasInstret = P.Core.Instret;
+    auto Pct = [](double Predicted, double Measured) {
+      return Measured != 0 ? 100.0 * (Predicted - Measured) / Measured : 0.0;
+    };
+
+    R.Table.addHeader({"Quantity", "Predicted", "Measured", "Error"});
+    auto Cmp = [&](const std::string &Key, double Predicted,
+                   double Measured) {
+      R.Table.addRow({Key, fixed(Predicted, 0), fixed(Measured, 0),
+                      fixed(Pct(Predicted, Measured), 2) + "%"});
+    };
+    Cmp("cycles", SC.Cycles, MeasCycles);
+    Cmp("instructions", SC.Instret, MeasInstret);
+    Cmp("ir ops", SC.Ops, static_cast<double>(P.Core.RetiredIrOps));
+    Cmp("branch mispredicts", SC.BranchMispredicts,
+        static_cast<double>(P.Core.BranchMispredicts));
+    Cmp("issue cycles", SC.IssueCycles, P.Core.IssueCycles);
+    Cmp("mem-stall cycles", SC.MemStallCycles, P.Core.MemStallCycles);
+    Cmp("bad-spec cycles", SC.BadSpecCycles, P.Core.BadSpecCycles);
+    Cmp("bandwidth cycles", SC.BandwidthCycles, P.Core.BandwidthCycles);
+
+    auto Num = [](double V) { return JsonValue::makeNumber(V); };
+    Pred.insert("cycles", Num(SC.Cycles));
+    Pred.insert("instructions", Num(SC.Instret));
+    Pred.insert("ir_ops", Num(SC.Ops));
+    Pred.insert("flops", Num(SC.Flops));
+    Pred.insert("branch_mispredicts", Num(SC.BranchMispredicts));
+    Pred.insert("issue_cycles", Num(SC.IssueCycles));
+    Pred.insert("mem_stall_cycles", Num(SC.MemStallCycles));
+    Pred.insert("bad_spec_cycles", Num(SC.BadSpecCycles));
+    Pred.insert("bandwidth_cycles", Num(SC.BandwidthCycles));
+    Pred.insert("l1_misses", Num(SC.L1Misses));
+    Pred.insert("l2_misses", Num(SC.L2Misses));
+    Pred.insert("dram_bytes", Num(SC.DramBytes));
+    R.Json.insert("predicted", std::move(Pred));
+
+    JsonValue Meas = JsonValue::makeObject();
+    Meas.insert("cycles", Num(MeasCycles));
+    Meas.insert("instructions", Num(MeasInstret));
+    Meas.insert("ir_ops", Num(static_cast<double>(P.Core.RetiredIrOps)));
+    R.Json.insert("measured", std::move(Meas));
+
+    JsonValue Err = JsonValue::makeObject();
+    Err.insert("cycles_pct", Num(Pct(SC.Cycles, MeasCycles)));
+    Err.insert("instructions_pct", Num(Pct(SC.Instret, MeasInstret)));
+    R.Json.insert("error", std::move(Err));
+
+    JsonValue Loops = JsonValue::makeArray();
+    for (const analysis::StaticLoopCost &L : SC.Loops) {
+      JsonValue O = JsonValue::makeObject();
+      O.insert("function", JsonValue::makeString(L.Function));
+      O.insert("header", JsonValue::makeString(L.HeaderName));
+      O.insert("loc", JsonValue::makeString(L.Loc.str()));
+      O.insert("depth", Num(L.Depth));
+      O.insert("trip_known", JsonValue::makeBool(L.TripKnown));
+      O.insert("trips", Num(static_cast<double>(L.Trips)));
+      O.insert("entries", Num(L.Entries));
+      O.insert("iterations", Num(L.Iterations));
+      O.insert("cycles", Num(L.Cycles));
+      O.insert("ops", Num(L.Ops));
+      Loops.append(std::move(O));
+    }
+    R.Json.insert("loops", std::move(Loops));
+    return R;
+  }
+};
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -390,6 +505,7 @@ const AnalysisRegistry &AnalysisRegistry::builtins() {
     R.add(std::make_unique<RooflineAnalysis>());
     R.add(std::make_unique<OpCountsAnalysis>());
     R.add(std::make_unique<ContentionAnalysis>());
+    R.add(std::make_unique<StaticCostAnalysis>());
     return R;
   }();
   return Registry;

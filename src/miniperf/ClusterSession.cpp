@@ -206,6 +206,11 @@ Expected<Profile> ClusterSession::profile(std::shared_ptr<const vm::Program> P,
   // Aggregate: the cluster as one machine.
   Profile Agg;
   Agg.Platform = TheCluster.Cores[0];
+  if (P->ownsModule()) {
+    Agg.Program = P;
+    Agg.EntryName = Entry;
+    Agg.EntryArgs = Args;
+  }
   Agg.NumCores = N;
   Agg.ClusterName = TheCluster.Name;
   Agg.UsedWorkaround = Cores[0]->Result.UsedWorkaround;

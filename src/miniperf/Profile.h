@@ -26,6 +26,7 @@
 #include "kernel/PerfEvent.h"
 #include "vm/Interpreter.h"
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -60,6 +61,13 @@ struct Profile {
   std::string WorkloadName;
   /// "key=value" scenario tags (platform=, workload=, sampling=, ...).
   std::vector<std::string> Tags;
+
+  /// The immutable program this profile ran, plus how it was invoked.
+  /// Lets post-hoc analyses (analysis/StaticCost.h) re-derive
+  /// predictions for exactly this run; null for hand-built profiles.
+  std::shared_ptr<const vm::Program> Program;
+  std::string EntryName;
+  std::vector<vm::RtValue> EntryArgs;
 
   //===--------------------------------------------------------------===//
   // Headline counts.

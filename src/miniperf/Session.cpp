@@ -48,6 +48,7 @@ Expected<Profile> Session::profile(std::shared_ptr<const vm::Program> P,
 
   // Build the mutable run stack bottom-up around a private Instance of
   // the (possibly shared) immutable Program.
+  std::shared_ptr<const vm::Program> Shared = P;
   vm::Instance Vm(std::move(P));
   Vm.setFuel(Opts.Fuel);
   CoreModel Core(ThePlatform.Core, ThePlatform.Cache);
@@ -63,6 +64,15 @@ Expected<Profile> Session::profile(std::shared_ptr<const vm::Program> P,
 
   Profile Result;
   Result.Platform = ThePlatform;
+  // Stamp the run's program so post-hoc analyses can re-derive static
+  // predictions — but only when the Program owns its IR. The borrowing
+  // compileTrusted() form may outlive its module, and a stamped Profile
+  // outlives this call.
+  if (Shared->ownsModule()) {
+    Result.Program = std::move(Shared);
+    Result.EntryName = Entry;
+    Result.EntryArgs = Args;
+  }
   Result.UsedWorkaround = Plan.UsesWorkaround;
   Result.SamplingAvailable = Plan.SamplingAvailable;
   Result.LeaderDescription = Plan.LeaderDescription;

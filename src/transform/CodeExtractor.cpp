@@ -17,7 +17,7 @@ using namespace mperf::ir;
 /// Returns true when \p V is defined outside \p Region but must be passed
 /// in as an argument (i.e. it is not a constant/global/function).
 static bool isRegionInput(const Value *V,
-                          const std::set<BasicBlock *> &Region) {
+                          const std::set<BasicBlock *, std::less<>> &Region) {
   switch (V->kind()) {
   case ValueKind::ConstantInt:
   case ValueKind::ConstantFP:
@@ -40,7 +40,7 @@ mperf::transform::extractLoopRegion(Function &F,
                                     const std::string &NewFnName) {
   Module *M = F.parentModule();
   assert(M && "extracting from a function without a module");
-  const std::set<BasicBlock *> &Blocks = Region.Blocks;
+  const std::set<BasicBlock *, std::less<>> &Blocks = Region.Blocks;
 
   // Restriction: no SSA value defined inside is used outside.
   for (BasicBlock *BB : F) {

@@ -72,7 +72,7 @@ const CompiledFunction *Program::function(const ir::Function *F) const {
 // Slot-form compilation
 //===----------------------------------------------------------------------===//
 
-static OpClass classify(const Instruction &I) {
+OpClass mperf::vm::classifyOp(const Instruction &I) {
   switch (I.opcode()) {
   case Opcode::Mul:
     return OpClass::IntMul;
@@ -184,7 +184,7 @@ static void compileFunction(const Function &F,
       CInst CI;
       CI.I = I;
       CI.Op = I->opcode();
-      CI.Class = classify(*I);
+      CI.Class = classifyOp(*I);
       if (!I->type()->isVoid())
         CI.Dest = Slots.at(I);
       for (const Value *Op : I->operands())

@@ -113,6 +113,12 @@ public:
 
   const ir::Module &module() const { return *M; }
 
+  /// True when the Program owns its module (built via compile()); false
+  /// for the borrowing compileTrusted() form, whose module may die
+  /// before the Program does. Consumers that stash a Program past the
+  /// run (miniperf::Profile) must check this before dereferencing IR.
+  bool ownsModule() const { return Owned != nullptr; }
+
   /// The compiled form of \p F; nullptr for declarations.
   const CompiledFunction *function(const ir::Function *F) const;
 

@@ -46,6 +46,12 @@ enum class OpClass : uint8_t {
   Other,   // phi-resolution moves, splat, select, reductions
 };
 
+/// The opcode -> OpClass mapping used when compiling instructions into
+/// micro-ops. Exported so static analyses (analysis/StaticCost.cpp) use
+/// the exact classification the dynamic path retires with — the two can
+/// never drift.
+OpClass classifyOp(const ir::Instruction &I);
+
 /// One retired IR instruction.
 struct RetiredOp {
   OpClass Class = OpClass::Other;

@@ -420,7 +420,7 @@ TEST(ClusterSweepTest, ReportCarriesV5ClusterBlocks) {
   ASSERT_EQ(Report.numFailures(), 0u);
 
   std::string Json = Report.toJson();
-  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v5\""),
+  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v6\""),
             std::string::npos);
   EXPECT_NE(Json.find("\"cores\":1"), std::string::npos);
   EXPECT_NE(Json.find("\"cores\":2"), std::string::npos);

@@ -328,7 +328,7 @@ TEST(SweepReportTest, TableAndJson) {
 
   std::string Json = Report.toJson();
   EXPECT_TRUE(jsonBalanced(Json)) << Json;
-  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v5\""),
+  EXPECT_NE(Json.find("\"schema\":\"miniperf-sweep-report/v6\""),
             std::string::npos);
   // v5: every scenario states its core count; a single-hart sweep has
   // no scaling curves, so the throughput block is absent.

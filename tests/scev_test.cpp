@@ -1,0 +1,340 @@
+//===- scev_test.cpp - ScalarEvolution edge cases ------------------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// The honesty contract of the SCEV-lite layer: for every loop shape it
+// does not model — non-canonical latches, down-counting induction
+// variables, narrower-than-i64 IVs that may wrap, data-dependent
+// bounds — it must answer "unknown", and it must never answer with a
+// wrong constant. The static cost engine and the bounds lint both
+// treat Known as a promise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/ScalarEvolution.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mperf;
+using namespace mperf::ir;
+using namespace mperf::analysis;
+
+namespace {
+
+std::unique_ptr<Module> parse(std::string_view Text) {
+  auto MOr = parseModule(Text);
+  EXPECT_TRUE(MOr.hasValue()) << (MOr ? "" : MOr.errorMessage());
+  return std::move(*MOr);
+}
+
+/// Everything a test needs about one single-loop function.
+struct LoopFixture {
+  std::unique_ptr<Module> M;
+  Function *F = nullptr;
+  std::unique_ptr<DominatorTree> DT;
+  std::unique_ptr<LoopInfo> LI;
+  std::unique_ptr<ScalarEvolution> SE;
+  const Loop *L = nullptr;
+
+  explicit LoopFixture(std::string_view Text,
+                       ScalarEvolution::Bindings B = {}) {
+    M = parse(Text);
+    if (!M)
+      return;
+    F = *M->begin();
+    DT = std::make_unique<DominatorTree>(*F);
+    LI = std::make_unique<LoopInfo>(*F, *DT);
+    SE = std::make_unique<ScalarEvolution>(*F, *LI, std::move(B));
+    if (LI->topLevelLoops().size() == 1)
+      L = LI->topLevelLoops()[0];
+  }
+};
+
+const ir::Value *argNamed(Function *F, std::string_view Name) {
+  for (unsigned I = 0; I != F->numArgs(); ++I)
+    if (F->arg(I)->name() == Name)
+      return F->arg(I);
+  return nullptr;
+}
+
+const ir::Instruction *instNamed(Function *F, std::string_view Name) {
+  for (const BasicBlock *BB : *F)
+    for (const Instruction *I : *BB)
+      if (I->name() == Name)
+        return I;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// The canonical shape: everything provable
+//===----------------------------------------------------------------------===//
+
+const char *CanonicalText = R"(module m
+func @f(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %off = mul i64 %i, 8
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, 128
+  cond_br %c, loop, exit
+exit:
+  ret i64 0
+}
+)";
+
+TEST(ScalarEvolution, CanonicalCountedLoop) {
+  LoopFixture FX(CanonicalText);
+  ASSERT_NE(FX.L, nullptr);
+  const LoopTrip &T = FX.SE->trip(FX.L);
+  EXPECT_TRUE(T.CanonicalShape);
+  ASSERT_TRUE(T.Known);
+  EXPECT_EQ(T.Trips, 128u);
+  EXPECT_EQ(T.Step, 1);
+
+  const Instruction *Iv = instNamed(FX.F, "i");
+  ASSERT_NE(Iv, nullptr);
+  EXPECT_TRUE(FX.SE->isInductionVariable(Iv));
+  const SCEV &S = FX.SE->eval(Iv);
+  ASSERT_TRUE(S.Known);
+  EXPECT_EQ(S.Base, 0);
+  ASSERT_EQ(S.Strides.size(), 1u);
+  EXPECT_EQ(S.Strides.begin()->second, 1);
+  auto R = FX.SE->range(S);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->first, 0);
+  EXPECT_EQ(R->second, 127);
+
+  // The byte offset scales the stride, not the trip count.
+  auto ROff = FX.SE->range(FX.SE->eval(instNamed(FX.F, "off")));
+  ASSERT_TRUE(ROff.has_value());
+  EXPECT_EQ(ROff->first, 0);
+  EXPECT_EQ(ROff->second, 127 * 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Unknown trip counts: honest nullopt/false, usable once bound
+//===----------------------------------------------------------------------===//
+
+const char *ArgBoundText = R"(module m
+func @f(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  ret i64 0
+}
+)";
+
+TEST(ScalarEvolution, ArgumentBoundIsUnknownWithoutBinding) {
+  LoopFixture FX(ArgBoundText);
+  ASSERT_NE(FX.L, nullptr);
+  const LoopTrip &T = FX.SE->trip(FX.L);
+  // The shape is fine; only the trip count is unprovable.
+  EXPECT_TRUE(T.CanonicalShape);
+  EXPECT_FALSE(T.Known);
+  // And so the IV has no range — not a guessed one.
+  const SCEV &S = FX.SE->eval(instNamed(FX.F, "i"));
+  EXPECT_TRUE(S.Known); // affine in the loop counter...
+  EXPECT_FALSE(FX.SE->range(S).has_value()); // ...but unbounded
+}
+
+TEST(ScalarEvolution, ArgumentBoundResolvesUnderBinding) {
+  auto M = parse(ArgBoundText);
+  Function *F = *M->begin();
+  ScalarEvolution::Bindings B;
+  B[argNamed(F, "n")] = 40;
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ScalarEvolution SE(*F, LI, std::move(B));
+  const LoopTrip &T = SE.trip(LI.topLevelLoops()[0]);
+  ASSERT_TRUE(T.Known);
+  EXPECT_EQ(T.Trips, 40u);
+}
+
+//===----------------------------------------------------------------------===//
+// Non-canonical latches
+//===----------------------------------------------------------------------===//
+
+// Inverted successors: the loop exits on TRUE (`cond_br %c, exit, loop`).
+const char *InvertedLatchText = R"(module m
+func @f(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 128, %i.next
+  cond_br %c, exit, loop
+exit:
+  ret i64 0
+}
+)";
+
+TEST(ScalarEvolution, InvertedLatchIsNotCanonical) {
+  LoopFixture FX(InvertedLatchText);
+  ASSERT_NE(FX.L, nullptr);
+  const LoopTrip &T = FX.SE->trip(FX.L);
+  EXPECT_FALSE(T.CanonicalShape);
+  EXPECT_FALSE(T.Known);
+  // The phi is not a recognized IV, so its value is honestly unknown.
+  EXPECT_FALSE(FX.SE->eval(instNamed(FX.F, "i")).Known);
+}
+
+// The compare watches the current IV, not the incremented one — a
+// while-shape latch the do-while recognizer must refuse (its trip
+// formula would be off by one).
+const char *StaleCompareText = R"(module m
+func @f(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i, 127
+  cond_br %c, loop, exit
+exit:
+  ret i64 0
+}
+)";
+
+TEST(ScalarEvolution, CompareOnUnincrementedIvIsNotCanonical) {
+  LoopFixture FX(StaleCompareText);
+  ASSERT_NE(FX.L, nullptr);
+  EXPECT_FALSE(FX.SE->trip(FX.L).CanonicalShape);
+  EXPECT_FALSE(FX.SE->trip(FX.L).Known);
+}
+
+// SLE predicate: only slt/ult latches are modeled.
+const char *SlePredicateText = R"(module m
+func @f(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %i.next = add i64 %i, 1
+  %c = icmp sle i64 %i.next, 128
+  cond_br %c, loop, exit
+exit:
+  ret i64 0
+}
+)";
+
+TEST(ScalarEvolution, SlePredicateIsNotCanonical) {
+  LoopFixture FX(SlePredicateText);
+  ASSERT_NE(FX.L, nullptr);
+  EXPECT_FALSE(FX.SE->trip(FX.L).CanonicalShape);
+  EXPECT_FALSE(FX.SE->trip(FX.L).Known);
+}
+
+//===----------------------------------------------------------------------===//
+// Down-counting and wrapping induction variables
+//===----------------------------------------------------------------------===//
+
+// iv = 128; do { ... } while ((iv += -1) slt-compares...): a negative
+// step never matches — the recognizer requires a positive constant.
+const char *DownCountText = R"(module m
+func @f(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 128, entry ], [ %i.next, loop ]
+  %i.next = add i64 %i, -1
+  %c = icmp slt i64 0, %i.next
+  cond_br %c, exit, loop
+exit:
+  ret i64 0
+}
+)";
+
+TEST(ScalarEvolution, DownCountingLoopIsUnknown) {
+  LoopFixture FX(DownCountText);
+  ASSERT_NE(FX.L, nullptr);
+  EXPECT_FALSE(FX.SE->trip(FX.L).CanonicalShape);
+  EXPECT_FALSE(FX.SE->trip(FX.L).Known);
+  EXPECT_FALSE(FX.SE->eval(instNamed(FX.F, "i")).Known);
+}
+
+// An i32 IV may wrap its type before the compare sees the mathematical
+// value, so narrower-than-i64 IVs are refused wholesale.
+const char *NarrowIvText = R"(module m
+func @f(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i32 [ 0, entry ], [ %i.next, loop ]
+  %i.next = add i32 %i, 1
+  %c = icmp slt i32 %i.next, 128
+  cond_br %c, loop, exit
+exit:
+  ret i64 0
+}
+)";
+
+TEST(ScalarEvolution, NarrowInductionVariableIsUnknown) {
+  LoopFixture FX(NarrowIvText);
+  ASSERT_NE(FX.L, nullptr);
+  EXPECT_FALSE(FX.SE->trip(FX.L).CanonicalShape);
+  EXPECT_FALSE(FX.SE->trip(FX.L).Known);
+  EXPECT_FALSE(FX.SE->isInductionVariable(instNamed(FX.F, "i")));
+}
+
+//===----------------------------------------------------------------------===//
+// Values the lattice must not invent
+//===----------------------------------------------------------------------===//
+
+const char *NonAffineText = R"(module m
+global @G 1024
+func @f(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %sq = mul i64 %i, %i
+  %p = ptradd ptr @G, %i
+  %x = load i64, %p
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, 16
+  cond_br %c, loop, exit
+exit:
+  ret i64 0
+}
+)";
+
+TEST(ScalarEvolution, NonAffineAndMemoryValuesAreUnknown) {
+  LoopFixture FX(NonAffineText);
+  ASSERT_NE(FX.L, nullptr);
+  ASSERT_TRUE(FX.SE->trip(FX.L).Known); // the loop itself is fine
+  // iv*iv is quadratic: not expressible, must not be approximated.
+  EXPECT_FALSE(FX.SE->eval(instNamed(FX.F, "sq")).Known);
+  // Loaded values are never modeled.
+  EXPECT_FALSE(FX.SE->eval(instNamed(FX.F, "x")).Known);
+  // And an address built on an unbound global stays unknown too.
+  EXPECT_FALSE(FX.SE->eval(instNamed(FX.F, "p")).Known);
+}
+
+TEST(ScalarEvolution, GlobalBindingMakesAddressesAffine) {
+  auto M = parse(NonAffineText);
+  Function *F = *M->begin();
+  ScalarEvolution::Bindings B;
+  ASSERT_EQ(M->numGlobals(), 1u);
+  B[M->globalAt(0)] = 0x1000;
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  ScalarEvolution SE(*F, LI, std::move(B));
+  auto R = SE.range(SE.eval(instNamed(F, "p")));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->first, 0x1000);
+  EXPECT_EQ(R->second, 0x1000 + 15);
+}
+
+} // namespace

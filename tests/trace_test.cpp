@@ -338,7 +338,7 @@ TEST(SelfMetricsTest, SweepReportEmbedsConsistentSelfMetrics) {
   ASSERT_TRUE(bool(DocOr)) << DocOr.errorMessage();
   const JsonValue *Schema = DocOr->find("schema");
   ASSERT_NE(Schema, nullptr);
-  EXPECT_EQ(Schema->asString(), "miniperf-sweep-report/v5");
+  EXPECT_EQ(Schema->asString(), "miniperf-sweep-report/v6");
 
   const JsonValue *Self = DocOr->find("self_metrics");
   ASSERT_NE(Self, nullptr);

@@ -7,12 +7,14 @@
 #   cmake -DSWEEP=<miniperf-sweep> -DLINT=<miniperf-lint>
 #         -DBENCHDIFF=<bench-diff> -DDOCS=<repo>/docs -P DocDriftCheck.cmake
 #
-# Two drift classes are checked:
+# Three drift classes are checked:
 #   1. CLI flags: every `--flag` any tool's --help prints must appear in
 #      docs/cli.md. Adding a flag without documenting it fails CI.
 #   2. The worked example in docs/sweep-report.md: its ```json block
 #      must parse, carry the current schema version, and still contain
-#      the v5 cluster blocks it narrates.
+#      the v5 cluster blocks and v6 static_cost blocks it narrates.
+#   3. docs/static-analysis.md still names the static-analysis surfaces
+#      and the tolerance bands the ctest gates actually enforce.
 #
 # ===----------------------------------------------------------------------=== #
 
@@ -25,7 +27,7 @@ function(fail MESSAGE)
   message(SEND_ERROR "doc-drift: ${MESSAGE}")
 endfunction()
 
-foreach(VAR SWEEP LINT BENCHDIFF DOCS)
+foreach(VAR SWEEP LINT MCA BENCHDIFF DOCS)
   if(NOT DEFINED ${VAR})
     message(FATAL_ERROR "doc-drift: -D${VAR}=... is required")
   endif()
@@ -35,7 +37,7 @@ endforeach()
 
 file(READ "${DOCS}/cli.md" CLI_DOC)
 
-foreach(TOOL SWEEP LINT BENCHDIFF)
+foreach(TOOL SWEEP LINT MCA BENCHDIFF)
   execute_process(
     COMMAND "${${TOOL}}" --help
     OUTPUT_VARIABLE HELP_OUT
@@ -84,8 +86,8 @@ else()
   string(JSON SCHEMA ERROR_VARIABLE JERR GET "${SAMPLE}" schema)
   if(NOT JERR STREQUAL "NOTFOUND")
     fail("sample JSON in docs/sweep-report.md does not parse: ${JERR}")
-  elseif(NOT SCHEMA STREQUAL "miniperf-sweep-report/v5")
-    fail("sample schema is '${SCHEMA}', expected miniperf-sweep-report/v5")
+  elseif(NOT SCHEMA STREQUAL "miniperf-sweep-report/v6")
+    fail("sample schema is '${SCHEMA}', expected miniperf-sweep-report/v6")
   else()
     # The narration promises a single-hart cell and a cluster cell with
     # the v5 blocks; hold the example to it.
@@ -117,10 +119,38 @@ else()
       elseif(CURVES LESS 1)
         fail("sample throughput_vs_cores is empty")
       endif()
+      # v6: every successful cell carries the static_cost block — the
+      # single-hart cell as a known prediction with its error, the
+      # cluster cell as an honest unknown with a reason.
+      string(JSON SC0 ERROR_VARIABLE SERR0 GET "${SAMPLE}" results 0 static_cost known)
+      if(NOT SERR0 STREQUAL "NOTFOUND")
+        fail("sample results[0] is missing the v6 static_cost block")
+      endif()
+      string(JSON SC1 ERROR_VARIABLE SERR1 GET "${SAMPLE}" results 1 static_cost reason)
+      if(NOT SERR1 STREQUAL "NOTFOUND")
+        fail("sample cluster cell's static_cost carries no unknown reason")
+      endif()
       message(STATUS "doc-drift: sample report parses as ${SCHEMA} with "
                      "${NUM_RESULTS} results and ${CURVES} throughput curve(s)")
     endif()
   endif()
+endif()
+
+# --- 3. static-analysis.md names its surfaces and bands ------------------ #
+
+if(NOT EXISTS "${DOCS}/static-analysis.md")
+  fail("docs/static-analysis.md is missing")
+else()
+  file(READ "${DOCS}/static-analysis.md" SA_DOC)
+  # The surfaces and the enforced tolerance bands must stay narrated;
+  # if a band changes in the tests, this page has to change with it.
+  foreach(TOPIC miniperf-lint miniperf-mca static_cost "0.5%" "1%" unknown)
+    string(FIND "${SA_DOC}" "${TOPIC}" AT)
+    if(AT EQUAL -1)
+      fail("docs/static-analysis.md no longer mentions '${TOPIC}'")
+    endif()
+  endforeach()
+  message(STATUS "doc-drift: static-analysis.md narrates all gated surfaces")
 endif()
 
 if(FAILURES GREATER 0)

@@ -1,0 +1,50 @@
+# ===- tools/LintValueRangeCheck.cmake - bounds-lint negative path -------=== #
+#
+# Part of the miniperf project, a reproduction of "Dissecting RISC-V
+# Performance" (PACT 2025). See README.md for details.
+#
+# The value-range bounds lint contract: a module with a statically-
+# provable out-of-bounds global access warns and exits 2 — it never
+# blocks the compile (exit 1 is reserved for verification errors) —
+# and an in-bounds module of the same shape stays silent with exit 0.
+#
+# Expects -DLINT=<miniperf-lint> and -DFIXTURES=<tests/fixtures dir>.
+#
+# ===----------------------------------------------------------------------=== #
+
+foreach(VAR LINT FIXTURES)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "lint-value-range: -D${VAR}=... is required")
+  endif()
+endforeach()
+
+# Negative path: the overrun must warn, name the global, and exit 2.
+execute_process(
+  COMMAND "${LINT}" "${FIXTURES}/oob.mir"
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 2)
+  message(FATAL_ERROR "lint on oob.mir exited ${RC} (want 2: warnings only)\n${OUT}${ERR}")
+endif()
+if(NOT ERR MATCHES "warning: statically out-of-bounds access to @SMALL")
+  message(FATAL_ERROR "lint on oob.mir did not warn about @SMALL:\n${OUT}${ERR}")
+endif()
+if(ERR MATCHES "@BIG")
+  message(FATAL_ERROR "lint on oob.mir warned about the in-bounds @BIG:\n${ERR}")
+endif()
+
+# Positive path: the in-bounds saxpy fixture must stay silent.
+execute_process(
+  COMMAND "${LINT}" "${FIXTURES}/saxpy.mir"
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "lint on saxpy.mir exited ${RC} (want 0)\n${OUT}${ERR}")
+endif()
+if(ERR MATCHES "warning")
+  message(FATAL_ERROR "lint warned on the in-bounds saxpy.mir:\n${ERR}")
+endif()
+
+message(STATUS "value-range lint OK: oob.mir warns and exits 2, saxpy.mir silent")

@@ -1,0 +1,100 @@
+# ===- tools/McaSmokeCheck.cmake - ctest smoke for miniperf-mca ----------=== #
+#
+# Part of the miniperf project, a reproduction of "Dissecting RISC-V
+# Performance" (PACT 2025). See README.md for details.
+#
+# Runs miniperf-mca in both modes and checks the machine-readable
+# contract: the workload mode predicts a fully-analyzable kernel
+# (triad) as known on every platform, the sqlite workload is reported
+# as an honest unknown with a reason, and the file mode carries
+# file:line provenance from parseModule into the loop rows.
+#
+# Expects -DMCA=<miniperf-mca> and -DFIXTURES=<tests/fixtures dir>.
+#
+# ===----------------------------------------------------------------------=== #
+
+foreach(VAR MCA FIXTURES)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "mca-smoke: -D${VAR}=... is required")
+  endif()
+endforeach()
+
+set(REPORT "${CMAKE_CURRENT_BINARY_DIR}/mca_smoke_triad.json")
+execute_process(
+  COMMAND "${MCA}" --workload triad --json "${REPORT}"
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE OUT)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "miniperf-mca --workload triad exited ${RC}:\n${OUT}")
+endif()
+
+file(READ "${REPORT}" DOC)
+string(JSON SCHEMA GET "${DOC}" schema)
+if(NOT SCHEMA STREQUAL "miniperf-mca-report/v1")
+  message(FATAL_ERROR "bad mca schema '${SCHEMA}' (want miniperf-mca-report/v1)")
+endif()
+string(JSON NUM_RESULTS LENGTH "${DOC}" results)
+if(NUM_RESULTS LESS 5)
+  message(FATAL_ERROR "mca predicted ${NUM_RESULTS} platforms (want all 5)")
+endif()
+math(EXPR LAST "${NUM_RESULTS} - 1")
+foreach(I RANGE ${LAST})
+  string(JSON KNOWN GET "${DOC}" results ${I} known)
+  if(NOT KNOWN STREQUAL "ON" AND NOT KNOWN STREQUAL "true")
+    string(JSON PNAME GET "${DOC}" results ${I} platform)
+    message(FATAL_ERROR "triad must be statically predictable on ${PNAME}")
+  endif()
+  string(JSON CYC GET "${DOC}" results ${I} predicted cycles)
+  if(CYC LESS_EQUAL 0)
+    message(FATAL_ERROR "triad predicted ${CYC} cycles (want > 0)")
+  endif()
+  string(JSON NUM_LOOPS LENGTH "${DOC}" results ${I} loops)
+  if(NUM_LOOPS LESS 1)
+    message(FATAL_ERROR "triad prediction carries no loop breakdown")
+  endif()
+endforeach()
+
+# Honesty contract: sqlite's data-dependent control flow must come back
+# as unknown with a reason, never as a guessed number.
+set(SREPORT "${CMAKE_CURRENT_BINARY_DIR}/mca_smoke_sqlite.json")
+execute_process(
+  COMMAND "${MCA}" --workload sqlite --platforms x60 --json "${SREPORT}"
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE OUT)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "miniperf-mca --workload sqlite exited ${RC}:\n${OUT}")
+endif()
+file(READ "${SREPORT}" SDOC)
+string(JSON SKNOWN GET "${SDOC}" results 0 known)
+if(SKNOWN STREQUAL "ON" OR SKNOWN STREQUAL "true")
+  message(FATAL_ERROR "sqlite came back 'known' (must be an honest unknown)")
+endif()
+string(JSON SREASON GET "${SDOC}" results 0 reason)
+if(SREASON STREQUAL "")
+  message(FATAL_ERROR "sqlite unknown carries no reason")
+endif()
+
+# File mode: file:line provenance must flow from the parser into the
+# loop rows.
+set(FREPORT "${CMAKE_CURRENT_BINARY_DIR}/mca_smoke_file.json")
+execute_process(
+  COMMAND "${MCA}" "${FIXTURES}/saxpy.mir" --platforms c906 --json "${FREPORT}"
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE OUT)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "miniperf-mca saxpy.mir exited ${RC}:\n${OUT}")
+endif()
+file(READ "${FREPORT}" FDOC)
+string(JSON FKNOWN GET "${FDOC}" results 0 known)
+if(NOT FKNOWN STREQUAL "ON" AND NOT FKNOWN STREQUAL "true")
+  message(FATAL_ERROR "saxpy.mir must be statically predictable")
+endif()
+string(JSON FLOC GET "${FDOC}" results 0 loops 0 loc)
+if(NOT FLOC MATCHES "saxpy\\.mir:[0-9]+")
+  message(FATAL_ERROR "loop row loc '${FLOC}' carries no file:line provenance")
+endif()
+
+message(STATUS "mca smoke OK: ${NUM_RESULTS} platform(s) on triad, sqlite honest, provenance '${FLOC}'")

@@ -6,8 +6,9 @@
 # Runs miniperf-sweep on one tiny scenario with every analysis attached
 # (and --trace, exercising the observability path), then parses the
 # emitted JSON (CMake's string(JSON ...)) and checks the report and
-# analysis schema version strings, the v5 cores field, the v4
-# self_metrics block, the v3 build-cache stats block, and the
+# analysis schema version strings, the v6 static_cost block, the v5
+# cores field, the v4 self_metrics block, the v3 build-cache stats
+# block, and the
 # per-scenario build/exec wall-time fields — the contract CI and the
 # --baseline diff mode rely on. The trace output must itself be valid
 # JSON with a traceEvents array. A second tiny cluster sweep checks the
@@ -32,14 +33,26 @@ endif()
 file(READ "${REPORT}" DOC)
 
 string(JSON SCHEMA GET "${DOC}" schema)
-if(NOT SCHEMA STREQUAL "miniperf-sweep-report/v5")
-  message(FATAL_ERROR "bad report schema '${SCHEMA}' (want miniperf-sweep-report/v5)")
+if(NOT SCHEMA STREQUAL "miniperf-sweep-report/v6")
+  message(FATAL_ERROR "bad report schema '${SCHEMA}' (want miniperf-sweep-report/v6)")
 endif()
 
 # v5: every scenario states its core count; this sweep is single-hart.
 string(JSON NUM_CORES GET "${DOC}" results 0 cores)
 if(NOT NUM_CORES EQUAL 1)
   message(FATAL_ERROR "results[0].cores is ${NUM_CORES} (want 1 for a single-hart sweep)")
+endif()
+
+# v6: every scenario carries the static-cost block. triad is a fully
+# analyzable counted-loop workload, so the prediction must be Known and
+# within the documented tolerance band (docs/static-analysis.md: 1%).
+string(JSON SC_KNOWN GET "${DOC}" results 0 static_cost known)
+if(NOT SC_KNOWN STREQUAL "ON" AND NOT SC_KNOWN STREQUAL "true")
+  message(FATAL_ERROR "results[0].static_cost.known is '${SC_KNOWN}' (triad must be statically predictable)")
+endif()
+string(JSON SC_ERR GET "${DOC}" results 0 static_cost cycles_error_pct)
+if(SC_ERR GREATER 1 OR SC_ERR LESS -1)
+  message(FATAL_ERROR "static_cost cycles_error_pct is ${SC_ERR} (outside the 1% band)")
 endif()
 
 string(JSON NUM_FAILURES GET "${DOC}" num_failures)
@@ -186,6 +199,17 @@ endif()
 string(JSON CONTENTION_OK GET "${CDOC}" results 1 analyses 0 ok)
 if(NOT CONTENTION_OK STREQUAL "ON" AND NOT CONTENTION_OK STREQUAL "true")
   message(FATAL_ERROR "contention analysis failed on the cluster cell")
+endif()
+
+# v6 on a cluster cell: the static model is single-hart, so the block
+# must say "unknown" honestly instead of guessing.
+string(JSON CSC_KNOWN GET "${CDOC}" results 1 static_cost known)
+if(CSC_KNOWN STREQUAL "ON" OR CSC_KNOWN STREQUAL "true")
+  message(FATAL_ERROR "cluster cell static_cost.known is true (must be an honest unknown)")
+endif()
+string(JSON CSC_REASON GET "${CDOC}" results 1 static_cost reason)
+if(CSC_REASON STREQUAL "")
+  message(FATAL_ERROR "cluster cell static_cost has no reason")
 endif()
 
 message(STATUS "sweep report schema OK: ${SCHEMA}, ${NUM_ANALYSES} analyses, "

@@ -4,31 +4,48 @@
 // Performance" (PACT 2025). See README.md for details.
 //
 // Runs the full static verification stack — parser, SSA verifier,
-// micro-op lowering cross-checker — and prints file:line diagnostics:
+// micro-op lowering cross-checker, value-range bounds lint — and prints
+// file:line diagnostics:
 //
 //   miniperf-lint FILE.mir [FILE2.mir ...]
 //       Parse each textual IR module, verify it, compile it into a
-//       vm::Program and cross-check the lowered micro-ops.
+//       vm::Program, cross-check the lowered micro-ops, and warn about
+//       statically-provable out-of-bounds global accesses.
 //
 //   miniperf-lint --workloads [--scale N]
 //       Sweep every registered workload x platform x {scalar,vector}
-//       build through the same checks. This is the ctest entry that
-//       keeps the builders and the vectorizer honest.
+//       build through the same checks — cluster member cores included.
+//       This is the ctest entry that keeps the builders and the
+//       vectorizer honest.
 //
-// Exit status: 0 when everything verifies, 1 on any diagnostic, 2 on
-// usage/IO errors. All diagnostics are printed, not just the first.
+//   miniperf-lint --static-cost FILE.mir [--platform KEY]
+//       Also print the static cost analyzer's per-loop prediction
+//       table (analysis/StaticCost.h), making lint the one-stop
+//       static tool.
+//
+// Exit status: 0 when everything verifies, 1 on any verification
+// error, 2 when only bounds warnings were emitted (warnings never
+// block a compile), 3 on usage/IO errors. All diagnostics are
+// printed, not just the first.
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/DominatorTree.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/ScalarEvolution.h"
+#include "analysis/StaticCost.h"
 #include "driver/Scenario.h"
 #include "hw/Platform.h"
 #include "ir/Parser.h"
 #include "ir/Verifier.h"
+#include "support/Format.h"
+#include "support/Table.h"
 #include "vm/LowerCheck.h"
 #include "vm/Program.h"
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -39,7 +56,7 @@ namespace {
 
 [[noreturn]] void die(const std::string &Message) {
   std::fprintf(stderr, "miniperf-lint: %s\n", Message.c_str());
-  std::exit(2);
+  std::exit(3);
 }
 
 void printUsage() {
@@ -48,35 +65,167 @@ void printUsage() {
               "\n"
               "Statically verifies textual IR modules or every builtin\n"
               "workload build: parser -> SSA verifier -> micro-op\n"
-              "lowering cross-checker. Prints file:line diagnostics and\n"
-              "exits non-zero when anything fails to verify.\n");
+              "lowering cross-checker -> value-range bounds lint.\n"
+              "Prints file:line diagnostics and exits non-zero when\n"
+              "anything fails to verify (1) or only warnings were\n"
+              "found (2).\n"
+              "\n"
+              "  --workloads     verify every builtin workload build on\n"
+              "                  every platform (cluster member cores\n"
+              "                  included) in scalar and vector form\n"
+              "  --scale N       workload scale for --workloads\n"
+              "  --static-cost   also print the static cost analyzer's\n"
+              "                  per-loop prediction table per file\n"
+              "  --platform KEY  platform for --static-cost (default x60)\n"
+              "  --entry NAME    entry function for --static-cost\n"
+              "                  (default main)\n"
+              "  --help          this text\n");
 }
 
 int Diagnostics = 0;
+int Warnings = 0;
 
 void diag(const std::string &Where, const std::string &Message) {
   std::fprintf(stderr, "%s: %s\n", Where.c_str(), Message.c_str());
   ++Diagnostics;
 }
 
-/// Verifier + lowering checks over an already-parsed module. Runs the
-/// checks explicitly (not via the MPERF_VERIFY knob) — lint exists to
-/// verify, whatever the environment says.
-void checkModule(const std::string &Where, std::unique_ptr<ir::Module> M) {
+void warn(const std::string &Where, const std::string &Message) {
+  std::fprintf(stderr, "%s: warning: %s\n", Where.c_str(), Message.c_str());
+  ++Warnings;
+}
+
+//===----------------------------------------------------------------------===//
+// Value-range bounds lint
+//
+// Uses the SCEV-lite value ranges (analysis/ScalarEvolution.h) over the
+// compiled program's global layout: any load/store whose address range
+// is statically provable and provably overruns the global it starts in
+// gets a warning. Anything not provable stays silent — warnings are
+// promises, and they never block the compile.
+//===----------------------------------------------------------------------===//
+
+void checkGlobalBounds(const std::string &Where, const vm::Program &Prog) {
+  const ir::Module &M = Prog.module();
+  struct GlobalSpan {
+    const ir::GlobalVariable *GV;
+    int64_t Base;
+    int64_t Size;
+  };
+  std::vector<GlobalSpan> Globals;
+  for (size_t I = 0, E = M.numGlobals(); I != E; ++I) {
+    const ir::GlobalVariable *GV = M.globalAt(I);
+    Globals.push_back({GV, static_cast<int64_t>(Prog.globalAddress(GV->name())),
+                       static_cast<int64_t>(GV->sizeInBytes())});
+  }
+  if (Globals.empty())
+    return;
+
+  for (const ir::Function *F : M) {
+    if (F->isDeclaration())
+      continue;
+    analysis::DominatorTree DT(*F);
+    analysis::LoopInfo LI(*F, DT);
+    // Bind global base addresses only: function arguments stay symbolic,
+    // so arg-dependent addresses evaluate to Unknown and stay silent.
+    analysis::ScalarEvolution::Bindings B;
+    for (const GlobalSpan &G : Globals)
+      B[G.GV] = G.Base;
+    analysis::ScalarEvolution SE(*F, LI, std::move(B));
+
+    for (const ir::BasicBlock *BB : *F) {
+      for (const ir::Instruction *I : *BB) {
+        const ir::Value *Addr = nullptr;
+        int64_t Bytes = 0;
+        if (I->opcode() == ir::Opcode::Load) {
+          Addr = I->operand(0);
+          Bytes = static_cast<int64_t>(I->type()->sizeInBytes());
+        } else if (I->opcode() == ir::Opcode::Store) {
+          Addr = I->operand(1);
+          Bytes = static_cast<int64_t>(I->operand(0)->type()->sizeInBytes());
+        } else {
+          continue;
+        }
+        auto Range = SE.range(SE.eval(Addr));
+        if (!Range)
+          continue; // not statically provable: no warning, no guess
+        // The access is attributed to the global its lowest address
+        // falls in; an overrun past that global's end is the bug the
+        // simulator's flat memory would silently absorb.
+        for (const GlobalSpan &G : Globals) {
+          if (Range->first < G.Base || Range->first >= G.Base + G.Size)
+            continue;
+          const int64_t End = Range->second + Bytes;
+          if (End > G.Base + G.Size) {
+            const std::string Loc =
+                I->loc().isValid() ? I->loc().str()
+                                   : Where + " (" + F->name() + ")";
+            warn(Loc, "statically out-of-bounds access to @" +
+                          G.GV->name() + ": bytes [" +
+                          std::to_string(Range->first - G.Base) + ", " +
+                          std::to_string(End - G.Base) + ") overrun the " +
+                          std::to_string(G.Size) + "-byte global");
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+/// Verifier + lowering + bounds checks over an already-parsed module.
+/// Runs the checks explicitly (not via the MPERF_VERIFY knob) — lint
+/// exists to verify, whatever the environment says. Returns the
+/// compiled program so callers can layer more analyses on it.
+std::shared_ptr<const vm::Program> checkModule(const std::string &Where,
+                                               std::unique_ptr<ir::Module> M) {
   if (Error E = ir::verifyModule(*M)) {
     diag(Where, E.message());
-    return;
+    return nullptr;
   }
   auto ProgOr = vm::Program::compile(std::move(M));
   if (!ProgOr) {
     diag(Where, ProgOr.errorMessage());
-    return;
+    return nullptr;
   }
-  if (Error E = vm::checkProgramLowering(**ProgOr))
+  if (Error E = vm::checkProgramLowering(**ProgOr)) {
     diag(Where, E.message());
+    return nullptr;
+  }
+  checkGlobalBounds(Where, **ProgOr);
+  return *ProgOr;
 }
 
-void lintFile(const std::string &Path) {
+/// --static-cost: the analyzer's per-loop table for one file.
+void printStaticCost(const std::string &Where, const vm::Program &Prog,
+                     const hw::Platform &P, const std::string &Entry) {
+  analysis::StaticCostResult R =
+      analysis::computeStaticCost(Prog, P, Entry, {});
+  if (!R.Known) {
+    std::printf("%s: static cost on %s: unknown: %s\n", Where.c_str(),
+                P.CoreName.c_str(), R.UnknownReason.c_str());
+    return;
+  }
+  TextTable T("Static cost — " + Where + " on " + P.CoreName + ": " +
+              withCommas(static_cast<uint64_t>(R.Cycles + 0.5)) +
+              " cycles, " +
+              withCommas(static_cast<uint64_t>(R.Instret + 0.5)) +
+              " instructions");
+  T.addHeader({"Loop", "Location", "trips", "iterations", "cycles", "ops"});
+  for (const analysis::StaticLoopCost &L : R.Loops) {
+    std::string Name(2 * (L.Depth - 1), ' ');
+    Name += L.Function + ":" + L.HeaderName;
+    T.addRow({Name, L.Loc.str(),
+              L.TripKnown ? withCommas(L.Trips) : "unknown",
+              withCommas(static_cast<uint64_t>(L.Iterations + 0.5)),
+              withCommas(static_cast<uint64_t>(L.Cycles + 0.5)),
+              withCommas(static_cast<uint64_t>(L.Ops + 0.5))});
+  }
+  std::fputs(T.render().c_str(), stdout);
+}
+
+void lintFile(const std::string &Path, bool StaticCost,
+              const hw::Platform &CostPlatform, const std::string &Entry) {
   std::ifstream In(Path);
   if (!In)
     die("cannot open '" + Path + "'");
@@ -89,17 +238,39 @@ void lintFile(const std::string &Path) {
     diag(Path, ModOr.errorMessage());
     return;
   }
-  checkModule(Path, std::move(*ModOr));
+  std::shared_ptr<const vm::Program> Prog =
+      checkModule(Path, std::move(*ModOr));
+  if (Prog && StaticCost)
+    printStaticCost(Path, *Prog, CostPlatform, Entry);
 }
 
 int lintWorkloads(unsigned Scale) {
-  std::vector<hw::Platform> Platforms = hw::allPlatforms();
+  // The single-hart platforms plus every registered cluster's member
+  // cores. A cluster's cores are platform copies today, but lint
+  // verifies what is registered, not what happens to be deduplicable —
+  // only identical cores within one cluster are folded (c906x4 has
+  // four copies of one core; one check covers them).
+  struct Target {
+    hw::Platform P;
+    std::string Key; // "x60" or "c906@c906x4"
+  };
+  std::vector<Target> Targets;
+  for (const hw::Platform &P : hw::allPlatforms())
+    Targets.push_back({P, driver::platformKey(P)});
+  size_t NumSingle = Targets.size();
+  for (const hw::Cluster &C : hw::allClusters()) {
+    std::set<std::string> InCluster;
+    for (const hw::Platform &P : C.Cores)
+      if (InCluster.insert(driver::platformKey(P)).second)
+        Targets.push_back({P, driver::platformKey(P) + "@" + C.Key});
+  }
   std::vector<driver::WorkloadDesc> Workloads =
       driver::standardWorkloads(Scale);
 
   unsigned Checked = 0;
-  for (const hw::Platform &P : Platforms) {
-    std::string PKey = driver::platformKey(P);
+  for (const Target &T : Targets) {
+    const hw::Platform &P = T.P;
+    const std::string &PKey = T.Key;
     for (const driver::WorkloadDesc &W : Workloads) {
       for (bool Vectorize : {false, true}) {
         std::string Where = W.Name + "@" + PKey +
@@ -119,22 +290,28 @@ int lintWorkloads(unsigned Scale) {
           diag(Where, E.message());
           continue;
         }
+        checkGlobalBounds(Where, Prog);
         ++Checked;
       }
     }
   }
-  std::printf("miniperf-lint: %u workload builds verified (%zu platforms x "
-              "%zu workloads x scalar/vector), %d diagnostic%s\n",
-              Checked, Platforms.size(), Workloads.size(), Diagnostics,
-              Diagnostics == 1 ? "" : "s");
-  return Diagnostics ? 1 : 0;
+  std::printf("miniperf-lint: %u workload builds verified (%zu platforms "
+              "(%zu cluster member cores) x %zu workloads x scalar/vector), "
+              "%d diagnostic%s, %d warning%s\n",
+              Checked, Targets.size(), Targets.size() - NumSingle,
+              Workloads.size(), Diagnostics, Diagnostics == 1 ? "" : "s",
+              Warnings, Warnings == 1 ? "" : "s");
+  return Diagnostics ? 1 : (Warnings ? 2 : 0);
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
   bool Workloads = false;
+  bool StaticCost = false;
   unsigned Scale = 1;
+  std::string PlatformKey = "x60";
+  std::string Entry = "main";
   std::vector<std::string> Files;
 
   for (int I = 1; I != argc; ++I) {
@@ -145,6 +322,22 @@ int main(int argc, char **argv) {
     }
     if (Arg == "--workloads") {
       Workloads = true;
+      continue;
+    }
+    if (Arg == "--static-cost") {
+      StaticCost = true;
+      continue;
+    }
+    if (Arg == "--platform") {
+      if (I + 1 == argc)
+        die("--platform requires a value");
+      PlatformKey = argv[++I];
+      continue;
+    }
+    if (Arg == "--entry") {
+      if (I + 1 == argc)
+        die("--entry requires a value");
+      Entry = argv[++I];
       continue;
     }
     if (Arg == "--scale") {
@@ -162,18 +355,28 @@ int main(int argc, char **argv) {
 
   if (Workloads && !Files.empty())
     die("--workloads does not take file arguments");
+  if (Workloads && StaticCost)
+    die("--static-cost applies to file mode");
   if (!Workloads && Files.empty()) {
     printUsage();
-    return 2;
+    return 3;
   }
 
   if (Workloads)
     return lintWorkloads(Scale);
 
+  hw::Platform CostPlatform;
+  if (StaticCost) {
+    auto POr = driver::selectPlatforms(PlatformKey);
+    if (!POr || POr->size() != 1)
+      die("--platform wants one platform key (u74,c906,c910,x60,i5)");
+    CostPlatform = POr->front();
+  }
+
   for (const std::string &F : Files)
-    lintFile(F);
-  if (!Diagnostics)
+    lintFile(F, StaticCost, CostPlatform, Entry);
+  if (!Diagnostics && !Warnings)
     std::printf("miniperf-lint: %zu module%s verified, 0 diagnostics\n",
                 Files.size(), Files.size() == 1 ? "" : "s");
-  return Diagnostics ? 1 : 0;
+  return Diagnostics ? 1 : (Warnings ? 2 : 0);
 }

@@ -1,0 +1,386 @@
+//===- miniperf-mca.cpp - Static performance prediction CLI --------------------===//
+//
+// Part of the miniperf project, a reproduction of "Dissecting RISC-V
+// Performance" (PACT 2025). See README.md for details.
+//
+// An llvm-mca-style static throughput analyzer over the simulator's own
+// cost model (analysis/StaticCost.h): predicts cycles, instructions and
+// cycle buckets for a (module, platform) pair without executing an op,
+// with a per-loop-nest breakdown carrying file:line provenance.
+//
+//   miniperf-mca FILE.mir [--entry main] [--args 64,8]
+//       Parse a textual IR module and predict it on every selected
+//       platform.
+//
+//   miniperf-mca --workload triad [--scale N] [--vectorize]
+//       Predict a builtin workload build (the same Program a sweep
+//       scenario runs), entry and arguments included.
+//
+// Honesty contract: cells the model cannot prove are reported as
+// "unknown: <reason>", never as a guessed number. Exit status: 0 on
+// success (unknown cells included — they are an answer), 2 on usage/IO
+// errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticCost.h"
+#include "driver/Scenario.h"
+#include "hw/Platform.h"
+#include "ir/Parser.h"
+#include "support/Format.h"
+#include "support/JSON.h"
+#include "support/Table.h"
+#include "vm/Program.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace mperf;
+
+namespace {
+
+[[noreturn]] void die(const std::string &Message) {
+  std::fprintf(stderr, "miniperf-mca: %s\n", Message.c_str());
+  std::exit(2);
+}
+
+void printUsage() {
+  std::printf(
+      "usage: miniperf-mca FILE.mir [options]\n"
+      "       miniperf-mca --workload NAME [options]\n"
+      "\n"
+      "Statically predicts cycles, instructions and cycle buckets for\n"
+      "a (module, platform) pair -- no execution -- with a per-loop\n"
+      "breakdown carrying file:line provenance. Unpredictable cells\n"
+      "are reported as unknown with the reason, never guessed.\n"
+      "\n"
+      "  --workload NAME    predict a builtin workload build instead of\n"
+      "                     a file (sqlite,matmul,triad,memset,peakflops)\n"
+      "  --scale N          workload scale multiplier (default 1)\n"
+      "  --vectorize        vectorize the workload build\n"
+      "  --entry NAME       entry function for file mode (default main)\n"
+      "  --args LIST        comma list of integer entry arguments\n"
+      "                     (file mode; workload builds carry their own)\n"
+      "  --platforms SPEC   all (default) or comma list: u74,c906,c910,"
+      "x60,i5\n"
+      "  --json FILE        also write the machine-readable report\n"
+      "                     (miniperf-mca-report/v1)\n"
+      "  --help             this text\n");
+}
+
+uint64_t parseUnsigned(const std::string &Flag, const std::string &Text) {
+  char *End = nullptr;
+  uint64_t Value = std::strtoull(Text.c_str(), &End, 10);
+  if (Text.empty() || End != Text.c_str() + Text.size())
+    die("bad " + Flag + " value '" + Text + "' (expected a number)");
+  return Value;
+}
+
+/// "64,8" -> {64, 8}; signed values allowed.
+std::vector<int64_t> parseArgs(const std::string &List) {
+  std::vector<int64_t> Values;
+  std::string Token;
+  std::istringstream SS(List);
+  while (std::getline(SS, Token, ',')) {
+    char *End = nullptr;
+    int64_t V = std::strtoll(Token.c_str(), &End, 10);
+    if (Token.empty() || End != Token.c_str() + Token.size())
+      die("bad --args element '" + Token + "' (expected an integer)");
+    Values.push_back(V);
+  }
+  return Values;
+}
+
+/// One prediction cell: a platform's result plus how the build was made.
+struct Cell {
+  std::string PlatformKey;
+  std::string PlatformName;
+  analysis::StaticCostResult R;
+};
+
+void printCell(const Cell &C) {
+  if (!C.R.Known) {
+    std::printf("%s: unknown: %s\n\n", C.PlatformName.c_str(),
+                C.R.UnknownReason.c_str());
+    return;
+  }
+  TextTable Summary("Static prediction — " + C.PlatformName);
+  Summary.addHeader({"Quantity", "Predicted"});
+  auto Row = [&Summary](const std::string &K, double V) {
+    Summary.addRow({K, withCommas(static_cast<uint64_t>(V + 0.5))});
+  };
+  Row("cycles", C.R.Cycles);
+  Row("instructions", C.R.Instret);
+  Row("ir ops", C.R.Ops);
+  Row("flops", C.R.Flops);
+  Row("branch mispredicts", C.R.BranchMispredicts);
+  Row("issue cycles", C.R.IssueCycles);
+  Row("mem-stall cycles", C.R.MemStallCycles);
+  Row("bad-spec cycles", C.R.BadSpecCycles);
+  Row("bandwidth cycles", C.R.BandwidthCycles);
+  Row("L1 misses", C.R.L1Misses);
+  Row("L2 misses", C.R.L2Misses);
+  Row("DRAM bytes", C.R.DramBytes);
+  std::fputs(Summary.render().c_str(), stdout);
+
+  if (!C.R.Functions.empty()) {
+    TextTable Funcs("Per-function (calls x body)");
+    Funcs.addHeader({"Function", "Location", "calls", "cycles", "ops"});
+    for (const analysis::StaticFuncCost &F : C.R.Functions)
+      Funcs.addRow({F.Name, F.Loc.str(), withCommas(
+                        static_cast<uint64_t>(F.Calls + 0.5)),
+                    withCommas(static_cast<uint64_t>(F.Cycles + 0.5)),
+                    withCommas(static_cast<uint64_t>(F.Ops + 0.5))});
+    std::fputs(Funcs.render().c_str(), stdout);
+  }
+
+  if (!C.R.Loops.empty()) {
+    TextTable Loops("Per-loop (cycles include subloops)");
+    Loops.addHeader({"Loop", "Location", "trips", "iterations", "cycles",
+                     "ops"});
+    for (const analysis::StaticLoopCost &L : C.R.Loops) {
+      std::string Name(2 * (L.Depth - 1), ' ');
+      Name += L.Function + ":" + L.HeaderName;
+      Loops.addRow({Name, L.Loc.str(),
+                    L.TripKnown ? withCommas(L.Trips) : "unknown",
+                    withCommas(static_cast<uint64_t>(L.Iterations + 0.5)),
+                    withCommas(static_cast<uint64_t>(L.Cycles + 0.5)),
+                    withCommas(static_cast<uint64_t>(L.Ops + 0.5))});
+    }
+    std::fputs(Loops.render().c_str(), stdout);
+  }
+  std::printf("\n");
+}
+
+std::string cellsToJson(const std::string &Source, const std::string &Entry,
+                        const std::vector<Cell> &Cells) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.string("miniperf-mca-report/v1");
+  W.key("source");
+  W.string(Source);
+  W.key("entry");
+  W.string(Entry);
+  W.key("results");
+  W.beginArray();
+  for (const Cell &C : Cells) {
+    W.beginObject();
+    W.key("platform");
+    W.string(C.PlatformKey);
+    W.key("platform_name");
+    W.string(C.PlatformName);
+    W.key("known");
+    W.boolean(C.R.Known);
+    if (!C.R.Known) {
+      W.key("reason");
+      W.string(C.R.UnknownReason);
+      W.endObject();
+      continue;
+    }
+    W.key("predicted");
+    W.beginObject();
+    W.key("cycles");
+    W.number(C.R.Cycles);
+    W.key("instructions");
+    W.number(C.R.Instret);
+    W.key("ir_ops");
+    W.number(C.R.Ops);
+    W.key("flops");
+    W.number(C.R.Flops);
+    W.key("branch_mispredicts");
+    W.number(C.R.BranchMispredicts);
+    W.key("issue_cycles");
+    W.number(C.R.IssueCycles);
+    W.key("mem_stall_cycles");
+    W.number(C.R.MemStallCycles);
+    W.key("bad_spec_cycles");
+    W.number(C.R.BadSpecCycles);
+    W.key("bandwidth_cycles");
+    W.number(C.R.BandwidthCycles);
+    W.key("l1_misses");
+    W.number(C.R.L1Misses);
+    W.key("l2_misses");
+    W.number(C.R.L2Misses);
+    W.key("dram_bytes");
+    W.number(C.R.DramBytes);
+    W.endObject();
+    W.key("functions");
+    W.beginArray();
+    for (const analysis::StaticFuncCost &F : C.R.Functions) {
+      W.beginObject();
+      W.key("function");
+      W.string(F.Name);
+      W.key("loc");
+      W.string(F.Loc.str());
+      W.key("calls");
+      W.number(F.Calls);
+      W.key("cycles");
+      W.number(F.Cycles);
+      W.key("ops");
+      W.number(F.Ops);
+      W.endObject();
+    }
+    W.endArray();
+    W.key("loops");
+    W.beginArray();
+    for (const analysis::StaticLoopCost &L : C.R.Loops) {
+      W.beginObject();
+      W.key("function");
+      W.string(L.Function);
+      W.key("header");
+      W.string(L.HeaderName);
+      W.key("loc");
+      W.string(L.Loc.str());
+      W.key("depth");
+      W.number(static_cast<uint64_t>(L.Depth));
+      W.key("trip_known");
+      W.boolean(L.TripKnown);
+      W.key("trips");
+      W.number(L.Trips);
+      W.key("entries");
+      W.number(L.Entries);
+      W.key("iterations");
+      W.number(L.Iterations);
+      W.key("cycles");
+      W.number(L.Cycles);
+      W.key("ops");
+      W.number(L.Ops);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string File, WorkloadName, EntryFlag, ArgsFlag, PlatformSpec = "all",
+                                                       JsonPath;
+  unsigned Scale = 1;
+  bool Vectorize = false;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&]() -> std::string {
+      if (I + 1 == argc)
+        die(Arg + " requires a value");
+      return argv[++I];
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (Arg == "--workload") {
+      WorkloadName = Value();
+    } else if (Arg == "--scale") {
+      Scale = static_cast<unsigned>(parseUnsigned(Arg, Value()));
+      if (Scale == 0)
+        die("--scale must be positive");
+    } else if (Arg == "--vectorize") {
+      Vectorize = true;
+    } else if (Arg == "--entry") {
+      EntryFlag = Value();
+    } else if (Arg == "--args") {
+      ArgsFlag = Value();
+    } else if (Arg == "--platforms") {
+      PlatformSpec = Value();
+    } else if (Arg == "--json") {
+      JsonPath = Value();
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      die("unknown option '" + Arg + "' (see --help)");
+    } else if (File.empty()) {
+      File = Arg;
+    } else {
+      die("more than one input file ('" + File + "', '" + Arg + "')");
+    }
+  }
+
+  if (File.empty() == WorkloadName.empty()) {
+    printUsage();
+    return 2;
+  }
+  if (!WorkloadName.empty() && (!EntryFlag.empty() || !ArgsFlag.empty()))
+    die("--entry/--args apply to file mode; workload builds carry their own");
+
+  auto PlatformsOr = driver::selectPlatforms(PlatformSpec);
+  if (!PlatformsOr)
+    die(PlatformsOr.errorMessage());
+
+  std::string Source, Entry;
+  std::vector<Cell> Cells;
+
+  if (!WorkloadName.empty()) {
+    // Workload mode: the same compiled Program a sweep scenario runs,
+    // per platform (the build is target- and vectorize-dependent).
+    auto WorkloadsOr = driver::selectWorkloads(WorkloadName, Scale);
+    if (!WorkloadsOr)
+      die(WorkloadsOr.errorMessage());
+    if (WorkloadsOr->size() != 1)
+      die("--workload takes exactly one workload name");
+    const driver::WorkloadDesc &W = WorkloadsOr->front();
+    Source = "workload:" + W.Name + "/" + W.Variant +
+             (Vectorize ? "+vec" : "");
+    for (const hw::Platform &P : *PlatformsOr) {
+      auto CWOr = W.Compile(P.Target, Vectorize);
+      if (!CWOr)
+        die(W.Name + "@" + driver::platformKey(P) + ": " +
+            CWOr.errorMessage());
+      Entry = CWOr->Entry;
+      std::vector<int64_t> Args;
+      Args.reserve(CWOr->Args.size());
+      for (const vm::RtValue &V : CWOr->Args)
+        Args.push_back(static_cast<int64_t>(V.I[0]));
+      Cells.push_back({driver::platformKey(P), P.CoreName,
+                       analysis::computeStaticCost(*CWOr->Prog, P,
+                                                   CWOr->Entry, Args)});
+    }
+  } else {
+    // File mode: parse once (file:line provenance flows from the parser
+    // into every loop row), compile once, predict per platform.
+    std::ifstream In(File);
+    if (!In)
+      die("cannot open '" + File + "'");
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    auto ModOr = ir::parseModule(SS.str(), File);
+    if (!ModOr)
+      die(ModOr.errorMessage());
+    auto ProgOr = vm::Program::compile(std::move(*ModOr));
+    if (!ProgOr)
+      die(ProgOr.errorMessage());
+    Source = File;
+    Entry = EntryFlag.empty() ? "main" : EntryFlag;
+    std::vector<int64_t> Args = parseArgs(ArgsFlag);
+    if (!(*ProgOr)->findFunction(Entry))
+      die("no function '" + Entry + "' in '" + File + "'");
+    for (const hw::Platform &P : *PlatformsOr)
+      Cells.push_back({driver::platformKey(P), P.CoreName,
+                       analysis::computeStaticCost(**ProgOr, P, Entry,
+                                                   Args)});
+  }
+
+  for (const Cell &C : Cells)
+    printCell(C);
+
+  size_t Known = 0;
+  for (const Cell &C : Cells)
+    Known += C.R.Known ? 1 : 0;
+  std::printf("miniperf-mca: %s entry %s: %zu/%zu platform(s) predicted\n",
+              Source.c_str(), Entry.c_str(), Known, Cells.size());
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out)
+      die("cannot write '" + JsonPath + "'");
+    Out << cellsToJson(Source, Entry, Cells) << "\n";
+  }
+  return 0;
+}
