@@ -81,7 +81,8 @@ void addRow(TextTable &T, const std::string &Name, const BenchTiming &Timing,
 /// with the platform's core timing model attached as a trace consumer.
 BenchTiming benchLoop(TextTable &T, const char *LoopText, double OpsPerIter,
                       const std::string &Name, vm::EngineKind Engine,
-                      bool AttachCoreModel) {
+                      bool AttachCoreModel,
+                      hw::TimingTier Tier = hw::TimingTier::Batched) {
   auto MOr = ir::parseModule(LoopText);
   if (!MOr) {
     print("FATAL: bench loop does not parse: " + MOr.errorMessage() + "\n");
@@ -91,6 +92,7 @@ BenchTiming benchLoop(TextTable &T, const char *LoopText, double OpsPerIter,
   Vm.setEngine(Engine);
   hw::Platform P = hw::spacemitX60();
   hw::CoreModel Core(P.Core, P.Cache);
+  Core.setTimingTier(Tier);
   if (AttachCoreModel)
     Vm.addConsumer(&Core);
   const uint64_t N = LoopTripCount;
@@ -105,9 +107,10 @@ BenchTiming benchLoop(TextTable &T, const char *LoopText, double OpsPerIter,
 }
 
 BenchTiming benchHotLoop(TextTable &T, const std::string &Name,
-                         vm::EngineKind Engine, bool AttachCoreModel) {
+                         vm::EngineKind Engine, bool AttachCoreModel,
+                         hw::TimingTier Tier = hw::TimingTier::Batched) {
   return benchLoop(T, HotLoopText, HotLoopOpsPerIter, Name, Engine,
-                   AttachCoreModel);
+                   AttachCoreModel, Tier);
 }
 
 void benchFullProfilingSession(TextTable &T) {
@@ -160,8 +163,14 @@ int main() {
       benchHotLoop(T, "interpreter, raw", vm::EngineKind::MicroOp, false);
   BenchTiming RefRaw = benchHotLoop(T, "interpreter, raw (reference)",
                                     vm::EngineKind::Reference, false);
+  // "interpreter + core model" rides the default batched timing tier
+  // (superblock flushes folded column-wise); the scalar-tier row keeps
+  // the op-at-a-time consumption path measured for comparison.
   BenchTiming Timed = benchHotLoop(T, "interpreter + core model",
                                    vm::EngineKind::MicroOp, true);
+  BenchTiming ScalarTimed =
+      benchHotLoop(T, "interpreter + core model (scalar tier)",
+                   vm::EngineKind::MicroOp, true, hw::TimingTier::Scalar);
   BenchTiming RefTimed =
       benchHotLoop(T, "interpreter + core model (reference)",
                    vm::EngineKind::Reference, true);
@@ -201,10 +210,16 @@ int main() {
   Json.hostMetric("reference_raw_ops_per_sec",
                   HotLoopOps / RefRaw.SecondsPerIter);
   Json.hostMetric("timed_ops_per_sec", HotLoopOps / Timed.SecondsPerIter);
+  Json.hostMetric("scalar_tier_timed_ops_per_sec",
+                  HotLoopOps / ScalarTimed.SecondsPerIter);
   Json.hostMetric("reference_timed_ops_per_sec",
                   HotLoopOps / RefTimed.SecondsPerIter);
   Json.hostMetric("core_model_slowdown",
                   Timed.SecondsPerIter / Raw.SecondsPerIter);
+  Json.hostMetric("scalar_tier_core_model_slowdown",
+                  ScalarTimed.SecondsPerIter / Raw.SecondsPerIter);
+  Json.hostMetric("batched_tier_speedup",
+                  ScalarTimed.SecondsPerIter / Timed.SecondsPerIter);
   Json.hostMetric("microop_speedup_raw",
                   RefRaw.SecondsPerIter / Raw.SecondsPerIter);
   Json.hostMetric("microop_speedup_timed",

@@ -42,6 +42,7 @@ void CacheSim::reset() {
   L2 = makeLevel(Config.L2);
   Stats = CacheStats();
   Clock = 0;
+  LastLineAddr = ~0ull;
 }
 
 SharedL2::SharedL2(const CacheLevelConfig &L2Config, double DramLatency,
@@ -129,7 +130,73 @@ MemLevel CacheSim::access(uint64_t Addr, uint32_t Bytes) {
     fill(L1, Line, Clock);
     Deepest = MemLevel::DRAM;
   }
+  LastLineAddr = LastLine;
   return Deepest;
+}
+
+void CacheSim::accessBatch(const CacheAccessReq *Reqs, size_t Count,
+                           CacheAccessResult *Results) {
+  CacheLevelState &L2State = Shared ? Shared->L2 : L2;
+  uint64_t &L2Clock = Shared ? Shared->Clock : Clock;
+  unsigned LineBytes = 1u << L1.LineShift;
+
+  for (size_t I = 0; I != Count; ++I) {
+    uint64_t Addr = Reqs[I].Addr;
+    uint32_t Bytes = Reqs[I].Bytes;
+    assert(Bytes > 0 && "zero-byte access");
+    uint64_t FirstLine = Addr >> L1.LineShift;
+    uint64_t LastLine = (Addr + Bytes - 1) >> L1.LineShift;
+    CacheAccessResult &R = Results[I];
+
+    // Same-line dedup: the previous access left this exact line as the
+    // most-recently-stamped way of its L1 set, so a full walk would hit
+    // and merely refresh a stamp that is already the set maximum. Count
+    // the hit and skip the probe — every relative stamp order (and so
+    // every future victim choice, in L1 and L2 alike) is unchanged.
+    if (FirstLine == LastLine && FirstLine == LastLineAddr) {
+      ++Stats.L1Hits;
+      R.Deepest = MemLevel::L1;
+      R.L1Misses = 0;
+      R.L2Misses = 0;
+      R.DramBytesAfter = Stats.DramBytes;
+      continue;
+    }
+
+    MemLevel Deepest = MemLevel::L1;
+    uint32_t L1Miss = 0, L2Miss = 0;
+    for (uint64_t Line = FirstLine; Line <= LastLine; ++Line) {
+      if (probe(L1, Line, Clock)) {
+        ++Stats.L1Hits;
+        continue;
+      }
+      ++Stats.L1Misses;
+      ++L1Miss;
+      if (probe(L2State, Line, L2Clock)) {
+        ++Stats.L2Hits;
+        if (Shared)
+          ++Shared->Stats.L2Hits;
+        fill(L1, Line, Clock);
+        if (Deepest == MemLevel::L1)
+          Deepest = MemLevel::L2;
+        continue;
+      }
+      ++Stats.L2Misses;
+      ++L2Miss;
+      Stats.DramBytes += LineBytes;
+      if (Shared) {
+        ++Shared->Stats.L2Misses;
+        Shared->Stats.DramBytes += LineBytes;
+      }
+      fill(L2State, Line, L2Clock);
+      fill(L1, Line, Clock);
+      Deepest = MemLevel::DRAM;
+    }
+    LastLineAddr = LastLine;
+    R.Deepest = Deepest;
+    R.L1Misses = L1Miss;
+    R.L2Misses = L2Miss;
+    R.DramBytesAfter = Stats.DramBytes;
+  }
 }
 
 double CacheSim::latencyFor(MemLevel Level) const {

@@ -23,6 +23,7 @@
 #ifndef MPERF_HW_CACHESIM_H
 #define MPERF_HW_CACHESIM_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -58,6 +59,23 @@ struct CacheStats {
   uint64_t L2Hits = 0;
   uint64_t L2Misses = 0;
   uint64_t DramBytes = 0;
+};
+
+/// One request of a batched access walk (CacheSim::accessBatch).
+struct CacheAccessReq {
+  uint64_t Addr = 0;
+  uint32_t Bytes = 0;
+};
+
+/// Per-request outcome of a batched walk. Carries the per-access miss
+/// deltas and the running DRAM-traffic total so a batched core model can
+/// reproduce the exact per-op event deltas and bandwidth-floor checks of
+/// the scalar path without re-reading stats() between requests.
+struct CacheAccessResult {
+  MemLevel Deepest = MemLevel::L1;
+  uint32_t L1Misses = 0;       ///< lines of this access that missed L1
+  uint32_t L2Misses = 0;       ///< lines that also missed L2
+  uint64_t DramBytesAfter = 0; ///< stats().DramBytes once this access ran
 };
 
 /// One level's tag array with LRU stamps. Exposed at namespace scope so
@@ -119,6 +137,26 @@ public:
   /// and stores behave identically for residency.
   MemLevel access(uint64_t Addr, uint32_t Bytes);
 
+  /// Batched form: simulates \p Count accesses in order, writing one
+  /// result per request. Stats and tag-array state end up bit-identical
+  /// to calling access() per request; within the batch, consecutive
+  /// single-line accesses to the same line are served by a deduplicated
+  /// fast path (count the hit, skip the probe) whose LRU effect is
+  /// provably identical — the line was just stamped most-recent, so
+  /// re-stamping it cannot change any future victim choice.
+  void accessBatch(const CacheAccessReq *Reqs, size_t Count,
+                   CacheAccessResult *Results);
+
+  /// Pre-filter hooks for the batched timing tier: CoreModel mirrors
+  /// the same-line dedup above while building a flush's request list,
+  /// so accesses the fast path would absorb are never submitted at
+  /// all. lastLineAddr()/lineShift() seed the mirror, and
+  /// noteSameLineHit() books a filtered access — the fast path's only
+  /// stats effect — keeping CacheStats bit-identical to submitting it.
+  uint64_t lastLineAddr() const { return LastLineAddr; }
+  unsigned lineShift() const { return L1.LineShift; }
+  void noteSameLineHit() { ++Stats.L1Hits; }
+
   /// Added latency (beyond a pipelined L1 hit) for \p Level.
   double latencyFor(MemLevel Level) const;
 
@@ -142,6 +180,12 @@ private:
   SharedL2 *Shared = nullptr;
   CacheStats Stats;
   uint64_t Clock = 0;
+  /// The last line any access touched (~0 before the first access).
+  /// That line is L1-resident and holds its set's most-recent LRU stamp
+  /// — only this CacheSim's own accesses touch its L1, so nothing can
+  /// evict or outrank it in between. accessBatch's same-line fast path
+  /// relies on exactly this invariant.
+  uint64_t LastLineAddr = ~0ull;
 };
 
 } // namespace hw

@@ -7,7 +7,12 @@
 
 #include "hw/CoreModel.h"
 
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 using namespace mperf;
 using namespace mperf::hw;
@@ -44,12 +49,48 @@ CoreModel::CoreModel(const CoreConfig &Core, const CacheConfig &Cache,
     : Core(Core), Cache(Cache) {
   if (Shared)
     this->Cache.attachSharedL2(Shared);
+
+  // Host-level escape hatch, mirroring MPERF_EXEC_ENGINE: flip every
+  // core model in the process to one consumption tier without touching
+  // call sites (A/B timing, differential debugging through the full
+  // Session/sweep stack). Neither value may change simulation results.
+  if (const char *E = std::getenv("MPERF_TIMING_TIER")) {
+    if (std::string_view(E) == "scalar")
+      Tier = TimingTier::Scalar;
+    else if (std::string_view(E) == "batched")
+      Tier = TimingTier::Batched;
+  }
+
+  // Batched-tier lookup tables. All inputs (CoreConfig, cache geometry,
+  // the shared-L2 attachment) are fixed for the model's lifetime, and
+  // every entry is the exact double costFor()/latencyFor() would
+  // produce, so table hits cannot perturb the accumulation.
+  RetiredOp Probe;
+  Probe.Lanes = 1;
+  for (unsigned C = 0; C <= unsigned(OpClass::Other); ++C) {
+    Probe.Class = OpClass(C);
+    CostScalar[C] = costFor(Probe);
+  }
+  for (unsigned L = 0; L != 3; ++L)
+    StallByLevel[L] =
+        this->Cache.latencyFor(MemLevel(L)) / std::max(1.0, Core.Mlp);
+  FlopsPerLane[unsigned(OpClass::FpAdd)] = 1.0;
+  FlopsPerLane[unsigned(OpClass::FpMul)] = 1.0;
+  FlopsPerLane[unsigned(OpClass::FpDiv)] = 1.0;
+  FlopsPerLane[unsigned(OpClass::FpFma)] = 2.0;
+  for (unsigned C = 0; C <= unsigned(OpClass::Other); ++C)
+    if (FlopsPerLane[C] != 0)
+      FlopClassMask |= 1u << C;
 }
 
 void CoreModel::reset() {
   Cache.reset();
   Stats = CoreStats();
   Predictor.clear();
+  FastPred.clear();
+  FastPredUsed = 0;
+  BwDramCached = 0;
+  BwFloorCached = 0;
 }
 
 void CoreModel::addCycles(double Cycles) {
@@ -63,14 +104,13 @@ void CoreModel::addCycles(double Cycles) {
   }
 }
 
-bool CoreModel::predictBranch(const vm::RetiredOp &Op) {
+bool CoreModel::predictAndTrain(BranchState &State, bool Taken) {
   // A 2-bit saturating counter combined with a loop predictor: when a
   // branch was last seen exiting after N consecutive taken iterations,
   // the exit at iteration N is predicted correctly the next time around
   // (fixed-trip inner loops are free, as on real cores). Returns true
   // when the prediction was correct.
-  BranchState &State = Predictor.try_emplace(Op.Inst).first->second;
-
+  //
   // The loop predictor only takes over once the trip count repeated;
   // irregular branches stay on the 2-bit counter.
   bool Predicted;
@@ -78,9 +118,9 @@ bool CoreModel::predictBranch(const vm::RetiredOp &Op) {
     Predicted = State.Streak + 1 < State.LastTrip; // exit on the last trip
   else
     Predicted = State.Counter >= 2;
-  bool Correct = Predicted == Op.Taken;
+  bool Correct = Predicted == Taken;
 
-  if (Op.Taken) {
+  if (Taken) {
     ++State.Streak;
     State.Counter = static_cast<uint8_t>(std::min<int>(State.Counter + 1, 3));
   } else {
@@ -95,6 +135,63 @@ bool CoreModel::predictBranch(const vm::RetiredOp &Op) {
     State.Counter = static_cast<uint8_t>(std::max<int>(State.Counter - 1, 0));
   }
   return Correct;
+}
+
+bool CoreModel::predictBranch(const vm::RetiredOp &Op) {
+  return predictAndTrain(Predictor.try_emplace(Op.Inst).first->second,
+                         Op.Taken);
+}
+
+//===----------------------------------------------------------------------===//
+// Batched-tier predictor table
+//===----------------------------------------------------------------------===//
+//
+// The prediction itself is the shared transition function above; only
+// the Inst -> BranchState association differs from the scalar tier's
+// std::map, so a lookup is a multiplicative hash plus (nearly always)
+// one probe instead of a red-black-tree descent per branch.
+
+static inline size_t hashInst(const ir::Instruction *Inst) {
+  uint64_t H = reinterpret_cast<uintptr_t>(Inst);
+  H *= 0x9E3779B97F4A7C15ull;
+  return static_cast<size_t>(H ^ (H >> 29));
+}
+
+void CoreModel::reserveFastPred(size_t Extra) {
+  // Keep the table under 3/4 load even if every reserved key is new, so
+  // probe chains stay short and fastPredState() never has to grow.
+  if (!FastPred.empty() && (FastPredUsed + Extra) * 4 < FastPred.size() * 3)
+    return;
+  size_t NewSize = FastPred.empty() ? 64 : FastPred.size();
+  while ((FastPredUsed + Extra) * 4 >= NewSize * 3)
+    NewSize *= 2;
+  std::vector<PredEntry> Old = std::move(FastPred);
+  FastPred.assign(NewSize, PredEntry());
+  size_t Mask = NewSize - 1;
+  for (const PredEntry &E : Old) {
+    if (!E.Key)
+      continue;
+    size_t H = hashInst(E.Key) & Mask;
+    while (FastPred[H].Key)
+      H = (H + 1) & Mask;
+    FastPred[H] = E;
+  }
+}
+
+CoreModel::BranchState &CoreModel::fastPredState(const ir::Instruction *Inst) {
+  size_t Mask = FastPred.size() - 1;
+  size_t H = hashInst(Inst) & Mask;
+  while (true) {
+    PredEntry &E = FastPred[H];
+    if (E.Key == Inst)
+      return E.State;
+    if (!E.Key) {
+      E.Key = Inst;
+      ++FastPredUsed;
+      return E.State;
+    }
+    H = (H + 1) & Mask;
+  }
 }
 
 double CoreModel::costFor(const vm::RetiredOp &Op) {
@@ -140,6 +237,244 @@ void CoreModel::onRetireBatch(const vm::RetiredOp *Ops, size_t Count,
   for (size_t I = 0; I != Count; ++I) {
     RetireCursor = Ops[I].Inst;
     retireOne(Ops[I]);
+  }
+}
+
+void CoreModel::onRetireColumns(const vm::RetireColumns &Cols,
+                                const ir::Instruction *&RetireCursor) {
+  if (Tier != TimingTier::Batched) {
+    // Defensive: a direct caller on a scalar-tier model gets the
+    // reference path (the producer normally checks wantsRetireColumns
+    // and never sends columns here).
+    onRetireBatch(Cols.Ops, Cols.Count, RetireCursor);
+    return;
+  }
+  // Batching-effectiveness telemetry (how often the ring drains full vs
+  // forced early by calls/returns). Gated on the self-observability
+  // flag like vm.retire_batch_size: the atomic bumps are per flush, but
+  // on the perf-gate path even one locked add per 64 ops is measurable,
+  // and the flag is on exactly when a report will carry self_metrics.
+  if (trace::Tracer::enabled()) {
+    static metrics::Counter &Flushes =
+        metrics::Registry::global().counter("hw.batched_flushes");
+    static metrics::Histogram &Sizes =
+        metrics::Registry::global().histogram("hw.batched_batch_size");
+    Flushes.add();
+    Sizes.record(Cols.Count);
+  }
+  if (EventSink)
+    retireBatch<true>(Cols, RetireCursor);
+  else
+    retireBatch<false>(Cols, RetireCursor);
+}
+
+template <bool HasSink>
+void CoreModel::retireBatch(const vm::RetireColumns &Cols,
+                            const ir::Instruction *&RetireCursor) {
+  const size_t Count = Cols.Count;
+  if (Count == 0)
+    return;
+  const RetiredOp *Ops = Cols.Ops;
+  const uint8_t *Classes = Cols.Classes;
+
+  // Pass A: gather every memory access of the flush in program order
+  // and walk the cache once. Valid because cache state never depends on
+  // CoreStats, and the walk preserves the exact per-line access order
+  // retireOne() would produce — so tags, stamps, and CacheStats come
+  // out bit-identical, just without a call-and-return per op. The
+  // compact (op index, request range) list keeps pass A store-free for
+  // non-memory ops.
+  //
+  // accessBatch's same-line dedup is mirrored here, one step earlier:
+  // a single-line access to the line the cache touched last is a
+  // guaranteed L1 hit with no state effect beyond the hit count
+  // (CacheSim.h explains why), so it never becomes a request at all —
+  // MemRef.Num == 0 marks it for pass B. The mirror tracks exactly the
+  // LastLineAddr evolution the submitted request stream produces
+  // (filtered accesses leave it unchanged, a submitted request ends on
+  // its last line, in accessBatch's fast and slow paths alike), so the
+  // filter decides precisely the requests accessBatch's own fast path
+  // would have absorbed.
+  BatchReqs.clear();
+  BatchMem.clear();
+  {
+    const unsigned LineShift = Cache.lineShift();
+    uint64_t MirrorLine = Cache.lastLineAddr();
+    for (size_t I = 0; I != Count; ++I) {
+      OpClass C = OpClass(Classes[I]);
+      if (C != OpClass::Load && C != OpClass::Store)
+        continue;
+      const RetiredOp &Op = Ops[I];
+      uint32_t First = static_cast<uint32_t>(BatchReqs.size());
+      if (Op.Lanes > 1 && Op.StrideBytes != 0) {
+        uint32_t ElemBytes = Op.Bytes / Op.Lanes;
+        for (unsigned Ln = 0; Ln != Op.Lanes; ++Ln)
+          BatchReqs.push_back(
+              {Op.Addr + static_cast<uint64_t>(Op.StrideBytes) * Ln, ElemBytes});
+        const CacheAccessReq &LastReq = BatchReqs.back();
+        MirrorLine = (LastReq.Addr + LastReq.Bytes - 1) >> LineShift;
+        BatchMem.push_back({static_cast<uint32_t>(I), First,
+                            static_cast<uint32_t>(BatchReqs.size()) - First});
+        continue;
+      }
+      uint64_t Addr = Op.Addr;
+      uint32_t Bytes = Op.Bytes ? Op.Bytes : 1;
+      uint64_t FirstLine = Addr >> LineShift;
+      uint64_t LastLine = (Addr + Bytes - 1) >> LineShift;
+      if (FirstLine == LastLine && FirstLine == MirrorLine) {
+        BatchMem.push_back({static_cast<uint32_t>(I), First, 0});
+        continue;
+      }
+      MirrorLine = LastLine;
+      BatchReqs.push_back({Addr, Bytes});
+      BatchMem.push_back({static_cast<uint32_t>(I), First, 1});
+    }
+  }
+  uint64_t Dram = Cache.stats().DramBytes;
+  if (!BatchReqs.empty()) {
+    BatchRes.resize(BatchReqs.size());
+    Cache.accessBatch(BatchReqs.data(), BatchReqs.size(), BatchRes.data());
+  }
+
+  // The floor memo can be stale at flush entry (scalar-path retirements
+  // from synthetic ops recompute the floor directly and bypass it);
+  // re-keying once here, then on every DRAM change below, reproduces
+  // the per-op `Dram != BwDramCached` check exactly, since Dram only
+  // changes at memory ops. The memo lives in locals for the duration
+  // of the flush (registers, not member reloads) and is stored back at
+  // the end; the floor division is the same one retireOne() performs,
+  // just not repeated when the key is unchanged.
+  const double DramBpc = Cache.config().DramBytesPerCycle;
+  uint64_t BwDram = Dram;
+  double BwFloor = Dram == BwDramCached ? BwFloorCached
+                                        : static_cast<double>(Dram) / DramBpc;
+
+  // Pass B: per-op accounting in program order, with exactly the
+  // double-accumulation sequence of retireOne() — bit-identical totals,
+  // since fp addition is non-associative and the stats are the
+  // contract. Without a sink nothing can observe CoreStats mid-flush,
+  // so the accumulators live in a local copy (registers); with a sink
+  // attached, PMU overflow handlers re-enter addCycles() between ops,
+  // so every update goes straight through Stats, as retireOne() does.
+  //
+  // Two more sink-free shortcuts, both exact:
+  //  - the retire cursor is only observable from inside the PMU chain,
+  //    so it advances once per flush instead of once per op;
+  //  - classes with zero FLOPs per lane skip the FpOpsActual/FpOpsSpec
+  //    updates entirely — adding +0.0 to an accumulator that is never
+  //    -0.0 (both start at +0.0 and only accumulate) is the identity.
+  CoreStats Local;
+  if constexpr (!HasSink)
+    Local = Stats;
+  CoreStats &S = HasSink ? Stats : Local;
+
+  // Headroom for the worst case of every op being a new branch: keeps
+  // the predictor probe in the loop below call-free (see fastPredState).
+  ensureFastPred(Count);
+
+  const double InstretF = Core.InstretFactor;
+  const double FpSpecF = Core.FpSpecFactor;
+  const uint32_t FlopMask = FlopClassMask;
+  const double StallL1 = StallByLevel[static_cast<unsigned>(MemLevel::L1)];
+  const MemRef *MemIt = BatchMem.data();
+
+  for (size_t I = 0; I != Count; ++I) {
+    unsigned Cl = Classes[I];
+    OpClass C = OpClass(Cl);
+    if constexpr (HasSink)
+      RetireCursor = Ops[I].Inst;
+    double Cycles = Ops[I].Lanes > 1 ? costFor(Ops[I]) : CostScalar[Cl];
+    S.IssueCycles += Cycles;
+
+    EventDeltas D;
+    if constexpr (HasSink)
+      D.Mode = CurrentMode;
+
+    if (C == OpClass::Load || C == OpClass::Store) {
+      const uint32_t Num = MemIt->Num;
+      const uint32_t First = MemIt->First;
+      ++MemIt;
+      if (Num == 0) {
+        // Pre-filtered same-line hit (pass A): book the L1 hit — the
+        // fast path's only stats effect — and stall at L1 latency.
+        // DRAM totals are untouched, so the floor memo stays keyed.
+        Cache.noteSameLineHit();
+        if (C == OpClass::Load) {
+          Cycles += StallL1;
+          S.MemStallCycles += StallL1;
+        }
+      } else {
+        const CacheAccessResult *R = &BatchRes[First];
+        MemLevel Deepest = R[0].Deepest;
+        uint32_t L1Miss = R[0].L1Misses;
+        uint32_t L2Miss = R[0].L2Misses;
+        for (uint32_t A = 1; A < Num; ++A) {
+          if (static_cast<int>(R[A].Deepest) > static_cast<int>(Deepest))
+            Deepest = R[A].Deepest;
+          L1Miss += R[A].L1Misses;
+          L2Miss += R[A].L2Misses;
+        }
+        Dram = R[Num - 1].DramBytesAfter;
+        // Bandwidth floor, memoized on the DRAM traffic total: the
+        // division only reruns when a miss actually added bytes, and
+        // the memo key is the value itself, so it can never go stale.
+        if (Dram != BwDram) {
+          BwDram = Dram;
+          BwFloor = static_cast<double>(Dram) / DramBpc;
+        }
+        if (C == OpClass::Load) {
+          double Stall = StallByLevel[static_cast<unsigned>(Deepest)];
+          Cycles += Stall;
+          S.MemStallCycles += Stall;
+        }
+        if constexpr (HasSink) {
+          D.L1DMiss = L1Miss;
+          D.L2Miss = L2Miss;
+        }
+      }
+    }
+
+    if (C == OpClass::Branch) {
+      if (!predictAndTrain(fastPredState(Ops[I].Inst), Cols.Taken[I] != 0)) {
+        Cycles += Core.BranchMissPenalty;
+        S.BadSpecCycles += Core.BranchMissPenalty;
+        ++S.BranchMispredicts;
+        if constexpr (HasSink)
+          D.BranchMispredict = 1;
+      }
+    }
+
+    S.Cycles += Cycles;
+    if (S.Cycles < BwFloor) {
+      double CatchUp = BwFloor - S.Cycles;
+      S.Cycles = BwFloor;
+      S.BandwidthCycles += CatchUp;
+      Cycles += CatchUp;
+    }
+
+    S.Instret += InstretF;
+    ++S.RetiredIrOps;
+
+    if ((FlopMask >> Cl) & 1u) {
+      double Flops = FlopsPerLane[Cl] * Ops[I].Lanes;
+      S.FpOpsActual += Flops;
+      S.FpOpsSpec += Flops * FpSpecF;
+      if constexpr (HasSink)
+        D.FpOpsSpec = Flops * FpSpecF;
+    }
+
+    if constexpr (HasSink) {
+      D.Cycles = Cycles;
+      D.Instret = InstretF;
+      EventSink(D);
+    }
+  }
+
+  BwDramCached = BwDram;
+  BwFloorCached = BwFloor;
+  if constexpr (!HasSink) {
+    Stats = Local;
+    RetireCursor = Ops[Count - 1].Inst;
   }
 }
 

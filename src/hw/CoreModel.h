@@ -30,6 +30,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace mperf {
 namespace hw {
@@ -86,6 +87,20 @@ struct CoreStats {
   double FirmwareCycles = 0;  ///< addCycles (traps, SBI, handlers)
 };
 
+/// Which consumption path folds the retire ring into cycles. Both tiers
+/// produce bit-identical CoreStats/CacheStats and PMU event streams; the
+/// batched tier only removes interpretive overhead (virtual calls, map
+/// lookups, redundant same-line cache probes), never reorders or
+/// re-associates the floating-point accumulation.
+enum class TimingTier : uint8_t {
+  /// Column-walking batched path (retireBatch + CacheSim::accessBatch);
+  /// the default.
+  Batched,
+  /// Op-at-a-time reference path (retireOne); selectable with
+  /// MPERF_TIMING_TIER=scalar for differential testing.
+  Scalar,
+};
+
 /// The timing model; attach it to an Interpreter as a TraceConsumer.
 class CoreModel : public vm::TraceConsumer {
 public:
@@ -104,6 +119,26 @@ public:
   /// retired (identical to unbatched delivery).
   void onRetireBatch(const vm::RetiredOp *Ops, size_t Count,
                      const ir::Instruction *&RetireCursor) override;
+
+  /// The batched tier opts in to column-form flushes; the scalar tier
+  /// keeps record-at-a-time delivery so differential runs exercise the
+  /// reference path end to end.
+  bool wantsRetireColumns() const override {
+    return Tier == TimingTier::Batched;
+  }
+
+  /// Column-form consumption: one CacheSim::accessBatch walk for the
+  /// whole flush, then per-op accounting in program order. Bit-identical
+  /// to retireOne() per op (same accumulation order, same event deltas,
+  /// same cursor-exact sample attribution).
+  void onRetireColumns(const vm::RetireColumns &Cols,
+                       const ir::Instruction *&RetireCursor) override;
+
+  /// Selects the consumption tier (tests; normal runs use the default
+  /// or the MPERF_TIMING_TIER environment override read at
+  /// construction).
+  void setTimingTier(TimingTier T) { Tier = T; }
+  TimingTier timingTier() const { return Tier; }
 
   //===--------------------------------------------------------------===//
   // PMU plumbing
@@ -136,15 +171,6 @@ public:
   void reset();
 
 private:
-  void retireOne(const vm::RetiredOp &Op);
-  double costFor(const vm::RetiredOp &Op);
-  bool predictBranch(const vm::RetiredOp &Op);
-
-  CoreConfig Core;
-  CacheSim Cache;
-  CoreStats Stats;
-  PrivMode CurrentMode = PrivMode::User;
-  std::function<void(const EventDeltas &)> EventSink;
   /// Per-branch state: a 2-bit saturating counter plus a loop predictor
   /// that remembers the last trip count and predicts the exit of
   /// fixed-trip loops (as real cores' loop predictors do).
@@ -154,7 +180,82 @@ private:
     uint32_t Streak = 0;
     uint32_t LastTrip = 0;
   };
+
+  void retireOne(const vm::RetiredOp &Op);
+  double costFor(const vm::RetiredOp &Op);
+  bool predictBranch(const vm::RetiredOp &Op);
+  /// The predictor's transition function, shared by both tiers so their
+  /// predictions cannot drift. Force-inlined: a call inside the batched
+  /// walk would push the fp accumulators out of (caller-saved) xmm
+  /// registers and put a store-forward round trip on every chain.
+  [[gnu::always_inline]] static bool predictAndTrain(BranchState &State,
+                                                     bool Taken);
+  /// Batched-tier predictor storage: open-addressing table keyed on the
+  /// branch instruction (the scalar tier keeps the std::map, so the
+  /// differential matrix validates this table against it). Callers must
+  /// reserve headroom first (reserveFastPred), keeping the probe loop
+  /// call-free.
+  [[gnu::always_inline]] BranchState &fastPredState(const ir::Instruction *Inst);
+  /// Guarantees the table can absorb \p Extra new keys and stay under
+  /// 3/4 load. Table geometry is batched-tier-private state: growing it
+  /// earlier than strictly needed cannot perturb predictions.
+  void reserveFastPred(size_t Extra);
+  /// Inline front half of reserveFastPred: almost every flush has
+  /// headroom already, and keeping the call out of that path saves the
+  /// caller from spilling its fp accumulators around it once per flush.
+  [[gnu::always_inline]] void ensureFastPred(size_t Extra) {
+    if (FastPred.empty() || (FastPredUsed + Extra) * 4 >= FastPred.size() * 3)
+      reserveFastPred(Extra);
+  }
+  template <bool HasSink>
+  void retireBatch(const vm::RetireColumns &Cols,
+                   const ir::Instruction *&RetireCursor);
+
+  CoreConfig Core;
+  CacheSim Cache;
+  CoreStats Stats;
+  PrivMode CurrentMode = PrivMode::User;
+  TimingTier Tier = TimingTier::Batched;
+  std::function<void(const EventDeltas &)> EventSink;
   std::map<const ir::Instruction *, BranchState> Predictor;
+
+  //===--------------------------------------------------------------===//
+  // Batched-tier hot state. Every cached value below is keyed on its
+  // inputs (not dirty-flagged), so interleaved scalar-path retirements
+  // (synthetic ops from native handlers) can never leave it stale.
+  //===--------------------------------------------------------------===//
+
+  /// costFor() for scalar (Lanes == 1) ops, indexed by OpClass.
+  double CostScalar[unsigned(vm::OpClass::Other) + 1] = {};
+  /// FLOPs per lane by OpClass (0 / 1 / 2 for FMA).
+  double FlopsPerLane[unsigned(vm::OpClass::Other) + 1] = {};
+  /// Bit per OpClass with FlopsPerLane != 0: the batched walk tests one
+  /// register bit to skip the FLOP accumulations for integer ops (exact,
+  /// because adding +0.0 to a non-negative-zero accumulator is the
+  /// identity).
+  uint32_t FlopClassMask = 0;
+  /// latencyFor(level) / max(1, Mlp), indexed by MemLevel.
+  double StallByLevel[3] = {};
+  /// Bandwidth floor memo: DramBytes -> DramBytes / DramBytesPerCycle.
+  uint64_t BwDramCached = 0;
+  double BwFloorCached = 0;
+  struct PredEntry {
+    const ir::Instruction *Key = nullptr;
+    BranchState State;
+  };
+  std::vector<PredEntry> FastPred;
+  size_t FastPredUsed = 0;
+  /// Flush-local scratch (capacity persists across flushes).
+  std::vector<CacheAccessReq> BatchReqs;
+  std::vector<CacheAccessResult> BatchRes;
+  /// One entry per *memory* op of the flush, in program order: which op
+  /// it is and its range in BatchReqs/BatchRes.
+  struct MemRef {
+    uint32_t Idx = 0;
+    uint32_t First = 0;
+    uint32_t Num = 0;
+  };
+  std::vector<MemRef> BatchMem;
 };
 
 } // namespace hw

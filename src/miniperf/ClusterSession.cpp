@@ -7,6 +7,7 @@
 
 #include "miniperf/ClusterSession.h"
 
+#include "vm/Instance.h"
 #include "vm/MultiRun.h"
 
 #include <algorithm>
@@ -165,7 +166,15 @@ Expected<Profile> ClusterSession::profile(std::shared_ptr<const vm::Program> P,
   unsigned N = TheCluster.numCores();
   SharedL2 Shared(TheCluster.SharedL2Config, TheCluster.DramLatency,
                   TheCluster.DramBytesPerCycle);
-  vm::RoundRobin Gate(N, TheCluster.InterleaveQuantum);
+  // The round-robin charges at flush granularity, so a nonzero quantum
+  // below the retire-ring capacity would rotate after every flush
+  // anyway; clamping it to one full ring makes that explicit and keeps
+  // each turn aligned to whole batches in both timing tiers. (0 keeps
+  // its "never preempt" meaning.)
+  uint64_t Quantum = TheCluster.InterleaveQuantum;
+  if (Quantum)
+    Quantum = std::max<uint64_t>(Quantum, vm::Instance::RetireBufCap);
+  vm::RoundRobin Gate(N, Quantum);
 
   // Build every core's stack up front, on this thread. Each core's L1
   // config is its own; L2/DRAM latency come from the shared level, and

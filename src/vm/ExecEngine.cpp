@@ -235,14 +235,16 @@ InterpreterAccess::runMicro(Instance &In, const CompiledFunction &CF,
     // Field-wise reset, deliberately not `R = RetiredOp()`: the
     // compiler lowers that to a zeroed stack temporary copied with
     // vector loads, and the partially-overlapping store-to-load
-    // forwarding stalls cost ~30 cycles per retired op.
+    // forwarding stalls cost ~30 cycles per retired op. Written in
+    // layout order; the two zeroed trailing quadwords (Addr,
+    // StrideBytes) coalesce into one 16-byte store.
     R.Class = U.Class;
-    R.Inst = U.Inst;
+    R.Taken = false;
     R.Lanes = U.Lanes;
     R.Bytes = 0;
+    R.Inst = U.Inst;
     R.Addr = 0;
     R.StrideBytes = 0;
-    R.Taken = false;
     return R;
   };
 
@@ -264,7 +266,8 @@ InterpreterAccess::runMicro(Instance &In, const CompiledFunction &CF,
       &&H_CondBr,     &&H_Ret,     &&H_Call,     &&H_MoveS,   &&H_MoveW,
       &&H_Goto,       &&H_AddSI,   &&H_SubSI,    &&H_MulSI,   &&H_AndSI,
       &&H_OrSI,       &&H_XorSI,   &&H_ShlSI,    &&H_LShrSI,  &&H_AShrSI,
-      &&H_ICmpBrS,    &&H_MoveSJ,  &&H_MoveWJ,   &&H_AddICmpBr};
+      &&H_ICmpBrS,    &&H_MoveSJ,  &&H_MoveWJ,   &&H_AddICmpBr,
+      &&H_LoadSExtS,  &&H_LoadZExtS};
   static_assert(sizeof(Tbl) / sizeof(Tbl[0]) ==
                     static_cast<unsigned>(MicroKind::NumKinds),
                 "handler table out of sync with MicroKind");
@@ -1175,6 +1178,60 @@ InterpreterAccess::runMicro(Instance &In, const CompiledFunction &CF,
       T.Taken = R;
     }
     MJUMP(R ? U.Tgt0 : U.Tgt1);
+  }
+  MCASE(LoadSExtS) : {
+    // Fused scalar int load + sext of the loaded value. Retires two
+    // trace ops with fuel checked before each, so a mid-pair fuel trap
+    // stops after exactly the same op as the reference engine. Both
+    // results stay architecturally visible (later blocks may read the
+    // unextended value).
+    const MicroOp &U = *PC;
+    MFUEL(); // the load's retirement slot
+    uint64_t Addr = Val(U.A).I[0];
+    if (Addr + U.ElemBytes > MemSize || Addr < 64) {
+      goto T_LoadOOB;
+    }
+    uint64_t Raw = loadIntN(Mem + Addr, U.ElemBytes);
+    RegsP[U.Dest].I[0] = Raw;
+    LoadedB += U.ElemBytes;
+    if (Traced) {
+      RetiredOp &R = Push(U);
+      R.Bytes = U.ElemBytes;
+      R.Addr = Addr;
+    }
+    MFUEL(); // the sext's retirement slot (may trap between the two)
+    RegsP[U.C].I[0] = static_cast<uint64_t>(signExt(Raw, U.SrcBits)) & U.Mask;
+    if (Traced) {
+      RetiredOp &T = Push(U);
+      T.Class = static_cast<OpClass>(U.Aux);
+      T.Inst = reinterpret_cast<const Instruction *>(U.Imm);
+    }
+    MNEXT;
+  }
+  MCASE(LoadZExtS) : {
+    // Same fusion for zext/trunc: the extend's mask does all the work.
+    const MicroOp &U = *PC;
+    MFUEL(); // the load's retirement slot
+    uint64_t Addr = Val(U.A).I[0];
+    if (Addr + U.ElemBytes > MemSize || Addr < 64) {
+      goto T_LoadOOB;
+    }
+    uint64_t Raw = loadIntN(Mem + Addr, U.ElemBytes);
+    RegsP[U.Dest].I[0] = Raw;
+    LoadedB += U.ElemBytes;
+    if (Traced) {
+      RetiredOp &R = Push(U);
+      R.Bytes = U.ElemBytes;
+      R.Addr = Addr;
+    }
+    MFUEL(); // the zext/trunc's retirement slot
+    RegsP[U.C].I[0] = Raw & U.Mask;
+    if (Traced) {
+      RetiredOp &T = Push(U);
+      T.Class = static_cast<OpClass>(U.Aux);
+      T.Inst = reinterpret_cast<const Instruction *>(U.Imm);
+    }
+    MNEXT;
   }
 
 #if !MPERF_CGOTO

@@ -159,6 +159,13 @@ public:
 
   const ir::Module &module() const { return Prog->module(); }
 
+  /// Capacity of the retirement ring buffer. Kept small (3 KiB) so the
+  /// ring, the register file, and the consumers' hot state (cache-sim
+  /// metadata, predictor nodes) stay L1-resident together. Public so
+  /// batch-granular schedulers (ClusterSession's round-robin quantum)
+  /// can align their slices to whole flushes.
+  static constexpr uint32_t RetireBufCap = 64;
+
 private:
   Expected<RtValue> callFunction(const ir::Function &F,
                                  const std::vector<RtValue> &Args);
@@ -169,11 +176,6 @@ private:
   /// whose program order matters (calls, returns, traps), so each
   /// consumer sees the exact unbatched sequence.
   void flushRetired();
-
-  /// Capacity of the retirement ring buffer. Kept small (3 KiB) so the
-  /// ring, the register file, and the consumers' hot state (cache-sim
-  /// metadata, predictor nodes) stay L1-resident together.
-  static constexpr uint32_t RetireBufCap = 64;
 
   std::shared_ptr<const Program> Prog;
   std::vector<TraceConsumer *> Consumers;
@@ -187,6 +189,12 @@ private:
   EngineKind Engine = EngineKind::MicroOp;
   std::unique_ptr<RetiredOp[]> RetireBuf;
   uint32_t RetireCount = 0;
+  /// Column-form transpose scratch for flushRetired(): filled once per
+  /// flush when any attached consumer wants columns (see
+  /// TraceConsumer::wantsRetireColumns), aliased by the RetireColumns
+  /// view handed to consumers.
+  uint8_t ColClasses[RetireBufCap];
+  uint8_t ColTaken[RetireBufCap];
 
   friend struct InterpreterAccess;
 };

@@ -77,8 +77,33 @@ void Instance::flushRetired() {
   // Empty before delivery: consumers may re-enter (overflow handlers
   // charge cycles, never retire, but keep this re-entrancy safe).
   RetireCount = 0;
+  // Column-form delivery when any consumer walks columns (the batched
+  // core model). Queried per flush, not cached at attach time: cluster
+  // wiring attaches gates before their downstream models exist. The
+  // transpose runs once per flush regardless of consumer count, and
+  // consumers that never opted in still receive the identical op
+  // sequence through the default onRetireColumns -> onRetireBatch
+  // forwarding.
+  bool WantCols = false;
   for (TraceConsumer *C : Consumers)
-    C->onRetireBatch(RetireBuf.get(), Count, CurrentInst);
+    WantCols |= C->wantsRetireColumns();
+  if (!WantCols) {
+    for (TraceConsumer *C : Consumers)
+      C->onRetireBatch(RetireBuf.get(), Count, CurrentInst);
+    return;
+  }
+  for (uint32_t I = 0; I != Count; ++I) {
+    const RetiredOp &Op = RetireBuf[I];
+    ColClasses[I] = static_cast<uint8_t>(Op.Class);
+    ColTaken[I] = Op.Taken;
+  }
+  RetireColumns Cols;
+  Cols.Ops = RetireBuf.get();
+  Cols.Classes = ColClasses;
+  Cols.Taken = ColTaken;
+  Cols.Count = Count;
+  for (TraceConsumer *C : Consumers)
+    C->onRetireColumns(Cols, CurrentInst);
 }
 
 void Instance::emitSyntheticOps(OpClass Class, unsigned Count) {

@@ -16,6 +16,7 @@
 
 #include "vm/LowerCheck.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -268,6 +269,7 @@ private:
   Error checkFusedICmpBr(size_t Uop, const CInst &Cmp, const CInst &Br);
   Error checkFusedLatch(size_t Uop, const CInst &Add, const CInst &Cmp,
                         const CInst &Br);
+  Error checkFusedLoadExt(size_t Uop, const CInst &Load, const CInst &Ext);
 
   Error walkBlocks();
   Error resolveBranches();
@@ -610,21 +612,97 @@ Error LowerChecker::checkFusedLatch(size_t Uop, const CInst &Add,
   return Error::success();
 }
 
+Error LowerChecker::checkFusedLoadExt(size_t Uop, const CInst &Load,
+                                      const CInst &Ext) {
+  const MicroOp &U = MP.Code[Uop];
+  const bool IsSExt = U.Kind == MicroKind::LoadSExtS;
+  // The fusion is only sound for a scalar integer load whose result
+  // mask is the identity over the loaded bytes (the fused handler
+  // skips it), immediately extended/truncated by a scalar cast of its
+  // result.
+  if (Load.Op != Opcode::Load || Load.Lanes != 1 || Load.HasStrideOperand ||
+      Load.IsFp || Load.Dest < 0)
+    return fail(Uop, "fused load+extend does not decompose: leading op is "
+                     "not a scalar integer load");
+  if (Load.IntBits != Load.ElemBytes * 8u)
+    return fail(Uop, "fused load+extend does not decompose: load mask is "
+                     "not the identity over the loaded bytes");
+  if (IsSExt ? Ext.Op != Opcode::SExt
+             : (Ext.Op != Opcode::ZExt && Ext.Op != Opcode::Trunc))
+    return fail(Uop, "fused load+extend does not decompose: trailing op is "
+                     "not the matching cast");
+  if (Ext.Lanes != 1 || Ext.Ops[0].Slot != Load.Dest)
+    return fail(Uop, "fused load+extend does not decompose: cast does not "
+                     "read the fused load's result");
+  if (Ext.SrcBits != Load.IntBits)
+    return fail(Uop, "fused load+extend does not decompose: cast source "
+                     "width differs from the loaded width");
+  // The load's half: attribution, class, width, address, result slot.
+  if (U.Inst != Load.I)
+    return fail(Uop, "fused load attribution points at the wrong "
+                     "instruction");
+  if (U.Class != Load.Class)
+    return fail(Uop, "fused load op class differs from the slot form");
+  if (U.ElemBytes != Load.ElemBytes)
+    return fail(Uop, "fused load width differs from the slot form");
+  if (Error E = checkRefEquiv(Uop, U.A, Load.Ops[0], "address"))
+    return E;
+  if (U.Dest != Load.Dest)
+    return fail(Uop, "fused load writes the wrong result slot");
+  if (Error E = checkDest(Uop, U.Dest))
+    return E;
+  // The extend's half rides in the fields the load leaves free: result
+  // slot in C, mask/SrcBits its own, class in Aux, attribution in Imm.
+  if (U.C != Ext.Dest)
+    return fail(Uop, "fused cast writes the wrong result slot");
+  if (Error E = checkDest(Uop, U.C))
+    return E;
+  if (U.Mask != expectedMask(Ext))
+    return fail(Uop, "fused cast mask inconsistent with the IR result type");
+  if (IsSExt && U.SrcBits != std::min(Ext.SrcBits, 64u))
+    return fail(Uop, "fused sext source width differs from the slot form");
+  if (U.Aux != static_cast<uint8_t>(Ext.Class))
+    return fail(Uop, "fused cast op class differs from the slot form");
+  if (U.Imm != reinterpret_cast<uint64_t>(Ext.I))
+    return fail(Uop, "fused cast attribution points at the wrong "
+                     "instruction");
+  return Error::success();
+}
+
 //===----------------------------------------------------------------------===//
 // Stream walk
 //===----------------------------------------------------------------------===//
 
 Error LowerChecker::walkBlocks() {
-  size_t PC = 0;
-  BlockStart.assign(CF.Blocks.size(), -1);
+  // The lowerer lays blocks out in superblock chain order, not source
+  // order, and records each block's start in the MicroProgram. The
+  // walk checks every block's contents at its claimed start; the
+  // claims themselves cannot lie, because each micro-op must be
+  // claimed by exactly one owner (checked below and in run()'s
+  // coverage pass) and every branch must land on its successor's
+  // claimed start (resolveBranches).
+  if (MP.BlockStarts.size() != CF.Blocks.size())
+    return fail(0, "block start table has " +
+                       std::to_string(MP.BlockStarts.size()) +
+                       " entries, expected " +
+                       std::to_string(CF.Blocks.size()));
+  BlockStart = MP.BlockStarts;
+  MainEnd = 0;
   for (size_t B = 0; B != CF.Blocks.size(); ++B) {
     const CBlock &CB = CF.Blocks[B];
-    BlockStart[B] = static_cast<int32_t>(PC);
+    if (BlockStart[B] < 0 ||
+        static_cast<size_t>(BlockStart[B]) >= MP.Code.size())
+      return fail(0, "block #" + std::to_string(B) + " start " +
+                         std::to_string(BlockStart[B]) +
+                         " outside the code array");
+    size_t PC = static_cast<size_t>(BlockStart[B]);
     for (size_t I = 0; I != CB.Insts.size(); ++I) {
       const CInst &CI = CB.Insts[I];
       if (PC >= MP.Code.size())
         return fail(PC, "micro-op stream ends inside block #" +
                             std::to_string(B));
+      if (Visited[PC])
+        return fail(PC, "micro-op claimed by two owners (block overlap)");
       const MicroOp &U = MP.Code[PC];
 
       if (U.Kind == MicroKind::AddICmpBr) {
@@ -651,6 +729,17 @@ Error LowerChecker::walkBlocks() {
         I += 1;
         continue;
       }
+      if (U.Kind == MicroKind::LoadSExtS || U.Kind == MicroKind::LoadZExtS) {
+        if (I + 1 >= CB.Insts.size())
+          return fail(PC, "fused load+extend claims instructions past the "
+                          "block end");
+        const CInst &Ext = CB.Insts[I + 1];
+        if (Error E = checkFusedLoadExt(PC, CI, Ext))
+          return E;
+        Visited[PC++] = 1;
+        I += 1;
+        continue;
+      }
 
       if (CI.Op == Opcode::Br) {
         // The edge's phi moves run inline before the branch.
@@ -658,6 +747,8 @@ Error LowerChecker::walkBlocks() {
         size_t First = PC;
         while (PC < MP.Code.size() && (MP.Code[PC].Kind == MicroKind::MoveS ||
                                        MP.Code[PC].Kind == MicroKind::MoveW)) {
+          if (Visited[PC])
+            return fail(PC, "micro-op claimed by two owners (block overlap)");
           if (Error E = checkMoveOp(PC, MP.Code[PC]))
             return E;
           Inline.push_back(&MP.Code[PC]);
@@ -666,6 +757,8 @@ Error LowerChecker::walkBlocks() {
         if (PC >= MP.Code.size() || MP.Code[PC].Kind != MicroKind::Br)
           return fail(First, "inline phi moves are not followed by the "
                              "unconditional branch");
+        if (Visited[PC])
+          return fail(PC, "micro-op claimed by two owners (block overlap)");
         if (Error E = checkMoveEquivalence(Inline, movesFor(CB, 0), First,
                                            "inline move sequence"))
           return E;
@@ -682,8 +775,8 @@ Error LowerChecker::walkBlocks() {
         Conds.push_back({PC, CI.Succ0, CI.Succ1, &CB});
       Visited[PC++] = 1;
     }
+    MainEnd = std::max(MainEnd, PC);
   }
-  MainEnd = PC;
   return Error::success();
 }
 

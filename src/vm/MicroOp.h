@@ -140,6 +140,17 @@ enum class MicroKind : uint8_t {
   /// both results stay architecturally visible. Imm indexes
   /// MicroProgram::Latches for the facts that do not fit the op.
   AddICmpBr,
+  /// Fused scalar integer load + sign-extend of its result (retires
+  /// BOTH trace ops). The extend consumes the loaded value directly
+  /// instead of round-tripping it through the register file. A is the
+  /// address ref, ElemBytes/SrcBits the loaded width, Dest the load's
+  /// slot, C the extend's slot, Mask the extend's result mask, Aux the
+  /// extend's OpClass; Imm carries the extend's Instruction. Both
+  /// results stay architecturally visible.
+  LoadSExtS,
+  /// Same fusion for zext/trunc of a loaded value (the extend's Mask
+  /// does all the work, so one kind covers both directions).
+  LoadZExtS,
   NumKinds, ///< sentinel, keeps the handler table in sync
 };
 
@@ -172,7 +183,8 @@ struct alignas(64) MicroOp {
   /// this field for the allocation size in bytes.
   uint64_t Mask = ~0ull;
   /// Inline payload: the constant of quickened *SI binops; the
-  /// cond_br Instruction pointer of the fused ICmpBrS.
+  /// cond_br Instruction pointer of the fused ICmpBrS; the extend
+  /// Instruction pointer of the fused LoadSExtS/LoadZExtS.
   uint64_t Imm = 0;
   /// The IR instruction, for trace/sample attribution (null for
   /// internal ops).
@@ -200,6 +212,12 @@ struct MicroProgram {
   std::vector<const ir::Function *> Callees;
   /// Fused-latch side pool (AddICmpBr's MicroOp::Imm indexes this).
   std::vector<MicroLatch> Latches;
+  /// First micro-op index of each IR block, indexed by block number.
+  /// The lowerer lays blocks out in superblock chain order (following
+  /// unconditional branches), not source order, so consumers that need
+  /// block boundaries (the lowering checker) read them from here
+  /// instead of assuming sequential layout.
+  std::vector<int32_t> BlockStarts;
   /// Register file size including the phi-cycle scratch slot.
   uint32_t NumSlots = 0;
 };

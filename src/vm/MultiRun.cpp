@@ -84,6 +84,27 @@ void RoundRobin::Gate::onRetireBatch(const RetiredOp *Ops, size_t Count,
   Parent->charge(Core, Count);
 }
 
+bool RoundRobin::Gate::wantsRetireColumns() const {
+  for (const TraceConsumer *C : Downstream)
+    if (C->wantsRetireColumns())
+      return true;
+  return false;
+}
+
+void RoundRobin::Gate::onRetireColumns(const RetireColumns &Cols,
+                                       const ir::Instruction *&RetireCursor) {
+  if (Cols.Count == 0)
+    return;
+  // Same turnstile discipline as onRetireBatch: the flush boundaries
+  // (and so the charge sequence and every cross-core interleave point)
+  // are identical in both delivery forms, which keeps cluster runs
+  // bit-identical across timing tiers.
+  Parent->acquire(Core);
+  for (TraceConsumer *C : Downstream)
+    C->onRetireColumns(Cols, RetireCursor);
+  Parent->charge(Core, Cols.Count);
+}
+
 void RoundRobin::Gate::onCallEnter(const ir::Function &F) {
   for (TraceConsumer *C : Downstream)
     C->onCallEnter(F);

@@ -59,6 +59,12 @@ public:
     void onRetire(const RetiredOp &Op) override;
     void onRetireBatch(const RetiredOp *Ops, size_t Count,
                        const ir::Instruction *&RetireCursor) override;
+    /// Columns pass through when any downstream walks them; queried per
+    /// flush because downstreams are registered after the gate is
+    /// attached to its instance.
+    bool wantsRetireColumns() const override;
+    void onRetireColumns(const RetireColumns &Cols,
+                         const ir::Instruction *&RetireCursor) override;
     // Call events only touch per-core consumer state and are already in
     // deterministic per-core program order; they forward without taking
     // the turn so a waiting core can keep executing VM work.

@@ -279,10 +279,38 @@ public:
     Scratch = static_cast<int32_t>(CF.NumSlots);
 
     BlockStart.resize(CF.Blocks.size(), -1);
-    for (size_t B = 0; B != CF.Blocks.size(); ++B) {
-      BlockStart[B] = static_cast<int32_t>(Prog->Code.size());
-      lowerBlock(CF.Blocks[B]);
+    // Superblock chain layout: after placing a block, greedily place
+    // the target of its unconditional branch next (when still free),
+    // falling back to the first unplaced block in source order. Hot
+    // paths that hop through phi-copy blocks then run as one dense
+    // stretch of the Code array — every Br's indexed jump lands on the
+    // very next micro-op, so the dispatch loop streams through I-cache
+    // and never strides backwards except on real loop back edges.
+    // Placement only permutes block offsets; every branch still jumps
+    // through BlockStart, so execution order, the retire stream, and
+    // all traps are bit-identical to source-order layout.
+    std::vector<char> Placed(CF.Blocks.size(), 0);
+    size_t NextInOrder = 0;
+    size_t Cur = 0; // the entry block anchors the first chain
+    for (;;) {
+      Placed[Cur] = 1;
+      BlockStart[Cur] = static_cast<int32_t>(Prog->Code.size());
+      const CBlock &CB = CF.Blocks[Cur];
+      lowerBlock(CB);
+      int32_t Succ = -1;
+      if (!CB.Insts.empty() && CB.Insts.back().Op == Opcode::Br)
+        Succ = CB.Insts.back().Succ0;
+      if (Succ >= 0 && !Placed[static_cast<size_t>(Succ)]) {
+        Cur = static_cast<size_t>(Succ);
+        continue;
+      }
+      while (NextInOrder != CF.Blocks.size() && Placed[NextInOrder])
+        ++NextInOrder;
+      if (NextInOrder == CF.Blocks.size())
+        break;
+      Cur = NextInOrder;
     }
+    Prog->BlockStarts = BlockStart;
     emitStubs();
     applyPatches();
     return P;
@@ -429,6 +457,26 @@ private:
           continue;
         }
       }
+      // Fuse a scalar integer load directly followed by the extend (or
+      // truncate) of its result: the widening consumes the freshly
+      // loaded value instead of round-tripping it through the register
+      // file, and one dispatch replaces two. Gated on the load's mask
+      // being the identity over its loaded bytes so the fused handler
+      // can skip it. (The unextended value is still written — a phi or
+      // later block may read it.)
+      if (CI.Op == Opcode::Load && CI.Lanes == 1 && !CI.HasStrideOperand &&
+          !CI.IsFp && CI.Dest >= 0 && CI.IntBits == CI.ElemBytes * 8 &&
+          I + 1 != CB.Insts.size()) {
+        const CInst &Next = CB.Insts[I + 1];
+        if ((Next.Op == Opcode::SExt || Next.Op == Opcode::ZExt ||
+             Next.Op == Opcode::Trunc) &&
+            Next.Lanes == 1 && Next.Ops[0].Slot == CI.Dest &&
+            Next.SrcBits == CI.IntBits) {
+          lowerLoadExt(CI, Next);
+          ++I;
+          continue;
+        }
+      }
       lowerInst(CI, CB);
     }
   }
@@ -473,6 +521,20 @@ private:
     U.Imm = Prog->Latches.size();
     Prog->Latches.push_back(MicroLatch{Cmp.Dest, Cmp.I, Br.I});
     wireCondEdges(U, Br, CB);
+    push(U);
+  }
+
+  void lowerLoadExt(const CInst &Load, const CInst &Ext) {
+    MicroOp U = base(Load); // load's ElemBytes/Class/Inst/Dest
+    U.Kind = Ext.Op == Opcode::SExt ? MicroKind::LoadSExtS
+                                    : MicroKind::LoadZExtS;
+    U.A = ref(Load.Ops[0]);
+    // The extend's half rides in the fields the load leaves free.
+    U.C = Ext.Dest;
+    U.SrcBits = static_cast<uint8_t>(std::min(Ext.SrcBits, 64u));
+    U.Mask = maskOf(Ext.IntBits);
+    U.Aux = static_cast<uint8_t>(Ext.Class);
+    U.Imm = reinterpret_cast<uint64_t>(Ext.I);
     push(U);
   }
 

@@ -52,20 +52,42 @@ enum class OpClass : uint8_t {
 /// never drift.
 OpClass classifyOp(const ir::Instruction &I);
 
-/// One retired IR instruction.
+/// One retired IR instruction. Packed to 32 bytes — half a cache line —
+/// because the micro-op engine materializes one per retired op into the
+/// retire ring on the hottest path it has; the don't-care fields a
+/// handler zeroes (Addr/StrideBytes) sit contiguous so the reset
+/// coalesces into one wide store.
 struct RetiredOp {
   OpClass Class = OpClass::Other;
-  /// The IR instruction, for PC/function attribution in samples.
-  const ir::Instruction *Inst = nullptr;
+  /// Branches: whether the branch was taken (for cond_br, the true edge).
+  bool Taken = false;
   /// Vector lanes (1 for scalar ops).
   uint16_t Lanes = 1;
-  /// Memory ops: total bytes moved and the lane-0 simulated address.
+  /// Memory ops: total bytes moved.
   uint32_t Bytes = 0;
+  /// The IR instruction, for PC/function attribution in samples.
+  const ir::Instruction *Inst = nullptr;
+  /// Memory ops: the lane-0 simulated address.
   uint64_t Addr = 0;
   /// Memory ops: non-unit lane stride in bytes (0 = contiguous).
   int64_t StrideBytes = 0;
-  /// Branches: whether the branch was taken (for cond_br, the true edge).
-  bool Taken = false;
+};
+
+/// A column-form view of one retire-ring flush. The producer transposes
+/// only the fields every op of a flush gets asked about — the class,
+/// which drives the batched core model's dispatch on both of its
+/// passes, and the branch outcome — into dense byte arrays (two cache
+/// lines per 64-op flush). Everything else (addresses, sizes, lanes,
+/// strides) is read from the record view on the ops that need it, so
+/// the transpose never copies a field the consumer may not touch.
+///
+/// All pointers alias producer-owned scratch and are valid only for the
+/// duration of the onRetireColumns() call.
+struct RetireColumns {
+  const RetiredOp *Ops = nullptr;     ///< the same flush, record form
+  const uint8_t *Classes = nullptr;   ///< OpClass per op
+  const uint8_t *Taken = nullptr;     ///< branches: taken flag (0/1)
+  size_t Count = 0;
 };
 
 /// Receives every retired operation plus call-stack events.
@@ -75,6 +97,21 @@ public:
 
   /// Called once per retired IR instruction, in program order.
   virtual void onRetire(const RetiredOp &Op) = 0;
+
+  /// Opt-in for column-form delivery. The producer transposes the ring
+  /// only when at least one attached consumer returns true, and queries
+  /// per flush (consumers may be attached before their downstreams are
+  /// wired up).
+  virtual bool wantsRetireColumns() const { return false; }
+
+  /// Column-form delivery of one flush; same op sequence and the same
+  /// RetireCursor contract as onRetireBatch(). The default implementation
+  /// forwards to onRetireBatch() over the AoS view, so consumers that
+  /// never opt in still see every op exactly once.
+  virtual void onRetireColumns(const RetireColumns &Cols,
+                               const ir::Instruction *&RetireCursor) {
+    onRetireBatch(Cols.Ops, Cols.Count, RetireCursor);
+  }
 
   /// Batched delivery: \p Count ops in program order. The micro-op
   /// execution engine buffers retirements and hands them over in blocks

@@ -80,10 +80,12 @@ struct RunOutcome {
   RunStats Stats;
   TraceRecorder Trace;
   hw::CoreStats Core;
+  hw::CacheStats Cache;
 };
 
 RunOutcome runOnce(const driver::CompiledWorkload &W, const hw::Platform &P,
-                   EngineKind Engine, uint64_t Fuel = 0) {
+                   EngineKind Engine, uint64_t Fuel = 0,
+                   hw::TimingTier Tier = hw::TimingTier::Batched) {
   RunOutcome O;
   // Both engines execute the same shared immutable Program through
   // private Instances — the post-split execution contract.
@@ -92,6 +94,7 @@ RunOutcome runOnce(const driver::CompiledWorkload &W, const hw::Platform &P,
   if (Fuel)
     Vm.setFuel(Fuel);
   hw::CoreModel Core(P.Core, P.Cache);
+  Core.setTimingTier(Tier);
   Vm.addConsumer(&O.Trace);
   Vm.addConsumer(&Core);
   if (W.Setup)
@@ -106,6 +109,7 @@ RunOutcome runOnce(const driver::CompiledWorkload &W, const hw::Platform &P,
   }
   O.Stats = Vm.stats();
   O.Core = Core.stats();
+  O.Cache = Core.cacheStats();
   return O;
 }
 
@@ -458,5 +462,228 @@ TEST(ExecEngine, SessionSamplesIdenticalAcrossEngines) {
     EXPECT_EQ(Ref->Samples[I].TimeCycles, Micro->Samples[I].TimeCycles)
         << I;
     EXPECT_EQ(Ref->Samples[I].Callchain, Micro->Samples[I].Callchain) << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Load+extend fusion corners
+//===----------------------------------------------------------------------===//
+
+TEST(ExecEngine, FusedLoadExtBothResultsStayVisible) {
+  // The load's unextended value is read again after the extend, so the
+  // fused form must write both destinations.
+  diffText(R"(module m
+global @G 16
+func @f() -> i64 {
+entry:
+  %v = load i8, @G
+  %w = sext i8 %v to i64
+  %raw = zext i8 %v to i64
+  %r = add i64 %w, %raw
+  ret i64 %r
+}
+)",
+           "f");
+}
+
+TEST(ExecEngine, FusedLoadExtWidthMatrix) {
+  // Every fusible width/direction pair: i8/i32 sext and zext into i64,
+  // plus a trunc of a loaded i64. The store seeds a byte pattern with
+  // set sign bits so sext and zext genuinely differ.
+  diffText(R"(module m
+global @G 32
+func @f(i64 %x) -> i64 {
+entry:
+  %p = ptradd ptr @G, 0
+  store i64 -71777214294589696, %p
+  %a8 = load i8, @G
+  %s8 = sext i8 %a8 to i64
+  %b8 = load i8, @G
+  %z8 = zext i8 %b8 to i64
+  %a32 = load i32, @G
+  %s32 = sext i32 %a32 to i64
+  %b32 = load i32, @G
+  %z32 = zext i32 %b32 to i64
+  %a64 = load i64, @G
+  %t32 = trunc i64 %a64 to i32
+  %w = zext i32 %t32 to i64
+  %r1 = add i64 %s8, %z8
+  %r2 = add i64 %r1, %s32
+  %r3 = add i64 %r2, %z32
+  %r4 = add i64 %r3, %w
+  ret i64 %r4
+}
+)",
+           "f", {RtValue::ofInt(0)});
+}
+
+TEST(ExecEngine, FusedLoadExtAcrossBlockBoundaryDoesNotFuse) {
+  // The extend lives in the next block: the peephole is block-local,
+  // so this must lower unfused — and still agree with the reference.
+  diffText(R"(module m
+global @G 8
+func @f() -> i64 {
+entry:
+  %v = load i32, @G
+  br next
+next:
+  %w = sext i32 %v to i64
+  ret i64 %w
+}
+)",
+           "f");
+}
+
+TEST(ExecEngine, FusedLoadExtFuelTrapParity) {
+  // Fuel expires in and around the fused pair as the loop spins; the
+  // micro engine checks fuel per retirement slot, so the trap must
+  // land after exactly the same op as the reference for every phase.
+  for (uint64_t Fuel : {7, 8, 9, 10, 11})
+    diffText(R"(module m
+global @G 8
+func @f(i64 %n) -> i64 {
+entry:
+  br loop
+loop:
+  %i = phi i64 [ 0, entry ], [ %i.next, loop ]
+  %v = load i8, @G
+  %w = sext i8 %v to i64
+  %i.next = add i64 %i, 1
+  %c = icmp slt i64 %i.next, %n
+  cond_br %c, loop, exit
+exit:
+  ret i64 %w
+}
+)",
+             "f", {RtValue::ofInt(100)}, Fuel);
+}
+
+TEST(ExecEngine, FusedLoadExtOutOfBoundsTrapParity) {
+  diffText(R"(module m
+global @G 8
+func @f() -> i64 {
+entry:
+  %p = ptradd ptr @G, 999999999
+  %v = load i8, %p
+  %w = sext i8 %v to i64
+  ret i64 %w
+}
+)",
+           "f");
+}
+
+TEST(ExecEngine, SuperblockChainLayoutAgrees) {
+  // Blocks deliberately out of chain order in the source: the lowerer
+  // re-lays them following the unconditional branches (entry→b3→b1→b4)
+  // and the lowering checker re-verifies the permuted layout. The
+  // retire stream must be untouched by placement.
+  diffText(R"(module m
+func @chain(i64 %n) -> i64 {
+entry:
+  br b3
+b1:
+  %x2 = add i64 %x1, 3
+  br b4
+b3:
+  %x1 = add i64 %n, 1
+  br b1
+b4:
+  %r = mul i64 %x2, %x1
+  ret i64 %r
+}
+)",
+           "chain", {RtValue::ofInt(5)});
+}
+
+//===----------------------------------------------------------------------===//
+// Batched vs scalar timing tier differential: the column-walking
+// CoreModel/CacheSim path must fold the identical retire stream into
+// bit-identical CoreStats and CacheStats (doubles compared exactly —
+// the batched walk keeps the scalar path's accumulation order).
+//===----------------------------------------------------------------------===//
+
+void expectSameTiming(const RunOutcome &S, const RunOutcome &B,
+                      const std::string &What) {
+  EXPECT_EQ(S.Ok, B.Ok) << What;
+  EXPECT_EQ(S.ResultI, B.ResultI) << What;
+  EXPECT_EQ(S.Trace.Hash, B.Trace.Hash) << What;
+  EXPECT_EQ(S.Core.Cycles, B.Core.Cycles) << What;
+  EXPECT_EQ(S.Core.Instret, B.Core.Instret) << What;
+  EXPECT_EQ(S.Core.RetiredIrOps, B.Core.RetiredIrOps) << What;
+  EXPECT_EQ(S.Core.BranchMispredicts, B.Core.BranchMispredicts) << What;
+  EXPECT_EQ(S.Core.FpOpsActual, B.Core.FpOpsActual) << What;
+  EXPECT_EQ(S.Core.FpOpsSpec, B.Core.FpOpsSpec) << What;
+  EXPECT_EQ(S.Core.IssueCycles, B.Core.IssueCycles) << What;
+  EXPECT_EQ(S.Core.MemStallCycles, B.Core.MemStallCycles) << What;
+  EXPECT_EQ(S.Core.BadSpecCycles, B.Core.BadSpecCycles) << What;
+  EXPECT_EQ(S.Core.BandwidthCycles, B.Core.BandwidthCycles) << What;
+  EXPECT_EQ(S.Core.FirmwareCycles, B.Core.FirmwareCycles) << What;
+  EXPECT_EQ(S.Cache.L1Hits, B.Cache.L1Hits) << What;
+  EXPECT_EQ(S.Cache.L1Misses, B.Cache.L1Misses) << What;
+  EXPECT_EQ(S.Cache.L2Hits, B.Cache.L2Hits) << What;
+  EXPECT_EQ(S.Cache.L2Misses, B.Cache.L2Misses) << What;
+  EXPECT_EQ(S.Cache.DramBytes, B.Cache.DramBytes) << What;
+}
+
+class TimingTierMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(TimingTierMatrix, TiersAgree) {
+  const MatrixCase &C = GetParam();
+  for (const driver::WorkloadDesc &W : driver::standardWorkloads())
+    if (W.Name == C.Workload)
+      for (const hw::Platform &P : hw::allPlatforms())
+        if (driver::platformKey(P) == C.PlatformKey) {
+          auto WOr = W.Compile(P.Target, C.Vectorize);
+          ASSERT_TRUE(WOr.hasValue()) << WOr.errorMessage();
+          std::ostringstream What;
+          What << W.Name << "@" << C.PlatformKey
+               << (C.Vectorize ? "+vec" : "");
+          RunOutcome S = runOnce(*WOr, P, EngineKind::MicroOp, 0,
+                                 hw::TimingTier::Scalar);
+          RunOutcome B = runOnce(*WOr, P, EngineKind::MicroOp, 0,
+                                 hw::TimingTier::Batched);
+          expectSameTiming(S, B, What.str());
+          return;
+        }
+  FAIL() << "case not found: " << C.Workload << "@" << C.PlatformKey;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, TimingTierMatrix, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<MatrixCase> &Info) {
+      return Info.param.Workload + "_" + Info.param.PlatformKey +
+             (Info.param.Vectorize ? "_vec" : "_scalar");
+    });
+
+TEST(ExecEngine, SessionSamplesIdenticalAcrossTimingTiers) {
+  // The full profiling stack under MPERF_TIMING_TIER: PMU counters,
+  // overflow interrupts, and instruction-exact sample attribution must
+  // not move between the scalar and batched consumption paths.
+  auto Profile = [&](const char *Tier) {
+    setenv("MPERF_TIMING_TIER", Tier, 1);
+    auto W = workloads::buildSqliteLike({8, 8, 8, 8, 1});
+    miniperf::SessionOptions Opts;
+    Opts.SamplePeriod = 5000;
+    miniperf::Session S(hw::spacemitX60(), Opts);
+    auto ROr = S.profile(*W.M, "main", {RtValue::ofInt(8)});
+    unsetenv("MPERF_TIMING_TIER");
+    EXPECT_TRUE(ROr.hasValue()) << (ROr ? "" : ROr.errorMessage());
+    return ROr;
+  };
+  auto Scalar = Profile("scalar");
+  auto Batched = Profile("batched");
+  ASSERT_TRUE(Scalar.hasValue() && Batched.hasValue());
+  EXPECT_EQ(Scalar->Cycles, Batched->Cycles);
+  EXPECT_EQ(Scalar->Instructions, Batched->Instructions);
+  EXPECT_EQ(Scalar->Interrupts, Batched->Interrupts);
+  EXPECT_EQ(Scalar->Samples.size(), Batched->Samples.size());
+  for (size_t I = 0;
+       I != Scalar->Samples.size() && I != Batched->Samples.size(); ++I) {
+    EXPECT_EQ(Scalar->Samples[I].Leaf, Batched->Samples[I].Leaf) << I;
+    EXPECT_EQ(Scalar->Samples[I].LeafLoc, Batched->Samples[I].LeafLoc) << I;
+    EXPECT_EQ(Scalar->Samples[I].TimeCycles, Batched->Samples[I].TimeCycles)
+        << I;
+    EXPECT_EQ(Scalar->Samples[I].Callchain, Batched->Samples[I].Callchain)
+        << I;
   }
 }

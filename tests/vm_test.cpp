@@ -574,3 +574,94 @@ TEST(LowerCheck, CatchesPhiMoveClobber) {
   L.MP.Code[Move].Dest = L.MP.Code[Mul].Dest;
   expectDiag(L, "slot");
 }
+
+namespace {
+
+constexpr char LoadExtText[] = R"(module m
+global @G 8
+func @f(i64 %n) -> i64 {
+entry:
+  %v = load i8, @G
+  %s = sext i8 %v to i64
+  %w = load i32, @G
+  %z = zext i32 %w to i64
+  %r = add i64 %s, %z
+  ret i64 %r
+}
+)";
+
+/// Like LoweredLoop, for the load+extend fusion shapes.
+struct LoweredLoadExt {
+  std::shared_ptr<const Program> P;
+  const CompiledFunction *CF = nullptr;
+  MicroProgram MP;
+
+  LoweredLoadExt() {
+    P = compileText(LoadExtText);
+    if (!P)
+      return;
+    CF = P->function(P->findFunction("f"));
+    if (CF)
+      MP = *CF->Micro;
+  }
+};
+
+void expectDiag(const LoweredLoadExt &L, const std::string &Want) {
+  Error E = checkFunctionLowering(*L.CF, L.MP);
+  ASSERT_TRUE(E.isError()) << "expected a diagnostic mentioning: " << Want;
+  EXPECT_NE(E.message().find(Want), std::string::npos) << E.message();
+}
+
+} // namespace
+
+TEST(LowerCheck, AcceptsFusedLoadExtLowering) {
+  LoweredLoadExt L;
+  ASSERT_NE(L.CF, nullptr);
+  EXPECT_FALSE(checkFunctionLowering(*L.CF, L.MP).isError());
+  // Both fusion directions must actually form.
+  EXPECT_GE(findKind(L.MP, MicroKind::LoadSExtS), 0);
+  EXPECT_GE(findKind(L.MP, MicroKind::LoadZExtS), 0);
+}
+
+TEST(LowerCheck, CatchesFusedLoadExtWrongCastSlot) {
+  LoweredLoadExt L;
+  ASSERT_NE(L.CF, nullptr);
+  int I = findKind(L.MP, MicroKind::LoadSExtS);
+  ASSERT_GE(I, 0);
+  L.MP.Code[I].C += 1; // the sext's value lands in the wrong slot
+  expectDiag(L, "fused cast writes the wrong result slot");
+}
+
+TEST(LowerCheck, CatchesFusedLoadExtWrongAttribution) {
+  LoweredLoadExt L;
+  ASSERT_NE(L.CF, nullptr);
+  int I = findKind(L.MP, MicroKind::LoadZExtS);
+  ASSERT_GE(I, 0);
+  L.MP.Code[I].Imm = L.MP.Code[I].Imm ^ 0x40; // not the zext's Instruction
+  expectDiag(L, "fused cast attribution points at the wrong instruction");
+}
+
+TEST(LowerCheck, CatchesFusedLoadExtMaskMismatch) {
+  LoweredLoadExt L;
+  ASSERT_NE(L.CF, nullptr);
+  int I = findKind(L.MP, MicroKind::LoadSExtS);
+  ASSERT_GE(I, 0);
+  L.MP.Code[I].Mask = 0xFF; // the i64 sext result must keep all bits
+  expectDiag(L, "fused cast mask inconsistent with the IR result type");
+}
+
+TEST(LowerCheck, CatchesBlockStartTableSizeMismatch) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  L.MP.BlockStarts.push_back(0);
+  expectDiag(L, "block start table has");
+}
+
+TEST(LowerCheck, CatchesOverlappingBlockStarts) {
+  LoweredLoop L;
+  ASSERT_NE(L.CF, nullptr);
+  ASSERT_GE(L.MP.BlockStarts.size(), 2u);
+  // Two blocks claiming the same code range cannot both own it.
+  L.MP.BlockStarts[1] = L.MP.BlockStarts[0];
+  expectDiag(L, "");
+}
